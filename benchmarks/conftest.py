@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark suite.
+
+Each table benchmark regenerates one table of the paper's evaluation at
+a reduced-but-representative scale, records the paper's metrics in the
+benchmark's ``extra_info`` and asserts the *qualitative* shape the paper
+reports — who wins, how gaps evolve along the sweep.  Timings recorded
+by pytest-benchmark are the wall-clock of the whole table run; the
+simulated cluster times live in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_table(benchmark, result) -> None:
+    """Stash an ExperimentResult's metrics into the benchmark record."""
+    benchmark.extra_info["table"] = result.table
+    benchmark.extra_info["rows"] = [
+        {
+            "label": row.label,
+            "output_tuples": row.output_tuples,
+            "consistent": row.consistent,
+            "metrics": {
+                name: {
+                    "simulated_seconds": round(m.simulated_seconds, 1),
+                    "shuffled_records": m.shuffled_records,
+                    "rectangles_marked": m.rectangles_marked,
+                    "rectangles_after_replication": m.rectangles_after_replication,
+                }
+                for name, m in row.metrics.items()
+            },
+        }
+        for row in result.rows
+    ]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive table generation exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_consistent(result) -> None:
+    for row in result.rows:
+        assert row.consistent, f"{result.table} {row.label}: outputs disagree"
+
+
+def times(result, algorithm: str) -> list[float]:
+    return result.column(algorithm, "simulated_seconds")
+
+
+def growth(series: list[float]) -> float:
+    """Last-to-first ratio of a sweep series."""
+    assert series and series[0] > 0
+    return series[-1] / series[0]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload scale for table benchmarks (rows keep paper labels)."""
+    return 0.25

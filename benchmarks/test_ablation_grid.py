@@ -1,0 +1,65 @@
+"""Ablation: grid resolution (reducer count) vs replication and time.
+
+The paper fixes an 8x8 grid (64 reducers).  This ablation sweeps the
+grid size on a fixed Q2 workload: finer grids mean smaller cells, more
+boundary crossings, more marked rectangles and more replication — but
+also more parallelism.  The marked-rectangle count must grow
+monotonically with grid resolution.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.workloads import synthetic_chain
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+GRID_CELLS = [16, 64, 144]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_chain(4000, 6300.0, seed=11)
+
+
+def run_at_resolution(workload, cells):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    space = workload.datasets["R1"][0][1]  # placeholder, replaced below
+    from repro.data.transforms import dataset_space
+
+    grid = GridPartitioning.square(dataset_space(workload.datasets), cells)
+    cluster = Cluster(cost_model=CostModel.scaled(workload.paper_scale))
+    return ControlledReplicateJoin().run(query, workload.datasets, grid, cluster)
+
+
+def test_grid_resolution_sweep(benchmark, workload):
+    def sweep():
+        return {cells: run_at_resolution(workload, cells) for cells in GRID_CELLS}
+
+    results = run_once(benchmark, sweep)
+    benchmark.extra_info["sweep"] = {
+        cells: {
+            "marked": r.stats.rectangles_marked,
+            "after_replication": r.stats.rectangles_after_replication,
+            "shuffled": r.stats.shuffled_records,
+            "simulated_seconds": round(r.stats.simulated_seconds, 1),
+        }
+        for cells, r in results.items()
+    }
+
+    # All resolutions compute the same join.
+    tuple_sets = [r.tuples for r in results.values()]
+    assert all(t == tuple_sets[0] for t in tuple_sets)
+
+    # Finer grid -> more boundary crossings -> more marked rectangles.
+    marked = [results[c].stats.rectangles_marked for c in GRID_CELLS]
+    assert marked == sorted(marked)
+    assert marked[-1] > marked[0]
+
+    # ... and more total communication.
+    shuffled = [results[c].stats.shuffled_records for c in GRID_CELLS]
+    assert shuffled[-1] > shuffled[0]

@@ -1,0 +1,72 @@
+"""Ablation: the C-Rep-L limit metric — safe Chebyshev vs the paper's
+literal Euclidean rule (see DESIGN.md's substitution table).
+
+The dedup point mixes coordinates of two different tuple members, so a
+Euclidean ball of the path bound can exclude the owner cell while each
+axis stays within the bound.  The ablation measures the replication
+saved by the (tighter) Euclidean rule and whether it loses tuples on a
+realistic workload.
+"""
+
+from conftest import run_once
+
+from repro.data.transforms import dataset_space
+from repro.experiments.workloads import synthetic_chain
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.limits import ReplicationLimits
+from repro.joins.reference import brute_force_join
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Range
+from repro.query.query import Query
+
+
+def test_limit_metric_ablation(benchmark):
+    workload = synthetic_chain(3000, 30_000.0, seed=31)
+    query = Query.chain(["R1", "R2", "R3"], Range(300.0))
+    grid = GridPartitioning.square(dataset_space(workload.datasets), 64)
+    cost = CostModel.scaled(workload.paper_scale)
+
+    def run_all():
+        out = {}
+        for metric in ("chebyshev", "euclidean"):
+            limits = ReplicationLimits.from_query(query, workload.d_max, metric=metric)
+            algo = ControlledReplicateJoin(limits=limits)
+            out[metric] = algo.run(
+                query, workload.datasets, grid, Cluster(cost_model=cost)
+            )
+        unlimited = ControlledReplicateJoin().run(
+            query, workload.datasets, grid, Cluster(cost_model=cost)
+        )
+        out["unlimited"] = unlimited
+        return out
+
+    results = run_once(benchmark, run_all)
+    expected = brute_force_join(query, workload.datasets)
+
+    benchmark.extra_info["comparison"] = {
+        name: {
+            "after_replication": r.stats.rectangles_after_replication,
+            "simulated_seconds": round(r.stats.simulated_seconds, 1),
+            "missing_tuples": len(expected - r.tuples),
+        }
+        for name, r in results.items()
+    }
+
+    # The safe metric is exact; the plain C-Rep baseline too.
+    assert results["chebyshev"].tuples == expected
+    assert results["unlimited"].tuples == expected
+    # The Euclidean rule never invents tuples.
+    assert results["euclidean"].tuples <= expected
+
+    # Both limits trim replication versus unlimited C-Rep; Euclidean is
+    # the tighter (it bounds the L2 ball inside the Chebyshev box).
+    assert (
+        results["chebyshev"].stats.rectangles_after_replication
+        < results["unlimited"].stats.rectangles_after_replication
+    )
+    assert (
+        results["euclidean"].stats.rectangles_after_replication
+        <= results["chebyshev"].stats.rectangles_after_replication
+    )

@@ -1,0 +1,53 @@
+"""Ablation: the in-reducer spatial index (grid vs R-tree vs scan).
+
+A reducer-sized bag is joined with each local index implementation.
+This is a classic micro-benchmark (small, repeated), so pytest-benchmark
+runs it with its normal rounds; the indexes must agree on the result and
+beat the nested-loop scan on candidate checks.
+"""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.joins.local import LocalJoiner
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+QUERY = Query.chain(["R1", "R2", "R3"], Overlap())
+SPEC = SyntheticSpec(
+    n=800,
+    x_range=(0, 2000),
+    y_range=(0, 2000),
+    l_range=(0, 80),
+    b_range=(0, 80),
+    seed=19,
+)
+
+
+@pytest.fixture(scope="module")
+def bags():
+    datasets = generate_relations(SPEC, ["R1", "R2", "R3"])
+    return {slot: datasets[slot] for slot in QUERY.slots}
+
+
+@pytest.fixture(scope="module")
+def reference_result(bags):
+    assignments, __ = LocalJoiner(QUERY, "scan").enumerate(bags)
+    return {tuple(a[s][0] for s in QUERY.slots) for a in assignments}
+
+
+@pytest.mark.parametrize("index_kind", ["grid", "rtree", "scan"])
+def test_local_join_index(benchmark, bags, reference_result, index_kind):
+    joiner = LocalJoiner(QUERY, index_kind)
+
+    def run():
+        return joiner.enumerate(bags)
+
+    assignments, checks = benchmark(run)
+    got = {tuple(a[s][0] for s in QUERY.slots) for a in assignments}
+    assert got == reference_result
+    benchmark.extra_info["candidate_checks"] = checks
+    if index_kind != "scan":
+        # Spatial indexing prunes the candidate space dramatically.
+        __, scan_checks = LocalJoiner(QUERY, "scan").enumerate(bags)
+        assert checks < scan_checks / 5

@@ -1,0 +1,111 @@
+"""Ablation: what the C1-C4 marking conditions actually buy.
+
+Two alternative round-1 marking strategies are swapped into
+Controlled-Replicate via its ``marking_factory`` hook:
+
+* **mark-all** — mark every rectangle starting in the cell.  Trivially
+  sound (it degenerates to All-Replicate with an extra round) and shows
+  how much replication the conditions avoid.
+* **crossing-only** — mark exactly the boundary-crossing rectangles
+  (condition C2 alone, no consistency/C1).  This is *unsound*: a
+  non-crossing rectangle shielded by crossing partners (the paper's u2
+  in Figure 5) must still replicate.  The benchmark measures how many
+  output tuples such a naive rule loses.
+"""
+
+from conftest import run_once
+
+from repro.data.transforms import dataset_space
+from repro.experiments.workloads import synthetic_chain
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.marking import MarkingDecision
+from repro.joins.reference import brute_force_join
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+
+class MarkAll:
+    """Round-1 strategy: replicate everything (no conditions)."""
+
+    def __init__(self, query, grid):
+        self.grid = grid
+
+    def select_marked(self, cell, received):
+        marked = {
+            (dataset, rid)
+            for dataset, rects in received.items()
+            for rid, rect in rects
+            if self.grid.cell_of(rect).cell_id == cell.cell_id
+        }
+        return MarkingDecision(marked=marked, ops=0)
+
+
+class CrossingOnly:
+    """Round-1 strategy: condition C2 alone, ignoring consistency."""
+
+    def __init__(self, query, grid):
+        self.grid = grid
+
+    def select_marked(self, cell, received):
+        marked = {
+            (dataset, rid)
+            for dataset, rects in received.items()
+            for rid, rect in rects
+            if self.grid.cell_of(rect).cell_id == cell.cell_id
+            and self.grid.crosses_cell_boundary(rect, cell)
+        }
+        return MarkingDecision(marked=marked, ops=0)
+
+
+def test_marking_ablation(benchmark):
+    workload = synthetic_chain(4000, 6300.0, seed=11)
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = GridPartitioning.square(dataset_space(workload.datasets), 64)
+    cost = CostModel.scaled(workload.paper_scale)
+
+    def run_all():
+        out = {}
+        for name, factory in [
+            ("c-rep", None),
+            ("mark-all", MarkAll),
+            ("crossing-only", CrossingOnly),
+        ]:
+            algo = ControlledReplicateJoin(marking_factory=factory)
+            out[name] = algo.run(query, workload.datasets, grid, Cluster(cost_model=cost))
+        return out
+
+    results = run_once(benchmark, run_all)
+    expected = brute_force_join(query, workload.datasets)
+
+    lost = len(expected - results["crossing-only"].tuples)
+    benchmark.extra_info["comparison"] = {
+        name: {
+            "marked": r.stats.rectangles_marked,
+            "after_replication": r.stats.rectangles_after_replication,
+            "simulated_seconds": round(r.stats.simulated_seconds, 1),
+            "tuples": len(r.tuples),
+        }
+        for name, r in results.items()
+    }
+    benchmark.extra_info["crossing_only_lost_tuples"] = lost
+
+    # Full conditions are correct; mark-all is correct but communicates
+    # far more.
+    assert results["c-rep"].tuples == expected
+    assert results["mark-all"].tuples == expected
+    assert (
+        results["mark-all"].stats.rectangles_after_replication
+        > 3 * results["c-rep"].stats.rectangles_after_replication
+    )
+    assert (
+        results["mark-all"].stats.simulated_seconds
+        > results["c-rep"].stats.simulated_seconds
+    )
+
+    # Crossing-only marks fewer rectangles than the full conditions
+    # (it misses shielded non-crossing members) and never finds tuples
+    # the sound algorithms miss.
+    assert results["crossing-only"].tuples <= expected

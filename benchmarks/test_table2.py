@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Table 2 (Q2 overlap chain, varying nI).
+
+Paper shape asserted:
+* All-Replicate is the slowest by a wide margin and its communicated
+  rectangle count dwarfs C-Rep's (64.3m vs 3.9m at row 1).
+* 2-way Cascade degrades super-linearly along the sweep (5 -> 35 min
+  over a 5x workload in the paper).
+* C-Rep-L matches C-Rep's marked counts exactly and out-communicates it.
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_scale):
+    result = run_once(benchmark, table2.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    first = result.rows[0].metrics
+    # All-Rep is the worst algorithm on its rows, by a clear factor.
+    assert first["all-rep"].simulated_seconds > 2 * first["cascade"].simulated_seconds
+    assert first["all-rep"].simulated_seconds > 1.5 * first["c-rep"].simulated_seconds
+    # ... and its communication volume dwarfs C-Rep's.
+    assert (
+        first["all-rep"].rectangles_after_replication
+        > 2 * first["c-rep"].rectangles_after_replication
+    )
+
+    # Cascade degrades super-linearly: 5x workload, >5x time.
+    assert growth(times(result, "cascade")) > 5.0
+
+    # C-Rep closes on Cascade as the workload grows (paper: overtakes).
+    ratio_first = (
+        first["cascade"].simulated_seconds / first["c-rep"].simulated_seconds
+    )
+    last = result.rows[-1].metrics
+    ratio_last = last["cascade"].simulated_seconds / last["c-rep"].simulated_seconds
+    assert ratio_last > ratio_first
+
+    # C-Rep-L: identical marking, less communication, fastest at the top.
+    for row in result.rows:
+        assert (
+            row.metrics["c-rep"].rectangles_marked
+            == row.metrics["c-rep-l"].rectangles_marked
+        )
+        assert (
+            row.metrics["c-rep-l"].rectangles_after_replication
+            <= row.metrics["c-rep"].rectangles_after_replication
+        )
+    assert (
+        last["c-rep-l"].simulated_seconds < last["cascade"].simulated_seconds
+    )
+    assert last["c-rep-l"].simulated_seconds < last["c-rep"].simulated_seconds

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table 3 (Q2, varying rectangle dimensions).
+
+Paper shape asserted:
+* Cascade's time explodes along the l_max sweep (10 -> 314 min; its
+  intermediate results grow with the output).
+* The gap between C-Rep's and C-Rep-L's communicated rectangles widens
+  with l_max (7.6/6.1 at 100 vs 16.8/7.3 at 500): larger rectangles mean
+  the distance limit trims more of the 4th quadrant.
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, bench_scale):
+    result = run_once(benchmark, table3.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    # Cascade grows much faster than C-Rep-L along the sweep.
+    assert growth(times(result, "cascade")) > 1.5 * growth(times(result, "c-rep-l"))
+
+    # The replication gap widens with l_max.
+    gap = [
+        row.metrics["c-rep"].rectangles_after_replication
+        / max(1, row.metrics["c-rep-l"].rectangles_after_replication)
+        for row in result.rows
+    ]
+    assert gap[-1] > gap[0]
+
+    # C-Rep-L is the fastest algorithm at the largest rectangles.
+    last = result.rows[-1].metrics
+    assert last["c-rep-l"].simulated_seconds < last["cascade"].simulated_seconds
+    assert last["c-rep-l"].simulated_seconds < last["c-rep"].simulated_seconds
+
+    # Marked counts identical across the C-Rep family.
+    for row in result.rows:
+        assert (
+            row.metrics["c-rep"].rectangles_marked
+            == row.metrics["c-rep-l"].rectangles_marked
+        )

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table 4 (Q2s star self-join, California roads,
+varying the MBB enlargement factor k).
+
+Paper shape asserted:
+* every algorithm slows down as k grows (denser overlaps);
+* the C-Rep family beats 2-way Cascade on every row (19 vs 15/14 min at
+  k=1 up to 95 vs 57/53 at k=2);
+* C-Rep-L improves on C-Rep only slightly (road MBBs are tiny relative
+  to cells, so the limit trims little).
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, bench_scale):
+    result = run_once(benchmark, table4.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    # Monotone degradation with k for cascade.
+    cascade = times(result, "cascade")
+    assert growth(cascade) > 1.1
+
+    # C-Rep and C-Rep-L beat Cascade on every row (the paper's headline
+    # real-data result).
+    for row in result.rows:
+        assert (
+            row.metrics["c-rep"].simulated_seconds
+            < row.metrics["cascade"].simulated_seconds
+        )
+        assert (
+            row.metrics["c-rep-l"].simulated_seconds
+            <= row.metrics["c-rep"].simulated_seconds
+        )
+
+    # Replication volumes rise with k for C-Rep.
+    reps = [
+        row.metrics["c-rep"].rectangles_after_replication for row in result.rows
+    ]
+    assert reps[-1] > reps[0]

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 5 (Q3 range chain, varying nI).
+
+Paper shape asserted:
+* Cascade spirals out fastest (11 min -> aborted at 5m);
+* C-Rep-L clearly beats C-Rep — its communicated rectangle count is
+  roughly a third of C-Rep's (3.0 vs 9.1m ... 15.8 vs 58.4m);
+* marked counts are identical between the two C-Rep variants.
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, bench_scale):
+    result = run_once(benchmark, table5.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    # Cascade degrades fastest along the sweep.
+    assert growth(times(result, "cascade")) > growth(times(result, "c-rep-l"))
+
+    last = result.rows[-1].metrics
+    # C-Rep-L is fastest at the top row and communicates far less.
+    assert last["c-rep-l"].simulated_seconds < last["c-rep"].simulated_seconds
+    assert last["c-rep-l"].simulated_seconds < last["cascade"].simulated_seconds
+    assert (
+        last["c-rep-l"].rectangles_after_replication
+        < 0.7 * last["c-rep"].rectangles_after_replication
+    )
+
+    for row in result.rows:
+        assert (
+            row.metrics["c-rep"].rectangles_marked
+            == row.metrics["c-rep-l"].rectangles_marked
+        )

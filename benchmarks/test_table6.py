@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 6 (Q3, varying the range distance d).
+
+Paper shape asserted — the cleanest C-Rep-L result in the paper:
+* C-Rep's communicated rectangles grow steeply with d (9.1m -> 24.8m)
+  while C-Rep-L's stay almost flat (3.0m -> 3.5m);
+* consequently C-Rep's time grows much faster than C-Rep-L's
+  (10 -> 100 min vs 6 -> 41 min).
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, bench_scale):
+    result = run_once(benchmark, table6.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    crep_rep = [
+        row.metrics["c-rep"].rectangles_after_replication for row in result.rows
+    ]
+    crepl_rep = [
+        row.metrics["c-rep-l"].rectangles_after_replication for row in result.rows
+    ]
+    # C-Rep's replication volume grows steeply with d ...
+    assert crep_rep[-1] / crep_rep[0] > 1.5
+    # ... while C-Rep-L's stays nearly flat (paper: 9.1->24.8 vs 3.0->3.5).
+    assert crepl_rep[-1] / crepl_rep[0] < 1.35
+
+    # C-Rep-L wins every row and the gap widens.
+    for row in result.rows:
+        assert (
+            row.metrics["c-rep-l"].simulated_seconds
+            < row.metrics["c-rep"].simulated_seconds
+        )
+    assert growth(times(result, "c-rep")) > growth(times(result, "c-rep-l"))

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 7 (Q3s range self-chain, California
+roads, varying d).
+
+Paper shape asserted:
+* 2-way Cascade is far slower than both C-Rep variants on every row
+  (76 vs 14/11 min at d=5);
+* C-Rep-L stays at-or-below C-Rep with a small advantage (tiny road
+  MBBs leave the limit little to trim: 4.1 -> 3.1m at d=5).
+"""
+
+from conftest import assert_consistent, record_table, run_once
+
+from repro.experiments import table7
+
+
+def test_table7(benchmark, bench_scale):
+    result = run_once(benchmark, table7.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    for row in result.rows:
+        m = row.metrics
+        # Cascade clearly loses on real-data range joins.
+        assert m["c-rep"].simulated_seconds < m["cascade"].simulated_seconds
+        assert m["c-rep-l"].simulated_seconds <= m["c-rep"].simulated_seconds
+        assert (
+            m["c-rep-l"].rectangles_after_replication
+            <= m["c-rep"].rectangles_after_replication
+        )
+        assert m["c-rep"].rectangles_marked == m["c-rep-l"].rectangles_marked
+
+    # Everything grows with d.
+    crep = [row.metrics["c-rep"].simulated_seconds for row in result.rows]
+    assert crep[-1] > crep[0]

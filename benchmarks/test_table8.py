@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 8 (hybrid query Q4, varying nI).
+
+Paper shape asserted:
+* C-Rep-L beats C-Rep on every row (7/6 min at 1m up to 117/76 at 5m);
+* the after-replication ratio sits around a third (8.0 vs 3.1m at 1m);
+* both degrade along the sweep, C-Rep faster.
+"""
+
+from conftest import assert_consistent, growth, record_table, run_once, times
+
+from repro.experiments import table8
+
+
+def test_table8(benchmark, bench_scale):
+    result = run_once(benchmark, table8.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    for row in result.rows:
+        m = row.metrics
+        assert m["c-rep-l"].simulated_seconds <= m["c-rep"].simulated_seconds
+        assert m["c-rep"].rectangles_marked == m["c-rep-l"].rectangles_marked
+        assert (
+            m["c-rep-l"].rectangles_after_replication
+            < m["c-rep"].rectangles_after_replication
+        )
+
+    # At the top of the sweep the communication gap is substantial.
+    last = result.rows[-1].metrics
+    assert (
+        last["c-rep-l"].rectangles_after_replication
+        < 0.7 * last["c-rep"].rectangles_after_replication
+    )
+
+    # Both degrade; C-Rep at least as fast as C-Rep-L.
+    assert growth(times(result, "c-rep")) > 2.0
+    assert growth(times(result, "c-rep")) >= 0.9 * growth(times(result, "c-rep-l"))

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 9 (hybrid query Q4s, California roads,
+varying d).
+
+Paper shape asserted:
+* C-Rep-L at-or-below C-Rep on every row (28/26 ... 63/48 min);
+* replication volumes grow with d for C-Rep, barely for C-Rep-L
+  (5.0 -> 7.5m vs 3.6 -> 4.1m).
+"""
+
+from conftest import assert_consistent, record_table, run_once
+
+from repro.experiments import table9
+
+
+def test_table9(benchmark, bench_scale):
+    result = run_once(benchmark, table9.run, scale=bench_scale)
+    record_table(benchmark, result)
+    assert_consistent(result)
+
+    for row in result.rows:
+        m = row.metrics
+        assert m["c-rep-l"].simulated_seconds <= m["c-rep"].simulated_seconds
+        assert m["c-rep"].rectangles_marked == m["c-rep-l"].rectangles_marked
+
+    crep_rep = [
+        row.metrics["c-rep"].rectangles_after_replication for row in result.rows
+    ]
+    crepl_rep = [
+        row.metrics["c-rep-l"].rectangles_after_replication for row in result.rows
+    ]
+    # C-Rep's replication grows faster with d than C-Rep-L's.
+    assert crep_rep[-1] / crep_rep[0] > crepl_rep[-1] / crepl_rep[0]

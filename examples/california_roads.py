@@ -1,0 +1,61 @@
+"""Road triples on (synthetic) California TIGER/Line data — the paper's
+Table 4 scenario as an application.
+
+Query: Q2s = R Ov R and R Ov R — find triples of roads (rd1, rd2, rd3)
+where rd1 overlaps rd2 and rd2 overlaps rd3 (e.g. candidate junction
+clusters for map conflation).  The road MBB sample reproduces the
+aggregate statistics the paper reports for the real 2.09M-road data-set;
+the experiment sweeps the MBB enlargement factor k exactly like Table 4.
+
+Run:  python examples/california_roads.py
+"""
+
+from repro import CaliforniaSpec, Cluster, Overlap, Query, generate_california
+from repro.data import dataset_statistics
+from repro.data.transforms import dataset_space, enlarge_dataset
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.registry import make_algorithm
+from repro.mapreduce.cost import CostModel
+
+
+def main() -> None:
+    # --- 1. a calibrated sample of the California road MBBs -----------
+    spec = CaliforniaSpec(n=6_000, seed=7)
+    roads = generate_california(spec)
+    stats = dataset_statistics(roads)
+    print("synthetic California sample (paper-reported statistics):")
+    print(f"  road segments: {int(stats['count'])}")
+    print(f"  mean length {stats['mean_l']:.1f} (paper: 18), "
+          f"mean breadth {stats['mean_b']:.1f} (paper: 8)")
+    print(f"  both sides < 100 for {stats['frac_both_lt_100']:.1%} "
+          "(paper: 97%)")
+
+    # --- 2. the road-triple query -------------------------------------
+    query = Query.self_chain("roads", 3, Overlap())
+    print(f"\nquery: {query}")
+
+    # --- 3. sweep the enlargement factor k (Table 4) ------------------
+    print(f"\n{'k':>5} {'triples':>9} {'c-rep s':>9} {'c-rep-l s':>10} "
+          f"{'marked':>7} {'after-rep':>10}")
+    for k in (1.0, 1.25, 1.5, 1.75, 2.0):
+        enlarged = enlarge_dataset(roads, k) if k != 1.0 else roads
+        datasets = {"roads": enlarged}
+        grid = GridPartitioning.square(dataset_space(datasets), 64)
+        d_max = max(r.diagonal for __, r in enlarged)
+
+        row = {}
+        for name in ("c-rep", "c-rep-l"):
+            algorithm = make_algorithm(name, query=query, d_max=d_max)
+            cluster = Cluster(cost_model=CostModel.scaled(200))
+            row[name] = algorithm.run(query, datasets, grid, cluster)
+        assert row["c-rep"].tuples == row["c-rep-l"].tuples
+        s, sl = row["c-rep"].stats, row["c-rep-l"].stats
+        print(
+            f"{k:>5} {len(row['c-rep'].tuples):>9} "
+            f"{s.simulated_seconds:>9.1f} {sl.simulated_seconds:>10.1f} "
+            f"{sl.rectangles_marked:>7} {sl.rectangles_after_replication:>10}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs on offline environments without `wheel`.
+
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`
+when PEP 517 is disabled; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""repro — Multi-way spatial joins on map-reduce (EDBT 2013 reproduction).
+
+A from-scratch implementation of Gupta et al., *Processing Multi-Way
+Spatial Joins on Map-Reduce*: the Controlled-Replicate framework and its
+baselines (2-way Cascade, All-Replicate, C-Rep-L), running on a
+deterministic in-process map-reduce substrate with an analytic cluster
+cost model.
+
+Quick start::
+
+    from repro import (
+        Query, Overlap, Rect, GridPartitioning,
+        ControlledReplicateJoin, SyntheticSpec, generate_relations,
+    )
+
+    spec = SyntheticSpec(n=2000, x_range=(0, 10_000), y_range=(0, 10_000))
+    datasets = generate_relations(spec, ["R1", "R2", "R3"])
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = GridPartitioning.square(spec.space, 64)
+    result = ControlledReplicateJoin().run(query, datasets, grid)
+    print(len(result.tuples), result.stats.simulated_seconds)
+"""
+
+from repro.data import (
+    CaliforniaSpec,
+    SyntheticSpec,
+    generate_california,
+    generate_rects,
+    generate_relations,
+)
+from repro.geometry import Rect
+from repro.grid import Cell, GridPartitioning
+from repro.joins import (
+    ALGORITHMS,
+    AllReplicateJoin,
+    CascadeJoin,
+    ControlledReplicateJoin,
+    JoinResult,
+    JoinStats,
+    LocalJoiner,
+    MarkingEngine,
+    MultiWayJoinAlgorithm,
+    ReplicationLimits,
+    brute_force_join,
+    make_algorithm,
+    two_way_overlap,
+    two_way_range,
+)
+from repro.mapreduce import Cluster, CostModel, InMemoryDFS, MapReduceJob, Workflow
+from repro.knn import KnnJoin, KnnResult
+from repro.optimizer import CascadePlan, plan_cascade_order
+from repro.query import (
+    Contains,
+    JoinGraph,
+    Overlap,
+    Predicate,
+    Query,
+    Range,
+    Triple,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry / grid
+    "Rect",
+    "Cell",
+    "GridPartitioning",
+    # query model
+    "Predicate",
+    "Overlap",
+    "Range",
+    "Contains",
+    "Triple",
+    "Query",
+    "JoinGraph",
+    "CascadePlan",
+    "plan_cascade_order",
+    "parse_query",
+    "KnnJoin",
+    "KnnResult",
+    # map-reduce substrate
+    "InMemoryDFS",
+    "Cluster",
+    "CostModel",
+    "MapReduceJob",
+    "Workflow",
+    # joins
+    "MultiWayJoinAlgorithm",
+    "CascadeJoin",
+    "AllReplicateJoin",
+    "ControlledReplicateJoin",
+    "ReplicationLimits",
+    "LocalJoiner",
+    "MarkingEngine",
+    "JoinResult",
+    "JoinStats",
+    "brute_force_join",
+    "two_way_overlap",
+    "two_way_range",
+    "ALGORITHMS",
+    "make_algorithm",
+    # data
+    "SyntheticSpec",
+    "generate_rects",
+    "generate_relations",
+    "CaliforniaSpec",
+    "generate_california",
+]

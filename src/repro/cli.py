@@ -1,0 +1,189 @@
+"""Command-line interface: run the paper's experiments and ad-hoc joins.
+
+Examples::
+
+    # regenerate one table of the evaluation (scaled workload)
+    python -m repro table2 --scale 0.5
+
+    # regenerate every table and write a combined report
+    python -m repro all --scale 1.0 --output results.txt
+
+    # run one algorithm on a synthetic chain workload
+    python -m repro join --algorithm c-rep-l --n 5000 --space 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.experiments import TABLES
+from repro.experiments.common import derive_grid, run_algorithms
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS
+from repro.mapreduce.cost import CostModel
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial",
+        description="Multi-way spatial joins on map-reduce (EDBT 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(TABLES):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        _add_table_args(p)
+
+    p_all = sub.add_parser("all", help="regenerate every table")
+    _add_table_args(p_all)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (paper-vs-measured)"
+    )
+    _add_table_args(p_report)
+
+    p_explain = sub.add_parser(
+        "explain", help="show how each algorithm would route a query"
+    )
+    p_explain.add_argument(
+        "--query",
+        type=str,
+        default="R1 Ov R2 and R2 Ov R3",
+        help="query in the paper's notation",
+    )
+    p_explain.add_argument("--n", type=int, default=5_000, help="rectangles per relation")
+    p_explain.add_argument("--space", type=float, default=10_000.0, help="space side length")
+    p_explain.add_argument("--seed", type=int, default=11, help="workload RNG seed")
+    p_explain.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
+
+    p_join = sub.add_parser("join", help="run one algorithm on a synthetic chain")
+    p_join.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="c-rep-l", help="algorithm to run"
+    )
+    p_join.add_argument("--n", type=int, default=5_000, help="rectangles per relation")
+    p_join.add_argument("--space", type=float, default=10_000.0, help="space side length")
+    p_join.add_argument("--relations", type=int, default=3, help="chain length")
+    p_join.add_argument(
+        "--range-d", type=float, default=0.0, help="range distance (0 = overlap)"
+    )
+    p_join.add_argument(
+        "--query",
+        type=str,
+        default=None,
+        help=(
+            "explicit query in the paper's notation, e.g. "
+            "'R1 Ov R2 and R2 Ra(100) R3' (overrides --relations/--range-d)"
+        ),
+    )
+    p_join.add_argument("--seed", type=int, default=11, help="workload RNG seed")
+    p_join.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
+    return parser
+
+
+def _add_table_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip cross-algorithm output verification",
+    )
+    p.add_argument("--output", type=str, default=None, help="also write report to file")
+
+
+def _run_tables(names: list[str], args: argparse.Namespace) -> str:
+    sections = []
+    for name in names:
+        started = time.perf_counter()
+        result = TABLES[name].run(scale=args.scale, verify=not args.no_verify)
+        elapsed = time.perf_counter() - started
+        sections.append(result.format())
+        sections.append(f"  [generated in {elapsed:.1f}s wall]")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "join":
+        if args.query:
+            from repro.query.parser import parse_query
+
+            query = parse_query(args.query)
+            names = list(query.dataset_keys)
+        else:
+            names = [f"R{i + 1}" for i in range(args.relations)]
+            predicate = Range(args.range_d) if args.range_d > 0 else Overlap()
+            query = Query.chain(names, predicate)
+        workload = synthetic_chain(
+            args.n, args.space, names=tuple(names), seed=args.seed
+        )
+        grid = derive_grid(workload.datasets, args.grid_cells)
+        metrics, __, output_tuples = run_algorithms(
+            query,
+            workload.datasets,
+            grid,
+            [args.algorithm],
+            d_max=workload.d_max,
+            cost_model=CostModel.scaled(workload.paper_scale),
+            verify=False,
+        )
+        m = metrics[args.algorithm]
+        print(f"query: {query}")
+        print(f"output tuples: {output_tuples}")
+        print(f"simulated time: {m.simulated_seconds:.1f}s")
+        print(f"shuffled records: {m.shuffled_records}")
+        print(f"rectangles marked: {m.rectangles_marked}")
+        print(f"rectangles after replication: {m.rectangles_after_replication}")
+        return 0
+
+    if args.command == "explain":
+        from repro.joins.explain import explain
+        from repro.query.parser import parse_query
+
+        query = parse_query(args.query)
+        workload = synthetic_chain(
+            args.n, args.space, names=tuple(query.dataset_keys), seed=args.seed
+        )
+        grid = derive_grid(workload.datasets, args.grid_cells)
+        print(explain(query, workload.datasets, grid))
+        return 0
+
+    if args.command == "report":
+        from repro.report import render_experiments_markdown
+
+        markdown = render_experiments_markdown(
+            scale=args.scale, verify=not args.no_verify
+        )
+        target = args.output or "EXPERIMENTS.md"
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print(f"wrote {target} ({len(markdown.splitlines())} lines)")
+        return 0
+
+    names = sorted(TABLES) if args.command == "all" else [args.command]
+    report = _run_tables(names, args)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Workload generators and record codecs."""
+
+from repro.data.california import (
+    CALIFORNIA_FULL_SIZE,
+    CALIFORNIA_X_RANGE,
+    CALIFORNIA_Y_RANGE,
+    CaliforniaSpec,
+    dataset_statistics,
+    generate_california,
+)
+from repro.data.io import (
+    TaggedRect,
+    decode_rect,
+    decode_result,
+    decode_tagged,
+    decode_tuple,
+    encode_rect,
+    encode_result,
+    encode_tagged,
+    encode_tuple,
+    lines_to_rects,
+    rects_to_lines,
+)
+from repro.data.synthetic import SyntheticSpec, generate_rects, generate_relations
+from repro.data.transforms import (
+    compress_space,
+    dataset_space,
+    enlarge_dataset,
+    max_diagonal,
+    sample_dataset,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_rects",
+    "generate_relations",
+    "CaliforniaSpec",
+    "generate_california",
+    "dataset_statistics",
+    "CALIFORNIA_FULL_SIZE",
+    "CALIFORNIA_X_RANGE",
+    "CALIFORNIA_Y_RANGE",
+    "TaggedRect",
+    "encode_rect",
+    "decode_rect",
+    "encode_tagged",
+    "decode_tagged",
+    "encode_tuple",
+    "decode_tuple",
+    "encode_result",
+    "decode_result",
+    "rects_to_lines",
+    "lines_to_rects",
+    "enlarge_dataset",
+    "compress_space",
+    "sample_dataset",
+    "dataset_space",
+    "max_diagonal",
+]

@@ -1,0 +1,147 @@
+"""Record codecs: how rectangles and tuples cross DFS job boundaries.
+
+All records are single text lines (the DFS is line-oriented), and floats
+are encoded with ``repr`` so every coordinate round-trips exactly —
+duplicate avoidance compares start-points for cell ownership, so lossy
+encodings would corrupt results.
+
+Formats
+-------
+* rectangle input record     ``rid,x,y,l,b``
+* tagged rectangle record    ``dataset|rid|marked|x,y,l,b``
+  (output of Controlled-Replicate's round 1: which dataset the rectangle
+  belongs to and whether round 2 must replicate it)
+* tuple record               ``slot=rid:x:y:l:b;slot=rid:x:y:l:b;...``
+  (2-way Cascade intermediates: partially-joined tuples)
+* result record              ``rid<TAB>rid<TAB>...`` in query slot order
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DFSError
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "encode_rect",
+    "decode_rect",
+    "TaggedRect",
+    "encode_tagged",
+    "decode_tagged",
+    "encode_tuple",
+    "decode_tuple",
+    "encode_result",
+    "decode_result",
+    "rects_to_lines",
+    "lines_to_rects",
+]
+
+
+def encode_rect(rid: int, rect: Rect) -> str:
+    """``rid,x,y,l,b`` — the base relation record."""
+    return f"{rid},{rect.x!r},{rect.y!r},{rect.l!r},{rect.b!r}"
+
+
+def decode_rect(line: str) -> tuple[int, Rect]:
+    """Inverse of :func:`encode_rect`."""
+    try:
+        rid_s, x, y, l, b = line.split(",")
+        return int(rid_s), Rect(float(x), float(y), float(l), float(b))
+    except (ValueError, TypeError) as exc:
+        raise DFSError(f"malformed rectangle record {line!r}") from exc
+
+
+def rects_to_lines(rects) -> list[str]:
+    """Encode an iterable of ``(rid, Rect)`` pairs."""
+    return [encode_rect(rid, rect) for rid, rect in rects]
+
+
+def lines_to_rects(lines) -> list[tuple[int, Rect]]:
+    """Decode a sequence of rectangle records."""
+    return [decode_rect(line) for line in lines]
+
+
+# ----------------------------------------------------------------------
+# Tagged rectangles (Controlled-Replicate round-1 output)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TaggedRect:
+    """A rectangle annotated with its dataset and the replication mark."""
+
+    dataset: str
+    rid: int
+    rect: Rect
+    marked: bool
+
+
+def encode_tagged(tagged: TaggedRect) -> str:
+    """``dataset|rid|marked|x,y,l,b``."""
+    if "|" in tagged.dataset or "," in tagged.dataset:
+        raise DFSError(f"dataset name {tagged.dataset!r} contains a delimiter")
+    r = tagged.rect
+    return (
+        f"{tagged.dataset}|{tagged.rid}|{int(tagged.marked)}|"
+        f"{r.x!r},{r.y!r},{r.l!r},{r.b!r}"
+    )
+
+
+def decode_tagged(line: str) -> TaggedRect:
+    """Inverse of :func:`encode_tagged`."""
+    try:
+        dataset, rid_s, marked_s, coords = line.split("|")
+        x, y, l, b = (float(v) for v in coords.split(","))
+        return TaggedRect(
+            dataset=dataset,
+            rid=int(rid_s),
+            rect=Rect(x, y, l, b),
+            marked=bool(int(marked_s)),
+        )
+    except (ValueError, TypeError) as exc:
+        raise DFSError(f"malformed tagged record {line!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Partially-joined tuples (Cascade intermediates)
+# ----------------------------------------------------------------------
+def encode_tuple(bindings: dict[str, tuple[int, Rect]]) -> str:
+    """``slot=rid:x:y:l:b;...`` with slots in sorted order (deterministic)."""
+    parts = []
+    for slot in sorted(bindings):
+        if any(ch in slot for ch in "=;:|,"):
+            raise DFSError(f"slot name {slot!r} contains a delimiter")
+        rid, r = bindings[slot]
+        parts.append(f"{slot}={rid}:{r.x!r}:{r.y!r}:{r.l!r}:{r.b!r}")
+    return ";".join(parts)
+
+
+def decode_tuple(line: str) -> dict[str, tuple[int, Rect]]:
+    """Inverse of :func:`encode_tuple`."""
+    try:
+        bindings: dict[str, tuple[int, Rect]] = {}
+        for part in line.split(";"):
+            slot, payload = part.split("=")
+            rid_s, x, y, l, b = payload.split(":")
+            bindings[slot] = (
+                int(rid_s),
+                Rect(float(x), float(y), float(l), float(b)),
+            )
+        return bindings
+    except (ValueError, TypeError) as exc:
+        raise DFSError(f"malformed tuple record {line!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Final results
+# ----------------------------------------------------------------------
+def encode_result(slot_order: tuple[str, ...], bindings: dict[str, int]) -> str:
+    """Tab-separated rids in query slot order — the join output record."""
+    return "\t".join(str(bindings[slot]) for slot in slot_order)
+
+
+def decode_result(line: str) -> tuple[int, ...]:
+    """Inverse of :func:`encode_result` (rids in query slot order)."""
+    try:
+        return tuple(int(v) for v in line.split("\t"))
+    except ValueError as exc:
+        raise DFSError(f"malformed result record {line!r}") from exc

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric objects (e.g. negative side lengths)."""
+
+
+class PartitioningError(ReproError):
+    """Raised for invalid grid partitionings or out-of-space lookups."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed multi-way spatial join queries."""
+
+
+class MapReduceError(ReproError):
+    """Base class for failures inside the map-reduce substrate."""
+
+
+class DFSError(MapReduceError):
+    """Raised for distributed-file-system failures (missing paths, ...)."""
+
+
+class JobError(MapReduceError):
+    """Raised when a map-reduce job specification is invalid or a task fails."""
+
+
+class JoinError(ReproError):
+    """Raised when a join algorithm is asked to run an unsupported query."""
+
+
+class DataGenerationError(ReproError):
+    """Raised for invalid synthetic-workload specifications."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment/benchmark specification is inconsistent."""

@@ -1,0 +1,50 @@
+"""Experiment runners, one per table of the paper's evaluation."""
+
+from repro.experiments import (
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.common import (
+    AlgoMetrics,
+    ExperimentResult,
+    ExperimentRow,
+    execute_sweep,
+    format_hms,
+    run_algorithms,
+)
+
+#: table name -> runner module
+TABLES = {
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+}
+
+__all__ = [
+    "TABLES",
+    "AlgoMetrics",
+    "ExperimentRow",
+    "ExperimentResult",
+    "execute_sweep",
+    "run_algorithms",
+    "format_hms",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+]

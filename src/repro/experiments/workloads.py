@@ -1,0 +1,95 @@
+"""Workload builders shared by the table experiments.
+
+Scaling discipline (documented per table in DESIGN.md): the paper joins
+relations of 1-5 million rectangles inside a 100K x 100K space; the
+reproduction keeps the rectangle-size distributions and shrinks counts
+and space *together* so the expected number of join partners per
+rectangle — the quantity that drives intermediate-result and output
+sizes — tracks the paper's.  Each builder also reports the workload's
+``paper_scale``: how many paper rectangles one reproduced rectangle
+stands for, which feeds :meth:`CostModel.scaled` so simulated times land
+in the paper's hh:mm regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.california import CaliforniaSpec, generate_california
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.data.transforms import compress_space, enlarge_dataset, max_diagonal
+from repro.joins.base import Datasets
+
+__all__ = ["Workload", "synthetic_chain", "california_self"]
+
+
+@dataclass
+class Workload:
+    """Datasets plus the bounds the algorithms and cost model need."""
+
+    datasets: Datasets
+    d_max: float
+    #: paper rectangles represented by one reproduced rectangle
+    paper_scale: float
+
+
+def synthetic_chain(
+    n: int,
+    space_side: float,
+    *,
+    names: tuple[str, ...] = ("R1", "R2", "R3"),
+    l_max: float = 100.0,
+    b_max: float = 100.0,
+    paper_n: float = 1_000_000.0,
+    seed: int = 11,
+) -> Workload:
+    """Independent uniform relations, the paper's synthetic setting.
+
+    ``space_side`` is chosen per experiment so the sweep's join
+    selectivity matches the paper's regime (see the table modules).
+    """
+    spec = SyntheticSpec(
+        n=n,
+        x_range=(0.0, space_side),
+        y_range=(0.0, space_side),
+        l_range=(0.0, l_max),
+        b_range=(0.0, b_max),
+        seed=seed,
+    )
+    datasets = generate_relations(spec, list(names))
+    return Workload(
+        datasets=datasets,
+        d_max=spec.max_diagonal,
+        paper_scale=paper_n / n,
+    )
+
+
+def california_self(
+    n: int,
+    *,
+    dataset_name: str = "roads",
+    compress: float = 1.0,
+    enlarge: float | None = None,
+    paper_n: float = 2_092_079.0,
+    seed: int = 7,
+) -> Workload:
+    """A synthetic-California road sample, optionally enlarged (Table 4).
+
+    The chain-structured generator already reproduces the real data's
+    overlap degree (about two neighbours per segment plus occasional
+    crossings) at any sample size, so the default keeps the original
+    coordinates; ``compress`` optionally shrinks the coordinate span
+    (sides unchanged) to densify cross-road overlaps, and ``enlarge``
+    applies the factor-k scaling of Section 7.8.6, exactly as the paper
+    derives its Table 4 variants from the base data.
+    """
+    rects = generate_california(CaliforniaSpec(n=n, seed=seed))
+    rects = compress_space(rects, compress)
+    if enlarge is not None and enlarge != 1.0:
+        rects = enlarge_dataset(rects, enlarge)
+    datasets = {dataset_name: rects}
+    return Workload(
+        datasets=datasets,
+        d_max=max_diagonal(datasets),
+        paper_scale=paper_n / n,
+    )

@@ -1,0 +1,17 @@
+"""Geometric object model: rectangles (MBRs) and distance helpers."""
+
+from repro.geometry.ops import (
+    axis_gaps,
+    bounding_rect,
+    chebyshev_distance,
+    point_rect_distance,
+)
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "Rect",
+    "bounding_rect",
+    "point_rect_distance",
+    "axis_gaps",
+    "chebyshev_distance",
+]

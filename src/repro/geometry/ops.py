@@ -1,0 +1,80 @@
+"""Free-standing geometric helpers used across the join algorithms."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.errors import GeometryError
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "bounding_rect",
+    "point_rect_distance",
+    "axis_gaps",
+    "chebyshev_distance",
+]
+
+
+def bounding_rect(rects: Iterable[Rect]) -> Rect:
+    """A bounding rectangle of a non-empty collection — **conservative**.
+
+    The ``(x, y, l, b)`` representation stores extents as differences,
+    so a naive ``from_corners`` build can round the far corner inwards
+    by an ulp and *exclude* an input's boundary.  Spatial-index
+    correctness (bounds tests, R-tree node MBRs) requires containment,
+    so the sides are nudged outwards until every input is covered; the
+    result may exceed the tight box by a few ulps.
+    """
+    iterator = iter(rects)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise GeometryError("bounding_rect() of an empty collection") from None
+    x_min, x_max = first.x_min, first.x_max
+    y_min, y_max = first.y_min, first.y_max
+    for r in iterator:
+        x_min = min(x_min, r.x_min)
+        x_max = max(x_max, r.x_max)
+        y_min = min(y_min, r.y_min)
+        y_max = max(y_max, r.y_max)
+    box = Rect.from_corners(x_min, y_min, x_max, y_max)
+    l, b = box.l, box.b
+    while box.x_max < x_max:
+        l = math.nextafter(l, math.inf)
+        box = Rect(x=x_min, y=box.y, l=l, b=b)
+    while box.y_min > y_min:
+        b = math.nextafter(b, math.inf)
+        box = Rect(x=x_min, y=y_max, l=l, b=b)
+    return box
+
+
+def point_rect_distance(px: float, py: float, rect: Rect) -> float:
+    """Minimum Euclidean distance from a point to a closed rectangle."""
+    dx = max(0.0, rect.x_min - px, px - rect.x_max)
+    dy = max(0.0, rect.y_min - py, py - rect.y_max)
+    return math.hypot(dx, dy)
+
+
+def axis_gaps(a: Rect, b: Rect) -> tuple[float, float]:
+    """Per-axis separation ``(dx, dy)`` between two closed rectangles.
+
+    Both components are 0 when the projections on the respective axis
+    overlap.  ``hypot(dx, dy)`` is the Euclidean minimum distance and
+    ``max(dx, dy)`` the Chebyshev one.
+    """
+    dx = max(0.0, a.x_min - b.x_max, b.x_min - a.x_max)
+    dy = max(0.0, a.y_min - b.y_max, b.y_min - a.y_max)
+    return dx, dy
+
+
+def chebyshev_distance(a: Rect, b: Rect) -> float:
+    """Chebyshev (L-infinity) distance between two closed rectangles.
+
+    ``chebyshev_distance(a, b) <= d`` is exactly the condition
+    ``a.enlarge(d).intersects(b)`` — the routing test the 2-way range
+    join of Section 5.3 uses — and is the metric the safe variant of the
+    C-Rep-L replication limit is expressed in (see DESIGN.md).
+    """
+    dx, dy = axis_gaps(a, b)
+    return max(dx, dy)

@@ -1,0 +1,23 @@
+"""Grid partitioning of space and the project/split/replicate transforms."""
+
+from repro.grid.cell import Cell
+from repro.grid.partitioning import GridPartitioning
+from repro.grid.transforms import (
+    project,
+    replicate,
+    replicate_f1,
+    replicate_f2,
+    split,
+    transform_relation,
+)
+
+__all__ = [
+    "Cell",
+    "GridPartitioning",
+    "project",
+    "split",
+    "replicate",
+    "replicate_f1",
+    "replicate_f2",
+    "transform_relation",
+]

@@ -1,0 +1,104 @@
+"""Partition-cell value object.
+
+A *partition-cell* is one tile of the rectilinear partitioning of the 2-D
+space (Section 4 of the paper).  Each cell corresponds to exactly one
+reducer; the paper (and this code base) uses "cell" and "reducer"
+interchangeably.
+
+Cells carry their boundary coordinates as four exact fields rather than
+a :class:`~repro.geometry.rectangle.Rect`: the ``(x, y, l, b)``
+representation stores extents as differences, whose rounding would make
+a cell disagree with the grid's boundary arrays by an ulp — enough to
+break the exact ownership/crossing semantics the dedup proofs rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.geometry.rectangle import Rect
+
+__all__ = ["Cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One tile of a grid partitioning.
+
+    Attributes
+    ----------
+    row:
+        0-based row index; row 0 is the **top** row (largest y).
+    col:
+        0-based column index; column 0 is the leftmost.
+    cell_id:
+        ``row * num_cols + col`` — the reducer id this cell is routed to.
+        The paper numbers cells from 1 in figures; this library is
+        0-based throughout.
+    x_min, y_min, x_max, y_max:
+        The cell's closed extent, exactly as in the grid's boundary
+        arrays.
+    """
+
+    row: int
+    col: int
+    cell_id: int
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    @property
+    def index(self) -> tuple[int, int]:
+        """The ``(row, col)`` index pair."""
+        return (self.row, self.col)
+
+    @cached_property
+    def extent(self) -> Rect:
+        """The cell region as a :class:`Rect`.
+
+        Convenience for area/intersection computations; note the
+        ``(x, y, l, b)`` form may round the bottom-right corner by an
+        ulp — exact comparisons must use the corner fields.
+        """
+        return Rect.from_corners(self.x_min, self.y_min, self.x_max, self.y_max)
+
+    def distance_to_rect(self, rect: Rect) -> float:
+        """Minimum Euclidean distance between the cell and a rectangle.
+
+        This is ``dist(c, r)`` from Equation (2) of the paper and is what
+        the replication function ``f2`` and the range-join condition C2
+        are defined in terms of.
+        """
+        dx = max(0.0, self.x_min - rect.x_max, rect.x_min - self.x_max)
+        dy = max(0.0, self.y_min - rect.y_max, rect.y_min - self.y_max)
+        return math.hypot(dx, dy)
+
+    def touches_rect(self, rect: Rect) -> bool:
+        """Closed intersection test against the exact cell extent."""
+        return (
+            self.x_min <= rect.x_max
+            and rect.x_min <= self.x_max
+            and self.y_min <= rect.y_max
+            and rect.y_min <= self.y_max
+        )
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Closed containment test (a point on a shared edge is in both cells).
+
+        For the *unique* owner of a point (Project, dedup rules) use
+        :meth:`repro.grid.partitioning.GridPartitioning.cell_of_point`,
+        which applies the half-open tie-break.
+        """
+        return self.x_min <= px <= self.x_max and self.y_min <= py <= self.y_max
+
+    def is_fourth_quadrant_of(self, other: "Cell") -> bool:
+        """Whether this cell lies in the 4th quadrant w.r.t. ``other``.
+
+        The 4th quadrant w.r.t. a cell ``c`` is the set of cells at
+        column ``>= c.col`` and row ``>= c.row`` (x grows rightwards,
+        y shrinks downwards) — the paper's ``C4`` set.
+        """
+        return self.col >= other.col and self.row >= other.row

@@ -1,0 +1,416 @@
+"""Rectilinear grid partitioning of the 2-D space (Section 4).
+
+The space ``[x0, xn] x [y0, yn]`` is divided into a rectilinear grid of
+``rows x cols`` partition-cells; each cell maps to one reducer.  The
+paper's definition only requires that cells in a row share a breadth and
+cells in a column share a length, so boundaries need not be evenly
+spaced: :meth:`GridPartitioning.from_boundaries` builds arbitrary
+rectilinear grids and :meth:`GridPartitioning.quantile` fits boundaries
+to a data sample so each row/column holds a similar rectangle count
+(load balancing on skewed data).  The paper's experiments all use the
+uniform 8x8 special case.
+
+Boundaries are stored explicitly, so point ownership, split ranges and
+cell extents all read the *same* float values — there is no repeated
+``origin + i * width`` arithmetic whose rounding could make them
+disagree.
+
+Ownership conventions
+---------------------
+Two different notions of "a rectangle/point belongs to a cell" coexist
+and must not be mixed up:
+
+* **Unique ownership** (Project, the dedup rules): every point is owned
+  by exactly one cell.  Intervals are half-open — a cell owns
+  ``[x_lo, x_hi)`` horizontally and ``(y_lo, y_hi]`` vertically, so a
+  point on a shared boundary belongs to the cell to its *bottom-right*.
+  The bottom-right tie-break keeps ownership monotone: a point further
+  right (or further down) never maps to a smaller column (or row).  The
+  duplicate-avoidance proofs rely on exactly this monotonicity.
+* **Closed intersection** (Split, ``f2``): a rectangle is split to every
+  cell whose *closed* extent it touches.  Touching is counted so that
+  the set of cells a rectangle is split to is always a superset of the
+  cells owning any of its points — Split must never lose a potential
+  join partner.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import PartitioningError
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import Cell
+
+__all__ = ["GridPartitioning"]
+
+
+def _check_edges(name: str, edges: Sequence[float]) -> list[float]:
+    out = [float(e) for e in edges]
+    if len(out) < 2:
+        raise PartitioningError(f"{name} needs at least 2 boundaries")
+    for a, b in zip(out, out[1:]):
+        if b <= a:
+            raise PartitioningError(
+                f"{name} boundaries must be strictly increasing, got {out}"
+            )
+    return out
+
+
+class GridPartitioning:
+    """A rectilinear ``rows x cols`` grid over a rectangular space.
+
+    The default constructor builds the paper's uniform grid:
+
+    Parameters
+    ----------
+    space:
+        The full 2-D space; all input rectangles must lie within it.
+    rows, cols:
+        Number of grid rows/columns.  ``rows * cols`` equals the number
+        of reducers of the map-reduce jobs built on this partitioning.
+    """
+
+    def __init__(self, space: Rect, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise PartitioningError(f"grid must be at least 1x1, got {rows}x{cols}")
+        if space.l <= 0 or space.b <= 0:
+            raise PartitioningError(f"space must have positive area, got {space!r}")
+        width = space.l / cols
+        height = space.b / rows
+        x_edges = [space.x_min + i * width for i in range(cols)] + [space.x_max]
+        y_edges = [space.y_min] + [
+            space.y_max - (rows - i) * height for i in range(1, rows)
+        ] + [space.y_max]
+        self._init_from_edges(x_edges, y_edges)
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def square(cls, space: Rect, num_cells: int) -> "GridPartitioning":
+        """A ``sqrt(k) x sqrt(k)`` grid for ``k`` reducers (Section 5.1)."""
+        side = math.isqrt(num_cells)
+        if side * side != num_cells:
+            raise PartitioningError(
+                f"square() requires a perfect-square cell count, got {num_cells}"
+            )
+        return cls(space, rows=side, cols=side)
+
+    @classmethod
+    def from_boundaries(
+        cls, x_edges: Sequence[float], y_edges: Sequence[float]
+    ) -> "GridPartitioning":
+        """A rectilinear grid with explicit boundaries.
+
+        ``x_edges`` and ``y_edges`` are strictly-increasing boundary
+        coordinates including the space borders; a grid with ``c``
+        columns has ``c + 1`` x-boundaries.
+        """
+        grid = cls.__new__(cls)
+        grid._init_from_edges(
+            _check_edges("x_edges", x_edges), _check_edges("y_edges", y_edges)
+        )
+        return grid
+
+    @classmethod
+    def quantile(
+        cls,
+        rects: Iterable[Rect],
+        rows: int,
+        cols: int,
+        space: Rect | None = None,
+    ) -> "GridPartitioning":
+        """Fit boundaries to a data sample's start-point quantiles.
+
+        Produces a rectilinear grid where each column (row) holds about
+        the same number of sample start-points — the standard defence
+        against reducer skew on clustered data.  ``space`` defaults to
+        the sample's bounding box; pass the declared space when the
+        sample may not reach the borders.
+        """
+        if rows < 1 or cols < 1:
+            raise PartitioningError(f"grid must be at least 1x1, got {rows}x{cols}")
+        points = [(r.x, r.y) for r in rects]
+        if not points:
+            raise PartitioningError("quantile() needs a non-empty sample")
+        xs = sorted(p[0] for p in points)
+        ys = sorted(p[1] for p in points)
+        if space is None:
+            lo_x, hi_x = xs[0], xs[-1] + 1.0
+            lo_y, hi_y = ys[0] - 1.0, ys[-1]
+        else:
+            lo_x, hi_x = space.x_min, space.x_max
+            lo_y, hi_y = space.y_min, space.y_max
+
+        def cuts(sorted_vals: list[float], parts: int, lo: float, hi: float):
+            edges = [lo]
+            n = len(sorted_vals)
+            for i in range(1, parts):
+                candidate = sorted_vals[min(n - 1, (i * n) // parts)]
+                candidate = min(max(candidate, lo), hi)
+                if candidate <= edges[-1]:
+                    # Degenerate sample (many equal coordinates): fall
+                    # back to an even split of the remaining span.
+                    candidate = edges[-1] + (hi - edges[-1]) / (parts - i + 1)
+                edges.append(candidate)
+            edges.append(hi)
+            return edges
+
+        return cls.from_boundaries(
+            cuts(xs, cols, lo_x, hi_x), cuts(ys, rows, lo_y, hi_y)
+        )
+
+    # ------------------------------------------------------------------
+    def _init_from_edges(self, x_edges: list[float], y_edges: list[float]) -> None:
+        #: ascending column boundaries, len cols + 1
+        self._x_edges = x_edges
+        #: ascending row boundaries (bottom to top), len rows + 1
+        self._y_edges = y_edges
+        self.cols = len(x_edges) - 1
+        self.rows = len(y_edges) - 1
+        self.space = Rect.from_corners(
+            x_edges[0], y_edges[0], x_edges[-1], y_edges[-1]
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Total number of partition-cells (= reducers)."""
+        return self.rows * self.cols
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether all cells share the same width and height."""
+        dx = {round(b - a, 9) for a, b in zip(self._x_edges, self._x_edges[1:])}
+        dy = {round(b - a, 9) for a, b in zip(self._y_edges, self._y_edges[1:])}
+        return len(dx) == 1 and len(dy) == 1
+
+    def _col_edge(self, i: int) -> float:
+        """x coordinate of the boundary left of column ``i``."""
+        return self._x_edges[min(max(i, 0), self.cols)]
+
+    def _row_edge(self, j: int) -> float:
+        """y coordinate of the boundary above row ``j`` (row 0 = top)."""
+        return self._y_edges[self.rows - min(max(j, 0), self.rows)]
+
+    def cell(self, row: int, col: int) -> Cell:
+        """The cell at grid index ``(row, col)``; row 0 is the top row."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise PartitioningError(
+                f"cell index ({row}, {col}) outside {self.rows}x{self.cols} grid"
+            )
+        return Cell(
+            row=row,
+            col=col,
+            cell_id=row * self.cols + col,
+            x_min=self._x_edges[col],
+            y_min=self._y_edges[self.rows - row - 1],
+            x_max=self._x_edges[col + 1],
+            y_max=self._y_edges[self.rows - row],
+        )
+
+    def cell_by_id(self, cell_id: int) -> Cell:
+        """The cell with reducer id ``cell_id`` (0-based, row-major)."""
+        if not 0 <= cell_id < self.num_cells:
+            raise PartitioningError(
+                f"cell id {cell_id} outside 0..{self.num_cells - 1}"
+            )
+        return self.cell(cell_id // self.cols, cell_id % self.cols)
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in id order (row-major, top-left first)."""
+        for cid in range(self.num_cells):
+            yield self.cell_by_id(cid)
+
+    # ------------------------------------------------------------------
+    # Point ownership (unique; used by Project and the dedup rules)
+    # ------------------------------------------------------------------
+    def col_of_x(self, px: float) -> int:
+        """Unique owning column of an x coordinate (half-open, clamped).
+
+        A point exactly on a vertical boundary belongs to the cell on
+        its *right*.
+        """
+        return min(max(bisect_right(self._x_edges, px) - 1, 0), self.cols - 1)
+
+    def row_of_y(self, py: float) -> int:
+        """Unique owning row of a y coordinate (half-open, clamped).
+
+        A point exactly on a horizontal cell boundary belongs to the
+        cell *below* it (mirror of the column rule's tie-break).
+        """
+        # Smallest ascending-edge index with edge >= py; rows count from
+        # the top, so convert from the bottom-up index.
+        p = bisect_left(self._y_edges, py)
+        return min(max(self.rows - p, 0), self.rows - 1)
+
+    def cell_of_point(self, px: float, py: float) -> Cell:
+        """The unique cell owning ``(px, py)``."""
+        return self.cell(self.row_of_y(py), self.col_of_x(px))
+
+    def cell_of(self, rect: Rect) -> Cell:
+        """``c_u``: the cell owning the rectangle's start-point (Section 4)."""
+        return self.cell_of_point(rect.x, rect.y)
+
+    # ------------------------------------------------------------------
+    # Closed-intersection ranges (used by Split and crossing tests)
+    # ------------------------------------------------------------------
+    def col_range(self, rect: Rect) -> tuple[int, int]:
+        """Inclusive column range of cells whose closed extent meets ``rect``.
+
+        ``lo`` is the smallest column whose right edge reaches
+        ``rect.x_min``; ``hi`` the largest whose left edge does not pass
+        ``rect.x_max``.  Touching counts (closed cells).
+        """
+        lo = min(max(bisect_left(self._x_edges, rect.x_min) - 1, 0), self.cols - 1)
+        hi = min(max(bisect_right(self._x_edges, rect.x_max) - 1, 0), self.cols - 1)
+        return (lo, max(lo, hi))
+
+    def row_range(self, rect: Rect) -> tuple[int, int]:
+        """Inclusive row range of cells whose closed extent meets ``rect``."""
+        # Work in bottom-up edge indices first, then convert.
+        a_hi = min(max(bisect_right(self._y_edges, rect.y_max) - 1, 0), self.rows - 1)
+        a_lo = min(max(bisect_left(self._y_edges, rect.y_min) - 1, 0), self.rows - 1)
+        lo = self.rows - 1 - a_hi
+        hi = self.rows - 1 - a_lo
+        return (lo, max(lo, hi))
+
+    def cells_overlapping(self, rect: Rect) -> list[Cell]:
+        """All cells whose closed extent intersects ``rect`` (Split's target set)."""
+        c_lo, c_hi = self.col_range(rect)
+        r_lo, r_hi = self.row_range(rect)
+        return [
+            self.cell(row, col)
+            for row in range(r_lo, r_hi + 1)
+            for col in range(c_lo, c_hi + 1)
+        ]
+
+    def crosses_cell_boundary(self, rect: Rect, cell: Cell) -> bool:
+        """Whether ``rect`` overlaps a partition-cell other than ``cell``.
+
+        This is the crossing test of condition C2 for *overlap* edges
+        (Section 7.4): a rectangle confined to ``cell`` cannot overlap
+        any rectangle that does not also touch ``cell``.
+        """
+        c_lo, c_hi = self.col_range(rect)
+        r_lo, r_hi = self.row_range(rect)
+        return not (c_lo == c_hi == cell.col and r_lo == r_hi == cell.row)
+
+    def min_gap_to_other_cell(self, rect: Rect, cell: Cell) -> float:
+        """Euclidean distance from ``rect`` to the nearest cell != ``cell``.
+
+        This realises condition C2 for *range* edges (Section 8): a
+        rectangle starting in ``cell`` can be within distance ``d`` of a
+        rectangle starting elsewhere only if some other cell is within
+        distance ``d`` of it.  Returns ``inf`` on a 1x1 grid (no other
+        cell exists).
+
+        The nearest foreign cell is always reached straight across one
+        of the four sides of ``cell`` (corner-adjacent cells are never
+        closer), so the answer is the smallest side gap — or 0 if the
+        rectangle already leaves the cell.
+        """
+        if self.num_cells == 1:
+            return math.inf
+        if self.crosses_cell_boundary(rect, cell):
+            return 0.0
+        gaps = []
+        if cell.col > 0:
+            gaps.append(rect.x_min - cell.x_min)
+        if cell.col < self.cols - 1:
+            gaps.append(cell.x_max - rect.x_max)
+        if cell.row > 0:
+            gaps.append(cell.y_max - rect.y_max)
+        if cell.row < self.rows - 1:
+            gaps.append(rect.y_min - cell.y_min)
+        return min(gaps) if gaps else math.inf
+
+    # ------------------------------------------------------------------
+    # Quadrant and distance-limited cell sets (replication targets)
+    # ------------------------------------------------------------------
+    def fourth_quadrant(self, cell: Cell) -> Iterator[Cell]:
+        """Cells in the 4th quadrant w.r.t. ``cell`` — the ``f1`` target set.
+
+        Includes ``cell`` itself (the paper's ``C4(u)`` includes ``c_u``).
+        """
+        for row in range(cell.row, self.rows):
+            for col in range(cell.col, self.cols):
+                yield self.cell(row, col)
+
+    def fourth_quadrant_size(self, cell: Cell) -> int:
+        """``|C4(cell)|`` without materialising the cells."""
+        return (self.rows - cell.row) * (self.cols - cell.col)
+
+    def cells_within(self, rect: Rect, d: float) -> list[Cell]:
+        """All cells within Euclidean distance ``d`` of ``rect``.
+
+        Unlike the quadrant-limited ``f2`` this looks in every
+        direction; it is the routing set of the kNN-join extension
+        (route a query to every cell its current search radius reaches).
+        """
+        if d < 0:
+            raise PartitioningError(f"distance bound must be non-negative, got {d}")
+        probe = rect.enlarge(d)
+        c_lo, c_hi = self.col_range(probe)
+        r_lo, r_hi = self.row_range(probe)
+        out = []
+        for row in range(r_lo, r_hi + 1):
+            for col in range(c_lo, c_hi + 1):
+                cell = self.cell(row, col)
+                if cell.distance_to_rect(rect) <= d:
+                    out.append(cell)
+        return out
+
+    def fourth_quadrant_within(
+        self, rect: Rect, d: float, *, metric: str = "euclidean"
+    ) -> list[Cell]:
+        """The ``f2`` target set: 4th-quadrant cells within distance ``d``.
+
+        Parameters
+        ----------
+        rect:
+            The rectangle being replicated; the quadrant is anchored at
+            the cell owning its start-point.
+        d:
+            Distance bound.  ``d = inf`` degenerates to ``f1``.
+        metric:
+            ``"euclidean"`` follows the paper's ``f2`` literally;
+            ``"chebyshev"`` bounds each axis separately, which is the
+            provably-safe variant used by C-Rep-L (see DESIGN.md).
+        """
+        if d < 0:
+            raise PartitioningError(f"distance bound must be non-negative, got {d}")
+        if metric not in ("euclidean", "chebyshev"):
+            raise PartitioningError(f"unknown metric {metric!r}")
+        anchor = self.cell_of(rect)
+        out: list[Cell] = []
+        # Within the quadrant a cell's x-gap to the rectangle grows with
+        # its column and its y-gap with its row, so both loops can stop
+        # at the first cell past the bound.
+        for row in range(anchor.row, self.rows):
+            dy = max(0.0, rect.y_min - self._row_edge(row))
+            if dy > d:
+                break
+            for col in range(anchor.col, self.cols):
+                dx = max(0.0, self._col_edge(col) - rect.x_max)
+                if metric == "chebyshev":
+                    ok = dx <= d  # dy <= d already holds
+                else:
+                    ok = dx * dx + dy * dy <= d * d
+                if not ok:
+                    break
+                out.append(self.cell(row, col))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "uniform" if self.is_uniform else "rectilinear"
+        return (
+            f"GridPartitioning({kind} {self.rows}x{self.cols} over "
+            f"x[{self.space.x_min}, {self.space.x_max}] "
+            f"y[{self.space.y_min}, {self.space.y_max}])"
+        )

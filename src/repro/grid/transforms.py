@@ -1,0 +1,101 @@
+"""The *transform operations* of Section 4: Project, Split, Replicate.
+
+Each transform turns one rectangle into intermediate key-value pairs
+``(cell_id, rect)``.  The map functions of every join algorithm in this
+library are thin wrappers around these three generators, so the number of
+pairs they yield *is* the communication cost the paper's experiments
+measure.
+
+* ``project`` emits one pair: the cell owning the start-point.
+* ``split`` emits one pair per cell the rectangle touches.
+* ``replicate`` emits one pair per cell satisfying a predicate; the two
+  predicates of the paper are provided as ``replicate_f1`` (4th quadrant)
+  and ``replicate_f2`` (4th quadrant within distance ``d``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import Cell
+from repro.grid.partitioning import GridPartitioning
+
+__all__ = [
+    "project",
+    "split",
+    "replicate",
+    "replicate_f1",
+    "replicate_f2",
+    "transform_relation",
+]
+
+#: A replicate condition ``f(cell, rect) -> bool`` (the paper's ``f``).
+ReplicateCondition = Callable[[Cell, Rect], bool]
+
+
+def project(rect: Rect, grid: GridPartitioning) -> Iterator[tuple[int, Rect]]:
+    """``Project(u, C) -> (c_u, u)``: route to the start-point's cell."""
+    yield (grid.cell_of(rect).cell_id, rect)
+
+
+def split(rect: Rect, grid: GridPartitioning) -> Iterator[tuple[int, Rect]]:
+    """``Split(u, C) -> {(c_i, u)}`` for every cell ``c_i`` touching ``u``."""
+    for cell in grid.cells_overlapping(rect):
+        yield (cell.cell_id, rect)
+
+
+def replicate(
+    rect: Rect, grid: GridPartitioning, condition: ReplicateCondition
+) -> Iterator[tuple[int, Rect]]:
+    """``Replicate(u, C, f) -> {(c_i, u)}`` for every cell with ``f(c_i, u)``.
+
+    This is the fully-general form; prefer :func:`replicate_f1` /
+    :func:`replicate_f2`, which exploit monotonicity instead of scanning
+    all cells.
+    """
+    for cell in grid.cells():
+        if condition(cell, rect):
+            yield (cell.cell_id, rect)
+
+
+def replicate_f1(rect: Rect, grid: GridPartitioning) -> Iterator[tuple[int, Rect]]:
+    """The paper's ``f1``: every cell in the 4th quadrant w.r.t. ``rect``."""
+    anchor = grid.cell_of(rect)
+    for cell in grid.fourth_quadrant(anchor):
+        yield (cell.cell_id, rect)
+
+
+def replicate_f2(
+    rect: Rect,
+    grid: GridPartitioning,
+    d: float,
+    *,
+    metric: str = "euclidean",
+) -> Iterator[tuple[int, Rect]]:
+    """The paper's ``f2``: 4th-quadrant cells within distance ``d`` of ``rect``.
+
+    ``metric="chebyshev"`` gives the per-axis bound used by the safe
+    C-Rep-L variant (see DESIGN.md); ``d = inf`` degenerates to ``f1``.
+    """
+    if math.isinf(d):
+        yield from replicate_f1(rect, grid)
+        return
+    for cell in grid.fourth_quadrant_within(rect, d, metric=metric):
+        yield (cell.cell_id, rect)
+
+
+def transform_relation(
+    rects: Iterable[Rect],
+    grid: GridPartitioning,
+    transform: Callable[[Rect, GridPartitioning], Iterator[tuple[int, Rect]]],
+) -> Iterator[tuple[int, Rect]]:
+    """Apply one transform to every rectangle of a relation (Section 4).
+
+    ``transform_relation(R, C, split)`` is the paper's ``Split(R, C)``,
+    and similarly for ``project`` and the replicate variants (bind extra
+    arguments with ``functools.partial``).
+    """
+    for rect in rects:
+        yield from transform(rect, grid)

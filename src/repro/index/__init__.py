@@ -1,0 +1,21 @@
+"""Local (in-reducer) spatial indexes: grid buckets, STR R-tree, scan."""
+
+from repro.index.base import Entry, NestedLoopIndex, SpatialIndex
+from repro.index.grid_index import GridIndex
+from repro.index.rtree import RTree
+
+__all__ = ["Entry", "SpatialIndex", "NestedLoopIndex", "GridIndex", "RTree"]
+
+
+def make_index(kind: str, entries, **kwargs):
+    """Index factory used by the join algorithms and ablation benches.
+
+    ``kind`` is one of ``"grid"``, ``"rtree"`` or ``"scan"``.
+    """
+    if kind == "grid":
+        return GridIndex(entries, **kwargs)
+    if kind == "rtree":
+        return RTree(entries, **kwargs)
+    if kind == "scan":
+        return NestedLoopIndex(entries)
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,62 @@
+"""Common interface of the in-reducer spatial indexes.
+
+Reducers of every join algorithm evaluate a *local* multi-way join over
+the rectangles routed to them.  The backtracking join probes an index per
+relation for candidate partners; indexes return a **Chebyshev** superset
+(``chebyshev_distance <= d``) and the join applies the exact predicate —
+for overlap (``d = 0``) the Chebyshev test already *is* exact, for range
+edges it is the same enlarged-rectangle filter the 2-way range join of
+Section 5.3 routes with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from repro.geometry.rectangle import Rect
+
+__all__ = ["Entry", "SpatialIndex", "NestedLoopIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One indexed rectangle with an opaque payload (record id, flags...)."""
+
+    rect: Rect
+    payload: Any
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Protocol implemented by every local index."""
+
+    def search(self, rect: Rect, d: float = 0.0) -> Iterator[Entry]:
+        """Entries within Chebyshev distance ``d`` of ``rect``.
+
+        ``d = 0`` returns exactly the entries whose rectangle intersects
+        ``rect``.
+        """
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class NestedLoopIndex:
+    """The no-index baseline: scan everything (ablation reference)."""
+
+    def __init__(self, entries: Iterable[Entry]) -> None:
+        self._entries = list(entries)
+        #: entries examined across all searches (compute-cost measure)
+        self.probes = 0
+
+    def search(self, rect: Rect, d: float = 0.0) -> Iterator[Entry]:
+        query = rect.enlarge(d) if d > 0 else rect
+        for entry in self._entries:
+            self.probes += 1
+            if query.intersects(entry.rect):
+                yield entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,132 @@
+"""A bulk-loaded (Sort-Tile-Recursive) R-tree.
+
+The classical spatial-join index: R-trees underpin most of the
+single-node spatial-join literature the paper builds on (Brinkhoff et
+al.).  This implementation is query-only and STR bulk-loaded — reducers
+build it once over their input and probe it during the backtracking join.
+It exists alongside :class:`~repro.index.grid_index.GridIndex` so the
+local-index ablation benchmark can compare the two.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.geometry.ops import bounding_rect
+from repro.geometry.rectangle import Rect
+from repro.index.base import Entry
+
+__all__ = ["RTree"]
+
+
+@dataclass(slots=True)
+class _Node:
+    mbr: Rect
+    children: list["_Node"] | None  # None for leaves
+    entries: list[Entry] | None  # None for internal nodes
+
+
+class RTree:
+    """STR-packed R-tree with configurable fan-out."""
+
+    def __init__(self, entries: Iterable[Entry], fanout: int = 16) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self._fanout = fanout
+        items = list(entries)
+        self._size = len(items)
+        #: nodes and entries examined across all searches
+        self.probes = 0
+        self._root = self._bulk_load(items) if items else None
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    def _bulk_load(self, items: list[Entry]) -> _Node:
+        leaves = self._pack_leaves(items)
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            level = self._pack_internal(level)
+        return level[0]
+
+    def _pack_leaves(self, items: list[Entry]) -> list[_Node]:
+        """Sort-Tile-Recursive packing of entries into leaf nodes."""
+        m = self._fanout
+        num_leaves = math.ceil(len(items) / m)
+        num_slices = math.ceil(math.sqrt(num_leaves))
+        by_x = sorted(items, key=lambda e: e.rect.center[0])
+        slice_size = math.ceil(len(items) / num_slices)
+        leaves: list[_Node] = []
+        for s in range(0, len(by_x), slice_size):
+            chunk = sorted(
+                by_x[s : s + slice_size], key=lambda e: e.rect.center[1]
+            )
+            for t in range(0, len(chunk), m):
+                group = chunk[t : t + m]
+                leaves.append(
+                    _Node(
+                        mbr=bounding_rect(e.rect for e in group),
+                        children=None,
+                        entries=group,
+                    )
+                )
+        return leaves
+
+    def _pack_internal(self, nodes: list[_Node]) -> list[_Node]:
+        """Pack one level of nodes into parents, STR on node MBR centers."""
+        m = self._fanout
+        num_parents = math.ceil(len(nodes) / m)
+        num_slices = math.ceil(math.sqrt(num_parents))
+        by_x = sorted(nodes, key=lambda n: n.mbr.center[0])
+        slice_size = math.ceil(len(nodes) / num_slices)
+        parents: list[_Node] = []
+        for s in range(0, len(by_x), slice_size):
+            chunk = sorted(by_x[s : s + slice_size], key=lambda n: n.mbr.center[1])
+            for t in range(0, len(chunk), m):
+                group = chunk[t : t + m]
+                parents.append(
+                    _Node(
+                        mbr=bounding_rect(n.mbr for n in group),
+                        children=group,
+                        entries=None,
+                    )
+                )
+        return parents
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, rect: Rect, d: float = 0.0) -> Iterator[Entry]:
+        """Entries within Chebyshev distance ``d`` of ``rect`` (exact)."""
+        if self._root is None:
+            return
+        query = rect.enlarge(d) if d > 0 else rect
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.probes += 1
+            if not query.intersects(node.mbr):
+                continue
+            if node.entries is not None:
+                for entry in node.entries:
+                    self.probes += 1
+                    if query.intersects(entry.rect):
+                        yield entry
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 = a single leaf); diagnostics for tests."""
+        h = 0
+        node = self._root
+        while node is not None:
+            h += 1
+            node = node.children[0] if node.children else None
+        return h

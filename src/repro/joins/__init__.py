@@ -1,0 +1,49 @@
+"""Multi-way spatial join algorithms on map-reduce (the paper's core)."""
+
+from repro.joins.all_replicate import AllReplicateJoin
+from repro.joins.base import (
+    Datasets,
+    JoinResult,
+    JoinStats,
+    MultiWayJoinAlgorithm,
+    stage_datasets,
+)
+from repro.joins.cascade import CascadeJoin
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.dedup import (
+    tuple_owner,
+    two_way_overlap_owner,
+    two_way_range_owner,
+)
+from repro.joins.limits import ReplicationLimits
+from repro.joins.local import LocalJoiner
+from repro.joins.marking import MarkingDecision, MarkingEngine
+from repro.joins.reference import brute_force_join
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.joins.sweep import sweep_pairs
+from repro.joins.two_way import two_way_join, two_way_overlap, two_way_range
+
+__all__ = [
+    "Datasets",
+    "JoinStats",
+    "JoinResult",
+    "MultiWayJoinAlgorithm",
+    "stage_datasets",
+    "CascadeJoin",
+    "AllReplicateJoin",
+    "ControlledReplicateJoin",
+    "ReplicationLimits",
+    "LocalJoiner",
+    "MarkingEngine",
+    "MarkingDecision",
+    "brute_force_join",
+    "tuple_owner",
+    "two_way_overlap_owner",
+    "two_way_range_owner",
+    "two_way_join",
+    "two_way_overlap",
+    "two_way_range",
+    "ALGORITHMS",
+    "make_algorithm",
+    "sweep_pairs",
+]

@@ -1,0 +1,94 @@
+"""The *All-Replicate* naive multi-way join (Section 6).
+
+One map-reduce job: every rectangle of every relation is replicated with
+``f1`` to all cells in the 4th quadrant of its start cell, every reducer
+evaluates the full multi-way join over what it received, and the
+duplicate-avoidance rule of Section 6.2 keeps exactly one reporter per
+output tuple.
+
+Correct but naive: a rectangle near the top-left of the space is shipped
+to almost every reducer whether or not it can contribute to any output
+tuple, so the shuffle volume — and the per-reducer join work — explodes.
+The Table 2 benchmark shows exactly this blow-up.
+"""
+
+from __future__ import annotations
+
+from repro.grid.partitioning import GridPartitioning
+from repro.grid.transforms import replicate_f1
+from repro.joins.base import (
+    CNT_AFTER_REPLICATION,
+    CNT_MARKED,
+    JOIN_COUNTERS,
+    Datasets,
+    JoinResult,
+    JoinStats,
+    MultiWayJoinAlgorithm,
+    dataset_from_path,
+    stage_datasets,
+)
+from repro.joins.local import LocalJoiner
+from repro.joins.reducers import make_local_join_reducer, rect_value
+from repro.data.io import decode_rect
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapContext, MapReduceJob
+from repro.mapreduce.workflow import Workflow
+from repro.query.query import Query
+
+__all__ = ["AllReplicateJoin"]
+
+
+class AllReplicateJoin(MultiWayJoinAlgorithm):
+    """Replicate everything, join everywhere, dedup at the owner cell."""
+
+    name = "all-replicate"
+
+    def __init__(self, index_kind: str = "grid") -> None:
+        self.index_kind = index_kind
+
+    def run(
+        self,
+        query: Query,
+        datasets: Datasets,
+        grid: GridPartitioning,
+        cluster: Cluster | None = None,
+    ) -> JoinResult:
+        cluster = cluster or Cluster()
+        self._check_inputs(query, datasets)
+        paths = stage_datasets(cluster, datasets)
+        output_path = f"{self.name}/output"
+        if cluster.dfs.exists(output_path):
+            cluster.dfs.delete(output_path)
+
+        joiner = LocalJoiner(query, self.index_kind)
+        job = MapReduceJob(
+            name=self.name,
+            input_paths=[paths[k] for k in query.dataset_keys],
+            output_path=output_path,
+            mapper=_make_mapper(grid),
+            reducer=make_local_join_reducer(query, grid, joiner),
+            num_reducers=grid.num_cells,
+        )
+        workflow = Workflow(cluster)
+        workflow.run(job)
+        tuples = self._collect_tuples(cluster, output_path)
+        return JoinResult(
+            tuples=tuples,
+            stats=JoinStats.from_workflow(workflow.result),
+            workflow=workflow.result,
+        )
+
+
+def _make_mapper(grid: GridPartitioning):
+    """Replicate every rectangle with ``f1``, tagged with its dataset."""
+
+    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
+        path, __ = key
+        dataset = dataset_from_path(path)
+        rid, rect = decode_rect(line)
+        ctx.counter(JOIN_COUNTERS, CNT_MARKED)
+        for cell_id, __rect in replicate_f1(rect, grid):
+            ctx.emit(cell_id, rect_value(dataset, rid, rect))
+            ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION)
+
+    return mapper

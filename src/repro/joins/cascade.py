@@ -1,0 +1,307 @@
+"""The *2-way Cascade* naive multi-way join (Section 6).
+
+Evaluates the query as a left-deep chain of 2-way map-reduce joins: one
+job per slot after the first.  Step ``i`` joins the partially-bound
+tuples (slots bound so far) against the dataset of the next slot of a
+connected evaluation order; the tuple side is routed through the 2-way
+rules of Section 5 (split for overlap anchors, enlarged split for range
+anchors) and every further triple between the new slot and an
+already-bound slot is checked in the same reduce, so any connected query
+graph — trees and cycles alike — compiles to exactly ``m - 1`` jobs.
+
+This is the paper's first naive baseline: each step materialises its
+intermediate result on the DFS and the next step reads, re-routes and
+re-shuffles it, so as intermediate results grow the read/write and
+communication costs blow up (Tables 2-5 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.io import (
+    decode_rect,
+    decode_tuple,
+    encode_result,
+    encode_tuple,
+)
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.grid.transforms import split
+from repro.index import Entry, make_index
+from repro.joins.base import (
+    CNT_OUTPUT_TUPLES,
+    JOIN_COUNTERS,
+    Datasets,
+    JoinResult,
+    JoinStats,
+    MultiWayJoinAlgorithm,
+    stage_datasets,
+)
+from repro.joins.dedup import two_way_range_owner
+from repro.joins.sweep import sweep_pairs
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.mapreduce.workflow import Workflow
+from repro.query.graph import JoinGraph
+from repro.query.query import Query, Triple
+
+__all__ = ["CascadeJoin"]
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One 2-way join step of the cascade plan."""
+
+    new_slot: str
+    anchor: Triple
+    anchor_slot: str
+    checks: tuple[tuple[Triple, str], ...]
+    #: earlier slots reading the new slot's dataset (distinctness)
+    same_dataset: tuple[str, ...]
+    is_final: bool
+
+
+def _build_plan(
+    query: Query, order: tuple[str, ...] | None = None
+) -> tuple[str, tuple[_Step, ...]]:
+    """Compile the query into (first slot, per-step 2-way joins).
+
+    ``order`` overrides the default connected order — this is the hook
+    the cascade-order optimizer (``repro.optimizer``) plugs into.  It
+    must be a permutation of the query's slots where every slot after
+    the first touches an earlier one.
+    """
+    if order is not None:
+        if sorted(order) != sorted(query.slots):
+            raise JoinError(
+                f"order {order!r} is not a permutation of the query slots"
+            )
+    graph = JoinGraph(query)
+    order = order or graph.connected_order()
+    steps: list[_Step] = []
+    bound = [order[0]]
+    for i, slot in enumerate(order[1:], start=1):
+        anchor: Triple | None = None
+        anchor_slot: str | None = None
+        checks: list[tuple[Triple, str]] = []
+        for t in query.triples_touching(slot):
+            other = t.other(slot)
+            if other not in bound:
+                continue
+            if anchor is None:
+                anchor, anchor_slot = t, other
+            else:
+                checks.append((t, other))
+        if anchor is None:  # pragma: no cover - connectivity bars this
+            raise JoinError(f"slot {slot!r} not connected to bound slots")
+        same_dataset = tuple(
+            s for s in bound if query.dataset_of(s) == query.dataset_of(slot)
+        )
+        steps.append(
+            _Step(
+                new_slot=slot,
+                anchor=anchor,
+                anchor_slot=anchor_slot,
+                checks=tuple(checks),
+                same_dataset=same_dataset,
+                is_final=(i == len(order) - 1),
+            )
+        )
+        bound.append(slot)
+    return order[0], tuple(steps)
+
+
+class CascadeJoin(MultiWayJoinAlgorithm):
+    """A cascade of 2-way spatial joins, one map-reduce job per step."""
+
+    name = "two-way-cascade"
+
+    def __init__(
+        self, index_kind: str = "grid", order: tuple[str, ...] | None = None
+    ) -> None:
+        self.index_kind = index_kind
+        self.order = order
+
+    def run(
+        self,
+        query: Query,
+        datasets: Datasets,
+        grid: GridPartitioning,
+        cluster: Cluster | None = None,
+    ) -> JoinResult:
+        cluster = cluster or Cluster()
+        self._check_inputs(query, datasets)
+        paths = stage_datasets(cluster, datasets)
+        first_slot, steps = _build_plan(query, self.order)
+
+        workflow = Workflow(cluster)
+        left_path = paths[query.dataset_of(first_slot)]
+        left_is_tuples = False
+        output_path = f"{self.name}/output"
+        for i, step in enumerate(steps):
+            step_output = (
+                output_path if step.is_final else f"{self.name}/step-{i}"
+            )
+            if cluster.dfs.exists(step_output):
+                cluster.dfs.delete(step_output)
+            right_path = paths[query.dataset_of(step.new_slot)]
+            job = MapReduceJob(
+                name=f"{self.name}-step{i}-{step.new_slot}",
+                input_paths=(
+                    [left_path]
+                    if left_path == right_path and not left_is_tuples
+                    else [left_path, right_path]
+                ),
+                output_path=step_output,
+                mapper=_make_step_mapper(
+                    grid, step, left_path, right_path, left_is_tuples, first_slot
+                ),
+                reducer=_make_step_reducer(
+                    grid, query, step, self.index_kind
+                ),
+                num_reducers=grid.num_cells,
+            )
+            workflow.run(job)
+            left_path = step_output
+            left_is_tuples = True
+
+        tuples = self._collect_tuples(cluster, output_path)
+        return JoinResult(
+            tuples=tuples,
+            stats=JoinStats.from_workflow(workflow.result),
+            workflow=workflow.result,
+        )
+
+
+# ----------------------------------------------------------------------
+# Map side: route tuples through the anchor rectangle, split base rects
+# ----------------------------------------------------------------------
+def _make_step_mapper(
+    grid: GridPartitioning,
+    step: _Step,
+    left_path: str,
+    right_path: str,
+    left_is_tuples: bool,
+    first_slot: str,
+):
+    d = step.anchor.predicate.distance
+    self_first = left_path == right_path and not left_is_tuples
+
+    def emit_tuple_side(line: str, bindings, ctx: MapContext) -> None:
+        routing = bindings[step.anchor_slot][1]
+        if d > 0:
+            routing = routing.enlarge(d)
+        for cell_id, __ in split(routing, grid):
+            ctx.emit(cell_id, ("T", line))
+
+    def emit_base_side(rid: int, rect: Rect, ctx: MapContext) -> None:
+        for cell_id, __ in split(rect, grid):
+            ctx.emit(cell_id, ("B", rid, rect.x, rect.y, rect.l, rect.b))
+
+    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
+        path, __ = key
+        from_left = path == left_path or path.startswith(left_path + "/")
+        if from_left:
+            if left_is_tuples:
+                bindings = decode_tuple(line)
+                emit_tuple_side(line, bindings, ctx)
+                return
+            # First step: the left side is a base relation; wrap each
+            # rectangle as a singleton tuple bound to the first slot.
+            rid, rect = decode_rect(line)
+            tuple_line = encode_tuple({first_slot: (rid, rect)})
+            emit_tuple_side(tuple_line, {first_slot: (rid, rect)}, ctx)
+            if self_first:
+                emit_base_side(rid, rect, ctx)
+            return
+        rid, rect = decode_rect(line)
+        emit_base_side(rid, rect, ctx)
+
+    return mapper
+
+
+# ----------------------------------------------------------------------
+# Reduce side: 2-way join with the Section 5 duplicate avoidance
+# ----------------------------------------------------------------------
+def _make_step_reducer(
+    grid: GridPartitioning, query: Query, step: _Step, index_kind: str
+):
+    d = step.anchor.predicate.distance
+    slot_order = query.slots
+
+    def candidate_pairs(tuple_lines, base_entries):
+        """Yield (bindings, rid, rect, anchor_rect) candidate pairs.
+
+        Two kernels: per-tuple probes of a spatial index over the base
+        side (default) or one plane sweep over both sides
+        (``index_kind="sweep"`` — the kernel ablation's winner on dense
+        reducers).  Both return the same Chebyshev-``d`` superset.
+        """
+        decoded = [decode_tuple(line) for line in tuple_lines]
+        if index_kind == "sweep":
+            left = [
+                (t, bindings[step.anchor_slot][1])
+                for t, bindings in enumerate(decoded)
+            ]
+            right = [(e.payload, e.rect) for e in base_entries]
+            by_rid = {e.payload: e.rect for e in base_entries}
+            for t, rid in sweep_pairs(left, right, d):
+                bindings = decoded[t]
+                yield bindings, rid, by_rid[rid], bindings[step.anchor_slot][1]
+            return
+        index = make_index(index_kind, base_entries)
+        for bindings in decoded:
+            anchor_rect = bindings[step.anchor_slot][1]
+            for entry in index.search(anchor_rect, d):
+                yield bindings, entry.payload, entry.rect, anchor_rect
+
+    def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
+        tuple_lines: list[str] = []
+        base_entries: list[Entry] = []
+        for value in values:
+            if value[0] == "T":
+                tuple_lines.append(value[1])
+            else:
+                __, rid, x, y, l, b = value
+                base_entries.append(Entry(rect=Rect(x, y, l, b), payload=rid))
+        if not tuple_lines or not base_entries:
+            return
+        ops = 0
+        for bindings, rid, rect, anchor_rect in candidate_pairs(
+            tuple_lines, base_entries
+        ):
+            ops += 1
+            if not step.anchor.holds_with(step.new_slot, rect, anchor_rect):
+                continue
+            # Section 5 dedup: only the cell owning the start of
+            # (enlarged anchor) ∩ candidate reports the pair.
+            owner = two_way_range_owner(anchor_rect, rect, d, grid)
+            if owner != cell_id:
+                continue
+            if any(bindings[s][0] == rid for s in step.same_dataset):
+                continue
+            ok = True
+            for triple, other in step.checks:
+                ops += 1
+                if not triple.holds_with(step.new_slot, rect, bindings[other][1]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            merged = dict(bindings)
+            merged[step.new_slot] = (rid, rect)
+            if step.is_final:
+                ctx.counter(JOIN_COUNTERS, CNT_OUTPUT_TUPLES)
+                ctx.emit(
+                    encode_result(
+                        slot_order,
+                        {s: r for s, (r, __) in merged.items()},
+                    )
+                )
+            else:
+                ctx.emit(encode_tuple(merged))
+        ctx.add_compute(ops)
+
+    return reducer

@@ -1,0 +1,81 @@
+"""Duplicate-avoidance rules (Sections 5.2, 5.3 and 6.2).
+
+Split/replicate routing sends the members of an output tuple to several
+common reducers; exactly one of them must report the tuple.  The paper's
+rules pick a canonical *owner cell* per tuple — a cell guaranteed to
+receive every member — and only the owner reports:
+
+* 2-way overlap: the cell owning the start-point of ``r1 ∩ r2``;
+* 2-way range:   the cell owning the start-point of ``r1^e(d) ∩ r2``;
+* multi-way:     the cell owning the point ``(u_r.x, u_l.y)`` where
+  ``u_r`` is the member with the largest start-x and ``u_l`` the member
+  with the smallest start-y.
+
+The multi-way point is reachable by every member because rectangles
+extend only right/down from their start-points: the owner cell lies in
+the 4th quadrant of every member's start cell, which is exactly the
+``f1`` replication target set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+
+__all__ = [
+    "two_way_overlap_owner",
+    "two_way_range_owner",
+    "tuple_owner",
+]
+
+
+def two_way_overlap_owner(
+    r1: Rect, r2: Rect, grid: GridPartitioning
+) -> int | None:
+    """Owner cell id of an overlapping pair, or ``None`` if disjoint.
+
+    Section 5.2: the cell containing the start-point of the overlap
+    area computes the output pair.
+    """
+    overlap = r1.intersection(r2)
+    if overlap is None:
+        return None
+    return grid.cell_of(overlap).cell_id
+
+
+def two_way_range_owner(
+    r1: Rect, r2: Rect, d: float, grid: GridPartitioning
+) -> int | None:
+    """Owner cell id of a candidate range pair, or ``None`` if too far.
+
+    Section 5.3: the cell containing the start-point of
+    ``r1.enlarge(d) ∩ r2``.  Note the asymmetry — ``r1`` is the
+    replicated side, ``r2`` the split side; callers must use the same
+    orientation they routed with.  Returns an owner for every pair whose
+    *enlarged* rectangles intersect (the filter superset); the exact
+    Euclidean distance check remains the caller's responsibility, just
+    as the paper's reducers re-check ``dist(r1, r2) <= d``.
+    """
+    if d < 0:
+        raise JoinError(f"range distance must be non-negative, got {d}")
+    overlap = r1.enlarge(d).intersection(r2) if d > 0 else r1.intersection(r2)
+    if overlap is None:
+        return None
+    return grid.cell_of(overlap).cell_id
+
+
+def tuple_owner(rects: Iterable[Rect], grid: GridPartitioning) -> int:
+    """Owner cell id of a multi-way output tuple (Section 6.2).
+
+    ``(u_r.x, u_l.y)``: the largest start-x paired with the smallest
+    start-y over the members.
+    """
+    xs_ys = [(r.x, r.y) for r in rects]
+    if not xs_ys:
+        raise JoinError("tuple_owner() of an empty tuple")
+    max_x = max(x for x, __ in xs_ys)
+    min_y = min(y for __, y in xs_ys)
+    return grid.cell_of_point(max_x, min_y).cell_id

@@ -1,0 +1,87 @@
+"""Replication distance limits for Controlled-Replicate-in-Limit (§7.9, §8).
+
+C-Rep decides *which* rectangles replicate; C-Rep-L additionally bounds
+*how far*.  A rectangle of slot ``A`` only ever meets tuple members
+within the cheapest join-graph path cost (edge range parameters plus
+interior rectangle diagonals — :meth:`JoinGraph.replication_bounds`), so
+it is replicated with ``f2`` at that bound instead of ``f1``.
+
+Metric choice: the tuple owner point ``(u_r.x, u_l.y)`` mixes the
+coordinates of two different members, so its per-axis distance from the
+rectangle is bounded by the path bound but its Euclidean distance may
+reach ``sqrt(2)`` times it.  The default here is therefore the *safe*
+per-axis (Chebyshev) bound; ``metric="euclidean"`` reproduces the
+paper's rule literally (possible under-replication, measurable in the
+limits ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import JoinError
+from repro.query.graph import JoinGraph
+from repro.query.query import Query
+
+__all__ = ["ReplicationLimits"]
+
+
+@dataclass(frozen=True)
+class ReplicationLimits:
+    """Per-dataset replication distance bounds plus the metric to apply."""
+
+    by_dataset: Mapping[str, float]
+    metric: str = "chebyshev"
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("chebyshev", "euclidean"):
+            raise JoinError(f"unknown limit metric {self.metric!r}")
+        for dataset, bound in self.by_dataset.items():
+            if bound < 0 or math.isnan(bound):
+                raise JoinError(
+                    f"replication bound for {dataset!r} must be >= 0, got {bound}"
+                )
+
+    @classmethod
+    def unlimited(cls) -> "ReplicationLimits":
+        """No limit: C-Rep-L degenerates to plain C-Rep (``f1``)."""
+        return cls(by_dataset={}, metric="chebyshev")
+
+    @classmethod
+    def from_query(
+        cls,
+        query: Query,
+        d_max: float | Mapping[str, float],
+        *,
+        metric: str = "chebyshev",
+    ) -> "ReplicationLimits":
+        """Derive bounds from the join graph and the diagonal bound(s).
+
+        ``d_max`` is a global diagonal upper bound or a per-*dataset*
+        mapping (e.g. measured from the generated data).  A dataset
+        serving several slots takes the largest of its slots' bounds —
+        its rectangles may appear at any of them.
+        """
+        if isinstance(d_max, Mapping):
+            diag_by_slot = {
+                slot: d_max[query.dataset_of(slot)] for slot in query.slots
+            }
+            slot_bounds = JoinGraph(query).replication_bounds(diag_by_slot)
+        else:
+            slot_bounds = JoinGraph(query).replication_bounds(float(d_max))
+        by_dataset: dict[str, float] = {}
+        for slot, bound in slot_bounds.items():
+            dataset = query.dataset_of(slot)
+            by_dataset[dataset] = max(by_dataset.get(dataset, 0.0), bound)
+        return cls(by_dataset=by_dataset, metric=metric)
+
+    def bound_for(self, dataset: str) -> float:
+        """The replication distance for one dataset (``inf`` = unlimited)."""
+        return self.by_dataset.get(dataset, math.inf)
+
+    @property
+    def is_unlimited(self) -> bool:
+        """Whether every dataset is effectively unbounded."""
+        return all(math.isinf(b) for b in self.by_dataset.values()) or not self.by_dataset

@@ -1,0 +1,279 @@
+"""Conditions C1-C4 of Controlled-Replicate (Sections 7.4, 8 and 9).
+
+The reducers of Controlled-Replicate's first round receive every
+rectangle overlapping their cell ``c`` (via Split) and must decide which
+of the rectangles *starting* in ``c`` to mark for replication.  The
+paper marks the union ``uS_c`` of all *maximal* rectangle-sets satisfying
+
+* **C1** — the set is consistent (its members satisfy every query
+  predicate among its slots),
+* **C2** — for every join edge from a slot inside the set to a slot
+  outside it, the member at the inside slot can reach past the cell:
+  it *crosses* the cell boundary for an overlap edge, or has another
+  cell within distance ``d`` for a ``Ra(d)`` edge,
+* **C3** — at least one such outside edge exists,
+* **C4** — maximality (no qualifying superset).
+
+Because every qualifying set extends to a maximal qualifying set, a
+rectangle is marked **iff it belongs to some set satisfying C1-C3**, and
+w.l.o.g. that witness set induces a *connected* subgraph of the join
+graph containing the rectangle's slot (dropping foreign components never
+invalidates C1-C3; see the correctness notes in DESIGN.md).  The marking
+test is therefore an existence search: for each candidate rectangle, try
+every connected proper slot-subset containing one of its slots and look
+for one consistent embedding among the rectangles received at the cell.
+
+The two C2 variants unify cleanly: with closed cell extents a rectangle
+crosses the boundary iff its distance to the nearest other cell is 0, so
+every outside edge imposes ``gap(u) <= d_edge`` with ``d_edge = 0`` for
+overlap.  A slot with several outside edges must satisfy the smallest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import Cell
+from repro.grid.partitioning import GridPartitioning
+from repro.index import Entry, make_index
+from repro.query.graph import JoinGraph
+from repro.query.query import Query, Triple
+
+__all__ = ["MarkingEngine", "MarkingDecision"]
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One slot binding of the witness-embedding search."""
+
+    slot: str
+    anchor: Triple | None
+    anchor_slot: str | None
+    checks: tuple[tuple[Triple, str], ...]
+    same_dataset: tuple[str, ...]
+
+
+@dataclass
+class MarkingDecision:
+    """Outcome of marking at one cell."""
+
+    #: (dataset, rid) pairs to replicate (all start in the cell)
+    marked: set[tuple[str, int]]
+    #: candidate checks performed (compute-cost measure)
+    ops: int
+
+
+class MarkingEngine:
+    """Implements the C1-C3 existence test for one query on one grid."""
+
+    def __init__(
+        self, query: Query, grid: GridPartitioning, index_kind: str = "grid"
+    ) -> None:
+        self.query = query
+        self.grid = grid
+        self.index_kind = index_kind
+        self.graph = JoinGraph(query)
+        self._subsets = {
+            slot: self.graph.connected_subsets_containing(slot)
+            for slot in query.slots
+        }
+        self._req_cache: dict[frozenset[str], dict[str, float]] = {}
+        self._plan_cache: dict[tuple[frozenset[str], str], tuple[_Step, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-subset precomputation
+    # ------------------------------------------------------------------
+    def _requirements(self, subset: frozenset[str]) -> dict[str, float]:
+        """Per-slot C2 gap bound: ``min`` distance over outside edges.
+
+        ``inf`` means the slot has no outside edge (no constraint).
+        """
+        cached = self._req_cache.get(subset)
+        if cached is not None:
+            return cached
+        reqs = {slot: math.inf for slot in subset}
+        for t in self.graph.outside_triples(subset):
+            inside = t.left if t.left in subset else t.right
+            reqs[inside] = min(reqs[inside], t.predicate.distance)
+        self._req_cache[subset] = reqs
+        return reqs
+
+    def _plan(self, subset: frozenset[str], start: str) -> tuple[_Step, ...]:
+        """Connected binding order over ``subset`` starting at ``start``."""
+        key = (subset, start)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        inside = self.graph.inside_triples(subset)
+        order: list[str] = [start]
+        placed = {start}
+        while len(order) < len(subset):
+            nxt = next(
+                s
+                for s in sorted(subset)
+                if s not in placed
+                and any(
+                    t.touches(s) and t.other(s) in placed for t in inside
+                )
+            )
+            order.append(nxt)
+            placed.add(nxt)
+
+        steps: list[_Step] = []
+        bound: list[str] = []
+        for slot in order:
+            anchor: Triple | None = None
+            anchor_slot: str | None = None
+            checks: list[tuple[Triple, str]] = []
+            for t in inside:
+                if not t.touches(slot):
+                    continue
+                other = t.other(slot)
+                if other not in bound:
+                    continue
+                if anchor is None:
+                    anchor, anchor_slot = t, other
+                else:
+                    checks.append((t, other))
+            same_dataset = tuple(
+                s
+                for s in bound
+                if self.query.dataset_of(s) == self.query.dataset_of(slot)
+            )
+            steps.append(
+                _Step(
+                    slot=slot,
+                    anchor=anchor,
+                    anchor_slot=anchor_slot,
+                    checks=tuple(checks),
+                    same_dataset=same_dataset,
+                )
+            )
+            bound.append(slot)
+        plan = tuple(steps)
+        self._plan_cache[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # The marking decision at one cell
+    # ------------------------------------------------------------------
+    def select_marked(
+        self, cell: Cell, received: dict[str, list[tuple[int, Rect]]]
+    ) -> MarkingDecision:
+        """Which rectangles starting in ``cell`` must be replicated.
+
+        Parameters
+        ----------
+        cell:
+            The reducer's partition-cell.
+        received:
+            Rectangles split onto this cell, grouped by dataset.
+        """
+        # Per-rectangle C2 measure: distance to the nearest foreign cell.
+        gap: dict[tuple[str, int], float] = {}
+        starts_here: list[tuple[str, int, Rect]] = []
+        for dataset, rects in received.items():
+            for rid, rect in rects:
+                gap[(dataset, rid)] = self.grid.min_gap_to_other_cell(rect, cell)
+                if self.grid.cell_of(rect).cell_id == cell.cell_id:
+                    starts_here.append((dataset, rid, rect))
+
+        indexes = {
+            dataset: make_index(
+                self.index_kind,
+                [Entry(rect=r, payload=rid) for rid, r in rects],
+            )
+            for dataset, rects in received.items()
+        }
+
+        marked: set[tuple[str, int]] = set()
+        ops = 0
+        for dataset, rid, rect in starts_here:
+            if (dataset, rid) in marked:
+                continue  # already part of an earlier witness
+            witness = None
+            for slot in self.query.slots_of_dataset(dataset):
+                for subset in self._subsets[slot]:
+                    if any(
+                        self.query.dataset_of(s) not in received for s in subset
+                    ):
+                        continue  # some slot has no candidates at this cell
+                    reqs = self._requirements(subset)
+                    if gap[(dataset, rid)] > reqs[slot]:
+                        continue  # the candidate itself fails C2 here
+                    witness, probe_ops = self._find_embedding(
+                        subset, slot, (rid, rect), received, indexes, gap
+                    )
+                    ops += probe_ops
+                    if witness is not None:
+                        break
+                if witness is not None:
+                    break
+            if witness is None:
+                continue
+            # Every member of a qualifying set is itself marked by the
+            # paper's rule; record the ones this cell is responsible for.
+            for w_slot, (w_rid, w_rect) in witness.items():
+                w_dataset = self.query.dataset_of(w_slot)
+                if self.grid.cell_of(w_rect).cell_id == cell.cell_id:
+                    marked.add((w_dataset, w_rid))
+        ops += sum(idx.probes for idx in indexes.values())
+        return MarkingDecision(marked=marked, ops=ops)
+
+    # ------------------------------------------------------------------
+    def _find_embedding(
+        self,
+        subset: frozenset[str],
+        start: str,
+        fixed: tuple[int, Rect],
+        received: dict[str, list[tuple[int, Rect]]],
+        indexes,
+        gap: dict[tuple[str, int], float],
+    ) -> tuple[dict[str, tuple[int, Rect]] | None, int]:
+        """First consistent C2-respecting embedding of ``subset``.
+
+        ``fixed`` is pinned at slot ``start``; other slots draw from the
+        received bags.  Returns ``(assignment | None, candidate_checks)``.
+        """
+        reqs = self._requirements(subset)
+        plan = self._plan(subset, start)
+        assignment: dict[str, tuple[int, Rect]] = {start: fixed}
+        ops = 0
+
+        def bind(depth: int) -> bool:
+            nonlocal ops
+            if depth == len(plan):
+                return True
+            step = plan[depth]
+            dataset = self.query.dataset_of(step.slot)
+            assert step.anchor is not None  # depth 0 is the fixed start
+            anchor_rect = assignment[step.anchor_slot][1]
+            d = step.anchor.predicate.distance
+            for entry in indexes[dataset].search(anchor_rect, d):
+                rid, rect = entry.payload, entry.rect
+                ops += 1
+                if not step.anchor.holds_with(step.slot, rect, anchor_rect):
+                    continue
+                if gap[(dataset, rid)] > reqs[step.slot]:
+                    continue  # fails C2 at this slot
+                if any(assignment[s][0] == rid for s in step.same_dataset):
+                    continue
+                ok = True
+                for triple, other in step.checks:
+                    ops += 1
+                    if not triple.holds_with(step.slot, rect, assignment[other][1]):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                assignment[step.slot] = (rid, rect)
+                if bind(depth + 1):
+                    return True
+                del assignment[step.slot]
+            return False
+
+        if bind(1):
+            return dict(assignment), ops
+        return None, ops

@@ -1,0 +1,62 @@
+"""Shared map/reduce pieces of the one-shot join jobs.
+
+All-Replicate's single reduce and Controlled-Replicate's second-round
+reduce are the same computation: rebuild per-slot rectangle bags from the
+shuffled values, enumerate the local multi-way join, and report only the
+tuples this cell owns under the Section 6.2 rule.
+"""
+
+from __future__ import annotations
+
+from repro.data.io import encode_result
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.base import CNT_OUTPUT_TUPLES, JOIN_COUNTERS
+from repro.joins.dedup import tuple_owner
+from repro.joins.local import LocalJoiner
+from repro.mapreduce.job import ReduceContext
+from repro.query.query import Query
+
+__all__ = ["rect_value", "value_rect", "make_local_join_reducer"]
+
+
+def rect_value(dataset: str, rid: int, rect: Rect) -> tuple:
+    """The shuffle value carrying one tagged rectangle."""
+    return (dataset, rid, rect.x, rect.y, rect.l, rect.b)
+
+
+def value_rect(value: tuple) -> tuple[str, int, Rect]:
+    """Inverse of :func:`rect_value`."""
+    dataset, rid, x, y, l, b = value
+    return dataset, rid, Rect(x, y, l, b)
+
+
+def make_local_join_reducer(
+    query: Query, grid: GridPartitioning, joiner: LocalJoiner
+):
+    """Reducer: local multi-way join + owner-cell duplicate avoidance."""
+    slot_order = query.slots
+
+    def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
+        by_dataset: dict[str, list[tuple[int, Rect]]] = {}
+        for value in values:
+            dataset, rid, rect = value_rect(value)
+            by_dataset.setdefault(dataset, []).append((rid, rect))
+        rects_by_slot = {
+            slot: by_dataset.get(query.dataset_of(slot), [])
+            for slot in slot_order
+        }
+        assignments, ops = joiner.enumerate(rects_by_slot)
+        ctx.add_compute(ops)
+        for assignment in assignments:
+            owner = tuple_owner((r for __, r in assignment.values()), grid)
+            if owner != cell_id:
+                continue
+            ctx.counter(JOIN_COUNTERS, CNT_OUTPUT_TUPLES)
+            ctx.emit(
+                encode_result(
+                    slot_order, {s: rid for s, (rid, __) in assignment.items()}
+                )
+            )
+
+    return reducer

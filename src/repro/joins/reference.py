@@ -1,0 +1,73 @@
+"""Brute-force in-memory reference join — the correctness oracle.
+
+A deliberately naive evaluator, structured differently from
+:class:`~repro.joins.local.LocalJoiner` (plain nested loops in query
+slot order, no spatial index, no join-graph planning) so that the
+map-reduce algorithms and the local joiner can both be validated against
+an independent implementation.  Quadratic and proud of it; use only at
+test scale.
+"""
+
+from __future__ import annotations
+
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.query.query import Query
+
+__all__ = ["brute_force_join"]
+
+
+def brute_force_join(
+    query: Query, datasets: dict[str, list[tuple[int, Rect]]]
+) -> set[tuple[int, ...]]:
+    """All satisfying rid tuples, in query slot order."""
+    slots = query.slots
+    missing = [k for k in query.dataset_keys if k not in datasets]
+    if missing:
+        raise JoinError(f"query references missing datasets: {missing}")
+    bags = [datasets[query.dataset_of(slot)] for slot in slots]
+
+    # Predicate checks scheduled at the latest slot they touch.
+    checks_at: list[list] = [[] for __ in slots]
+    position = {slot: i for i, slot in enumerate(slots)}
+    for t in query.triples:
+        i, j = position[t.left], position[t.right]
+        late, early = (i, j) if i > j else (j, i)
+        checks_at[late].append((t.predicate, early, late == i))
+
+    # Distinctness partners per slot (same dataset, earlier position).
+    distinct_at: list[list[int]] = [
+        [
+            j
+            for j in range(i)
+            if query.dataset_of(slots[j]) == query.dataset_of(slots[i])
+        ]
+        for i in range(len(slots))
+    ]
+
+    results: set[tuple[int, ...]] = set()
+    chosen: list[tuple[int, Rect]] = []
+
+    def recurse(depth: int) -> None:
+        if depth == len(slots):
+            results.add(tuple(rid for rid, __ in chosen))
+            return
+        for rid, rect in bags[depth]:
+            if any(chosen[j][0] == rid for j in distinct_at[depth]):
+                continue
+            ok = True
+            for predicate, early, left_is_late in checks_at[depth]:
+                other = chosen[early][1]
+                # Predicates are symmetric; orientation kept for clarity.
+                pair = (rect, other) if left_is_late else (other, rect)
+                if not predicate.holds(*pair):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            chosen.append((rid, rect))
+            recurse(depth + 1)
+            chosen.pop()
+
+    recurse(0)
+    return results

@@ -1,0 +1,45 @@
+"""Algorithm registry: names to factories (CLI and experiment harness)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.errors import JoinError
+from repro.joins.all_replicate import AllReplicateJoin
+from repro.joins.base import MultiWayJoinAlgorithm
+from repro.joins.cascade import CascadeJoin
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.limits import ReplicationLimits
+from repro.query.query import Query
+
+__all__ = ["ALGORITHMS", "make_algorithm"]
+
+ALGORITHMS = ("cascade", "all-rep", "c-rep", "c-rep-l")
+
+
+def make_algorithm(
+    name: str,
+    query: Query | None = None,
+    d_max: float | Mapping[str, float] | None = None,
+    *,
+    limit_metric: str = "chebyshev",
+    index_kind: str = "grid",
+) -> MultiWayJoinAlgorithm:
+    """Instantiate an algorithm by its short name.
+
+    ``c-rep-l`` needs the query and a diagonal bound ``d_max`` (global or
+    per dataset) to derive its replication limits.
+    """
+    factories: dict[str, Callable[[], MultiWayJoinAlgorithm]] = {
+        "cascade": lambda: CascadeJoin(index_kind=index_kind),
+        "all-rep": lambda: AllReplicateJoin(index_kind=index_kind),
+        "c-rep": lambda: ControlledReplicateJoin(index_kind=index_kind),
+    }
+    if name in factories:
+        return factories[name]()
+    if name == "c-rep-l":
+        if query is None or d_max is None:
+            raise JoinError("c-rep-l needs the query and a d_max bound")
+        limits = ReplicationLimits.from_query(query, d_max, metric=limit_metric)
+        return ControlledReplicateJoin(limits=limits, index_kind=index_kind)
+    raise JoinError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")

@@ -1,0 +1,93 @@
+"""Plane-sweep pairwise join kernel.
+
+The classical in-memory spatial-join kernel (Brinkhoff et al.; the
+partition-based spatial-merge join runs it inside every partition —
+exactly the position the grid reducers are in here).  Both inputs are
+sorted by ``x_min``; a sweep over the merged x-order maintains, for each
+side, the set of rectangles whose x-interval is still *active*, so each
+rectangle is checked only against partners overlapping it in x.
+
+``sweep_pairs`` yields candidate pairs with per-axis (Chebyshev)
+distance ≤ d — the same superset contract the spatial indexes honour —
+and the caller applies the exact predicate.  On sorted-friendly inputs
+it does no per-probe structure work at all, which is why it wins the
+2-way kernel benchmark at high output densities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+
+__all__ = ["sweep_pairs", "sweep_join_count"]
+
+
+def sweep_pairs(
+    left: list[tuple[Any, Rect]],
+    right: list[tuple[Any, Rect]],
+    d: float = 0.0,
+) -> Iterator[tuple[Any, Any]]:
+    """Candidate pairs ``(left_id, right_id)`` within Chebyshev ``d``.
+
+    Yields each qualifying pair exactly once, in no particular order.
+    """
+    if d < 0:
+        raise JoinError(f"distance must be non-negative, got {d}")
+    if not left or not right:
+        return
+
+    ls = sorted(left, key=lambda p: p[1].x_min)
+    rs = sorted(right, key=lambda p: p[1].x_min)
+
+    # Active lists hold entries whose (d-padded) x-interval has started
+    # and may still intersect upcoming partners.  Lazy pruning: stale
+    # entries are swept out when scanned.
+    active_l: list[tuple[Any, Rect]] = []
+    active_r: list[tuple[Any, Rect]] = []
+    i = j = 0
+
+    def y_close(a: Rect, b: Rect) -> bool:
+        return a.y_min - d <= b.y_max and b.y_min - d <= a.y_max
+
+    while i < len(ls) or j < len(rs):
+        take_left = j >= len(rs) or (
+            i < len(ls) and ls[i][1].x_min <= rs[j][1].x_min
+        )
+        if take_left:
+            lid, lrect = ls[i]
+            i += 1
+            threshold = lrect.x_min - d
+            keep = []
+            for rid, rrect in active_r:
+                if rrect.x_max < threshold:
+                    continue  # expired in x; prune
+                keep.append((rid, rrect))
+                if y_close(lrect, rrect):
+                    yield (lid, rid)
+            active_r[:] = keep
+            active_l.append((lid, lrect))
+        else:
+            rid, rrect = rs[j]
+            j += 1
+            threshold = rrect.x_min - d
+            keep = []
+            for lid, lrect in active_l:
+                if lrect.x_max < threshold:
+                    continue
+                keep.append((lid, lrect))
+                if y_close(lrect, rrect):
+                    yield (lid, rid)
+            active_l[:] = keep
+            active_r.append((rid, rrect))
+
+
+def sweep_join_count(
+    left: list[tuple[Any, Rect]],
+    right: list[tuple[Any, Rect]],
+    d: float = 0.0,
+) -> int:
+    """Number of candidate pairs (for benchmarks and tests)."""
+    return sum(1 for __ in sweep_pairs(left, right, d))

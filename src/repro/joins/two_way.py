@@ -1,0 +1,74 @@
+"""The plain 2-way spatial joins of Section 5.
+
+A 2-way join *is* a single-step cascade, so these helpers wrap
+:class:`~repro.joins.cascade.CascadeJoin` with a two-slot query:
+
+* overlap joins split both relations and dedup via the start-point of
+  the overlap area (Section 5.2);
+* range joins split one relation, route the other through its
+  ``d``-enlarged rectangle and dedup via the start-point of
+  ``r1^e(d) ∩ r2`` (Section 5.3).
+
+Both return the standard :class:`~repro.joins.base.JoinResult`, with
+output tuples ``(rid1, rid2)``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.base import JoinResult
+from repro.joins.cascade import CascadeJoin
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+__all__ = ["two_way_overlap", "two_way_range", "two_way_join"]
+
+
+def two_way_join(
+    predicate,
+    r1: list[tuple[int, Rect]],
+    r2: list[tuple[int, Rect]],
+    grid: GridPartitioning,
+    cluster: Cluster | None = None,
+    *,
+    self_join: bool = False,
+) -> JoinResult:
+    """Run one 2-way join with an arbitrary predicate.
+
+    With ``self_join=True``, ``r2`` is ignored and both slots read
+    ``r1`` (pairs of distinct rids, both orientations reported).
+    """
+    if self_join:
+        query = Query(
+            [Triple(predicate, "A", "B")], datasets={"A": "R", "B": "R"}
+        )
+        datasets = {"R": r1}
+    else:
+        query = Query([Triple(predicate, "R1", "R2")])
+        datasets = {"R1": r1, "R2": r2}
+    return CascadeJoin().run(query, datasets, grid, cluster)
+
+
+def two_way_overlap(
+    r1: list[tuple[int, Rect]],
+    r2: list[tuple[int, Rect]],
+    grid: GridPartitioning,
+    cluster: Cluster | None = None,
+    **kwargs,
+) -> JoinResult:
+    """``Overlap(R1, R2)``: all intersecting cross pairs."""
+    return two_way_join(Overlap(), r1, r2, grid, cluster, **kwargs)
+
+
+def two_way_range(
+    r1: list[tuple[int, Rect]],
+    r2: list[tuple[int, Rect]],
+    d: float,
+    grid: GridPartitioning,
+    cluster: Cluster | None = None,
+    **kwargs,
+) -> JoinResult:
+    """``Range(R1, R2, d)``: all cross pairs within Euclidean distance d."""
+    return two_way_join(Range(d), r1, r2, grid, cluster, **kwargs)

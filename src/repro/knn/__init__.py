@@ -1,0 +1,5 @@
+"""k-nearest-neighbour join on the grid map-reduce framework."""
+
+from repro.knn.join import KnnJoin, KnnResult
+
+__all__ = ["KnnJoin", "KnnResult"]

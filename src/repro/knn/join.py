@@ -1,0 +1,233 @@
+"""k-nearest-neighbour join on the grid map-reduce framework.
+
+The paper's conclusions name nearest-neighbour queries as the next
+target for the partitioning framework; this module implements the kNN
+*join* — for every query rectangle, the ``k`` data rectangles with the
+smallest minimum distance — as iterated rounds of two map-reduce jobs:
+
+**Candidates.**  Map splits the data relation (each data rectangle to
+every cell it touches) and routes each query rectangle to every cell
+within its current search radius.  Each reducer emits, per query, its
+``k`` best local candidates.
+
+**Merge.**  Group candidates by query, keep the global best ``k``.  A
+query is *resolved* when its k-th candidate distance does not exceed its
+search radius — every unvisited cell (hence every unseen data rectangle)
+is farther away.  Unresolved queries re-enter the next round with a
+doubled radius, so termination is guaranteed once the radius covers the
+space.
+
+The initial radius comes from a density pre-pass (one statistics job
+counting data rectangles per cell): a radius expected to reach about
+``oversample * k`` data rectangles keeps both the number of rounds and
+the candidate volume small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.io import decode_rect, rects_to_lines
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.grid.transforms import split
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.mapreduce.workflow import Workflow, WorkflowResult
+
+__all__ = ["KnnJoin", "KnnResult"]
+
+#: one neighbour: (distance, data rid) — tuples sort lexicographically,
+#: which is also the deterministic tie-break
+Neighbour = tuple[float, int]
+
+
+@dataclass
+class KnnResult:
+    """Outcome of a kNN join."""
+
+    #: query rid -> k nearest (distance, data rid), ascending
+    neighbours: dict[int, list[Neighbour]]
+    rounds: int
+    workflow: WorkflowResult
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.workflow.simulated_seconds
+
+
+class KnnJoin:
+    """Iterative grid-based kNN join.
+
+    Parameters
+    ----------
+    k:
+        Neighbours per query rectangle.
+    oversample:
+        Initial-radius sizing: aim for ``oversample * k`` expected data
+        rectangles inside the first search ball.  Larger values mean
+        fewer rounds but more candidate traffic.
+    max_rounds:
+        Safety bound; the radius doubles every round, so the default
+        always reaches the full space for any sane grid.
+    """
+
+    name = "knn-join"
+
+    def __init__(self, k: int, oversample: float = 3.0, max_rounds: int = 24) -> None:
+        if k < 1:
+            raise JoinError(f"k must be >= 1, got {k}")
+        if oversample <= 0:
+            raise JoinError(f"oversample must be positive, got {oversample}")
+        self.k = k
+        self.oversample = oversample
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        queries: list[tuple[int, Rect]],
+        data: list[tuple[int, Rect]],
+        grid: GridPartitioning,
+        cluster: Cluster | None = None,
+    ) -> KnnResult:
+        """Compute the kNN join of ``queries`` against ``data``."""
+        cluster = cluster or Cluster(cost_model=CostModel())
+        if len(data) == 0:
+            raise JoinError("kNN join needs a non-empty data relation")
+        if len({rid for rid, __ in queries}) != len(queries):
+            raise JoinError("query rids must be unique")
+        cluster.dfs.write_file("knn/data", rects_to_lines(data))
+        workflow = Workflow(cluster)
+
+        density = len(data) / max(grid.space.area, 1e-12)
+        r0 = math.sqrt((self.oversample * self.k) / (density * math.pi))
+        space_diag = math.hypot(grid.space.l, grid.space.b)
+        r0 = min(max(r0, 1e-9), space_diag)
+
+        best: dict[int, list[Neighbour]] = {}
+        pending: dict[int, tuple[Rect, float]] = {
+            rid: (rect, r0) for rid, rect in queries
+        }
+        rounds = 0
+        while pending and rounds < self.max_rounds:
+            rounds += 1
+            resolved, survivors = self._run_round(
+                workflow, grid, pending, rounds
+            )
+            best.update(resolved)
+            pending = survivors
+        if pending:  # pragma: no cover - max_rounds is generous
+            raise JoinError(
+                f"kNN join did not converge in {self.max_rounds} rounds"
+            )
+        return KnnResult(neighbours=best, rounds=rounds, workflow=workflow.result)
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        workflow: Workflow,
+        grid: GridPartitioning,
+        pending: dict[int, tuple[Rect, float]],
+        round_no: int,
+    ) -> tuple[dict[int, list[Neighbour]], dict[int, tuple[Rect, float]]]:
+        cluster = workflow.cluster
+        qpath = f"knn/queries-{round_no}"
+        candidates_dir = f"knn/candidates-{round_no}"
+        # Clear leftovers from a previous run on this cluster: a run with
+        # fewer reducers would otherwise merge the old run's surviving
+        # part files into its results.
+        for stale in (qpath, candidates_dir):
+            if cluster.dfs.exists(stale):
+                cluster.dfs.delete(stale)
+        cluster.dfs.write_file(
+            qpath,
+            [
+                f"{rid},{rect.x!r},{rect.y!r},{rect.l!r},{rect.b!r},{radius!r}"
+                for rid, (rect, radius) in sorted(pending.items())
+            ],
+        )
+
+        candidates_path = candidates_dir
+        job = MapReduceJob(
+            name=f"{self.name}-candidates-{round_no}",
+            input_paths=[qpath, "knn/data"],
+            output_path=candidates_path,
+            mapper=self._candidates_mapper(grid, qpath),
+            reducer=self._candidates_reducer(),
+            num_reducers=grid.num_cells,
+        )
+        workflow.run(job)
+
+        # Data rectangles are split to every cell they touch, so the
+        # same (query, data) pair can be emitted by several reducers:
+        # dedupe by data rid while merging.
+        merged: dict[int, dict[int, float]] = {rid: {} for rid in pending}
+        for line in cluster.dfs.read_dir(candidates_path):
+            qid_s, dist_s, did_s = line.split("\t")
+            qid, dist, did = int(qid_s), float(dist_s), int(did_s)
+            bucket = merged[qid]
+            if did not in bucket or dist < bucket[did]:
+                bucket[did] = dist
+
+        resolved: dict[int, list[Neighbour]] = {}
+        survivors: dict[int, tuple[Rect, float]] = {}
+        space_diag = math.hypot(grid.space.l, grid.space.b)
+        for rid, (rect, radius) in pending.items():
+            top = sorted((d, i) for i, d in merged[rid].items())[: self.k]
+            kth = top[-1][0] if len(top) == self.k else math.inf
+            # Certain when the k-th neighbour is no farther than the
+            # radius every cell was searched out to — or when the search
+            # already covered the whole space.
+            if kth <= radius or radius >= space_diag:
+                resolved[rid] = top
+            else:
+                grown = min(max(radius * 2.0, kth), space_diag)
+                survivors[rid] = (rect, grown)
+        return resolved, survivors
+
+    # ------------------------------------------------------------------
+    def _candidates_mapper(self, grid: GridPartitioning, qpath: str):
+        def mapper(key, line: str, ctx: MapContext) -> None:
+            path, __ = key
+            if path == qpath or path.startswith(qpath + "/"):
+                rid_s, x, y, l, b, radius_s = line.split(",")
+                rect = Rect(float(x), float(y), float(l), float(b))
+                radius = float(radius_s)
+                for cell in grid.cells_within(rect, radius):
+                    ctx.emit(
+                        cell.cell_id,
+                        ("Q", int(rid_s), rect.x, rect.y, rect.l, rect.b),
+                    )
+                return
+            rid, rect = decode_rect(line)
+            for cell_id, __rect in split(rect, grid):
+                ctx.emit(cell_id, ("D", rid, rect.x, rect.y, rect.l, rect.b))
+
+        return mapper
+
+    def _candidates_reducer(self):
+        k = self.k
+
+        def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
+            qs: list[tuple[int, Rect]] = []
+            ds: list[tuple[int, Rect]] = []
+            for tag, rid, x, y, l, b in values:
+                (qs if tag == "Q" else ds).append((rid, Rect(x, y, l, b)))
+            if not qs or not ds:
+                return
+            ops = 0
+            for qid, qrect in qs:
+                local: list[Neighbour] = []
+                for did, drect in ds:
+                    ops += 1
+                    local.append((qrect.min_distance(drect), did))
+                local.sort()
+                for dist, did in local[:k]:
+                    ctx.emit(f"{qid}\t{dist!r}\t{did}")
+            ctx.add_compute(ops)
+
+        return reducer

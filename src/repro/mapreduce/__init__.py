@@ -1,0 +1,36 @@
+"""The map-reduce substrate: DFS, jobs, engine, cost model, workflows."""
+
+from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.localfs import LocalFSDFS
+from repro.mapreduce.engine import Cluster, JobResult
+from repro.mapreduce.job import (
+    MapContext,
+    MapReduceJob,
+    ReduceContext,
+    estimate_size,
+    hash_partitioner,
+    identity_partitioner,
+)
+from repro.mapreduce.workflow import Workflow, WorkflowResult
+
+__all__ = [
+    "C",
+    "Counters",
+    "InMemoryDFS",
+    "LocalFSDFS",
+    "CostModel",
+    "TaskStats",
+    "JobCostBreakdown",
+    "MapReduceJob",
+    "MapContext",
+    "ReduceContext",
+    "estimate_size",
+    "identity_partitioner",
+    "hash_partitioner",
+    "Cluster",
+    "JobResult",
+    "Workflow",
+    "WorkflowResult",
+]

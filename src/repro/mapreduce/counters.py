@@ -1,0 +1,70 @@
+"""Job counters, mirroring Hadoop's counter groups.
+
+Counters are the measurement backbone of the reproduction: the paper's
+efficiency arguments are phrased in terms of the number of intermediate
+key-value pairs (communication cost) and the read/write volume of chained
+jobs, all of which are recorded here and consumed by the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator, Mapping
+
+__all__ = ["Counters", "C"]
+
+
+class C:
+    """Well-known counter names used by the engine and the cost model."""
+
+    GROUP_ENGINE = "engine"
+
+    MAP_INPUT_RECORDS = "map_input_records"
+    MAP_OUTPUT_RECORDS = "map_output_records"
+    MAP_OUTPUT_BYTES = "map_output_bytes"
+    COMBINE_INPUT_RECORDS = "combine_input_records"
+    COMBINE_OUTPUT_RECORDS = "combine_output_records"
+    REDUCE_INPUT_GROUPS = "reduce_input_groups"
+    REDUCE_INPUT_RECORDS = "reduce_input_records"
+    REDUCE_OUTPUT_RECORDS = "reduce_output_records"
+    REDUCE_COMPUTE_OPS = "reduce_compute_ops"
+    MAP_COMPUTE_OPS = "map_compute_ops"
+    DFS_BYTES_READ = "dfs_bytes_read"
+    DFS_BYTES_WRITTEN = "dfs_bytes_written"
+
+
+class Counters:
+    """A two-level ``group -> name -> int`` counter map."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def add(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment ``group/name`` by ``amount`` (negative allowed)."""
+        self._groups[group][name] += amount
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of ``group/name`` (0 when never incremented)."""
+        return self._groups.get(group, {}).get(name, 0)
+
+    def engine(self, name: str) -> int:
+        """Shorthand for the engine counter group."""
+        return self.get(C.GROUP_ENGINE, name)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate every counter of ``other`` into this object."""
+        for group, names in other._groups.items():
+            for name, value in names.items():
+                self._groups[group][name] += value
+
+    def groups(self) -> Iterator[tuple[str, Mapping[str, int]]]:
+        """Iterate ``(group, {name: value})`` pairs, sorted by group."""
+        for group in sorted(self._groups):
+            yield group, dict(self._groups[group])
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """A plain-dict snapshot (for reports and tests)."""
+        return {group: dict(names) for group, names in self._groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.as_dict()!r})"

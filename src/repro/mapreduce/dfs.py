@@ -1,0 +1,141 @@
+"""An in-memory distributed file system with I/O accounting.
+
+The paper's cluster stores inputs and intermediate results on HDFS; the
+reproduction replaces it with an in-process store that keeps the two
+properties the evaluation depends on:
+
+* files are line-oriented text (records cross job boundaries as parsed
+  text, never as shared Python objects), and
+* every byte read or written is accounted, because the read/write volume
+  of the 2-way Cascade is one of the paper's two cost stories.
+
+Paths behave like HDFS paths: plain strings with ``/`` separators.  A job
+writes one ``part-NNNNN`` file per reducer under its output directory and
+downstream jobs read the directory back via :meth:`InMemoryDFS.read_dir`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import DFSError
+
+__all__ = ["InMemoryDFS"]
+
+
+def _normalize(path: str) -> str:
+    if not path or path.startswith("/") and len(path) == 1:
+        raise DFSError(f"invalid DFS path {path!r}")
+    return path.strip("/")
+
+
+class InMemoryDFS:
+    """A minimal HDFS stand-in: named immutable line files plus accounting."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, list[str]] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+    def write_file(self, path: str, lines: Iterable[str]) -> int:
+        """Create (or replace) a file; returns the number of bytes written.
+
+        Each line is stored without a trailing newline but accounted with
+        one, matching text-file sizes on a real DFS.
+        """
+        path = _normalize(path)
+        stored = []
+        nbytes = 0
+        for line in lines:
+            if "\n" in line:
+                raise DFSError(f"record contains a newline: {line!r}")
+            stored.append(line)
+            nbytes += len(line) + 1
+        self._files[path] = stored
+        self.bytes_written += nbytes
+        return nbytes
+
+    def read_file(self, path: str) -> list[str]:
+        """All lines of a file; accounts the read volume."""
+        path = _normalize(path)
+        if path not in self._files:
+            raise DFSError(f"no such file: {path!r}")
+        lines = self._files[path]
+        self.bytes_read += self.file_size(path)
+        return list(lines)
+
+    def iter_records(self, path: str) -> Iterator[tuple[int, str]]:
+        """Yield ``(line_number, line)`` pairs, the map-input record form."""
+        for i, line in enumerate(self.read_file(path)):
+            yield (i, line)
+
+    # ------------------------------------------------------------------
+    # Directory-ish operations
+    # ------------------------------------------------------------------
+    def list_dir(self, path: str) -> list[str]:
+        """All file paths under a directory prefix, sorted."""
+        prefix = _normalize(path) + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def read_dir(self, path: str) -> list[str]:
+        """Concatenated lines of every file under a directory, part order."""
+        files = self.list_dir(path)
+        if not files:
+            raise DFSError(f"no files under directory {path!r}")
+        out: list[str] = []
+        for f in files:
+            out.extend(self.read_file(f))
+        return out
+
+    def resolve(self, path: str) -> list[str]:
+        """Expand a path to input files: itself if a file, else a directory."""
+        norm = _normalize(path)
+        if norm in self._files:
+            return [norm]
+        files = self.list_dir(norm)
+        if not files:
+            raise DFSError(f"no such file or directory: {path!r}")
+        return files
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether the path is a file or a non-empty directory."""
+        norm = _normalize(path)
+        return norm in self._files or bool(self.list_dir(norm))
+
+    def file_size(self, path: str) -> int:
+        """Size of one file in bytes (line lengths + newlines)."""
+        path = _normalize(path)
+        if path not in self._files:
+            raise DFSError(f"no such file: {path!r}")
+        return sum(len(line) + 1 for line in self._files[path])
+
+    def dir_size(self, path: str) -> int:
+        """Total size of every file under a directory."""
+        return sum(self.file_size(f) for f in self.list_dir(path))
+
+    def num_records(self, path: str) -> int:
+        """Record (line) count of a file or directory."""
+        norm = _normalize(path)
+        if norm in self._files:
+            return len(self._files[norm])
+        return sum(len(self._files[f]) for f in self.list_dir(norm))
+
+    def delete(self, path: str) -> int:
+        """Delete a file or directory subtree; returns #files removed."""
+        norm = _normalize(path)
+        doomed = [norm] if norm in self._files else self.list_dir(norm)
+        for f in doomed:
+            del self._files[f]
+        return len(doomed)
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InMemoryDFS({len(self._files)} files)"

@@ -1,0 +1,287 @@
+"""The map-reduce execution engine (the Hadoop stand-in).
+
+Runs one :class:`~repro.mapreduce.job.MapReduceJob` at a time, faithfully
+reproducing the data flow of Section 2:
+
+1. input files are read from the DFS and partitioned into *splits*, one
+   map task per split;
+2. each map task applies the map function to every record and buckets
+   its emissions by the partitioner;
+3. the shuffle merges the buckets per reducer and sorts them by key;
+4. each reduce task folds over its key groups and writes one
+   ``part-NNNNN`` file back to the DFS.
+
+Everything is deterministic: splits are formed in file order, sorting is
+stable, and reducers run in id order — a job run twice produces
+byte-identical output, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JobError
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+
+__all__ = ["Cluster", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job run: counters, per-task volumes and timing."""
+
+    job_name: str
+    output_path: str
+    counters: Counters
+    map_tasks: list[TaskStats]
+    reduce_tasks: list[TaskStats]
+    cost: JobCostBreakdown
+    output_records: int = 0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled end-to-end duration of the job."""
+        return self.cost.total_s
+
+    @property
+    def shuffled_records(self) -> int:
+        """Intermediate key-value pairs — the paper's communication cost."""
+        return self.counters.engine(C.MAP_OUTPUT_RECORDS)
+
+
+@dataclass
+class Cluster:
+    """A simulated map-reduce cluster bound to one DFS instance.
+
+    Parameters
+    ----------
+    dfs:
+        The file system jobs read from / write to.
+    cost_model:
+        Rates used to convert job volumes into simulated seconds.
+    split_records:
+        Map-split granularity in records; the paper's 64 MB HDFS blocks
+        become a record-count split since our records are tiny.
+    """
+
+    dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
+    cost_model: CostModel = field(default_factory=CostModel)
+    split_records: int = 20_000
+
+    def run_job(self, job: MapReduceJob) -> JobResult:
+        """Execute one job; raises :class:`JobError` on task failure."""
+        counters = Counters()
+        read_before = self.dfs.bytes_read
+        map_contexts, map_tasks = self._run_map_phase(job, counters)
+        counters.add(C.GROUP_ENGINE, C.DFS_BYTES_READ, self.dfs.bytes_read - read_before)
+
+        written_before = self.dfs.bytes_written
+        if job.reducer is None:
+            reduce_tasks, output_records = self._write_map_only_output(
+                job, map_contexts, counters
+            )
+        else:
+            reduce_tasks, output_records = self._run_reduce_phase(
+                job, map_contexts, counters
+            )
+        counters.add(
+            C.GROUP_ENGINE, C.DFS_BYTES_WRITTEN, self.dfs.bytes_written - written_before
+        )
+
+        cost = self.cost_model.job_seconds(
+            map_tasks,
+            reduce_tasks,
+            shuffle_records=counters.engine(C.MAP_OUTPUT_RECORDS),
+            shuffle_bytes=counters.engine(C.MAP_OUTPUT_BYTES),
+        )
+        return JobResult(
+            job_name=job.name,
+            output_path=job.output_path,
+            counters=counters,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+            cost=cost,
+            output_records=output_records,
+        )
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def _input_splits(self, job: MapReduceJob) -> list[list[tuple[str, int, str]]]:
+        """Split input files into map tasks of ``split_records`` records."""
+        splits: list[list[tuple[str, int, str]]] = []
+        current: list[tuple[str, int, str]] = []
+        for path in job.input_paths:
+            for f in self.dfs.resolve(path):
+                for lineno, line in enumerate(self.dfs.read_file(f)):
+                    current.append((f, lineno, line))
+                    if len(current) >= self.split_records:
+                        splits.append(current)
+                        current = []
+                # A split never spans files, like HDFS blocks.
+                if current:
+                    splits.append(current)
+                    current = []
+        return splits
+
+    def _run_map_phase(
+        self, job: MapReduceJob, counters: Counters
+    ) -> tuple[list[MapContext], list[TaskStats]]:
+        splits = self._input_splits(job)
+        contexts: list[MapContext] = []
+        stats: list[TaskStats] = []
+        for split in splits:
+            ctx = MapContext(counters, job.num_reducers, job.partitioner)
+            nbytes = 0
+            for path, lineno, line in split:
+                nbytes += len(line) + 1
+                counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS)
+                ctx.input_records += 1
+                try:
+                    job.mapper((path, lineno), line, ctx)
+                except Exception as exc:  # noqa: BLE001 - wrap task failures
+                    raise JobError(
+                        f"map task failed in job {job.name!r} on "
+                        f"{path}:{lineno}: {exc}"
+                    ) from exc
+            if job.combiner is not None:
+                self._apply_combiner(job, ctx, counters)
+            contexts.append(ctx)
+            stats.append(
+                TaskStats(
+                    input_records=ctx.input_records,
+                    input_bytes=nbytes,
+                    output_records=ctx.output_records,
+                    output_bytes=ctx.output_bytes,
+                    compute_ops=ctx.compute_ops,
+                )
+            )
+        return contexts, stats
+
+    @staticmethod
+    def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> None:
+        """Map-side pre-aggregation: rewrite the task's buckets in place.
+
+        Counters are adjusted so MAP_OUTPUT_* reflect the *shuffled*
+        (post-combine) volume — what the cost model charges — while the
+        pre-combine volume is recorded under COMBINE_INPUT_RECORDS.
+        """
+        from repro.mapreduce.job import estimate_size
+
+        for r, bucket in enumerate(ctx.buckets):
+            if not bucket:
+                continue
+            bucket.sort(key=lambda kv: job.sort_key(kv[0]))
+            combined: list[tuple] = []
+            i = 0
+            while i < len(bucket):
+                key = bucket[i][0]
+                j = i
+                values = []
+                while j < len(bucket) and bucket[j][0] == key:
+                    values.append(bucket[j][1])
+                    j += 1
+                for value in job.combiner(key, values):
+                    combined.append((key, value))
+                i = j
+            old_bytes = sum(estimate_size(k) + estimate_size(v) for k, v in bucket)
+            new_bytes = sum(estimate_size(k) + estimate_size(v) for k, v in combined)
+            counters.add(C.GROUP_ENGINE, C.COMBINE_INPUT_RECORDS, len(bucket))
+            counters.add(C.GROUP_ENGINE, C.COMBINE_OUTPUT_RECORDS, len(combined))
+            counters.add(
+                C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS, len(combined) - len(bucket)
+            )
+            counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, new_bytes - old_bytes)
+            ctx.output_records += len(combined) - len(bucket)
+            ctx.output_bytes += new_bytes - old_bytes
+            ctx.buckets[r] = combined
+
+    # ------------------------------------------------------------------
+    # Reduce phase
+    # ------------------------------------------------------------------
+    def _run_reduce_phase(
+        self, job: MapReduceJob, map_contexts: list[MapContext], counters: Counters
+    ) -> tuple[list[TaskStats], int]:
+        stats: list[TaskStats] = []
+        total_output = 0
+        for r in range(job.num_reducers):
+            # Merge this reducer's buckets from every map task, then sort
+            # (stable, so same-key values keep map emission order).
+            bucket: list[tuple] = []
+            input_bytes = 0
+            for ctx in map_contexts:
+                bucket.extend(ctx.buckets[r])
+            bucket.sort(key=lambda kv: job.sort_key(kv[0]))
+
+            rctx = ReduceContext(counters, r)
+            i = 0
+            groups = 0
+            while i < len(bucket):
+                key = bucket[i][0]
+                j = i
+                values = []
+                while j < len(bucket) and bucket[j][0] == key:
+                    values.append(bucket[j][1])
+                    j += 1
+                groups += 1
+                rctx.input_records += len(values)
+                try:
+                    job.reducer(key, values, rctx)
+                except Exception as exc:  # noqa: BLE001 - wrap task failures
+                    raise JobError(
+                        f"reduce task {r} failed in job {job.name!r} "
+                        f"on key {key!r}: {exc}"
+                    ) from exc
+                i = j
+            counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_GROUPS, groups)
+            counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_RECORDS, rctx.input_records)
+
+            part_path = f"{job.output_path}/part-{r:05d}"
+            nbytes = self.dfs.write_file(part_path, rctx.output_lines)
+            total_output += len(rctx.output_lines)
+            stats.append(
+                TaskStats(
+                    input_records=rctx.input_records,
+                    input_bytes=input_bytes,
+                    output_records=len(rctx.output_lines),
+                    output_bytes=nbytes,
+                    compute_ops=rctx.compute_ops,
+                )
+            )
+        return stats, total_output
+
+    def _write_map_only_output(
+        self, job: MapReduceJob, map_contexts: list[MapContext], counters: Counters
+    ) -> tuple[list[TaskStats], int]:
+        """Map-only jobs write partitioned but unsorted/unreduced output.
+
+        Map emissions must already be text lines (``value`` is written
+        verbatim, the key only drives partitioning).
+        """
+        stats: list[TaskStats] = []
+        total_output = 0
+        for r in range(job.num_reducers):
+            lines: list[str] = []
+            for ctx in map_contexts:
+                for __, value in ctx.buckets[r]:
+                    if not isinstance(value, str):
+                        raise JobError(
+                            f"map-only job {job.name!r} emitted a non-string "
+                            f"value: {value!r}"
+                        )
+                    lines.append(value)
+            part_path = f"{job.output_path}/part-{r:05d}"
+            nbytes = self.dfs.write_file(part_path, lines)
+            counters.add(C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS, len(lines))
+            total_output += len(lines)
+            stats.append(
+                TaskStats(
+                    input_records=len(lines),
+                    output_records=len(lines),
+                    output_bytes=nbytes,
+                )
+            )
+        return stats, total_output

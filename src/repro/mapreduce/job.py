@@ -1,0 +1,187 @@
+"""Map-reduce job specification and task contexts (Section 2).
+
+A job is the classic two-function program::
+
+    map:    (k1, v1)   -> [(k2, v2)]
+    reduce: (k2, [v2]) -> [k3/v3 output records]
+
+Map input records are ``(line_number, line)`` pairs read from DFS text
+files; reduce output records are text lines written back to DFS.  The
+intermediate keys of every join job in this library are partition-cell
+ids (ints) and the intermediate values are small tuples; their size is
+estimated by :func:`estimate_size` for shuffle accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import JobError
+from repro.mapreduce.counters import C, Counters
+
+__all__ = [
+    "MapReduceJob",
+    "MapContext",
+    "ReduceContext",
+    "estimate_size",
+    "identity_partitioner",
+    "hash_partitioner",
+]
+
+#: map(key, value, context) -> None; emits via ``context.emit``.
+Mapper = Callable[[Any, str, "MapContext"], None]
+#: reduce(key, values, context) -> None; emits via ``context.emit``.
+Reducer = Callable[[Any, Sequence[Any], "ReduceContext"], None]
+
+
+def estimate_size(obj: Any) -> int:
+    """Deterministic serialized-size estimate of an intermediate record.
+
+    Strings count their length; numbers count 8 bytes; containers count
+    their elements plus 2 bytes of framing.  Exact wire formats do not
+    matter — the cost model only needs sizes that scale with the data.
+    """
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, bool) or obj is None:
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return 2 + sum(estimate_size(o) for o in obj)
+    if isinstance(obj, dict):
+        return 2 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in obj.items()
+        )
+    return 16  # conservative default for exotic values
+
+
+def identity_partitioner(key: Any, num_reducers: int) -> int:
+    """Route integer keys directly: reducer ``key % num_reducers``.
+
+    With one reducer per partition-cell and cell ids as keys this is the
+    paper's routing rule "pair ``(c_i, u)`` is routed to reducer ``c_i``".
+    """
+    return int(key) % num_reducers
+
+
+def hash_partitioner(key: Any, num_reducers: int) -> int:
+    """Hadoop-style hash partitioning for non-integer keys."""
+    return hash(key) % num_reducers
+
+
+class MapContext:
+    """Per-map-task emission context."""
+
+    def __init__(self, counters: Counters, num_reducers: int, partitioner) -> None:
+        self._counters = counters
+        self._num_reducers = num_reducers
+        self._partitioner = partitioner
+        self.buckets: list[list[tuple[Any, Any]]] = [[] for __ in range(num_reducers)]
+        self.input_records = 0
+        self.output_records = 0
+        self.output_bytes = 0
+        self.compute_ops = 0
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one intermediate ``(k2, v2)`` pair."""
+        r = self._partitioner(key, self._num_reducers)
+        if not 0 <= r < self._num_reducers:
+            raise JobError(
+                f"partitioner routed key {key!r} to invalid reducer {r}"
+            )
+        self.buckets[r].append((key, value))
+        nbytes = estimate_size(key) + estimate_size(value)
+        self.output_records += 1
+        self.output_bytes += nbytes
+        self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS)
+        self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, nbytes)
+
+    def add_compute(self, ops: int) -> None:
+        """Report CPU work (e.g. candidate-pair checks) to the cost model."""
+        self.compute_ops += ops
+        self._counters.add(C.GROUP_ENGINE, C.MAP_COMPUTE_OPS, ops)
+
+    def counter(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment a user counter."""
+        self._counters.add(group, name, amount)
+
+
+class ReduceContext:
+    """Per-reduce-task emission context."""
+
+    def __init__(self, counters: Counters, reducer_id: int) -> None:
+        self._counters = counters
+        self.reducer_id = reducer_id
+        self.output_lines: list[str] = []
+        self.input_records = 0
+        self.compute_ops = 0
+
+    def emit(self, line: str) -> None:
+        """Emit one output record (a text line written to this task's part file)."""
+        self.output_lines.append(line)
+        self._counters.add(C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS)
+
+    def add_compute(self, ops: int) -> None:
+        """Report CPU work (e.g. join comparisons) to the cost model."""
+        self.compute_ops += ops
+        self._counters.add(C.GROUP_ENGINE, C.REDUCE_COMPUTE_OPS, ops)
+
+    def counter(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment a user counter."""
+        self._counters.add(group, name, amount)
+
+
+@dataclass
+class MapReduceJob:
+    """Specification of one map-reduce job.
+
+    Parameters
+    ----------
+    name:
+        Human-readable job name (appears in reports).
+    input_paths:
+        DFS files or directories read as map input.
+    output_path:
+        DFS directory the reduce part files are written under.
+    mapper, reducer:
+        The two user functions.  ``reducer=None`` runs a map-only job
+        whose emissions are written out partitioned but unsorted (used
+        for selection/filter steps of the 2-way Cascade).
+    num_reducers:
+        Number of reduce tasks; the join jobs use one per partition-cell.
+    partitioner:
+        ``(key, num_reducers) -> reducer index``.
+    sort_key:
+        Ordering applied to intermediate keys within a reduce task.
+    combiner:
+        Optional map-side pre-aggregation ``(key, values) -> [values]``,
+        applied per map task and per reducer bucket before the shuffle —
+        Hadoop's combiner.  Must be semantically idempotent with the
+        reducer's aggregation (sums, counts, maxima...).
+    """
+
+    name: str
+    input_paths: list[str]
+    output_path: str
+    mapper: Mapper
+    reducer: Reducer | None
+    num_reducers: int
+    partitioner: Callable[[Any, int], int] = identity_partitioner
+    sort_key: Callable[[Any], Any] = field(default=lambda k: k)
+    combiner: Callable[[Any, list], list] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise JobError(f"job {self.name!r} needs >= 1 reducers")
+        if not self.input_paths:
+            raise JobError(f"job {self.name!r} has no input paths")
+        if not self.output_path:
+            raise JobError(f"job {self.name!r} has no output path")
+
+
+def format_output(key: Any, value: Any) -> str:
+    """Default k3/v3 text encoding used by map-only jobs."""
+    return f"{key}\t{value}"

@@ -1,0 +1,169 @@
+"""A file-system-backed DFS: the in-memory store's persistent sibling.
+
+``LocalFSDFS`` implements the same interface as
+:class:`~repro.mapreduce.dfs.InMemoryDFS` on top of a real directory
+tree, so workloads and results survive the process — useful for
+inspecting intermediate job outputs, resuming long experiment sessions,
+or feeding externally-produced rectangle files straight into the join
+algorithms.  The engine is backend-agnostic (it only calls the shared
+interface), which the substitution test-suite verifies by running whole
+joins on both backends and comparing outputs byte for byte.
+
+DFS paths map to paths under the root directory; path components are
+restricted to a safe character set so a DFS path can never escape the
+root.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import DFSError
+
+__all__ = ["LocalFSDFS"]
+
+_SEGMENT_RE = re.compile(r"^[A-Za-z0-9._#=-]+$")
+
+
+class LocalFSDFS:
+    """Line-oriented file store rooted at a local directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def _resolve_path(self, path: str) -> Path:
+        segments = [s for s in path.strip("/").split("/") if s]
+        if not segments:
+            raise DFSError(f"invalid DFS path {path!r}")
+        for segment in segments:
+            if segment in (".", "..") or not _SEGMENT_RE.match(segment):
+                raise DFSError(
+                    f"path segment {segment!r} outside the safe character set"
+                )
+        return self.root.joinpath(*segments)
+
+    @staticmethod
+    def _normalized(path: str) -> str:
+        return path.strip("/")
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+    def write_file(self, path: str, lines: Iterable[str]) -> int:
+        """Create (or replace) a file; returns the number of bytes written."""
+        target = self._resolve_path(path)
+        if target.is_dir():
+            raise DFSError(f"{path!r} is a directory")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        nbytes = 0
+        with target.open("w", encoding="utf-8") as fh:
+            for line in lines:
+                if "\n" in line:
+                    raise DFSError(f"record contains a newline: {line!r}")
+                fh.write(line)
+                fh.write("\n")
+                nbytes += len(line) + 1
+        self.bytes_written += nbytes
+        return nbytes
+
+    def read_file(self, path: str) -> list[str]:
+        """All lines of a file; accounts the read volume."""
+        target = self._resolve_path(path)
+        if not target.is_file():
+            raise DFSError(f"no such file: {path!r}")
+        text = target.read_text(encoding="utf-8")
+        self.bytes_read += len(text)
+        return text.splitlines()
+
+    def iter_records(self, path: str) -> Iterator[tuple[int, str]]:
+        """Yield ``(line_number, line)`` pairs, the map-input record form."""
+        for i, line in enumerate(self.read_file(path)):
+            yield (i, line)
+
+    # ------------------------------------------------------------------
+    # Directory-ish operations
+    # ------------------------------------------------------------------
+    def list_dir(self, path: str) -> list[str]:
+        """All file paths under a directory prefix, sorted."""
+        target = self._resolve_path(path)
+        if not target.is_dir():
+            return []
+        out = []
+        for child in sorted(target.rglob("*")):
+            if child.is_file():
+                rel = child.relative_to(self.root)
+                out.append("/".join(rel.parts))
+        return out
+
+    def read_dir(self, path: str) -> list[str]:
+        """Concatenated lines of every file under a directory, part order."""
+        files = self.list_dir(path)
+        if not files:
+            raise DFSError(f"no files under directory {path!r}")
+        lines: list[str] = []
+        for f in files:
+            lines.extend(self.read_file(f))
+        return lines
+
+    def resolve(self, path: str) -> list[str]:
+        """Expand a path to input files: itself if a file, else a directory."""
+        target = self._resolve_path(path)
+        if target.is_file():
+            return [self._normalized(path)]
+        files = self.list_dir(path)
+        if not files:
+            raise DFSError(f"no such file or directory: {path!r}")
+        return files
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether the path is a file or a non-empty directory."""
+        target = self._resolve_path(path)
+        return target.is_file() or (target.is_dir() and bool(self.list_dir(path)))
+
+    def file_size(self, path: str) -> int:
+        """Size of one file in bytes."""
+        target = self._resolve_path(path)
+        if not target.is_file():
+            raise DFSError(f"no such file: {path!r}")
+        return target.stat().st_size
+
+    def dir_size(self, path: str) -> int:
+        """Total size of every file under a directory."""
+        return sum(self.file_size(f) for f in self.list_dir(path))
+
+    def num_records(self, path: str) -> int:
+        """Record (line) count of a file or directory."""
+        target = self._resolve_path(path)
+        if target.is_file():
+            return len(self.read_file(path))
+        total = 0
+        for f in self.list_dir(path):
+            total += len(self.read_file(f))
+        return total
+
+    def delete(self, path: str) -> int:
+        """Delete a file or directory subtree; returns #files removed."""
+        target = self._resolve_path(path)
+        if target.is_file():
+            target.unlink()
+            return 1
+        count = len(self.list_dir(path))
+        if target.is_dir():
+            shutil.rmtree(target)
+        return count
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalFSDFS({self.root})"

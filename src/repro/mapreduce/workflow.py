@@ -1,0 +1,76 @@
+"""Chained map-reduce jobs (a "round" of jobs in the paper's wording).
+
+Controlled-Replicate is "a round of two map-reduce jobs" and the 2-way
+Cascade is a chain of per-join jobs; :class:`Workflow` runs such chains
+sequentially with a barrier between jobs (job N+1 only reads what job N
+wrote to the DFS) and aggregates counters and simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import Cluster, JobResult
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["Workflow", "WorkflowResult"]
+
+
+@dataclass
+class WorkflowResult:
+    """Aggregated outcome of a job chain."""
+
+    job_results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Sum of the chained jobs' simulated durations (sequential barrier)."""
+        return sum(r.simulated_seconds for r in self.job_results)
+
+    @property
+    def shuffled_records(self) -> int:
+        """Total intermediate key-value pairs across all jobs."""
+        return sum(r.shuffled_records for r in self.job_results)
+
+    @property
+    def counters(self) -> Counters:
+        """Merged counters of every job."""
+        merged = Counters()
+        for r in self.job_results:
+            merged.merge(r.counters)
+        return merged
+
+    @property
+    def final_output_path(self) -> str:
+        """Output directory of the last job in the chain."""
+        if not self.job_results:
+            raise ValueError("workflow ran no jobs")
+        return self.job_results[-1].output_path
+
+    def job(self, name: str) -> JobResult:
+        """Look up a job result by name."""
+        for r in self.job_results:
+            if r.job_name == name:
+                return r
+        raise KeyError(f"no job named {name!r} in workflow")
+
+
+class Workflow:
+    """Run jobs sequentially on one cluster, collecting their results."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.result = WorkflowResult()
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        """Run one job and record its result."""
+        job_result = self.cluster.run_job(job)
+        self.result.job_results.append(job_result)
+        return job_result
+
+    def run_all(self, jobs: list[MapReduceJob]) -> WorkflowResult:
+        """Run a pre-built chain in order."""
+        for job in jobs:
+            self.run(job)
+        return self.result

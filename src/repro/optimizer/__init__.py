@@ -1,0 +1,24 @@
+"""Join-order optimization for the 2-way Cascade."""
+
+from repro.optimizer.histogram import (
+    HistogramProfile,
+    estimate_join_size_histogram,
+)
+from repro.optimizer.planner import CascadePlan, plan_cascade_order
+from repro.optimizer.stats import (
+    DatasetProfile,
+    estimate_join_size,
+    profile_dataset,
+    profiles_for_query,
+)
+
+__all__ = [
+    "CascadePlan",
+    "plan_cascade_order",
+    "DatasetProfile",
+    "profile_dataset",
+    "profiles_for_query",
+    "estimate_join_size",
+    "HistogramProfile",
+    "estimate_join_size_histogram",
+]

@@ -1,0 +1,94 @@
+"""Histogram-based join-size estimation for skewed data.
+
+The uniform-assumption estimator (`repro.optimizer.stats`) ranks join
+orders well on the paper's uniform workloads but can be badly off on
+clustered data, where join partners concentrate.  This estimator keeps a
+per-cell count histogram per dataset (the same statistics pass a grid
+advisor runs — see ``examples/custom_mapreduce.py``) and estimates
+
+    |R1 join R2| ~= sum_cells  n1(cell) * n2(cell) * window / area(cell)
+
+i.e. the uniform formula applied cell-locally, which captures the
+first-order effect of correlated density.  The estimate degrades to the
+global uniform one on flat histograms (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.optimizer.stats import DatasetProfile, profile_dataset
+from repro.query.query import Triple
+
+__all__ = ["HistogramProfile", "estimate_join_size_histogram"]
+
+
+@dataclass(frozen=True)
+class HistogramProfile:
+    """A dataset profile plus a per-cell start-point histogram."""
+
+    base: DatasetProfile
+    grid: GridPartitioning
+    counts: tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        rects: list[tuple[int, Rect]],
+        grid: GridPartitioning,
+    ) -> "HistogramProfile":
+        """One pass over the data: aggregate profile + cell counts."""
+        counts = [0] * grid.num_cells
+        for __, r in rects:
+            counts[grid.cell_of(r).cell_id] += 1
+        return cls(
+            base=profile_dataset(name, rects),
+            grid=grid,
+            counts=tuple(counts),
+        )
+
+    @property
+    def skew(self) -> float:
+        """Hottest cell's share relative to a flat histogram (1.0 = flat)."""
+        total = sum(self.counts)
+        if total == 0:
+            return 1.0
+        flat = total / len(self.counts)
+        return max(self.counts) / flat
+
+
+def estimate_join_size_histogram(
+    left: HistogramProfile, right: HistogramProfile, triple: Triple
+) -> float:
+    """Cell-local uniform estimate of one join edge's output size.
+
+    Both histograms must be built over the same grid.  The join window
+    (mean extents plus twice the range distance) is assumed small
+    relative to a cell, matching how the estimator is used: ranking
+    orders on the reducer grid whose cells are much larger than
+    rectangles.
+    """
+    if left.grid is not right.grid and (
+        left.grid.num_cells != right.grid.num_cells
+        or left.grid.space != right.grid.space
+    ):
+        raise ExperimentError("histograms built over different grids")
+    if left.base.is_empty or right.base.is_empty:
+        return 0.0
+    d = triple.predicate.distance
+    window = (left.base.mean_l + right.base.mean_l + 2 * d) * (
+        left.base.mean_b + right.base.mean_b + 2 * d
+    )
+    total = 0.0
+    for cell, (n1, n2) in zip(
+        left.grid.cells(), zip(left.counts, right.counts)
+    ):
+        if n1 == 0 or n2 == 0:
+            continue
+        area = max(cell.extent.area, 1e-12)
+        total += n1 * n2 * min(1.0, window / area)
+    return total

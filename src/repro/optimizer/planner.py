@@ -1,0 +1,123 @@
+"""Greedy join-order planning for the 2-way Cascade.
+
+The cascade evaluates one 2-way join per step; each step's cost is
+driven by the size of the partial-tuple relation it reads, shuffles and
+writes.  The planner chooses a connected slot order minimising the sum
+of estimated intermediate cardinalities:
+
+* start with the edge of smallest estimated join size,
+* repeatedly attach the frontier slot whose join multiplies the current
+  intermediate cardinality the least (its estimated per-probe degree).
+
+This is the classical greedy left-deep heuristic; with at most a
+handful of relations it is exact often enough, and the experiments only
+need it to avoid pathological orders (e.g. starting with the two huge
+relations of a star when a selective leaf exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.geometry.rectangle import Rect
+from repro.optimizer.stats import (
+    DatasetProfile,
+    estimate_join_size,
+    estimate_selectivity_per_probe,
+    profiles_for_query,
+)
+from repro.query.query import Query
+
+__all__ = ["CascadePlan", "plan_cascade_order"]
+
+
+@dataclass(frozen=True)
+class CascadePlan:
+    """A planned slot order plus the estimates that justified it."""
+
+    order: tuple[str, ...]
+    #: estimated cardinality after each step (index 0 = first join)
+    estimated_sizes: tuple[float, ...]
+
+    @property
+    def estimated_total_intermediate(self) -> float:
+        """Sum of intermediate sizes — the quantity the planner minimises."""
+        return sum(self.estimated_sizes[:-1]) if self.estimated_sizes else 0.0
+
+
+def plan_cascade_order(
+    query: Query,
+    datasets: dict[str, list[tuple[int, Rect]]] | None = None,
+    *,
+    profiles: dict[str, DatasetProfile] | None = None,
+    space_area: float | None = None,
+) -> CascadePlan:
+    """Choose a cascade slot order from data (or precomputed) profiles.
+
+    Provide either ``datasets`` (profiled on the fly) or per-slot
+    ``profiles`` plus ``space_area``.
+    """
+    if profiles is None:
+        if datasets is None:
+            raise ExperimentError("need datasets or profiles to plan")
+        profiles = profiles_for_query(query, datasets)
+    if space_area is None:
+        if datasets is None:
+            raise ExperimentError("need datasets or an explicit space_area")
+        all_rects = [r for rects in datasets.values() for __, r in rects]
+        if not all_rects:
+            raise ExperimentError("cannot plan over empty datasets")
+        from repro.geometry.ops import bounding_rect
+
+        box = bounding_rect(all_rects)
+        space_area = max(box.area, 1.0)
+
+    # --- pick the cheapest starting edge ------------------------------
+    best_edge = None
+    best_size = None
+    for t in query.triples:
+        size = estimate_join_size(
+            profiles[t.left], profiles[t.right], t, space_area
+        )
+        if best_size is None or size < best_size:
+            best_edge, best_size = t, size
+    assert best_edge is not None and best_size is not None
+
+    # Put the smaller relation first (it is read as the tuple side).
+    first, second = best_edge.left, best_edge.right
+    if profiles[second].count < profiles[first].count:
+        first, second = second, first
+    order = [first, second]
+    sizes = [best_size]
+    current = best_size
+
+    # --- greedy expansion ---------------------------------------------
+    while len(order) < len(query.slots):
+        frontier: dict[str, float] = {}
+        for slot in query.slots:
+            if slot in order:
+                continue
+            touching = [
+                t for t in query.triples_touching(slot) if t.other(slot) in order
+            ]
+            if not touching:
+                continue
+            # Expected growth factor: the product of the new slot's
+            # per-probe degrees over every edge into the bound set.
+            growth = 1.0
+            for t in touching:
+                growth *= max(
+                    estimate_selectivity_per_probe(
+                        profiles[slot], t, space_area
+                    ),
+                    1e-12,
+                )
+            frontier[slot] = growth
+        if not frontier:  # pragma: no cover - connectivity bars this
+            raise ExperimentError("join graph is disconnected")
+        nxt = min(frontier, key=lambda s: frontier[s])
+        current = current * frontier[nxt]
+        order.append(nxt)
+        sizes.append(current)
+    return CascadePlan(order=tuple(order), estimated_sizes=tuple(sizes))

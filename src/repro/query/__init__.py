@@ -1,0 +1,18 @@
+"""Query model: predicates, multi-way join queries and the join graph."""
+
+from repro.query.graph import JoinGraph, crepl_bounds
+from repro.query.parser import parse_query
+from repro.query.predicates import Contains, Overlap, Predicate, Range
+from repro.query.query import Query, Triple
+
+__all__ = [
+    "Predicate",
+    "Overlap",
+    "Range",
+    "Contains",
+    "Triple",
+    "Query",
+    "JoinGraph",
+    "crepl_bounds",
+    "parse_query",
+]

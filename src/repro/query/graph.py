@@ -1,0 +1,251 @@
+"""Join-graph utilities (Section 1.2 and the C-Rep-L bounds of §7.9/§8).
+
+The query is visualised as a graph with one vertex per slot and one edge
+per triple, weighted 0 for overlap edges and ``d`` for range edges.  This
+module derives the graph-structural facts the algorithms need:
+
+* connected evaluation orders (for the local backtracking join and for
+  the 2-way Cascade plan),
+* enumeration of connected slot-subsets (the candidate rectangle-set
+  shapes of the Controlled-Replicate marking test), and
+* the per-slot replication distance bounds of C-Rep-L.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Mapping
+from functools import cached_property
+
+import networkx as nx
+
+from repro.errors import QueryError
+from repro.query.query import Query, Triple
+
+__all__ = ["JoinGraph", "crepl_bounds"]
+
+
+class JoinGraph:
+    """Structural view of a query's join graph."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(query.slots)
+        for t in query.triples:
+            graph.add_edge(t.left, t.right, triple=t, weight=t.predicate.distance)
+        self._graph = graph
+
+    @cached_property
+    def slots(self) -> tuple[str, ...]:
+        return self.query.slots
+
+    def neighbors(self, slot: str) -> tuple[str, ...]:
+        """Adjacent slots (each listed once even with parallel edges)."""
+        return tuple(self._graph.neighbors(slot))
+
+    def degree(self, slot: str) -> int:
+        """Number of triples touching the slot."""
+        return len(self.query.triples_touching(slot))
+
+    # ------------------------------------------------------------------
+    # Evaluation orders
+    # ------------------------------------------------------------------
+    def connected_order(self, start: str | None = None) -> tuple[str, ...]:
+        """A slot order where every slot (after the first) has an earlier
+        neighbor.
+
+        Used by the local backtracking join so each newly bound slot can
+        be constrained through at least one already-bound edge.  Slots
+        with higher degree are preferred early (more constraining).
+        """
+        if start is None:
+            start = max(self.slots, key=self.degree)
+        if start not in self.slots:
+            raise QueryError(f"unknown slot {start!r}")
+        order = [start]
+        placed = {start}
+        while len(order) < len(self.slots):
+            frontier = [
+                s
+                for s in self.slots
+                if s not in placed and any(n in placed for n in self.neighbors(s))
+            ]
+            if not frontier:  # pragma: no cover - query validation bars this
+                raise QueryError("join graph is disconnected")
+            nxt = max(frontier, key=self.degree)
+            order.append(nxt)
+            placed.add(nxt)
+        return tuple(order)
+
+    def spanning_triples(self, start: str | None = None) -> tuple[Triple, ...]:
+        """Triples ordered so each one attaches to the already-joined set.
+
+        The prefix forms a spanning tree (each triple introduces a new
+        slot); the remaining triples connect two already-joined slots and
+        act as filters.  This is the 2-way Cascade plan skeleton.
+        """
+        order = self.connected_order(start)
+        placed: set[str] = {order[0]}
+        expanding: list[Triple] = []
+        used: set[int] = set()
+        for slot in order[1:]:
+            for i, t in enumerate(self.query.triples):
+                if i in used or not t.touches(slot):
+                    continue
+                if t.other(slot) in placed:
+                    expanding.append(t)
+                    used.add(i)
+                    placed.add(slot)
+                    break
+        filters = [t for i, t in enumerate(self.query.triples) if i not in used]
+        return tuple(expanding + filters)
+
+    # ------------------------------------------------------------------
+    # Connected subsets (Controlled-Replicate marking shapes)
+    # ------------------------------------------------------------------
+    def connected_subsets_containing(self, slot: str) -> tuple[frozenset[str], ...]:
+        """All connected *proper* slot-subsets containing ``slot``.
+
+        These are exactly the relation-set shapes the marking test of
+        Controlled-Replicate has to try: a rectangle-set satisfying
+        C1–C3 may be assumed w.l.o.g. to induce a connected subgraph
+        containing the rectangle's own slot (dropping other components
+        only removes crossing constraints), and condition C3 rules out
+        the full slot set.  Ordered smallest-first so the existence
+        search tries cheap shapes first.
+        """
+        if slot not in self.slots:
+            raise QueryError(f"unknown slot {slot!r}")
+        found: set[frozenset[str]] = set()
+
+        def grow(current: frozenset[str]) -> None:
+            if current in found:
+                return
+            found.add(current)
+            frontier = {
+                n
+                for s in current
+                for n in self.neighbors(s)
+                if n not in current
+            }
+            for nxt in frontier:
+                grown = current | {nxt}
+                if len(grown) < len(self.slots):
+                    grow(grown)
+
+        grow(frozenset({slot}))
+        return tuple(sorted(found, key=lambda s: (len(s), sorted(s))))
+
+    def outside_triples(self, subset: frozenset[str]) -> tuple[Triple, ...]:
+        """Triples with exactly one endpoint inside ``subset`` (C2's pairs)."""
+        return tuple(
+            t
+            for t in self.query.triples
+            if (t.left in subset) != (t.right in subset)
+        )
+
+    def inside_triples(self, subset: frozenset[str]) -> tuple[Triple, ...]:
+        """Triples with both endpoints inside ``subset`` (consistency edges)."""
+        return tuple(
+            t
+            for t in self.query.triples
+            if t.left in subset and t.right in subset
+        )
+
+    # ------------------------------------------------------------------
+    # C-Rep-L bounds
+    # ------------------------------------------------------------------
+    def replication_bounds(
+        self, d_max: float | Mapping[str, float]
+    ) -> dict[str, float]:
+        """Per-slot replication distance bounds for C-Rep-L (§7.9, §8).
+
+        A rectangle ``u`` of slot ``A`` and a rectangle ``x`` of slot
+        ``B`` can co-occur in an output tuple only if
+        ``dist(u, x) <=`` the cheapest join-graph path from A to B,
+        where each edge contributes its range parameter and each
+        *interior* vertex contributes the diameter bound ``d_max`` of its
+        dataset (two consecutive edges must both touch the interior
+        rectangle, so the hop across it costs at most its diagonal).
+
+        The bound for slot ``A`` is the maximum of that quantity over
+        all other slots — e.g. ``(m-2) * d_max`` for an overlap chain and
+        ``(m-2) * d_max + (m-1) * d`` for a range chain, matching the
+        paper's Figures 6 and 8.
+
+        Parameters
+        ----------
+        d_max:
+            Either a single upper bound on every rectangle diagonal or a
+            per-*slot* mapping (per-dataset bounds can be spread onto
+            slots by the caller).
+        """
+        if isinstance(d_max, Mapping):
+            diag = dict(d_max)
+            missing = [s for s in self.slots if s not in diag]
+            if missing:
+                raise QueryError(f"d_max mapping missing slots: {missing}")
+        else:
+            diag = {s: float(d_max) for s in self.slots}
+        for slot, value in diag.items():
+            if value < 0 or math.isnan(value):
+                raise QueryError(f"d_max for {slot!r} must be >= 0, got {value}")
+
+        bounds: dict[str, float] = {}
+        for source in self.slots:
+            dist = self._node_weighted_dijkstra(source, diag)
+            bounds[source] = max(
+                (dist[b] for b in self.slots if b != source), default=0.0
+            )
+        return bounds
+
+    def _node_weighted_dijkstra(
+        self, source: str, diag: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Cheapest path cost: sum of edge distances + interior diagonals.
+
+        Implemented by charging ``diag[v]`` on entering ``v`` and
+        refunding it at the destination (the destination is an endpoint,
+        not an interior vertex).
+        """
+        best: dict[str, float] = {source: 0.0}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > best.get(node, math.inf):
+                continue
+            for __, nbr, data in self._graph.edges(node, data=True):
+                nxt_cost = cost + data["weight"] + diag[nbr]
+                if nxt_cost < best.get(nbr, math.inf):
+                    best[nbr] = nxt_cost
+                    heapq.heappush(heap, (nxt_cost, nbr))
+        return {
+            node: best[node] - (diag[node] if node != source else 0.0)
+            for node in best
+        }
+
+
+def crepl_bounds(
+    query: Query,
+    d_max: float | Mapping[str, float],
+    *,
+    per_dataset: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Convenience wrapper returning C-Rep-L bounds keyed by slot.
+
+    ``per_dataset`` spreads dataset-level diagonal bounds onto slots and
+    overrides ``d_max`` where present.
+    """
+    graph = JoinGraph(query)
+    if per_dataset is not None:
+        diag = {
+            slot: per_dataset.get(
+                query.dataset_of(slot),
+                d_max if not isinstance(d_max, Mapping) else d_max[slot],
+            )
+            for slot in query.slots
+        }
+        return graph.replication_bounds(diag)
+    return graph.replication_bounds(d_max)

@@ -1,0 +1,80 @@
+"""A tiny textual query language, mirroring the paper's notation.
+
+The paper writes queries as conjunctions like ``R1 Ov R2 and R2 Ra(100)
+R3``; this parser accepts exactly that form so the CLI (and tests) can
+take whole queries as strings::
+
+    parse_query("R1 Ov R2 and R2 Ra(100) R3")
+    parse_query("a Ct b", datasets={"a": "regions", "b": "sites"})
+
+Grammar (case-insensitive keywords, whitespace-tolerant)::
+
+    query     :=  triple ( "and" triple )*
+    triple    :=  SLOT predicate SLOT
+    predicate :=  "Ov" | "Ct" | "Ra" "(" NUMBER ")"
+    SLOT      :=  [A-Za-z_][A-Za-z0-9_#-]*
+
+Self-joins use the same slot-to-dataset indirection as the programmatic
+API: pass ``datasets`` to map distinct slots onto one dataset.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.errors import QueryError
+from repro.query.predicates import Contains, Overlap, Predicate, Range
+from repro.query.query import Query, Triple
+
+__all__ = ["parse_query"]
+
+_SLOT = r"[A-Za-z_][A-Za-z0-9_#-]*"
+_NUMBER = r"[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
+_TRIPLE_RE = re.compile(
+    rf"^\s*(?P<left>{_SLOT})\s+"
+    rf"(?P<pred>[A-Za-z]+)\s*(?:\(\s*(?P<arg>{_NUMBER})\s*\))?\s+"
+    rf"(?P<right>{_SLOT})\s*$"
+)
+
+
+def _parse_predicate(name: str, arg: str | None, source: str) -> Predicate:
+    lowered = name.lower()
+    if lowered == "ov":
+        if arg is not None:
+            raise QueryError(f"Ov takes no argument in {source!r}")
+        return Overlap()
+    if lowered == "ct":
+        if arg is not None:
+            raise QueryError(f"Ct takes no argument in {source!r}")
+        return Contains()
+    if lowered == "ra":
+        if arg is None:
+            raise QueryError(f"Ra needs a distance, e.g. Ra(100), in {source!r}")
+        return Range(float(arg))
+    raise QueryError(
+        f"unknown predicate {name!r} in {source!r}; expected Ov, Ct or Ra(d)"
+    )
+
+
+def parse_query(
+    text: str, datasets: Mapping[str, str] | None = None
+) -> Query:
+    """Parse the paper-style conjunction syntax into a :class:`Query`."""
+    if not text or not text.strip():
+        raise QueryError("empty query string")
+    triples: list[Triple] = []
+    for part in re.split(r"\s+and\s+", text.strip(), flags=re.IGNORECASE):
+        match = _TRIPLE_RE.match(part)
+        if match is None:
+            raise QueryError(
+                f"cannot parse join condition {part!r}; expected "
+                "'<slot> Ov|Ct|Ra(d) <slot>'"
+            )
+        predicate = _parse_predicate(
+            match.group("pred"), match.group("arg"), part
+        )
+        triples.append(
+            Triple(predicate, match.group("left"), match.group("right"))
+        )
+    return Query(triples, datasets)

@@ -1,0 +1,126 @@
+"""Spatial join predicates (Section 1.2).
+
+The paper considers two predicates over rectangle pairs:
+
+* ``Overlap(r1, r2)`` — the rectangles intersect,
+* ``Range(r1, r2, d)`` — some point of ``r1`` is within Euclidean
+  distance ``d`` of some point of ``r2``.
+
+``Overlap`` is exactly ``Range`` with ``d = 0`` (Section 9 uses this to
+fold hybrid queries into range queries); the two classes are kept
+distinct because the Controlled-Replicate condition C2 and the C-Rep-L
+bounds have cheaper forms for overlap edges.
+
+``Contains`` extends the framework to the containment queries the
+paper's conclusions name as future work.  Containment implies overlap,
+so every distance-0 routing/marking argument applies unchanged; the only
+new requirement is *orientation* — ``Contains`` is not symmetric, and
+the evaluators consult :attr:`Predicate.symmetric` /
+``Triple.holds_with`` to apply it the right way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.geometry.rectangle import Rect
+
+__all__ = ["Predicate", "Overlap", "Range", "Contains"]
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """Base class for binary spatial predicates.
+
+    The paper's two predicates are symmetric; asymmetric predicates
+    (``Contains``) set :attr:`symmetric` to False and the evaluators
+    orient arguments via ``Triple.holds_with``.
+    """
+
+    def holds(self, r1: Rect, r2: Rect) -> bool:
+        """Whether the predicate is satisfied by the (ordered) pair."""
+        raise NotImplementedError
+
+    @property
+    def distance(self) -> float:
+        """The edge weight in the join graph: 0 for overlap, ``d`` for range.
+
+        Guarantees ``holds(r1, r2) => min_distance(r1, r2) <= distance``,
+        which is what routing, marking and the C-Rep-L bounds consume.
+        """
+        raise NotImplementedError
+
+    @property
+    def symmetric(self) -> bool:
+        """Whether ``holds(a, b) == holds(b, a)`` for all inputs."""
+        return True
+
+    @property
+    def is_overlap(self) -> bool:
+        """True for predicates that require intersection (``Ov``-like)."""
+        return self.distance == 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Overlap(Predicate):
+    """``Ov``: true iff the two rectangles intersect (touching counts)."""
+
+    def holds(self, r1: Rect, r2: Rect) -> bool:
+        return r1.intersects(r2)
+
+    @property
+    def distance(self) -> float:
+        return 0.0
+
+    def __str__(self) -> str:
+        return "Ov"
+
+
+@dataclass(frozen=True, slots=True)
+class Range(Predicate):
+    """``Ra(d)``: true iff the rectangles are within Euclidean distance ``d``.
+
+    The paper's prose says "within distance d"; we use the closed form
+    ``min_distance <= d`` so that ``Range(0)`` coincides with ``Overlap``.
+    """
+
+    d: float
+
+    def __post_init__(self) -> None:
+        if self.d < 0:
+            raise QueryError(f"range distance must be non-negative, got {self.d}")
+
+    def holds(self, r1: Rect, r2: Rect) -> bool:
+        return r1.within_distance(r2, self.d)
+
+    @property
+    def distance(self) -> float:
+        return self.d
+
+    def __str__(self) -> str:
+        return f"Ra({self.d:g})"
+
+
+@dataclass(frozen=True, slots=True)
+class Contains(Predicate):
+    """``Ct``: true iff ``r1`` contains ``r2`` (closed extents).
+
+    An asymmetric distance-0 predicate: containment implies overlap, so
+    the triple ``(Ct, R1, R2)`` routes and marks exactly like an overlap
+    edge; only the final evaluation is oriented.
+    """
+
+    def holds(self, r1: Rect, r2: Rect) -> bool:
+        return r1.contains_rect(r2)
+
+    @property
+    def distance(self) -> float:
+        return 0.0
+
+    @property
+    def symmetric(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "Ct"

@@ -1,0 +1,284 @@
+"""The multi-way spatial join query model (Section 1.2).
+
+A query is a conjunction of *triples* ``(P_i, R_i1, R_i2)``.  Relations in
+a query are modelled as named **slots**: an output tuple binds one
+rectangle to every slot.  Each slot reads from a **dataset**; distinct
+slots may read the same dataset, which is how the paper's self-join
+queries (``Q2s = R Ov R and R Ov R``) are expressed::
+
+    Query(
+        triples=[Triple(Overlap(), "A", "B"), Triple(Overlap(), "B", "C")],
+        datasets={"A": "roads", "B": "roads", "C": "roads"},
+    )
+
+Output semantics for self-joins: slots bound to the same dataset must be
+bound to *distinct* rectangles (the paper's road triples are three
+different roads), and tuples are reported per slot-assignment, i.e. the
+symmetric images of a triple count as separate assignments just as they
+would in a relational join of three aliases of the same table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.predicates import Overlap, Predicate, Range
+
+__all__ = ["Triple", "Query"]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """One join condition ``(P, R_1, R_2)`` between two slots."""
+
+    predicate: Predicate
+    left: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise QueryError(
+                f"a triple must join two different slots, got ({self.left}, {self.right})"
+            )
+
+    def other(self, slot: str) -> str:
+        """The slot at the opposite end of this condition."""
+        if slot == self.left:
+            return self.right
+        if slot == self.right:
+            return self.left
+        raise QueryError(f"slot {slot!r} is not part of triple {self}")
+
+    def touches(self, slot: str) -> bool:
+        """Whether ``slot`` is one of the two endpoints."""
+        return slot in (self.left, self.right)
+
+    def holds_with(self, slot: str, slot_rect, other_rect) -> bool:
+        """Evaluate the predicate with ``slot_rect`` bound to ``slot``.
+
+        Orientation matters for asymmetric predicates (``Contains``):
+        the predicate's first argument is always the rectangle at the
+        triple's *left* endpoint.
+        """
+        if slot == self.left:
+            return self.predicate.holds(slot_rect, other_rect)
+        if slot == self.right:
+            return self.predicate.holds(other_rect, slot_rect)
+        raise QueryError(f"slot {slot!r} is not part of triple {self}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.predicate} {self.right}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A multi-way spatial join query: a conjunction of triples.
+
+    Parameters
+    ----------
+    triples:
+        The join conditions.  The induced join graph must be connected —
+        a disconnected query is a Cartesian product of independent joins
+        and none of the paper's algorithms are defined for it.
+    datasets:
+        Optional mapping from slot name to dataset key.  Slots missing
+        from the mapping read the dataset named after the slot.
+    """
+
+    triples: tuple[Triple, ...]
+    datasets: Mapping[str, str] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        triples: Iterable[Triple | tuple],
+        datasets: Mapping[str, str] | None = None,
+    ) -> None:
+        normalized = tuple(
+            t if isinstance(t, Triple) else Triple(t[0], t[1], t[2]) for t in triples
+        )
+        object.__setattr__(self, "triples", normalized)
+        object.__setattr__(self, "datasets", dict(datasets or {}))
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers for the paper's query shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def chain(
+        cls,
+        slots: Sequence[str],
+        predicate: Predicate | Sequence[Predicate],
+        datasets: Mapping[str, str] | None = None,
+    ) -> "Query":
+        """A chain query ``s1 P s2 and s2 P s3 and ...`` (Q1, Q2, Q3...).
+
+        ``predicate`` is either a single predicate used on every edge or
+        one predicate per edge (hybrid chains such as Q4).
+        """
+        if len(slots) < 2:
+            raise QueryError("a chain query needs at least two slots")
+        edges = len(slots) - 1
+        if isinstance(predicate, Predicate):
+            preds: Sequence[Predicate] = [predicate] * edges
+        else:
+            preds = list(predicate)
+            if len(preds) != edges:
+                raise QueryError(
+                    f"chain of {len(slots)} slots needs {edges} predicates, got {len(preds)}"
+                )
+        triples = [
+            Triple(preds[i], slots[i], slots[i + 1]) for i in range(edges)
+        ]
+        return cls(triples, datasets)
+
+    @classmethod
+    def star(
+        cls,
+        center: str,
+        leaves: Sequence[str],
+        predicate: Predicate | Sequence[Predicate],
+        datasets: Mapping[str, str] | None = None,
+    ) -> "Query":
+        """A star query joining every leaf to a common center slot."""
+        if not leaves:
+            raise QueryError("a star query needs at least one leaf")
+        if isinstance(predicate, Predicate):
+            preds: Sequence[Predicate] = [predicate] * len(leaves)
+        else:
+            preds = list(predicate)
+            if len(preds) != len(leaves):
+                raise QueryError(
+                    f"star with {len(leaves)} leaves needs {len(leaves)} predicates"
+                )
+        triples = [Triple(p, center, leaf) for p, leaf in zip(preds, leaves)]
+        return cls(triples, datasets)
+
+    @classmethod
+    def self_chain(
+        cls, dataset: str, length: int, predicate: Predicate | Sequence[Predicate]
+    ) -> "Query":
+        """A chain self-join over one dataset (Q2s, Q3s, Q4s).
+
+        Slots are auto-named ``{dataset}#1 .. {dataset}#length``.
+        """
+        if length < 2:
+            raise QueryError("a self-chain needs at least two slots")
+        slots = [f"{dataset}#{i + 1}" for i in range(length)]
+        return cls.chain(slots, predicate, datasets={s: dataset for s in slots})
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def slots(self) -> tuple[str, ...]:
+        """All slot names, in order of first appearance in the triples."""
+        seen: dict[str, None] = {}
+        for t in self.triples:
+            seen.setdefault(t.left, None)
+            seen.setdefault(t.right, None)
+        return tuple(seen)
+
+    @property
+    def num_slots(self) -> int:
+        """The number of relations (slots) joined — the paper's ``m``."""
+        return len(self.slots)
+
+    def dataset_of(self, slot: str) -> str:
+        """The dataset key the slot reads from."""
+        if slot not in self.slots:
+            raise QueryError(f"unknown slot {slot!r}")
+        return self.datasets.get(slot, slot)
+
+    @property
+    def dataset_keys(self) -> tuple[str, ...]:
+        """Distinct dataset keys referenced, in slot order."""
+        seen: dict[str, None] = {}
+        for slot in self.slots:
+            seen.setdefault(self.dataset_of(slot), None)
+        return tuple(seen)
+
+    def slots_of_dataset(self, dataset: str) -> tuple[str, ...]:
+        """All slots reading the given dataset (more than one for self-joins)."""
+        return tuple(s for s in self.slots if self.dataset_of(s) == dataset)
+
+    def triples_touching(self, slot: str) -> tuple[Triple, ...]:
+        """All conditions with ``slot`` as an endpoint."""
+        return tuple(t for t in self.triples if t.touches(slot))
+
+    def triples_between(self, a: str, b: str) -> tuple[Triple, ...]:
+        """All conditions joining slots ``a`` and ``b`` (usually 0 or 1)."""
+        return tuple(
+            t for t in self.triples if {t.left, t.right} == {a, b}
+        )
+
+    @property
+    def is_overlap_query(self) -> bool:
+        """True when every predicate is an overlap (Section 7 queries)."""
+        return all(t.predicate.is_overlap for t in self.triples)
+
+    @property
+    def is_range_query(self) -> bool:
+        """True when every predicate is a strict range, ``d > 0`` (Section 8)."""
+        return all(
+            isinstance(t.predicate, Range) and t.predicate.d > 0 for t in self.triples
+        )
+
+    @property
+    def max_range_distance(self) -> float:
+        """The largest range parameter in the query (0 for pure overlap)."""
+        return max((t.predicate.distance for t in self.triples), default=0.0)
+
+    def as_range_query(self) -> "Query":
+        """Rewrite overlap edges as ``Ra(0)`` (Section 9's reduction).
+
+        Only defined for symmetric predicates: an asymmetric predicate
+        (``Contains``) has no equal-semantics range form.
+        """
+        for t in self.triples:
+            if not t.predicate.symmetric:
+                raise QueryError(
+                    f"cannot rewrite asymmetric predicate {t.predicate} as a range"
+                )
+        return Query(
+            [
+                Triple(Range(t.predicate.distance), t.left, t.right)
+                for t in self.triples
+            ],
+            self.datasets,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.triples:
+            raise QueryError("a query needs at least one triple")
+        slots = self.slots
+        for slot in self.datasets:
+            if slot not in slots:
+                raise QueryError(
+                    f"datasets mapping names unknown slot {slot!r}"
+                )
+        # Connectivity (BFS over the join graph).
+        adjacency: dict[str, set[str]] = {s: set() for s in slots}
+        for t in self.triples:
+            adjacency[t.left].add(t.right)
+            adjacency[t.right].add(t.left)
+        frontier = [slots[0]]
+        reached = {slots[0]}
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency[node]:
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        if reached != set(slots):
+            missing = sorted(set(slots) - reached)
+            raise QueryError(
+                f"query join graph is disconnected; unreachable slots: {missing}"
+            )
+
+    def __str__(self) -> str:
+        return " and ".join(str(t) for t in self.triples)

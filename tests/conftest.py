@@ -1,0 +1,45 @@
+"""Shared fixtures: small grids, workloads and helper factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query
+
+
+@pytest.fixture
+def unit_space() -> Rect:
+    """A 100 x 100 space with corners on integers."""
+    return Rect.from_corners(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def grid4(unit_space: Rect) -> GridPartitioning:
+    """A 2x2 grid over the unit space (cells of 50 x 50)."""
+    return GridPartitioning(unit_space, rows=2, cols=2)
+
+
+@pytest.fixture
+def grid16(unit_space: Rect) -> GridPartitioning:
+    """A 4x4 grid over the unit space (the paper's Figure 2 layout)."""
+    return GridPartitioning(unit_space, rows=4, cols=4)
+
+
+@pytest.fixture
+def chain3_query() -> Query:
+    """Q2 = R1 Ov R2 and R2 Ov R3."""
+    return Query.chain(["R1", "R2", "R3"], Overlap())
+
+
+@pytest.fixture
+def range3_query() -> Query:
+    """Q3 = R1 Ra(10) R2 and R2 Ra(10) R3."""
+    return Query.chain(["R1", "R2", "R3"], Range(10.0))
+
+
+def make_rect(x: float, y: float, l: float, b: float) -> Rect:
+    """Terse rectangle constructor for test tables."""
+    return Rect(x=x, y=y, l=l, b=b)

@@ -1,0 +1,140 @@
+"""Calibration tests: the synthetic California road sample must match
+the aggregate statistics the paper reports (Section 7.8.2)."""
+
+import pytest
+
+from repro.data.california import (
+    CALIFORNIA_FULL_SIZE,
+    CaliforniaSpec,
+    dataset_statistics,
+    generate_california,
+)
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def roads():
+    return generate_california(CaliforniaSpec(n=50_000, seed=7))
+
+
+class TestSpec:
+    def test_full_size_constant(self):
+        assert CALIFORNIA_FULL_SIZE == 2_092_079
+
+    def test_space(self):
+        spec = CaliforniaSpec(n=1)
+        assert spec.space.x_max == 63_000
+        assert spec.space.y_max == 100_000
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            CaliforniaSpec(n=-1)
+        with pytest.raises(DataGenerationError):
+            CaliforniaSpec(n=1, background=1.5)
+        with pytest.raises(DataGenerationError):
+            CaliforniaSpec(n=1, clusters=0)
+
+    def test_max_diagonal_covers_reported_maxima(self):
+        spec = CaliforniaSpec(n=1)
+        assert spec.max_diagonal >= 2285
+
+
+class TestCalibration:
+    """The paper's reported statistics, with sampling tolerances."""
+
+    def test_mean_length_about_18(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["mean_l"] == pytest.approx(18.0, rel=0.25)
+
+    def test_mean_breadth_about_8(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["mean_b"] == pytest.approx(8.0, rel=0.25)
+
+    def test_min_sides_one(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["min_l"] >= 1.0
+        assert stats["min_b"] >= 1.0
+
+    def test_max_sides_capped(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["max_l"] <= 2285.0
+        assert stats["max_b"] <= 1344.0
+
+    def test_97_percent_under_100(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["frac_both_lt_100"] == pytest.approx(0.97, abs=0.02)
+
+    def test_99_percent_under_1000(self, roads):
+        stats = dataset_statistics(roads)
+        assert stats["frac_both_lt_1000"] >= 0.99
+
+    def test_containment(self, roads):
+        space = CaliforniaSpec(n=1).space
+        for __, r in roads[:2000]:
+            assert space.contains_rect(r)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_california(CaliforniaSpec(n=100, seed=1))
+        b = generate_california(CaliforniaSpec(n=100, seed=1))
+        assert a == b
+
+    def test_empty(self):
+        assert generate_california(CaliforniaSpec(n=0)) == []
+
+    def test_statistics_of_empty_rejected(self):
+        with pytest.raises(DataGenerationError):
+            dataset_statistics([])
+
+    def test_clustering_is_visible(self):
+        # Clustered start-points: the densest 5% of 1km x-bins should
+        # hold far more than 5% of the roads.
+        import numpy as np
+
+        roads = generate_california(CaliforniaSpec(n=20_000, seed=3))
+        xs = np.array([r.x for __, r in roads])
+        counts, __ = np.histogram(xs, bins=63, range=(0, 63_000))
+        top3 = np.sort(counts)[-3:].sum()
+        assert top3 / len(roads) > 0.1
+
+
+class TestChainStructure:
+    """The generator must reproduce the road data's join structure:
+    consecutive segments share endpoints, so the overlap graph is
+    chain-like with degree ~2, not clique-like."""
+
+    def test_consecutive_segments_touch(self):
+        roads = generate_california(CaliforniaSpec(n=500, seed=11))
+        touching = sum(
+            1
+            for (__, a), (__, b) in zip(roads, roads[1:])
+            if a.intersects(b)
+        )
+        # Within a walk, consecutive MBBs share an endpoint; only walk
+        # boundaries (~1 in segments_per_road) break the chain.
+        assert touching / (len(roads) - 1) > 0.8
+
+    def test_mean_overlap_degree_matches_roads(self):
+        from repro.index import Entry, GridIndex
+
+        roads = generate_california(CaliforniaSpec(n=4000, seed=11))
+        index = GridIndex([Entry(rect=r, payload=rid) for rid, r in roads])
+        degs = [
+            sum(1 for e in index.search(r) if e.payload != rid)
+            for rid, r in roads[:800]
+        ]
+        mean_deg = sum(degs) / len(degs)
+        # Chain interior degree is 2; crossings add a little.
+        assert 1.5 < mean_deg < 4.0
+
+    def test_no_overlap_cliques(self):
+        from repro.index import Entry, GridIndex
+
+        roads = generate_california(CaliforniaSpec(n=4000, seed=11))
+        index = GridIndex([Entry(rect=r, payload=rid) for rid, r in roads])
+        max_deg = max(
+            sum(1 for e in index.search(r) if e.payload != rid)
+            for rid, r in roads[:800]
+        )
+        assert max_deg < 50  # blob clusters would reach hundreds

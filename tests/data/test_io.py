@@ -1,0 +1,115 @@
+"""Unit and property tests for the record codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.io import (
+    TaggedRect,
+    decode_rect,
+    decode_result,
+    decode_tagged,
+    decode_tuple,
+    encode_rect,
+    encode_result,
+    encode_tagged,
+    encode_tuple,
+    lines_to_rects,
+    rects_to_lines,
+)
+from repro.errors import DFSError
+from repro.geometry.rectangle import Rect
+
+coord = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+side = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+rects = st.builds(Rect, x=coord, y=coord, l=side, b=side)
+
+
+class TestRectCodec:
+    def test_roundtrip(self):
+        r = Rect(1.5, 2.25, 3.125, 4.0)
+        assert decode_rect(encode_rect(42, r)) == (42, r)
+
+    @given(st.integers(min_value=0, max_value=2**31), rects)
+    def test_roundtrip_property(self, rid, rect):
+        assert decode_rect(encode_rect(rid, rect)) == (rid, rect)
+
+    def test_exactness_of_awkward_floats(self):
+        r = Rect(0.1, 0.2, 0.30000000000000004, 1e-17)
+        rid, back = decode_rect(encode_rect(7, r))
+        assert back == r  # bit-exact, not approximately
+
+    def test_malformed(self):
+        with pytest.raises(DFSError):
+            decode_rect("1,2,3")
+        with pytest.raises(DFSError):
+            decode_rect("a,b,c,d,e")
+
+    def test_relation_roundtrip(self):
+        pairs = [(i, Rect(i, i + 1.0, 1, 1)) for i in range(5)]
+        assert lines_to_rects(rects_to_lines(pairs)) == pairs
+
+
+class TestTaggedCodec:
+    def test_roundtrip(self):
+        t = TaggedRect(dataset="roads", rid=9, rect=Rect(1, 2, 3, 1), marked=True)
+        assert decode_tagged(encode_tagged(t)) == t
+
+    @given(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=10**9),
+        rects,
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, dataset, rid, rect, marked):
+        t = TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
+        assert decode_tagged(encode_tagged(t)) == t
+
+    def test_delimiter_in_dataset_rejected(self):
+        t = TaggedRect(dataset="a|b", rid=1, rect=Rect(0, 0, 1, 1), marked=False)
+        with pytest.raises(DFSError):
+            encode_tagged(t)
+
+    def test_malformed(self):
+        with pytest.raises(DFSError):
+            decode_tagged("no fields here")
+
+
+class TestTupleCodec:
+    def test_roundtrip(self):
+        bindings = {
+            "R1": (3, Rect(0.5, 9.5, 1, 1)),
+            "R2": (8, Rect(4, 4, 2, 2)),
+        }
+        assert decode_tuple(encode_tuple(bindings)) == bindings
+
+    def test_deterministic_slot_order(self):
+        b1 = {"B": (1, Rect(0, 0, 1, 1)), "A": (2, Rect(1, 1, 1, 1))}
+        b2 = dict(reversed(list(b1.items())))
+        assert encode_tuple(b1) == encode_tuple(b2)
+
+    def test_delimiter_in_slot_rejected(self):
+        with pytest.raises(DFSError):
+            encode_tuple({"a=b": (1, Rect(0, 0, 1, 1))})
+
+    def test_malformed(self):
+        with pytest.raises(DFSError):
+            decode_tuple("R1=gibberish")
+
+
+class TestResultCodec:
+    def test_roundtrip(self):
+        line = encode_result(("R1", "R2", "R3"), {"R1": 5, "R2": 2, "R3": 9})
+        assert decode_result(line) == (5, 2, 9)
+
+    def test_slot_order_respected(self):
+        line = encode_result(("Z", "A"), {"A": 1, "Z": 2})
+        assert decode_result(line) == (2, 1)
+
+    def test_malformed(self):
+        with pytest.raises(DFSError):
+            decode_result("1\tx\t3")

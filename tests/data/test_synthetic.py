@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic workload generator (paper §7.8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects, generate_relations
+from repro.errors import DataGenerationError
+
+
+class TestSpecValidation:
+    def test_defaults_are_papers(self):
+        spec = SyntheticSpec(n=10)
+        assert spec.x_range == (0, 100_000)
+        assert spec.l_range == (0, 100)
+
+    def test_negative_n(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(n=-1)
+
+    def test_empty_range(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(n=1, x_range=(10, 5))
+
+    def test_unknown_distribution(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(n=1, dx="pareto")
+
+    def test_side_exceeding_space(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(n=1, x_range=(0, 50), l_range=(0, 100))
+
+    def test_space_rect(self):
+        spec = SyntheticSpec(n=1, x_range=(0, 10), y_range=(5, 25),
+                             l_range=(0, 5), b_range=(0, 5))
+        assert spec.space.x_min == 0 and spec.space.x_max == 10
+        assert spec.space.y_min == 5 and spec.space.y_max == 25
+
+    def test_max_diagonal(self):
+        spec = SyntheticSpec(n=1, l_range=(0, 30), b_range=(0, 40))
+        assert spec.max_diagonal == 50
+
+
+class TestGeneration:
+    def test_count_and_rids(self):
+        rects = generate_rects(SyntheticSpec(n=100, seed=3))
+        assert len(rects) == 100
+        assert [rid for rid, __ in rects] == list(range(100))
+
+    def test_deterministic(self):
+        a = generate_rects(SyntheticSpec(n=50, seed=9))
+        b = generate_rects(SyntheticSpec(n=50, seed=9))
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = generate_rects(SyntheticSpec(n=50, seed=1))
+        b = generate_rects(SyntheticSpec(n=50, seed=2))
+        assert a != b
+
+    def test_containment_in_space(self):
+        spec = SyntheticSpec(n=500, x_range=(0, 1000), y_range=(0, 1000),
+                             l_range=(0, 100), b_range=(0, 100), seed=4)
+        space = spec.space
+        for __, r in generate_rects(spec):
+            assert space.contains_rect(r)
+
+    def test_sides_within_range(self):
+        spec = SyntheticSpec(n=500, l_range=(0, 60), b_range=(0, 30), seed=5)
+        for __, r in generate_rects(spec):
+            assert 0 <= r.l <= 60
+            assert 0 <= r.b <= 30
+
+    def test_zero_n(self):
+        assert generate_rects(SyntheticSpec(n=0)) == []
+
+    def test_uniform_spread(self):
+        spec = SyntheticSpec(n=4000, x_range=(0, 1000), y_range=(0, 1000),
+                             l_range=(0, 1), b_range=(0, 1), seed=6)
+        xs = np.array([r.x for __, r in generate_rects(spec)])
+        # Uniform: each quartile of the space holds roughly a quarter.
+        for q in range(4):
+            frac = np.mean((xs >= q * 250) & (xs < (q + 1) * 250))
+            assert 0.2 < frac < 0.3
+
+    def test_gaussian_concentrates_center(self):
+        spec = SyntheticSpec(n=4000, x_range=(0, 1000), y_range=(0, 1000),
+                             l_range=(0, 1), b_range=(0, 1), dx="gaussian", seed=6)
+        xs = np.array([r.x for __, r in generate_rects(spec)])
+        center = np.mean((xs > 250) & (xs < 750))
+        # ±1.5 sigma holds ~86.6% of a gaussian vs 50% of a uniform.
+        assert center > 0.8
+
+    def test_clustered_is_lumpy(self):
+        spec = SyntheticSpec(n=4000, x_range=(0, 1000), y_range=(0, 1000),
+                             l_range=(0, 1), b_range=(0, 1),
+                             dx="clustered", clusters=4, seed=6)
+        xs = np.array([r.x for __, r in generate_rects(spec)])
+        counts, __ = np.histogram(xs, bins=20, range=(0, 1000))
+        # Clustered data has far more unequal bins than uniform.
+        assert counts.max() > 3 * max(1, counts.min())
+
+
+class TestRelations:
+    def test_names_and_decorrelation(self):
+        spec = SyntheticSpec(n=30, seed=100)
+        rels = generate_relations(spec, ["R1", "R2", "R3"])
+        assert set(rels) == {"R1", "R2", "R3"}
+        assert rels["R1"] != rels["R2"]
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(n=30, seed=100)
+        assert generate_relations(spec, ["A", "B"]) == generate_relations(
+            spec, ["A", "B"]
+        )
+
+    def test_with_seed(self):
+        spec = SyntheticSpec(n=5, seed=1)
+        assert spec.with_seed(2).seed == 2
+        assert spec.with_seed(2).n == 5

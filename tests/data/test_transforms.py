@@ -1,0 +1,82 @@
+"""Unit tests for data-set level transformations."""
+
+import pytest
+
+from repro.data.transforms import (
+    compress_space,
+    dataset_space,
+    enlarge_dataset,
+    max_diagonal,
+    sample_dataset,
+)
+from repro.errors import DataGenerationError
+from repro.geometry.rectangle import Rect
+
+
+@pytest.fixture
+def pairs():
+    return [(0, Rect(10, 90, 4, 6)), (1, Rect(50, 40, 10, 10))]
+
+
+class TestEnlarge:
+    def test_factor_applied(self, pairs):
+        out = enlarge_dataset(pairs, 2.0)
+        assert out[0][1].l == 8 and out[0][1].b == 12
+        assert out[0][1].center == pairs[0][1].center
+
+    def test_rids_preserved(self, pairs):
+        assert [rid for rid, __ in enlarge_dataset(pairs, 1.5)] == [0, 1]
+
+
+class TestCompress:
+    def test_positions_scaled_sizes_kept(self, pairs):
+        out = compress_space(pairs, 10.0)
+        assert out[0][1].x == 1 and out[0][1].y == 9
+        assert out[0][1].l == 4 and out[0][1].b == 6
+
+    def test_invalid_factor(self, pairs):
+        with pytest.raises(DataGenerationError):
+            compress_space(pairs, 0)
+
+
+class TestSample:
+    def test_probability_one_keeps_all(self, pairs):
+        assert sample_dataset(pairs, 1.0) == pairs
+
+    def test_probability_zero_drops_all(self, pairs):
+        assert sample_dataset(pairs, 0.0) == []
+
+    def test_roughly_half(self):
+        pairs = [(i, Rect(i, i + 1.0, 1, 1)) for i in range(4000)]
+        kept = sample_dataset(pairs, 0.5, seed=1)
+        assert 1800 <= len(kept) <= 2200
+
+    def test_deterministic(self, pairs):
+        assert sample_dataset(pairs, 0.5, seed=3) == sample_dataset(
+            pairs, 0.5, seed=3
+        )
+
+    def test_invalid_probability(self, pairs):
+        with pytest.raises(DataGenerationError):
+            sample_dataset(pairs, 1.5)
+
+
+class TestSpaceAndDiagonal:
+    def test_dataset_space_covers_everything(self, pairs):
+        space = dataset_space({"a": pairs})
+        for __, r in pairs:
+            assert space.contains_rect(r)
+
+    def test_margin(self, pairs):
+        tight = dataset_space({"a": pairs})
+        wide = dataset_space({"a": pairs}, margin=5.0)
+        assert wide.x_min == tight.x_min - 5
+        assert wide.y_max == tight.y_max + 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataGenerationError):
+            dataset_space({"a": []})
+
+    def test_max_diagonal(self, pairs):
+        diag = max_diagonal({"a": pairs})
+        assert diag == pytest.approx(Rect(0, 0, 10, 10).diagonal)

@@ -1,0 +1,218 @@
+"""Tests for the experiment harness and tiny-scale runs of every table.
+
+Full-size tables are exercised by the benchmark suite; here each table
+runs at a very small scale to validate plumbing, cross-algorithm
+consistency and the qualitative shapes that must hold at any scale.
+"""
+
+import pytest
+
+from repro.experiments import TABLES
+from repro.experiments.common import (
+    AlgoMetrics,
+    ExperimentResult,
+    ExperimentRow,
+    derive_grid,
+    format_hms,
+    run_algorithms,
+)
+from repro.experiments.workloads import california_self, synthetic_chain
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+
+class TestHelpers:
+    def test_format_hms(self):
+        assert format_hms(0) == "00:00:00"
+        assert format_hms(3_725) == "01:02:05"
+        assert format_hms(59.6) == "00:01:00"
+
+    def test_derive_grid_covers_data(self):
+        wl = synthetic_chain(50, 1000.0, seed=1)
+        grid = derive_grid(wl.datasets, 16)
+        assert grid.num_cells == 16
+        for rects in wl.datasets.values():
+            for __, r in rects:
+                # every rectangle routable
+                assert grid.cells_overlapping(r)
+
+    def test_run_algorithms_consistency_flag(self):
+        wl = synthetic_chain(120, 1000.0, seed=2)
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        grid = derive_grid(wl.datasets, 16)
+        metrics, consistent, tuples = run_algorithms(
+            q, wl.datasets, grid, ["cascade", "c-rep", "c-rep-l"], d_max=wl.d_max
+        )
+        assert consistent
+        assert set(metrics) == {"cascade", "c-rep", "c-rep-l"}
+        assert all(m.simulated_seconds > 0 for m in metrics.values())
+
+    def test_run_algorithms_requires_names(self):
+        wl = synthetic_chain(10, 1000.0, seed=3)
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        with pytest.raises(Exception):
+            run_algorithms(q, wl.datasets, derive_grid(wl.datasets, 16), [])
+
+
+class TestWorkloads:
+    def test_synthetic_chain_shape(self):
+        wl = synthetic_chain(100, 5000.0, seed=5)
+        assert set(wl.datasets) == {"R1", "R2", "R3"}
+        assert all(len(v) == 100 for v in wl.datasets.values())
+        assert wl.paper_scale == pytest.approx(10_000.0)
+
+    def test_california_self_shape(self):
+        wl = california_self(200, compress=10.0, seed=5)
+        assert set(wl.datasets) == {"roads"}
+        xs = [r.x for __, r in wl.datasets["roads"]]
+        assert max(xs) <= 6_300.0
+
+    def test_california_enlarge(self):
+        base = california_self(100, compress=10.0, enlarge=None, seed=5)
+        big = california_self(100, compress=10.0, enlarge=2.0, seed=5)
+        mean_l = lambda wl: sum(r.l for __, r in wl.datasets["roads"]) / 100
+        assert mean_l(big) == pytest.approx(2 * mean_l(base))
+
+
+class TestResultFormatting:
+    def test_format_contains_rows(self):
+        result = ExperimentResult(
+            table="Table X",
+            title="demo",
+            query="A Ov B",
+            parameters="params",
+            rows=[
+                ExperimentRow(
+                    label="n=10",
+                    metrics={
+                        "c-rep": AlgoMetrics(
+                            simulated_seconds=61,
+                            shuffled_records=5,
+                            rectangles_marked=2,
+                            rectangles_after_replication=8,
+                            output_tuples=1,
+                            wall_seconds=0.1,
+                        )
+                    },
+                )
+            ],
+        )
+        text = result.format()
+        assert "Table X" in text
+        assert "00:01:01" in text
+        assert "2 (8)" in text
+
+    def test_column_accessor(self):
+        m = AlgoMetrics(1.0, 2, 3, 4, 5, 0.1)
+        result = ExperimentResult(
+            table="t", title="t", query="q", parameters="p",
+            rows=[ExperimentRow(label="a", metrics={"x": m})],
+        )
+        assert result.column("x", "shuffled_records") == [2]
+        assert result.column("missing", "shuffled_records") == []
+
+
+@pytest.mark.parametrize("table", sorted(TABLES))
+def test_tables_run_tiny_and_consistent(table):
+    result = TABLES[table].run(scale=0.05)
+    assert result.rows, table
+    for row in result.rows:
+        assert row.consistent, f"{table} {row.label}: algorithms disagree"
+        for metrics in row.metrics.values():
+            assert metrics.simulated_seconds > 0
+    # the rendered table mentions every row label fragment
+    text = result.format()
+    assert result.table in text
+
+
+class TestTableShapes:
+    """Qualitative paper shapes that must hold at modest scale."""
+
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return TABLES["table2"].run(scale=0.15)
+
+    def test_allrep_worst(self, t2):
+        first = t2.rows[0].metrics
+        assert first["all-rep"].simulated_seconds > first["cascade"].simulated_seconds
+        assert first["all-rep"].simulated_seconds > first["c-rep"].simulated_seconds
+
+    def test_allrep_communicates_more(self, t2):
+        # At this tiny scale the crossing fraction is inflated, so only
+        # strict dominance is asserted; the full-scale benchmark asserts
+        # the order-of-magnitude gap.
+        first = t2.rows[0].metrics
+        assert (
+            first["all-rep"].rectangles_after_replication
+            > first["c-rep"].rectangles_after_replication
+        )
+        assert first["all-rep"].shuffled_records > first["c-rep"].shuffled_records
+
+    def test_marked_counts_equal_between_crep_variants(self, t2):
+        for row in t2.rows:
+            assert (
+                row.metrics["c-rep"].rectangles_marked
+                == row.metrics["c-rep-l"].rectangles_marked
+            )
+
+    def test_crepl_never_replicates_more(self, t2):
+        for row in t2.rows:
+            assert (
+                row.metrics["c-rep-l"].rectangles_after_replication
+                <= row.metrics["c-rep"].rectangles_after_replication
+            )
+
+    def test_cascade_superlinear_degradation(self, t2):
+        times = t2.column("cascade", "simulated_seconds")
+        # time ratio outgrows the 5x workload ratio's linear expectation
+        assert times[-1] / times[0] > 3.0
+
+
+class TestDerivedGridEdgeCases:
+    def test_degenerate_colinear_data(self):
+        from repro.geometry.rectangle import Rect
+
+        datasets = {"R": [(i, Rect(float(i), 5.0, 0.0, 0.0)) for i in range(4)]}
+        grid = derive_grid(datasets, 4)
+        # Zero-height data still yields a positive-area grid space.
+        assert grid.space.area > 0
+        for __, r in datasets["R"]:
+            assert grid.cells_overlapping(r)
+
+    def test_margin_expands_space(self):
+        from repro.geometry.rectangle import Rect
+
+        datasets = {"R": [(0, Rect(0, 10, 10, 10))]}
+        tight = derive_grid(datasets, 4)
+        wide = derive_grid(datasets, 4, margin=3.0)
+        assert wide.space.x_min == tight.space.x_min - 3
+
+
+class TestCaliforniaTableShapes:
+    """The real-data shape the paper leads with: the C-Rep family beats
+    Cascade on every row of the California tables."""
+
+    @pytest.fixture(scope="class")
+    def t4(self):
+        return TABLES["table4"].run(scale=0.35)
+
+    def test_crep_family_beats_cascade(self, t4):
+        for row in t4.rows:
+            assert (
+                row.metrics["c-rep"].simulated_seconds
+                < row.metrics["cascade"].simulated_seconds
+            )
+            assert (
+                row.metrics["c-rep-l"].simulated_seconds
+                <= row.metrics["c-rep"].simulated_seconds
+            )
+
+    def test_everything_grows_with_k(self, t4):
+        for algo in ("cascade", "c-rep", "c-rep-l"):
+            times = t4.column(algo, "simulated_seconds")
+            assert times[-1] > times[0]
+
+    def test_output_grows_with_k(self, t4):
+        outputs = [row.output_tuples for row in t4.rows]
+        assert outputs == sorted(outputs)
+        assert outputs[-1] > 2 * outputs[0]

@@ -1,0 +1,62 @@
+"""Sanity checks on the paper-reference constants embedded per table.
+
+These constants drive EXPERIMENTS.md's side-by-side comparison; a
+mis-shaped list would silently misalign rows.
+"""
+
+import pytest
+
+from repro.experiments import TABLES
+
+EXPECTED_ROWS = {
+    "table2": 5,
+    "table3": 5,
+    "table4": 5,
+    "table5": 5,
+    "table6": 5,
+    "table7": 4,
+    "table8": 5,
+    "table9": 4,
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_reference_lists_aligned(name):
+    module = TABLES[name]
+    n = EXPECTED_ROWS[name]
+    for attr in ("PAPER_MINUTES", "PAPER_MARKED_M", "PAPER_AFTER_REP_M"):
+        table = getattr(module, attr)
+        for algo, values in table.items():
+            assert len(values) == n, f"{name}.{attr}[{algo}]"
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_paper_times_positive_and_monotone_ish(name):
+    # Every sweep in the paper makes the workload heavier, so reported
+    # times never decrease along a row-sweep.
+    module = TABLES[name]
+    for algo, values in module.PAPER_MINUTES.items():
+        live = [v for v in values if v is not None]
+        assert all(v > 0 for v in live), f"{name} {algo}"
+        assert live == sorted(live), f"{name} {algo} not monotone"
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_paper_marked_identical_between_crep_variants(name):
+    module = TABLES[name]
+    marked = module.PAPER_MARKED_M
+    if "c-rep" in marked and "c-rep-l" in marked:
+        assert marked["c-rep"] == marked["c-rep-l"], (
+            f"{name}: the limit only bounds replication extent, never "
+            "which rectangles are marked (§7.10)"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_paper_crepl_never_communicates_more(name):
+    module = TABLES[name]
+    rep = module.PAPER_AFTER_REP_M
+    if "c-rep" in rep and "c-rep-l" in rep:
+        for c, l in zip(rep["c-rep"], rep["c-rep-l"]):
+            if c is not None and l is not None:
+                assert l <= c

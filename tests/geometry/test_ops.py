@@ -1,0 +1,79 @@
+"""Unit tests for the free-standing geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.ops import (
+    axis_gaps,
+    bounding_rect,
+    chebyshev_distance,
+    point_rect_distance,
+)
+from repro.geometry.rectangle import Rect
+
+
+class TestBoundingRect:
+    def test_single(self):
+        r = Rect(1, 2, 3, 1)
+        assert bounding_rect([r]) == r
+
+    def test_multiple(self):
+        rects = [Rect(0, 5, 2, 2), Rect(8, 10, 1, 1), Rect(3, 2, 1, 1)]
+        box = bounding_rect(rects)
+        assert (box.x_min, box.x_max) == (0, 9)
+        assert (box.y_min, box.y_max) == (1, 10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            bounding_rect([])
+
+    def test_accepts_generator(self):
+        box = bounding_rect(Rect(i, i + 1, 1, 1) for i in range(3))
+        assert box.x_max == 3
+
+
+class TestPointRectDistance:
+    def test_inside_is_zero(self):
+        assert point_rect_distance(5, 5, Rect(0, 10, 10, 10)) == 0
+
+    def test_on_boundary_is_zero(self):
+        assert point_rect_distance(10, 5, Rect(0, 10, 10, 10)) == 0
+
+    def test_axis_gap(self):
+        assert point_rect_distance(15, 5, Rect(0, 10, 10, 10)) == 5
+
+    def test_corner_gap(self):
+        assert point_rect_distance(13, 14, Rect(0, 10, 10, 10)) == 5
+
+
+class TestAxisGaps:
+    def test_overlapping(self):
+        assert axis_gaps(Rect(0, 10, 5, 5), Rect(3, 9, 5, 5)) == (0, 0)
+
+    def test_separated_both_axes(self):
+        a = Rect(0, 10, 2, 2)
+        b = Rect(5, 4, 2, 2)
+        assert axis_gaps(a, b) == (3, 4)
+
+    def test_consistency_with_min_distance(self):
+        a = Rect(0, 10, 2, 2)
+        b = Rect(9, 1, 3, 1)
+        dx, dy = axis_gaps(a, b)
+        assert math.hypot(dx, dy) == pytest.approx(a.min_distance(b))
+
+
+class TestChebyshev:
+    def test_equals_max_gap(self):
+        a = Rect(0, 10, 2, 2)
+        b = Rect(5, 4, 2, 2)
+        assert chebyshev_distance(a, b) == 4
+
+    def test_matches_enlarged_overlap(self):
+        # chebyshev(a, b) <= d  <=>  a.enlarge(d) intersects b
+        a = Rect(0, 10, 2, 2)
+        b = Rect(7, 2, 2, 2)
+        d = chebyshev_distance(a, b)
+        assert a.enlarge(d).intersects(b)
+        assert not a.enlarge(d * 0.99).intersects(b)

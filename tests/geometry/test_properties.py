@@ -1,0 +1,111 @@
+"""Property-based tests for the geometry layer (hypothesis)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.ops import axis_gaps, bounding_rect, chebyshev_distance
+from repro.geometry.rectangle import Rect
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sides = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+small_d = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    return Rect(x=draw(coords), y=draw(coords), l=draw(sides), b=draw(sides))
+
+
+@given(rects())
+def test_extent_invariants(r: Rect):
+    assert r.x_min <= r.x_max
+    assert r.y_min <= r.y_max
+    assert r.contains_point(*r.start_point)
+    assert r.contains_point(*r.bottom_right)
+    assert r.contains_point(*r.center)
+
+
+@given(rects(), rects())
+def test_intersects_symmetric(a: Rect, b: Rect):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rects(), rects())
+def test_intersection_consistent_with_intersects(a: Rect, b: Rect):
+    inter = a.intersection(b)
+    assert (inter is not None) == a.intersects(b)
+    if inter is not None:
+        assert a.contains_rect(inter)
+        assert b.contains_rect(inter)
+
+
+@given(rects(), rects())
+def test_min_distance_symmetric_and_zero_iff_intersecting(a: Rect, b: Rect):
+    d_ab = a.min_distance(b)
+    assert d_ab == b.min_distance(a)
+    assert (d_ab == 0.0) == a.intersects(b)
+
+
+@given(rects(), rects())
+def test_min_distance_vs_chebyshev(a: Rect, b: Rect):
+    # L-inf <= L2 <= sqrt(2) * L-inf
+    cheb = chebyshev_distance(a, b)
+    eucl = a.min_distance(b)
+    assert cheb <= eucl + 1e-9
+    assert eucl <= cheb * math.sqrt(2) + 1e-9
+
+
+@given(rects(), small_d)
+def test_enlarge_contains_original(r: Rect, d: float):
+    e = r.enlarge(d)
+    assert e.contains_rect(r)
+    assert e.l == r.l + 2 * d
+    assert e.b == r.b + 2 * d
+
+
+@given(rects(), rects(), small_d)
+def test_enlarged_overlap_equals_chebyshev_bound(a: Rect, b: Rect, d: float):
+    # The 2-way range routing test (§5.3) is exactly Chebyshev <= d.
+    assert a.enlarge(d).intersects(b) == (chebyshev_distance(a, b) <= d)
+
+
+@given(rects(), rects(), small_d)
+def test_within_distance_implies_enlarged_overlap(a: Rect, b: Rect, d: float):
+    # Necessary-condition direction used by the range join's filter step.
+    if a.within_distance(b, d):
+        assert a.enlarge(d).intersects(b)
+
+
+@given(rects(), st.floats(min_value=0.1, max_value=10, allow_nan=False))
+def test_enlarge_by_factor_center_preserved(r: Rect, k: float):
+    e = r.enlarge_by_factor(k)
+    cx, cy = r.center
+    ex, ey = e.center
+    scale = max(1.0, abs(cx), abs(cy))
+    assert abs(ex - cx) <= 1e-6 * scale
+    assert abs(ey - cy) <= 1e-6 * scale
+
+
+@given(st.lists(rects(), min_size=1, max_size=20))
+def test_bounding_rect_contains_all(rs: list[Rect]):
+    # The (x, y, l, b) representation stores extents as differences, so
+    # coverage holds up to one rounding ulp of the box span.
+    box = bounding_rect(rs)
+    eps = 1e-9 * max(
+        1.0, abs(box.x_min), abs(box.x_max), abs(box.y_min), abs(box.y_max)
+    )
+    for r in rs:
+        assert box.x_min <= r.x_min + eps
+        assert r.x_max <= box.x_max + eps
+        assert box.y_min <= r.y_min + eps
+        assert r.y_max <= box.y_max + eps
+
+
+@given(rects(), rects())
+def test_axis_gaps_match_distance(a: Rect, b: Rect):
+    dx, dy = axis_gaps(a, b)
+    assert math.hypot(dx, dy) == a.min_distance(b)

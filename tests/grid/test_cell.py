@@ -1,0 +1,34 @@
+"""Unit tests for the Cell value object."""
+
+from repro.geometry.rectangle import Rect
+
+
+class TestCell:
+    def test_extent_and_index(self, grid16):
+        c = grid16.cell(2, 1)
+        assert c.index == (2, 1)
+        assert c.cell_id == 9
+        assert c.extent == Rect(25, 50, 25, 25)
+
+    def test_contains_point_closed(self, grid16):
+        c = grid16.cell(0, 0)  # x [0,25], y [75,100]
+        assert c.contains_point(25, 75)  # boundary corner: closed
+        assert not c.contains_point(26, 75)
+
+    def test_distance_to_rect(self, grid16):
+        c = grid16.cell(0, 0)
+        assert c.distance_to_rect(Rect(10, 90, 5, 5)) == 0
+        assert c.distance_to_rect(Rect(30, 90, 5, 5)) == 5  # right of cell
+
+    def test_fourth_quadrant_relation(self, grid16):
+        a = grid16.cell(1, 1)
+        assert grid16.cell(1, 1).is_fourth_quadrant_of(a)
+        assert grid16.cell(3, 3).is_fourth_quadrant_of(a)
+        assert not grid16.cell(0, 1).is_fourth_quadrant_of(a)
+        assert not grid16.cell(1, 0).is_fourth_quadrant_of(a)
+
+    def test_frozen_and_hashable(self, grid16):
+        c1 = grid16.cell(1, 2)
+        c2 = grid16.cell(1, 2)
+        assert c1 == c2
+        assert len({c1, c2}) == 1

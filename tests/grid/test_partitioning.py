@@ -1,0 +1,239 @@
+"""Unit tests for the grid partitioning (paper Section 4)."""
+
+import math
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+
+
+class TestConstruction:
+    def test_square(self, unit_space):
+        grid = GridPartitioning.square(unit_space, 64)
+        assert grid.rows == grid.cols == 8
+        assert grid.num_cells == 64
+
+    def test_square_requires_perfect_square(self, unit_space):
+        with pytest.raises(PartitioningError):
+            GridPartitioning.square(unit_space, 60)
+
+    def test_invalid_dimensions(self, unit_space):
+        with pytest.raises(PartitioningError):
+            GridPartitioning(unit_space, rows=0, cols=4)
+
+    def test_degenerate_space_rejected(self):
+        with pytest.raises(PartitioningError):
+            GridPartitioning(Rect(0, 0, 10, 0), rows=2, cols=2)
+
+    def test_cell_extents_tile_the_space(self, grid16):
+        total = sum(c.extent.area for c in grid16.cells())
+        assert total == pytest.approx(grid16.space.area)
+
+    def test_cell_ids_row_major(self, grid16):
+        # Row 0 is the TOP row (paper Figure 2 numbers 1..4 across the top).
+        c = grid16.cell(0, 0)
+        assert c.cell_id == 0
+        assert c.extent.y_max == grid16.space.y_max
+        assert grid16.cell(1, 0).cell_id == 4
+        assert grid16.cell_by_id(7).index == (1, 3)
+
+    def test_cell_by_id_bounds(self, grid16):
+        with pytest.raises(PartitioningError):
+            grid16.cell_by_id(16)
+        with pytest.raises(PartitioningError):
+            grid16.cell_by_id(-1)
+
+
+class TestPointOwnership:
+    def test_interior_point(self, grid16):
+        # Cells are 25x25; point (30, 90) is col 1, top row.
+        c = grid16.cell_of_point(30, 90)
+        assert c.index == (0, 1)
+
+    def test_vertical_boundary_goes_right(self, grid16):
+        # x = 25 is owned by column 1, not column 0 (half-open rule).
+        assert grid16.cell_of_point(25, 90).col == 1
+
+    def test_horizontal_boundary_goes_down(self, grid16):
+        # y = 75 is owned by row 1 (the cell below the boundary).
+        assert grid16.cell_of_point(10, 75).row == 1
+
+    def test_space_top_edge(self, grid16):
+        assert grid16.cell_of_point(10, 100).row == 0
+
+    def test_space_corners_clamped(self, grid16):
+        assert grid16.cell_of_point(100, 0).index == (3, 3)
+        assert grid16.cell_of_point(0, 100).index == (0, 0)
+
+    def test_ownership_monotone(self, grid16):
+        # Dedup correctness needs: larger x never maps left, smaller y
+        # never maps up.
+        cols = [grid16.col_of_x(x) for x in [0, 10, 24.9, 25, 60, 99, 100]]
+        assert cols == sorted(cols)
+        rows = [grid16.row_of_y(y) for y in [100, 80, 75, 50.1, 25, 0]]
+        assert rows == sorted(rows)
+
+    def test_cell_of_rect_uses_start_point(self, grid16):
+        # Figure 2(a): r1 starts in cell 6 = index (1, 1).
+        r = Rect(30, 70, 30, 10)
+        assert grid16.cell_of(r).index == (1, 1)
+
+
+class TestClosedRanges:
+    def test_rect_within_one_cell(self, grid16):
+        r = Rect(5, 95, 10, 10)
+        assert grid16.col_range(r) == (0, 0)
+        assert grid16.row_range(r) == (0, 0)
+
+    def test_rect_spanning_columns(self, grid16):
+        r = Rect(20, 95, 10, 5)  # x [20, 30] crosses x=25
+        assert grid16.col_range(r) == (0, 1)
+
+    def test_touching_boundary_includes_both(self, grid16):
+        # Closed semantics: a rectangle ending exactly at x=25 touches
+        # column 1 as well.
+        r = Rect(20, 95, 5, 5)
+        assert grid16.col_range(r) == (0, 1)
+        # And one starting exactly at x=25 touches column 0.
+        r2 = Rect(25, 95, 5, 5)
+        assert grid16.col_range(r2) == (0, 1)
+
+    def test_cells_overlapping_counts(self, grid16):
+        r = Rect(10, 90, 30, 30)  # x [10,40], y [60,90]: 2 cols x 2 rows
+        cells = grid16.cells_overlapping(r)
+        assert len(cells) == 4
+        assert {c.index for c in cells} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_split_superset_of_ownership(self, grid16):
+        r = Rect(33, 62, 40, 40)
+        owner = grid16.cell_of(r)
+        overlapped = {c.cell_id for c in grid16.cells_overlapping(r)}
+        assert owner.cell_id in overlapped
+
+
+class TestCrossing:
+    def test_inside_no_crossing(self, grid16):
+        assert not grid16.crosses_cell_boundary(
+            Rect(5, 95, 10, 10), grid16.cell(0, 0)
+        )
+
+    def test_crossing_right(self, grid16):
+        assert grid16.crosses_cell_boundary(Rect(20, 95, 10, 5), grid16.cell(0, 0))
+
+    def test_touching_internal_boundary_crosses(self, grid16):
+        # Closed cells share the boundary line, so touching it counts.
+        assert grid16.crosses_cell_boundary(Rect(20, 95, 5, 5), grid16.cell(0, 0))
+
+    def test_touching_space_edge_does_not_cross(self, grid16):
+        # No cell beyond the outer boundary of the space.
+        r = Rect(80, 20, 20, 20)  # reaches x=100, y=0 exactly
+        assert not grid16.crosses_cell_boundary(r, grid16.cell(3, 3))
+
+
+class TestMinGap:
+    def test_crossing_rect_gap_zero(self, grid16):
+        assert grid16.min_gap_to_other_cell(
+            Rect(20, 95, 10, 5), grid16.cell(0, 0)
+        ) == 0.0
+
+    def test_interior_gap(self, grid16):
+        # Cell (1,1) spans x [25,50], y [50,75]; rect x [30,40], y [60,70].
+        r = Rect(30, 70, 10, 10)
+        gap = grid16.min_gap_to_other_cell(r, grid16.cell(1, 1))
+        assert gap == 5.0  # distance to the x=25 or y=75/etc boundary
+
+    def test_corner_cell_ignores_missing_neighbors(self, grid16):
+        # Cell (0,0): no neighbors above or to the left.
+        r = Rect(2, 98, 3, 3)  # 2 from left, 2 from top, 20 from others
+        gap = grid16.min_gap_to_other_cell(r, grid16.cell(0, 0))
+        assert gap == 20.0
+
+    def test_single_cell_grid_infinite(self, unit_space):
+        grid = GridPartitioning(unit_space, 1, 1)
+        assert math.isinf(
+            grid.min_gap_to_other_cell(Rect(50, 50, 1, 1), grid.cell(0, 0))
+        )
+
+
+class TestQuadrants:
+    def test_fourth_quadrant_membership(self, grid16):
+        anchor = grid16.cell(1, 1)
+        quadrant = {c.index for c in grid16.fourth_quadrant(anchor)}
+        # Figure 2(a): for r1 in cell 6, C4 = cells 6-8, 10-12, 14-16.
+        expected = {(r, c) for r in (1, 2, 3) for c in (1, 2, 3)}
+        assert quadrant == expected
+
+    def test_fourth_quadrant_size(self, grid16):
+        assert grid16.fourth_quadrant_size(grid16.cell(1, 1)) == 9
+        assert grid16.fourth_quadrant_size(grid16.cell(3, 3)) == 1
+        assert grid16.fourth_quadrant_size(grid16.cell(0, 0)) == 16
+
+    def test_fourth_quadrant_within_infinite_equals_f1(self, grid16):
+        r = Rect(30, 70, 5, 5)
+        limited = {
+            c.cell_id for c in grid16.fourth_quadrant_within(r, 1e12)
+        }
+        full = {c.cell_id for c in grid16.fourth_quadrant(grid16.cell_of(r))}
+        assert limited == full
+
+    def test_fourth_quadrant_within_distance(self, grid16):
+        # r in cell (1,1) at x [30,35], y [65,70]; with d=10 only cells
+        # within 10 of the rectangle qualify.
+        r = Rect(30, 70, 5, 5)
+        cells = grid16.fourth_quadrant_within(r, 10.0)
+        ids = {c.index for c in cells}
+        # (1,1) itself: distance 0; (1,2) starts at x=50: gap 15 > 10.
+        assert (1, 1) in ids
+        assert (1, 2) not in ids
+        # (2,1): below, y gap = 65-50 = 15 > 10 -> excluded.
+        assert (2, 1) not in ids
+
+    def test_fourth_quadrant_within_chebyshev_superset(self, grid16):
+        r = Rect(26, 74, 10, 10)
+        for d in (0.0, 5.0, 20.0, 60.0):
+            eucl = {c.cell_id for c in grid16.fourth_quadrant_within(r, d)}
+            cheb = {
+                c.cell_id
+                for c in grid16.fourth_quadrant_within(r, d, metric="chebyshev")
+            }
+            assert eucl <= cheb
+
+    def test_unknown_metric_rejected(self, grid16):
+        with pytest.raises(PartitioningError):
+            grid16.fourth_quadrant_within(Rect(1, 99, 1, 1), 5, metric="manhattan")
+
+    def test_negative_distance_rejected(self, grid16):
+        with pytest.raises(PartitioningError):
+            grid16.fourth_quadrant_within(Rect(1, 99, 1, 1), -1)
+
+
+class TestCellsWithin:
+    def test_zero_distance_equals_overlap(self, grid16):
+        r = Rect(30, 70, 30, 10)
+        within = {c.cell_id for c in grid16.cells_within(r, 0.0)}
+        overlapping = {c.cell_id for c in grid16.cells_overlapping(r)}
+        assert within == overlapping
+
+    def test_looks_in_every_direction(self, grid16):
+        # Unlike f2, cells ABOVE and LEFT of the rectangle qualify.
+        r = Rect(30, 70, 5, 5)  # inside cell (1,1)
+        ids = {c.index for c in grid16.cells_within(r, 30.0)}
+        assert (0, 1) in ids  # above
+        assert (1, 0) in ids  # left
+        assert (1, 2) in ids  # right
+        assert (2, 1) in ids  # below
+
+    def test_exact_distance_filter(self, grid16):
+        r = Rect(30, 70, 5, 5)
+        for d in (0.0, 10.0, 40.0):
+            got = {c.cell_id for c in grid16.cells_within(r, d)}
+            expected = {
+                c.cell_id for c in grid16.cells() if c.distance_to_rect(r) <= d
+            }
+            assert got == expected
+
+    def test_negative_rejected(self, grid16):
+        with pytest.raises(PartitioningError):
+            grid16.cells_within(Rect(1, 99, 1, 1), -1.0)

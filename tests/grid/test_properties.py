@@ -1,0 +1,162 @@
+"""Property-based tests for grid partitioning invariants (hypothesis).
+
+These invariants are the ones the join-correctness proofs lean on:
+unique point ownership, split ⊇ ownership, monotone ownership, the
+right/down extension fact, and f2 ⊆ f1.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+
+SPACE = Rect.from_corners(0.0, 0.0, 1000.0, 1000.0)
+
+uniform_grids = st.builds(
+    GridPartitioning,
+    st.just(SPACE),
+    rows=st.integers(min_value=1, max_value=9),
+    cols=st.integers(min_value=1, max_value=9),
+)
+
+
+@st.composite
+def rectilinear_grids(draw) -> GridPartitioning:
+    """Non-uniform grids with arbitrary interior boundaries."""
+    def edges():
+        interior = draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=999.0, allow_nan=False),
+                min_size=0,
+                max_size=6,
+                unique=True,
+            )
+        )
+        return [0.0] + sorted(interior) + [1000.0]
+
+    return GridPartitioning.from_boundaries(edges(), edges())
+
+
+grids = st.one_of(uniform_grids, rectilinear_grids())
+
+coord = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+side = st.floats(min_value=0.0, max_value=400.0, allow_nan=False)
+dists = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+@st.composite
+def rects_in_space(draw) -> Rect:
+    """Rectangles fully inside SPACE (top-left start-point semantics)."""
+    x = draw(coord)
+    y = draw(coord)
+    l = min(draw(side), 1000.0 - x)
+    b = min(draw(side), y)
+    return Rect(x=x, y=y, l=l, b=b)
+
+
+@given(grids, coord, coord)
+def test_unique_ownership(grid: GridPartitioning, px: float, py: float):
+    owner = grid.cell_of_point(px, py)
+    assert owner.contains_point(px, py)
+
+
+@given(grids, rects_in_space())
+def test_split_contains_owner(grid: GridPartitioning, r: Rect):
+    owner = grid.cell_of(r)
+    overlapped = {c.cell_id for c in grid.cells_overlapping(r)}
+    assert owner.cell_id in overlapped
+
+
+@given(grids, rects_in_space())
+def test_overlapped_cells_actually_touch(grid: GridPartitioning, r: Rect):
+    for c in grid.cells_overlapping(r):
+        assert c.touches_rect(r)
+
+
+@given(grids, rects_in_space())
+def test_rect_extends_into_fourth_quadrant_only(grid: GridPartitioning, r: Rect):
+    # The geometric fact behind f1 replication and dedup correctness: a
+    # rectangle extends only right/down, so every cell it overlaps with
+    # positive measure is in the 4th quadrant of its start cell.  Cells
+    # touched only along a shared boundary line (closed-split semantics)
+    # may lie above/left; the marking conditions cover those cases (see
+    # the correctness notes in DESIGN.md).
+    owner = grid.cell_of(r)
+    for c in grid.cells_overlapping(r):
+        if c.is_fourth_quadrant_of(owner):
+            continue
+        assert c.touches_rect(r)
+        # the offending overlap is confined to the cell's boundary
+        if c.col < owner.col:
+            assert r.x_min == c.x_max
+        if c.row < owner.row:
+            assert r.y_max == c.y_min
+
+
+@given(grids, rects_in_space())
+def test_crossing_iff_multiple_cells(grid: GridPartitioning, r: Rect):
+    owner = grid.cell_of(r)
+    crossing = grid.crosses_cell_boundary(r, owner)
+    assert crossing == (len(grid.cells_overlapping(r)) > 1)
+
+
+@given(grids, rects_in_space())
+def test_min_gap_consistent_with_crossing(grid: GridPartitioning, r: Rect):
+    owner = grid.cell_of(r)
+    gap = grid.min_gap_to_other_cell(r, owner)
+    if grid.crosses_cell_boundary(r, owner):
+        assert gap == 0.0
+    elif grid.num_cells > 1:
+        # A foreign cell exists at distance `gap` (up to the 1-ulp noise
+        # of the two different boundary expressions involved).
+        others = [
+            c.distance_to_rect(r)
+            for c in grid.cells()
+            if c.cell_id != owner.cell_id
+        ]
+        assert min(others) == pytest.approx(gap, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=50)
+@given(grids, rects_in_space(), dists)
+def test_f2_subset_of_f1_and_exact(grid: GridPartitioning, r: Rect, d: float):
+    owner = grid.cell_of(r)
+    f1 = {c.cell_id for c in grid.fourth_quadrant(owner)}
+    f2 = {c.cell_id for c in grid.fourth_quadrant_within(r, d)}
+    assert f2 <= f1
+    # Exactness: f2 contains exactly the 4th-quadrant cells within d.
+    expected = {
+        c.cell_id
+        for c in grid.fourth_quadrant(owner)
+        if c.distance_to_rect(r) <= d
+    }
+    assert f2 == expected
+
+
+@settings(max_examples=50)
+@given(grids, rects_in_space(), dists)
+def test_f2_chebyshev_exact(grid: GridPartitioning, r: Rect, d: float):
+    owner = grid.cell_of(r)
+    got = {
+        c.cell_id
+        for c in grid.fourth_quadrant_within(r, d, metric="chebyshev")
+    }
+    expected = set()
+    for c in grid.fourth_quadrant(owner):
+        dx = max(0.0, c.x_min - r.x_max, r.x_min - c.x_max)
+        dy = max(0.0, c.y_min - r.y_max, r.y_min - c.y_max)
+        if max(dx, dy) <= d:
+            expected.add(c.cell_id)
+    assert got == expected
+
+
+@given(grids, coord, coord, coord, coord)
+def test_ownership_monotone(grid, x1, x2, y1, y2):
+    # Larger x never maps to a smaller column; smaller y never to a
+    # smaller row — the monotonicity the dedup-point proof requires.
+    if x1 <= x2:
+        assert grid.col_of_x(x1) <= grid.col_of_x(x2)
+    if y1 >= y2:
+        assert grid.row_of_y(y1) <= grid.row_of_y(y2)

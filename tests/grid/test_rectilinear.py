@@ -1,0 +1,170 @@
+"""Tests for non-uniform rectilinear partitionings (Section 4 allows
+arbitrary row breadths / column lengths; the quantile constructor fits
+them to skewed data)."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects
+from repro.errors import PartitioningError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+
+
+@pytest.fixture
+def skew_grid() -> GridPartitioning:
+    # columns at 0|10|40|100, rows (ascending y) at 0|70|100
+    return GridPartitioning.from_boundaries(
+        x_edges=[0, 10, 40, 100], y_edges=[0, 70, 100]
+    )
+
+
+class TestFromBoundaries:
+    def test_shape(self, skew_grid):
+        assert skew_grid.cols == 3
+        assert skew_grid.rows == 2
+        assert skew_grid.num_cells == 6
+        assert not skew_grid.is_uniform
+
+    def test_space_derived(self, skew_grid):
+        assert skew_grid.space == Rect.from_corners(0, 0, 100, 100)
+
+    def test_cell_extents(self, skew_grid):
+        # top-left cell: x [0,10], y [70,100]
+        c = skew_grid.cell(0, 0)
+        assert c.extent == Rect.from_corners(0, 70, 10, 100)
+        # bottom-right cell: x [40,100], y [0,70]
+        c = skew_grid.cell(1, 2)
+        assert c.extent == Rect.from_corners(40, 0, 100, 70)
+
+    def test_extents_tile_space(self, skew_grid):
+        assert sum(c.extent.area for c in skew_grid.cells()) == pytest.approx(
+            skew_grid.space.area
+        )
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(PartitioningError):
+            GridPartitioning.from_boundaries([0, 10, 10, 20], [0, 1])
+        with pytest.raises(PartitioningError):
+            GridPartitioning.from_boundaries([0, 10], [5, 1])
+
+    def test_too_few_boundaries_rejected(self):
+        with pytest.raises(PartitioningError):
+            GridPartitioning.from_boundaries([0], [0, 1])
+
+
+class TestOwnershipAndRanges:
+    def test_point_ownership(self, skew_grid):
+        assert skew_grid.cell_of_point(5, 90).index == (0, 0)
+        assert skew_grid.cell_of_point(15, 90).index == (0, 1)
+        assert skew_grid.cell_of_point(50, 30).index == (1, 2)
+
+    def test_boundary_tie_breaks(self, skew_grid):
+        # x = 40 belongs to the right column; y = 70 to the lower row.
+        assert skew_grid.cell_of_point(40, 90).col == 2
+        assert skew_grid.cell_of_point(5, 70).row == 1
+
+    def test_split_ranges(self, skew_grid):
+        r = Rect(5, 90, 40, 30)  # x [5,45], y [60,90]: all cols, both rows
+        assert skew_grid.col_range(r) == (0, 2)
+        assert skew_grid.row_range(r) == (0, 1)
+
+    def test_crossing(self, skew_grid):
+        inner = Rect(45, 60, 10, 10)  # strictly inside cell (1,2)
+        assert not skew_grid.crosses_cell_boundary(inner, skew_grid.cell(1, 2))
+        crosser = Rect(35, 60, 10, 10)  # spans x=40
+        assert skew_grid.crosses_cell_boundary(crosser, skew_grid.cell(1, 1))
+
+    def test_min_gap_accounts_for_uneven_cells(self, skew_grid):
+        # cell (1,2) spans x [40,100], y [0,70]
+        r = Rect(60, 40, 5, 5)
+        gap = skew_grid.min_gap_to_other_cell(r, skew_grid.cell(1, 2))
+        # distances: left 20, top 30 -> nearest other cell at 20; the
+        # right/bottom sides are space borders with no neighbors.
+        assert gap == 20.0
+
+
+class TestUniformEquivalence:
+    def test_from_boundaries_matches_uniform(self):
+        space = Rect.from_corners(0, 0, 100, 100)
+        uniform = GridPartitioning(space, 4, 4)
+        explicit = GridPartitioning.from_boundaries(
+            [0, 25, 50, 75, 100], [0, 25, 50, 75, 100]
+        )
+        for r in [Rect(33, 62, 40, 40), Rect(0, 100, 100, 100), Rect(25, 75, 0, 0)]:
+            assert uniform.cell_of(r).cell_id == explicit.cell_of(r).cell_id
+            assert uniform.col_range(r) == explicit.col_range(r)
+            assert uniform.row_range(r) == explicit.row_range(r)
+        assert uniform.is_uniform and explicit.is_uniform
+
+
+class TestQuantileGrid:
+    @pytest.fixture
+    def clustered(self):
+        spec = SyntheticSpec(
+            n=2_000, x_range=(0, 1000), y_range=(0, 1000),
+            l_range=(0, 5), b_range=(0, 5),
+            dx="clustered", dy="clustered", clusters=3, seed=77,
+        )
+        return [r for __, r in generate_rects(spec)]
+
+    def test_balances_start_points(self, clustered):
+        space = Rect.from_corners(0, 0, 1000, 1000)
+        uniform = GridPartitioning(space, 4, 4)
+        adaptive = GridPartitioning.quantile(clustered, 4, 4, space)
+
+        def max_cell_load(grid):
+            counts = [0] * grid.num_cells
+            for r in clustered:
+                counts[grid.cell_of(r).cell_id] += 1
+            return max(counts)
+
+        # The quantile grid's hottest cell is far below the uniform one's.
+        assert max_cell_load(adaptive) < 0.7 * max_cell_load(uniform)
+
+    def test_respects_declared_space(self, clustered):
+        space = Rect.from_corners(0, 0, 1000, 1000)
+        grid = GridPartitioning.quantile(clustered, 3, 3, space)
+        assert grid.space == space
+
+    def test_degenerate_sample(self):
+        # All identical start-points: still a valid grid.
+        rects = [Rect(50, 50, 1, 1)] * 20
+        grid = GridPartitioning.quantile(
+            rects, 2, 2, Rect.from_corners(0, 0, 100, 100)
+        )
+        assert grid.num_cells == 4
+        assert grid.cell_of(rects[0])  # routable
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(PartitioningError):
+            GridPartitioning.quantile([], 2, 2)
+
+
+class TestJoinsOnRectilinearGrids:
+    """The algorithms only consume the partitioning API, so they must be
+    correct on non-uniform grids too."""
+
+    def test_all_algorithms_on_skewed_grid(self):
+        from repro.data.synthetic import SyntheticSpec, generate_relations
+        from repro.joins.reference import brute_force_join
+        from repro.joins.registry import make_algorithm
+        from repro.query.predicates import Overlap
+        from repro.query.query import Query
+
+        spec = SyntheticSpec(
+            n=150, x_range=(0, 500), y_range=(0, 500),
+            l_range=(0, 60), b_range=(0, 60),
+            dx="clustered", dy="clustered", clusters=3, seed=13,
+        )
+        datasets = generate_relations(spec, ["R1", "R2", "R3"])
+        sample = [r for __, r in datasets["R1"]]
+        grid = GridPartitioning.quantile(sample, 3, 3, spec.space)
+        query = Query.chain(["R1", "R2", "R3"], Overlap())
+        expected = brute_force_join(query, datasets)
+        for name in ("cascade", "all-rep", "c-rep"):
+            result = make_algorithm(name).run(query, datasets, grid)
+            assert result.tuples == expected, name
+        result = make_algorithm("c-rep-l", query=query, d_max=spec.max_diagonal).run(
+            query, datasets, grid
+        )
+        assert result.tuples == expected

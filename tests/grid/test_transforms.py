@@ -1,0 +1,105 @@
+"""Unit tests for Project / Split / Replicate, including the paper's
+Figure 2 example rendered on a 4x4 grid over a 100x100 space.
+
+Paper cells are numbered 1..16 row-major from the top-left; this library
+is 0-based, so paper cell ``n`` is id ``n - 1``.
+"""
+
+from functools import partial
+
+from repro.geometry.rectangle import Rect
+from repro.grid.transforms import (
+    project,
+    replicate,
+    replicate_f1,
+    replicate_f2,
+    split,
+    transform_relation,
+)
+
+# Figure 2(a)'s rectangle r1: starts in paper cell 6, spans cells 6 and 7.
+R1 = Rect(30, 70, 30, 10)  # x [30, 60], y [60, 70]
+
+
+def ids(pairs):
+    return sorted(cell_id for cell_id, __ in pairs)
+
+
+class TestProject:
+    def test_single_pair(self, grid16):
+        out = list(project(R1, grid16))
+        assert len(out) == 1
+        cell_id, rect = out[0]
+        assert cell_id == 5  # paper cell 6
+        assert rect == R1
+
+    def test_projects_to_start_point_cell(self, grid16):
+        r = Rect(80, 10, 15, 5)
+        (cell_id, __), = project(r, grid16)
+        assert cell_id == grid16.cell_of(r).cell_id
+
+
+class TestSplit:
+    def test_figure2_r1(self, grid16):
+        # Paper: split returns cells 6 and 7.
+        assert ids(split(R1, grid16)) == [5, 6]
+
+    def test_contained_rect_single_cell(self, grid16):
+        assert ids(split(Rect(5, 95, 5, 5), grid16)) == [0]
+
+    def test_spanning_rect(self, grid16):
+        r = Rect(10, 90, 50, 50)  # x [10,60], y [40,90]: cols 0-2, rows 0-2
+        assert len(ids(split(r, grid16))) == 9
+
+
+class TestReplicate:
+    def test_figure2_f1(self, grid16):
+        # Paper: replicate f1 returns cells 6-8, 10-12, 14-16.
+        expected = [5, 6, 7, 9, 10, 11, 13, 14, 15]
+        assert ids(replicate_f1(R1, grid16)) == expected
+
+    def test_figure2_f2(self, grid16):
+        # Paper: with a suitable d, f2 returns cells 6, 7, 10 and 11 —
+        # the 4th-quadrant cells within distance d of r1.
+        assert ids(replicate_f2(R1, grid16, 12.0)) == [5, 6, 9, 10]
+
+    def test_f2_infinite_equals_f1(self, grid16):
+        assert ids(replicate_f2(R1, grid16, float("inf"))) == ids(
+            replicate_f1(R1, grid16)
+        )
+
+    def test_f2_zero_keeps_touching_cells(self, grid16):
+        out = ids(replicate_f2(R1, grid16, 0.0))
+        assert out == [5, 6]  # only the cells the rectangle touches
+
+    def test_generic_replicate_matches_f1(self, grid16):
+        anchor = grid16.cell_of(R1)
+        generic = ids(
+            replicate(R1, grid16, lambda c, u: c.is_fourth_quadrant_of(anchor))
+        )
+        assert generic == ids(replicate_f1(R1, grid16))
+
+    def test_f1_always_includes_own_cell(self, grid16):
+        for r in [Rect(1, 99, 1, 1), Rect(90, 5, 5, 5), Rect(48, 52, 4, 4)]:
+            own = grid16.cell_of(r).cell_id
+            assert own in ids(replicate_f1(r, grid16))
+
+
+class TestTransformRelation:
+    def test_split_relation_size(self, grid16):
+        relation = [Rect(5, 95, 3, 3), R1, Rect(70, 20, 10, 10)]
+        pairs = list(transform_relation(relation, grid16, split))
+        per_rect = [len(ids(split(r, grid16))) for r in relation]
+        assert len(pairs) == sum(per_rect)
+
+    def test_project_relation_one_pair_each(self, grid16):
+        relation = [Rect(i * 7.0, 90.0, 2.0, 2.0) for i in range(10)]
+        pairs = list(transform_relation(relation, grid16, project))
+        assert len(pairs) == 10
+
+    def test_partial_binding_for_f2(self, grid16):
+        relation = [R1]
+        pairs = list(
+            transform_relation(relation, grid16, partial(replicate_f2, d=12.0))
+        )
+        assert ids(pairs) == [5, 6, 9, 10]

@@ -1,0 +1,114 @@
+"""Unit tests for the local spatial indexes (grid, R-tree, scan)."""
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.index import Entry, GridIndex, NestedLoopIndex, RTree, make_index
+
+
+def entries_grid(n: int = 25, cell: float = 10.0) -> list[Entry]:
+    """n rectangles laid out on a diagonal-ish lattice."""
+    out = []
+    for i in range(n):
+        x = (i % 5) * cell
+        y = (i // 5) * cell + 5.0
+        out.append(Entry(rect=Rect(x, y, 4.0, 4.0), payload=i))
+    return out
+
+
+@pytest.fixture(params=["grid", "rtree", "scan"])
+def index_kind(request) -> str:
+    return request.param
+
+
+class TestCommonBehaviour:
+    def test_len(self, index_kind):
+        idx = make_index(index_kind, entries_grid())
+        assert len(idx) == 25
+
+    def test_empty_index(self, index_kind):
+        idx = make_index(index_kind, [])
+        assert len(idx) == 0
+        assert list(idx.search(Rect(0, 10, 5, 5))) == []
+
+    def test_search_exact_overlap(self, index_kind):
+        idx = make_index(index_kind, entries_grid())
+        query = Rect(0, 7, 5, 5)
+        got = {e.payload for e in idx.search(query)}
+        expected = {
+            e.payload for e in entries_grid() if query.intersects(e.rect)
+        }
+        assert got == expected
+        assert got  # non-trivial query
+
+    def test_search_with_distance(self, index_kind):
+        idx = make_index(index_kind, entries_grid())
+        query = Rect(0, 7, 1, 1)
+        got = {e.payload for e in idx.search(query, d=10.0)}
+        expected = {
+            e.payload
+            for e in entries_grid()
+            if query.enlarge(10.0).intersects(e.rect)
+        }
+        assert got == expected
+
+    def test_no_duplicates(self, index_kind):
+        # A big query rectangle spans many buckets/nodes; results must
+        # still be unique.
+        idx = make_index(index_kind, entries_grid())
+        results = [e.payload for e in idx.search(Rect(0, 50, 50, 50))]
+        assert len(results) == len(set(results))
+
+    def test_disjoint_query_empty(self, index_kind):
+        idx = make_index(index_kind, entries_grid())
+        assert list(idx.search(Rect(1000, 1000, 1, 1))) == []
+
+
+class TestAgainstScan:
+    def test_grid_and_rtree_match_scan(self):
+        entries = entries_grid(40, cell=7.0)
+        scan = NestedLoopIndex(entries)
+        grid = GridIndex(entries)
+        rtree = RTree(entries, fanout=4)
+        queries = [
+            Rect(3, 20, 10, 10),
+            Rect(0, 45, 40, 40),
+            Rect(11, 11, 0, 0),
+            Rect(35, 40, 2, 30),
+        ]
+        for q in queries:
+            for d in (0.0, 3.0, 12.0):
+                expected = {e.payload for e in scan.search(q, d)}
+                assert {e.payload for e in grid.search(q, d)} == expected
+                assert {e.payload for e in rtree.search(q, d)} == expected
+
+
+class TestRTreeStructure:
+    def test_height_grows(self):
+        small = RTree(entries_grid(4), fanout=4)
+        big = RTree(entries_grid(25), fanout=4)
+        assert small.height == 1
+        assert big.height >= 2
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree([], fanout=1)
+
+
+class TestGridIndexInternals:
+    def test_probe_cost_hint(self):
+        idx = GridIndex(entries_grid())
+        assert idx.probe_cost_hint > 0
+        assert GridIndex([]).probe_cost_hint == 0.0
+
+    def test_degenerate_all_same_point(self):
+        entries = [Entry(rect=Rect(5, 5, 0, 0), payload=i) for i in range(10)]
+        idx = GridIndex(entries)
+        assert len(list(idx.search(Rect(5, 5, 0, 0)))) == 10
+        assert list(idx.search(Rect(6, 5, 0, 0))) == []
+
+
+class TestFactory:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("quadtree", [])

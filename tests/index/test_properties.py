@@ -1,0 +1,50 @@
+"""Property-based tests: every index returns exactly the Chebyshev-ball
+candidates, on arbitrary rectangle sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rectangle import Rect
+from repro.index import Entry, GridIndex, RTree
+
+coord = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+side = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def rect_strategy(draw) -> Rect:
+    return Rect(x=draw(coord), y=draw(coord), l=draw(side), b=draw(side))
+
+
+@st.composite
+def entry_lists(draw):
+    rects = draw(st.lists(rect_strategy(), min_size=0, max_size=60))
+    return [Entry(rect=r, payload=i) for i, r in enumerate(rects)]
+
+
+def expected_hits(entries, query: Rect, d: float) -> set[int]:
+    q = query.enlarge(d) if d > 0 else query
+    return {e.payload for e in entries if q.intersects(e.rect)}
+
+
+@settings(max_examples=60)
+@given(entry_lists(), rect_strategy(), st.floats(min_value=0, max_value=100))
+def test_grid_index_exact(entries, query, d):
+    idx = GridIndex(entries)
+    assert {e.payload for e in idx.search(query, d)} == expected_hits(
+        entries, query, d
+    )
+
+
+@settings(max_examples=60)
+@given(
+    entry_lists(),
+    rect_strategy(),
+    st.floats(min_value=0, max_value=100),
+    st.integers(min_value=2, max_value=10),
+)
+def test_rtree_exact(entries, query, d, fanout):
+    idx = RTree(entries, fanout=fanout)
+    assert {e.payload for e in idx.search(query, d)} == expected_hits(
+        entries, query, d
+    )

@@ -1,0 +1,168 @@
+"""End-to-end integration tests: all four MR algorithms vs the oracle on
+shared fixed workloads, plus algorithm-specific metrics behaviour."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.data.california import CaliforniaSpec, generate_california
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.all_replicate import AllReplicateJoin
+from repro.joins.base import JoinStats
+from repro.joins.cascade import CascadeJoin
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.limits import ReplicationLimits
+from repro.joins.reference import brute_force_join
+from repro.joins.registry import make_algorithm
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+SPEC = SyntheticSpec(
+    n=220, x_range=(0, 800), y_range=(0, 800),
+    l_range=(0, 70), b_range=(0, 70), seed=42,
+)
+GRID = GridPartitioning(Rect.from_corners(0, 0, 800, 800), 4, 4)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return generate_relations(SPEC, ["R1", "R2", "R3"])
+
+
+QUERIES = {
+    "overlap-chain": Query.chain(["R1", "R2", "R3"], Overlap()),
+    "range-chain": Query.chain(["R1", "R2", "R3"], Range(40.0)),
+    "hybrid-chain": Query.chain(["R1", "R2", "R3"], [Overlap(), Range(60.0)]),
+    "overlap-star": Query.star("R2", ["R1", "R3"], Overlap()),
+    "triangle": Query([
+        Triple(Overlap(), "R1", "R2"),
+        Triple(Overlap(), "R2", "R3"),
+        Triple(Range(50.0), "R1", "R3"),
+    ]),
+}
+
+
+def algorithms_for(query):
+    d_max = SPEC.max_diagonal
+    return {
+        "cascade": CascadeJoin(),
+        "all-rep": AllReplicateJoin(),
+        "c-rep": ControlledReplicateJoin(),
+        "c-rep-l": ControlledReplicateJoin(
+            limits=ReplicationLimits.from_query(query, d_max)
+        ),
+    }
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("algo_name", ["cascade", "all-rep", "c-rep", "c-rep-l"])
+def test_against_oracle(datasets, query_name, algo_name):
+    query = QUERIES[query_name]
+    expected = brute_force_join(query, datasets)
+    algorithm = algorithms_for(query)[algo_name]
+    result = algorithm.run(query, datasets, GRID)
+    assert result.tuples == expected
+
+
+class TestSelfJoinQueries:
+    @pytest.fixture(scope="class")
+    def roads(self):
+        # The chain-structured generator already yields realistic overlap
+        # degree (~2) at any sample size; compressing a chain sample piles
+        # the walks into near-cliques whose self-join triples explode
+        # quadratically, so keep original coordinates.
+        rects = generate_california(CaliforniaSpec(n=400, seed=9))
+        return {"roads": rects}
+
+    @pytest.mark.parametrize("algo_name", ["cascade", "all-rep", "c-rep", "c-rep-l"])
+    def test_q2s_star(self, roads, algo_name):
+        query = Query.self_chain("roads", 3, Overlap())
+        from repro.data.transforms import dataset_space, max_diagonal
+
+        grid = GridPartitioning.square(dataset_space(roads), 16)
+        expected = brute_force_join(query, roads)
+        algorithm = make_algorithm(algo_name, query=query, d_max=max_diagonal(roads))
+        result = algorithm.run(query, roads, grid)
+        assert result.tuples == expected
+
+
+class TestMetrics:
+    def test_allrep_replicates_everything(self, datasets):
+        query = QUERIES["overlap-chain"]
+        result = AllReplicateJoin().run(query, datasets, GRID)
+        assert result.stats.rectangles_marked == 3 * SPEC.n
+        # each rectangle goes to at least its own cell
+        assert result.stats.rectangles_after_replication >= 3 * SPEC.n
+
+    def test_crep_marks_fewer_than_allrep(self, datasets):
+        query = QUERIES["overlap-chain"]
+        crep = ControlledReplicateJoin().run(query, datasets, GRID)
+        assert 0 < crep.stats.rectangles_marked < 3 * SPEC.n
+
+    def test_crepl_same_marks_less_replication(self, datasets):
+        query = QUERIES["range-chain"]
+        crep = ControlledReplicateJoin().run(query, datasets, GRID)
+        crepl = ControlledReplicateJoin(
+            limits=ReplicationLimits.from_query(query, SPEC.max_diagonal)
+        ).run(query, datasets, GRID)
+        # The limit never changes WHICH rectangles are marked (§7.10).
+        assert crepl.stats.rectangles_marked == crep.stats.rectangles_marked
+        assert (
+            crepl.stats.rectangles_after_replication
+            <= crep.stats.rectangles_after_replication
+        )
+        assert crepl.stats.shuffled_records <= crep.stats.shuffled_records
+
+    def test_allrep_shuffles_most(self, datasets):
+        query = QUERIES["overlap-chain"]
+        allrep = AllReplicateJoin().run(query, datasets, GRID)
+        crep = ControlledReplicateJoin().run(query, datasets, GRID)
+        assert allrep.stats.shuffled_records > crep.stats.shuffled_records
+
+    def test_cascade_has_no_replication_metrics(self, datasets):
+        query = QUERIES["overlap-chain"]
+        result = CascadeJoin().run(query, datasets, GRID)
+        assert result.stats.rectangles_marked == 0
+        assert result.stats.rectangles_after_replication == 0
+
+    def test_output_tuple_counter_matches(self, datasets):
+        query = QUERIES["overlap-chain"]
+        for algorithm in algorithms_for(query).values():
+            result = algorithm.run(query, datasets, GRID)
+            assert result.stats.output_tuples == len(result.tuples)
+
+    def test_simulated_seconds_positive(self, datasets):
+        query = QUERIES["overlap-chain"]
+        result = ControlledReplicateJoin().run(query, datasets, GRID)
+        assert result.stats.simulated_seconds > 0
+        assert len(result.stats.job_seconds) == 2  # two MR rounds
+
+    def test_cascade_job_count_is_slots_minus_one(self, datasets):
+        query = QUERIES["overlap-chain"]
+        result = CascadeJoin().run(query, datasets, GRID)
+        assert len(result.stats.job_seconds) == 2
+
+    def test_stats_from_workflow_roundtrip(self, datasets):
+        query = QUERIES["overlap-chain"]
+        result = ControlledReplicateJoin().run(query, datasets, GRID)
+        rebuilt = JoinStats.from_workflow(result.workflow)
+        assert rebuilt == result.stats
+
+
+class TestReuse:
+    def test_same_cluster_reusable_across_algorithms(self, datasets):
+        query = QUERIES["overlap-chain"]
+        cluster = Cluster()
+        expected = brute_force_join(query, datasets)
+        for algorithm in algorithms_for(query).values():
+            result = algorithm.run(query, datasets, GRID, cluster)
+            assert result.tuples == expected
+
+    def test_rerun_on_same_cluster_overwrites_output(self, datasets):
+        query = QUERIES["overlap-chain"]
+        cluster = Cluster()
+        algo = ControlledReplicateJoin()
+        first = algo.run(query, datasets, GRID, cluster)
+        second = algo.run(query, datasets, GRID, cluster)
+        assert first.tuples == second.tuples

@@ -1,0 +1,117 @@
+"""Tests for containment queries — the paper's future-work extension.
+
+``Contains`` is an asymmetric distance-0 predicate: it routes and marks
+like overlap but must be evaluated with the right orientation, which
+exercises the oriented-evaluation path of every algorithm.
+"""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects
+from repro.errors import QueryError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.reference import brute_force_join
+from repro.joins.registry import make_algorithm
+from repro.query.predicates import Contains, Overlap
+from repro.query.query import Query, Triple
+
+GRID = GridPartitioning(Rect.from_corners(0, 0, 600, 600), 4, 4)
+
+
+class TestPredicate:
+    def test_asymmetric(self):
+        outer = Rect(0, 10, 10, 10)
+        inner = Rect(2, 8, 2, 2)
+        assert Contains().holds(outer, inner)
+        assert not Contains().holds(inner, outer)
+        assert not Contains().symmetric
+
+    def test_distance_zero(self):
+        assert Contains().distance == 0.0
+        assert Contains().is_overlap
+
+    def test_str(self):
+        assert str(Contains()) == "Ct"
+
+    def test_triple_orientation(self):
+        t = Triple(Contains(), "outer", "inner")
+        outer = Rect(0, 10, 10, 10)
+        inner = Rect(2, 8, 2, 2)
+        assert t.holds_with("outer", outer, inner)
+        assert t.holds_with("inner", inner, outer)
+        assert not t.holds_with("outer", inner, outer)
+        with pytest.raises(QueryError):
+            t.holds_with("nope", outer, inner)
+
+    def test_as_range_query_rejected(self):
+        q = Query([Triple(Contains(), "A", "B")])
+        with pytest.raises(QueryError):
+            q.as_range_query()
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    # Big "regions" containing small "sites", plus a mid-size layer.
+    big = SyntheticSpec(
+        n=100, x_range=(0, 600), y_range=(0, 600),
+        l_range=(60, 150), b_range=(60, 150), seed=61,
+    )
+    mid = SyntheticSpec(
+        n=150, x_range=(0, 600), y_range=(0, 600),
+        l_range=(10, 40), b_range=(10, 40), seed=62,
+    )
+    small = SyntheticSpec(
+        n=250, x_range=(0, 600), y_range=(0, 600),
+        l_range=(0, 8), b_range=(0, 8), seed=63,
+    )
+    return {
+        "regions": generate_rects(big),
+        "zones": generate_rects(mid),
+        "sites": generate_rects(small),
+    }
+
+
+class TestContainmentJoins:
+    def test_two_way_contains(self, datasets):
+        query = Query([Triple(Contains(), "regions", "sites")])
+        expected = brute_force_join(query, datasets)
+        assert expected  # non-trivial
+        for name in ("cascade", "all-rep", "c-rep"):
+            result = make_algorithm(name).run(query, datasets, GRID)
+            assert result.tuples == expected, name
+
+    def test_orientation_matters_end_to_end(self, datasets):
+        forward = Query([Triple(Contains(), "regions", "sites")])
+        backward = Query([Triple(Contains(), "sites", "regions")])
+        f = brute_force_join(forward, datasets)
+        b = brute_force_join(backward, datasets)
+        assert f and not b  # sites never contain regions
+
+    def test_three_way_containment_chain(self, datasets):
+        # regions contain zones, zones contain sites.
+        query = Query([
+            Triple(Contains(), "regions", "zones"),
+            Triple(Contains(), "zones", "sites"),
+        ])
+        expected = brute_force_join(query, datasets)
+        for name in ("cascade", "all-rep", "c-rep"):
+            result = make_algorithm(name).run(query, datasets, GRID)
+            assert result.tuples == expected, name
+        d_max = max(
+            r.diagonal for rects in datasets.values() for __, r in rects
+        )
+        result = make_algorithm("c-rep-l", query=query, d_max=d_max).run(
+            query, datasets, GRID
+        )
+        assert result.tuples == expected
+
+    def test_mixed_contains_and_overlap(self, datasets):
+        query = Query([
+            Triple(Contains(), "regions", "sites"),
+            Triple(Overlap(), "regions", "zones"),
+        ])
+        expected = brute_force_join(query, datasets)
+        for name in ("cascade", "all-rep", "c-rep"):
+            result = make_algorithm(name).run(query, datasets, GRID)
+            assert result.tuples == expected, name

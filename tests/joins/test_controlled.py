@@ -1,0 +1,111 @@
+"""Unit tests for Controlled-Replicate internals (rounds, tagging, hooks)."""
+
+import pytest
+
+from repro.data.io import decode_tagged
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.marking import MarkingDecision
+from repro.joins.reference import brute_force_join
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+GRID = GridPartitioning(Rect.from_corners(0, 0, 600, 600), 4, 4)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    spec = SyntheticSpec(
+        n=180, x_range=(0, 600), y_range=(0, 600),
+        l_range=(0, 80), b_range=(0, 80), seed=17,
+    )
+    return generate_relations(spec, ["R1", "R2", "R3"])
+
+
+@pytest.fixture(scope="module")
+def query():
+    return Query.chain(["R1", "R2", "R3"], Overlap())
+
+
+class TestRoundOne:
+    def test_each_rectangle_tagged_exactly_once(self, datasets, query):
+        cluster = Cluster()
+        ControlledReplicateJoin().run(query, datasets, GRID, cluster)
+        lines = cluster.dfs.read_dir("controlled-replicate/marked")
+        tagged = [decode_tagged(line) for line in lines]
+        keys = [(t.dataset, t.rid) for t in tagged]
+        assert len(keys) == len(set(keys)) == 3 * 180
+
+    def test_tagged_rects_roundtrip_coordinates(self, datasets, query):
+        cluster = Cluster()
+        ControlledReplicateJoin().run(query, datasets, GRID, cluster)
+        lines = cluster.dfs.read_dir("controlled-replicate/marked")
+        originals = {
+            (ds, rid): rect for ds, rects in datasets.items() for rid, rect in rects
+        }
+        for line in lines:
+            t = decode_tagged(line)
+            assert t.rect == originals[(t.dataset, t.rid)]
+
+    def test_marked_rectangles_counted(self, datasets, query):
+        result = ControlledReplicateJoin().run(query, datasets, GRID)
+        cluster = Cluster()
+        ControlledReplicateJoin().run(query, datasets, GRID, cluster)
+        lines = cluster.dfs.read_dir("controlled-replicate/marked")
+        marked = sum(decode_tagged(line).marked for line in lines)
+        assert marked == result.stats.rectangles_marked
+
+
+class TestMarkingFactoryHook:
+    def test_custom_factory_used(self, datasets, query):
+        calls = []
+
+        class Recorder:
+            def __init__(self, q, g):
+                calls.append((q, g))
+                from repro.joins.marking import MarkingEngine
+
+                self._engine = MarkingEngine(q, g)
+
+            def select_marked(self, cell, received):
+                return self._engine.select_marked(cell, received)
+
+        algo = ControlledReplicateJoin(marking_factory=Recorder)
+        result = algo.run(query, datasets, GRID)
+        assert calls and calls[0][0] is query
+        assert result.tuples == brute_force_join(query, datasets)
+
+    def test_mark_everything_factory_still_correct(self, datasets, query):
+        class MarkAll:
+            def __init__(self, q, g):
+                self.grid = g
+
+            def select_marked(self, cell, received):
+                marked = {
+                    (ds, rid)
+                    for ds, rects in received.items()
+                    for rid, rect in rects
+                    if self.grid.cell_of(rect).cell_id == cell.cell_id
+                }
+                return MarkingDecision(marked=marked, ops=0)
+
+        result = ControlledReplicateJoin(marking_factory=MarkAll).run(
+            query, datasets, GRID
+        )
+        assert result.tuples == brute_force_join(query, datasets)
+
+
+class TestNaming:
+    def test_names_differ_between_variants(self):
+        from repro.joins.limits import ReplicationLimits
+
+        plain = ControlledReplicateJoin()
+        q = Query.chain(["A", "B"], Overlap())
+        limited = ControlledReplicateJoin(
+            limits=ReplicationLimits.from_query(q, 5.0)
+        )
+        assert plain.name == "controlled-replicate"
+        assert limited.name == "controlled-replicate-limit"

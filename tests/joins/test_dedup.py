@@ -1,0 +1,103 @@
+"""Unit tests for the duplicate-avoidance owner rules."""
+
+import pytest
+
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.joins.dedup import (
+    tuple_owner,
+    two_way_overlap_owner,
+    two_way_range_owner,
+)
+
+
+class TestTwoWayOverlapOwner:
+    def test_paper_example(self, grid16):
+        # §5.2 / Figure 2(a): the overlap area of r3 and r4 starts in
+        # cell 14 (1-based) even though both also meet cell 15.
+        # Reconstruction: overlap start-point in cell (3, 1) = id 13.
+        r3 = Rect(30, 20, 40, 15)  # x [30,70], y [5,20]
+        r4 = Rect(40, 15, 40, 10)  # x [40,80], y [5,15]
+        owner = two_way_overlap_owner(r3, r4, grid16)
+        inter = r3.intersection(r4)
+        assert inter is not None and inter.start_point == (40, 15)
+        assert owner == grid16.cell_of_point(40, 15).cell_id
+
+    def test_disjoint_none(self, grid16):
+        assert two_way_overlap_owner(
+            Rect(0, 99, 1, 1), Rect(90, 10, 1, 1), grid16
+        ) is None
+
+    def test_owner_receives_both_under_split(self, grid16):
+        # The owner cell must be among the split cells of both inputs.
+        a = Rect(20, 80, 30, 30)
+        b = Rect(40, 70, 30, 30)
+        owner = two_way_overlap_owner(a, b, grid16)
+        cells_a = {c.cell_id for c in grid16.cells_overlapping(a)}
+        cells_b = {c.cell_id for c in grid16.cells_overlapping(b)}
+        assert owner in cells_a & cells_b
+
+
+class TestTwoWayRangeOwner:
+    def test_within_range(self, grid16):
+        r1 = Rect(10, 90, 5, 5)
+        r2 = Rect(20, 90, 5, 5)  # dx = 5
+        owner = two_way_range_owner(r1, r2, 6.0, grid16)
+        assert owner is not None
+
+    def test_beyond_enlarged_none(self, grid16):
+        r1 = Rect(10, 90, 5, 5)
+        r2 = Rect(40, 90, 5, 5)  # dx = 25
+        assert two_way_range_owner(r1, r2, 6.0, grid16) is None
+
+    def test_superset_of_exact_range(self, grid16):
+        # Corner case: enlarged rectangles overlap but Euclidean
+        # distance exceeds d (the r2' counter-example of §5.3) — the
+        # owner exists, the exact check is the reducer's job.
+        r1 = Rect(10, 90, 2, 2)
+        r2 = Rect(16, 84, 2, 2)  # dx=4, dy=4 -> eucl 5.66 > 5
+        assert not r1.within_distance(r2, 5.0)
+        assert two_way_range_owner(r1, r2, 5.0, grid16) is not None
+
+    def test_owner_in_routing_cells(self, grid16):
+        r1 = Rect(18, 60, 6, 6)
+        r2 = Rect(30, 55, 6, 6)
+        d = 10.0
+        owner = two_way_range_owner(r1, r2, d, grid16)
+        routed_r1 = {c.cell_id for c in grid16.cells_overlapping(r1.enlarge(d))}
+        routed_r2 = {c.cell_id for c in grid16.cells_overlapping(r2)}
+        assert owner in routed_r1 & routed_r2
+
+    def test_zero_d_matches_overlap(self, grid16):
+        a = Rect(20, 80, 30, 30)
+        b = Rect(40, 70, 30, 30)
+        assert two_way_range_owner(a, b, 0.0, grid16) == two_way_overlap_owner(
+            a, b, grid16
+        )
+
+    def test_negative_d_rejected(self, grid16):
+        with pytest.raises(JoinError):
+            two_way_range_owner(Rect(0, 9, 1, 1), Rect(5, 9, 1, 1), -1, grid16)
+
+
+class TestTupleOwner:
+    def test_max_x_min_y_rule(self, grid16):
+        # §6.2: owner holds (largest start x, smallest start y).
+        rects = [Rect(10, 90, 5, 5), Rect(60, 80, 5, 5), Rect(30, 20, 5, 5)]
+        owner = tuple_owner(rects, grid16)
+        assert owner == grid16.cell_of_point(60, 20).cell_id
+
+    def test_single_rect(self, grid16):
+        r = Rect(33, 62, 4, 4)
+        assert tuple_owner([r], grid16) == grid16.cell_of(r).cell_id
+
+    def test_empty_rejected(self, grid16):
+        with pytest.raises(JoinError):
+            tuple_owner([], grid16)
+
+    def test_owner_in_every_members_fourth_quadrant(self, grid16):
+        # Reachability under f1 replication.
+        rects = [Rect(5, 95, 40, 40), Rect(48, 52, 30, 30), Rect(70, 90, 5, 80)]
+        owner_cell = grid16.cell_by_id(tuple_owner(rects, grid16))
+        for r in rects:
+            assert owner_cell.is_fourth_quadrant_of(grid16.cell_of(r))

@@ -1,0 +1,65 @@
+"""Tests for the EXPLAIN plan inspector."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.explain import explain
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = SyntheticSpec(
+        n=300, x_range=(0, 2000), y_range=(0, 2000),
+        l_range=(0, 60), b_range=(0, 60), seed=5,
+    )
+    datasets = generate_relations(spec, ["R1", "R2", "R3"])
+    grid = GridPartitioning.square(spec.space, 16)
+    return datasets, grid
+
+
+class TestExplain:
+    def test_sections_present(self, setting):
+        datasets, grid = setting
+        query = Query.chain(["R1", "R2", "R3"], [Overlap(), Range(50.0)])
+        text = explain(query, datasets, grid)
+        for fragment in (
+            "query: R1 Ov R2 and R2 Ra(50) R3",
+            "join graph:",
+            "2-way Cascade plan",
+            "All-Replicate:",
+            "Controlled-Replicate",
+            "replication bounds",
+        ):
+            assert fragment in text
+
+    def test_bounds_reflect_query_structure(self, setting):
+        datasets, grid = setting
+        query = Query.chain(["R1", "R2", "R3"], Overlap())
+        text = explain(query, datasets, grid)
+        # Chain middles replicate to 0 for an overlap chain of 3.
+        assert "slot R2: 0.0" in text
+
+    def test_allrep_factor_matches_grid(self, setting):
+        datasets, grid = setting
+        query = Query.chain(["R1", "R2", "R3"], Overlap())
+        text = explain(query, datasets, grid)
+        # mean |C4| of a 4x4 grid: ((4+1)/2)^2 = 6.25
+        assert "x 6.2" in text
+
+    def test_self_join_slots_listed(self, setting):
+        __, grid = setting
+        query = Query.self_chain("R", 3, Overlap())
+        datasets = {"R": [(0, Rect(100, 1900, 10, 10)), (1, Rect(105, 1895, 10, 10))]}
+        text = explain(query, datasets, grid)
+        assert "at slots [R#1, R#2, R#3]" in text
+
+    def test_empty_dataset_handled(self, setting):
+        __, grid = setting
+        query = Query.chain(["A", "B"], Overlap())
+        datasets = {"A": [], "B": [(0, Rect(5, 1995, 1, 1))]}
+        text = explain(query, datasets, grid)
+        assert "A: 0 rectangles" in text

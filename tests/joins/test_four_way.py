@@ -1,0 +1,67 @@
+"""Wider query shapes: 4- and 5-slot chains, stars and cycles, all
+algorithms vs the oracle on one shared workload."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.reference import brute_force_join
+from repro.joins.registry import make_algorithm
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+GRID = GridPartitioning(Rect.from_corners(0, 0, 700, 700), 4, 4)
+NAMES = ["R1", "R2", "R3", "R4", "R5"]
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    spec = SyntheticSpec(
+        n=110, x_range=(0, 700), y_range=(0, 700),
+        l_range=(0, 90), b_range=(0, 90), seed=97,
+    )
+    return generate_relations(spec, NAMES)
+
+
+QUERIES = {
+    "chain4-overlap": Query.chain(NAMES[:4], Overlap()),
+    "chain5-overlap": Query.chain(NAMES, Overlap()),
+    "chain4-hybrid": Query.chain(
+        NAMES[:4], [Overlap(), Range(40.0), Overlap()]
+    ),
+    "star4": Query.star("R1", ["R2", "R3", "R4"], Overlap()),
+    "square-cycle": Query([
+        Triple(Overlap(), "R1", "R2"),
+        Triple(Overlap(), "R2", "R3"),
+        Triple(Overlap(), "R3", "R4"),
+        Triple(Overlap(), "R4", "R1"),
+    ]),
+    "diamond": Query([
+        Triple(Overlap(), "R1", "R2"),
+        Triple(Overlap(), "R1", "R3"),
+        Triple(Range(60.0), "R2", "R4"),
+        Triple(Range(60.0), "R3", "R4"),
+    ]),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("algo", ["cascade", "all-rep", "c-rep", "c-rep-l"])
+def test_wide_queries_match_oracle(datasets, query_name, algo):
+    query = QUERIES[query_name]
+    used = {query.dataset_of(s) for s in query.slots}
+    ds = {k: v for k, v in datasets.items() if k in used}
+    expected = brute_force_join(query, ds)
+    d_max = Rect(0, 0, 90, 90).diagonal
+    algorithm = make_algorithm(algo, query=query, d_max=d_max)
+    assert algorithm.run(query, ds, GRID).tuples == expected
+
+
+def test_four_way_crepl_bounds_scale_with_position(datasets):
+    # End slots of a 4-chain replicate twice as far as middles (§7.9).
+    from repro.joins.limits import ReplicationLimits
+
+    query = QUERIES["chain4-overlap"]
+    limits = ReplicationLimits.from_query(query, 10.0)
+    assert limits.bound_for("R1") == 2 * limits.bound_for("R2")

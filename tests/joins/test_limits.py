@@ -1,0 +1,65 @@
+"""Unit tests for the C-Rep-L replication limits."""
+
+import math
+
+import pytest
+
+from repro.errors import JoinError
+from repro.joins.limits import ReplicationLimits
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query
+
+
+class TestConstruction:
+    def test_unlimited(self):
+        limits = ReplicationLimits.unlimited()
+        assert limits.is_unlimited
+        assert math.isinf(limits.bound_for("anything"))
+
+    def test_invalid_metric(self):
+        with pytest.raises(JoinError):
+            ReplicationLimits(by_dataset={}, metric="manhattan")
+
+    def test_negative_bound(self):
+        with pytest.raises(JoinError):
+            ReplicationLimits(by_dataset={"R": -1.0})
+
+
+class TestFromQuery:
+    def test_overlap_chain(self):
+        # §7.9: 4-chain, ends 2*d_max, middles d_max.
+        q = Query.chain(["R1", "R2", "R3", "R4"], Overlap())
+        limits = ReplicationLimits.from_query(q, 10.0)
+        assert limits.bound_for("R1") == 20.0
+        assert limits.bound_for("R2") == 10.0
+        assert not limits.is_unlimited
+
+    def test_range_chain(self):
+        # §8: ends (m-2)*d_max + (m-1)*d.
+        q = Query.chain(["R1", "R2", "R3", "R4"], Range(5.0))
+        limits = ReplicationLimits.from_query(q, 10.0)
+        assert limits.bound_for("R1") == 35.0
+        assert limits.bound_for("R2") == 20.0
+
+    def test_self_join_takes_max_over_slots(self):
+        # All slots read the same dataset: the dataset's bound is the
+        # largest (end-slot) bound.
+        q = Query.self_chain("roads", 4, Overlap())
+        limits = ReplicationLimits.from_query(q, 10.0)
+        assert limits.bound_for("roads") == 20.0
+
+    def test_per_dataset_dmax(self):
+        q = Query.chain(["A", "B", "C"], Overlap())
+        limits = ReplicationLimits.from_query(q, {"A": 1.0, "B": 7.0, "C": 2.0})
+        # A to C crosses B: bound 7 (B's diagonal).
+        assert limits.bound_for("A") == 7.0
+        assert limits.bound_for("B") == 0.0
+
+    def test_default_metric_is_safe(self):
+        q = Query.chain(["A", "B"], Overlap())
+        assert ReplicationLimits.from_query(q, 1.0).metric == "chebyshev"
+
+    def test_unknown_dataset_unbounded(self):
+        q = Query.chain(["A", "B"], Overlap())
+        limits = ReplicationLimits.from_query(q, 1.0)
+        assert math.isinf(limits.bound_for("not-in-query"))

@@ -1,0 +1,159 @@
+"""Unit tests for the local backtracking multi-way join."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.joins.local import LocalJoiner
+from repro.joins.reference import brute_force_join
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+
+def as_tuples(assignments, slots):
+    return {tuple(a[s][0] for s in slots) for a in assignments}
+
+
+class TestChainOverlap:
+    def test_simple_chain(self, chain3_query):
+        bags = {
+            "R1": [(0, Rect(0, 10, 5, 5))],
+            "R2": [(0, Rect(4, 9, 5, 5))],
+            "R3": [(0, Rect(8, 8, 5, 5)), (1, Rect(50, 50, 1, 1))],
+        }
+        joiner = LocalJoiner(chain3_query)
+        assignments, checks = joiner.enumerate(bags)
+        assert as_tuples(assignments, chain3_query.slots) == {(0, 0, 0)}
+        assert checks > 0
+
+    def test_chain_does_not_require_end_overlap(self, chain3_query):
+        # R1 and R3 need not overlap each other.
+        bags = {
+            "R1": [(0, Rect(0, 10, 3, 3))],
+            "R2": [(0, Rect(2, 9, 10, 3))],
+            "R3": [(0, Rect(11, 8, 3, 3))],
+        }
+        assignments, __ = LocalJoiner(chain3_query).enumerate(bags)
+        assert len(assignments) == 1
+
+    def test_empty_bag_short_circuits(self, chain3_query):
+        bags = {"R1": [(0, Rect(0, 9, 1, 1))], "R2": [], "R3": []}
+        assignments, checks = LocalJoiner(chain3_query).enumerate(bags)
+        assert assignments == []
+        assert checks == 0
+
+    def test_missing_bag_rejected(self, chain3_query):
+        with pytest.raises(JoinError):
+            LocalJoiner(chain3_query).enumerate({"R1": []})
+
+
+class TestRangeAndHybrid:
+    def test_range_chain(self, range3_query):
+        bags = {
+            "R1": [(0, Rect(0, 10, 2, 2))],
+            "R2": [(0, Rect(8, 10, 2, 2))],  # 6 from R1
+            "R3": [(0, Rect(30, 10, 2, 2))],  # 20 from R2: too far
+        }
+        assignments, __ = LocalJoiner(range3_query).enumerate(bags)
+        assert assignments == []
+        bags["R3"] = [(0, Rect(15, 10, 2, 2))]  # 5 from R2
+        assignments, __ = LocalJoiner(range3_query).enumerate(bags)
+        assert len(assignments) == 1
+
+    def test_hybrid(self):
+        q = Query.chain(["A", "B", "C"], [Overlap(), Range(10)])
+        bags = {
+            "A": [(0, Rect(0, 10, 4, 4))],
+            "B": [(0, Rect(3, 9, 4, 4))],
+            "C": [(0, Rect(12, 9, 2, 2))],
+        }
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert len(assignments) == 1
+
+
+class TestSelfJoin:
+    def test_distinct_rids_required(self):
+        q = Query.self_chain("R", 2, Overlap())
+        bags = {slot: [(0, Rect(0, 10, 5, 5))] for slot in q.slots}
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert assignments == []  # the only candidate pairs rid 0 with itself
+
+    def test_symmetric_assignments_both_reported(self):
+        q = Query.self_chain("R", 2, Overlap())
+        rects = [(0, Rect(0, 10, 5, 5)), (1, Rect(3, 9, 5, 5))]
+        bags = {slot: rects for slot in q.slots}
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert as_tuples(assignments, q.slots) == {(0, 1), (1, 0)}
+
+    def test_triple_self_join(self):
+        q = Query.self_chain("R", 3, Overlap())
+        rects = [
+            (0, Rect(0, 10, 4, 4)),
+            (1, Rect(3, 9, 4, 4)),
+            (2, Rect(6, 8, 4, 4)),
+        ]
+        bags = {slot: rects for slot in q.slots}
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        got = as_tuples(assignments, q.slots)
+        # rid 0 overlaps 1, 1 overlaps 2; 0 and 2 do not overlap.
+        assert (0, 1, 2) in got
+        assert (2, 1, 0) in got
+        assert (0, 2, 1) not in got
+        # middle rectangle must overlap both ends
+        assert all(t[1] == 1 for t in got)
+
+
+class TestCycleQuery:
+    def test_triangle(self):
+        q = Query([
+            Triple(Overlap(), "A", "B"),
+            Triple(Overlap(), "B", "C"),
+            Triple(Overlap(), "A", "C"),
+        ])
+        bags = {
+            "A": [(0, Rect(0, 10, 6, 6))],
+            "B": [(0, Rect(4, 9, 6, 6))],
+            # overlaps B but not A:
+            "C": [(0, Rect(8, 8, 6, 6))],
+        }
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert assignments == []
+        bags["C"] = [(0, Rect(5, 8, 6, 6))]  # overlaps both
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert len(assignments) == 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("index_kind", ["grid", "rtree", "scan"])
+    def test_random_workload_matches_oracle(self, index_kind):
+        spec = SyntheticSpec(
+            n=120,
+            x_range=(0, 500),
+            y_range=(0, 500),
+            l_range=(0, 60),
+            b_range=(0, 60),
+            seed=77,
+        )
+        datasets = generate_relations(spec, ["R1", "R2", "R3"])
+        for q in [
+            Query.chain(["R1", "R2", "R3"], Overlap()),
+            Query.chain(["R1", "R2", "R3"], Range(25.0)),
+            Query.chain(["R1", "R2", "R3"], [Overlap(), Range(40.0)]),
+        ]:
+            bags = {s: datasets[q.dataset_of(s)] for s in q.slots}
+            assignments, __ = LocalJoiner(q, index_kind).enumerate(bags)
+            assert as_tuples(assignments, q.slots) == brute_force_join(
+                q, datasets
+            )
+
+    def test_self_join_matches_oracle(self):
+        spec = SyntheticSpec(
+            n=80, x_range=(0, 300), y_range=(0, 300),
+            l_range=(0, 50), b_range=(0, 50), seed=5,
+        )
+        datasets = {"R": generate_relations(spec, ["R"])["R"]}
+        q = Query.self_chain("R", 3, Overlap())
+        bags = {s: datasets["R"] for s in q.slots}
+        assignments, __ = LocalJoiner(q).enumerate(bags)
+        assert as_tuples(assignments, q.slots) == brute_force_join(q, datasets)

@@ -1,0 +1,217 @@
+"""The paper's worked examples, reconstructed with exact coordinates.
+
+* Figure 3 (Section 6): the All-Replicate / dedup-rule example on an
+  8x4 grid — which reducers receive the full tuple and which one owns it.
+* Figure 5 (Section 7.7): the Controlled-Replicate walk-through on a 2x2
+  grid — which rectangles each reducer marks, where each output tuple is
+  computed, and the final 4-tuple output.
+
+Paper cells are numbered 1..k row-major; ids here are 0-based.
+"""
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.all_replicate import AllReplicateJoin
+from repro.joins.cascade import CascadeJoin
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.dedup import tuple_owner
+from repro.joins.limits import ReplicationLimits
+from repro.joins.marking import MarkingEngine
+from repro.joins.reference import brute_force_join
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+Q1 = Query.chain(["R1", "R2", "R3", "R4"], Overlap())
+
+
+# ----------------------------------------------------------------------
+# Figure 3: 8 columns x 4 rows over [0,800] x [0,400]
+# ----------------------------------------------------------------------
+class TestFigure3:
+    grid = GridPartitioning(Rect.from_corners(0, 0, 800, 400), rows=4, cols=8)
+    u1 = Rect(110, 190, 30, 30)  # paper cell 18 only
+    v1 = Rect(120, 250, 20, 100)  # cells 10 and 18
+    w1 = Rect(130, 350, 120, 100)  # cells 2, 3, 10, 11
+    x1 = Rect(220, 330, 20, 100)  # cells 3 and 11
+
+    def paper_cells(self, rect) -> set[int]:
+        return {c.cell_id + 1 for c in self.grid.cells_overlapping(rect)}
+
+    def test_split_cells_match_paper(self):
+        assert self.paper_cells(self.u1) == {18}
+        assert self.paper_cells(self.v1) == {10, 18}
+        assert self.paper_cells(self.w1) == {2, 3, 10, 11}
+        assert self.paper_cells(self.x1) == {3, 11}
+
+    def test_tuple_satisfies_q1(self):
+        assert self.u1.intersects(self.v1)
+        assert self.v1.intersects(self.w1)
+        assert self.w1.intersects(self.x1)
+
+    def test_f1_common_reducers_match_paper(self):
+        # Paper: reducers 19-24 and 27-32 receive all four rectangles.
+        def f1_cells(rect):
+            anchor = self.grid.cell_of(rect)
+            return {c.cell_id + 1 for c in self.grid.fourth_quadrant(anchor)}
+
+        common = (
+            f1_cells(self.u1)
+            & f1_cells(self.v1)
+            & f1_cells(self.w1)
+            & f1_cells(self.x1)
+        )
+        assert common == set(range(19, 25)) | set(range(27, 33))
+
+    def test_dedup_owner_is_cell_19(self):
+        # u_r = x1 (largest start x), u_l = u1 (smallest start y); the
+        # cell containing (x1.x, u1.y) is paper cell 19.
+        owner = tuple_owner([self.u1, self.v1, self.w1, self.x1], self.grid)
+        assert owner + 1 == 19
+
+    def test_all_replicate_end_to_end(self):
+        datasets = {
+            "R1": [(0, self.u1)],
+            "R2": [(0, self.v1)],
+            "R3": [(0, self.w1)],
+            "R4": [(0, self.x1)],
+        }
+        result = AllReplicateJoin().run(Q1, datasets, self.grid)
+        assert result.tuples == {(0, 0, 0, 0)}
+
+
+# ----------------------------------------------------------------------
+# Figure 5: 2x2 grid over [0,100]^2; cells c1..c4 are ids 0..3
+# ----------------------------------------------------------------------
+FIG5 = {
+    "R1": [(1, Rect(5, 95, 4, 4)),      # u1: inside c1, isolated
+           (2, Rect(30, 62, 8, 6)),     # u2: inside c1, overlaps v3
+           (3, Rect(33, 45, 5, 5))],    # u3: inside c3, overlaps v3
+    "R2": [(1, Rect(5, 80, 4, 4)),      # v1: inside c1, isolated
+           (2, Rect(42, 62, 4, 3)),     # v2: inside c1, overlaps w1 only
+           (3, Rect(35, 58, 8, 20)),    # v3: starts c1, crosses into c3
+           (4, Rect(44, 90, 10, 5))],   # v4: starts c1, crosses into c2
+    "R3": [(1, Rect(40, 60, 20, 20)),   # w1: spans all four cells
+           (2, Rect(20, 75, 5, 5))],    # w2: inside c1, isolated
+    "R4": [(1, Rect(55, 58, 6, 6)),     # x1: inside c2, overlaps w1
+           (2, Rect(42, 56, 4, 4))],    # x2: inside c1, overlaps w1
+}
+
+EXPECTED_OUTPUT = {(2, 3, 1, 1), (2, 3, 1, 2), (3, 3, 1, 1), (3, 3, 1, 2)}
+
+
+@pytest.fixture(scope="module")
+def grid2() -> GridPartitioning:
+    return GridPartitioning(Rect.from_corners(0, 0, 100, 100), 2, 2)
+
+
+def received_at(grid, cell_id):
+    out = {}
+    for dataset, rects in FIG5.items():
+        bag = [
+            (rid, r)
+            for rid, r in rects
+            if grid.cell_by_id(cell_id) in grid.cells_overlapping(r)
+        ]
+        if bag:
+            out[dataset] = bag
+    return out
+
+
+class TestFigure5Geometry:
+    def test_expected_output_via_oracle(self, grid2):
+        assert brute_force_join(Q1, FIG5) == EXPECTED_OUTPUT
+
+    def test_start_cells(self, grid2):
+        # Everything except u3 (c3) and x1 (c2) starts in c1.
+        for dataset, rects in FIG5.items():
+            for rid, r in rects:
+                start = grid2.cell_of(r).cell_id
+                if (dataset, rid) == ("R1", 3):
+                    assert start == 2  # u3 in c3
+                elif (dataset, rid) == ("R4", 1):
+                    assert start == 1  # x1 in c2
+                else:
+                    assert start == 0
+
+    def test_w1_spans_all_cells(self, grid2):
+        w1 = FIG5["R3"][0][1]
+        assert len(grid2.cells_overlapping(w1)) == 4
+
+
+class TestFigure5Marking:
+    def test_c1_marks_paper_set(self, grid2):
+        # Paper: uS_c1 = {u2, v3, v4, w1, x2}.
+        engine = MarkingEngine(Q1, grid2)
+        decision = engine.select_marked(grid2.cell_by_id(0), received_at(grid2, 0))
+        assert decision.marked == {
+            ("R1", 2),
+            ("R2", 3),
+            ("R2", 4),
+            ("R3", 1),
+            ("R4", 2),
+        }
+
+    def test_c3_marks_only_u3(self, grid2):
+        # Paper: (u3, v3) qualifies at c3 but only u3 starts there.
+        engine = MarkingEngine(Q1, grid2)
+        decision = engine.select_marked(grid2.cell_by_id(2), received_at(grid2, 2))
+        assert decision.marked == {("R1", 3)}
+
+    def test_output_tuples_computed_at_paper_cells(self, grid2):
+        # Paper §7.7: the four tuples are computed by reducers c2, c1,
+        # c4, c3 respectively.
+        by_rid = {
+            ds: dict(rects) for ds, rects in FIG5.items()
+        }
+        owners = {
+            tuple_owner(
+                [by_rid["R1"][t[0]], by_rid["R2"][t[1]], by_rid["R3"][t[2]],
+                 by_rid["R4"][t[3]]],
+                grid2,
+            )
+            for t in sorted(EXPECTED_OUTPUT)
+        }
+        expectation = {
+            (2, 3, 1, 1): 1,  # c2
+            (2, 3, 1, 2): 0,  # c1
+            (3, 3, 1, 1): 3,  # c4
+            (3, 3, 1, 2): 2,  # c3
+        }
+        for t, cell in expectation.items():
+            assert (
+                tuple_owner(
+                    [by_rid["R1"][t[0]], by_rid["R2"][t[1]],
+                     by_rid["R3"][t[2]], by_rid["R4"][t[3]]],
+                    grid2,
+                )
+                == cell
+            )
+        assert owners == {0, 1, 2, 3}
+
+
+class TestFigure5EndToEnd:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            CascadeJoin(),
+            AllReplicateJoin(),
+            ControlledReplicateJoin(),
+            ControlledReplicateJoin(
+                limits=ReplicationLimits.from_query(
+                    Q1, Rect(0, 0, 20, 20).diagonal
+                )
+            ),
+        ],
+        ids=["cascade", "all-rep", "c-rep", "c-rep-l"],
+    )
+    def test_output(self, grid2, algorithm):
+        result = algorithm.run(Q1, FIG5, grid2)
+        assert result.tuples == EXPECTED_OUTPUT
+
+    def test_crep_marks_exactly_paper_rectangles(self, grid2):
+        result = ControlledReplicateJoin().run(Q1, FIG5, grid2)
+        # u2, v3, v4, w1, x2 at c1; u3 at c3; x1 at c2 (the pair (w1, x1)
+        # qualifies there) = 7 marked rectangles in total.
+        assert result.stats.rectangles_marked == 7

@@ -1,0 +1,66 @@
+"""Unit tests for the brute-force oracle itself (hand-computed cases)."""
+
+import pytest
+
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.joins.reference import brute_force_join
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+
+class TestBruteForce:
+    def test_two_way_overlap(self):
+        q = Query.chain(["A", "B"], Overlap())
+        datasets = {
+            "A": [(0, Rect(0, 10, 5, 5)), (1, Rect(50, 50, 2, 2))],
+            "B": [(0, Rect(4, 9, 5, 5)), (1, Rect(51, 49, 2, 2))],
+        }
+        assert brute_force_join(q, datasets) == {(0, 0), (1, 1)}
+
+    def test_two_way_range(self):
+        q = Query.chain(["A", "B"], Range(5.0))
+        datasets = {
+            "A": [(0, Rect(0, 10, 2, 2))],
+            "B": [(0, Rect(6, 10, 2, 2)), (1, Rect(9, 10, 2, 2))],
+        }
+        # dx to rid 0 is 4 <= 5; to rid 1 is 7 > 5.
+        assert brute_force_join(q, datasets) == {(0, 0)}
+
+    def test_chain_semantics(self):
+        q = Query.chain(["A", "B", "C"], Overlap())
+        datasets = {
+            "A": [(0, Rect(0, 10, 3, 3))],
+            "B": [(0, Rect(2, 9, 10, 3))],
+            "C": [(0, Rect(11, 8, 3, 3))],
+        }
+        assert brute_force_join(q, datasets) == {(0, 0, 0)}
+
+    def test_cycle_stricter_than_chain(self):
+        chain = Query.chain(["A", "B", "C"], Overlap())
+        cycle = Query([
+            Triple(Overlap(), "A", "B"),
+            Triple(Overlap(), "B", "C"),
+            Triple(Overlap(), "A", "C"),
+        ])
+        datasets = {
+            "A": [(0, Rect(0, 10, 3, 3))],
+            "B": [(0, Rect(2, 9, 10, 3))],
+            "C": [(0, Rect(11, 8, 3, 3))],  # overlaps B only
+        }
+        assert brute_force_join(chain, datasets) == {(0, 0, 0)}
+        assert brute_force_join(cycle, datasets) == set()
+
+    def test_self_join_distinctness(self):
+        q = Query.self_chain("R", 2, Overlap())
+        datasets = {"R": [(0, Rect(0, 10, 5, 5)), (1, Rect(2, 9, 5, 5))]}
+        assert brute_force_join(q, datasets) == {(0, 1), (1, 0)}
+
+    def test_missing_dataset_rejected(self):
+        q = Query.chain(["A", "B"], Overlap())
+        with pytest.raises(JoinError):
+            brute_force_join(q, {"A": []})
+
+    def test_empty_dataset_empty_result(self):
+        q = Query.chain(["A", "B"], Overlap())
+        assert brute_force_join(q, {"A": [], "B": [(0, Rect(0, 1, 1, 1))]}) == set()

@@ -1,0 +1,44 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.errors import JoinError
+from repro.joins.all_replicate import AllReplicateJoin
+from repro.joins.cascade import CascadeJoin
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(ALGORITHMS) == {"cascade", "all-rep", "c-rep", "c-rep-l"}
+
+    def test_simple_factories(self):
+        assert isinstance(make_algorithm("cascade"), CascadeJoin)
+        assert isinstance(make_algorithm("all-rep"), AllReplicateJoin)
+        crep = make_algorithm("c-rep")
+        assert isinstance(crep, ControlledReplicateJoin)
+        assert crep.limits.is_unlimited
+
+    def test_crepl_needs_query_and_dmax(self):
+        with pytest.raises(JoinError):
+            make_algorithm("c-rep-l")
+        q = Query.chain(["A", "B"], Overlap())
+        crepl = make_algorithm("c-rep-l", query=q, d_max=3.0)
+        assert isinstance(crepl, ControlledReplicateJoin)
+        assert not crepl.limits.is_unlimited
+        assert crepl.name == "controlled-replicate-limit"
+
+    def test_limit_metric_passthrough(self):
+        q = Query.chain(["A", "B"], Overlap())
+        crepl = make_algorithm("c-rep-l", query=q, d_max=3.0, limit_metric="euclidean")
+        assert crepl.limits.metric == "euclidean"
+
+    def test_index_kind_passthrough(self):
+        assert make_algorithm("cascade", index_kind="rtree").index_kind == "rtree"
+
+    def test_unknown(self):
+        with pytest.raises(JoinError):
+            make_algorithm("quantum-join")

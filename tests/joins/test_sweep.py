@@ -1,0 +1,76 @@
+"""Tests for the plane-sweep pairwise kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JoinError
+from repro.geometry.ops import chebyshev_distance
+from repro.geometry.rectangle import Rect
+from repro.joins.sweep import sweep_join_count, sweep_pairs
+
+
+def nested_loop_pairs(left, right, d):
+    return {
+        (lid, rid)
+        for lid, lrect in left
+        for rid, rrect in right
+        if chebyshev_distance(lrect, rrect) <= d
+    }
+
+
+class TestBasics:
+    def test_simple_overlap(self):
+        left = [(0, Rect(0, 10, 5, 5))]
+        right = [(0, Rect(4, 9, 5, 5)), (1, Rect(20, 10, 2, 2))]
+        assert set(sweep_pairs(left, right)) == {(0, 0)}
+
+    def test_touching_counts(self):
+        left = [(0, Rect(0, 10, 5, 5))]
+        right = [(0, Rect(5, 10, 5, 5))]
+        assert set(sweep_pairs(left, right)) == {(0, 0)}
+
+    def test_distance(self):
+        left = [(0, Rect(0, 10, 2, 2))]
+        right = [(0, Rect(5, 10, 2, 2))]  # dx = 3
+        assert set(sweep_pairs(left, right, 3.0)) == {(0, 0)}
+        assert set(sweep_pairs(left, right, 2.9)) == set()
+
+    def test_empty_sides(self):
+        assert list(sweep_pairs([], [(0, Rect(0, 1, 1, 1))])) == []
+        assert list(sweep_pairs([(0, Rect(0, 1, 1, 1))], [])) == []
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(JoinError):
+            list(sweep_pairs([(0, Rect(0, 1, 1, 1))], [(0, Rect(0, 1, 1, 1))], -1))
+
+    def test_count_helper(self):
+        left = [(i, Rect(i * 2.0, 10, 3, 3)) for i in range(5)]
+        right = [(i, Rect(i * 2.0 + 1, 9, 3, 3)) for i in range(5)]
+        assert sweep_join_count(left, right) == len(
+            nested_loop_pairs(left, right, 0.0)
+        )
+
+    def test_each_pair_once(self):
+        left = [(0, Rect(0, 100, 50, 50)), (1, Rect(10, 90, 50, 50))]
+        right = [(0, Rect(5, 95, 50, 50)), (1, Rect(20, 80, 50, 50))]
+        pairs = list(sweep_pairs(left, right))
+        assert len(pairs) == len(set(pairs)) == 4
+
+
+coord = st.floats(min_value=0, max_value=500, allow_nan=False)
+side = st.floats(min_value=0, max_value=120, allow_nan=False)
+rects = st.builds(Rect, x=coord, y=coord, l=side, b=side)
+
+
+def bag():
+    return st.lists(rects, min_size=0, max_size=30).map(
+        lambda rs: list(enumerate(rs))
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(bag(), bag(), st.floats(min_value=0, max_value=80, allow_nan=False))
+def test_sweep_matches_nested_loop(left, right, d):
+    got = set(sweep_pairs(left, right, d))
+    assert got == nested_loop_pairs(left, right, d)

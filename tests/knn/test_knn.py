@@ -1,0 +1,148 @@
+"""Tests for the kNN join extension, against a brute-force oracle."""
+
+import math
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects
+from repro.errors import JoinError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.knn.join import KnnJoin
+
+GRID = GridPartitioning(Rect.from_corners(0, 0, 1000, 1000), 4, 4)
+
+
+def brute_force_knn(queries, data, k):
+    out = {}
+    for qid, q in queries:
+        dists = sorted((q.min_distance(r), did) for did, r in data)
+        out[qid] = dists[:k]
+    return out
+
+
+def same_neighbour_sets(got, expected):
+    """Compare ignoring tie-order among equal distances at the cut."""
+    if set(got) != set(expected):
+        return False
+    for qid in got:
+        g, e = got[qid], expected[qid]
+        if [round(d, 9) for d, __ in g] != [round(d, 9) for d, __ in e]:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def workload():
+    qspec = SyntheticSpec(
+        n=60, x_range=(0, 1000), y_range=(0, 1000),
+        l_range=(0, 20), b_range=(0, 20), seed=71,
+    )
+    dspec = SyntheticSpec(
+        n=400, x_range=(0, 1000), y_range=(0, 1000),
+        l_range=(0, 30), b_range=(0, 30), seed=72,
+    )
+    return generate_rects(qspec), generate_rects(dspec)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_oracle(self, workload, k):
+        queries, data = workload
+        result = KnnJoin(k=k).run(queries, data, GRID)
+        expected = brute_force_knn(queries, data, k)
+        assert same_neighbour_sets(result.neighbours, expected)
+
+    def test_all_queries_answered(self, workload):
+        queries, data = workload
+        result = KnnJoin(k=2).run(queries, data, GRID)
+        assert set(result.neighbours) == {rid for rid, __ in queries}
+        assert all(len(v) == 2 for v in result.neighbours.values())
+
+    def test_distances_ascending(self, workload):
+        queries, data = workload
+        result = KnnJoin(k=5).run(queries, data, GRID)
+        for neighbours in result.neighbours.values():
+            dists = [d for d, __ in neighbours]
+            assert dists == sorted(dists)
+
+    def test_overlapping_neighbours_distance_zero(self):
+        queries = [(0, Rect(100, 900, 50, 50))]
+        data = [(0, Rect(120, 880, 10, 10)), (1, Rect(700, 200, 10, 10))]
+        result = KnnJoin(k=1).run(queries, data, GRID)
+        assert result.neighbours[0] == [(0.0, 0)]
+
+    def test_k_exceeding_data_size(self):
+        queries = [(0, Rect(10, 990, 5, 5))]
+        data = [(0, Rect(500, 500, 5, 5)), (1, Rect(900, 100, 5, 5))]
+        result = KnnJoin(k=10).run(queries, data, GRID)
+        assert len(result.neighbours[0]) == 2
+
+    def test_clustered_queries_far_from_data(self):
+        # Forces multiple radius-doubling rounds.
+        queries = [(0, Rect(5, 995, 2, 2))]
+        data = [(i, Rect(950 + i, 20, 1, 1)) for i in range(5)]
+        result = KnnJoin(k=3, oversample=0.5).run(queries, data, GRID)
+        expected = brute_force_knn(queries, data, 3)
+        assert same_neighbour_sets(result.neighbours, expected)
+        assert result.rounds > 1
+
+
+class TestMechanics:
+    def test_invalid_k(self):
+        with pytest.raises(JoinError):
+            KnnJoin(k=0)
+
+    def test_invalid_oversample(self):
+        with pytest.raises(JoinError):
+            KnnJoin(k=1, oversample=0)
+
+    def test_empty_data_rejected(self, workload):
+        queries, __ = workload
+        with pytest.raises(JoinError):
+            KnnJoin(k=1).run(queries, [], GRID)
+
+    def test_empty_queries(self, workload):
+        __, data = workload
+        result = KnnJoin(k=1).run([], data, GRID)
+        assert result.neighbours == {}
+        assert result.rounds == 0
+
+    def test_rounds_and_stats_exposed(self, workload):
+        queries, data = workload
+        result = KnnJoin(k=3).run(queries, data, GRID)
+        assert result.rounds >= 1
+        assert result.simulated_seconds > 0
+        assert math.isfinite(result.simulated_seconds)
+
+    def test_oversample_tradeoff(self, workload):
+        # Smaller initial radius -> usually more rounds.
+        queries, data = workload
+        eager = KnnJoin(k=5, oversample=8.0).run(queries, data, GRID)
+        lazy = KnnJoin(k=5, oversample=0.2).run(queries, data, GRID)
+        assert lazy.rounds >= eager.rounds
+        assert same_neighbour_sets(eager.neighbours, lazy.neighbours)
+
+
+class TestReuseSafety:
+    def test_duplicate_query_rids_rejected(self):
+        queries = [(0, Rect(10, 90, 1, 1)), (0, Rect(80, 20, 1, 1))]
+        data = [(0, Rect(11, 89, 1, 1))]
+        with pytest.raises(JoinError):
+            KnnJoin(k=1).run(queries, data, GRID)
+
+    def test_reused_cluster_with_smaller_grid_not_contaminated(self):
+        from repro.mapreduce.engine import Cluster
+
+        cluster = Cluster()
+        space = Rect.from_corners(0, 0, 100, 100)
+        big = GridPartitioning(space, 4, 4)
+        small = GridPartitioning(space, 2, 2)
+        queries = [(0, Rect(10, 90, 1, 1))]
+        KnnJoin(k=1, oversample=0.01).run(
+            queries, [(0, Rect(50, 50, 1, 1))], big, cluster
+        )
+        second = KnnJoin(k=1, oversample=0.01).run(
+            queries, [(7, Rect(90, 10, 1, 1))], small, cluster
+        )
+        assert [did for __, did in second.neighbours[0]] == [7]

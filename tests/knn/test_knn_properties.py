@@ -1,0 +1,51 @@
+"""Property-based tests: kNN join vs brute force on arbitrary inputs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.knn.join import KnnJoin
+
+SPACE = Rect.from_corners(0.0, 0.0, 200.0, 200.0)
+
+coord = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+side = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+
+@st.composite
+def rect_in_space(draw) -> Rect:
+    x = draw(coord)
+    y = draw(coord)
+    return Rect(x, y, min(draw(side), 200.0 - x), min(draw(side), y))
+
+
+def bag(min_size, max_size):
+    return st.lists(rect_in_space(), min_size=min_size, max_size=max_size).map(
+        lambda rs: list(enumerate(rs))
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    bag(0, 6),
+    bag(1, 25),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_knn_matches_oracle(queries, data, k, rows, cols):
+    grid = GridPartitioning(SPACE, rows, cols)
+    result = KnnJoin(k=k, oversample=1.0).run(queries, data, grid)
+    for qid, q in queries:
+        expected = sorted((q.min_distance(r), did) for did, r in data)[:k]
+        got = result.neighbours[qid]
+        # distances must match exactly; ids may differ only within ties
+        assert [d for d, __ in got] == [d for d, __ in expected]
+        for (gd, gi), (ed, ei) in zip(got, expected):
+            if gi != ei:
+                assert q.min_distance(dict(data)[gi]) == ed

@@ -1,0 +1,80 @@
+"""Tests for map-side combiners."""
+
+import pytest
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+
+def word_count(combine: bool) -> MapReduceJob:
+    def mapper(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(f"{word}\t{sum(counts)}")
+
+    def combiner(word, counts):
+        return [sum(counts)]
+
+    return MapReduceJob(
+        name="wc",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=2,
+        partitioner=hash_partitioner,
+        combiner=combiner if combine else None,
+    )
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(dfs=InMemoryDFS())
+    c.dfs.write_file("in", ["a a a b", "a b c", "a a"])
+    return c
+
+
+class TestCombiner:
+    def test_same_output_with_and_without(self):
+        outputs = []
+        for combine in (False, True):
+            c = Cluster(dfs=InMemoryDFS())
+            c.dfs.write_file("in", ["a a a b", "a b c", "a a"])
+            c.run_job(word_count(combine))
+            outputs.append(sorted(c.dfs.read_dir("out")))
+        assert outputs[0] == outputs[1]
+        assert dict(l.split("\t") for l in outputs[0]) == {
+            "a": "6", "b": "2", "c": "1",
+        }
+
+    def test_shuffle_volume_reduced(self, cluster):
+        result = cluster.run_job(word_count(combine=True))
+        # 9 map outputs collapse to one record per (task, key).
+        assert result.counters.engine(C.COMBINE_INPUT_RECORDS) == 9
+        assert result.counters.engine(C.COMBINE_OUTPUT_RECORDS) == 3
+        assert result.shuffled_records == 3
+
+    def test_no_combiner_counters_untouched(self, cluster):
+        result = cluster.run_job(word_count(combine=False))
+        assert result.counters.engine(C.COMBINE_INPUT_RECORDS) == 0
+        assert result.shuffled_records == 9
+
+    def test_combiner_runs_per_map_task(self):
+        c = Cluster(dfs=InMemoryDFS())
+        c.split_records = 1  # one map task per line
+        c.dfs.write_file("in", ["a a", "a a"])
+        result = c.run_job(word_count(combine=True))
+        # combined within each task only: 2 shuffle records, not 1
+        assert result.shuffled_records == 2
+
+    def test_combiner_lowers_simulated_shuffle_cost(self):
+        def run(combine):
+            c = Cluster(dfs=InMemoryDFS())
+            c.dfs.write_file("in", ["x " * 200] * 50)
+            return c.run_job(word_count(combine)).cost.shuffle_s
+
+        assert run(True) < run(False)

@@ -1,0 +1,129 @@
+"""Unit tests for the cost model, including ordering-robustness checks."""
+
+import pytest
+
+from repro.mapreduce.cost import CostModel, TaskStats
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert CostModel.makespan([], 4) == 0.0
+
+    def test_perfect_packing(self):
+        assert CostModel.makespan([1.0] * 8, 4) == 2.0
+
+    def test_straggler_dominates(self):
+        # One long task bounds the makespan from below.
+        assert CostModel.makespan([10.0, 0.1, 0.1], 8) == 10.0
+
+    def test_single_slot(self):
+        assert CostModel.makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+
+class TestTaskCosts:
+    def test_map_task_components(self):
+        cm = CostModel()
+        t = TaskStats(input_records=150_000, input_bytes=50_000_000)
+        # 1s of read + 1s of map + startup
+        assert cm.map_task_seconds(t) == pytest.approx(
+            cm.task_startup_s + 1.0 + 1.0
+        )
+
+    def test_reduce_task_components(self):
+        cm = CostModel()
+        t = TaskStats(
+            input_records=200_000, compute_ops=2_000_000, output_bytes=10_000_000
+        )
+        expected = (
+            cm.task_startup_s
+            + 200_000 / cm.reduce_records_per_s
+            + 2_000_000 / cm.compute_ops_per_s
+            + 10_000_000 * cm.dfs_replication / cm.dfs_write_bytes_per_s
+        )
+        assert cm.reduce_task_seconds(t) == pytest.approx(expected)
+
+    def test_shuffle_scales_with_bytes_and_records(self):
+        cm = CostModel()
+        small = cm.shuffle_seconds(1000, 10_000)
+        big = cm.shuffle_seconds(100_000, 1_000_000)
+        assert big > small
+
+    def test_job_seconds_totals(self):
+        cm = CostModel()
+        breakdown = cm.job_seconds(
+            [TaskStats(input_records=1000, input_bytes=100)],
+            [TaskStats(input_records=1000, output_bytes=100)],
+            shuffle_records=1000,
+            shuffle_bytes=50_000,
+        )
+        assert breakdown.total_s == pytest.approx(
+            breakdown.startup_s
+            + breakdown.map_s
+            + breakdown.shuffle_s
+            + breakdown.reduce_s
+        )
+
+
+class TestScaled:
+    def test_rates_divided(self):
+        cm = CostModel.scaled(100)
+        base = CostModel()
+        assert cm.map_records_per_s == base.map_records_per_s / 100
+        assert cm.shuffle_bytes_per_s == base.shuffle_bytes_per_s / 100
+        assert cm.shuffle_record_overhead_s == base.shuffle_record_overhead_s * 100
+
+    def test_startup_unscaled(self):
+        assert CostModel.scaled(100).job_startup_s == CostModel().job_startup_s
+
+    def test_overrides(self):
+        cm = CostModel.scaled(10, job_startup_s=1.0)
+        assert cm.job_startup_s == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            CostModel.scaled(0)
+
+    def test_scaling_preserves_orderings(self):
+        # The qualitative conclusion "job A costs more than job B" must
+        # not flip under workload re-scaling of the rates.
+        heavy = (
+            [TaskStats(input_records=10_000, input_bytes=500_000)] * 4,
+            [TaskStats(input_records=50_000, output_bytes=100_000)] * 4,
+            200_000,
+            9_000_000,
+        )
+        light = (
+            [TaskStats(input_records=1_000, input_bytes=50_000)] * 4,
+            [TaskStats(input_records=5_000, output_bytes=10_000)] * 4,
+            20_000,
+            900_000,
+        )
+        for scale in (1, 10, 250):
+            cm = CostModel.scaled(scale)
+            assert (
+                cm.job_seconds(*heavy).total_s > cm.job_seconds(*light).total_s
+            )
+
+    def test_rate_perturbation_preserves_orderings(self):
+        # Sensitivity: moderate rate changes keep the heavy/light order.
+        heavy_args = (
+            [TaskStats(input_records=10_000, input_bytes=500_000)] * 4,
+            [TaskStats(input_records=50_000, output_bytes=100_000)] * 4,
+            200_000,
+            9_000_000,
+        )
+        light_args = (
+            [TaskStats(input_records=1_000, input_bytes=50_000)] * 4,
+            [TaskStats(input_records=5_000, output_bytes=10_000)] * 4,
+            20_000,
+            900_000,
+        )
+        for factor in (0.5, 2.0):
+            cm = CostModel(
+                shuffle_bytes_per_s=CostModel().shuffle_bytes_per_s * factor,
+                dfs_read_bytes_per_s=CostModel().dfs_read_bytes_per_s / factor,
+            )
+            assert (
+                cm.job_seconds(*heavy_args).total_s
+                > cm.job_seconds(*light_args).total_s
+            )

@@ -1,0 +1,48 @@
+"""Unit tests for counter groups."""
+
+from repro.mapreduce.counters import C, Counters
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Counters().get("g", "n") == 0
+
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("g", "n", 3)
+        c.add("g", "n")
+        assert c.get("g", "n") == 4
+
+    def test_negative_increment(self):
+        c = Counters()
+        c.add("g", "n", -2)
+        assert c.get("g", "n") == -2
+
+    def test_engine_shorthand(self):
+        c = Counters()
+        c.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, 5)
+        assert c.engine(C.MAP_INPUT_RECORDS) == 5
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("g", "x", 1)
+        b.add("g", "x", 2)
+        b.add("h", "y", 3)
+        a.merge(b)
+        assert a.get("g", "x") == 3
+        assert a.get("h", "y") == 3
+        # merge does not mutate the source
+        assert b.get("g", "x") == 2
+
+    def test_groups_iteration_sorted(self):
+        c = Counters()
+        c.add("zz", "a", 1)
+        c.add("aa", "b", 2)
+        assert [g for g, __ in c.groups()] == ["aa", "zz"]
+
+    def test_as_dict_snapshot(self):
+        c = Counters()
+        c.add("g", "n", 1)
+        snap = c.as_dict()
+        snap["g"]["n"] = 99
+        assert c.get("g", "n") == 1

@@ -1,0 +1,165 @@
+"""Unit tests for the DFS backends.
+
+Parametrized over the in-memory store and the local-filesystem store:
+both implement the same interface and must behave identically.
+"""
+
+import pytest
+
+from repro.errors import DFSError
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.localfs import LocalFSDFS
+
+
+@pytest.fixture(params=["memory", "localfs"])
+def dfs(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryDFS()
+    return LocalFSDFS(tmp_path / "dfs")
+
+
+class TestWriteRead:
+    def test_roundtrip(self, dfs):
+        dfs.write_file("a/b.txt", ["one", "two"])
+        assert dfs.read_file("a/b.txt") == ["one", "two"]
+
+    def test_write_returns_bytes(self, dfs):
+        n = dfs.write_file("f", ["ab", "c"])
+        assert n == 3 + 2  # line lengths + newlines
+
+    def test_overwrite(self, dfs):
+        dfs.write_file("f", ["old"])
+        dfs.write_file("f", ["new"])
+        assert dfs.read_file("f") == ["new"]
+
+    def test_missing_file(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.read_file("nope")
+
+    def test_newline_in_record_rejected(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.write_file("f", ["bad\nrecord"])
+
+    def test_iter_records(self, dfs):
+        dfs.write_file("f", ["a", "b"])
+        assert list(dfs.iter_records("f")) == [(0, "a"), (1, "b")]
+
+    def test_read_returns_copy(self, dfs):
+        dfs.write_file("f", ["a"])
+        lines = dfs.read_file("f")
+        lines.append("mutated")
+        assert dfs.read_file("f") == ["a"]
+
+
+class TestAccounting:
+    def test_bytes_written_accumulates(self, dfs):
+        dfs.write_file("a", ["xx"])
+        dfs.write_file("b", ["yyy"])
+        assert dfs.bytes_written == 3 + 4
+
+    def test_bytes_read_accumulates(self, dfs):
+        dfs.write_file("a", ["xx"])
+        dfs.read_file("a")
+        dfs.read_file("a")
+        assert dfs.bytes_read == 6
+
+    def test_file_size(self, dfs):
+        dfs.write_file("a", ["abc", ""])
+        assert dfs.file_size("a") == 4 + 1
+
+    def test_num_records(self, dfs):
+        dfs.write_file("d/p1", ["a", "b"])
+        dfs.write_file("d/p2", ["c"])
+        assert dfs.num_records("d/p1") == 2
+        assert dfs.num_records("d") == 3
+
+
+class TestDirectories:
+    def test_list_dir_sorted(self, dfs):
+        dfs.write_file("out/part-00001", ["b"])
+        dfs.write_file("out/part-00000", ["a"])
+        assert dfs.list_dir("out") == ["out/part-00000", "out/part-00001"]
+
+    def test_read_dir_concatenates_in_part_order(self, dfs):
+        dfs.write_file("out/part-00001", ["b"])
+        dfs.write_file("out/part-00000", ["a"])
+        assert dfs.read_dir("out") == ["a", "b"]
+
+    def test_read_dir_missing(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.read_dir("nothing")
+
+    def test_resolve_file_and_dir(self, dfs):
+        dfs.write_file("single", ["x"])
+        dfs.write_file("d/p0", ["y"])
+        assert dfs.resolve("single") == ["single"]
+        assert dfs.resolve("d") == ["d/p0"]
+        with pytest.raises(DFSError):
+            dfs.resolve("missing")
+
+    def test_exists(self, dfs):
+        dfs.write_file("d/p0", ["y"])
+        assert dfs.exists("d")
+        assert dfs.exists("d/p0")
+        assert not dfs.exists("q")
+        assert "d" in dfs
+
+    def test_dir_size(self, dfs):
+        dfs.write_file("d/p0", ["ab"])
+        dfs.write_file("d/p1", ["c"])
+        assert dfs.dir_size("d") == 3 + 2
+
+    def test_delete_file(self, dfs):
+        dfs.write_file("f", ["x"])
+        assert dfs.delete("f") == 1
+        assert not dfs.exists("f")
+
+    def test_delete_dir(self, dfs):
+        dfs.write_file("d/p0", ["x"])
+        dfs.write_file("d/p1", ["y"])
+        assert dfs.delete("d") == 2
+        assert not dfs.exists("d")
+
+    def test_trailing_slash_normalized(self, dfs):
+        dfs.write_file("/a/b/", ["x"])
+        assert dfs.read_file("a/b") == ["x"]
+
+
+class TestBackendEquivalence:
+    """Whole joins must produce identical results on either backend."""
+
+    def test_join_outputs_identical(self, tmp_path):
+        from repro.data.synthetic import SyntheticSpec, generate_relations
+        from repro.grid.partitioning import GridPartitioning
+        from repro.joins.controlled import ControlledReplicateJoin
+        from repro.mapreduce.engine import Cluster
+        from repro.query.predicates import Overlap
+        from repro.query.query import Query
+
+        spec = SyntheticSpec(
+            n=120, x_range=(0, 400), y_range=(0, 400),
+            l_range=(0, 60), b_range=(0, 60), seed=55,
+        )
+        datasets = generate_relations(spec, ["R1", "R2", "R3"])
+        query = Query.chain(["R1", "R2", "R3"], Overlap())
+        grid = GridPartitioning.square(spec.space, 16)
+
+        mem = ControlledReplicateJoin().run(
+            query, datasets, grid, Cluster(dfs=InMemoryDFS())
+        )
+        disk_cluster = Cluster(dfs=LocalFSDFS(tmp_path / "cluster"))
+        disk = ControlledReplicateJoin().run(query, datasets, grid, disk_cluster)
+
+        assert mem.tuples == disk.tuples
+        assert mem.stats.shuffled_records == disk.stats.shuffled_records
+        assert mem.stats.rectangles_marked == disk.stats.rectangles_marked
+        # Intermediate results persisted on disk and re-readable.
+        marked = disk_cluster.dfs.read_dir("controlled-replicate/marked")
+        assert len(marked) == 3 * 120
+
+    def test_path_escape_blocked(self, tmp_path):
+        store = LocalFSDFS(tmp_path / "dfs")
+        with pytest.raises(DFSError):
+            store.write_file("../../etc/passwd", ["x"])
+        with pytest.raises(DFSError):
+            store.read_file("a/../b")

@@ -1,0 +1,251 @@
+"""Integration tests for the map-reduce engine: the classic examples
+(word count, inverted index) plus determinism and failure handling."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+
+def word_count_job(num_reducers: int = 3) -> MapReduceJob:
+    def mapper(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(f"{word}\t{sum(counts)}")
+
+    return MapReduceJob(
+        name="word-count",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        partitioner=hash_partitioner,
+    )
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(dfs=InMemoryDFS())
+
+
+class TestWordCount:
+    def test_counts(self, cluster):
+        cluster.dfs.write_file("in", ["a b a", "b c", "a"])
+        result = cluster.run_job(word_count_job())
+        lines = cluster.dfs.read_dir("out")
+        counts = dict(line.split("\t") for line in lines)
+        assert counts == {"a": "3", "b": "2", "c": "1"}
+        assert result.output_records == 3
+
+    def test_counters(self, cluster):
+        cluster.dfs.write_file("in", ["a b a", "b c", "a"])
+        result = cluster.run_job(word_count_job())
+        eng = result.counters
+        assert eng.engine(C.MAP_INPUT_RECORDS) == 3
+        assert eng.engine(C.MAP_OUTPUT_RECORDS) == 6
+        assert eng.engine(C.REDUCE_INPUT_RECORDS) == 6
+        assert eng.engine(C.REDUCE_INPUT_GROUPS) == 3
+        assert eng.engine(C.REDUCE_OUTPUT_RECORDS) == 3
+        assert result.shuffled_records == 6
+
+    def test_one_part_file_per_reducer(self, cluster):
+        cluster.dfs.write_file("in", ["a b c d e f g"])
+        cluster.run_job(word_count_job(num_reducers=4))
+        assert len(cluster.dfs.list_dir("out")) == 4
+
+    def test_determinism(self):
+        outputs = []
+        for __ in range(2):
+            c = Cluster(dfs=InMemoryDFS())
+            c.dfs.write_file("in", ["z y x w", "x y", "w w w"])
+            c.run_job(word_count_job())
+            outputs.append(c.dfs.read_dir("out"))
+        assert outputs[0] == outputs[1]
+
+
+class TestEngineMechanics:
+    def test_multiple_input_paths(self, cluster):
+        cluster.dfs.write_file("in1", ["a"])
+        cluster.dfs.write_file("in2", ["b"])
+        job = word_count_job()
+        job.input_paths = ["in1", "in2"]
+        cluster.run_job(job)
+        lines = cluster.dfs.read_dir("out")
+        assert len(lines) == 2
+
+    def test_directory_input(self, cluster):
+        cluster.dfs.write_file("d/p0", ["a a"])
+        cluster.dfs.write_file("d/p1", ["b"])
+        job = word_count_job()
+        job.input_paths = ["d"]
+        cluster.run_job(job)
+        counts = dict(
+            line.split("\t") for line in cluster.dfs.read_dir("out")
+        )
+        assert counts == {"a": "2", "b": "1"}
+
+    def test_splits_respect_split_records(self, cluster):
+        cluster.split_records = 2
+        cluster.dfs.write_file("in", [f"w{i}" for i in range(5)])
+        result = cluster.run_job(word_count_job())
+        assert len(result.map_tasks) == 3  # 2 + 2 + 1
+
+    def test_splits_never_span_files(self, cluster):
+        cluster.split_records = 100
+        cluster.dfs.write_file("in1", ["a"] * 3)
+        cluster.dfs.write_file("in2", ["b"] * 3)
+        job = word_count_job()
+        job.input_paths = ["in1", "in2"]
+        result = cluster.run_job(job)
+        assert len(result.map_tasks) == 2
+
+    def test_keys_sorted_within_reducer(self, cluster):
+        seen = []
+
+        def mapper(key, line, ctx):
+            ctx.emit(int(line), line)
+
+        def reducer(key, values, ctx):
+            seen.append(key)
+            ctx.emit(str(key))
+
+        cluster.dfs.write_file("in", ["3", "1", "2"])
+        cluster.run_job(
+            MapReduceJob(
+                name="sorted",
+                input_paths=["in"],
+                output_path="o",
+                mapper=mapper,
+                reducer=reducer,
+                num_reducers=1,
+            )
+        )
+        assert seen == [1, 2, 3]
+
+    def test_values_keep_emission_order(self, cluster):
+        groups = {}
+
+        def mapper(key, line, ctx):
+            ctx.emit(0, line)
+
+        def reducer(key, values, ctx):
+            groups[key] = list(values)
+
+        cluster.dfs.write_file("in", ["a", "b", "c"])
+        cluster.run_job(
+            MapReduceJob(
+                name="stable",
+                input_paths=["in"],
+                output_path="o",
+                mapper=mapper,
+                reducer=reducer,
+                num_reducers=1,
+            )
+        )
+        assert groups[0] == ["a", "b", "c"]
+
+    def test_map_only_job(self, cluster):
+        def mapper(key, line, ctx):
+            ctx.emit(len(line) % 2, line.upper())
+
+        cluster.dfs.write_file("in", ["ab", "cde", "fg"])
+        result = cluster.run_job(
+            MapReduceJob(
+                name="map-only",
+                input_paths=["in"],
+                output_path="o",
+                mapper=mapper,
+                reducer=None,
+                num_reducers=2,
+            )
+        )
+        assert sorted(cluster.dfs.read_dir("o")) == ["AB", "CDE", "FG"]
+        assert result.output_records == 3
+
+    def test_map_only_requires_string_values(self, cluster):
+        def mapper(key, line, ctx):
+            ctx.emit(0, 123)
+
+        cluster.dfs.write_file("in", ["x"])
+        with pytest.raises(JobError):
+            cluster.run_job(
+                MapReduceJob(
+                    name="bad",
+                    input_paths=["in"],
+                    output_path="o",
+                    mapper=mapper,
+                    reducer=None,
+                    num_reducers=1,
+                )
+            )
+
+
+class TestFailures:
+    def test_mapper_failure_wrapped(self, cluster):
+        def mapper(key, line, ctx):
+            raise ValueError("boom")
+
+        cluster.dfs.write_file("in", ["x"])
+        with pytest.raises(JobError, match="map task failed"):
+            cluster.run_job(
+                MapReduceJob(
+                    name="failing",
+                    input_paths=["in"],
+                    output_path="o",
+                    mapper=mapper,
+                    reducer=lambda k, v, c: None,
+                    num_reducers=1,
+                )
+            )
+
+    def test_reducer_failure_wrapped(self, cluster):
+        def mapper(key, line, ctx):
+            ctx.emit(0, line)
+
+        def reducer(key, values, ctx):
+            raise RuntimeError("kaput")
+
+        cluster.dfs.write_file("in", ["x"])
+        with pytest.raises(JobError, match="reduce task 0 failed"):
+            cluster.run_job(
+                MapReduceJob(
+                    name="failing",
+                    input_paths=["in"],
+                    output_path="o",
+                    mapper=mapper,
+                    reducer=reducer,
+                    num_reducers=1,
+                )
+            )
+
+    def test_missing_input(self, cluster):
+        with pytest.raises(Exception):
+            cluster.run_job(word_count_job())
+
+
+class TestCostIntegration:
+    def test_simulated_time_positive(self, cluster):
+        cluster.dfs.write_file("in", ["a b c"])
+        result = cluster.run_job(word_count_job())
+        assert result.simulated_seconds > 0
+        assert result.cost.startup_s == cluster.cost_model.job_startup_s
+
+    def test_more_data_more_time(self):
+        times = []
+        for n in (100, 10_000):
+            c = Cluster(dfs=InMemoryDFS())
+            c.dfs.write_file("in", [f"w{i} w{i + 1}" for i in range(n)])
+            times.append(c.run_job(word_count_job()).simulated_seconds)
+        assert times[1] > times[0]
+
+    def test_dfs_io_counters(self, cluster):
+        cluster.dfs.write_file("in", ["hello world"])
+        result = cluster.run_job(word_count_job())
+        assert result.counters.engine(C.DFS_BYTES_READ) >= 12
+        assert result.counters.engine(C.DFS_BYTES_WRITTEN) > 0

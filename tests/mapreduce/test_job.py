@@ -1,0 +1,138 @@
+"""Unit tests for job specs, contexts and size estimation."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.job import (
+    MapContext,
+    MapReduceJob,
+    ReduceContext,
+    estimate_size,
+    hash_partitioner,
+    identity_partitioner,
+)
+
+
+def _noop_mapper(key, value, ctx):
+    pass
+
+
+def _noop_reducer(key, values, ctx):
+    pass
+
+
+class TestEstimateSize:
+    def test_str(self):
+        assert estimate_size("abcd") == 4
+
+    def test_numbers(self):
+        assert estimate_size(3) == 8
+        assert estimate_size(3.5) == 8
+
+    def test_bool_and_none(self):
+        assert estimate_size(True) == 1
+        assert estimate_size(None) == 1
+
+    def test_tuple(self):
+        assert estimate_size(("ab", 1)) == 2 + 2 + 8
+
+    def test_nested(self):
+        assert estimate_size(["ab", ("c", 2)]) == 2 + 2 + (2 + 1 + 8)
+
+    def test_dict(self):
+        assert estimate_size({"k": 1}) == 2 + 1 + 8
+
+    def test_unknown_type_default(self):
+        class Weird:
+            pass
+
+        assert estimate_size(Weird()) == 16
+
+
+class TestPartitioners:
+    def test_identity(self):
+        assert identity_partitioner(13, 8) == 5
+
+    def test_hash_in_range(self):
+        for key in ["a", "bb", (1, 2)]:
+            assert 0 <= hash_partitioner(key, 7) < 7
+
+
+class TestContexts:
+    def test_map_context_buckets_and_counters(self):
+        counters = Counters()
+        ctx = MapContext(counters, num_reducers=4, partitioner=identity_partitioner)
+        ctx.emit(5, "v1")
+        ctx.emit(1, "v2")
+        ctx.emit(5, "v3")
+        assert [kv[1] for kv in ctx.buckets[1]] == ["v1", "v2", "v3"]
+        assert counters.engine(C.MAP_OUTPUT_RECORDS) == 3
+        assert ctx.output_records == 3
+        assert ctx.output_bytes > 0
+
+    def test_map_context_invalid_partitioner(self):
+        ctx = MapContext(Counters(), 4, lambda k, n: 99)
+        with pytest.raises(JobError):
+            ctx.emit(0, "v")
+
+    def test_map_compute(self):
+        counters = Counters()
+        ctx = MapContext(counters, 1, identity_partitioner)
+        ctx.add_compute(10)
+        assert counters.engine(C.MAP_COMPUTE_OPS) == 10
+
+    def test_reduce_context(self):
+        counters = Counters()
+        ctx = ReduceContext(counters, reducer_id=3)
+        ctx.emit("line1")
+        ctx.add_compute(7)
+        ctx.counter("join", "things", 2)
+        assert ctx.output_lines == ["line1"]
+        assert counters.engine(C.REDUCE_OUTPUT_RECORDS) == 1
+        assert counters.get("join", "things") == 2
+
+
+class TestJobValidation:
+    def test_valid(self):
+        MapReduceJob(
+            name="j",
+            input_paths=["in"],
+            output_path="out",
+            mapper=_noop_mapper,
+            reducer=_noop_reducer,
+            num_reducers=2,
+        )
+
+    def test_no_reducers(self):
+        with pytest.raises(JobError):
+            MapReduceJob(
+                name="j",
+                input_paths=["in"],
+                output_path="out",
+                mapper=_noop_mapper,
+                reducer=_noop_reducer,
+                num_reducers=0,
+            )
+
+    def test_no_inputs(self):
+        with pytest.raises(JobError):
+            MapReduceJob(
+                name="j",
+                input_paths=[],
+                output_path="out",
+                mapper=_noop_mapper,
+                reducer=_noop_reducer,
+                num_reducers=1,
+            )
+
+    def test_no_output(self):
+        with pytest.raises(JobError):
+            MapReduceJob(
+                name="j",
+                input_paths=["in"],
+                output_path="",
+                mapper=_noop_mapper,
+                reducer=_noop_reducer,
+                num_reducers=1,
+            )

@@ -1,0 +1,77 @@
+"""Unit tests for chained-job workflows."""
+
+import pytest
+
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+from repro.mapreduce.workflow import Workflow
+
+
+def _passthrough(name: str, inp: str, out: str) -> MapReduceJob:
+    def mapper(key, line, ctx):
+        ctx.emit(line, 1)
+
+    def reducer(key, values, ctx):
+        ctx.emit(key)
+
+    return MapReduceJob(
+        name=name,
+        input_paths=[inp],
+        output_path=out,
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=2,
+        partitioner=hash_partitioner,
+    )
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    c = Cluster(dfs=InMemoryDFS())
+    c.dfs.write_file("in", ["r1", "r2", "r3"])
+    return c
+
+
+class TestWorkflow:
+    def test_chained_jobs_read_prior_output(self, cluster):
+        wf = Workflow(cluster)
+        wf.run(_passthrough("j1", "in", "mid"))
+        wf.run(_passthrough("j2", "mid", "out"))
+        assert sorted(cluster.dfs.read_dir("out")) == ["r1", "r2", "r3"]
+
+    def test_total_time_is_sum(self, cluster):
+        wf = Workflow(cluster)
+        r1 = wf.run(_passthrough("j1", "in", "mid"))
+        r2 = wf.run(_passthrough("j2", "mid", "out"))
+        assert wf.result.simulated_seconds == pytest.approx(
+            r1.simulated_seconds + r2.simulated_seconds
+        )
+
+    def test_shuffled_records_aggregate(self, cluster):
+        wf = Workflow(cluster)
+        wf.run_all(
+            [_passthrough("j1", "in", "mid"), _passthrough("j2", "mid", "out")]
+        )
+        assert wf.result.shuffled_records == 6
+
+    def test_counters_merged(self, cluster):
+        wf = Workflow(cluster)
+        wf.run_all(
+            [_passthrough("j1", "in", "mid"), _passthrough("j2", "mid", "out")]
+        )
+        assert wf.result.counters.engine("map_input_records") == 6
+
+    def test_job_lookup(self, cluster):
+        wf = Workflow(cluster)
+        wf.run(_passthrough("j1", "in", "mid"))
+        assert wf.result.job("j1").job_name == "j1"
+        with pytest.raises(KeyError):
+            wf.result.job("nope")
+
+    def test_final_output_path(self, cluster):
+        wf = Workflow(cluster)
+        with pytest.raises(ValueError):
+            __ = wf.result.final_output_path
+        wf.run(_passthrough("j1", "in", "mid"))
+        assert wf.result.final_output_path == "mid"

@@ -1,0 +1,120 @@
+"""Tests for the histogram-based selectivity estimator."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects
+from repro.errors import ExperimentError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.reference import brute_force_join
+from repro.optimizer.histogram import (
+    HistogramProfile,
+    estimate_join_size_histogram,
+)
+from repro.optimizer.stats import estimate_join_size, profile_dataset
+from repro.query.predicates import Overlap
+from repro.query.query import Query, Triple
+
+SPACE = Rect.from_corners(0, 0, 4000, 4000)
+GRID = GridPartitioning(SPACE, 8, 8)
+TRIPLE = Triple(Overlap(), "A", "B")
+
+
+def uniform(seed, n=2000):
+    return generate_rects(
+        SyntheticSpec(
+            n=n, x_range=(0, 4000), y_range=(0, 4000),
+            l_range=(0, 60), b_range=(0, 60), seed=seed,
+        )
+    )
+
+
+def clustered(seed, n=2000):
+    return generate_rects(
+        SyntheticSpec(
+            n=n, x_range=(0, 4000), y_range=(0, 4000),
+            l_range=(0, 60), b_range=(0, 60),
+            dx="clustered", dy="clustered", clusters=3, seed=seed,
+        )
+    )
+
+
+class TestHistogramProfile:
+    def test_counts_sum_to_n(self):
+        rects = uniform(1)
+        hist = HistogramProfile.build("A", rects, GRID)
+        assert sum(hist.counts) == len(rects)
+
+    def test_flat_skew_near_one(self):
+        hist = HistogramProfile.build("A", uniform(1), GRID)
+        assert hist.skew < 2.0
+
+    def test_clustered_skew_large(self):
+        hist = HistogramProfile.build("A", clustered(1), GRID)
+        assert hist.skew > 4.0
+
+    def test_empty_skew(self):
+        hist = HistogramProfile.build("A", [], GRID)
+        assert hist.skew == 1.0
+
+
+class TestEstimates:
+    def test_flat_data_matches_uniform_estimator(self):
+        a, b = uniform(1), uniform(2)
+        hist = estimate_join_size_histogram(
+            HistogramProfile.build("A", a, GRID),
+            HistogramProfile.build("B", b, GRID),
+            TRIPLE,
+        )
+        flat = estimate_join_size(
+            profile_dataset("A", a), profile_dataset("B", b), TRIPLE, SPACE.area
+        )
+        assert hist == pytest.approx(flat, rel=0.25)
+
+    def test_clustered_data_beats_uniform_estimator(self):
+        # Correlated clusters: the uniform estimator undershoots by well
+        # over an order of magnitude; the histogram estimate recovers
+        # most of that error (it is still resolution-limited — clusters
+        # tighter than a cell keep it conservative).
+        a, b = clustered(1), clustered(1)  # same seed = same clusters
+        b = [(rid, r.translate(5, -5)) for rid, r in b]
+        query = Query([TRIPLE])
+        truth = len(brute_force_join(query, {"A": a, "B": b}))
+        hist = estimate_join_size_histogram(
+            HistogramProfile.build("A", a, GRID),
+            HistogramProfile.build("B", b, GRID),
+            TRIPLE,
+        )
+        flat = estimate_join_size(
+            profile_dataset("A", a), profile_dataset("B", b), TRIPLE, SPACE.area
+        )
+        assert flat < truth / 10  # the uniform estimator's failure mode
+        assert hist > 5 * flat  # the histogram recovers most of the gap
+        assert truth / 6 <= hist <= truth * 6
+
+    def test_disjoint_clusters_estimated_near_zero(self):
+        a = [(i, Rect(100 + i, 3900, 5, 5)) for i in range(50)]
+        b = [(i, Rect(3800 + (i % 10), 200, 5, 5)) for i in range(50)]
+        hist = estimate_join_size_histogram(
+            HistogramProfile.build("A", a, GRID),
+            HistogramProfile.build("B", b, GRID),
+            TRIPLE,
+        )
+        assert hist == 0.0
+
+    def test_empty_side(self):
+        hist = estimate_join_size_histogram(
+            HistogramProfile.build("A", [], GRID),
+            HistogramProfile.build("B", uniform(1), GRID),
+            TRIPLE,
+        )
+        assert hist == 0.0
+
+    def test_mismatched_grids_rejected(self):
+        other = GridPartitioning(SPACE, 4, 4)
+        with pytest.raises(ExperimentError):
+            estimate_join_size_histogram(
+                HistogramProfile.build("A", uniform(1), GRID),
+                HistogramProfile.build("B", uniform(2), other),
+                TRIPLE,
+            )

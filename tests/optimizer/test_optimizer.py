@@ -1,0 +1,142 @@
+"""Tests for the cascade join-order optimizer."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_rects
+from repro.errors import ExperimentError
+from repro.geometry.rectangle import Rect
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.cascade import CascadeJoin
+from repro.joins.reference import brute_force_join
+from repro.optimizer.planner import plan_cascade_order
+from repro.optimizer.stats import (
+    estimate_join_size,
+    profile_dataset,
+    profiles_for_query,
+)
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+
+class TestProfiles:
+    def test_profile_basic(self):
+        rects = [(0, Rect(0, 10, 4, 2)), (1, Rect(5, 9, 6, 4))]
+        p = profile_dataset("R", rects)
+        assert p.count == 2
+        assert p.mean_l == 5.0
+        assert p.mean_b == 3.0
+
+    def test_profile_empty(self):
+        p = profile_dataset("R", [])
+        assert p.is_empty
+
+    def test_profiles_for_query_self_join(self):
+        q = Query.self_chain("R", 3, Overlap())
+        rects = [(0, Rect(0, 10, 4, 2))]
+        profiles = profiles_for_query(q, {"R": rects})
+        assert len(profiles) == 3
+        assert all(p.count == 1 for p in profiles.values())
+
+
+class TestEstimator:
+    def test_estimate_matches_measured_within_factor(self):
+        spec = SyntheticSpec(
+            n=2_000, x_range=(0, 5_000), y_range=(0, 5_000),
+            l_range=(0, 100), b_range=(0, 100), seed=9,
+        )
+        r1 = generate_rects(spec)
+        r2 = generate_rects(spec.with_seed(10))
+        q = Query.chain(["R1", "R2"], Overlap())
+        true_size = len(brute_force_join(q, {"R1": r1, "R2": r2}))
+        est = estimate_join_size(
+            profile_dataset("R1", r1),
+            profile_dataset("R2", r2),
+            q.triples[0],
+            space_area=5_000.0**2,
+        )
+        assert true_size / 2 <= est <= true_size * 2
+
+    def test_range_estimate_grows_with_d(self):
+        p = profile_dataset("R", [(0, Rect(0, 10, 10, 10))] * 5)
+        small = estimate_join_size(p, p, Triple(Range(1.0), "A", "B"), 1e6)
+        large = estimate_join_size(p, p, Triple(Range(100.0), "A", "B"), 1e6)
+        assert large > small
+
+    def test_empty_profile_zero(self):
+        p = profile_dataset("R", [(0, Rect(0, 1, 1, 1))])
+        empty = profile_dataset("E", [])
+        assert estimate_join_size(p, empty, Triple(Overlap(), "A", "B"), 1e6) == 0
+
+    def test_invalid_area(self):
+        p = profile_dataset("R", [(0, Rect(0, 1, 1, 1))])
+        with pytest.raises(ExperimentError):
+            estimate_join_size(p, p, Triple(Overlap(), "A", "B"), 0.0)
+
+
+@pytest.fixture(scope="module")
+def lopsided():
+    """A star query where one leaf is tiny and selective."""
+    big = SyntheticSpec(
+        n=1_500, x_range=(0, 3_000), y_range=(0, 3_000),
+        l_range=(0, 120), b_range=(0, 120), seed=21,
+    )
+    tiny = SyntheticSpec(
+        n=40, x_range=(0, 3_000), y_range=(0, 3_000),
+        l_range=(0, 20), b_range=(0, 20), seed=22,
+    )
+    return {
+        "hub": generate_rects(big),
+        "big_leaf": generate_rects(big.with_seed(23)),
+        "tiny_leaf": generate_rects(tiny),
+    }
+
+
+class TestPlanner:
+    def test_order_is_connected_permutation(self, lopsided):
+        q = Query.star("hub", ["big_leaf", "tiny_leaf"], Overlap())
+        plan = plan_cascade_order(q, lopsided)
+        assert sorted(plan.order) == sorted(q.slots)
+        for i, slot in enumerate(plan.order[1:], start=1):
+            assert any(
+                t.other(slot) in plan.order[:i]
+                for t in q.triples_touching(slot)
+            )
+
+    def test_prefers_selective_edge_first(self, lopsided):
+        q = Query.star("hub", ["big_leaf", "tiny_leaf"], Overlap())
+        plan = plan_cascade_order(q, lopsided)
+        # The hub x tiny_leaf edge is orders of magnitude smaller.
+        assert set(plan.order[:2]) == {"hub", "tiny_leaf"}
+
+    def test_planned_order_reduces_intermediates(self, lopsided):
+        q = Query.star("hub", ["big_leaf", "tiny_leaf"], Overlap())
+        grid = GridPartitioning(Rect.from_corners(0, 0, 3_000, 3_000), 4, 4)
+        expected = brute_force_join(q, lopsided)
+
+        plan = plan_cascade_order(q, lopsided)
+        good = CascadeJoin(order=plan.order).run(q, lopsided, grid)
+        bad = CascadeJoin(order=("hub", "big_leaf", "tiny_leaf")).run(
+            q, lopsided, grid
+        )
+        assert good.tuples == expected
+        assert bad.tuples == expected
+        assert good.stats.shuffled_records < bad.stats.shuffled_records
+
+    def test_invalid_order_rejected(self, lopsided):
+        q = Query.star("hub", ["big_leaf", "tiny_leaf"], Overlap())
+        grid = GridPartitioning(Rect.from_corners(0, 0, 3_000, 3_000), 2, 2)
+        with pytest.raises(Exception):
+            CascadeJoin(order=("hub", "hub", "tiny_leaf")).run(
+                q, lopsided, grid
+            )
+
+    def test_needs_inputs(self):
+        q = Query.chain(["A", "B"], Overlap())
+        with pytest.raises(ExperimentError):
+            plan_cascade_order(q)
+
+    def test_estimated_sizes_exposed(self, lopsided):
+        q = Query.star("hub", ["big_leaf", "tiny_leaf"], Overlap())
+        plan = plan_cascade_order(q, lopsided)
+        assert len(plan.estimated_sizes) == len(q.slots) - 1
+        assert plan.estimated_total_intermediate >= 0

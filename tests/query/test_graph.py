@@ -1,0 +1,157 @@
+"""Unit tests for the join-graph utilities, including the paper's
+C-Rep-L bound examples (Sections 7.9 and 8)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.graph import JoinGraph, crepl_bounds
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+
+class TestOrders:
+    def test_connected_order_covers_all(self):
+        q = Query.chain(["R1", "R2", "R3", "R4"], Overlap())
+        order = JoinGraph(q).connected_order()
+        assert sorted(order) == sorted(q.slots)
+        # every slot after the first touches an earlier one
+        for i, slot in enumerate(order[1:], start=1):
+            assert any(
+                t.other(slot) in order[:i] for t in q.triples_touching(slot)
+            )
+
+    def test_connected_order_start(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        order = JoinGraph(q).connected_order("R3")
+        assert order[0] == "R3"
+
+    def test_connected_order_unknown_start(self):
+        q = Query.chain(["R1", "R2"], Overlap())
+        with pytest.raises(QueryError):
+            JoinGraph(q).connected_order("R7")
+
+    def test_spanning_triples_chain(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        triples = JoinGraph(q).spanning_triples()
+        assert len(triples) == 2
+
+    def test_spanning_triples_cycle(self):
+        q = Query([
+            Triple(Overlap(), "A", "B"),
+            Triple(Overlap(), "B", "C"),
+            Triple(Overlap(), "A", "C"),
+        ])
+        triples = JoinGraph(q).spanning_triples()
+        assert len(triples) == 3  # two expanding + one filter
+
+
+class TestConnectedSubsets:
+    def test_chain_center(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        subsets = JoinGraph(q).connected_subsets_containing("R2")
+        as_sets = set(subsets)
+        assert frozenset({"R2"}) in as_sets
+        assert frozenset({"R1", "R2"}) in as_sets
+        assert frozenset({"R2", "R3"}) in as_sets
+        # proper subsets only: the full slot set is excluded (C3)
+        assert frozenset({"R1", "R2", "R3"}) not in as_sets
+        assert len(as_sets) == 3
+
+    def test_chain_end(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        subsets = set(JoinGraph(q).connected_subsets_containing("R1"))
+        # {R1}, {R1,R2}; {R1,R3} is disconnected and excluded
+        assert subsets == {frozenset({"R1"}), frozenset({"R1", "R2"})}
+
+    def test_sorted_smallest_first(self):
+        q = Query.chain(["R1", "R2", "R3", "R4"], Overlap())
+        subsets = JoinGraph(q).connected_subsets_containing("R2")
+        sizes = [len(s) for s in subsets]
+        assert sizes == sorted(sizes)
+
+    def test_outside_and_inside_triples(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        g = JoinGraph(q)
+        s = frozenset({"R1", "R2"})
+        assert [str(t) for t in g.outside_triples(s)] == ["R2 Ov R3"]
+        assert [str(t) for t in g.inside_triples(s)] == ["R1 Ov R2"]
+
+
+class TestReplicationBounds:
+    def test_overlap_chain_paper_example(self):
+        # §7.9 / Figure 6: 4-chain overlap query with diagonal bound
+        # d_max: ends replicate to 2*d_max, middles to d_max.
+        q = Query.chain(["R1", "R2", "R3", "R4"], Overlap())
+        bounds = JoinGraph(q).replication_bounds(10.0)
+        assert bounds == {"R1": 20.0, "R2": 10.0, "R3": 10.0, "R4": 20.0}
+
+    def test_range_chain_paper_example(self):
+        # §8 / Figure 8: 4-chain Ra(d) query: ends (m-2)*dmax + (m-1)*d,
+        # middles dmax + 2d.
+        q = Query.chain(["R1", "R2", "R3", "R4"], Range(5.0))
+        bounds = JoinGraph(q).replication_bounds(10.0)
+        assert bounds == {
+            "R1": 2 * 10 + 3 * 5,
+            "R2": 10 + 2 * 5,
+            "R3": 10 + 2 * 5,
+            "R4": 2 * 10 + 3 * 5,
+        }
+
+    def test_two_way_bounds(self):
+        q = Query.chain(["R1", "R2"], Range(7.0))
+        bounds = JoinGraph(q).replication_bounds(3.0)
+        # direct edge: no interior rectangles, just the range distance
+        assert bounds == {"R1": 7.0, "R2": 7.0}
+
+    def test_star_bounds(self):
+        q = Query.star("C", ["L1", "L2"], Overlap())
+        bounds = JoinGraph(q).replication_bounds(4.0)
+        # center to leaf: 0 edges weight, no interior -> 0; leaf to leaf
+        # passes through the center: one interior diagonal.
+        assert bounds["C"] == 0.0
+        assert bounds["L1"] == 4.0
+
+    def test_hybrid_chain(self):
+        q = Query.chain(["A", "B", "C"], [Overlap(), Range(6.0)])
+        bounds = JoinGraph(q).replication_bounds(2.0)
+        # A..C: 0 + diag(B) + 6 = 8; B: max(0, 6) = 6
+        assert bounds == {"A": 8.0, "B": 6.0, "C": 8.0}
+
+    def test_per_slot_dmax(self):
+        q = Query.chain(["A", "B", "C"], Overlap())
+        bounds = JoinGraph(q).replication_bounds({"A": 1.0, "B": 5.0, "C": 2.0})
+        # A..C passes through B -> 5; B's neighbors are adjacent -> 0.
+        assert bounds == {"A": 5.0, "B": 0.0, "C": 5.0}
+
+    def test_missing_slot_rejected(self):
+        q = Query.chain(["A", "B"], Overlap())
+        with pytest.raises(QueryError):
+            JoinGraph(q).replication_bounds({"A": 1.0})
+
+    def test_negative_dmax_rejected(self):
+        q = Query.chain(["A", "B"], Overlap())
+        with pytest.raises(QueryError):
+            JoinGraph(q).replication_bounds(-2.0)
+
+    def test_shortest_path_chosen_in_cycle(self):
+        # Two routes from A to C: direct Ra(100) edge or via B with
+        # overlap edges; the cheaper (via B) must win.
+        q = Query([
+            Triple(Range(100.0), "A", "C"),
+            Triple(Overlap(), "A", "B"),
+            Triple(Overlap(), "B", "C"),
+        ])
+        bounds = JoinGraph(q).replication_bounds(3.0)
+        assert bounds["A"] == 3.0  # through B: diag(B) only
+
+
+class TestCreplBoundsWrapper:
+    def test_per_dataset_spread(self):
+        q = Query.self_chain("roads", 3, Overlap())
+        bounds = crepl_bounds(q, 0.0, per_dataset={"roads": 9.0})
+        assert bounds["roads#1"] == 9.0
+        assert bounds["roads#2"] == 0.0  # center of the chain
+
+    def test_scalar(self):
+        q = Query.chain(["A", "B", "C"], Overlap())
+        assert crepl_bounds(q, 5.0)["A"] == 5.0

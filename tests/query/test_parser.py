@@ -1,0 +1,97 @@
+"""Tests for the textual query parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+from repro.query.predicates import Contains, Overlap, Range
+from repro.query.query import Query, Triple
+
+
+class TestParsing:
+    def test_two_way_overlap(self):
+        q = parse_query("R1 Ov R2")
+        assert q.triples == (Triple(Overlap(), "R1", "R2"),)
+
+    def test_chain_matches_programmatic(self):
+        parsed = parse_query("R1 Ov R2 and R2 Ov R3")
+        built = Query.chain(["R1", "R2", "R3"], Overlap())
+        assert parsed.triples == built.triples
+
+    def test_range_with_distance(self):
+        q = parse_query("A Ra(100) B")
+        assert q.triples[0].predicate == Range(100.0)
+
+    def test_range_float_and_scientific(self):
+        assert parse_query("A Ra(2.5) B").triples[0].predicate == Range(2.5)
+        assert parse_query("A Ra(1e3) B").triples[0].predicate == Range(1000.0)
+
+    def test_contains(self):
+        q = parse_query("outer Ct inner")
+        assert q.triples[0].predicate == Contains()
+
+    def test_hybrid_query(self):
+        q = parse_query("R1 Ov R2 and R2 Ra(200) R3")
+        assert str(q) == "R1 Ov R2 and R2 Ra(200) R3"
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("a OV b AND b ra(5) c")
+        assert q.triples[0].predicate == Overlap()
+        assert q.triples[1].predicate == Range(5.0)
+
+    def test_whitespace_tolerant(self):
+        q = parse_query("  a   Ra( 7 )   b  ")
+        assert q.triples[0].predicate == Range(7.0)
+
+    def test_self_join_datasets(self):
+        q = parse_query(
+            "roads#1 Ov roads#2 and roads#2 Ov roads#3",
+            datasets={f"roads#{i}": "roads" for i in (1, 2, 3)},
+        )
+        assert q.dataset_keys == ("roads",)
+
+    def test_roundtrip_via_str(self):
+        q = Query.chain(["A", "B", "C"], [Overlap(), Range(12.5)])
+        assert parse_query(str(q)).triples == q.triples
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "R1",
+            "R1 Ov",
+            "R1 Near R2",
+            "R1 Ra R2",
+            "R1 Ov(3) R2",
+            "R1 Ct(1) R2",
+            "R1 Ra() R2",
+            "R1 Ov R2 and",
+            "R1 Ov R1",  # self-loop triple
+            "R1 Ov R2 and R3 Ov R4",  # disconnected
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+@given(
+    st.lists(
+        st.sampled_from(["Ov", "Ct", "Ra(3)", "Ra(120.5)"]),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_chain_roundtrip_property(preds):
+    slots = [f"S{i}" for i in range(len(preds) + 1)]
+    text = " and ".join(
+        f"{slots[i]} {p} {slots[i + 1]}" for i, p in enumerate(preds)
+    )
+    q = parse_query(text)
+    assert q.num_slots == len(slots)
+    assert parse_query(str(q)).triples == q.triples

@@ -1,0 +1,62 @@
+"""Unit tests for the Overlap / Range predicates (paper Section 1.2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.geometry.rectangle import Rect
+from repro.query.predicates import Overlap, Range
+
+
+class TestOverlap:
+    def test_holds_on_intersection(self):
+        assert Overlap().holds(Rect(0, 10, 5, 5), Rect(3, 9, 5, 5))
+
+    def test_rejects_disjoint(self):
+        assert not Overlap().holds(Rect(0, 10, 1, 1), Rect(5, 10, 1, 1))
+
+    def test_distance_zero(self):
+        assert Overlap().distance == 0.0
+        assert Overlap().is_overlap
+
+    def test_str(self):
+        assert str(Overlap()) == "Ov"
+
+    def test_equality(self):
+        assert Overlap() == Overlap()
+
+
+class TestRange:
+    def test_holds_within(self):
+        assert Range(5).holds(Rect(0, 10, 1, 1), Rect(4, 10, 1, 1))
+
+    def test_closed_at_d(self):
+        # dx exactly 5
+        assert Range(5).holds(Rect(0, 10, 1, 1), Rect(6, 10, 1, 1))
+        assert not Range(4.99).holds(Rect(0, 10, 1, 1), Rect(6, 10, 1, 1))
+
+    def test_symmetric(self):
+        a, b = Rect(0, 10, 2, 2), Rect(8, 1, 2, 2)
+        assert Range(20).holds(a, b) == Range(20).holds(b, a)
+
+    def test_range_zero_equals_overlap(self):
+        # Section 9: Ov is Ra(0).
+        pairs = [
+            (Rect(0, 10, 5, 5), Rect(3, 9, 5, 5)),
+            (Rect(0, 10, 5, 5), Rect(5, 10, 5, 5)),  # touching
+            (Rect(0, 10, 1, 1), Rect(9, 10, 1, 1)),  # disjoint
+        ]
+        for a, b in pairs:
+            assert Range(0).holds(a, b) == Overlap().holds(a, b)
+        assert Range(0).is_overlap
+
+    def test_positive_d_not_overlap(self):
+        assert not Range(3).is_overlap
+        assert Range(3).distance == 3
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(QueryError):
+            Range(-1)
+
+    def test_str(self):
+        assert str(Range(2.5)) == "Ra(2.5)"
+        assert str(Range(100.0)) == "Ra(100)"

@@ -1,0 +1,135 @@
+"""Unit tests for the multi-way query model."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicates import Overlap, Range
+from repro.query.query import Query, Triple
+
+
+class TestTriple:
+    def test_other(self):
+        t = Triple(Overlap(), "A", "B")
+        assert t.other("A") == "B"
+        assert t.other("B") == "A"
+        with pytest.raises(QueryError):
+            t.other("C")
+
+    def test_touches(self):
+        t = Triple(Overlap(), "A", "B")
+        assert t.touches("A") and t.touches("B")
+        assert not t.touches("C")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            Triple(Overlap(), "A", "A")
+
+    def test_str(self):
+        assert str(Triple(Range(7), "A", "B")) == "A Ra(7) B"
+
+
+class TestQueryConstruction:
+    def test_chain(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        assert q.slots == ("R1", "R2", "R3")
+        assert len(q.triples) == 2
+        assert str(q) == "R1 Ov R2 and R2 Ov R3"
+
+    def test_chain_per_edge_predicates(self):
+        q = Query.chain(["R1", "R2", "R3"], [Overlap(), Range(5)])
+        assert q.triples[0].predicate == Overlap()
+        assert q.triples[1].predicate == Range(5)
+
+    def test_chain_wrong_predicate_count(self):
+        with pytest.raises(QueryError):
+            Query.chain(["R1", "R2", "R3"], [Overlap()])
+
+    def test_chain_too_short(self):
+        with pytest.raises(QueryError):
+            Query.chain(["R1"], Overlap())
+
+    def test_star(self):
+        q = Query.star("C", ["L1", "L2", "L3"], Overlap())
+        assert q.num_slots == 4
+        assert all(t.left == "C" for t in q.triples)
+
+    def test_star_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Query.star("C", [], Overlap())
+
+    def test_self_chain(self):
+        q = Query.self_chain("roads", 3, Overlap())
+        assert q.num_slots == 3
+        assert q.dataset_keys == ("roads",)
+        assert q.slots_of_dataset("roads") == q.slots
+
+    def test_triples_as_tuples(self):
+        q = Query([(Overlap(), "A", "B")])
+        assert q.triples[0] == Triple(Overlap(), "A", "B")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Query([])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError):
+            Query([
+                Triple(Overlap(), "A", "B"),
+                Triple(Overlap(), "C", "D"),
+            ])
+
+    def test_unknown_dataset_slot_rejected(self):
+        with pytest.raises(QueryError):
+            Query([Triple(Overlap(), "A", "B")], datasets={"Z": "data"})
+
+
+class TestQueryAccessors:
+    def test_dataset_of_defaults_to_slot_name(self):
+        q = Query.chain(["R1", "R2"], Overlap())
+        assert q.dataset_of("R1") == "R1"
+
+    def test_dataset_of_mapping(self):
+        q = Query.self_chain("roads", 2, Overlap())
+        for slot in q.slots:
+            assert q.dataset_of(slot) == "roads"
+
+    def test_dataset_of_unknown_slot(self):
+        q = Query.chain(["R1", "R2"], Overlap())
+        with pytest.raises(QueryError):
+            q.dataset_of("R9")
+
+    def test_triples_touching(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        assert len(q.triples_touching("R2")) == 2
+        assert len(q.triples_touching("R1")) == 1
+
+    def test_triples_between(self):
+        q = Query.chain(["R1", "R2", "R3"], Overlap())
+        assert len(q.triples_between("R1", "R2")) == 1
+        assert len(q.triples_between("R1", "R3")) == 0
+
+    def test_query_classification(self):
+        ov = Query.chain(["A", "B"], Overlap())
+        ra = Query.chain(["A", "B"], Range(5))
+        hy = Query.chain(["A", "B", "C"], [Overlap(), Range(5)])
+        assert ov.is_overlap_query and not ov.is_range_query
+        assert ra.is_range_query and not ra.is_overlap_query
+        assert not hy.is_overlap_query and not hy.is_range_query
+
+    def test_max_range_distance(self):
+        q = Query.chain(["A", "B", "C"], [Range(5), Range(9)])
+        assert q.max_range_distance == 9
+        assert Query.chain(["A", "B"], Overlap()).max_range_distance == 0
+
+    def test_as_range_query(self):
+        q = Query.chain(["A", "B", "C"], [Overlap(), Range(5)]).as_range_query()
+        assert all(isinstance(t.predicate, Range) for t in q.triples)
+        assert q.triples[0].predicate.d == 0
+        assert q.triples[1].predicate.d == 5
+
+    def test_slots_order_of_first_appearance(self):
+        q = Query([
+            Triple(Overlap(), "B", "A"),
+            Triple(Overlap(), "A", "C"),
+        ])
+        assert q.slots == ("B", "A", "C")

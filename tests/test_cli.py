@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestJoinCommand:
+    def test_basic_run(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "200", "--space", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "output tuples:" in out
+        assert "simulated time:" in out
+        assert "rectangles marked:" in out
+
+    def test_range_join(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep-l", "--n", "150",
+            "--space", "1000", "--range-d", "30",
+        ])
+        assert code == 0
+        assert "Ra(30)" in capsys.readouterr().out
+
+    def test_four_relations(self, capsys):
+        code = main([
+            "join", "--algorithm", "cascade", "--n", "100",
+            "--space", "1000", "--relations", "4",
+        ])
+        assert code == 0
+        assert "R4" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--algorithm", "nope"])
+
+
+class TestTableCommands:
+    def test_single_table(self, capsys):
+        code = main(["table6", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "time c-rep" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        code = main(["table9", "--scale", "0.05", "--output", str(target)])
+        assert code == 0
+        assert target.read_text().startswith("Table 9")
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportCommand:
+    def test_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["report", "--scale", "0.05", "--output", "EXP.md"])
+        assert code == 0
+        text = (tmp_path / "EXP.md").read_text()
+        assert "# EXPERIMENTS" in text
+        for n in range(2, 10):
+            assert f"Table {n}" in text
+        assert "wrote EXP.md" in capsys.readouterr().out
+
+
+class TestQueryFlag:
+    def test_explicit_query(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "150", "--space", "1000",
+            "--query", "A Ov B and B Ra(40) C",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A Ov B and B Ra(40) C" in out
+
+    def test_bad_query_clean_error(self, capsys):
+        code = main(["join", "--query", "A Near B", "--n", "10"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown predicate 'Near'" in err
+        assert "Traceback" not in err

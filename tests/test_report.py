@@ -1,0 +1,98 @@
+"""Tests for the paper-vs-measured reporting module."""
+
+import pytest
+
+from repro.experiments import table6, table9
+from repro.experiments.common import (
+    AlgoMetrics,
+    ExperimentResult,
+    ExperimentRow,
+)
+from repro.report import paper_comparison
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return table9.run(scale=0.05)
+
+
+class TestPaperComparison:
+    def test_contains_table_title_and_rows(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        assert "Table 9" in text
+        for row in tiny_result.rows:
+            assert row.label.split("=")[-1] in text
+
+    def test_contains_paper_numbers(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        # Table 9's paper times (minutes) appear in the table.
+        assert "28" in text and "63" in text
+
+    def test_growth_section(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        assert "Growth along the sweep" in text
+        assert "1.0x" in text
+
+    def test_replication_ratio_section(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        assert "C-Rep-L / C-Rep" in text
+
+    def test_consistency_verdict(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        assert "identical output tuples" in text
+        assert "**yes**" in text
+
+    def test_inconsistent_flagged(self):
+        m = AlgoMetrics(10.0, 1, 1, 1, 1, 0.1)
+        result = ExperimentResult(
+            table="Table 6",
+            title="t",
+            query="q",
+            parameters="p",
+            rows=[
+                ExperimentRow(
+                    label="d=100",
+                    metrics={"c-rep": m, "c-rep-l": m},
+                    consistent=False,
+                )
+            ],
+        )
+        text = paper_comparison(table6, result)
+        assert "INVESTIGATE" in text
+
+    def test_aborted_paper_runs_marked(self):
+        # Table 2's All-Rep rows beyond 2m are ">03:00" (None).
+        from repro.experiments import table2
+
+        m = AlgoMetrics(10.0, 1, 1, 1, 1, 0.1)
+        rows = [
+            ExperimentRow(label=f"nI={i}", metrics={"all-rep": m})
+            for i in range(5)
+        ]
+        result = ExperimentResult(
+            table="Table 2", title="t", query="q", parameters="p", rows=rows
+        )
+        text = paper_comparison(table2, result)
+        assert "aborted" in text
+
+    def test_winner_columns(self, tiny_result):
+        text = paper_comparison(table9, tiny_result)
+        assert "winner (paper)" in text
+        assert "winner (repro)" in text
+
+
+class TestInternals:
+    def test_normalised(self):
+        from repro.report import _normalised
+
+        assert _normalised([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+        assert _normalised([]) == []
+        assert _normalised([0.0, 5.0]) == [0.0, 0.0]
+
+    def test_winner_ties(self):
+        from repro.report import _winner
+
+        assert _winner({"a": 10.0, "b": 10.2}) == "tie"
+        assert _winner({"a": 10.0, "b": 20.0}) == "a"
+        assert _winner({"a": None}) == "-"
+        assert _winner({"a": None, "b": 3.0}) == "b"

@@ -1,0 +1,34 @@
+"""Execute the tutorial's Python snippets — documentation must not rot.
+
+All ```python blocks of docs/TUTORIAL.md run sequentially in one shared
+namespace (later sections build on earlier ones).
+"""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def extract_python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_snippets_run():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    blocks = extract_python_blocks(text)
+    assert len(blocks) >= 5, "tutorial lost its code blocks?"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{i + 1}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            raise AssertionError(
+                f"tutorial block {i + 1} failed: {exc}\n---\n{block}"
+            ) from exc
+
+
+def test_tutorial_mentions_every_subpackage():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    for pkg in ("repro.optimizer", "repro.knn", "GridPartitioning", "explain"):
+        assert pkg in text
