@@ -84,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_join.add_argument("--seed", type=int, default=11, help="workload RNG seed")
     p_join.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
+    _add_executor_args(p_join)
     return parser
 
 
@@ -95,13 +96,36 @@ def _add_table_args(p: argparse.ArgumentParser) -> None:
         help="skip cross-algorithm output verification",
     )
     p.add_argument("--output", type=str, default=None, help="also write report to file")
+    _add_executor_args(p)
+
+
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    from repro.mapreduce.executor import EXECUTORS
+
+    p.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="serial",
+        help="cluster task back-end (output is identical for all)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process executors (default: all CPUs)",
+    )
 
 
 def _run_tables(names: list[str], args: argparse.Namespace) -> str:
     sections = []
     for name in names:
         started = time.perf_counter()
-        result = TABLES[name].run(scale=args.scale, verify=not args.no_verify)
+        result = TABLES[name].run(
+            scale=args.scale,
+            verify=not args.no_verify,
+            executor=args.executor,
+            num_workers=args.workers,
+        )
         elapsed = time.perf_counter() - started
         sections.append(result.format())
         sections.append(f"  [generated in {elapsed:.1f}s wall]")
@@ -142,6 +166,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             d_max=workload.d_max,
             cost_model=CostModel.scaled(workload.paper_scale),
             verify=False,
+            executor=args.executor,
+            num_workers=args.workers,
         )
         m = metrics[args.algorithm]
         print(f"query: {query}")
@@ -168,7 +194,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.report import render_experiments_markdown
 
         markdown = render_experiments_markdown(
-            scale=args.scale, verify=not args.no_verify
+            scale=args.scale,
+            verify=not args.no_verify,
+            executor=args.executor,
+            num_workers=args.workers,
         )
         target = args.output or "EXPERIMENTS.md"
         with open(target, "w", encoding="utf-8") as fh:

@@ -168,12 +168,15 @@ def execute_sweep(
     entries: Sequence[tuple[str, Query, "object", Sequence[str]]],
     grid_cells: int = DEFAULT_GRID_CELLS,
     verify: bool = True,
+    executor: str = "serial",
+    num_workers: int | None = None,
 ) -> ExperimentResult:
     """Run one table: a sequence of (label, query, workload, algorithms).
 
     Each row runs on its own grid (derived from its data, as the
     paper re-partitions per data-set) and a cost model scaled to the
-    workload's paper-equivalent size.
+    workload's paper-equivalent size.  ``executor``/``num_workers``
+    pick the cluster's task back-end (results are identical for all).
     """
     result = ExperimentResult(
         table=table,
@@ -191,6 +194,8 @@ def execute_sweep(
             d_max=workload.d_max,
             cost_model=CostModel.scaled(workload.paper_scale),
             verify=verify,
+            executor=executor,
+            num_workers=num_workers,
         )
         result.rows.append(
             ExperimentRow(
@@ -212,12 +217,15 @@ def run_algorithms(
     d_max: float | Mapping[str, float] | None = None,
     cost_model: CostModel | None = None,
     verify: bool = True,
+    executor: str = "serial",
+    num_workers: int | None = None,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
     """Run each named algorithm on a fresh cluster over the same workload.
 
     Returns ``(metrics by algorithm, outputs agree, output tuple count)``.
     ``d_max`` defaults to the observed maximum diagonal (what a C-Rep-L
     deployment would precompute while loading the data).
+    ``executor``/``num_workers`` select the cluster's task back-end.
     """
     if not algorithms:
         raise ExperimentError("no algorithms requested")
@@ -229,7 +237,11 @@ def run_algorithms(
     output_tuples = 0
     for name in algorithms:
         algorithm = make_algorithm(name, query=query, d_max=d_max)
-        cluster = Cluster(cost_model=cost_model or CostModel())
+        cluster = Cluster(
+            cost_model=cost_model or CostModel(),
+            executor=executor,
+            num_workers=num_workers,
+        )
         started = time.perf_counter()
         result: JoinResult = algorithm.run(query, datasets, grid, cluster)
         wall = time.perf_counter() - started

@@ -57,6 +57,8 @@ def run(
     verify: bool = True,
     all_rep_rows: int = 2,
     seed: int = 11,
+    executor: str = "serial",
+    num_workers: int | None = None,
 ) -> ExperimentResult:
     """Regenerate Table 2 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Overlap())
@@ -80,4 +82,6 @@ def run(
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

@@ -47,7 +47,13 @@ PAPER_N = 2e6
 SPACE_SIDE = 18_000.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 23) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 23,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 3 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Overlap())
     entries = []
@@ -79,4 +85,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 23) -> ExperimentRe
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

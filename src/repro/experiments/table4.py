@@ -45,7 +45,13 @@ N = 6_000
 COMPRESS = 1.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 7) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 7,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 4 at the given workload scale."""
     query = Query.self_chain("roads", 3, Overlap())
     entries = []
@@ -67,4 +73,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 7) -> ExperimentRes
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

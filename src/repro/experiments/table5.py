@@ -43,7 +43,13 @@ D = 100.0
 SPACE_SIDE = 35_000.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 31) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 31,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 5 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Range(D))
     entries = []
@@ -67,4 +73,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 31) -> ExperimentRe
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

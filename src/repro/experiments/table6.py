@@ -40,7 +40,13 @@ PAPER_N = 1e6
 SPACE_SIDE = 60_000.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 43) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 43,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 6 at the given workload scale."""
     entries = []
     side = SPACE_SIDE * scale**0.5
@@ -58,4 +64,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 43) -> ExperimentRe
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

@@ -40,7 +40,13 @@ D = 200.0
 SPACE_SIDE = 40_000.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 53) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 53,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 8 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], [Overlap(), Range(D)])
     entries = []
@@ -64,4 +70,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 53) -> ExperimentRe
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

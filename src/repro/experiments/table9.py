@@ -40,7 +40,13 @@ PAPER_N = 1e6
 COMPRESS = 1.0
 
 
-def run(scale: float = 1.0, verify: bool = True, seed: int = 7) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    verify: bool = True,
+    seed: int = 7,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> ExperimentResult:
     """Regenerate Table 9 at the given workload scale."""
     entries = []
     n_scaled = max(500, int(N * scale))
@@ -65,4 +71,6 @@ def run(scale: float = 1.0, verify: bool = True, seed: int = 7) -> ExperimentRes
         ),
         entries=entries,
         verify=verify,
+        executor=executor,
+        num_workers=num_workers,
     )

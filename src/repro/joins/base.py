@@ -85,6 +85,8 @@ class JoinStats:
     rectangles_marked: int = 0
     rectangles_after_replication: int = 0
     output_tuples: int = 0
+    #: measured host-machine duration of the algorithm's job chain
+    wall_clock_seconds: float = 0.0
     job_seconds: dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -92,6 +94,7 @@ class JoinStats:
         counters: Counters = workflow.counters
         return cls(
             simulated_seconds=workflow.simulated_seconds,
+            wall_clock_seconds=workflow.wall_clock_seconds,
             shuffled_records=workflow.shuffled_records,
             rectangles_marked=counters.get(JOIN_COUNTERS, CNT_MARKED),
             rectangles_after_replication=counters.get(

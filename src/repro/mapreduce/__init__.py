@@ -5,6 +5,15 @@ from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.localfs import LocalFSDFS
 from repro.mapreduce.engine import Cluster, JobResult
+from repro.mapreduce.executor import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadExecutor,
+    default_workers,
+    make_executor,
+)
 from repro.mapreduce.job import (
     MapContext,
     MapReduceJob,
@@ -31,6 +40,13 @@ __all__ = [
     "hash_partitioner",
     "Cluster",
     "JobResult",
+    "EXECUTORS",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "default_workers",
     "Workflow",
     "WorkflowResult",
 ]

@@ -121,7 +121,14 @@ class CostModel:
         )
 
     def reduce_task_seconds(self, task: TaskStats) -> float:
-        """Time of one reduce task: startup + reduce work + DFS write."""
+        """Time of one reduce task: startup + reduce work + DFS write.
+
+        ``task.input_bytes`` (the reduce task's share of the shuffled
+        volume) is charged once, cluster-wide, by
+        :meth:`shuffle_seconds`; charging it here again would
+        double-count the shuffle, so the per-task term uses records and
+        compute only.
+        """
         return (
             self.task_startup_s
             + task.input_records / self.reduce_records_per_s

@@ -34,14 +34,23 @@ class C:
 
 
 class Counters:
-    """A two-level ``group -> name -> int`` counter map."""
+    """A two-level ``group -> name -> int`` counter map.
+
+    Instances are picklable (plain dicts, no factory closures): parallel
+    executors run each task against its own ``Counters`` shard and ship
+    the shard back to the engine, which :meth:`merge`\\ s the shards in
+    task-id order.
+    """
 
     def __init__(self) -> None:
-        self._groups: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._groups: dict[str, defaultdict[str, int]] = {}
 
     def add(self, group: str, name: str, amount: int = 1) -> None:
         """Increment ``group/name`` by ``amount`` (negative allowed)."""
-        self._groups[group][name] += amount
+        names = self._groups.get(group)
+        if names is None:
+            names = self._groups[group] = defaultdict(int)
+        names[name] += amount
 
     def get(self, group: str, name: str) -> int:
         """Current value of ``group/name`` (0 when never incremented)."""
@@ -54,8 +63,11 @@ class Counters:
     def merge(self, other: "Counters") -> None:
         """Accumulate every counter of ``other`` into this object."""
         for group, names in other._groups.items():
+            mine = self._groups.get(group)
+            if mine is None:
+                mine = self._groups[group] = defaultdict(int)
             for name, value in names.items():
-                self._groups[group][name] += value
+                mine[name] += value
 
     def groups(self) -> Iterator[tuple[str, Mapping[str, int]]]:
         """Iterate ``(group, {name: value})`` pairs, sorted by group."""

@@ -11,19 +11,32 @@ reproducing the data flow of Section 2:
 4. each reduce task folds over its key groups and writes one
    ``part-NNNNN`` file back to the DFS.
 
-Everything is deterministic: splits are formed in file order, sorting is
-stable, and reducers run in id order — a job run twice produces
-byte-identical output, which the test-suite asserts.
+Tasks are dispatched through a pluggable
+:class:`~repro.mapreduce.executor.TaskExecutor` (``serial``, ``thread``
+or ``process``), so the k-way parallelism the cost model *assumes* can
+be backed by real cores.  Each task is a self-contained unit: it runs
+against its own :class:`Counters` shard and returns its buckets/output
+lines as a result instead of mutating shared state, and the engine
+merges shards and results in task-id order.  Everything therefore stays
+deterministic at any worker count: splits are formed in file order,
+sorting is stable, part files are written in reducer-id order — a job
+run twice, with any executor, produces byte-identical output, which the
+test-suite asserts.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from itertools import groupby
+from operator import itemgetter
+from typing import Any
 
 from repro.errors import JobError
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.executor import make_executor
 from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
 
 __all__ = ["Cluster", "JobResult"]
@@ -40,6 +53,8 @@ class JobResult:
     reduce_tasks: list[TaskStats]
     cost: JobCostBreakdown
     output_records: int = 0
+    #: measured end-to-end duration of the job on the host machine
+    wall_clock_seconds: float = 0.0
 
     @property
     def simulated_seconds(self) -> float:
@@ -50,6 +65,169 @@ class JobResult:
     def shuffled_records(self) -> int:
         """Intermediate key-value pairs — the paper's communication cost."""
         return self.counters.engine(C.MAP_OUTPUT_RECORDS)
+
+
+# ----------------------------------------------------------------------
+# Task units.  Workers are module-level pure functions of
+# (phase payload, task index) so any executor back-end can run them;
+# results carry everything the engine needs to merge deterministically.
+# ----------------------------------------------------------------------
+@dataclass
+class _MapPhase:
+    """Immutable payload shared by every map task of one job."""
+
+    job: MapReduceJob
+    splits: list[list[tuple[str, int, str]]]
+
+
+@dataclass
+class _MapTaskResult:
+    """What one map task hands back to the engine."""
+
+    buckets: list[list[tuple[Any, Any]]]
+    bucket_bytes: list[int]
+    counters: Counters
+    stats: TaskStats
+
+
+@dataclass
+class _ReducePhase:
+    """Immutable payload shared by every reduce task of one job.
+
+    ``buckets[r]`` is reducer ``r``'s merged (map-task order) but not
+    yet sorted input.
+    """
+
+    job: MapReduceJob
+    buckets: list[list[tuple[Any, Any]]]
+
+
+@dataclass
+class _ReduceTaskResult:
+    """What one reduce task hands back to the engine."""
+
+    lines: list[str]
+    input_records: int
+    compute_ops: int
+    counters: Counters
+
+
+def _sorted_by_key(
+    bucket: list[tuple[Any, Any]], sort_key
+) -> list[tuple[Any, Any]]:
+    """Stable-sort a bucket by ``sort_key`` of the record key.
+
+    Decorate-sort-undecorate: the key function runs exactly once per
+    record and the original index breaks ties, so equal-key records keep
+    map emission order (the engine's stability guarantee).
+    """
+    decorated = sorted((sort_key(kv[0]), i) for i, kv in enumerate(bucket))
+    return [bucket[i] for __, i in decorated]
+
+
+def _grouped(ordered: list[tuple[Any, Any]]):
+    """Yield ``(key, [values])`` runs of adjacent equal keys."""
+    for key, run in groupby(ordered, key=itemgetter(0)):
+        yield key, [v for __, v in run]
+
+
+def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
+    """One self-contained map task: split in, buckets + counter shard out."""
+    job = phase.job
+    split = phase.splits[index]
+    counters = Counters()
+    ctx = MapContext(counters, job.num_reducers, job.partitioner)
+    mapper = job.mapper
+    nbytes = 0
+    for path, lineno, line in split:
+        nbytes += len(line) + 1
+        try:
+            mapper((path, lineno), line, ctx)
+        except Exception as exc:  # noqa: BLE001 - wrap task failures
+            raise JobError(
+                f"map task failed in job {job.name!r} on "
+                f"{path}:{lineno}: {exc}"
+            ) from exc
+    ctx.input_records = len(split)
+    # One add per task, not one per record — the map inner loop stays
+    # free of counter bookkeeping.
+    counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, len(split))
+    if job.combiner is not None:
+        _apply_combiner(job, ctx, counters)
+    return _MapTaskResult(
+        buckets=ctx.buckets,
+        bucket_bytes=ctx.bucket_bytes,
+        counters=counters,
+        stats=TaskStats(
+            input_records=ctx.input_records,
+            input_bytes=nbytes,
+            output_records=ctx.output_records,
+            output_bytes=ctx.output_bytes,
+            compute_ops=ctx.compute_ops,
+        ),
+    )
+
+
+def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> None:
+    """Map-side pre-aggregation: rewrite the task's buckets in place.
+
+    Counters are adjusted so MAP_OUTPUT_* reflect the *shuffled*
+    (post-combine) volume — what the cost model charges — while the
+    pre-combine volume is recorded under COMBINE_INPUT_RECORDS.  Byte
+    accounting reuses the per-bucket totals tracked at emission time and
+    sizes each combined key once per group, not once per record.
+    """
+    from repro.mapreduce.job import estimate_size
+
+    for r, bucket in enumerate(ctx.buckets):
+        if not bucket:
+            continue
+        combined: list[tuple] = []
+        new_bytes = 0
+        for key, values in _grouped(_sorted_by_key(bucket, job.sort_key)):
+            key_bytes = estimate_size(key)
+            for value in job.combiner(key, values):
+                combined.append((key, value))
+                new_bytes += key_bytes + estimate_size(value)
+        old_bytes = ctx.bucket_bytes[r]
+        counters.add(C.GROUP_ENGINE, C.COMBINE_INPUT_RECORDS, len(bucket))
+        counters.add(C.GROUP_ENGINE, C.COMBINE_OUTPUT_RECORDS, len(combined))
+        counters.add(
+            C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS, len(combined) - len(bucket)
+        )
+        counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, new_bytes - old_bytes)
+        ctx.output_records += len(combined) - len(bucket)
+        ctx.output_bytes += new_bytes - old_bytes
+        ctx.buckets[r] = combined
+        ctx.bucket_bytes[r] = new_bytes
+
+
+def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
+    """One self-contained reduce task: merged bucket in, lines out."""
+    job = phase.job
+    counters = Counters()
+    rctx = ReduceContext(counters, r)
+    reducer = job.reducer
+    groups = 0
+    # Stable sort: same-key values keep map emission order.
+    for key, values in _grouped(_sorted_by_key(phase.buckets[r], job.sort_key)):
+        groups += 1
+        rctx.input_records += len(values)
+        try:
+            reducer(key, values, rctx)
+        except Exception as exc:  # noqa: BLE001 - wrap task failures
+            raise JobError(
+                f"reduce task {r} failed in job {job.name!r} "
+                f"on key {key!r}: {exc}"
+            ) from exc
+    counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_GROUPS, groups)
+    counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_RECORDS, rctx.input_records)
+    return _ReduceTaskResult(
+        lines=rctx.output_lines,
+        input_records=rctx.input_records,
+        compute_ops=rctx.compute_ops,
+        counters=counters,
+    )
 
 
 @dataclass
@@ -65,27 +243,37 @@ class Cluster:
     split_records:
         Map-split granularity in records; the paper's 64 MB HDFS blocks
         become a record-count split since our records are tiny.
+    executor:
+        Task dispatch back-end: ``"serial"`` (default), ``"thread"`` or
+        ``"process"``.  All three produce byte-identical output; see
+        :mod:`repro.mapreduce.executor`.
+    num_workers:
+        Worker count for the parallel back-ends (``None`` = usable CPUs).
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
     cost_model: CostModel = field(default_factory=CostModel)
     split_records: int = 20_000
+    executor: str = "serial"
+    num_workers: int | None = None
 
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job; raises :class:`JobError` on task failure."""
+        started = time.perf_counter()
+        executor = make_executor(self.executor, self.num_workers)
         counters = Counters()
         read_before = self.dfs.bytes_read
-        map_contexts, map_tasks = self._run_map_phase(job, counters)
+        map_results, map_tasks = self._run_map_phase(job, counters, executor)
         counters.add(C.GROUP_ENGINE, C.DFS_BYTES_READ, self.dfs.bytes_read - read_before)
 
         written_before = self.dfs.bytes_written
         if job.reducer is None:
             reduce_tasks, output_records = self._write_map_only_output(
-                job, map_contexts, counters
+                job, map_results, counters
             )
         else:
             reduce_tasks, output_records = self._run_reduce_phase(
-                job, map_contexts, counters
+                job, map_results, counters, executor
             )
         counters.add(
             C.GROUP_ENGINE, C.DFS_BYTES_WRITTEN, self.dfs.bytes_written - written_before
@@ -105,6 +293,7 @@ class Cluster:
             reduce_tasks=reduce_tasks,
             cost=cost,
             output_records=output_records,
+            wall_clock_seconds=time.perf_counter() - started,
         )
 
     # ------------------------------------------------------------------
@@ -128,133 +317,62 @@ class Cluster:
         return splits
 
     def _run_map_phase(
-        self, job: MapReduceJob, counters: Counters
-    ) -> tuple[list[MapContext], list[TaskStats]]:
+        self, job: MapReduceJob, counters: Counters, executor
+    ) -> tuple[list[_MapTaskResult], list[TaskStats]]:
         splits = self._input_splits(job)
-        contexts: list[MapContext] = []
-        stats: list[TaskStats] = []
-        for split in splits:
-            ctx = MapContext(counters, job.num_reducers, job.partitioner)
-            nbytes = 0
-            for path, lineno, line in split:
-                nbytes += len(line) + 1
-                counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS)
-                ctx.input_records += 1
-                try:
-                    job.mapper((path, lineno), line, ctx)
-                except Exception as exc:  # noqa: BLE001 - wrap task failures
-                    raise JobError(
-                        f"map task failed in job {job.name!r} on "
-                        f"{path}:{lineno}: {exc}"
-                    ) from exc
-            if job.combiner is not None:
-                self._apply_combiner(job, ctx, counters)
-            contexts.append(ctx)
-            stats.append(
-                TaskStats(
-                    input_records=ctx.input_records,
-                    input_bytes=nbytes,
-                    output_records=ctx.output_records,
-                    output_bytes=ctx.output_bytes,
-                    compute_ops=ctx.compute_ops,
-                )
-            )
-        return contexts, stats
-
-    @staticmethod
-    def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> None:
-        """Map-side pre-aggregation: rewrite the task's buckets in place.
-
-        Counters are adjusted so MAP_OUTPUT_* reflect the *shuffled*
-        (post-combine) volume — what the cost model charges — while the
-        pre-combine volume is recorded under COMBINE_INPUT_RECORDS.
-        """
-        from repro.mapreduce.job import estimate_size
-
-        for r, bucket in enumerate(ctx.buckets):
-            if not bucket:
-                continue
-            bucket.sort(key=lambda kv: job.sort_key(kv[0]))
-            combined: list[tuple] = []
-            i = 0
-            while i < len(bucket):
-                key = bucket[i][0]
-                j = i
-                values = []
-                while j < len(bucket) and bucket[j][0] == key:
-                    values.append(bucket[j][1])
-                    j += 1
-                for value in job.combiner(key, values):
-                    combined.append((key, value))
-                i = j
-            old_bytes = sum(estimate_size(k) + estimate_size(v) for k, v in bucket)
-            new_bytes = sum(estimate_size(k) + estimate_size(v) for k, v in combined)
-            counters.add(C.GROUP_ENGINE, C.COMBINE_INPUT_RECORDS, len(bucket))
-            counters.add(C.GROUP_ENGINE, C.COMBINE_OUTPUT_RECORDS, len(combined))
-            counters.add(
-                C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS, len(combined) - len(bucket)
-            )
-            counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, new_bytes - old_bytes)
-            ctx.output_records += len(combined) - len(bucket)
-            ctx.output_bytes += new_bytes - old_bytes
-            ctx.buckets[r] = combined
+        results = executor.run_phase(_run_map_task, len(splits), _MapPhase(job, splits))
+        for result in results:  # merge shards in task-id order
+            counters.merge(result.counters)
+        return results, [result.stats for result in results]
 
     # ------------------------------------------------------------------
     # Reduce phase
     # ------------------------------------------------------------------
     def _run_reduce_phase(
-        self, job: MapReduceJob, map_contexts: list[MapContext], counters: Counters
+        self,
+        job: MapReduceJob,
+        map_results: list[_MapTaskResult],
+        counters: Counters,
+        executor,
     ) -> tuple[list[TaskStats], int]:
+        # Shuffle: merge each reducer's buckets from every map task (in
+        # task-id order; the reduce task sorts its own merged bucket).
+        merged: list[list[tuple]] = [[] for __ in range(job.num_reducers)]
+        input_bytes = [0] * job.num_reducers
+        for result in map_results:
+            for r, bucket in enumerate(result.buckets):
+                if bucket:
+                    merged[r].extend(bucket)
+            for r, nbytes in enumerate(result.bucket_bytes):
+                input_bytes[r] += nbytes
+
+        task_results = executor.run_phase(
+            _run_reduce_task, job.num_reducers, _ReducePhase(job, merged)
+        )
+
         stats: list[TaskStats] = []
         total_output = 0
-        for r in range(job.num_reducers):
-            # Merge this reducer's buckets from every map task, then sort
-            # (stable, so same-key values keep map emission order).
-            bucket: list[tuple] = []
-            input_bytes = 0
-            for ctx in map_contexts:
-                bucket.extend(ctx.buckets[r])
-            bucket.sort(key=lambda kv: job.sort_key(kv[0]))
-
-            rctx = ReduceContext(counters, r)
-            i = 0
-            groups = 0
-            while i < len(bucket):
-                key = bucket[i][0]
-                j = i
-                values = []
-                while j < len(bucket) and bucket[j][0] == key:
-                    values.append(bucket[j][1])
-                    j += 1
-                groups += 1
-                rctx.input_records += len(values)
-                try:
-                    job.reducer(key, values, rctx)
-                except Exception as exc:  # noqa: BLE001 - wrap task failures
-                    raise JobError(
-                        f"reduce task {r} failed in job {job.name!r} "
-                        f"on key {key!r}: {exc}"
-                    ) from exc
-                i = j
-            counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_GROUPS, groups)
-            counters.add(C.GROUP_ENGINE, C.REDUCE_INPUT_RECORDS, rctx.input_records)
-
+        for r, result in enumerate(task_results):
+            counters.merge(result.counters)
             part_path = f"{job.output_path}/part-{r:05d}"
-            nbytes = self.dfs.write_file(part_path, rctx.output_lines)
-            total_output += len(rctx.output_lines)
+            nbytes = self.dfs.write_file(part_path, result.lines)
+            total_output += len(result.lines)
             stats.append(
                 TaskStats(
-                    input_records=rctx.input_records,
-                    input_bytes=input_bytes,
-                    output_records=len(rctx.output_lines),
+                    input_records=result.input_records,
+                    input_bytes=input_bytes[r],
+                    output_records=len(result.lines),
                     output_bytes=nbytes,
-                    compute_ops=rctx.compute_ops,
+                    compute_ops=result.compute_ops,
                 )
             )
         return stats, total_output
 
     def _write_map_only_output(
-        self, job: MapReduceJob, map_contexts: list[MapContext], counters: Counters
+        self,
+        job: MapReduceJob,
+        map_results: list[_MapTaskResult],
+        counters: Counters,
     ) -> tuple[list[TaskStats], int]:
         """Map-only jobs write partitioned but unsorted/unreduced output.
 
@@ -265,8 +383,10 @@ class Cluster:
         total_output = 0
         for r in range(job.num_reducers):
             lines: list[str] = []
-            for ctx in map_contexts:
-                for __, value in ctx.buckets[r]:
+            input_bytes = 0
+            for result in map_results:
+                input_bytes += result.bucket_bytes[r]
+                for __, value in result.buckets[r]:
                     if not isinstance(value, str):
                         raise JobError(
                             f"map-only job {job.name!r} emitted a non-string "
@@ -280,6 +400,7 @@ class Cluster:
             stats.append(
                 TaskStats(
                     input_records=len(lines),
+                    input_bytes=input_bytes,
                     output_records=len(lines),
                     output_bytes=nbytes,
                 )

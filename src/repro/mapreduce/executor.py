@@ -1,0 +1,171 @@
+"""Pluggable task executors: how the simulated cluster runs its tasks.
+
+The engine models a k-reducer Hadoop cluster; this module decides how
+much *actual* hardware parallelism backs that model.  A phase (all map
+tasks, or all reduce tasks, of one job) is a list of independent task
+invocations ``worker(payload, index)`` where
+
+* ``payload`` is the phase-wide immutable state (the job plus the task
+  inputs), shared by reference in-process and inherited by forked
+  workers, and
+* ``index`` is the task id (split index or reducer id).
+
+Three back-ends are provided:
+
+``serial``
+    Run tasks one after another in the calling thread (the seed
+    behaviour, and the default).
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Python threads
+    only overlap during C-level work, but the back-end exercises the
+    same task isolation as processes and is cheap to spin up.
+``process``
+    A ``fork``-based :class:`multiprocessing.pool.Pool`.  Workers
+    inherit the payload through copy-on-write memory, so job closures
+    (mappers capturing grids, marking engines, joiners) need not be
+    picklable; only task *results* cross the process boundary.  On
+    platforms without ``fork`` the back-end degrades to threads.
+
+Determinism contract: ``run_phase`` returns results indexed by task id
+regardless of completion order, and workers must be pure functions of
+``(payload, index)``.  The engine merges results in task-id order, so a
+job produces byte-identical output at every worker count.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.errors import JobError
+
+__all__ = [
+    "EXECUTORS",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "default_workers",
+]
+
+#: worker(payload, task_index) -> task result
+TaskWorker = Callable[[Any, int], Any]
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not pick one: usable CPUs."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class TaskExecutor(abc.ABC):
+    """Runs one phase of independent tasks, preserving task-id order."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
+        """Run ``worker(payload, i)`` for ``i in range(num_tasks)``.
+
+        Returns the results ordered by task id.  A task exception
+        aborts the phase and propagates to the caller.
+        """
+
+
+class SerialExecutor(TaskExecutor):
+    """Tasks run inline, one after another — the seed engine behaviour."""
+
+    name = "serial"
+
+    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
+        return [worker(payload, i) for i in range(num_tasks)]
+
+
+class ThreadExecutor(TaskExecutor):
+    """Tasks run on a thread pool sharing the payload by reference."""
+
+    name = "thread"
+
+    def __init__(self, num_workers: int | None = None) -> None:
+        self.num_workers = num_workers if num_workers else default_workers()
+
+    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
+        if num_tasks <= 1 or self.num_workers <= 1:
+            return SerialExecutor().run_phase(worker, num_tasks, payload)
+        with ThreadPoolExecutor(
+            max_workers=min(self.num_workers, num_tasks)
+        ) as pool:
+            futures = [
+                pool.submit(worker, payload, i) for i in range(num_tasks)
+            ]
+            # Collect in submission order: results land at their task id
+            # and the lowest failing task id is the one that raises.
+            return [f.result() for f in futures]
+
+
+# Payload handoff for forked workers.  Set in the parent immediately
+# before the pool forks; children inherit it through copy-on-write, so
+# nothing here is ever pickled.
+_FORK_STATE: tuple[TaskWorker, Any] | None = None
+
+
+def _run_forked_task(index: int):
+    worker, payload = _FORK_STATE  # type: ignore[misc] - set before fork
+    return worker(payload, index)
+
+
+class ProcessExecutor(TaskExecutor):
+    """Tasks run on forked worker processes (true multi-core execution)."""
+
+    name = "process"
+
+    def __init__(self, num_workers: int | None = None) -> None:
+        self.num_workers = num_workers if num_workers else default_workers()
+
+    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
+        global _FORK_STATE
+        if num_tasks <= 1 or self.num_workers <= 1:
+            return SerialExecutor().run_phase(worker, num_tasks, payload)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # No copy-on-write payload inheritance without fork (e.g.
+            # Windows); threads keep the same semantics and determinism.
+            return ThreadExecutor(self.num_workers).run_phase(
+                worker, num_tasks, payload
+            )
+        ctx = multiprocessing.get_context("fork")
+        _FORK_STATE = (worker, payload)
+        try:
+            with ctx.Pool(processes=min(self.num_workers, num_tasks)) as pool:
+                # imap (not map) so the lowest failing task id raises
+                # first, matching the serial error behaviour.
+                return list(
+                    pool.imap(_run_forked_task, range(num_tasks), chunksize=1)
+                )
+        finally:
+            _FORK_STATE = None
+
+
+EXECUTORS: dict[str, type[TaskExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def make_executor(name: str, num_workers: int | None = None) -> TaskExecutor:
+    """Build the named executor (``serial`` ignores ``num_workers``)."""
+    cls = EXECUTORS.get(name)
+    if cls is None:
+        raise JobError(
+            f"unknown executor {name!r}; choose one of {sorted(EXECUTORS)}"
+        )
+    if cls is SerialExecutor:
+        return cls()
+    return cls(num_workers)

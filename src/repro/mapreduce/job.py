@@ -80,6 +80,9 @@ class MapContext:
         self._num_reducers = num_reducers
         self._partitioner = partitioner
         self.buckets: list[list[tuple[Any, Any]]] = [[] for __ in range(num_reducers)]
+        #: estimated bytes per bucket — the reduce task that merges
+        #: bucket ``r`` of every map task charges these as input bytes
+        self.bucket_bytes: list[int] = [0] * num_reducers
         self.input_records = 0
         self.output_records = 0
         self.output_bytes = 0
@@ -94,6 +97,7 @@ class MapContext:
             )
         self.buckets[r].append((key, value))
         nbytes = estimate_size(key) + estimate_size(value)
+        self.bucket_bytes[r] += nbytes
         self.output_records += 1
         self.output_bytes += nbytes
         self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS)

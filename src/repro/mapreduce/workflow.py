@@ -34,6 +34,11 @@ class WorkflowResult:
         return sum(r.shuffled_records for r in self.job_results)
 
     @property
+    def wall_clock_seconds(self) -> float:
+        """Measured host-machine duration of the chained jobs."""
+        return sum(r.wall_clock_seconds for r in self.job_results)
+
+    @property
     def counters(self) -> Counters:
         """Merged counters of every job."""
         merged = Counters()

@@ -146,7 +146,11 @@ def paper_comparison(module, result: ExperimentResult) -> str:
 
 
 def render_experiments_markdown(
-    scale: float = 1.0, verify: bool = True, preamble: str | None = None
+    scale: float = 1.0,
+    verify: bool = True,
+    preamble: str | None = None,
+    executor: str = "serial",
+    num_workers: int | None = None,
 ) -> str:
     """Regenerate the full EXPERIMENTS.md body by running every table."""
     from repro.experiments import TABLES
@@ -160,6 +164,8 @@ def render_experiments_markdown(
     ]
     for name in sorted(TABLES):
         module = TABLES[name]
-        result = module.run(scale=scale, verify=verify)
+        result = module.run(
+            scale=scale, verify=verify, executor=executor, num_workers=num_workers
+        )
         sections.append(paper_comparison(module, result))
     return "\n".join(sections)

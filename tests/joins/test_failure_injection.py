@@ -3,7 +3,6 @@ surface as clean, typed errors — never silent data loss."""
 
 import pytest
 
-from repro.data.io import rects_to_lines
 from repro.data.synthetic import SyntheticSpec, generate_relations
 from repro.errors import DFSError, JobError, JoinError, ReproError
 from repro.geometry.rectangle import Rect

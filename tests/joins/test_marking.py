@@ -8,7 +8,6 @@ output tuple and must mark exactly those.
 import pytest
 
 from repro.geometry.rectangle import Rect
-from repro.grid.partitioning import GridPartitioning
 from repro.joins.marking import MarkingEngine
 from repro.query.predicates import Overlap, Range
 from repro.query.query import Query

@@ -7,7 +7,6 @@ Controlled-Replicate conditions, the replication-limit bounds, or the
 duplicate-avoidance reachability argument.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -46,3 +46,15 @@ class TestCounters:
         snap = c.as_dict()
         snap["g"]["n"] = 99
         assert c.get("g", "n") == 1
+
+    def test_pickle_round_trip(self):
+        """Per-task counter shards cross the process-executor boundary."""
+        import pickle
+
+        c = Counters()
+        c.add("g", "x", 5)
+        c.add("h", "y", -2)
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone.as_dict() == c.as_dict()
+        clone.add("g", "x", 1)  # still a live, mergeable Counters
+        assert clone.get("g", "x") == 6 and c.get("g", "x") == 5

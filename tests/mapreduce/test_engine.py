@@ -186,6 +186,63 @@ class TestEngineMechanics:
             )
 
 
+class TestInputSplits:
+    """Invariants of split formation — load-bearing now that splits are
+    dispatched to (possibly parallel) workers as self-contained units."""
+
+    def _splits(self, cluster, paths):
+        job = word_count_job()
+        job.input_paths = paths
+        return cluster._input_splits(job)
+
+    def test_splits_never_span_files(self, cluster):
+        cluster.split_records = 100
+        cluster.dfs.write_file("in1", ["a"] * 3)
+        cluster.dfs.write_file("in2", ["b"] * 3)
+        splits = self._splits(cluster, ["in1", "in2"])
+        assert len(splits) == 2
+        for split in splits:
+            assert len({path for path, __, __ in split}) == 1
+
+    def test_splits_respect_split_records(self, cluster):
+        cluster.split_records = 2
+        cluster.dfs.write_file("in", [f"w{i}" for i in range(5)])
+        splits = self._splits(cluster, ["in"])
+        assert [len(s) for s in splits] == [2, 2, 1]
+
+    def test_file_order_preserved_across_multi_file_inputs(self, cluster):
+        cluster.split_records = 2
+        cluster.dfs.write_file("d/p1", ["a0", "a1", "a2"])
+        cluster.dfs.write_file("d/p0", ["b0"])
+        cluster.dfs.write_file("e", ["c0", "c1"])
+        splits = self._splits(cluster, ["d", "e"])
+        # Directories expand sorted; explicit paths keep argument order.
+        flat = [(path, lineno) for split in splits for path, lineno, __ in split]
+        assert flat == [
+            ("d/p0", 0),
+            ("d/p1", 0), ("d/p1", 1), ("d/p1", 2),
+            ("e", 0), ("e", 1),
+        ]
+
+    def test_records_verbatim_with_line_numbers(self, cluster):
+        cluster.dfs.write_file("in", ["alpha", "beta"])
+        ((first, second),) = [self._splits(cluster, ["in"])[0]]
+        assert first == ("in", 0, "alpha")
+        assert second == ("in", 1, "beta")
+
+    def test_lineno_restarts_per_file(self, cluster):
+        cluster.dfs.write_file("in1", ["x", "y"])
+        cluster.dfs.write_file("in2", ["z"])
+        splits = self._splits(cluster, ["in1", "in2"])
+        assert [s[0][1] for s in splits] == [0, 0]
+
+    def test_empty_file_yields_no_split(self, cluster):
+        cluster.dfs.write_file("in1", [])
+        cluster.dfs.write_file("in2", ["a"])
+        splits = self._splits(cluster, ["in1", "in2"])
+        assert len(splits) == 1 and splits[0][0][0] == "in2"
+
+
 class TestFailures:
     def test_mapper_failure_wrapped(self, cluster):
         def mapper(key, line, ctx):
@@ -249,3 +306,50 @@ class TestCostIntegration:
         result = cluster.run_job(word_count_job())
         assert result.counters.engine(C.DFS_BYTES_READ) >= 12
         assert result.counters.engine(C.DFS_BYTES_WRITTEN) > 0
+
+    def test_reduce_tasks_charged_input_bytes(self, cluster):
+        """Regression: reduce TaskStats.input_bytes was always 0, so the
+        reduce phase's shuffled volume never reached the cost model."""
+        cluster.dfs.write_file("in", ["a b a", "b c", "a"])
+        result = cluster.run_job(word_count_job())
+        per_task = [t.input_bytes for t in result.reduce_tasks]
+        assert sum(per_task) == result.counters.engine(C.MAP_OUTPUT_BYTES)
+        # every reducer that received records is charged for them
+        for stats in result.reduce_tasks:
+            assert (stats.input_bytes > 0) == (stats.input_records > 0)
+
+    def test_reduce_input_bytes_reflects_combiner(self):
+        """Post-combine (shuffled) bytes are charged, not raw map output."""
+
+        def mapper(key, line, ctx):
+            for word in line.split():
+                ctx.emit(word, 1)
+
+        def reducer(word, counts, ctx):
+            ctx.emit(f"{word}\t{sum(counts)}")
+
+        results = {}
+        for combine in (False, True):
+            c = Cluster(dfs=InMemoryDFS())
+            c.dfs.write_file("in", ["a a a a b"] * 4)
+            results[combine] = c.run_job(
+                MapReduceJob(
+                    name="wc",
+                    input_paths=["in"],
+                    output_path="out",
+                    mapper=mapper,
+                    reducer=reducer,
+                    num_reducers=1,
+                    partitioner=hash_partitioner,
+                    combiner=(lambda w, counts: [sum(counts)]) if combine else None,
+                )
+            )
+        combined = results[True].reduce_tasks[0].input_bytes
+        raw = results[False].reduce_tasks[0].input_bytes
+        assert 0 < combined < raw
+        assert combined == results[True].counters.engine(C.MAP_OUTPUT_BYTES)
+
+    def test_wall_clock_recorded(self, cluster):
+        cluster.dfs.write_file("in", ["a b c"])
+        result = cluster.run_job(word_count_job())
+        assert result.wall_clock_seconds > 0

@@ -1,0 +1,112 @@
+"""Unit tests for the pluggable task executors."""
+
+import os
+
+import pytest
+
+from repro.errors import JobError
+from repro.mapreduce.executor import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadExecutor,
+    default_workers,
+    make_executor,
+)
+
+ALL_EXECUTORS = sorted(EXECUTORS)
+
+
+def square_worker(payload, index):
+    return payload["base"] + index * index
+
+
+def pid_worker(payload, index):
+    return os.getpid()
+
+
+def failing_worker(payload, index):
+    if index == payload:
+        raise JobError(f"task {index} failed")
+    return index
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread", 2), ThreadExecutor)
+        assert isinstance(make_executor("process", 2), ProcessExecutor)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(JobError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_registry_covers_all_backends(self):
+        assert set(EXECUTORS) == {"serial", "thread", "process"}
+        for cls in EXECUTORS.values():
+            assert issubclass(cls, TaskExecutor)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_none_workers_defaults_to_cpus(self):
+        assert make_executor("thread", None).num_workers == default_workers()
+        assert make_executor("process", 0).num_workers == default_workers()
+
+
+class TestRunPhase:
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_results_ordered_by_task_id(self, name, workers):
+        ex = make_executor(name, workers)
+        results = ex.run_phase(square_worker, 7, {"base": 100})
+        assert results == [100 + i * i for i in range(7)]
+
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_zero_tasks(self, name):
+        assert make_executor(name, 2).run_phase(square_worker, 0, {"base": 0}) == []
+
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_single_task(self, name):
+        assert make_executor(name, 4).run_phase(square_worker, 1, {"base": 5}) == [5]
+
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_worker_error_propagates(self, name, workers):
+        ex = make_executor(name, workers)
+        with pytest.raises(JobError, match="task 2 failed"):
+            ex.run_phase(failing_worker, 5, 2)
+
+    def test_more_workers_than_tasks(self):
+        ex = make_executor("process", 64)
+        assert ex.run_phase(square_worker, 3, {"base": 0}) == [0, 1, 4]
+
+    def test_process_executor_forks(self):
+        """With >1 worker and >1 task, work really leaves this process."""
+        pids = set(make_executor("process", 2).run_phase(pid_worker, 4, None))
+        assert os.getpid() not in pids
+
+    def test_thread_executor_shares_process(self):
+        pids = set(make_executor("thread", 2).run_phase(pid_worker, 4, None))
+        assert pids == {os.getpid()}
+
+    def test_process_single_worker_stays_inline(self):
+        pids = set(make_executor("process", 1).run_phase(pid_worker, 4, None))
+        assert pids == {os.getpid()}
+
+    def test_payload_shared_not_copied_in_threads(self):
+        payload = {"base": 1}
+        results = make_executor("thread", 4).run_phase(
+            lambda p, i: p is payload, 4, payload
+        )
+        assert all(results)
+
+    def test_closure_worker_survives_fork(self):
+        """Fork inherits closures: no pickling of the worker or payload."""
+        grid = {"cells": [1, 2, 3]}
+
+        def worker(payload, index):
+            return payload["cells"][index] * 10
+
+        assert make_executor("process", 2).run_phase(worker, 3, grid) == [10, 20, 30]
