@@ -1,9 +1,9 @@
 """Record codecs: how rectangles and tuples cross DFS job boundaries.
 
-All records are single text lines (the DFS is line-oriented), and floats
-are encoded with ``repr`` so every coordinate round-trips exactly —
-duplicate avoidance compares start-points for cell ownership, so lossy
-encodings would corrupt results.
+All durable records are single text lines (the DFS is line-oriented),
+and floats are encoded with ``repr`` so every coordinate round-trips
+exactly — duplicate avoidance compares start-points for cell ownership,
+so lossy encodings would corrupt results.
 
 Formats
 -------
@@ -14,6 +14,18 @@ Formats
 * tuple record               ``slot=rid:x:y:l:b;slot=rid:x:y:l:b;...``
   (2-way Cascade intermediates: partially-joined tuples)
 * result record              ``rid<TAB>rid<TAB>...`` in query slot order
+
+Typed record path
+-----------------
+Since PR 2 the engine can carry these records across job boundaries as
+Python objects instead of strings.  A :class:`RecordCodec` pairs each
+line format with its typed form; jobs declare input/output codecs and
+the DFS keeps the decoded objects next to the encoded lines
+(encode-once: a record is serialized exactly once, when its part file
+is written, for byte accounting and durability — downstream maps read
+the objects back without re-parsing).  The codec registry below maps
+stable names to codec instances so job specs and tests can refer to
+them symbolically.
 """
 
 from __future__ import annotations
@@ -35,6 +47,16 @@ __all__ = [
     "decode_result",
     "rects_to_lines",
     "lines_to_rects",
+    "TupleRecord",
+    "RecordCodec",
+    "RectCodec",
+    "TaggedCodec",
+    "TupleCodec",
+    "RECT_CODEC",
+    "TAGGED_CODEC",
+    "TUPLE_CODEC",
+    "CODECS",
+    "get_codec",
 ]
 
 
@@ -131,6 +153,45 @@ def decode_tuple(line: str) -> dict[str, tuple[int, Rect]]:
         raise DFSError(f"malformed tuple record {line!r}") from exc
 
 
+class TupleRecord:
+    """A partially-joined tuple plus its encoded line, paired for life.
+
+    The line is computed exactly once — at construction from fresh
+    bindings (a reducer merging a new slot in) or carried over from the
+    DFS (a mapper reading an intermediate file) — and reused everywhere
+    a byte size or a durable form is needed: shuffle accounting charges
+    ``len(line)``, part files store ``line`` verbatim.  This is what
+    keeps the typed path's byte counters identical to the string path's
+    while never re-encoding or re-parsing a tuple.
+    """
+
+    __slots__ = ("bindings", "line")
+
+    def __init__(self, bindings: dict[str, tuple[int, Rect]], line: str | None = None):
+        self.bindings = bindings
+        self.line = encode_tuple(bindings) if line is None else line
+
+    @classmethod
+    def from_line(cls, line: str) -> "TupleRecord":
+        """Decode once, keeping the original line for sizing/durability."""
+        return cls(decode_tuple(line), line)
+
+    def __getstate__(self):
+        return (self.bindings, self.line)
+
+    def __setstate__(self, state):
+        self.bindings, self.line = state
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TupleRecord) and self.line == other.line
+
+    def __hash__(self) -> int:
+        return hash(self.line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TupleRecord({self.line!r})"
+
+
 # ----------------------------------------------------------------------
 # Final results
 # ----------------------------------------------------------------------
@@ -145,3 +206,89 @@ def decode_result(line: str) -> tuple[int, ...]:
         return tuple(int(v) for v in line.split("\t"))
     except ValueError as exc:
         raise DFSError(f"malformed result record {line!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Record codecs (typed <-> line forms) and the codec registry
+# ----------------------------------------------------------------------
+class RecordCodec:
+    """One line format paired with its typed record form.
+
+    ``encode`` must be the exact inverse of ``decode``: the golden
+    equivalence tests run whole joins with records crossing job
+    boundaries as objects and again as strings and require byte-for-byte
+    identical DFS output.
+    """
+
+    #: registry name (stable; job specs and tests refer to codecs by it)
+    name: str = "abstract"
+
+    def encode(self, record) -> str:
+        raise NotImplementedError
+
+    def decode(self, line: str):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RectCodec(RecordCodec):
+    """Base relation records: ``(rid, Rect)`` <-> ``rid,x,y,l,b``."""
+
+    name = "rect"
+
+    def encode(self, record) -> str:
+        rid, rect = record
+        return encode_rect(rid, rect)
+
+    def decode(self, line: str):
+        return decode_rect(line)
+
+
+class TaggedCodec(RecordCodec):
+    """Marked rectangles: :class:`TaggedRect` <-> ``dataset|rid|marked|...``."""
+
+    name = "tagged"
+
+    def encode(self, record) -> str:
+        return encode_tagged(record)
+
+    def decode(self, line: str):
+        return decode_tagged(line)
+
+
+class TupleCodec(RecordCodec):
+    """Cascade intermediates: :class:`TupleRecord` <-> its own line.
+
+    Encoding returns the record's carried line (computed at
+    construction), so writing a part file never re-serializes.
+    """
+
+    name = "tuple"
+
+    def encode(self, record) -> str:
+        return record.line
+
+    def decode(self, line: str):
+        return TupleRecord.from_line(line)
+
+
+RECT_CODEC = RectCodec()
+TAGGED_CODEC = TaggedCodec()
+TUPLE_CODEC = TupleCodec()
+
+#: the codec registry: stable name -> shared codec instance
+CODECS: dict[str, RecordCodec] = {
+    c.name: c for c in (RECT_CODEC, TAGGED_CODEC, TUPLE_CODEC)
+}
+
+
+def get_codec(name: str) -> RecordCodec:
+    """Look up a codec by registry name."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise DFSError(
+            f"unknown codec {name!r}; registered: {sorted(CODECS)}"
+        ) from None

@@ -71,10 +71,14 @@ def axis_gaps(a: Rect, b: Rect) -> tuple[float, float]:
 def chebyshev_distance(a: Rect, b: Rect) -> float:
     """Chebyshev (L-infinity) distance between two closed rectangles.
 
-    ``chebyshev_distance(a, b) <= d`` is exactly the condition
+    ``chebyshev_distance(a, b) <= d`` is the real-arithmetic condition
     ``a.enlarge(d).intersects(b)`` — the routing test the 2-way range
     join of Section 5.3 uses — and is the metric the safe variant of the
-    C-Rep-L replication limit is expressed in (see DESIGN.md).
+    C-Rep-L replication limit is expressed in (see DESIGN.md).  In
+    floats the two can disagree within rounding distance of the exact-
+    ``d`` boundary (each rounds a different subtraction); the routing
+    predicates therefore use the :meth:`Rect.enlarge` expressions, not
+    this value (DESIGN.md §6).
     """
     dx, dy = axis_gaps(a, b)
     return max(dx, dy)

@@ -253,9 +253,22 @@ class GridPartitioning:
         """The unique cell owning ``(px, py)``."""
         return self.cell(self.row_of_y(py), self.col_of_x(px))
 
+    def cell_id_of_point(self, px: float, py: float) -> int:
+        """The id of the cell owning ``(px, py)``.
+
+        Same ownership rule as :meth:`cell_of_point` without building a
+        :class:`Cell` — the dedup owner tests and routing mappers call
+        this once per candidate/record and only need the reducer id.
+        """
+        return self.row_of_y(py) * self.cols + self.col_of_x(px)
+
     def cell_of(self, rect: Rect) -> Cell:
         """``c_u``: the cell owning the rectangle's start-point (Section 4)."""
         return self.cell_of_point(rect.x, rect.y)
+
+    def cell_id_of(self, rect: Rect) -> int:
+        """The id of ``c_u`` (start-point owner) without building a Cell."""
+        return self.row_of_y(rect.y) * self.cols + self.col_of_x(rect.x)
 
     # ------------------------------------------------------------------
     # Closed-intersection ranges (used by Split and crossing tests)

@@ -37,13 +37,23 @@ ReplicateCondition = Callable[[Cell, Rect], bool]
 
 def project(rect: Rect, grid: GridPartitioning) -> Iterator[tuple[int, Rect]]:
     """``Project(u, C) -> (c_u, u)``: route to the start-point's cell."""
-    yield (grid.cell_of(rect).cell_id, rect)
+    yield (grid.cell_id_of(rect), rect)
 
 
 def split(rect: Rect, grid: GridPartitioning) -> Iterator[tuple[int, Rect]]:
-    """``Split(u, C) -> {(c_i, u)}`` for every cell ``c_i`` touching ``u``."""
-    for cell in grid.cells_overlapping(rect):
-        yield (cell.cell_id, rect)
+    """``Split(u, C) -> {(c_i, u)}`` for every cell ``c_i`` touching ``u``.
+
+    Cell ids come straight from the closed-intersection ranges, in the
+    same row-major order :meth:`GridPartitioning.cells_overlapping`
+    yields — without materialising the Cell objects.
+    """
+    c_lo, c_hi = grid.col_range(rect)
+    r_lo, r_hi = grid.row_range(rect)
+    cols = grid.cols
+    for row in range(r_lo, r_hi + 1):
+        base = row * cols
+        for col in range(c_lo, c_hi + 1):
+            yield (base + col, rect)
 
 
 def replicate(

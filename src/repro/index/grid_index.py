@@ -39,35 +39,38 @@ class GridIndex:
         if n == 0:
             self._nx = self._ny = 1
             self._buckets: dict[tuple[int, int], list[int]] = {}
+            self._bounds: list[tuple[float, float, float, float]] = []
             return
         # Bounds are kept as exact corner floats: round-tripping them
         # through a Rect can shrink the box by an ulp and wrongly fail
-        # the early-exit test for boundary-touching queries.
-        self._x_lo = min(e.rect.x_min for e in self._entries)
-        self._x_hi = max(e.rect.x_max for e in self._entries)
-        self._y_lo = min(e.rect.y_min for e in self._entries)
-        self._y_hi = max(e.rect.y_max for e in self._entries)
+        # the early-exit test for boundary-touching queries.  Each
+        # entry's extent is extracted once here — probes compare plain
+        # floats instead of calling four Rect properties per test.
+        self._bounds = [
+            (e.rect.x, e.rect.x + e.rect.l, e.rect.y - e.rect.b, e.rect.y)
+            for e in self._entries
+        ]
+        self._x_lo = min(b[0] for b in self._bounds)
+        self._x_hi = max(b[1] for b in self._bounds)
+        self._y_lo = min(b[2] for b in self._bounds)
+        self._y_hi = max(b[3] for b in self._bounds)
         side = max(1, math.isqrt(max(1, n // max(1, target_per_bucket))))
         self._nx = side
         self._ny = side
         self._bw = max((self._x_hi - self._x_lo) / self._nx, 1e-12)
         self._bh = max((self._y_hi - self._y_lo) / self._ny, 1e-12)
         self._buckets = {}
-        for idx, entry in enumerate(self._entries):
-            for key in self._bucket_span(entry.rect):
-                self._buckets.setdefault(key, []).append(idx)
+        setdefault = self._buckets.setdefault
+        for idx, (ex_min, ex_max, ey_min, ey_max) in enumerate(self._bounds):
+            ix_lo = self._clamp_x(ex_min)
+            ix_hi = self._clamp_x(ex_max)
+            iy_lo = self._clamp_y(ey_min)
+            iy_hi = self._clamp_y(ey_max)
+            for ix in range(ix_lo, ix_hi + 1):
+                for iy in range(iy_lo, iy_hi + 1):
+                    setdefault((ix, iy), []).append(idx)
 
     # ------------------------------------------------------------------
-    def _bucket_span(self, rect: Rect) -> Iterator[tuple[int, int]]:
-        """Bucket keys overlapped by a rectangle (clamped to the grid)."""
-        ix_lo = self._clamp_x(rect.x_min)
-        ix_hi = self._clamp_x(rect.x_max)
-        iy_lo = self._clamp_y(rect.y_min)
-        iy_hi = self._clamp_y(rect.y_max)
-        for ix in range(ix_lo, ix_hi + 1):
-            for iy in range(iy_lo, iy_hi + 1):
-                yield (ix, iy)
-
     def _clamp_x(self, x: float) -> int:
         i = int((x - self._x_lo) / self._bw)
         return min(max(i, 0), self._nx - 1)
@@ -81,24 +84,63 @@ class GridIndex:
         """Entries within Chebyshev distance ``d`` of ``rect`` (exact)."""
         if not self._entries:
             return
-        query = rect.enlarge(d) if d > 0 else rect
+        # Same arithmetic as ``rect.enlarge(d)`` (corner moves first,
+        # then sides), so boundary-touching queries behave bit-exactly
+        # like the Rect-based test this replaces.
+        if d > 0:
+            qx_min = rect.x - d
+            qx_max = qx_min + (rect.l + 2 * d)
+            qy_max = rect.y + d
+            qy_min = qy_max - (rect.b + 2 * d)
+        else:
+            qx_min = rect.x
+            qx_max = qx_min + rect.l
+            qy_max = rect.y
+            qy_min = qy_max - rect.b
         if (
-            query.x_max < self._x_lo
-            or query.x_min > self._x_hi
-            or query.y_max < self._y_lo
-            or query.y_min > self._y_hi
+            qx_max < self._x_lo
+            or qx_min > self._x_hi
+            or qy_max < self._y_lo
+            or qy_min > self._y_hi
         ):
             return
-        seen: set[int] = set()
-        for key in self._bucket_span(query):
-            for idx in self._buckets.get(key, ()):
+        ix_lo = self._clamp_x(qx_min)
+        ix_hi = self._clamp_x(qx_max)
+        iy_lo = self._clamp_y(qy_min)
+        iy_hi = self._clamp_y(qy_max)
+        buckets = self._buckets
+        bounds = self._bounds
+        entries = self._entries
+        if ix_lo == ix_hi and iy_lo == iy_hi:
+            # Single-bucket probe (the common case for small queries):
+            # a bucket lists each entry once, so no dedup set is needed.
+            for idx in buckets.get((ix_lo, iy_lo), ()):
                 self.probes += 1
-                if idx in seen:
-                    continue
-                seen.add(idx)
-                entry = self._entries[idx]
-                if query.intersects(entry.rect):
-                    yield entry
+                ex_min, ex_max, ey_min, ey_max = bounds[idx]
+                if (
+                    qx_min <= ex_max
+                    and ex_min <= qx_max
+                    and qy_min <= ey_max
+                    and ey_min <= qy_max
+                ):
+                    yield entries[idx]
+            return
+        seen: set[int] = set()
+        for ix in range(ix_lo, ix_hi + 1):
+            for iy in range(iy_lo, iy_hi + 1):
+                for idx in buckets.get((ix, iy), ()):
+                    self.probes += 1
+                    if idx in seen:
+                        continue
+                    seen.add(idx)
+                    ex_min, ex_max, ey_min, ey_max = bounds[idx]
+                    if (
+                        qx_min <= ex_max
+                        and ex_min <= qx_max
+                        and qy_min <= ey_max
+                        and ey_min <= qy_max
+                    ):
+                        yield entries[idx]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -28,8 +28,12 @@ from repro.joins.base import (
     stage_datasets,
 )
 from repro.joins.local import LocalJoiner
-from repro.joins.reducers import make_local_join_reducer, rect_value
-from repro.data.io import decode_rect
+from repro.joins.reducers import (
+    RECT_SHUFFLE_CODEC,
+    make_local_join_reducer,
+    rect_value,
+)
+from repro.data.io import RECT_CODEC
 from repro.mapreduce.engine import Cluster
 from repro.mapreduce.job import MapContext, MapReduceJob
 from repro.mapreduce.workflow import Workflow
@@ -68,6 +72,8 @@ class AllReplicateJoin(MultiWayJoinAlgorithm):
             mapper=_make_mapper(grid),
             reducer=make_local_join_reducer(query, grid, joiner),
             num_reducers=grid.num_cells,
+            input_codec=RECT_CODEC,
+            shuffle_codec=RECT_SHUFFLE_CODEC,
         )
         workflow = Workflow(cluster)
         workflow.run(job)
@@ -82,10 +88,10 @@ class AllReplicateJoin(MultiWayJoinAlgorithm):
 def _make_mapper(grid: GridPartitioning):
     """Replicate every rectangle with ``f1``, tagged with its dataset."""
 
-    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
+    def mapper(key: tuple[str, int], record: tuple, ctx: MapContext) -> None:
         path, __ = key
         dataset = dataset_from_path(path)
-        rid, rect = decode_rect(line)
+        rid, rect = record
         ctx.counter(JOIN_COUNTERS, CNT_MARKED)
         for cell_id, __rect in replicate_f1(rect, grid):
             ctx.emit(cell_id, rect_value(dataset, rid, rect))

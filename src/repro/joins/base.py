@@ -17,7 +17,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-from repro.data.io import decode_result, rects_to_lines
+from repro.data.io import RECT_CODEC, decode_result
 from repro.errors import JoinError
 from repro.geometry.rectangle import Rect
 from repro.grid.partitioning import GridPartitioning
@@ -56,14 +56,16 @@ def stage_datasets(cluster: Cluster, datasets: Datasets) -> dict[str, str]:
 
     Staging is idempotent: re-staging an identical dataset overwrites
     the file in place (experiments stage once and run all algorithms on
-    the same cluster).
+    the same cluster).  Files are written through the rect codec, so the
+    on-DFS bytes are the canonical ``rid,x,y,l,b`` lines and typed-path
+    jobs read the ``(rid, Rect)`` objects back without parsing.
     """
     paths: dict[str, str] = {}
     for name, rects in datasets.items():
         if "/" in name or "|" in name:
             raise JoinError(f"dataset name {name!r} contains a path delimiter")
         path = f"{INPUT_PREFIX}/{name}"
-        cluster.dfs.write_file(path, rects_to_lines(rects))
+        cluster.dfs.write_records(path, rects, RECT_CODEC)
         paths[name] = path
     return paths
 

@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.io import (
-    decode_rect,
-    decode_tuple,
+    RECT_CODEC,
+    TUPLE_CODEC,
+    TupleRecord,
     encode_result,
-    encode_tuple,
 )
 from repro.errors import JoinError
 from repro.geometry.rectangle import Rect
@@ -42,12 +42,36 @@ from repro.joins.base import (
 from repro.joins.dedup import two_way_range_owner
 from repro.joins.sweep import sweep_pairs
 from repro.mapreduce.engine import Cluster
-from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.mapreduce.job import (
+    MapContext,
+    MapReduceJob,
+    ReduceContext,
+    ShuffleCodec,
+)
 from repro.mapreduce.workflow import Workflow
 from repro.query.graph import JoinGraph
 from repro.query.query import Query, Triple
 
 __all__ = ["CascadeJoin"]
+
+
+def _cascade_value_size(value: tuple) -> int:
+    """Byte size of one shuffle value, matching the string-era layout.
+
+    Tuple side ``("T", TupleRecord)`` is charged as ``("T", line)`` was:
+    2 bytes framing + 1-char tag + the encoded line.  Base side
+    ``("B", rid, Rect)`` is charged as the old flat
+    ``("B", rid, x, y, l, b)``: 2 + 1 + five 8-byte numbers.
+    """
+    if value[0] == "T":
+        return 3 + len(value[1].line)
+    return 43
+
+
+#: int cell-id key -> 8 bytes, values per :func:`_cascade_value_size`
+CASCADE_SHUFFLE_CODEC = ShuffleCodec(
+    key_size=lambda key: 8, value_size=_cascade_value_size
+)
 
 
 @dataclass(frozen=True)
@@ -147,6 +171,10 @@ class CascadeJoin(MultiWayJoinAlgorithm):
             if cluster.dfs.exists(step_output):
                 cluster.dfs.delete(step_output)
             right_path = paths[query.dataset_of(step.new_slot)]
+            if left_is_tuples:
+                input_codec = {left_path: TUPLE_CODEC, right_path: RECT_CODEC}
+            else:
+                input_codec = RECT_CODEC  # both sides are base relations
             job = MapReduceJob(
                 name=f"{self.name}-step{i}-{step.new_slot}",
                 input_paths=(
@@ -162,6 +190,9 @@ class CascadeJoin(MultiWayJoinAlgorithm):
                     grid, query, step, self.index_kind
                 ),
                 num_reducers=grid.num_cells,
+                input_codec=input_codec,
+                output_codec=None if step.is_final else TUPLE_CODEC,
+                shuffle_codec=CASCADE_SHUFFLE_CODEC,
             )
             workflow.run(job)
             left_path = step_output
@@ -189,34 +220,32 @@ def _make_step_mapper(
     d = step.anchor.predicate.distance
     self_first = left_path == right_path and not left_is_tuples
 
-    def emit_tuple_side(line: str, bindings, ctx: MapContext) -> None:
-        routing = bindings[step.anchor_slot][1]
+    def emit_tuple_side(record: TupleRecord, ctx: MapContext) -> None:
+        routing = record.bindings[step.anchor_slot][1]
         if d > 0:
             routing = routing.enlarge(d)
         for cell_id, __ in split(routing, grid):
-            ctx.emit(cell_id, ("T", line))
+            ctx.emit(cell_id, ("T", record))
 
     def emit_base_side(rid: int, rect: Rect, ctx: MapContext) -> None:
         for cell_id, __ in split(rect, grid):
-            ctx.emit(cell_id, ("B", rid, rect.x, rect.y, rect.l, rect.b))
+            ctx.emit(cell_id, ("B", rid, rect))
 
-    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
+    def mapper(key: tuple[str, int], record, ctx: MapContext) -> None:
         path, __ = key
         from_left = path == left_path or path.startswith(left_path + "/")
         if from_left:
             if left_is_tuples:
-                bindings = decode_tuple(line)
-                emit_tuple_side(line, bindings, ctx)
+                emit_tuple_side(record, ctx)
                 return
             # First step: the left side is a base relation; wrap each
             # rectangle as a singleton tuple bound to the first slot.
-            rid, rect = decode_rect(line)
-            tuple_line = encode_tuple({first_slot: (rid, rect)})
-            emit_tuple_side(tuple_line, {first_slot: (rid, rect)}, ctx)
+            rid, rect = record
+            emit_tuple_side(TupleRecord({first_slot: (rid, rect)}), ctx)
             if self_first:
                 emit_base_side(rid, rect, ctx)
             return
-        rid, rect = decode_rect(line)
+        rid, rect = record
         emit_base_side(rid, rect, ctx)
 
     return mapper
@@ -231,7 +260,7 @@ def _make_step_reducer(
     d = step.anchor.predicate.distance
     slot_order = query.slots
 
-    def candidate_pairs(tuple_lines, base_entries):
+    def candidate_pairs(tuple_records, base_entries):
         """Yield (bindings, rid, rect, anchor_rect) candidate pairs.
 
         Two kernels: per-tuple probes of a spatial index over the base
@@ -239,7 +268,7 @@ def _make_step_reducer(
         (``index_kind="sweep"`` — the kernel ablation's winner on dense
         reducers).  Both return the same Chebyshev-``d`` superset.
         """
-        decoded = [decode_tuple(line) for line in tuple_lines]
+        decoded = [record.bindings for record in tuple_records]
         if index_kind == "sweep":
             left = [
                 (t, bindings[step.anchor_slot][1])
@@ -258,19 +287,19 @@ def _make_step_reducer(
                 yield bindings, entry.payload, entry.rect, anchor_rect
 
     def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
-        tuple_lines: list[str] = []
+        tuple_records: list[TupleRecord] = []
         base_entries: list[Entry] = []
         for value in values:
             if value[0] == "T":
-                tuple_lines.append(value[1])
+                tuple_records.append(value[1])
             else:
-                __, rid, x, y, l, b = value
-                base_entries.append(Entry(rect=Rect(x, y, l, b), payload=rid))
-        if not tuple_lines or not base_entries:
+                __, rid, rect = value
+                base_entries.append(Entry(rect=rect, payload=rid))
+        if not tuple_records or not base_entries:
             return
         ops = 0
         for bindings, rid, rect, anchor_rect in candidate_pairs(
-            tuple_lines, base_entries
+            tuple_records, base_entries
         ):
             ops += 1
             if not step.anchor.holds_with(step.new_slot, rect, anchor_rect):
@@ -301,7 +330,9 @@ def _make_step_reducer(
                     )
                 )
             else:
-                ctx.emit(encode_tuple(merged))
+                # Encodes the line once, in the TupleRecord constructor —
+                # the part-file write reuses it verbatim.
+                ctx.emit(TupleRecord(merged))
         ctx.add_compute(ops)
 
     return reducer

@@ -25,12 +25,7 @@ oracle on adversarial random workloads.
 
 from __future__ import annotations
 
-from repro.data.io import (
-    TaggedRect,
-    decode_rect,
-    decode_tagged,
-    encode_tagged,
-)
+from repro.data.io import RECT_CODEC, TAGGED_CODEC, TaggedRect
 from repro.grid.partitioning import GridPartitioning
 from repro.grid.transforms import replicate_f2, split
 from repro.joins.base import (
@@ -47,7 +42,11 @@ from repro.joins.base import (
 from repro.joins.limits import ReplicationLimits
 from repro.joins.local import LocalJoiner
 from repro.joins.marking import MarkingEngine
-from repro.joins.reducers import make_local_join_reducer, rect_value, value_rect
+from repro.joins.reducers import (
+    RECT_SHUFFLE_CODEC,
+    make_local_join_reducer,
+    rect_value,
+)
 from repro.mapreduce.engine import Cluster
 from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
 from repro.mapreduce.workflow import Workflow
@@ -104,6 +103,9 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
             mapper=_make_mark_mapper(grid),
             reducer=_make_mark_reducer(grid, marking),
             num_reducers=grid.num_cells,
+            input_codec=RECT_CODEC,
+            output_codec=TAGGED_CODEC,
+            shuffle_codec=RECT_SHUFFLE_CODEC,
         )
 
         joiner = LocalJoiner(query, self.index_kind)
@@ -114,6 +116,8 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
             mapper=_make_route_mapper(grid, self.limits),
             reducer=make_local_join_reducer(query, grid, joiner),
             num_reducers=grid.num_cells,
+            input_codec=TAGGED_CODEC,
+            shuffle_codec=RECT_SHUFFLE_CODEC,
         )
 
         workflow = Workflow(cluster)
@@ -132,10 +136,10 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
 def _make_mark_mapper(grid: GridPartitioning):
     """Split every rectangle so each overlapped cell can inspect it."""
 
-    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
+    def mapper(key: tuple[str, int], record: tuple, ctx: MapContext) -> None:
         path, __ = key
         dataset = dataset_from_path(path)
-        rid, rect = decode_rect(line)
+        rid, rect = record
         for cell_id, __rect in split(rect, grid):
             ctx.emit(cell_id, rect_value(dataset, rid, rect))
 
@@ -148,22 +152,19 @@ def _make_mark_reducer(grid: GridPartitioning, marking: MarkingEngine):
     def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
         cell = grid.cell_by_id(cell_id)
         received: dict[str, list] = {}
-        for value in values:
-            dataset, rid, rect = value_rect(value)
+        for dataset, rid, rect in values:
             received.setdefault(dataset, []).append((rid, rect))
         decision = marking.select_marked(cell, received)
         ctx.add_compute(decision.ops)
         for dataset, rects in received.items():
             for rid, rect in rects:
-                if grid.cell_of(rect).cell_id != cell_id:
+                if grid.cell_id_of(rect) != cell_id:
                     continue  # another cell owns this rectangle's output
                 marked = (dataset, rid) in decision.marked
                 if marked:
                     ctx.counter(JOIN_COUNTERS, CNT_MARKED)
                 ctx.emit(
-                    encode_tagged(
-                        TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
-                    )
+                    TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
                 )
 
     return reducer
@@ -175,8 +176,7 @@ def _make_mark_reducer(grid: GridPartitioning, marking: MarkingEngine):
 def _make_route_mapper(grid: GridPartitioning, limits: ReplicationLimits):
     """Replicate marked rectangles (f1 / limited f2), project the rest."""
 
-    def mapper(key: tuple[str, int], line: str, ctx: MapContext) -> None:
-        tagged = decode_tagged(line)
+    def mapper(key: tuple[str, int], tagged: TaggedRect, ctx: MapContext) -> None:
         value = rect_value(tagged.dataset, tagged.rid, tagged.rect)
         if tagged.marked:
             bound = limits.bound_for(tagged.dataset)
@@ -186,7 +186,7 @@ def _make_route_mapper(grid: GridPartitioning, limits: ReplicationLimits):
                 ctx.emit(cell_id, value)
                 ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION)
         else:
-            ctx.emit(grid.cell_of(tagged.rect).cell_id, value)
+            ctx.emit(grid.cell_id_of(tagged.rect), value)
             # The paper's "rectangles after replication" metric counts all
             # rectangles communicated to round-2 reducers, projections
             # included (Table 2: 0.05m marked -> 3.9m ≈ 3m projected +

@@ -43,7 +43,7 @@ def two_way_overlap_owner(
     overlap = r1.intersection(r2)
     if overlap is None:
         return None
-    return grid.cell_of(overlap).cell_id
+    return grid.cell_id_of(overlap)
 
 
 def two_way_range_owner(
@@ -64,7 +64,7 @@ def two_way_range_owner(
     overlap = r1.enlarge(d).intersection(r2) if d > 0 else r1.intersection(r2)
     if overlap is None:
         return None
-    return grid.cell_of(overlap).cell_id
+    return grid.cell_id_of(overlap)
 
 
 def tuple_owner(rects: Iterable[Rect], grid: GridPartitioning) -> int:
@@ -78,4 +78,4 @@ def tuple_owner(rects: Iterable[Rect], grid: GridPartitioning) -> int:
         raise JoinError("tuple_owner() of an empty tuple")
     max_x = max(x for x, __ in xs_ys)
     min_y = min(y for __, y in xs_ys)
-    return grid.cell_of_point(max_x, min_y).cell_id
+    return grid.cell_id_of_point(max_x, min_y)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import JoinError
 from repro.geometry.rectangle import Rect
@@ -104,55 +105,77 @@ class LocalJoiner:
         if any(not rects_by_slot[p.slot] for p in self.plans):
             return [], 0
 
-        # Index every slot that is generated through an anchor probe.
-        indexes = {
-            p.slot: make_index(
-                self.index_kind,
-                [Entry(rect=r, payload=rid) for rid, r in rects_by_slot[p.slot]],
-            )
-            for p in self.plans[1:]
-        }
+        # Indexes are built lazily, on a slot's first probe: when the
+        # search never reaches a depth (every candidate of an earlier
+        # slot was rejected), that slot's bag is never indexed at all.
+        # An unbuilt index has zero probes, so the compute-cost sum
+        # below is unchanged either way.
+        indexes: dict[str, Any] = {}
+        index_kind = self.index_kind
+
+        def index_for(slot: str):
+            idx = indexes.get(slot)
+            if idx is None:
+                idx = make_index(
+                    index_kind,
+                    [Entry(rect=r, payload=rid) for rid, r in rects_by_slot[slot]],
+                )
+                indexes[slot] = idx
+            return idx
 
         checks = 0
         results: list[Assignment] = []
         assignment: Assignment = {}
+        plans = self.plans
+        nplans = len(plans)
 
         def bind(depth: int) -> None:
             nonlocal checks
-            if depth == len(self.plans):
+            if depth == nplans:
                 results.append(dict(assignment))
                 return
-            plan = self.plans[depth]
-            if plan.anchor is None:
+            plan = plans[depth]
+            slot = plan.slot
+            anchor = plan.anchor
+            if anchor is None:
+                anchor_rect = None
+                anchor_holds = None
                 candidates: Iterator[tuple[int, Rect]] = iter(
-                    rects_by_slot[plan.slot]
+                    rects_by_slot[slot]
                 )
             else:
                 anchor_rect = assignment[plan.anchor_slot][1]
-                d = plan.anchor.predicate.distance
+                anchor_holds = anchor.holds_with
                 candidates = (
                     (e.payload, e.rect)
-                    for e in indexes[plan.slot].search(anchor_rect, d)
+                    for e in index_for(slot).search(
+                        anchor_rect, anchor.predicate.distance
+                    )
                 )
+            # Bindings of earlier slots are fixed for this whole loop —
+            # look them up once, not per candidate.
+            bound_rids = [assignment[s][0] for s in plan.same_dataset]
+            bound_checks = [(t, assignment[o][1]) for t, o in plan.checks]
+            next_depth = depth + 1
             for rid, rect in candidates:
                 checks += 1
-                if plan.anchor is not None and not plan.anchor.holds_with(
-                    plan.slot, rect, assignment[plan.anchor_slot][1]
+                if anchor_holds is not None and not anchor_holds(
+                    slot, rect, anchor_rect
                 ):
                     continue
-                if any(assignment[s][0] == rid for s in plan.same_dataset):
+                if rid in bound_rids:
                     continue
                 ok = True
-                for triple, other in plan.checks:
+                for triple, other_rect in bound_checks:
                     checks += 1
-                    if not triple.holds_with(plan.slot, rect, assignment[other][1]):
+                    if not triple.holds_with(slot, rect, other_rect):
                         ok = False
                         break
                 if not ok:
                     continue
-                assignment[plan.slot] = (rid, rect)
-                bind(depth + 1)
-                del assignment[plan.slot]
+                assignment[slot] = (rid, rect)
+                bind(next_depth)
+                del assignment[slot]
 
         bind(0)
         # Index probe work is part of the reducer's compute cost: the

@@ -4,6 +4,13 @@ All-Replicate's single reduce and Controlled-Replicate's second-round
 reduce are the same computation: rebuild per-slot rectangle bags from the
 shuffled values, enumerate the local multi-way join, and report only the
 tuples this cell owns under the Section 6.2 rule.
+
+Rectangles cross the shuffle as ``(dataset, rid, Rect)`` triples — the
+:class:`~repro.geometry.rectangle.Rect` object itself, never flattened
+to coordinates and rebuilt.  Byte accounting still reports the
+string-era layout ``(dataset, rid, x, y, l, b)`` through
+:data:`RECT_SHUFFLE_CODEC`, so shuffle volumes (and the simulated cost
+derived from them) are identical to the seed.
 """
 
 from __future__ import annotations
@@ -14,21 +21,29 @@ from repro.grid.partitioning import GridPartitioning
 from repro.joins.base import CNT_OUTPUT_TUPLES, JOIN_COUNTERS
 from repro.joins.dedup import tuple_owner
 from repro.joins.local import LocalJoiner
-from repro.mapreduce.job import ReduceContext
+from repro.mapreduce.job import ReduceContext, ShuffleCodec
 from repro.query.query import Query
 
-__all__ = ["rect_value", "value_rect", "make_local_join_reducer"]
+__all__ = ["rect_value", "value_rect", "RECT_SHUFFLE_CODEC", "make_local_join_reducer"]
 
 
 def rect_value(dataset: str, rid: int, rect: Rect) -> tuple:
     """The shuffle value carrying one tagged rectangle."""
-    return (dataset, rid, rect.x, rect.y, rect.l, rect.b)
+    return (dataset, rid, rect)
 
 
 def value_rect(value: tuple) -> tuple[str, int, Rect]:
     """Inverse of :func:`rect_value`."""
-    dataset, rid, x, y, l, b = value
-    return dataset, rid, Rect(x, y, l, b)
+    return value
+
+
+#: Sizes a ``(cell_id, rect_value(...))`` pair exactly like the generic
+#: estimate sized the old flat tuple: int key -> 8; value -> 2 bytes of
+#: framing + dataset name + five 8-byte numbers (rid and 4 coordinates).
+RECT_SHUFFLE_CODEC = ShuffleCodec(
+    key_size=lambda key: 8,
+    value_size=lambda value: 42 + len(value[0]),
+)
 
 
 def make_local_join_reducer(
@@ -39,8 +54,7 @@ def make_local_join_reducer(
 
     def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
         by_dataset: dict[str, list[tuple[int, Rect]]] = {}
-        for value in values:
-            dataset, rid, rect = value_rect(value)
+        for dataset, rid, rect in values:
             by_dataset.setdefault(dataset, []).append((rid, rect))
         rects_by_slot = {
             slot: by_dataset.get(query.dataset_of(slot), [])

@@ -39,49 +39,54 @@ def sweep_pairs(
     if not left or not right:
         return
 
-    ls = sorted(left, key=lambda p: p[1].x_min)
-    rs = sorted(right, key=lambda p: p[1].x_min)
+    # Bounds are extracted exactly once per rectangle — the sweep inner
+    # loop compares plain floats, never touching Rect again.  Entries are
+    # ``(id, x_min, x_max, y_min, y_max)``; the sort is stable, so ties
+    # keep input order and the yield order matches the Rect-based sweep.
+    ls = sorted(
+        ((i, r.x_min, r.x_max, r.y_min, r.y_max) for i, r in left),
+        key=lambda e: e[1],
+    )
+    rs = sorted(
+        ((i, r.x_min, r.x_max, r.y_min, r.y_max) for i, r in right),
+        key=lambda e: e[1],
+    )
+    nl, nr = len(ls), len(rs)
 
     # Active lists hold entries whose (d-padded) x-interval has started
     # and may still intersect upcoming partners.  Lazy pruning: stale
-    # entries are swept out when scanned.
-    active_l: list[tuple[Any, Rect]] = []
-    active_r: list[tuple[Any, Rect]] = []
+    # entries are compacted out in place when scanned (write index),
+    # preserving the survivors' order without allocating a new list.
+    active_l: list[tuple[Any, float, float, float, float]] = []
+    active_r: list[tuple[Any, float, float, float, float]] = []
     i = j = 0
 
-    def y_close(a: Rect, b: Rect) -> bool:
-        return a.y_min - d <= b.y_max and b.y_min - d <= a.y_max
-
-    while i < len(ls) or j < len(rs):
-        take_left = j >= len(rs) or (
-            i < len(ls) and ls[i][1].x_min <= rs[j][1].x_min
-        )
-        if take_left:
-            lid, lrect = ls[i]
+    while i < nl or j < nr:
+        if j >= nr or (i < nl and ls[i][1] <= rs[j][1]):
+            event = ls[i]
             i += 1
-            threshold = lrect.x_min - d
-            keep = []
-            for rid, rrect in active_r:
-                if rrect.x_max < threshold:
-                    continue  # expired in x; prune
-                keep.append((rid, rrect))
-                if y_close(lrect, rrect):
-                    yield (lid, rid)
-            active_r[:] = keep
-            active_l.append((lid, lrect))
+            partners, grow = active_r, active_l
         else:
-            rid, rrect = rs[j]
+            event = rs[j]
             j += 1
-            threshold = rrect.x_min - d
-            keep = []
-            for lid, lrect in active_l:
-                if lrect.x_max < threshold:
-                    continue
-                keep.append((lid, lrect))
-                if y_close(lrect, rrect):
-                    yield (lid, rid)
-            active_l[:] = keep
-            active_r.append((rid, rrect))
+            partners, grow = active_l, active_r
+        eid, x_min, __, y_min, y_max = event
+        threshold = x_min - d
+        y_lo = y_min - d
+        write = 0
+        for other in partners:
+            if other[2] < threshold:
+                continue  # expired in x; prune
+            partners[write] = other
+            write += 1
+            # y_close: both d-padded y-intervals overlap (symmetric)
+            if y_lo <= other[4] and other[3] - d <= y_max:
+                if partners is active_r:
+                    yield (eid, other[0])
+                else:
+                    yield (other[0], eid)
+        del partners[write:]
+        grow.append(event)
 
 
 def sweep_join_count(

@@ -28,17 +28,53 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.data.io import decode_rect, rects_to_lines
-from repro.errors import JoinError
+from repro.data.io import RECT_CODEC, RecordCodec
+from repro.errors import DFSError, JoinError
 from repro.geometry.rectangle import Rect
 from repro.grid.partitioning import GridPartitioning
 from repro.grid.transforms import split
 from repro.mapreduce.cost import CostModel
 from repro.mapreduce.engine import Cluster
-from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.mapreduce.job import (
+    MapContext,
+    MapReduceJob,
+    ReduceContext,
+    ShuffleCodec,
+)
 from repro.mapreduce.workflow import Workflow, WorkflowResult
 
 __all__ = ["KnnJoin", "KnnResult"]
+
+
+class _QueryCodec(RecordCodec):
+    """Round-input query records: ``(rid, Rect, radius)`` <-> one line."""
+
+    name = "knn-query"
+
+    def encode(self, record) -> str:
+        rid, r, radius = record
+        return f"{rid},{r.x!r},{r.y!r},{r.l!r},{r.b!r},{radius!r}"
+
+    def decode(self, line: str):
+        try:
+            rid_s, x, y, l, b, radius_s = line.split(",")
+            return (
+                int(rid_s),
+                Rect(float(x), float(y), float(l), float(b)),
+                float(radius_s),
+            )
+        except (ValueError, TypeError) as exc:
+            raise DFSError(f"malformed kNN query record {line!r}") from exc
+
+
+_QUERY_CODEC = _QueryCodec()
+
+#: shuffle sizing matching the string-era flat values
+#: ``(tag, rid, x, y, l, b)``: int key -> 8; value -> 2 bytes framing +
+#: 1-char tag + five 8-byte numbers.
+_KNN_SHUFFLE_CODEC = ShuffleCodec(
+    key_size=lambda key: 8, value_size=lambda value: 43
+)
 
 #: one neighbour: (distance, data rid) — tuples sort lexicographically,
 #: which is also the deterministic tie-break
@@ -100,7 +136,7 @@ class KnnJoin:
             raise JoinError("kNN join needs a non-empty data relation")
         if len({rid for rid, __ in queries}) != len(queries):
             raise JoinError("query rids must be unique")
-        cluster.dfs.write_file("knn/data", rects_to_lines(data))
+        cluster.dfs.write_records("knn/data", data, RECT_CODEC)
         workflow = Workflow(cluster)
 
         density = len(data) / max(grid.space.area, 1e-12)
@@ -143,12 +179,13 @@ class KnnJoin:
         for stale in (qpath, candidates_dir):
             if cluster.dfs.exists(stale):
                 cluster.dfs.delete(stale)
-        cluster.dfs.write_file(
+        cluster.dfs.write_records(
             qpath,
             [
-                f"{rid},{rect.x!r},{rect.y!r},{rect.l!r},{rect.b!r},{radius!r}"
+                (rid, rect, radius)
                 for rid, (rect, radius) in sorted(pending.items())
             ],
+            _QUERY_CODEC,
         )
 
         candidates_path = candidates_dir
@@ -159,6 +196,8 @@ class KnnJoin:
             mapper=self._candidates_mapper(grid, qpath),
             reducer=self._candidates_reducer(),
             num_reducers=grid.num_cells,
+            input_codec={qpath: _QUERY_CODEC, "knn/data": RECT_CODEC},
+            shuffle_codec=_KNN_SHUFFLE_CODEC,
         )
         workflow.run(job)
 
@@ -191,21 +230,16 @@ class KnnJoin:
 
     # ------------------------------------------------------------------
     def _candidates_mapper(self, grid: GridPartitioning, qpath: str):
-        def mapper(key, line: str, ctx: MapContext) -> None:
+        def mapper(key, record, ctx: MapContext) -> None:
             path, __ = key
             if path == qpath or path.startswith(qpath + "/"):
-                rid_s, x, y, l, b, radius_s = line.split(",")
-                rect = Rect(float(x), float(y), float(l), float(b))
-                radius = float(radius_s)
+                rid, rect, radius = record
                 for cell in grid.cells_within(rect, radius):
-                    ctx.emit(
-                        cell.cell_id,
-                        ("Q", int(rid_s), rect.x, rect.y, rect.l, rect.b),
-                    )
+                    ctx.emit(cell.cell_id, ("Q", rid, rect))
                 return
-            rid, rect = decode_rect(line)
+            rid, rect = record
             for cell_id, __rect in split(rect, grid):
-                ctx.emit(cell_id, ("D", rid, rect.x, rect.y, rect.l, rect.b))
+                ctx.emit(cell_id, ("D", rid, rect))
 
         return mapper
 
@@ -215,8 +249,8 @@ class KnnJoin:
         def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
             qs: list[tuple[int, Rect]] = []
             ds: list[tuple[int, Rect]] = []
-            for tag, rid, x, y, l, b in values:
-                (qs if tag == "Q" else ds).append((rid, Rect(x, y, l, b)))
+            for tag, rid, rect in values:
+                (qs if tag == "Q" else ds).append((rid, rect))
             if not qs or not ds:
                 return
             ops = 0

@@ -4,10 +4,20 @@ The paper's cluster stores inputs and intermediate results on HDFS; the
 reproduction replaces it with an in-process store that keeps the two
 properties the evaluation depends on:
 
-* files are line-oriented text (records cross job boundaries as parsed
-  text, never as shared Python objects), and
+* every file has a canonical line-oriented text form — sizes, the final
+  join output and externally-visible reads are always the encoded
+  lines — and
 * every byte read or written is accounted, because the read/write volume
   of the 2-way Cascade is one of the paper's two cost stories.
+
+Since PR 2 a file may additionally carry its *typed records*: when a
+reduce phase writes through a :class:`~repro.data.io.RecordCodec`, each
+record is encoded exactly once (the lines above — that write is what the
+byte accounting charges) and the decoded objects are kept alongside.  A
+downstream job that declares a matching input codec reads the objects
+back without re-parsing; byte accounting is unchanged because reads are
+still charged at the encoded size.  Rewriting or deleting a path drops
+its typed records, so lines stay the source of truth.
 
 Paths behave like HDFS paths: plain strings with ``/`` separators.  A job
 writes one ``part-NNNNN`` file per reducer under its output directory and
@@ -16,7 +26,8 @@ downstream jobs read the directory back via :meth:`InMemoryDFS.read_dir`.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import DFSError
 
@@ -34,6 +45,10 @@ class InMemoryDFS:
 
     def __init__(self) -> None:
         self._files: dict[str, list[str]] = {}
+        #: typed-record shadow of ``_files`` (only codec-written paths):
+        #: path -> (codec name, records); the codec name guards against
+        #: reading one format's objects through another format's codec
+        self._records: dict[str, tuple[str, list[Any]]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -55,8 +70,60 @@ class InMemoryDFS:
             stored.append(line)
             nbytes += len(line) + 1
         self._files[path] = stored
+        self._records.pop(path, None)
         self.bytes_written += nbytes
         return nbytes
+
+    def write_records(self, path: str, records: Sequence[Any], codec) -> int:
+        """Create (or replace) a file from typed records — encode once.
+
+        Each record is serialized through ``codec`` exactly here: the
+        lines are the durable, accounted form (identical bytes to a
+        string-path writer), and the objects are kept so a downstream
+        job reading with the same codec skips the parse entirely.
+        """
+        records = list(records)
+        nbytes = self.write_file(path, [codec.encode(r) for r in records])
+        self._records[_normalize(path)] = (codec.name, records)
+        return nbytes
+
+    def typed_records(self, path: str, codec) -> list[Any] | None:
+        """The typed records of a codec-written file, or ``None``.
+
+        Returns the resident objects only when they were produced by the
+        same codec (matched by registry name) — a format mismatch falls
+        back to ``None`` and the caller decodes the lines, which raises
+        the usual malformed-record error.
+
+        Does **not** account a read: callers pair this with
+        :meth:`read_file` (or :meth:`file_size`) so the charged volume is
+        exactly the encoded size, typed or not.  The returned list is
+        shared — records are treated as immutable by convention (the
+        engine never mutates shuffled values).
+        """
+        cached = self._records.get(_normalize(path))
+        if cached is None or cached[0] != codec.name:
+            return None
+        return cached[1]
+
+    def cache_records(self, path: str, records: Sequence[Any], codec) -> None:
+        """Attach decoded records to an existing line file (decode once).
+
+        Used by the engine after lazily decoding a file that was written
+        as plain lines (e.g. externally staged input), so repeated reads
+        — the Cascade re-reads base relations at every step — parse each
+        line at most once per file version.
+        """
+        norm = _normalize(path)
+        if norm not in self._files:
+            raise DFSError(f"no such file: {path!r}")
+        records = list(records)
+        if len(records) != len(self._files[norm]):
+            raise DFSError(
+                f"typed record count {len(records)} does not match the "
+                f"{len(self._files[norm])} lines of {path!r}"
+            )
+        self._records[norm] = (codec.name, records)
 
     def read_file(self, path: str) -> list[str]:
         """All lines of a file; accounts the read volume."""
@@ -132,6 +199,7 @@ class InMemoryDFS:
         doomed = [norm] if norm in self._files else self.list_dir(norm)
         for f in doomed:
             del self._files[f]
+            self._records.pop(f, None)
         return len(doomed)
 
     def __contains__(self, path: str) -> bool:

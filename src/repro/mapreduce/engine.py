@@ -11,6 +11,14 @@ reproducing the data flow of Section 2:
 4. each reduce task folds over its key groups and writes one
    ``part-NNNNN`` file back to the DFS.
 
+Records cross this pipeline as Python objects when the job declares
+record codecs (the typed record path of PR 2): map input is decoded at
+most once per file version, shuffle values are whatever the mapper
+emitted, and reduce output is encoded exactly once at part-file write —
+with byte accounting identical to the string path at every stage (the
+job's shuffle codec reproduces the string-era sizes, and DFS volumes are
+always the encoded lines).
+
 Tasks are dispatched through a pluggable
 :class:`~repro.mapreduce.executor.TaskExecutor` (``serial``, ``thread``
 or ``process``), so the k-way parallelism the cost model *assumes* can
@@ -74,10 +82,16 @@ class JobResult:
 # ----------------------------------------------------------------------
 @dataclass
 class _MapPhase:
-    """Immutable payload shared by every map task of one job."""
+    """Immutable payload shared by every map task of one job.
+
+    Split entries are ``(path, lineno, record, nbytes)``: the map input
+    record (a text line, or a typed record when the job declares an
+    input codec) plus its encoded size, so map-side byte accounting is
+    identical on both paths.
+    """
 
     job: MapReduceJob
-    splits: list[list[tuple[str, int, str]]]
+    splits: list[list[tuple[str, int, Any, int]]]
 
 
 @dataclass
@@ -104,9 +118,13 @@ class _ReducePhase:
 
 @dataclass
 class _ReduceTaskResult:
-    """What one reduce task hands back to the engine."""
+    """What one reduce task hands back to the engine.
 
-    lines: list[str]
+    ``lines`` holds text lines, or typed records for jobs with an
+    ``output_codec`` (the engine encodes them once at part-file write).
+    """
+
+    lines: list[Any]
     input_records: int
     compute_ops: int
     counters: Counters
@@ -136,13 +154,13 @@ def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
     job = phase.job
     split = phase.splits[index]
     counters = Counters()
-    ctx = MapContext(counters, job.num_reducers, job.partitioner)
+    ctx = MapContext(counters, job.num_reducers, job.partitioner, job.shuffle_codec)
     mapper = job.mapper
     nbytes = 0
-    for path, lineno, line in split:
-        nbytes += len(line) + 1
+    for path, lineno, record, record_bytes in split:
+        nbytes += record_bytes
         try:
-            mapper((path, lineno), line, ctx)
+            mapper((path, lineno), record, ctx)
         except Exception as exc:  # noqa: BLE001 - wrap task failures
             raise JobError(
                 f"map task failed in job {job.name!r} on "
@@ -177,18 +195,18 @@ def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> N
     accounting reuses the per-bucket totals tracked at emission time and
     sizes each combined key once per group, not once per record.
     """
-    from repro.mapreduce.job import estimate_size
-
+    key_size = job.shuffle_codec.key_size
+    value_size = job.shuffle_codec.value_size
     for r, bucket in enumerate(ctx.buckets):
         if not bucket:
             continue
         combined: list[tuple] = []
         new_bytes = 0
         for key, values in _grouped(_sorted_by_key(bucket, job.sort_key)):
-            key_bytes = estimate_size(key)
+            key_bytes = key_size(key)
             for value in job.combiner(key, values):
                 combined.append((key, value))
-                new_bytes += key_bytes + estimate_size(value)
+                new_bytes += key_bytes + value_size(value)
         old_bytes = ctx.bucket_bytes[r]
         counters.add(C.GROUP_ENGINE, C.COMBINE_INPUT_RECORDS, len(bucket))
         counters.add(C.GROUP_ENGINE, C.COMBINE_OUTPUT_RECORDS, len(combined))
@@ -249,6 +267,15 @@ class Cluster:
         :mod:`repro.mapreduce.executor`.
     num_workers:
         Worker count for the parallel back-ends (``None`` = usable CPUs).
+    typed_io:
+        ``True`` (default): jobs with record codecs hand typed records
+        across job boundaries — DFS-resident objects are reused and line
+        files are decoded at most once per file version.  ``False``
+        forces the seed codec path: every input record is re-parsed from
+        its line on every read (string-era per-record costs), which the
+        golden equivalence tests and the PR 2 benchmark use as the
+        before-side.  Both settings produce byte-identical output and
+        identical counters.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -256,6 +283,7 @@ class Cluster:
     split_records: int = 20_000
     executor: str = "serial"
     num_workers: int | None = None
+    typed_io: bool = True
 
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job; raises :class:`JobError` on task failure."""
@@ -299,14 +327,25 @@ class Cluster:
     # ------------------------------------------------------------------
     # Map phase
     # ------------------------------------------------------------------
-    def _input_splits(self, job: MapReduceJob) -> list[list[tuple[str, int, str]]]:
-        """Split input files into map tasks of ``split_records`` records."""
-        splits: list[list[tuple[str, int, str]]] = []
-        current: list[tuple[str, int, str]] = []
+    def _input_splits(self, job: MapReduceJob) -> list[list[tuple[str, int, Any, int]]]:
+        """Split input files into map tasks of ``split_records`` records.
+
+        Entries are ``(path, lineno, record, nbytes)``.  Reads are always
+        charged at the encoded line size via :meth:`InMemoryDFS.read_file`;
+        with an input codec the record is the decoded object — taken from
+        the DFS typed store when the upstream job wrote through a codec,
+        decoded once and cached otherwise, or re-parsed per read when
+        ``typed_io`` is off (the seed codec path).
+        """
+        splits: list[list[tuple[str, int, Any, int]]] = []
+        current: list[tuple[str, int, Any, int]] = []
         for path in job.input_paths:
+            codec = job.input_codec_for(path)
             for f in self.dfs.resolve(path):
-                for lineno, line in enumerate(self.dfs.read_file(f)):
-                    current.append((f, lineno, line))
+                lines = self.dfs.read_file(f)
+                records = self._file_records(job, f, lines, codec)
+                for lineno, line in enumerate(lines):
+                    current.append((f, lineno, records[lineno], len(line) + 1))
                     if len(current) >= self.split_records:
                         splits.append(current)
                         current = []
@@ -315,6 +354,39 @@ class Cluster:
                     splits.append(current)
                     current = []
         return splits
+
+    def _file_records(
+        self, job: MapReduceJob, f: str, lines: list[str], codec
+    ) -> list[Any]:
+        """The map-input records of one file (lines, or decoded objects)."""
+        if codec is None:
+            return lines
+        if self.typed_io:
+            records = self.dfs.typed_records(f, codec)
+            if records is None:
+                records = self._decode_lines(job, f, lines, codec)
+                self.dfs.cache_records(f, records, codec)
+            return records
+        return self._decode_lines(job, f, lines, codec)
+
+    @staticmethod
+    def _decode_lines(job: MapReduceJob, f: str, lines: list[str], codec) -> list[Any]:
+        """Decode a file's lines, wrapping failures as map-task errors.
+
+        Record decoding belongs to the map task (Hadoop's RecordReader
+        runs inside it), so a malformed record fails with the same
+        located error a mapper-side parse failure used to raise.
+        """
+        records = []
+        for lineno, line in enumerate(lines):
+            try:
+                records.append(codec.decode(line))
+            except Exception as exc:  # noqa: BLE001 - wrap task failures
+                raise JobError(
+                    f"map task failed in job {job.name!r} on "
+                    f"{f}:{lineno}: {exc}"
+                ) from exc
+        return records
 
     def _run_map_phase(
         self, job: MapReduceJob, counters: Counters, executor
@@ -355,7 +427,14 @@ class Cluster:
         for r, result in enumerate(task_results):
             counters.merge(result.counters)
             part_path = f"{job.output_path}/part-{r:05d}"
-            nbytes = self.dfs.write_file(part_path, result.lines)
+            if job.output_codec is not None:
+                # Encode-once: records become lines (byte accounting and
+                # durability) and stay resident for the next job's map.
+                nbytes = self.dfs.write_records(
+                    part_path, result.lines, job.output_codec
+                )
+            else:
+                nbytes = self.dfs.write_file(part_path, result.lines)
             total_output += len(result.lines)
             stats.append(
                 TaskStats(
@@ -376,25 +455,30 @@ class Cluster:
     ) -> tuple[list[TaskStats], int]:
         """Map-only jobs write partitioned but unsorted/unreduced output.
 
-        Map emissions must already be text lines (``value`` is written
-        verbatim, the key only drives partitioning).
+        Without an ``output_codec`` map emissions must already be text
+        lines (``value`` is written verbatim, the key only drives
+        partitioning); with one, emissions are typed records encoded
+        once at write time.
         """
         stats: list[TaskStats] = []
         total_output = 0
         for r in range(job.num_reducers):
-            lines: list[str] = []
+            lines: list[Any] = []
             input_bytes = 0
             for result in map_results:
                 input_bytes += result.bucket_bytes[r]
                 for __, value in result.buckets[r]:
-                    if not isinstance(value, str):
+                    if job.output_codec is None and not isinstance(value, str):
                         raise JobError(
                             f"map-only job {job.name!r} emitted a non-string "
                             f"value: {value!r}"
                         )
                     lines.append(value)
             part_path = f"{job.output_path}/part-{r:05d}"
-            nbytes = self.dfs.write_file(part_path, lines)
+            if job.output_codec is not None:
+                nbytes = self.dfs.write_records(part_path, lines, job.output_codec)
+            else:
+                nbytes = self.dfs.write_file(part_path, lines)
             counters.add(C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS, len(lines))
             total_output += len(lines)
             stats.append(

@@ -5,19 +5,34 @@ A job is the classic two-function program::
     map:    (k1, v1)   -> [(k2, v2)]
     reduce: (k2, [v2]) -> [k3/v3 output records]
 
-Map input records are ``(line_number, line)`` pairs read from DFS text
-files; reduce output records are text lines written back to DFS.  The
-intermediate keys of every join job in this library are partition-cell
-ids (ints) and the intermediate values are small tuples; their size is
-estimated by :func:`estimate_size` for shuffle accounting.
+Map input records are ``(line_number, record)`` pairs read from DFS
+files; reduce output records are written back to DFS.  By default both
+sides are text lines, but a job may declare record codecs
+(:class:`~repro.data.io.RecordCodec`):
+
+* ``input_codec`` — map input crosses as typed records (decoded once at
+  split time, or handed over decoded from the upstream job's reduce);
+  a mapping assigns a codec per declared input path for jobs mixing
+  record formats.
+* ``output_codec`` — reduce emissions are typed records; the engine
+  encodes each exactly once when writing the part file (byte accounting
+  and durability) and keeps the objects for the next job in the chain.
+
+The intermediate keys of every join job in this library are
+partition-cell ids (ints) and the intermediate values are small tuples;
+their shuffle size is charged through the job's :class:`ShuffleCodec`,
+which defaults to the generic :func:`estimate_size` walk.  Typed jobs
+install O(1) sizers that reproduce the exact byte counts the string
+path would report, so the cost model sees identical volumes either way.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.data.io import RecordCodec
 from repro.errors import JobError
 from repro.mapreduce.counters import C, Counters
 
@@ -25,6 +40,8 @@ __all__ = [
     "MapReduceJob",
     "MapContext",
     "ReduceContext",
+    "ShuffleCodec",
+    "DEFAULT_SHUFFLE_CODEC",
     "estimate_size",
     "identity_partitioner",
     "hash_partitioner",
@@ -58,6 +75,25 @@ def estimate_size(obj: Any) -> int:
     return 16  # conservative default for exotic values
 
 
+@dataclass(frozen=True)
+class ShuffleCodec:
+    """Per-job byte sizing of intermediate ``(key, value)`` pairs.
+
+    ``key_size``/``value_size`` return the charged serialized size of one
+    key/value.  The default walks the object with :func:`estimate_size`;
+    typed jobs install constant-time sizers that reproduce the byte
+    counts of their string-era value layout, keeping MAP_OUTPUT_BYTES —
+    and everything the cost model derives from it — unchanged.
+    """
+
+    key_size: Callable[[Any], int]
+    value_size: Callable[[Any], int]
+
+
+#: the seed behaviour: generic structural size estimate on both parts
+DEFAULT_SHUFFLE_CODEC = ShuffleCodec(estimate_size, estimate_size)
+
+
 def identity_partitioner(key: Any, num_reducers: int) -> int:
     """Route integer keys directly: reducer ``key % num_reducers``.
 
@@ -75,10 +111,19 @@ def hash_partitioner(key: Any, num_reducers: int) -> int:
 class MapContext:
     """Per-map-task emission context."""
 
-    def __init__(self, counters: Counters, num_reducers: int, partitioner) -> None:
+    def __init__(
+        self,
+        counters: Counters,
+        num_reducers: int,
+        partitioner,
+        shuffle_codec: ShuffleCodec = DEFAULT_SHUFFLE_CODEC,
+    ) -> None:
         self._counters = counters
         self._num_reducers = num_reducers
         self._partitioner = partitioner
+        # Bound once: emit() is the hottest call in a map task.
+        self._key_size = shuffle_codec.key_size
+        self._value_size = shuffle_codec.value_size
         self.buckets: list[list[tuple[Any, Any]]] = [[] for __ in range(num_reducers)]
         #: estimated bytes per bucket — the reduce task that merges
         #: bucket ``r`` of every map task charges these as input bytes
@@ -96,7 +141,7 @@ class MapContext:
                 f"partitioner routed key {key!r} to invalid reducer {r}"
             )
         self.buckets[r].append((key, value))
-        nbytes = estimate_size(key) + estimate_size(value)
+        nbytes = self._key_size(key) + self._value_size(value)
         self.bucket_bytes[r] += nbytes
         self.output_records += 1
         self.output_bytes += nbytes
@@ -119,13 +164,20 @@ class ReduceContext:
     def __init__(self, counters: Counters, reducer_id: int) -> None:
         self._counters = counters
         self.reducer_id = reducer_id
-        self.output_lines: list[str] = []
+        #: emitted output records: text lines, or typed records when the
+        #: job declares an ``output_codec`` (encoded once at write time)
+        self.output_lines: list[Any] = []
         self.input_records = 0
         self.compute_ops = 0
 
-    def emit(self, line: str) -> None:
-        """Emit one output record (a text line written to this task's part file)."""
-        self.output_lines.append(line)
+    def emit(self, record: Any) -> None:
+        """Emit one output record for this task's part file.
+
+        A text line for codec-less jobs; a typed record (encoded exactly
+        once by the engine when the part file is written) for jobs with
+        an ``output_codec``.
+        """
+        self.output_lines.append(record)
         self._counters.add(C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS)
 
     def add_compute(self, ops: int) -> None:
@@ -165,6 +217,19 @@ class MapReduceJob:
         applied per map task and per reducer bucket before the shuffle —
         Hadoop's combiner.  Must be semantically idempotent with the
         reducer's aggregation (sums, counts, maxima...).
+    input_codec:
+        ``None`` (map input is raw text lines, the seed behaviour), one
+        :class:`~repro.data.io.RecordCodec` applied to every input path,
+        or a mapping ``declared input path -> codec`` for jobs whose
+        inputs mix record formats (the Cascade steps read partially
+        joined tuples on one side and base rectangles on the other).
+    output_codec:
+        ``None`` (reduce emissions are text lines) or the codec of the
+        typed records the reducer emits.  The engine encodes each record
+        exactly once when writing the part file and hands the objects to
+        the next job in the chain.
+    shuffle_codec:
+        Byte sizing of intermediate pairs; see :class:`ShuffleCodec`.
     """
 
     name: str
@@ -176,6 +241,9 @@ class MapReduceJob:
     partitioner: Callable[[Any, int], int] = identity_partitioner
     sort_key: Callable[[Any], Any] = field(default=lambda k: k)
     combiner: Callable[[Any, list], list] | None = None
+    input_codec: RecordCodec | Mapping[str, RecordCodec] | None = None
+    output_codec: RecordCodec | None = None
+    shuffle_codec: ShuffleCodec = DEFAULT_SHUFFLE_CODEC
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
@@ -184,6 +252,19 @@ class MapReduceJob:
             raise JobError(f"job {self.name!r} has no input paths")
         if not self.output_path:
             raise JobError(f"job {self.name!r} has no output path")
+        if isinstance(self.input_codec, Mapping):
+            unknown = set(self.input_codec) - set(self.input_paths)
+            if unknown:
+                raise JobError(
+                    f"job {self.name!r} assigns codecs to non-input "
+                    f"paths: {sorted(unknown)}"
+                )
+
+    def input_codec_for(self, input_path: str) -> RecordCodec | None:
+        """The codec decoding records of one *declared* input path."""
+        if isinstance(self.input_codec, Mapping):
+            return self.input_codec.get(input_path)
+        return self.input_codec
 
 
 def format_output(key: Any, value: Any) -> str:

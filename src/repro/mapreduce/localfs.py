@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import re
 import shutil
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
+from typing import Any
 
 from repro.errors import DFSError
 
@@ -29,11 +30,20 @@ _SEGMENT_RE = re.compile(r"^[A-Za-z0-9._#=-]+$")
 
 
 class LocalFSDFS:
-    """Line-oriented file store rooted at a local directory."""
+    """Line-oriented file store rooted at a local directory.
+
+    Typed records (see :class:`~repro.mapreduce.dfs.InMemoryDFS`) are
+    held in a process-local cache next to the on-disk lines: the files
+    stay plain text — a fresh process, or an externally modified file,
+    simply decodes again.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: in-memory typed shadow of codec-written/decoded files:
+        #: path -> (codec name, records)
+        self._records: dict[str, tuple[str, list[Any]]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -70,8 +80,29 @@ class LocalFSDFS:
                 fh.write(line)
                 fh.write("\n")
                 nbytes += len(line) + 1
+        self._records.pop(self._normalized(path), None)
         self.bytes_written += nbytes
         return nbytes
+
+    def write_records(self, path: str, records: Sequence[Any], codec) -> int:
+        """Create (or replace) a file from typed records — encode once."""
+        records = list(records)
+        nbytes = self.write_file(path, [codec.encode(r) for r in records])
+        self._records[self._normalized(path)] = (codec.name, records)
+        return nbytes
+
+    def typed_records(self, path: str, codec) -> list[Any] | None:
+        """Cached typed records of a file (same codec), or ``None``."""
+        cached = self._records.get(self._normalized(path))
+        if cached is None or cached[0] != codec.name:
+            return None
+        return cached[1]
+
+    def cache_records(self, path: str, records: Sequence[Any], codec) -> None:
+        """Attach decoded records to an existing on-disk file."""
+        if not self._resolve_path(path).is_file():
+            raise DFSError(f"no such file: {path!r}")
+        self._records[self._normalized(path)] = (codec.name, list(records))
 
     def read_file(self, path: str) -> list[str]:
         """All lines of a file; accounts the read volume."""
@@ -156,11 +187,14 @@ class LocalFSDFS:
         target = self._resolve_path(path)
         if target.is_file():
             target.unlink()
+            self._records.pop(self._normalized(path), None)
             return 1
-        count = len(self.list_dir(path))
+        doomed = self.list_dir(path)
+        for f in doomed:
+            self._records.pop(f, None)
         if target.is_dir():
             shutil.rmtree(target)
-        return count
+        return len(doomed)
 
     def __contains__(self, path: str) -> bool:
         return self.exists(path)

@@ -4,12 +4,20 @@ Controlled-Replicate is "a round of two map-reduce jobs" and the 2-way
 Cascade is a chain of per-join jobs; :class:`Workflow` runs such chains
 sequentially with a barrier between jobs (job N+1 only reads what job N
 wrote to the DFS) and aggregates counters and simulated time.
+
+The workflow also polices the typed-record handoff: when job N declares
+an ``output_codec``, a later job reading N's output directory must
+declare the same codec for that path (or none, falling back to raw
+lines) — a *different* codec would silently decode one format's lines
+through another format's parser, so it is rejected up front.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.data.io import RecordCodec
+from repro.errors import JobError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import Cluster, JobResult
 from repro.mapreduce.job import MapReduceJob
@@ -67,10 +75,29 @@ class Workflow:
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self.result = WorkflowResult()
+        #: output path -> output codec of jobs run so far (codec handoff)
+        self._output_codecs: dict[str, RecordCodec | None] = {}
+
+    def _check_codec_handoff(self, job: MapReduceJob) -> None:
+        for path in job.input_paths:
+            if path not in self._output_codecs:
+                continue
+            produced = self._output_codecs[path]
+            consumed = job.input_codec_for(path)
+            if consumed is None or produced is None:
+                continue  # raw-line reads are always valid
+            if consumed.name != produced.name:
+                raise JobError(
+                    f"job {job.name!r} reads {path!r} with codec "
+                    f"{consumed.name!r} but the upstream job wrote it "
+                    f"with codec {produced.name!r}"
+                )
 
     def run(self, job: MapReduceJob) -> JobResult:
         """Run one job and record its result."""
+        self._check_codec_handoff(job)
         job_result = self.cluster.run_job(job)
+        self._output_codecs[job.output_path] = job.output_codec
         self.result.job_results.append(job_result)
         return job_result
 

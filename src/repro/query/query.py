@@ -100,6 +100,19 @@ class Query:
         )
         object.__setattr__(self, "triples", normalized)
         object.__setattr__(self, "datasets", dict(datasets or {}))
+        # Slot order and the slot->dataset map are derived once: both
+        # sit on per-candidate paths of the local join and the marking
+        # engine, where rebuilding them per call dominates.
+        seen: dict[str, None] = {}
+        for t in normalized:
+            seen.setdefault(t.left, None)
+            seen.setdefault(t.right, None)
+        object.__setattr__(self, "_slots", tuple(seen))
+        object.__setattr__(
+            self,
+            "_dataset_by_slot",
+            {s: self.datasets.get(s, s) for s in seen},
+        )
         self._validate()
 
     # ------------------------------------------------------------------
@@ -174,11 +187,7 @@ class Query:
     @property
     def slots(self) -> tuple[str, ...]:
         """All slot names, in order of first appearance in the triples."""
-        seen: dict[str, None] = {}
-        for t in self.triples:
-            seen.setdefault(t.left, None)
-            seen.setdefault(t.right, None)
-        return tuple(seen)
+        return self._slots
 
     @property
     def num_slots(self) -> int:
@@ -187,9 +196,10 @@ class Query:
 
     def dataset_of(self, slot: str) -> str:
         """The dataset key the slot reads from."""
-        if slot not in self.slots:
-            raise QueryError(f"unknown slot {slot!r}")
-        return self.datasets.get(slot, slot)
+        try:
+            return self._dataset_by_slot[slot]
+        except KeyError:
+            raise QueryError(f"unknown slot {slot!r}") from None
 
     @property
     def dataset_keys(self) -> tuple[str, ...]:

@@ -69,8 +69,19 @@ def test_enlarge_contains_original(r: Rect, d: float):
 
 @given(rects(), rects(), small_d)
 def test_enlarged_overlap_equals_chebyshev_bound(a: Rect, b: Rect, d: float):
-    # The 2-way range routing test (§5.3) is exactly Chebyshev <= d.
-    assert a.enlarge(d).intersects(b) == (chebyshev_distance(a, b) <= d)
+    # The 2-way range routing test (§5.3) is Chebyshev <= d in real
+    # arithmetic.  In floats the two sides round different subtractions,
+    # so they may disagree within rounding distance of the exact-d
+    # boundary (e.g. a true gap of 1 + 1e-311 rounds to exactly 1.0 in
+    # chebyshev_distance while enlarge(1.0) resolves it exactly); away
+    # from that boundary they must agree (DESIGN.md §6).
+    routed = a.enlarge(d).intersects(b)
+    cheb = chebyshev_distance(a, b)
+    if routed != (cheb <= d):
+        magnitudes = (cheb, d, abs(a.x), abs(a.y), a.l, a.b,
+                      abs(b.x), abs(b.y), b.l, b.b)
+        slack = 4 * max(math.ulp(m) for m in magnitudes)
+        assert abs(cheb - d) <= slack
 
 
 @given(rects(), rects(), small_d)

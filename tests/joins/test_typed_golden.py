@@ -1,0 +1,114 @@
+"""Golden equivalence of the typed record path (PR 2 tentpole).
+
+The typed path lets records cross the shuffle and job boundaries as
+Python objects; the seed codec path (``Cluster(typed_io=False)``)
+re-parses every record from its encoded line on every read, exactly as
+the string-era engine did.  Both must be indistinguishable from the
+outside: byte-identical final DFS output and identical cost-model
+counters, for every algorithm and every executor back-end.
+
+The reference for each algorithm is one seed-path serial run on a
+seeded Table-2-shaped workload (Q2 chain over three relations, reduced
+n); the typed path is then checked on the serial, thread and process
+executors against that single golden snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+#: Reduced Table-2 shape: same generator/space/seed family as the
+#: benchmarks, small enough to run 4 algorithms x 4 configurations.
+N_PER_RELATION = 700
+SPACE_SIDE = 6_300.0
+SEED = 11
+
+#: Output directory of each algorithm, by registry name.
+OUTPUT_DIRS = {
+    "cascade": "two-way-cascade/output",
+    "all-rep": "all-replicate/output",
+    "c-rep": "controlled-replicate/output",
+    "c-rep-l": "controlled-replicate-limit/output",
+}
+
+EXECUTORS = [("serial", 1), ("thread", 2), ("process", 2)]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_chain(
+        N_PER_RELATION, SPACE_SIDE, names=("R1", "R2", "R3"), seed=SEED
+    )
+
+
+def _run(workload, algorithm_name, *, typed_io, executor="serial", workers=1):
+    """One full join run on a fresh cluster; returns (snapshot, stats, tuples)."""
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    cluster = Cluster(executor=executor, num_workers=workers, typed_io=typed_io)
+    algorithm = make_algorithm(
+        algorithm_name, query=query, d_max=workload.d_max
+    )
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    snapshot = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.resolve(OUTPUT_DIRS[algorithm_name])
+    }
+    return snapshot, result.stats, result.tuples
+
+
+def _counters(stats):
+    """Every JoinStats field that must be executor/path independent
+    (wall_clock_seconds is real time and legitimately varies)."""
+    return {
+        "simulated_seconds": stats.simulated_seconds,
+        "shuffled_records": stats.shuffled_records,
+        "rectangles_marked": stats.rectangles_marked,
+        "rectangles_after_replication": stats.rectangles_after_replication,
+        "output_tuples": stats.output_tuples,
+        "job_seconds": stats.job_seconds,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    """Seed-path serial run per algorithm: the 'before' the typed path
+    must reproduce exactly."""
+    return {
+        name: _run(workload, name, typed_io=False) for name in ALGORITHMS
+    }
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+@pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+def test_typed_path_matches_seed_codec_path(
+    workload, golden, algorithm_name, executor, workers
+):
+    ref_snapshot, ref_stats, ref_tuples = golden[algorithm_name]
+    snapshot, stats, tuples = _run(
+        workload,
+        algorithm_name,
+        typed_io=True,
+        executor=executor,
+        workers=workers,
+    )
+    assert tuples == ref_tuples
+    # Part files: same names, byte-identical content.
+    assert snapshot == ref_snapshot
+    assert _counters(stats) == _counters(ref_stats)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_golden_output_is_nonempty(golden, algorithm_name):
+    """Guard the guard: an empty snapshot would make the equivalence
+    assertions vacuously true."""
+    snapshot, __, tuples = golden[algorithm_name]
+    assert tuples
+    assert any(lines for lines in snapshot.values())

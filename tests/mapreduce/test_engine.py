@@ -202,7 +202,7 @@ class TestInputSplits:
         splits = self._splits(cluster, ["in1", "in2"])
         assert len(splits) == 2
         for split in splits:
-            assert len({path for path, __, __ in split}) == 1
+            assert len({path for path, __, __, __ in split}) == 1
 
     def test_splits_respect_split_records(self, cluster):
         cluster.split_records = 2
@@ -217,18 +217,18 @@ class TestInputSplits:
         cluster.dfs.write_file("e", ["c0", "c1"])
         splits = self._splits(cluster, ["d", "e"])
         # Directories expand sorted; explicit paths keep argument order.
-        flat = [(path, lineno) for split in splits for path, lineno, __ in split]
+        flat = [(path, lineno) for split in splits for path, lineno, __, __ in split]
         assert flat == [
             ("d/p0", 0),
             ("d/p1", 0), ("d/p1", 1), ("d/p1", 2),
             ("e", 0), ("e", 1),
         ]
 
-    def test_records_verbatim_with_line_numbers(self, cluster):
+    def test_records_verbatim_with_line_numbers_and_sizes(self, cluster):
         cluster.dfs.write_file("in", ["alpha", "beta"])
         ((first, second),) = [self._splits(cluster, ["in"])[0]]
-        assert first == ("in", 0, "alpha")
-        assert second == ("in", 1, "beta")
+        assert first == ("in", 0, "alpha", 6)
+        assert second == ("in", 1, "beta", 5)
 
     def test_lineno_restarts_per_file(self, cluster):
         cluster.dfs.write_file("in1", ["x", "y"])
