@@ -1,0 +1,123 @@
+"""PR 3 observability overhead: the NullRecorder must be free.
+
+The engine is instrumented unconditionally — every job opens a handful
+of spans, stamps per-task ``perf_counter`` pairs and sets span args.
+With the default :class:`~repro.obs.trace.NullRecorder` all of that
+reduces to no-op calls on shared singletons; the acceptance criterion is
+that this costs **< 2%** of a Table-2-sized Controlled-Replicate run.
+
+Two measurements land in ``BENCH_obs.json``:
+
+* **Null instrumentation microbenchmark** — the per-call cost of one
+  full null span cycle (``span()`` + ``__enter__`` + two ``set`` +
+  ``__exit__``), multiplied by a generous estimate of the engine's
+  call count per run and divided by the measured run wall.  That bound
+  is asserted against the 2% criterion: the microbenchmark is stable
+  where an A/B of two multi-second runs on a shared CI runner is not.
+* **Traced vs untraced A/B** — the same join with a live
+  :class:`~repro.obs.trace.TraceRecorder`, recorded (not gated) so the
+  cost of *actual* tracing stays visible over time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import make_algorithm
+from repro.mapreduce.engine import Cluster
+from repro.obs.trace import NullRecorder, TraceRecorder
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+#: Table 2, row 1 shape (as in the PR 2 benchmark).
+TABLE2_N = 4_000
+TABLE2_SIDE = 6_300.0
+
+NULL_CYCLES = 200_000
+
+#: Worst-case null instrumentation calls per *job*: 6 stage spans with
+#: ~2 arg sets each, the job span with 5, 2 task-wall enabled checks —
+#: rounded way up to stay an overestimate as call sites accrete.
+CALLS_PER_JOB = 100
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _null_cycle_seconds() -> float:
+    """Best-of-3 per-cycle cost of one full null span interaction."""
+    rec = NullRecorder()
+    best = float("inf")
+    for __ in range(3):
+        started = time.perf_counter()
+        for __ in range(NULL_CYCLES):
+            with rec.span("stage", cat="phase", track="engine") as sp:
+                sp.set("records", 0)
+                sp.set("bytes", 0)
+        best = min(best, time.perf_counter() - started)
+    return best / NULL_CYCLES
+
+
+def _run_crep(workload, recorder=None):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    kwargs = {"recorder": recorder} if recorder is not None else {}
+    cluster = Cluster(**kwargs)
+    algorithm = make_algorithm("c-rep")
+    started = time.perf_counter()
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    return time.perf_counter() - started, result
+
+
+def test_null_recorder_overhead_under_two_percent(benchmark):
+    workload = synthetic_chain(
+        TABLE2_N, TABLE2_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+    per_cycle_s = _null_cycle_seconds()
+
+    wall, result = benchmark.pedantic(
+        lambda: _run_crep(workload), rounds=1, iterations=1
+    )
+    num_jobs = len(result.workflow.job_results)
+    num_tasks = sum(
+        len(r.map_tasks) + len(r.reduce_tasks)
+        for r in result.workflow.job_results
+    )
+    # Every instrumentation touch, priced at a full span cycle each
+    # (task stamps are two perf_counter calls — cheaper than a cycle).
+    est_overhead_s = (num_jobs * CALLS_PER_JOB + num_tasks) * per_cycle_s
+    fraction = est_overhead_s / wall
+
+    benchmark.extra_info["workload"] = f"table2-row1 nI={TABLE2_N}"
+    benchmark.extra_info["null_cycle_ns"] = round(per_cycle_s * 1e9, 1)
+    benchmark.extra_info["jobs"] = num_jobs
+    benchmark.extra_info["tasks"] = num_tasks
+    benchmark.extra_info["estimated_overhead_fraction"] = round(fraction, 6)
+
+    assert fraction < MAX_OVERHEAD_FRACTION
+
+
+def test_traced_run_cost_recorded(benchmark):
+    """A/B of a live TraceRecorder vs the null default — recorded only."""
+    workload = synthetic_chain(
+        TABLE2_N, TABLE2_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+    null_wall, null_result = _run_crep(workload)
+    recorder = TraceRecorder()
+    traced_wall, traced_result = benchmark.pedantic(
+        lambda: _run_crep(workload, recorder=recorder), rounds=1, iterations=1
+    )
+
+    # Tracing observes; it must not change the computation.
+    assert (
+        traced_result.stats.simulated_seconds
+        == null_result.stats.simulated_seconds
+    )
+    assert traced_result.tuples == null_result.tuples
+
+    benchmark.extra_info["untraced_seconds"] = round(null_wall, 3)
+    benchmark.extra_info["traced_seconds"] = round(traced_wall, 3)
+    benchmark.extra_info["traced_over_untraced"] = round(
+        traced_wall / null_wall, 3
+    )
+    benchmark.extra_info["spans_recorded"] = len(recorder.spans)

@@ -47,7 +47,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (paper-vs-measured)"
     )
-    _add_table_args(p_report)
+    _add_table_args(p_report, obs=False)
 
     p_explain = sub.add_parser(
         "explain", help="show how each algorithm would route a query"
@@ -85,10 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_join.add_argument("--seed", type=int, default=11, help="workload RNG seed")
     p_join.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
     _add_executor_args(p_join)
+    _add_obs_args(p_join)
     return parser
 
 
-def _add_table_args(p: argparse.ArgumentParser) -> None:
+def _add_table_args(p: argparse.ArgumentParser, obs: bool = True) -> None:
     p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     p.add_argument(
         "--no-verify",
@@ -97,6 +98,33 @@ def _add_table_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--output", type=str, default=None, help="also write report to file")
     _add_executor_args(p)
+    if obs:
+        _add_obs_args(p)
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a Chrome trace-event JSON of the run "
+            "(open in Perfetto or chrome://tracing)"
+        ),
+    )
+    p.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write a plain-JSON metrics snapshot of the run",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the per-job skew/phase dashboard after each run",
+    )
 
 
 def _add_executor_args(p: argparse.ArgumentParser) -> None:
@@ -116,8 +144,33 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _make_recorder(args: argparse.Namespace):
+    """A live recorder when ``--trace`` asked for one, else ``None``."""
+    if getattr(args, "trace", None):
+        from repro.obs import TraceRecorder
+
+        return TraceRecorder()
+    return None
+
+
+def _finish_obs(args: argparse.Namespace, recorder, results=None) -> None:
+    """Write the trace/metrics files the obs flags requested."""
+    if recorder is not None:
+        from repro.obs import write_trace
+
+        write_trace(args.trace, recorder, process_name=f"repro {args.command}")
+        print(f"wrote trace {args.trace} (load in https://ui.perfetto.dev)")
+    if getattr(args, "metrics", None) and results is not None:
+        from repro.obs import experiment_metrics, write_metrics
+
+        write_metrics(args.metrics, experiment_metrics(results))
+        print(f"wrote metrics {args.metrics}")
+
+
 def _run_tables(names: list[str], args: argparse.Namespace) -> str:
     sections = []
+    recorder = _make_recorder(args)
+    results = {}
     for name in names:
         started = time.perf_counter()
         result = TABLES[name].run(
@@ -125,11 +178,15 @@ def _run_tables(names: list[str], args: argparse.Namespace) -> str:
             verify=not args.no_verify,
             executor=args.executor,
             num_workers=args.workers,
+            recorder=recorder,
+            verbose=args.verbose,
         )
         elapsed = time.perf_counter() - started
+        results[name] = result
         sections.append(result.format())
         sections.append(f"  [generated in {elapsed:.1f}s wall]")
         sections.append("")
+    _finish_obs(args, recorder, results)
     return "\n".join(sections)
 
 
@@ -158,6 +215,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.n, args.space, names=tuple(names), seed=args.seed
         )
         grid = derive_grid(workload.datasets, args.grid_cells)
+        recorder = _make_recorder(args)
+        sink: dict = {}
         metrics, __, output_tuples = run_algorithms(
             query,
             workload.datasets,
@@ -168,6 +227,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             verify=False,
             executor=args.executor,
             num_workers=args.workers,
+            recorder=recorder,
+            sink=sink,
         )
         m = metrics[args.algorithm]
         print(f"query: {query}")
@@ -176,6 +237,34 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"shuffled records: {m.shuffled_records}")
         print(f"rectangles marked: {m.rectangles_marked}")
         print(f"rectangles after replication: {m.rectangles_after_replication}")
+        if m.reduce_skew:
+            print(f"reduce skew (max/mean): {m.reduce_skew:.2f}x")
+        if args.verbose:
+            from repro.obs import render_workflow_dashboard
+
+            print(
+                render_workflow_dashboard(
+                    sink[args.algorithm].workflow.job_results, title=args.algorithm
+                )
+            )
+        if recorder is not None:
+            from repro.obs import write_trace
+
+            write_trace(args.trace, recorder, process_name="repro join")
+            print(f"wrote trace {args.trace} (load in https://ui.perfetto.dev)")
+        if args.metrics:
+            from repro.obs import metrics_snapshot, write_metrics
+
+            write_metrics(
+                args.metrics,
+                metrics_snapshot(
+                    {
+                        name: result.workflow.job_results
+                        for name, result in sink.items()
+                    }
+                ),
+            )
+            print(f"wrote metrics {args.metrics}")
         return 0
 
     if args.command == "explain":

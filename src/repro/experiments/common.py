@@ -31,6 +31,9 @@ from repro.joins.base import Datasets, JoinResult
 from repro.joins.registry import make_algorithm
 from repro.mapreduce.cost import CostModel
 from repro.mapreduce.engine import Cluster
+from repro.obs.dashboard import render_workflow_dashboard
+from repro.obs.skew import workflow_skew
+from repro.obs.trace import NullRecorder
 from repro.query.query import Query
 
 __all__ = [
@@ -56,6 +59,11 @@ class AlgoMetrics:
     rectangles_after_replication: int
     output_tuples: int
     wall_seconds: float
+    #: max/mean reduce input records of the heaviest reduce job in the
+    #: chain (1.0 = perfectly even; 0.0 when nothing reduced)
+    reduce_skew: float = 0.0
+    #: measured wall clock per engine stage, summed over the job chain
+    phase_wall_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -170,6 +178,8 @@ def execute_sweep(
     verify: bool = True,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder: NullRecorder | None = None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Run one table: a sequence of (label, query, workload, algorithms).
 
@@ -177,6 +187,8 @@ def execute_sweep(
     paper re-partitions per data-set) and a cost model scaled to the
     workload's paper-equivalent size.  ``executor``/``num_workers``
     pick the cluster's task back-end (results are identical for all).
+    ``recorder`` traces every row into one timeline and ``verbose``
+    prints the per-row skew dashboards as the sweep runs.
     """
     result = ExperimentResult(
         table=table,
@@ -186,6 +198,8 @@ def execute_sweep(
     )
     for label, query, workload, algorithms in entries:
         grid = derive_grid(workload.datasets, grid_cells)
+        if verbose:
+            print(f"### {table} row {label}")
         metrics, consistent, output_tuples = run_algorithms(
             query,
             workload.datasets,
@@ -196,6 +210,8 @@ def execute_sweep(
             verify=verify,
             executor=executor,
             num_workers=num_workers,
+            recorder=recorder,
+            verbose=verbose,
         )
         result.rows.append(
             ExperimentRow(
@@ -206,6 +222,15 @@ def execute_sweep(
             )
         )
     return result
+
+
+def _phase_wall_totals(job_results) -> dict[str, float]:
+    """Sum each job's wall-clock phase decomposition across a chain."""
+    totals: dict[str, float] = {}
+    for result in job_results:
+        for phase, seconds in result.phases.as_dict().items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return totals
 
 
 def run_algorithms(
@@ -219,6 +244,9 @@ def run_algorithms(
     verify: bool = True,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder: NullRecorder | None = None,
+    verbose: bool = False,
+    sink: dict[str, JoinResult] | None = None,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
     """Run each named algorithm on a fresh cluster over the same workload.
 
@@ -226,6 +254,11 @@ def run_algorithms(
     ``d_max`` defaults to the observed maximum diagonal (what a C-Rep-L
     deployment would precompute while loading the data).
     ``executor``/``num_workers`` select the cluster's task back-end.
+    ``recorder`` (a live :class:`~repro.obs.trace.TraceRecorder`) traces
+    every algorithm's jobs into one timeline; ``verbose`` prints the
+    per-job skew dashboard after each algorithm; ``sink`` receives each
+    algorithm's full :class:`~repro.joins.base.JoinResult` keyed by name
+    (for metrics export).
     """
     if not algorithms:
         raise ExperimentError("no algorithms requested")
@@ -241,10 +274,16 @@ def run_algorithms(
             cost_model=cost_model or CostModel(),
             executor=executor,
             num_workers=num_workers,
+            recorder=recorder if recorder is not None else NullRecorder(),
         )
+        if recorder is not None and recorder.enabled:
+            recorder.instant(
+                f"algorithm:{name}", cat="experiment", track="workflow"
+            )
         started = time.perf_counter()
         result: JoinResult = algorithm.run(query, datasets, grid, cluster)
         wall = time.perf_counter() - started
+        job_results = result.workflow.job_results
         metrics[name] = AlgoMetrics(
             simulated_seconds=result.stats.simulated_seconds,
             shuffled_records=result.stats.shuffled_records,
@@ -252,7 +291,13 @@ def run_algorithms(
             rectangles_after_replication=result.stats.rectangles_after_replication,
             output_tuples=len(result.tuples),
             wall_seconds=wall,
+            reduce_skew=workflow_skew(job_results),
+            phase_wall_seconds=_phase_wall_totals(job_results),
         )
+        if sink is not None:
+            sink[name] = result
+        if verbose:
+            print(render_workflow_dashboard(job_results, title=name))
         output_tuples = len(result.tuples)
         if verify:
             if reference is None:

@@ -59,6 +59,8 @@ def run(
     seed: int = 11,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 2 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Overlap())
@@ -84,4 +86,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

@@ -53,6 +53,8 @@ def run(
     seed: int = 23,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 3 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Overlap())
@@ -87,4 +89,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

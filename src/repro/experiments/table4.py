@@ -51,6 +51,8 @@ def run(
     seed: int = 7,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 4 at the given workload scale."""
     query = Query.self_chain("roads", 3, Overlap())
@@ -75,4 +77,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

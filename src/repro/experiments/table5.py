@@ -49,6 +49,8 @@ def run(
     seed: int = 31,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 5 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Range(D))
@@ -75,4 +77,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

@@ -49,6 +49,8 @@ def run(
     seed: int = 7,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 7 at the given workload scale."""
     entries = []
@@ -73,4 +75,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

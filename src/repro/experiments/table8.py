@@ -46,6 +46,8 @@ def run(
     seed: int = 53,
     executor: str = "serial",
     num_workers: int | None = None,
+    recorder=None,
+    verbose: bool = False,
 ) -> ExperimentResult:
     """Regenerate Table 8 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], [Overlap(), Range(D)])
@@ -72,4 +74,6 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        recorder=recorder,
+        verbose=verbose,
     )

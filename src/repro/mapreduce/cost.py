@@ -52,6 +52,16 @@ class JobCostBreakdown:
     def total_s(self) -> float:
         return self.startup_s + self.map_s + self.shuffle_s + self.reduce_s
 
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for metrics snapshots and dashboards."""
+        return {
+            "startup_s": self.startup_s,
+            "map_s": self.map_s,
+            "shuffle_s": self.shuffle_s,
+            "reduce_s": self.reduce_s,
+            "total_s": self.total_s,
+        }
+
 
 @dataclass(frozen=True)
 class CostModel:

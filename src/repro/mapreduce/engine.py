@@ -46,8 +46,43 @@ from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.executor import make_executor
 from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.obs.trace import NullRecorder
 
-__all__ = ["Cluster", "JobResult"]
+__all__ = ["Cluster", "JobResult", "PhaseTimings"]
+
+
+@dataclass
+class PhaseTimings:
+    """Measured wall-clock decomposition of one job's execution stages.
+
+    The stages partition (almost all of) ``JobResult.wall_clock_seconds``:
+    split construction, map task execution, shuffle merge, reduce task
+    execution and part-file writes.  Map-only jobs report their
+    partitioned output write under ``write_s`` and 0 for
+    ``shuffle_s``/``reduce_s``.  The tiny remainder of the total is
+    executor construction and result bookkeeping.
+    """
+
+    split_s: float = 0.0
+    map_s: float = 0.0
+    shuffle_s: float = 0.0
+    reduce_s: float = 0.0
+    write_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Sum of the measured stages (<= the job's wall clock)."""
+        return self.split_s + self.map_s + self.shuffle_s + self.reduce_s + self.write_s
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "split_s": self.split_s,
+            "map_s": self.map_s,
+            "shuffle_s": self.shuffle_s,
+            "reduce_s": self.reduce_s,
+            "write_s": self.write_s,
+            "total_s": self.total_s,
+        }
 
 
 @dataclass
@@ -63,6 +98,12 @@ class JobResult:
     output_records: int = 0
     #: measured end-to-end duration of the job on the host machine
     wall_clock_seconds: float = 0.0
+    #: wall-clock decomposition of the total (split/map/shuffle/reduce/write)
+    phases: PhaseTimings = field(default_factory=PhaseTimings)
+    #: per-task ``(start, end)`` wall-clock offsets from job start,
+    #: measured *inside* the workers (true durations on any executor)
+    map_task_wall: list[tuple[float, float]] = field(default_factory=list)
+    reduce_task_wall: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def simulated_seconds(self) -> float:
@@ -96,12 +137,20 @@ class _MapPhase:
 
 @dataclass
 class _MapTaskResult:
-    """What one map task hands back to the engine."""
+    """What one map task hands back to the engine.
+
+    ``t_start``/``t_end`` are :func:`time.perf_counter` stamps taken
+    inside the worker, so thread/process back-ends report true per-task
+    durations (CLOCK_MONOTONIC is system-wide on Linux, making forked
+    workers' stamps comparable with the parent's).
+    """
 
     buckets: list[list[tuple[Any, Any]]]
     bucket_bytes: list[int]
     counters: Counters
     stats: TaskStats
+    t_start: float = 0.0
+    t_end: float = 0.0
 
 
 @dataclass
@@ -122,12 +171,15 @@ class _ReduceTaskResult:
 
     ``lines`` holds text lines, or typed records for jobs with an
     ``output_codec`` (the engine encodes them once at part-file write).
+    ``t_start``/``t_end`` are worker-side stamps, as on the map side.
     """
 
     lines: list[Any]
     input_records: int
     compute_ops: int
     counters: Counters
+    t_start: float = 0.0
+    t_end: float = 0.0
 
 
 def _sorted_by_key(
@@ -151,6 +203,7 @@ def _grouped(ordered: list[tuple[Any, Any]]):
 
 def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
     """One self-contained map task: split in, buckets + counter shard out."""
+    t_start = time.perf_counter()
     job = phase.job
     split = phase.splits[index]
     counters = Counters()
@@ -183,6 +236,8 @@ def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
             output_bytes=ctx.output_bytes,
             compute_ops=ctx.compute_ops,
         ),
+        t_start=t_start,
+        t_end=time.perf_counter(),
     )
 
 
@@ -222,6 +277,7 @@ def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> N
 
 def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
     """One self-contained reduce task: merged bucket in, lines out."""
+    t_start = time.perf_counter()
     job = phase.job
     counters = Counters()
     rctx = ReduceContext(counters, r)
@@ -245,6 +301,8 @@ def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
         input_records=rctx.input_records,
         compute_ops=rctx.compute_ops,
         counters=counters,
+        t_start=t_start,
+        t_end=time.perf_counter(),
     )
 
 
@@ -276,6 +334,13 @@ class Cluster:
         golden equivalence tests and the PR 2 benchmark use as the
         before-side.  Both settings produce byte-identical output and
         identical counters.
+    recorder:
+        Observability sink (:mod:`repro.obs.trace`).  The default
+        :class:`~repro.obs.trace.NullRecorder` reduces every
+        instrumentation point to a no-op; a
+        :class:`~repro.obs.trace.TraceRecorder` collects job/phase/task
+        spans for Perfetto export.  Recording never changes counters,
+        part files or simulated seconds.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -284,35 +349,89 @@ class Cluster:
     executor: str = "serial"
     num_workers: int | None = None
     typed_io: bool = True
+    recorder: NullRecorder = field(default_factory=NullRecorder)
 
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job; raises :class:`JobError` on task failure."""
         started = time.perf_counter()
+        rec = self.recorder
         executor = make_executor(self.executor, self.num_workers)
         counters = Counters()
-        read_before = self.dfs.bytes_read
-        map_results, map_tasks = self._run_map_phase(job, counters, executor)
-        counters.add(C.GROUP_ENGINE, C.DFS_BYTES_READ, self.dfs.bytes_read - read_before)
+        timings = PhaseTimings()
 
-        written_before = self.dfs.bytes_written
-        if job.reducer is None:
-            reduce_tasks, output_records = self._write_map_only_output(
-                job, map_results, counters
-            )
-        else:
-            reduce_tasks, output_records = self._run_reduce_phase(
-                job, map_results, counters, executor
-            )
-        counters.add(
-            C.GROUP_ENGINE, C.DFS_BYTES_WRITTEN, self.dfs.bytes_written - written_before
-        )
+        with rec.span(f"job:{job.name}", cat="job", track="engine") as job_span:
+            read_before = self.dfs.bytes_read
+            t0 = time.perf_counter()
+            with rec.span("split", cat="phase", track="engine") as sp:
+                splits = self._input_splits(job)
+                sp.set("splits", len(splits))
+                sp.set("records", sum(len(s) for s in splits))
+            timings.split_s = time.perf_counter() - t0
 
-        cost = self.cost_model.job_seconds(
-            map_tasks,
-            reduce_tasks,
-            shuffle_records=counters.engine(C.MAP_OUTPUT_RECORDS),
-            shuffle_bytes=counters.engine(C.MAP_OUTPUT_BYTES),
-        )
+            t0 = time.perf_counter()
+            with rec.span("map", cat="phase", track="engine") as sp:
+                map_results, map_tasks = self._run_map_phase(
+                    job, splits, counters, executor
+                )
+                sp.set("tasks", len(map_tasks))
+                sp.set("output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
+            timings.map_s = time.perf_counter() - t0
+            counters.add(
+                C.GROUP_ENGINE, C.DFS_BYTES_READ, self.dfs.bytes_read - read_before
+            )
+            map_task_wall = self._task_wall(map_results, started, rec, "map")
+
+            written_before = self.dfs.bytes_written
+            reduce_task_wall: list[tuple[float, float]] = []
+            if job.reducer is None:
+                t0 = time.perf_counter()
+                with rec.span("write", cat="phase", track="engine") as sp:
+                    reduce_tasks, output_records = self._write_map_only_output(
+                        job, map_results, counters
+                    )
+                    sp.set("records", output_records)
+                timings.write_s = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                with rec.span("shuffle", cat="phase", track="engine") as sp:
+                    merged, input_bytes = self._shuffle_merge(job, map_results)
+                    sp.set("records", sum(len(b) for b in merged))
+                    sp.set("bytes", sum(input_bytes))
+                timings.shuffle_s = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                with rec.span("reduce", cat="phase", track="engine") as sp:
+                    task_results = executor.run_phase(
+                        _run_reduce_task, job.num_reducers, _ReducePhase(job, merged)
+                    )
+                    sp.set("tasks", job.num_reducers)
+                timings.reduce_s = time.perf_counter() - t0
+                reduce_task_wall = self._task_wall(task_results, started, rec, "reduce")
+
+                t0 = time.perf_counter()
+                with rec.span("write", cat="phase", track="engine") as sp:
+                    reduce_tasks, output_records = self._write_reduce_output(
+                        job, task_results, input_bytes, counters
+                    )
+                    sp.set("records", output_records)
+                timings.write_s = time.perf_counter() - t0
+            counters.add(
+                C.GROUP_ENGINE,
+                C.DFS_BYTES_WRITTEN,
+                self.dfs.bytes_written - written_before,
+            )
+
+            cost = self.cost_model.job_seconds(
+                map_tasks,
+                reduce_tasks,
+                shuffle_records=counters.engine(C.MAP_OUTPUT_RECORDS),
+                shuffle_bytes=counters.engine(C.MAP_OUTPUT_BYTES),
+            )
+            job_span.set("simulated_s", cost.total_s)
+            job_span.set("map_output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
+            job_span.set("reduce_input_records", counters.engine(C.REDUCE_INPUT_RECORDS))
+            job_span.set("dfs_bytes_read", counters.engine(C.DFS_BYTES_READ))
+            job_span.set("dfs_bytes_written", counters.engine(C.DFS_BYTES_WRITTEN))
         return JobResult(
             job_name=job.name,
             output_path=job.output_path,
@@ -322,7 +441,31 @@ class Cluster:
             cost=cost,
             output_records=output_records,
             wall_clock_seconds=time.perf_counter() - started,
+            phases=timings,
+            map_task_wall=map_task_wall,
+            reduce_task_wall=reduce_task_wall,
         )
+
+    @staticmethod
+    def _task_wall(
+        results: list, job_started: float, rec: NullRecorder, phase: str
+    ) -> list[tuple[float, float]]:
+        """Collect worker-measured task intervals; trace them if recording.
+
+        Intervals are offsets from job start; the trace gets the raw
+        stamps so task spans line up with the engine's phase spans.
+        """
+        if rec.enabled:
+            for i, r in enumerate(results):
+                rec.add_span(
+                    f"{phase}-{i}",
+                    cat="task",
+                    track=f"{phase} tasks",
+                    start=r.t_start,
+                    end=r.t_end,
+                    args={"task": i},
+                )
+        return [(r.t_start - job_started, r.t_end - job_started) for r in results]
 
     # ------------------------------------------------------------------
     # Map phase
@@ -389,26 +532,29 @@ class Cluster:
         return records
 
     def _run_map_phase(
-        self, job: MapReduceJob, counters: Counters, executor
+        self,
+        job: MapReduceJob,
+        splits: list[list[tuple[str, int, Any, int]]],
+        counters: Counters,
+        executor,
     ) -> tuple[list[_MapTaskResult], list[TaskStats]]:
-        splits = self._input_splits(job)
         results = executor.run_phase(_run_map_task, len(splits), _MapPhase(job, splits))
         for result in results:  # merge shards in task-id order
             counters.merge(result.counters)
         return results, [result.stats for result in results]
 
     # ------------------------------------------------------------------
-    # Reduce phase
+    # Shuffle, reduce and write stages
     # ------------------------------------------------------------------
-    def _run_reduce_phase(
-        self,
-        job: MapReduceJob,
-        map_results: list[_MapTaskResult],
-        counters: Counters,
-        executor,
-    ) -> tuple[list[TaskStats], int]:
-        # Shuffle: merge each reducer's buckets from every map task (in
-        # task-id order; the reduce task sorts its own merged bucket).
+    @staticmethod
+    def _shuffle_merge(
+        job: MapReduceJob, map_results: list[_MapTaskResult]
+    ) -> tuple[list[list[tuple]], list[int]]:
+        """Merge each reducer's buckets from every map task.
+
+        Merged in task-id order; the reduce task sorts its own bucket.
+        Returns the merged buckets and the per-reducer input bytes.
+        """
         merged: list[list[tuple]] = [[] for __ in range(job.num_reducers)]
         input_bytes = [0] * job.num_reducers
         for result in map_results:
@@ -417,11 +563,16 @@ class Cluster:
                     merged[r].extend(bucket)
             for r, nbytes in enumerate(result.bucket_bytes):
                 input_bytes[r] += nbytes
+        return merged, input_bytes
 
-        task_results = executor.run_phase(
-            _run_reduce_task, job.num_reducers, _ReducePhase(job, merged)
-        )
-
+    def _write_reduce_output(
+        self,
+        job: MapReduceJob,
+        task_results: list[_ReduceTaskResult],
+        input_bytes: list[int],
+        counters: Counters,
+    ) -> tuple[list[TaskStats], int]:
+        """Merge reduce-task shards and write part files in reducer order."""
         stats: list[TaskStats] = []
         total_output = 0
         for r, result in enumerate(task_results):

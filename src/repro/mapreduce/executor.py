@@ -30,6 +30,17 @@ Determinism contract: ``run_phase`` returns results indexed by task id
 regardless of completion order, and workers must be pure functions of
 ``(payload, index)``.  The engine merges results in task-id order, so a
 job produces byte-identical output at every worker count.
+
+Timing contract (observability): executors do not time tasks — the task
+functions stamp ``time.perf_counter()`` at entry and exit *inside the
+worker* and ship the stamps back in their result objects.  That way the
+per-task durations the dashboard and trace report are true worker-side
+durations on every back-end: thread-pool queueing shows up as a gap
+between dispatch and ``t_start``, not as inflated task time, and forked
+workers' stamps are directly comparable with the parent's because
+``perf_counter`` is the system-wide CLOCK_MONOTONIC on Linux.  Back-ends
+that fall back (``process`` without ``fork`` support degrades to
+threads) therefore keep honest timelines with no executor cooperation.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.data.io import RecordCodec
 from repro.errors import JobError
-from repro.mapreduce.counters import Counters
+from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.engine import Cluster, JobResult
 from repro.mapreduce.job import MapReduceJob
 
@@ -94,9 +94,31 @@ class Workflow:
                 )
 
     def run(self, job: MapReduceJob) -> JobResult:
-        """Run one job and record its result."""
+        """Run one job and record its result.
+
+        When the cluster carries a live trace recorder, each job also
+        gets a chain-level span on the ``workflow`` track whose args are
+        the job's counter deltas (its own counters *are* the deltas —
+        every job runs against a fresh :class:`Counters`) plus the
+        cumulative position in the chain, so a Perfetto timeline shows
+        where each chained job's volume came from.
+        """
         self._check_codec_handoff(job)
-        job_result = self.cluster.run_job(job)
+        rec = self.cluster.recorder
+        with rec.span(job.name, cat="workflow-job", track="workflow") as span:
+            job_result = self.cluster.run_job(job)
+            span.set("chain_index", len(self.result.job_results))
+            span.set("simulated_s", job_result.simulated_seconds)
+            span.set(
+                "cumulative_simulated_s",
+                self.result.simulated_seconds + job_result.simulated_seconds,
+            )
+            eng = job_result.counters.engine
+            span.set("map_output_records", eng(C.MAP_OUTPUT_RECORDS))
+            span.set("reduce_input_records", eng(C.REDUCE_INPUT_RECORDS))
+            span.set("reduce_output_records", eng(C.REDUCE_OUTPUT_RECORDS))
+            span.set("dfs_bytes_read", eng(C.DFS_BYTES_READ))
+            span.set("dfs_bytes_written", eng(C.DFS_BYTES_WRITTEN))
         self._output_codecs[job.output_path] = job.output_codec
         self.result.job_results.append(job_result)
         return job_result

@@ -1,0 +1,56 @@
+"""Observability for the simulated cluster: tracing, metrics and skew.
+
+The paper's argument is entirely about *where time goes* — shuffle
+volume (All-Replicate), per-job startup and DFS round-trips (2-way
+Cascade), and hot partition-cells that make one reducer the critical
+path (Section 6.4).  This package makes those effects visible on a run
+of the reproduction:
+
+:mod:`repro.obs.trace`
+    :class:`~repro.obs.trace.TraceRecorder` — a structured span/event
+    recorder the engine, executors and workflow report into, with a
+    zero-overhead :class:`~repro.obs.trace.NullRecorder` default.
+:mod:`repro.obs.export`
+    Chrome trace-event JSON (loadable in Perfetto or chrome://tracing)
+    and a plain-JSON metrics snapshot.
+:mod:`repro.obs.skew`
+    Per-reducer input histograms, straggler/duration percentiles and
+    measured-vs-modelled makespan analysis.
+:mod:`repro.obs.dashboard`
+    The plain-text "job dashboard" printed by ``python -m repro ...
+    --verbose``.
+
+Determinism contract: recording only *observes*.  Counters, part files
+and simulated seconds are byte-identical with tracing on or off, which
+``tests/obs/test_traced_golden.py`` asserts.
+"""
+
+from repro.obs.dashboard import render_job_dashboard, render_workflow_dashboard
+from repro.obs.export import (
+    experiment_metrics,
+    metrics_snapshot,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.skew import DurationStats, JobSkewReport, analyze_job, workflow_skew
+from repro.obs.trace import NullRecorder, Span, TraceRecorder
+
+__all__ = [
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_trace",
+    "metrics_snapshot",
+    "experiment_metrics",
+    "write_metrics",
+    "DurationStats",
+    "JobSkewReport",
+    "analyze_job",
+    "workflow_skew",
+    "render_job_dashboard",
+    "render_workflow_dashboard",
+]

@@ -1,0 +1,175 @@
+"""Skew and straggler analysis of finished jobs.
+
+Section 6.4's observation is that one hot partition-cell makes its
+reducer the critical path — the cost model captures it through the
+``max(sum/slots, max)`` makespan, and this module makes it visible on a
+measured run: per-reducer input-record histograms, the hottest cell, and
+p50/p95/max task-duration statistics from the per-task wall-clock stamps
+the workers ship back.
+
+With the paper's configuration — one reducer per partition-cell routed
+by the identity partitioner — reducer ``r`` *is* cell ``r``, so the
+"hottest reducer" of a join job is the hottest grid cell.
+
+Everything here is pure analysis of :class:`~repro.mapreduce.engine.JobResult`
+fields; nothing imports the engine at runtime, so the obs package stays
+import-cycle free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.mapreduce.engine import JobResult
+
+__all__ = ["DurationStats", "JobSkewReport", "analyze_job", "workflow_skew"]
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (q in [0, 1])."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    """Distribution summary of task durations (seconds)."""
+
+    count: int = 0
+    total_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_durations(cls, durations: Sequence[float]) -> "DurationStats":
+        if not durations:
+            return cls()
+        ordered = sorted(durations)
+        return cls(
+            count=len(ordered),
+            total_s=sum(ordered),
+            p50_s=_percentile(ordered, 0.50),
+            p95_s=_percentile(ordered, 0.95),
+            max_s=ordered[-1],
+        )
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "max_s": self.max_s,
+        }
+
+
+def _span_makespan(spans: Sequence[tuple[float, float]]) -> float:
+    """Wall-clock extent of a set of (start, end) task intervals."""
+    if not spans:
+        return 0.0
+    return max(end for __, end in spans) - min(start for start, __ in spans)
+
+
+@dataclass(frozen=True)
+class JobSkewReport:
+    """Everything the dashboard and metrics snapshot say about one job."""
+
+    job_name: str
+    #: reduce-task input records, indexed by reducer id (= cell id for
+    #: identity-partitioned join jobs)
+    reducer_records: list[int] = field(default_factory=list)
+    #: reducer id with the most input records (None for map-only jobs)
+    hottest_reducer: int | None = None
+    #: max / mean of per-reducer input records (1.0 = perfectly even)
+    skew: float = 0.0
+    map_durations: DurationStats = field(default_factory=DurationStats)
+    reduce_durations: DurationStats = field(default_factory=DurationStats)
+    #: measured wall-clock extent of each task phase (first start to
+    #: last end), comparable in *shape* with the modelled makespan
+    measured_map_makespan_s: float = 0.0
+    measured_reduce_makespan_s: float = 0.0
+    #: the cost model's simulated makespans for the same phases
+    modelled_map_makespan_s: float = 0.0
+    modelled_reduce_makespan_s: float = 0.0
+
+    @property
+    def total_reduce_records(self) -> int:
+        """Sum over reducers — equals the REDUCE_INPUT_RECORDS counter."""
+        return sum(self.reducer_records)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job": self.job_name,
+            "reducer_records": list(self.reducer_records),
+            "hottest_reducer": self.hottest_reducer,
+            "skew": self.skew,
+            "map_durations": self.map_durations.as_dict(),
+            "reduce_durations": self.reduce_durations.as_dict(),
+            "measured_map_makespan_s": self.measured_map_makespan_s,
+            "measured_reduce_makespan_s": self.measured_reduce_makespan_s,
+            "modelled_map_makespan_s": self.modelled_map_makespan_s,
+            "modelled_reduce_makespan_s": self.modelled_reduce_makespan_s,
+        }
+
+
+def analyze_job(result: "JobResult") -> JobSkewReport:
+    """Distil one job's skew/straggler picture from its result."""
+    # Map-only jobs reuse reduce_tasks for part-file stats but ran no
+    # reduce phase; an empty reduce_task_wall tells them apart.
+    ran_reduce = bool(result.reduce_task_wall)
+    reducer_records = (
+        [t.input_records for t in result.reduce_tasks] if ran_reduce else []
+    )
+    hottest: int | None = None
+    skew = 0.0
+    if reducer_records:
+        hottest = max(range(len(reducer_records)), key=reducer_records.__getitem__)
+        mean = sum(reducer_records) / len(reducer_records)
+        skew = (max(reducer_records) / mean) if mean > 0 else 0.0
+    return JobSkewReport(
+        job_name=result.job_name,
+        reducer_records=reducer_records,
+        hottest_reducer=hottest,
+        skew=skew,
+        map_durations=DurationStats.from_durations(
+            [end - start for start, end in result.map_task_wall]
+        ),
+        reduce_durations=DurationStats.from_durations(
+            [end - start for start, end in result.reduce_task_wall]
+        ),
+        measured_map_makespan_s=_span_makespan(result.map_task_wall),
+        measured_reduce_makespan_s=_span_makespan(result.reduce_task_wall),
+        modelled_map_makespan_s=result.cost.map_s,
+        modelled_reduce_makespan_s=result.cost.reduce_s,
+    )
+
+
+def workflow_skew(job_results: Sequence["JobResult"]) -> float:
+    """Reducer skew of a job chain: the skew of its heaviest reduce job.
+
+    "Heaviest" by total reduce input records — for the join algorithms
+    that is the job whose reducers do the actual joining, exactly where
+    a hot cell shows up.  Returns 0.0 when no job ran a reduce phase.
+    """
+    best_records = -1
+    best_skew = 0.0
+    for result in job_results:
+        report = analyze_job(result)
+        if report.hottest_reducer is None:
+            continue
+        if report.total_reduce_records > best_records:
+            best_records = report.total_reduce_records
+            best_skew = report.skew
+    return best_skew

@@ -136,6 +136,19 @@ def paper_comparison(module, result: ExperimentResult) -> str:
             )
         )
         lines.append("")
+    # ---- reducer skew (obs layer) -------------------------------------
+    skews = {a: result.column(a, "reduce_skew") for a in algorithms}
+    skew_cells = [
+        f"{_ALGO_TITLES[a]} {vals[-1]:.2f}x"
+        for a, vals in skews.items()
+        if vals and vals[-1] > 0
+    ]
+    if skew_cells:
+        lines.append(
+            "Reducer skew (hottest cell / mean reduce input, last row): "
+            + " — ".join(skew_cells)
+        )
+        lines.append("")
     consistent = all(row.consistent for row in result.rows)
     lines.append(
         "All algorithms produced identical output tuples on every row: "

@@ -1,0 +1,90 @@
+"""Counter-accounting invariants across all four join algorithms (PR 3).
+
+Regression net for the engine's bookkeeping: on every job of every
+algorithm's chain,
+
+* ``REDUCE_OUTPUT_RECORDS`` equals the job's ``output_records``;
+* for jobs that ran a reduce phase, ``REDUCE_INPUT_RECORDS`` equals
+  ``MAP_OUTPUT_RECORDS`` (nothing is lost or invented in the shuffle) —
+  map-only jobs legitimately have map output and no reduce input;
+* ``DFS_BYTES_WRITTEN`` equals the byte size of the part files the job
+  wrote, both as summed per-task stats and as measured from the DFS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.mapreduce.counters import C
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+N_PER_RELATION = 300
+SPACE_SIDE = 4_000.0
+
+
+@pytest.fixture(scope="module")
+def chains():
+    """Each algorithm's (cluster, job chain) on the same small workload."""
+    workload = synthetic_chain(
+        N_PER_RELATION, SPACE_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    out = {}
+    for name in ALGORITHMS:
+        cluster = Cluster()
+        algorithm = make_algorithm(name, query=query, d_max=workload.d_max)
+        result = algorithm.run(query, workload.datasets, grid, cluster)
+        out[name] = (cluster, result.workflow.job_results)
+    return out
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_reduce_output_matches_output_records(chains, algorithm_name):
+    __, job_results = chains[algorithm_name]
+    for result in job_results:
+        assert (
+            result.counters.engine(C.REDUCE_OUTPUT_RECORDS)
+            == result.output_records
+        ), result.job_name
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_shuffle_conserves_records(chains, algorithm_name):
+    __, job_results = chains[algorithm_name]
+    saw_reduce_job = False
+    for result in job_results:
+        if result.reduce_task_wall:  # ran a real reduce phase
+            saw_reduce_job = True
+            assert result.counters.engine(
+                C.REDUCE_INPUT_RECORDS
+            ) == result.counters.engine(C.MAP_OUTPUT_RECORDS), result.job_name
+        else:  # map-only: shuffle never ran, nothing reached a reducer
+            assert result.counters.engine(C.REDUCE_INPUT_RECORDS) == 0
+    assert saw_reduce_job
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_dfs_bytes_written_matches_part_files(chains, algorithm_name):
+    cluster, job_results = chains[algorithm_name]
+    for result in job_results:
+        written = result.counters.engine(C.DFS_BYTES_WRITTEN)
+        # Summed per-task output bytes (recorded at part-file write)...
+        assert written == sum(
+            t.output_bytes for t in result.reduce_tasks
+        ), result.job_name
+        # ... and the files as they sit on the DFS afterwards.
+        assert written == cluster.dfs.dir_size(result.output_path), result.job_name
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_chains_are_nonempty(chains, algorithm_name):
+    """Guard the guards: every chain ran jobs that produced output."""
+    __, job_results = chains[algorithm_name]
+    assert job_results
+    assert any(r.output_records for r in job_results)

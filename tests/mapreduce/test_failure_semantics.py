@@ -1,0 +1,107 @@
+"""Executor failure semantics: identical errors on every back-end (PR 3).
+
+A failing task must surface as the *same* :class:`JobError` — lowest
+failing task id, same message — whether tasks run serially, on a thread
+pool or on forked worker processes.  Serial execution aborts at the
+first failing task; the parallel back-ends collect results in task-id
+order, so the lowest failing id raises there too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobError
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob
+
+EXECUTORS = [("serial", 1), ("thread", 2), ("process", 2)]
+
+
+def _cluster(executor, workers):
+    cluster = Cluster(dfs=InMemoryDFS(), executor=executor, num_workers=workers)
+    cluster.split_records = 1  # one map task per input line
+    return cluster
+
+
+def _map_failing_job():
+    def mapper(key, line, ctx):
+        if line == "boom":
+            raise ValueError(f"bad record {line!r}")
+        ctx.emit(0, line)
+
+    return MapReduceJob(
+        name="map-fails",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=lambda k, vs, ctx: ctx.emit(str(k)),
+        num_reducers=2,
+    )
+
+
+def _reduce_failing_job():
+    def reducer(key, values, ctx):
+        if key in (1, 3):
+            raise RuntimeError(f"reducer choked on {key}")
+        ctx.emit(str(key))
+
+    return MapReduceJob(
+        name="reduce-fails",
+        input_paths=["in"],
+        output_path="out",
+        mapper=lambda key, line, ctx: ctx.emit(int(line), line),
+        reducer=reducer,
+        num_reducers=4,
+        partitioner=lambda key, n: key % n,
+    )
+
+
+def _error_of(executor, workers, job, lines):
+    cluster = _cluster(executor, workers)
+    cluster.dfs.write_file("in", lines)
+    with pytest.raises(JobError) as excinfo:
+        cluster.run_job(job)
+    return str(excinfo.value)
+
+
+class TestMapFailures:
+    # Lines 1 and 3 fail -> map tasks 1 and 3 fail; task 1 must win.
+    LINES = ["ok", "boom", "ok", "boom"]
+
+    @pytest.fixture(scope="class")
+    def serial_message(self):
+        return _error_of("serial", 1, _map_failing_job(), self.LINES)
+
+    def test_message_names_lowest_failing_record(self, serial_message):
+        assert "map task failed" in serial_message
+        assert "in:1" in serial_message
+        assert "bad record 'boom'" in serial_message
+
+    @pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+    def test_same_error_on_every_backend(self, serial_message, executor, workers):
+        assert (
+            _error_of(executor, workers, _map_failing_job(), self.LINES)
+            == serial_message
+        )
+
+
+class TestReduceFailures:
+    # Keys 0..3 land on reducers 0..3; reducers 1 and 3 raise; 1 must win.
+    LINES = ["0", "1", "2", "3"]
+
+    @pytest.fixture(scope="class")
+    def serial_message(self):
+        return _error_of("serial", 1, _reduce_failing_job(), self.LINES)
+
+    def test_message_names_lowest_failing_reducer(self, serial_message):
+        assert "reduce task 1 failed" in serial_message
+        assert "reducer choked on 1" in serial_message
+
+    @pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+    def test_same_error_on_every_backend(self, serial_message, executor, workers):
+        assert (
+            _error_of(executor, workers, _reduce_failing_job(), self.LINES)
+            == serial_message
+        )

@@ -1,0 +1,121 @@
+"""Tests for the wall-clock phase decomposition of JobResult (PR 3).
+
+``JobResult.wall_clock_seconds`` keeps the end-to-end total; the new
+``phases`` field decomposes it into the engine's stages and the
+``*_task_wall`` lists carry worker-measured per-task intervals.
+"""
+
+import pytest
+
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster, PhaseTimings
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+EXECUTORS = [("serial", 1), ("thread", 2), ("process", 2)]
+
+
+def _word_count_job(num_reducers=3):
+    def mapper(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(f"{word}\t{sum(counts)}")
+
+    return MapReduceJob(
+        name="wc",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        partitioner=hash_partitioner,
+    )
+
+
+def _map_only_job():
+    return MapReduceJob(
+        name="mo",
+        input_paths=["in"],
+        output_path="out",
+        mapper=lambda key, line, ctx: ctx.emit(0, line.upper()),
+        reducer=None,
+        num_reducers=2,
+    )
+
+
+def _run(job, *, executor="serial", workers=1, split_records=20_000):
+    cluster = Cluster(
+        dfs=InMemoryDFS(), executor=executor, num_workers=workers
+    )
+    cluster.split_records = split_records
+    cluster.dfs.write_file("in", ["a b a c", "b c d", "a"] * 10)
+    return cluster.run_job(job)
+
+
+class TestPhaseTimings:
+    def test_reduce_job_times_every_stage(self):
+        phases = _run(_word_count_job()).phases
+        assert phases.split_s > 0
+        assert phases.map_s > 0
+        assert phases.shuffle_s > 0
+        assert phases.reduce_s > 0
+        assert phases.write_s > 0
+
+    def test_total_is_sum_and_bounded_by_wall_clock(self):
+        result = _run(_word_count_job())
+        phases = result.phases
+        assert phases.total_s == pytest.approx(
+            phases.split_s
+            + phases.map_s
+            + phases.shuffle_s
+            + phases.reduce_s
+            + phases.write_s
+        )
+        # The decomposition cannot exceed what the job measured overall.
+        assert phases.total_s <= result.wall_clock_seconds
+
+    def test_map_only_job_skips_shuffle_and_reduce(self):
+        phases = _run(_map_only_job()).phases
+        assert phases.shuffle_s == 0.0
+        assert phases.reduce_s == 0.0
+        assert phases.map_s > 0
+        assert phases.write_s > 0
+
+    def test_as_dict_keys_and_total(self):
+        d = PhaseTimings(split_s=1, map_s=2, shuffle_s=3, reduce_s=4, write_s=5).as_dict()
+        assert d == {
+            "split_s": 1,
+            "map_s": 2,
+            "shuffle_s": 3,
+            "reduce_s": 4,
+            "write_s": 5,
+            "total_s": 15,
+        }
+
+    def test_default_is_all_zero(self):
+        assert PhaseTimings().total_s == 0.0
+
+
+class TestTaskWall:
+    @pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+    def test_one_interval_per_task(self, executor, workers):
+        result = _run(
+            _word_count_job(), executor=executor, workers=workers, split_records=10
+        )
+        assert len(result.map_task_wall) == len(result.map_tasks) == 3
+        assert len(result.reduce_task_wall) == len(result.reduce_tasks) == 3
+
+    @pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+    def test_intervals_are_job_relative_and_ordered(self, executor, workers):
+        result = _run(
+            _word_count_job(), executor=executor, workers=workers, split_records=10
+        )
+        for start, end in result.map_task_wall + result.reduce_task_wall:
+            assert 0.0 <= start < end
+            assert end <= result.wall_clock_seconds
+
+    def test_map_only_job_has_no_reduce_intervals(self):
+        result = _run(_map_only_job())
+        assert result.reduce_task_wall == []
+        assert len(result.map_task_wall) == len(result.map_tasks)

@@ -1,0 +1,232 @@
+"""Tests for the Chrome trace-event exporter and metrics snapshots."""
+
+import json
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+from repro.obs.export import (
+    _assign_lanes,
+    metrics_snapshot,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.trace import Span, TraceRecorder
+
+
+def _span(name, track, start, end, cat="test", **args):
+    return Span(
+        name=name, cat=cat, track=track, start_s=start, end_s=end, args=dict(args)
+    )
+
+
+def _recorder(spans=(), instants=()):
+    rec = TraceRecorder()
+    rec.spans = list(spans)
+    rec.instants = list(instants)
+    return rec
+
+
+class TestAssignLanes:
+    def test_disjoint_spans_share_lane_zero(self):
+        spans = [_span("a", "t", 0, 1), _span("b", "t", 1, 2), _span("c", "t", 3, 4)]
+        assert _assign_lanes(spans) == [0, 0, 0]
+
+    def test_nested_spans_share_a_lane(self):
+        # job contains its phases: one flame stack, one Chrome thread.
+        spans = [
+            _span("job", "t", 0, 10),
+            _span("split", "t", 1, 2),
+            _span("map", "t", 2, 6),
+            _span("inner", "t", 3, 5),
+        ]
+        assert _assign_lanes(spans) == [0, 0, 0, 0]
+
+    def test_partial_overlap_forces_new_lane(self):
+        spans = [_span("t0", "t", 0, 5), _span("t1", "t", 3, 8)]
+        assert _assign_lanes(spans) == [0, 1]
+
+    def test_parallel_tasks_fan_out_then_reuse_lanes(self):
+        spans = [
+            _span("t0", "t", 0, 4),
+            _span("t1", "t", 1, 5),
+            _span("t2", "t", 2, 6),
+            _span("t3", "t", 4.5, 7),  # t0 ended: lane 0 is free again
+        ]
+        assert _assign_lanes(spans) == [0, 1, 2, 0]
+
+    def test_lane_per_input_position_not_sort_position(self):
+        # Result is indexed like the input even when starts are unsorted.
+        spans = [_span("late", "t", 3, 8), _span("early", "t", 0, 5)]
+        assert _assign_lanes(spans) == [1, 0]
+
+    def test_empty(self):
+        assert _assign_lanes([]) == []
+
+
+class TestToChromeTrace:
+    def test_structure_and_units(self):
+        rec = _recorder(
+            spans=[_span("job", "engine", 0.0, 0.5, cat="job", records=3)],
+            instants=[_span("mark", "engine", 0.25, 0.25, cat="event")],
+        )
+        trace = to_chrome_trace(rec, process_name="unit test")
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                "args": {"name": "unit test"}} in meta
+        assert any(
+            e["name"] == "thread_name" and e["args"]["name"] == "engine"
+            for e in meta
+        )
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["ts"] == 0.0 and x["dur"] == 500_000.0  # microseconds
+        assert x["args"] == {"records": 3}
+        (i,) = [e for e in events if e["ph"] == "i"]
+        assert i["ts"] == 250_000.0 and i["s"] == "t"
+
+    def test_single_lane_track_keeps_plain_name(self):
+        rec = _recorder(spans=[_span("a", "engine", 0, 1), _span("b", "engine", 2, 3)])
+        names = [
+            e["args"]["name"]
+            for e in to_chrome_trace(rec)["traceEvents"]
+            if e["name"] == "thread_name"
+        ]
+        assert names == ["engine"]
+
+    def test_parallel_track_gets_lane_suffixes(self):
+        rec = _recorder(
+            spans=[_span("t0", "map tasks", 0, 5), _span("t1", "map tasks", 1, 6)]
+        )
+        names = [
+            e["args"]["name"]
+            for e in to_chrome_trace(rec)["traceEvents"]
+            if e["name"] == "thread_name"
+        ]
+        assert names == ["map tasks [0]", "map tasks [1]"]
+
+    def test_exit_order_input_still_monotonic_per_tid(self):
+        # The recorder appends a parent *after* its children (exit
+        # order); the exporter must still emit parents first.
+        rec = _recorder(
+            spans=[_span("child", "engine", 1, 2), _span("job", "engine", 0, 10)]
+        )
+        trace = to_chrome_trace(rec)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["job", "child"]
+        assert validate_chrome_trace(trace) == []
+
+    def test_write_trace_round_trips(self, tmp_path):
+        rec = _recorder(spans=[_span("job", "engine", 0, 1)])
+        path = tmp_path / "trace.json"
+        write_trace(str(path), rec, process_name="round trip")
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["displayTimeUnit"] == "ms"
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_list(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_flags_unsupported_phase(self):
+        trace = {"traceEvents": [{"name": "b", "ph": "B", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("unsupported ph" in p for p in validate_chrome_trace(trace))
+
+    def test_flags_missing_dur_and_negative_dur(self):
+        base = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}
+        assert any(
+            "missing 'dur'" in p
+            for p in validate_chrome_trace({"traceEvents": [dict(base)]})
+        )
+        assert any(
+            "negative duration" in p
+            for p in validate_chrome_trace({"traceEvents": [dict(base, dur=-1)]})
+        )
+
+    def test_flags_non_monotonic_starts(self):
+        trace = {
+            "traceEvents": [
+                {"name": "b", "ph": "X", "pid": 1, "tid": 7, "ts": 5, "dur": 1},
+                {"name": "a", "ph": "X", "pid": 1, "tid": 7, "ts": 0, "dur": 1},
+            ]
+        }
+        assert any("not monotonic" in p for p in validate_chrome_trace(trace))
+
+    def test_flags_partial_overlap_on_one_tid(self):
+        trace = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 7, "ts": 0, "dur": 5},
+                {"name": "b", "ph": "X", "pid": 1, "tid": 7, "ts": 3, "dur": 5},
+            ]
+        }
+        assert any("partially overlaps" in p for p in validate_chrome_trace(trace))
+
+    def test_accepts_nesting_and_separate_tids(self):
+        trace = {
+            "traceEvents": [
+                {"name": "p", "ph": "X", "pid": 1, "tid": 7, "ts": 0, "dur": 10},
+                {"name": "c", "ph": "X", "pid": 1, "tid": 7, "ts": 2, "dur": 3},
+                {"name": "q", "ph": "X", "pid": 1, "tid": 8, "ts": 1, "dur": 20},
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+
+# ----------------------------------------------------------------------
+# Against a real engine run
+# ----------------------------------------------------------------------
+def _word_count_result(recorder):
+    def mapper(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(f"{word}\t{sum(counts)}")
+
+    cluster = Cluster(dfs=InMemoryDFS(), recorder=recorder)
+    cluster.dfs.write_file("in", ["a b a c", "b c d", "a"] * 20)
+    result = cluster.run_job(
+        MapReduceJob(
+            name="wc",
+            input_paths=["in"],
+            output_path="out",
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=3,
+            partitioner=hash_partitioner,
+        )
+    )
+    return cluster, result
+
+
+class TestRealRun:
+    def test_engine_trace_validates(self):
+        rec = TraceRecorder()
+        _word_count_result(rec)
+        trace = to_chrome_trace(rec, process_name="wc")
+        assert validate_chrome_trace(trace) == []
+        # job + split/map/shuffle/reduce/write on the engine track, plus
+        # one retro-reported span per map and reduce task.
+        names = {s.name for s in rec.spans}
+        assert {"job:wc", "split", "map", "shuffle", "reduce", "write"} <= names
+        assert "reduce-0" in names
+        assert json.dumps(trace)  # JSON-serialisable end to end
+
+    def test_metrics_snapshot_shape(self):
+        rec = TraceRecorder()
+        __, result = _word_count_result(rec)
+        snap = metrics_snapshot({"wc-run": [result]})
+        assert snap["version"] == 1
+        run = snap["runs"]["wc-run"]
+        assert run["simulated_seconds"] == result.simulated_seconds
+        (job,) = run["jobs"]
+        assert job["job"] == "wc"
+        assert job["counters"] == result.counters.as_dict()
+        assert job["reduce_tasks"]["count"] == 3
+        assert sum(job["reduce_tasks"]["input_records"]) == result.counters.engine(
+            C.REDUCE_INPUT_RECORDS
+        )
+        assert json.dumps(snap)  # JSON-serialisable

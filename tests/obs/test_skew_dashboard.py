@@ -1,0 +1,189 @@
+"""Tests for the skew analyzer and the plain-text job dashboard."""
+
+import pytest
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob
+from repro.obs.dashboard import render_job_dashboard, render_workflow_dashboard
+from repro.obs.skew import DurationStats, analyze_job, workflow_skew
+
+
+def _skewed_job(records_per_reducer, num_reducers=None, name="skewed"):
+    """One job whose reducer r receives ``records_per_reducer[r]`` records."""
+
+    def mapper(key, line, ctx):
+        r, copies = line.split()
+        for i in range(int(copies)):
+            ctx.emit(int(r), f"v{i}")
+
+    def reducer(key, values, ctx):
+        ctx.emit(f"{key}\t{len(values)}")
+
+    cluster = Cluster(dfs=InMemoryDFS())
+    cluster.dfs.write_file(
+        "in", [f"{r} {n}" for r, n in enumerate(records_per_reducer)]
+    )
+    result = cluster.run_job(
+        MapReduceJob(
+            name=name,
+            input_paths=["in"],
+            output_path=f"{name}/out",
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=num_reducers or len(records_per_reducer),
+            partitioner=lambda key, n: key % n,
+        )
+    )
+    return result
+
+
+def _map_only_job():
+    cluster = Cluster(dfs=InMemoryDFS())
+    cluster.dfs.write_file("in", ["a", "b", "c"])
+    return cluster.run_job(
+        MapReduceJob(
+            name="map-only",
+            input_paths=["in"],
+            output_path="mo/out",
+            mapper=lambda key, line, ctx: ctx.emit(0, line.upper()),
+            reducer=None,
+            num_reducers=2,
+        )
+    )
+
+
+class TestDurationStats:
+    def test_empty(self):
+        stats = DurationStats.from_durations([])
+        assert stats.count == 0
+        assert stats.mean_s == 0.0
+        assert stats.p50_s == stats.p95_s == stats.max_s == 0.0
+
+    def test_nearest_rank_percentiles(self):
+        stats = DurationStats.from_durations(list(range(1, 11)))  # 1..10
+        assert stats.count == 10
+        assert stats.total_s == 55
+        assert stats.mean_s == 5.5
+        assert stats.p50_s == 5  # ceil(0.50 * 10) = rank 5
+        assert stats.p95_s == 10  # ceil(0.95 * 10) = rank 10
+        assert stats.max_s == 10
+
+    def test_single_sample(self):
+        stats = DurationStats.from_durations([2.5])
+        assert stats.p50_s == stats.p95_s == stats.max_s == 2.5
+
+    def test_order_independent(self):
+        assert DurationStats.from_durations([3, 1, 2]) == DurationStats.from_durations(
+            [1, 2, 3]
+        )
+
+    def test_as_dict_keys(self):
+        assert set(DurationStats().as_dict()) == {
+            "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s",
+        }
+
+
+class TestAnalyzeJob:
+    def test_reducer_records_match_engine(self):
+        result = _skewed_job([10, 40, 10, 20])
+        report = analyze_job(result)
+        assert report.reducer_records == [10, 40, 10, 20]
+        assert report.hottest_reducer == 1
+        assert report.skew == pytest.approx(40 / 20)  # max / mean
+
+    def test_total_equals_reduce_input_counter(self):
+        """The acceptance identity: per-reducer counts sum to the counter."""
+        result = _skewed_job([5, 0, 25, 10])
+        report = analyze_job(result)
+        assert report.total_reduce_records == result.counters.engine(
+            C.REDUCE_INPUT_RECORDS
+        )
+
+    def test_task_durations_and_makespans(self):
+        result = _skewed_job([10, 10])
+        report = analyze_job(result)
+        assert report.map_durations.count == len(result.map_tasks)
+        assert report.reduce_durations.count == len(result.reduce_tasks)
+        assert report.map_durations.max_s > 0
+        assert report.measured_map_makespan_s > 0
+        assert report.measured_reduce_makespan_s > 0
+        assert report.modelled_map_makespan_s == result.cost.map_s
+        assert report.modelled_reduce_makespan_s == result.cost.reduce_s
+
+    def test_map_only_job_has_no_reduce_picture(self):
+        report = analyze_job(_map_only_job())
+        assert report.reducer_records == []
+        assert report.hottest_reducer is None
+        assert report.skew == 0.0
+        assert report.reduce_durations.count == 0
+        assert report.map_durations.count > 0
+
+    def test_as_dict_round_trips_records(self):
+        report = analyze_job(_skewed_job([1, 3]))
+        d = report.as_dict()
+        assert d["reducer_records"] == [1, 3]
+        assert d["hottest_reducer"] == 1
+        assert d["map_durations"]["count"] == report.map_durations.count
+
+
+class TestWorkflowSkew:
+    def test_picks_heaviest_reduce_job(self):
+        light = _skewed_job([2, 2], name="light")  # even: skew 1.0
+        heavy = _skewed_job([10, 90], name="heavy")  # skew 1.8
+        assert workflow_skew([light, heavy]) == analyze_job(heavy).skew
+        assert workflow_skew([heavy, light]) == analyze_job(heavy).skew
+
+    def test_ignores_map_only_jobs(self):
+        assert workflow_skew([_map_only_job()]) == 0.0
+        reduced = _skewed_job([4, 8])
+        assert workflow_skew([_map_only_job(), reduced]) == analyze_job(reduced).skew
+
+    def test_empty_chain(self):
+        assert workflow_skew([]) == 0.0
+
+
+class TestDashboard:
+    def test_sections_present(self):
+        text = render_job_dashboard(_skewed_job([10, 40, 10, 20]))
+        assert "-- job skewed " in text
+        assert "wall:" in text
+        assert "simulated:" in text
+        assert "map tasks:" in text
+        assert "reduce tasks:" in text
+        assert "makespan: measured" in text
+        assert "reduce input: 80 records over 4 reducers" in text
+        assert "skew max/mean 2.00x" in text
+        assert "<- hottest cell" in text
+
+    def test_hottest_marker_on_right_row(self):
+        text = render_job_dashboard(_skewed_job([10, 40, 10, 20]))
+        (hot_line,) = [ln for ln in text.splitlines() if "<- hottest cell" in ln]
+        assert hot_line.lstrip().startswith("r001 ")
+        assert " 40" in hot_line
+
+    def test_map_only_note(self):
+        text = render_job_dashboard(_map_only_job())
+        assert "(map-only job: no reduce phase)" in text
+        assert "makespan:" not in text
+
+    def test_many_reducers_binned(self):
+        # 40 reducers collapse into <= 16 bins labelled with id ranges;
+        # a bin reports its max so the hot cell stays visible.
+        records = [5] * 40
+        records[23] = 50
+        text = render_job_dashboard(_skewed_job(records))
+        bars = [ln for ln in text.splitlines() if ln.lstrip().startswith("r0")]
+        assert 0 < len(bars) <= 16
+        assert any("-r" in ln for ln in bars)  # range labels like r021-r023
+        (hot_line,) = [ln for ln in bars if "<- hottest cell" in ln]
+        assert " 50" in hot_line
+
+    def test_workflow_dashboard_header_and_blocks(self):
+        a = _skewed_job([3, 3], name="job-a")
+        b = _skewed_job([1, 5], name="job-b")
+        text = render_workflow_dashboard([a, b], title="c-rep")
+        assert text.splitlines()[0].startswith("== c-rep: 2 job(s), wall ")
+        assert "-- job job-a " in text
+        assert "-- job job-b " in text

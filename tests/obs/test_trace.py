@@ -1,0 +1,103 @@
+"""Unit tests for the span/event recorder core (repro.obs.trace)."""
+
+import time
+
+from repro.obs.trace import _NULL_SPAN, NullRecorder, Span, TraceRecorder
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(name="s", cat="c", track="t", start_s=1.0, end_s=3.5)
+        assert span.duration_s == 2.5
+
+    def test_set_attaches_args(self):
+        span = Span(name="s", cat="c", track="t")
+        span.set("records", 7)
+        span.set("bytes", 140)
+        assert span.args == {"records": 7, "bytes": 140}
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NullRecorder().enabled is False
+
+    def test_span_returns_shared_singleton(self):
+        rec = NullRecorder()
+        assert rec.span("a") is rec.span("b", cat="x", track="y") is _NULL_SPAN
+
+    def test_span_context_is_noop(self):
+        rec = NullRecorder()
+        with rec.span("work", cat="phase", track="engine") as sp:
+            sp.set("key", "value")  # swallowed, no state anywhere
+
+    def test_add_span_and_instant_are_noops(self):
+        rec = NullRecorder()
+        assert rec.add_span("t", "c", "tr", start=0.0, end=1.0) is None
+        assert rec.instant("marker") is None
+        # No collection attributes exist to accumulate anything into.
+        assert not hasattr(rec, "spans")
+        assert not hasattr(rec, "instants")
+
+
+class TestTraceRecorder:
+    def test_enabled(self):
+        assert TraceRecorder().enabled is True
+
+    def test_span_records_interval_and_args(self):
+        rec = TraceRecorder()
+        with rec.span("work", cat="phase", track="engine") as sp:
+            sp.set("records", 3)
+        (span,) = rec.spans
+        assert span.name == "work"
+        assert span.cat == "phase"
+        assert span.track == "engine"
+        assert span.args == {"records": 3}
+        assert 0.0 <= span.start_s <= span.end_s
+
+    def test_nested_spans_close_child_first(self):
+        rec = TraceRecorder()
+        with rec.span("parent") as outer:
+            with rec.span("child"):
+                pass
+        assert [s.name for s in rec.spans] == ["child", "parent"]
+        child, parent = rec.spans
+        assert outer is parent
+        assert parent.start_s <= child.start_s
+        assert child.end_s <= parent.end_s
+
+    def test_now_is_epoch_relative_and_monotonic(self):
+        rec = TraceRecorder()
+        a = rec.now()
+        b = rec.now()
+        assert 0.0 <= a <= b
+
+    def test_add_span_converts_raw_stamps_to_epoch(self):
+        rec = TraceRecorder()
+        t0 = time.perf_counter()
+        rec.add_span("task", cat="task", track="map tasks", start=t0, end=t0 + 1.5)
+        (span,) = rec.spans
+        assert abs(span.start_s - (t0 - rec.epoch)) < 1e-9
+        assert abs(span.duration_s - 1.5) < 1e-9
+
+    def test_add_span_copies_args(self):
+        rec = TraceRecorder()
+        args = {"task": 0}
+        rec.add_span("t", "c", "tr", start=rec.epoch, end=rec.epoch + 1, args=args)
+        args["task"] = 99
+        assert rec.spans[0].args == {"task": 0}
+
+    def test_instant_zero_duration(self):
+        rec = TraceRecorder()
+        rec.instant("algorithm:c-rep", cat="experiment", track="workflow")
+        (inst,) = rec.instants
+        assert inst.start_s == inst.end_s
+        assert inst.track == "workflow"
+        assert not rec.spans
+
+    def test_tracks_in_first_appearance_order(self):
+        rec = TraceRecorder()
+        rec.add_span("b", "c", "beta", start=rec.epoch + 2, end=rec.epoch + 3)
+        rec.add_span("a", "c", "alpha", start=rec.epoch + 0, end=rec.epoch + 1)
+        rec.instant("i", track="gamma")  # fires at now(), between the two
+        # Ordered by earliest start, not by append order.
+        assert rec.tracks() == ["alpha", "gamma", "beta"]

@@ -1,0 +1,132 @@
+"""Golden test: tracing observes, it never changes the computation.
+
+The observability acceptance contract of PR 3: with a live
+:class:`~repro.obs.trace.TraceRecorder` attached, every algorithm's
+counters, part files and simulated seconds are byte-identical to an
+untraced run — recording must be a pure observer.  The same runs also
+feed the trace-side acceptance checks: the emitted trace validates
+against the Chrome trace-event schema, and the skew report's per-reducer
+record counts sum exactly to the ``REDUCE_INPUT_RECORDS`` counter of
+every reduce job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.mapreduce.counters import C
+from repro.mapreduce.engine import Cluster
+from repro.obs import (
+    TraceRecorder,
+    analyze_job,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+N_PER_RELATION = 400
+SPACE_SIDE = 4_800.0
+SEED = 11
+
+OUTPUT_DIRS = {
+    "cascade": "two-way-cascade/output",
+    "all-rep": "all-replicate/output",
+    "c-rep": "controlled-replicate/output",
+    "c-rep-l": "controlled-replicate-limit/output",
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_chain(
+        N_PER_RELATION, SPACE_SIDE, names=("R1", "R2", "R3"), seed=SEED
+    )
+
+
+def _run(workload, algorithm_name, recorder=None):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    kwargs = {"recorder": recorder} if recorder is not None else {}
+    cluster = Cluster(**kwargs)
+    algorithm = make_algorithm(algorithm_name, query=query, d_max=workload.d_max)
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    snapshot = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.resolve(OUTPUT_DIRS[algorithm_name])
+    }
+    return snapshot, result
+
+
+@pytest.fixture(scope="module")
+def runs(workload):
+    """Per algorithm: an untraced run and a traced run (plus its recorder)."""
+    out = {}
+    for name in ALGORITHMS:
+        untraced_snapshot, untraced = _run(workload, name)
+        recorder = TraceRecorder()
+        traced_snapshot, traced = _run(workload, name, recorder=recorder)
+        out[name] = (untraced_snapshot, untraced, traced_snapshot, traced, recorder)
+    return out
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_traced_run_is_byte_identical(runs, algorithm_name):
+    untraced_snapshot, untraced, traced_snapshot, traced, __ = runs[algorithm_name]
+    # Part files: same names, byte-identical lines.
+    assert traced_snapshot == untraced_snapshot
+    assert traced.tuples == untraced.tuples
+    # Per-job: every counter and the simulated seconds, job by job.
+    assert len(traced.workflow.job_results) == len(untraced.workflow.job_results)
+    for t, u in zip(traced.workflow.job_results, untraced.workflow.job_results):
+        assert t.job_name == u.job_name
+        assert t.counters.as_dict() == u.counters.as_dict()
+        assert t.simulated_seconds == u.simulated_seconds
+        assert t.output_records == u.output_records
+    assert traced.stats.simulated_seconds == untraced.stats.simulated_seconds
+    assert traced.stats.shuffled_records == untraced.stats.shuffled_records
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_emitted_trace_validates(runs, algorithm_name):
+    *__, recorder = runs[algorithm_name]
+    assert recorder.spans  # the run actually recorded something
+    trace = to_chrome_trace(recorder, process_name=algorithm_name)
+    assert validate_chrome_trace(trace) == []
+    json.dumps(trace)  # serialisable end to end
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_trace_covers_every_job(runs, algorithm_name):
+    *__, traced, recorder = runs[algorithm_name]
+    job_spans = {s.name for s in recorder.spans if s.cat == "job"}
+    assert job_spans == {
+        f"job:{r.job_name}" for r in traced.workflow.job_results
+    }
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_reducer_histogram_sums_to_counter(runs, algorithm_name):
+    *__, traced, __rec = runs[algorithm_name]
+    saw_reduce_job = False
+    for job_result in traced.workflow.job_results:
+        report = analyze_job(job_result)
+        assert report.total_reduce_records == job_result.counters.engine(
+            C.REDUCE_INPUT_RECORDS
+        )
+        if report.reducer_records:
+            saw_reduce_job = True
+    assert saw_reduce_job  # every algorithm reduces somewhere
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_golden_output_is_nonempty(runs, algorithm_name):
+    """Guard the guard: empty output would make identity checks vacuous."""
+    untraced_snapshot, untraced, *__ = runs[algorithm_name]
+    assert untraced.tuples
+    assert any(lines for lines in untraced_snapshot.values())

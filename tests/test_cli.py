@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import validate_chrome_trace
 
 
 class TestJoinCommand:
@@ -66,6 +69,62 @@ class TestReportCommand:
         for n in range(2, 10):
             assert f"Table {n}" in text
         assert "wrote EXP.md" in capsys.readouterr().out
+
+
+class TestObsFlags:
+    def test_join_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "150", "--space", "1000",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace {trace_path}" in out
+        assert f"wrote metrics {metrics_path}" in out
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["version"] == 1
+        assert "c-rep" in metrics["runs"]
+        assert metrics["runs"]["c-rep"]["jobs"]
+
+    def test_join_verbose_prints_dashboard_and_skew(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "150", "--space", "1000",
+            "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduce skew (max/mean):" in out
+        assert "== c-rep:" in out
+        assert "reduce input:" in out
+
+    def test_table_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "table6", "--scale", "0.05",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        metrics = json.loads(metrics_path.read_text())
+        assert "table6" in metrics["tables"]
+        assert metrics["tables"]["table6"]["rows"]
+
+    def test_table_verbose_prints_row_dashboards(self, capsys):
+        code = main(["table6", "--scale", "0.05", "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### Table 6 row" in out
+        assert "reduce input:" in out
+
+    def test_report_has_no_obs_flags(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--trace", "x.json"])
 
 
 class TestQueryFlag:
