@@ -86,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_join.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
     _add_executor_args(p_join)
     _add_obs_args(p_join)
+    _add_fault_args(p_join)
     return parser
 
 
@@ -124,6 +125,48 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
         "--verbose",
         action="store_true",
         help="print the per-job skew/phase dashboard after each run",
+    )
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help=(
+            "allowed failures per task before the job aborts "
+            "(Hadoop's mapred.*.max.attempts; default 1 = fail fast)"
+        ),
+    )
+    p.add_argument(
+        "--speculate",
+        action="store_true",
+        help="launch backup attempts for stragglers (first finisher wins)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="inject the deterministic FaultPlan in this JSON file",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the workflow checkpoint manifest, skipping jobs "
+            "whose outputs are complete (needs --dfs-root)"
+        ),
+    )
+    p.add_argument(
+        "--dfs-root",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "back the cluster with an on-disk DFS rooted here (durable "
+            "outputs + checkpoints; enables cross-process --resume)"
+        ),
     )
 
 
@@ -217,6 +260,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         grid = derive_grid(workload.datasets, args.grid_cells)
         recorder = _make_recorder(args)
         sink: dict = {}
+        from repro.errors import JobError
+        from repro.mapreduce.faults import FaultPlan, RetryPolicy
+
+        if args.resume and not args.dfs_root:
+            raise JobError(
+                "--resume needs --dfs-root (an in-memory DFS has nothing "
+                "left to resume from)"
+            )
+        dfs = None
+        if args.dfs_root:
+            from repro.mapreduce.localfs import LocalFSDFS
+
+            dfs = LocalFSDFS(args.dfs_root)
         metrics, __, output_tuples = run_algorithms(
             query,
             workload.datasets,
@@ -229,6 +285,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             recorder=recorder,
             sink=sink,
+            dfs=dfs,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts, speculate=args.speculate
+            ),
+            fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
+            checkpoint_dir="checkpoints" if args.dfs_root else None,
+            resume=args.resume,
         )
         m = metrics[args.algorithm]
         print(f"query: {query}")
@@ -239,6 +302,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"rectangles after replication: {m.rectangles_after_replication}")
         if m.reduce_skew:
             print(f"reduce skew (max/mean): {m.reduce_skew:.2f}x")
+        workflow = sink[args.algorithm].workflow
+        eng = workflow.counters.engine
+        if eng("task_attempts"):
+            print(
+                f"task attempts: {eng('task_attempts')} "
+                f"({eng('task_failures')} failures, "
+                f"{eng('speculative_launches')} speculative, "
+                f"{eng('speculative_wins')} speculative wins)"
+            )
+        resumed = sum(1 for r in workflow.job_results if r.resumed)
+        if resumed:
+            print(
+                f"resumed from checkpoint: {resumed}/{len(workflow.job_results)} "
+                "job(s) restored without re-execution"
+            )
         if args.verbose:
             from repro.obs import render_workflow_dashboard
 

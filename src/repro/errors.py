@@ -37,6 +37,32 @@ class JobError(MapReduceError):
     """Raised when a map-reduce job specification is invalid or a task fails."""
 
 
+class InjectedFault(MapReduceError):
+    """A failure injected by a :class:`repro.mapreduce.faults.FaultPlan`.
+
+    Distinct from :class:`JobError` so tests can tell injected chaos from
+    genuine task failures; the recovery layer treats both identically
+    (capture, retry, exhaust).
+    """
+
+
+class TaskRetryExhausted(JobError):
+    """A task failed on every allowed attempt; the job is dead.
+
+    Carries the task's full attempt log (a tuple of
+    :class:`repro.mapreduce.faults.TaskAttempt`) so post-mortems can see
+    what each attempt did — Hadoop's "Task attempt_... failed 4 times"
+    with the per-attempt diagnostics attached.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+    def __reduce__(self):  # picklable across process pools
+        return (type(self), (self.args[0], self.attempts))
+
+
 class JoinError(ReproError):
     """Raised when a join algorithm is asked to run an unsupported query."""
 

@@ -247,6 +247,11 @@ def run_algorithms(
     recorder: NullRecorder | None = None,
     verbose: bool = False,
     sink: dict[str, JoinResult] | None = None,
+    dfs=None,
+    retry=None,
+    fault_plan=None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
     """Run each named algorithm on a fresh cluster over the same workload.
 
@@ -259,6 +264,13 @@ def run_algorithms(
     per-job skew dashboard after each algorithm; ``sink`` receives each
     algorithm's full :class:`~repro.joins.base.JoinResult` keyed by name
     (for metrics export).
+
+    The fault-tolerance knobs pass straight to the cluster: ``retry`` (a
+    :class:`~repro.mapreduce.faults.RetryPolicy`), ``fault_plan``,
+    ``checkpoint_dir`` and ``resume``; ``dfs`` substitutes a shared
+    backend (e.g. a :class:`~repro.mapreduce.localfs.LocalFSDFS` so a
+    later process can resume from its durable outputs) for the default
+    fresh in-memory DFS per algorithm.
     """
     if not algorithms:
         raise ExperimentError("no algorithms requested")
@@ -270,11 +282,18 @@ def run_algorithms(
     output_tuples = 0
     for name in algorithms:
         algorithm = make_algorithm(name, query=query, d_max=d_max)
+        cluster_kwargs = {} if dfs is None else {"dfs": dfs}
+        if retry is not None:
+            cluster_kwargs["retry"] = retry
         cluster = Cluster(
             cost_model=cost_model or CostModel(),
             executor=executor,
             num_workers=num_workers,
             recorder=recorder if recorder is not None else NullRecorder(),
+            fault_plan=fault_plan,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            **cluster_kwargs,
         )
         if recorder is not None and recorder.enabled:
             recorder.instant(

@@ -61,7 +61,8 @@ class AllReplicateJoin(MultiWayJoinAlgorithm):
         self._check_inputs(query, datasets)
         paths = stage_datasets(cluster, datasets)
         output_path = f"{self.name}/output"
-        if cluster.dfs.exists(output_path):
+        # Under resume the previous output is a restorable checkpoint.
+        if not cluster.resume and cluster.dfs.exists(output_path):
             cluster.dfs.delete(output_path)
 
         joiner = LocalJoiner(query, self.index_kind)

@@ -168,7 +168,8 @@ class CascadeJoin(MultiWayJoinAlgorithm):
             step_output = (
                 output_path if step.is_final else f"{self.name}/step-{i}"
             )
-            if cluster.dfs.exists(step_output):
+            # Under resume step outputs are restorable checkpoints.
+            if not cluster.resume and cluster.dfs.exists(step_output):
                 cluster.dfs.delete(step_output)
             right_path = paths[query.dataset_of(step.new_slot)]
             if left_is_tuples:

@@ -88,9 +88,12 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
         paths = stage_datasets(cluster, datasets)
         marked_path = f"{self.name}/marked"
         output_path = f"{self.name}/output"
-        for path in (marked_path, output_path):
-            if cluster.dfs.exists(path):
-                cluster.dfs.delete(path)
+        # Under resume the previous run's outputs ARE the checkpoints —
+        # the workflow decides per job whether to restore or re-run.
+        if not cluster.resume:
+            for path in (marked_path, output_path):
+                if cluster.dfs.exists(path):
+                    cluster.dfs.delete(path)
 
         if self.marking_factory is not None:
             marking = self.marking_factory(query, grid)

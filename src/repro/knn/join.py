@@ -176,7 +176,11 @@ class KnnJoin:
         # Clear leftovers from a previous run on this cluster: a run with
         # fewer reducers would otherwise merge the old run's surviving
         # part files into its results.
-        for stale in (qpath, candidates_dir):
+        # Under resume intermediate outputs are restorable checkpoints
+        # (qpath is rewritten below either way — the staged query file
+        # must reflect the current call's queries).
+        stale_paths = (qpath,) if cluster.resume else (qpath, candidates_dir)
+        for stale in stale_paths:
             if cluster.dfs.exists(stale):
                 cluster.dfs.delete(stale)
         cluster.dfs.write_records(

@@ -30,27 +30,51 @@ __all__ = ["CostModel", "TaskStats", "JobCostBreakdown"]
 
 @dataclass(frozen=True, slots=True)
 class TaskStats:
-    """Work volumes of one map or reduce task."""
+    """Work volumes of one map or reduce task.
+
+    ``attempts`` is the task's attempt history (a tuple of
+    :class:`repro.mapreduce.faults.TaskAttempt`) when the job ran under
+    recovery dispatch — empty on the seed fast path.  It is telemetry
+    only: the cost model charges the *winning* attempt's volumes here
+    and the wasted attempts through the job-level fault-overhead term.
+    """
 
     input_records: int = 0
     input_bytes: int = 0
     output_records: int = 0
     output_bytes: int = 0
     compute_ops: int = 0
+    attempts: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
 class JobCostBreakdown:
-    """Per-phase simulated seconds of one job."""
+    """Per-phase simulated seconds of one job.
+
+    ``fault_overhead_s`` charges the recovery machinery's wasted work —
+    re-launched attempts, speculative losers, retry backoff — and is
+    deliberately **excluded** from :attr:`total_s`.  The determinism
+    contract of :mod:`repro.mapreduce.faults` promises that an absorbed
+    fault plan leaves the canonical simulated seconds byte-identical to
+    the fault-free run; the overhead is reported separately (and folded
+    in by :attr:`total_with_faults_s`) so chaos runs remain comparable
+    with clean ones.
+    """
 
     startup_s: float
     map_s: float
     shuffle_s: float
     reduce_s: float
+    fault_overhead_s: float = 0.0
 
     @property
     def total_s(self) -> float:
         return self.startup_s + self.map_s + self.shuffle_s + self.reduce_s
+
+    @property
+    def total_with_faults_s(self) -> float:
+        """End-to-end seconds including the recovery overhead term."""
+        return self.total_s + self.fault_overhead_s
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict form for metrics snapshots and dashboards."""
@@ -59,6 +83,7 @@ class JobCostBreakdown:
             "map_s": self.map_s,
             "shuffle_s": self.shuffle_s,
             "reduce_s": self.reduce_s,
+            "fault_overhead_s": self.fault_overhead_s,
             "total_s": self.total_s,
         }
 
@@ -152,6 +177,18 @@ class CostModel:
             nbytes / self.shuffle_bytes_per_s
             + records * self.shuffle_record_overhead_s
         )
+
+    def fault_overhead_seconds(self, wasted_attempts: int, backoff_s: float) -> float:
+        """Simulated cost of recovery: wasted launches plus retry backoff.
+
+        Each wasted attempt (a failed try, a discarded speculative
+        loser, a failed part-file commit) burned at least its task
+        startup; ``backoff_s`` is the already-simulated exponential
+        backoff charged by the retry policy.  Reported on
+        :attr:`JobCostBreakdown.fault_overhead_s`, outside the canonical
+        total — see that field's docstring.
+        """
+        return wasted_attempts * self.task_startup_s + backoff_s
 
     @staticmethod
     def makespan(task_seconds: Sequence[float], slots: int) -> float:

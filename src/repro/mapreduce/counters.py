@@ -32,6 +32,15 @@ class C:
     DFS_BYTES_READ = "dfs_bytes_read"
     DFS_BYTES_WRITTEN = "dfs_bytes_written"
 
+    # Recovery telemetry (only present when the job ran under recovery
+    # dispatch — a fault plan, max_attempts > 1 or speculation; the seed
+    # fast path emits none of these, and the fault-tolerance golden
+    # tests compare counters modulo this set).
+    TASK_ATTEMPTS = "task_attempts"
+    TASK_FAILURES = "task_failures"
+    SPECULATIVE_LAUNCHES = "speculative_launches"
+    SPECULATIVE_WINS = "speculative_wins"
+
 
 class Counters:
     """A two-level ``group -> name -> int`` counter map.

@@ -186,6 +186,15 @@ class InMemoryDFS:
         """Total size of every file under a directory."""
         return sum(self.file_size(f) for f in self.list_dir(path))
 
+    def dir_manifest(self, path: str) -> list[tuple[str, int]]:
+        """Sorted ``(file, size)`` pairs under a directory — no read charge.
+
+        The completeness fingerprint workflow checkpoints store and
+        verify on resume: a job output whose manifest matches was fully
+        committed (part files are written atomically, last file last).
+        """
+        return [(f, self.file_size(f)) for f in self.list_dir(path)]
+
     def num_records(self, path: str) -> int:
         """Record (line) count of a file or directory."""
         norm = _normalize(path)

@@ -35,16 +35,22 @@ test-suite asserts.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import groupby
 from operator import itemgetter
 from typing import Any
 
-from repro.errors import JobError
+from repro.errors import JobError, TaskRetryExhausted
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.executor import make_executor
+from repro.mapreduce.faults import (
+    FaultPlan,
+    PhaseReport,
+    RetryPolicy,
+    run_phase_with_recovery,
+)
 from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
 from repro.obs.trace import NullRecorder
 
@@ -96,6 +102,10 @@ class JobResult:
     reduce_tasks: list[TaskStats]
     cost: JobCostBreakdown
     output_records: int = 0
+    #: ``True`` when the job was *not* re-executed: the workflow restored
+    #: this result from its checkpoint manifest (see
+    #: :meth:`repro.mapreduce.workflow.Workflow.resume`)
+    resumed: bool = False
     #: measured end-to-end duration of the job on the host machine
     wall_clock_seconds: float = 0.0
     #: wall-clock decomposition of the total (split/map/shuffle/reduce/write)
@@ -306,6 +316,64 @@ def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
     )
 
 
+class _WriteRecovery:
+    """Absorbs injected part-file commit failures (plan phase ``write``).
+
+    A matching ``fail`` spec makes the commit of part ``r`` raise
+    *before* any byte reaches the DFS (Hadoop's failed output commit),
+    so absorbed write faults leave ``DFS_BYTES_WRITTEN`` untouched.  The
+    engine calls :meth:`precommit` in front of every part write; it
+    loops attempts until one is fault-free, charging simulated backoff
+    per retry, and raises :class:`~repro.errors.TaskRetryExhausted` when
+    the part burned ``max_attempts`` failures.
+    """
+
+    __slots__ = ("_job", "_plan", "_policy", "_rec", "failures", "backoff_s")
+
+    def __init__(
+        self,
+        job_name: str,
+        plan: FaultPlan | None,
+        policy: RetryPolicy,
+        recorder: NullRecorder,
+    ) -> None:
+        self._job = job_name
+        self._plan = plan
+        self._policy = policy
+        self._rec = recorder
+        self.failures = 0
+        self.backoff_s = 0.0
+
+    def precommit(self, r: int, part_path: str) -> None:
+        if self._plan is None or self._plan.is_empty:
+            return
+        attempt = 0
+        while any(
+            spec.kind == "fail"
+            for spec in self._plan.matching(self._job, "write", r, attempt)
+        ):
+            self.failures += 1
+            attempt += 1
+            if attempt >= self._policy.max_attempts:
+                raise TaskRetryExhausted(
+                    f"injected DFS write failure: commit of {part_path} in job "
+                    f"{self._job!r} failed {attempt} attempt(s)"
+                )
+            backoff = self._policy.backoff_before(attempt)
+            self.backoff_s += backoff
+            if self._rec.enabled:
+                self._rec.instant(
+                    "retry-backoff",
+                    cat="attempt",
+                    track="write attempts",
+                    args={
+                        "part": r,
+                        "attempt": attempt,
+                        "backoff_simulated_s": backoff,
+                    },
+                )
+
+
 @dataclass
 class Cluster:
     """A simulated map-reduce cluster bound to one DFS instance.
@@ -341,6 +409,26 @@ class Cluster:
         :class:`~repro.obs.trace.TraceRecorder` collects job/phase/task
         spans for Perfetto export.  Recording never changes counters,
         part files or simulated seconds.
+    retry:
+        The :class:`~repro.mapreduce.faults.RetryPolicy` governing task
+        re-dispatch and speculation.  The default (``max_attempts=1``,
+        no speculation) keeps the seed's fail-fast dispatch with zero
+        overhead; Hadoop 0.20's own default allows 4 attempts.
+    fault_plan:
+        Optional :class:`~repro.mapreduce.faults.FaultPlan` injecting
+        deterministic chaos into every job this cluster runs.  Any plan
+        the retry policy absorbs leaves part files, pre-existing
+        counters and simulated seconds byte-identical to a fault-free
+        run (the determinism contract).
+    checkpoint_dir:
+        DFS directory where :class:`~repro.mapreduce.workflow.Workflow`
+        persists its per-job completion manifest (``None`` disables
+        checkpointing).
+    resume:
+        ``True`` makes workflows restore completed jobs from the
+        checkpoint manifest instead of re-running them, and makes the
+        join algorithms keep (rather than delete) existing output
+        directories on startup.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -350,14 +438,37 @@ class Cluster:
     num_workers: int | None = None
     typed_io: bool = True
     recorder: NullRecorder = field(default_factory=NullRecorder)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: FaultPlan | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def run_job(self, job: MapReduceJob) -> JobResult:
-        """Execute one job; raises :class:`JobError` on task failure."""
+        """Execute one job; raises :class:`JobError` on task failure.
+
+        With a fault plan or an active retry policy, tasks run under
+        recovery dispatch (:func:`repro.mapreduce.faults.run_phase_with_recovery`):
+        failed attempts are retried up to ``retry.max_attempts``, part
+        writes absorb injected commit failures, stragglers may race
+        speculative backups, and the recovery telemetry lands in the
+        ``task_*``/``speculative_*`` counters plus the cost breakdown's
+        fault-overhead term.  Otherwise the dispatch is byte-for-byte
+        the seed fast path.
+        """
         started = time.perf_counter()
         rec = self.recorder
         executor = make_executor(self.executor, self.num_workers)
         counters = Counters()
         timings = PhaseTimings()
+        recovery_active = (
+            self.fault_plan is not None and not self.fault_plan.is_empty
+        ) or self.retry.active
+        wrec = (
+            _WriteRecovery(job.name, self.fault_plan, self.retry, rec)
+            if recovery_active
+            else None
+        )
+        reduce_report: PhaseReport | None = None
 
         with rec.span(f"job:{job.name}", cat="job", track="engine") as job_span:
             read_before = self.dfs.bytes_read
@@ -370,7 +481,7 @@ class Cluster:
 
             t0 = time.perf_counter()
             with rec.span("map", cat="phase", track="engine") as sp:
-                map_results, map_tasks = self._run_map_phase(
+                map_results, map_tasks, map_report = self._run_map_phase(
                     job, splits, counters, executor
                 )
                 sp.set("tasks", len(map_tasks))
@@ -387,7 +498,7 @@ class Cluster:
                 t0 = time.perf_counter()
                 with rec.span("write", cat="phase", track="engine") as sp:
                     reduce_tasks, output_records = self._write_map_only_output(
-                        job, map_results, counters
+                        job, map_results, counters, wrec
                     )
                     sp.set("records", output_records)
                 timings.write_s = time.perf_counter() - t0
@@ -401,8 +512,16 @@ class Cluster:
 
                 t0 = time.perf_counter()
                 with rec.span("reduce", cat="phase", track="engine") as sp:
-                    task_results = executor.run_phase(
-                        _run_reduce_task, job.num_reducers, _ReducePhase(job, merged)
+                    task_results, reduce_report = run_phase_with_recovery(
+                        executor,
+                        _run_reduce_task,
+                        job.num_reducers,
+                        _ReducePhase(job, merged),
+                        job=job.name,
+                        phase="reduce",
+                        policy=self.retry,
+                        plan=self.fault_plan,
+                        recorder=rec,
                     )
                     sp.set("tasks", job.num_reducers)
                 timings.reduce_s = time.perf_counter() - t0
@@ -411,7 +530,7 @@ class Cluster:
                 t0 = time.perf_counter()
                 with rec.span("write", cat="phase", track="engine") as sp:
                     reduce_tasks, output_records = self._write_reduce_output(
-                        job, task_results, input_bytes, counters
+                        job, task_results, input_bytes, counters, wrec, reduce_report
                     )
                     sp.set("records", output_records)
                 timings.write_s = time.perf_counter() - t0
@@ -427,6 +546,10 @@ class Cluster:
                 shuffle_records=counters.engine(C.MAP_OUTPUT_RECORDS),
                 shuffle_bytes=counters.engine(C.MAP_OUTPUT_BYTES),
             )
+            if recovery_active:
+                cost = self._merge_recovery(
+                    counters, cost, (map_report, reduce_report), wrec, job_span
+                )
             job_span.set("simulated_s", cost.total_s)
             job_span.set("map_output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
             job_span.set("reduce_input_records", counters.engine(C.REDUCE_INPUT_RECORDS))
@@ -445,6 +568,49 @@ class Cluster:
             map_task_wall=map_task_wall,
             reduce_task_wall=reduce_task_wall,
         )
+
+    def _merge_recovery(
+        self,
+        counters: Counters,
+        cost: JobCostBreakdown,
+        reports: tuple[PhaseReport | None, ...],
+        wrec: _WriteRecovery,
+        job_span,
+    ) -> JobCostBreakdown:
+        """Fold phase recovery telemetry into counters and the cost term.
+
+        The new counters live alongside the seed set but never appear on
+        the fast path; the wasted work (extra attempts, failed commits,
+        simulated backoff) is charged to the breakdown's
+        ``fault_overhead_s`` — outside ``total_s``, per the determinism
+        contract.
+        """
+        launched = failures = wasted = 0
+        spec_launched = spec_wins = 0
+        backoff_s = 0.0
+        for report in reports:
+            if report is None:
+                continue
+            launched += report.launched
+            failures += report.failures
+            wasted += report.extra_attempts
+            spec_launched += report.speculative_launched
+            spec_wins += report.speculative_wins
+            backoff_s += report.backoff_s
+        failures += wrec.failures
+        wasted += wrec.failures
+        backoff_s += wrec.backoff_s
+        counters.add(C.GROUP_ENGINE, C.TASK_ATTEMPTS, launched)
+        counters.add(C.GROUP_ENGINE, C.TASK_FAILURES, failures)
+        counters.add(C.GROUP_ENGINE, C.SPECULATIVE_LAUNCHES, spec_launched)
+        counters.add(C.GROUP_ENGINE, C.SPECULATIVE_WINS, spec_wins)
+        job_span.set("task_attempts", launched)
+        job_span.set("task_failures", failures)
+        overhead = self.cost_model.fault_overhead_seconds(wasted, backoff_s)
+        if overhead:
+            job_span.set("fault_overhead_s", overhead)
+            cost = replace(cost, fault_overhead_s=overhead)
+        return cost
 
     @staticmethod
     def _task_wall(
@@ -537,11 +703,27 @@ class Cluster:
         splits: list[list[tuple[str, int, Any, int]]],
         counters: Counters,
         executor,
-    ) -> tuple[list[_MapTaskResult], list[TaskStats]]:
-        results = executor.run_phase(_run_map_task, len(splits), _MapPhase(job, splits))
+    ) -> tuple[list[_MapTaskResult], list[TaskStats], PhaseReport | None]:
+        results, report = run_phase_with_recovery(
+            executor,
+            _run_map_task,
+            len(splits),
+            _MapPhase(job, splits),
+            job=job.name,
+            phase="map",
+            policy=self.retry,
+            plan=self.fault_plan,
+            recorder=self.recorder,
+        )
         for result in results:  # merge shards in task-id order
             counters.merge(result.counters)
-        return results, [result.stats for result in results]
+        stats = [result.stats for result in results]
+        if report is not None:  # attach per-task attempt histories
+            stats = [
+                replace(s, attempts=tuple(report.attempts[i]))
+                for i, s in enumerate(stats)
+            ]
+        return results, stats, report
 
     # ------------------------------------------------------------------
     # Shuffle, reduce and write stages
@@ -571,6 +753,8 @@ class Cluster:
         task_results: list[_ReduceTaskResult],
         input_bytes: list[int],
         counters: Counters,
+        wrec: _WriteRecovery | None = None,
+        report: PhaseReport | None = None,
     ) -> tuple[list[TaskStats], int]:
         """Merge reduce-task shards and write part files in reducer order."""
         stats: list[TaskStats] = []
@@ -578,6 +762,8 @@ class Cluster:
         for r, result in enumerate(task_results):
             counters.merge(result.counters)
             part_path = f"{job.output_path}/part-{r:05d}"
+            if wrec is not None:
+                wrec.precommit(r, part_path)
             if job.output_codec is not None:
                 # Encode-once: records become lines (byte accounting and
                 # durability) and stay resident for the next job's map.
@@ -594,6 +780,7 @@ class Cluster:
                     output_records=len(result.lines),
                     output_bytes=nbytes,
                     compute_ops=result.compute_ops,
+                    attempts=tuple(report.attempts[r]) if report is not None else (),
                 )
             )
         return stats, total_output
@@ -603,6 +790,7 @@ class Cluster:
         job: MapReduceJob,
         map_results: list[_MapTaskResult],
         counters: Counters,
+        wrec: _WriteRecovery | None = None,
     ) -> tuple[list[TaskStats], int]:
         """Map-only jobs write partitioned but unsorted/unreduced output.
 
@@ -626,6 +814,8 @@ class Cluster:
                         )
                     lines.append(value)
             part_path = f"{job.output_path}/part-{r:05d}"
+            if wrec is not None:
+                wrec.precommit(r, part_path)
             if job.output_codec is not None:
                 nbytes = self.dfs.write_records(part_path, lines, job.output_codec)
             else:

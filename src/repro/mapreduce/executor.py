@@ -48,8 +48,10 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import threading
+import time
 from collections.abc import Callable
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any
 
 from repro.errors import JobError
@@ -60,6 +62,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PhaseSession",
     "make_executor",
     "default_workers",
 ]
@@ -76,6 +79,55 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+class PhaseSession(abc.ABC):
+    """Streaming task dispatch: submit tagged invocations, await completions.
+
+    The recovery layer (:mod:`repro.mapreduce.faults`) uses sessions for
+    speculative execution, where the task population grows *while* the
+    phase runs — a straggler gets a backup attempt submitted mid-flight
+    and the first finisher wins.  ``run_phase`` cannot express that (its
+    task list is fixed up front), so parallel back-ends expose this
+    lower-level API as well:
+
+    * :meth:`submit` enqueues ``worker(payload, tag)`` where ``tag`` is
+      an arbitrary (picklable) value identifying the invocation — the
+      recovery layer uses ``(task index, attempt id, speculative)``
+      tuples;
+    * :meth:`next_done` blocks until any submitted invocation finishes
+      and returns ``(tag, result)``, or ``None`` on timeout so the
+      caller can run its straggler monitor between completions.
+
+    Sessions are context managers; leaving the ``with`` block releases
+    the pool, abandoning invocations that are still running (their
+    results are discarded — exactly the semantics a speculative loser
+    needs).
+    """
+
+    @abc.abstractmethod
+    def submit(self, tag: Any) -> None:
+        """Enqueue one ``worker(payload, tag)`` invocation."""
+
+    @abc.abstractmethod
+    def next_done(self, timeout: float | None = None):
+        """``(tag, result)`` of the next finished invocation, or ``None``.
+
+        Raises the invocation's exception if it raised.  ``None`` is
+        returned only on timeout; with no timeout the call blocks until
+        a completion arrives (calling with nothing outstanding is a
+        caller bug and raises :class:`~repro.errors.JobError`).
+        """
+
+    def __enter__(self) -> "PhaseSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the pool, discarding unfinished invocations."""
+
+
 class TaskExecutor(abc.ABC):
     """Runs one phase of independent tasks, preserving task-id order."""
 
@@ -88,6 +140,13 @@ class TaskExecutor(abc.ABC):
         Returns the results ordered by task id.  A task exception
         aborts the phase and propagates to the caller.
         """
+
+    def open_session(self, worker: TaskWorker, payload: Any) -> PhaseSession | None:
+        """A streaming :class:`PhaseSession`, or ``None`` when the
+        back-end has no useful concurrency to offer (serial execution,
+        or a single worker).  Callers must fall back to :meth:`run_phase`
+        on ``None``."""
+        return None
 
 
 class SerialExecutor(TaskExecutor):
@@ -116,15 +175,66 @@ class ThreadExecutor(TaskExecutor):
             futures = [
                 pool.submit(worker, payload, i) for i in range(num_tasks)
             ]
+            # Wait until everything finished or something failed; a
+            # failure cancels the still-queued tail instead of running
+            # every remaining task to completion first (the pool starts
+            # tasks in submission order, so cancelled futures are always
+            # a suffix and never hide a lower failing task id).
+            wait(futures, return_when=FIRST_EXCEPTION)
+            if any(f.done() and not f.cancelled() and f.exception() for f in futures):
+                for f in futures:
+                    f.cancel()
             # Collect in submission order: results land at their task id
             # and the lowest failing task id is the one that raises.
-            return [f.result() for f in futures]
+            return [f.result() for f in futures if not f.cancelled()]
+
+    def open_session(self, worker: TaskWorker, payload: Any) -> PhaseSession | None:
+        if self.num_workers <= 1:
+            return None
+        return _ThreadSession(worker, payload, self.num_workers)
+
+
+class _ThreadSession(PhaseSession):
+    """Thread-pool session: payload shared by reference, tags by value."""
+
+    def __init__(self, worker: TaskWorker, payload: Any, num_workers: int) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+        self._worker = worker
+        self._payload = payload
+        self._pending: dict[Any, Any] = {}  # future -> tag
+
+    def submit(self, tag: Any) -> None:
+        self._pending[self._pool.submit(self._worker, self._payload, tag)] = tag
+
+    def next_done(self, timeout: float | None = None):
+        if not self._pending:
+            raise JobError("next_done called with no outstanding invocations")
+        done, __ = wait(self._pending, timeout=timeout, return_when=FIRST_COMPLETED)
+        if not done:
+            return None
+        future = next(iter(done))
+        tag = self._pending.pop(future)
+        return tag, future.result()
+
+    def close(self) -> None:
+        # Unstarted invocations are dropped; running ones finish in the
+        # background with their results discarded (speculative losers).
+        for future in self._pending:
+            future.cancel()
+        self._pool.shutdown(wait=False)
+        self._pending.clear()
 
 
 # Payload handoff for forked workers.  Set in the parent immediately
 # before the pool forks; children inherit it through copy-on-write, so
-# nothing here is ever pickled.
+# nothing here is ever pickled.  The lock serializes the set-fork-restore
+# window so nested or concurrent ``run_phase`` calls (retry rounds
+# re-dispatching a phase, two clusters on two threads) can never fork a
+# pool against another call's payload; save-and-restore (instead of
+# resetting to ``None``) keeps an outer call's state intact across an
+# inner one.
 _FORK_STATE: tuple[TaskWorker, Any] | None = None
+_FORK_LOCK = threading.Lock()
 
 
 def _run_forked_task(index: int):
@@ -140,8 +250,23 @@ class ProcessExecutor(TaskExecutor):
     def __init__(self, num_workers: int | None = None) -> None:
         self.num_workers = num_workers if num_workers else default_workers()
 
-    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
+    @staticmethod
+    def _fork_pool(ctx, worker: TaskWorker, payload: Any, processes: int):
+        """Fork a pool whose workers inherit ``(worker, payload)``.
+
+        The global is published only for the duration of the fork and
+        restored to whatever it held before, under the module lock.
+        """
         global _FORK_STATE
+        with _FORK_LOCK:
+            saved = _FORK_STATE
+            _FORK_STATE = (worker, payload)
+            try:
+                return ctx.Pool(processes=processes)
+            finally:
+                _FORK_STATE = saved
+
+    def run_phase(self, worker: TaskWorker, num_tasks: int, payload: Any) -> list:
         if num_tasks <= 1 or self.num_workers <= 1:
             return SerialExecutor().run_phase(worker, num_tasks, payload)
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -151,16 +276,57 @@ class ProcessExecutor(TaskExecutor):
                 worker, num_tasks, payload
             )
         ctx = multiprocessing.get_context("fork")
-        _FORK_STATE = (worker, payload)
-        try:
-            with ctx.Pool(processes=min(self.num_workers, num_tasks)) as pool:
-                # imap (not map) so the lowest failing task id raises
-                # first, matching the serial error behaviour.
-                return list(
-                    pool.imap(_run_forked_task, range(num_tasks), chunksize=1)
-                )
-        finally:
-            _FORK_STATE = None
+        pool = self._fork_pool(ctx, worker, payload, min(self.num_workers, num_tasks))
+        with pool:
+            # imap (not map) so the lowest failing task id raises
+            # first, matching the serial error behaviour.
+            return list(
+                pool.imap(_run_forked_task, range(num_tasks), chunksize=1)
+            )
+
+    def open_session(self, worker: TaskWorker, payload: Any) -> PhaseSession | None:
+        if self.num_workers <= 1:
+            return None
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return ThreadExecutor(self.num_workers).open_session(worker, payload)
+        ctx = multiprocessing.get_context("fork")
+        pool = self._fork_pool(ctx, worker, payload, self.num_workers)
+        return _ProcessSession(pool)
+
+
+class _ProcessSession(PhaseSession):
+    """Forked-pool session: workers inherited the payload at fork time;
+    each submit ships only the (small, picklable) tag."""
+
+    #: polling interval for completion checks (``AsyncResult`` has no
+    #: select()-style multiplexed wait)
+    _POLL_S = 0.002
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._pending: list[tuple[Any, Any]] = []  # (tag, AsyncResult)
+
+    def submit(self, tag: Any) -> None:
+        self._pending.append((tag, self._pool.apply_async(_run_forked_task, (tag,))))
+
+    def next_done(self, timeout: float | None = None):
+        if not self._pending:
+            raise JobError("next_done called with no outstanding invocations")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for i, (tag, ar) in enumerate(self._pending):
+                if ar.ready():
+                    del self._pending[i]
+                    return tag, ar.get()
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(self._POLL_S)
+
+    def close(self) -> None:
+        # terminate (not close): running losers are killed, not awaited.
+        self._pool.terminate()
+        self._pool.join()
+        self._pending.clear()
 
 
 EXECUTORS: dict[str, type[TaskExecutor]] = {

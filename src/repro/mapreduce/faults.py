@@ -1,0 +1,779 @@
+"""Deterministic fault injection and task recovery (the Hadoop substrate).
+
+The paper runs on Hadoop 0.20.2, whose defining runtime property the
+plain engine lacks: *tasks fail and the job survives*.  A TaskTracker
+that dies loses its attempts; the JobTracker re-schedules them up to
+``mapred.map.max.attempts``; stragglers get speculative backup attempts;
+and a chain of jobs resumes from durable intermediate output.  This
+module supplies that machinery for the simulated cluster, built around
+one headline guarantee:
+
+    **Determinism contract.**  With any :class:`FaultPlan` the cluster
+    absorbs (every task succeeds within ``max_attempts``), part files,
+    counters (modulo the ``task_*``/``speculative_*`` telemetry) and
+    simulated seconds are byte-identical to the fault-free run, on every
+    executor.
+
+The contract holds because task workers are pure functions of
+``(payload, index)``: a retried or speculative attempt recomputes the
+identical result, failed attempts have their counter shards discarded
+wholesale, and retries re-use the already-materialized split rather
+than re-reading the DFS (the simulated overhead term models the wasted
+work instead — see :meth:`repro.mapreduce.cost.CostModel.fault_overhead_seconds`).
+
+Pieces:
+
+:class:`FaultPlan`
+    A seeded, declarative chaos schedule — ``fail task (phase, index,
+    attempt)``, ``delay task by X``, ``corrupt worker result``, ``fail
+    DFS write`` — that wraps task workers, so every recovery path is
+    reproducible byte-for-byte across serial/thread/process executors.
+:class:`RetryPolicy`
+    Bounded attempts with exponential *simulated* backoff, plus the
+    speculative-execution knobs (completion threshold, slowdown factor).
+:func:`run_phase_with_recovery`
+    The dispatch wrapper the engine calls instead of
+    ``executor.run_phase``: capture failures in envelopes, re-dispatch
+    failed tasks in deterministic rounds, optionally race backup
+    attempts against stragglers, and raise
+    :class:`~repro.errors.TaskRetryExhausted` (with the full attempt
+    log) only after a task burned every allowed attempt.
+
+Injection semantics mirror what real clusters detect:
+
+* ``fail`` — the attempt dies before producing a result (a lost
+  TaskTracker);
+* ``delay`` — the attempt sleeps first (a straggling node; this is what
+  speculative execution races against);
+* ``corrupt`` — the attempt completes but its result fails the
+  (simulated) checksum, so the engine discards it and retries — Hadoop's
+  shuffle/IFile checksum path;
+* a ``fail`` spec on the ``write`` phase makes a part-file commit raise
+  before any byte lands on the DFS (a failed output commit), retried by
+  the engine's write stage.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.errors import InjectedFault, JobError, TaskRetryExhausted
+from repro.mapreduce.executor import TaskExecutor, TaskWorker
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "TaskAttempt",
+    "PhaseReport",
+    "run_phase_with_recovery",
+]
+
+#: injection kinds and the execution phases they may target
+KINDS = ("fail", "delay", "corrupt")
+PHASES = ("map", "reduce", "write")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: *what* happens to *which* attempt.
+
+    ``attempt=None`` hits every attempt (a permanent fault — the way to
+    kill a job deliberately); ``job=None`` matches any job, otherwise
+    the exact job name.  Instances are plain frozen data: picklable
+    (they cross the fork boundary inside phase payloads) and JSON
+    round-trippable (the CLI's ``--fault-plan`` file).
+    """
+
+    kind: str
+    phase: str
+    index: int
+    attempt: int | None = 0
+    job: str | None = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise JobError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if self.phase not in PHASES:
+            raise JobError(f"unknown fault phase {self.phase!r}; choose from {PHASES}")
+        if self.index < 0:
+            raise JobError(f"fault task index must be >= 0, got {self.index}")
+        if self.kind == "delay" and self.delay_s <= 0:
+            raise JobError("delay faults need delay_s > 0")
+
+    def matches(self, job: str, phase: str, index: int, attempt: int) -> bool:
+        return (
+            self.phase == phase
+            and self.index == index
+            and (self.attempt is None or self.attempt == attempt)
+            and (self.job is None or self.job == job)
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, reproducible chaos schedule for one run.
+
+    Build plans with the fluent helpers (each returns ``self``)::
+
+        plan = (FaultPlan()
+                .fail_task("map", 0)                  # first attempt of map task 0 dies
+                .fail_task("reduce", 2, attempt=0)    # reduce task 2, attempt 0
+                .delay_task("map", 1, delay_s=0.5)    # a straggler for speculation
+                .corrupt_result("reduce", 1)          # checksum failure -> retry
+                .fail_dfs_write(0))                   # part-00000 commit fails once
+
+    or generate one deterministically from a seed with :meth:`random`.
+    Plans serialize to/from JSON (:meth:`to_dict`/:meth:`from_dict`,
+    :meth:`dump`/:meth:`load`) for the CLI and CI chaos jobs.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    #: provenance of generated plans (``None`` for hand-built ones)
+    seed: int | None = None
+
+    # -- fluent builders ------------------------------------------------
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def fail_task(
+        self,
+        phase: str,
+        index: int,
+        attempt: int | None = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Kill one attempt of a task (``attempt=None``: every attempt)."""
+        return self.add(FaultSpec("fail", phase, index, attempt, job))
+
+    def delay_task(
+        self,
+        phase: str,
+        index: int,
+        delay_s: float,
+        attempt: int | None = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Make one attempt of a task straggle by ``delay_s`` wall seconds."""
+        return self.add(FaultSpec("delay", phase, index, attempt, job, delay_s))
+
+    def corrupt_result(
+        self,
+        phase: str,
+        index: int,
+        attempt: int | None = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Complete the attempt but fail its result checksum (discard+retry)."""
+        return self.add(FaultSpec("corrupt", phase, index, attempt, job))
+
+    def fail_dfs_write(
+        self, index: int, attempt: int | None = 0, job: str | None = None
+    ) -> "FaultPlan":
+        """Fail the DFS commit of part file ``index`` (before any byte lands)."""
+        return self.add(FaultSpec("fail", "write", index, attempt, job))
+
+    # -- queries --------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.specs
+
+    def matching(
+        self, job: str, phase: str, index: int, attempt: int
+    ) -> list[FaultSpec]:
+        """Every spec hitting this attempt, in declaration order."""
+        return [s for s in self.specs if s.matches(job, phase, index, attempt)]
+
+    # -- generation / serialization ------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        num_map_tasks: int,
+        num_reduce_tasks: int,
+        faults: int = 2,
+        kinds: tuple[str, ...] = ("fail", "corrupt"),
+        max_attempt: int = 0,
+    ) -> "FaultPlan":
+        """A deterministic plan drawn from ``seed`` — same seed, same chaos.
+
+        Only first-``max_attempt`` attempts are targeted, so any policy
+        with ``max_attempts > max_attempt + 1`` absorbs the plan.
+        """
+        rng = random.Random(seed)
+        plan = cls(seed=seed)
+        for __ in range(faults):
+            phase = rng.choice(("map", "reduce"))
+            limit = num_map_tasks if phase == "map" else num_reduce_tasks
+            if limit <= 0:
+                continue
+            plan.add(
+                FaultSpec(
+                    kind=rng.choice(kinds),
+                    phase=phase,
+                    index=rng.randrange(limit),
+                    attempt=rng.randint(0, max_attempt),
+                )
+            )
+        return plan
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "specs": [asdict(s) for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        try:
+            specs = [FaultSpec(**spec) for spec in data.get("specs", [])]
+        except TypeError as exc:
+            raise JobError(f"malformed fault plan: {exc}") from exc
+        return cls(specs=specs, seed=data.get("seed"))
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return cls.from_dict(json.load(fh))
+        except (OSError, ValueError) as exc:
+            raise JobError(f"cannot load fault plan {path!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How much failure the cluster absorbs before giving up.
+
+    ``max_attempts`` is Hadoop's ``mapred.{map,reduce}.max.attempts``:
+    the number of times one task may *fail* before the job aborts.  The
+    default of 1 keeps the seed's fail-fast behaviour (and its zero
+    dispatch overhead); Hadoop 0.20's own default is 4.
+
+    Backoff between attempts is **simulated**, not slept: retry ``k``
+    charges ``backoff_base_s * 2**(k-1)`` simulated seconds to the job's
+    fault-overhead term, keeping test wall time unaffected and the
+    charge deterministic.
+
+    Speculation (off by default) launches a backup attempt for a running
+    task once the phase is at least ``speculation_threshold`` complete
+    and the task has been running longer than ``speculation_factor``
+    times the median completed-task duration (and at least
+    ``speculation_min_runtime_s`` — sub-millisecond tasks never earn
+    backups).  The first finisher wins; the loser's result and counter
+    shard are discarded, so speculation can change *telemetry* but never
+    output.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 1.0
+    speculate: bool = False
+    speculation_threshold: float = 0.75
+    speculation_factor: float = 1.5
+    speculation_min_runtime_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise JobError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 < self.speculation_threshold <= 1.0:
+            raise JobError("speculation_threshold must be in (0, 1]")
+        if self.speculation_factor <= 1.0:
+            raise JobError("speculation_factor must be > 1")
+
+    def backoff_before(self, attempt: int) -> float:
+        """Simulated seconds charged before launching retry ``attempt``."""
+        if attempt <= 0:
+            return 0.0
+        return self.backoff_base_s * (2.0 ** (attempt - 1))
+
+    @property
+    def active(self) -> bool:
+        """Whether recovery dispatch is needed at all."""
+        return self.max_attempts > 1 or self.speculate
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One attempt's outcome, as recorded in the task's attempt history.
+
+    ``outcome`` is ``"ok"`` (the winning attempt), ``"failed"`` (raised),
+    ``"corrupt"`` (completed but failed the simulated checksum) or
+    ``"lost"`` (completed fine but a sibling attempt had already won —
+    a discarded speculative loser).  ``backoff_s`` is the simulated
+    backoff charged before this attempt launched.
+    """
+
+    attempt: int
+    outcome: str
+    speculative: bool = False
+    error: str = ""
+    duration_s: float = 0.0
+    backoff_s: float = 0.0
+
+
+@dataclass
+class PhaseReport:
+    """Recovery telemetry of one phase, merged into counters and cost."""
+
+    attempts: list[list[TaskAttempt]]
+    launched: int = 0
+    failures: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    #: total simulated backoff charged across every retry
+    backoff_s: float = 0.0
+
+    @property
+    def extra_attempts(self) -> int:
+        """Attempts beyond the one-per-task minimum (retries + backups)."""
+        return self.launched - len(self.attempts)
+
+
+# ----------------------------------------------------------------------
+# The attempt envelope: recovery-dispatched workers never raise across
+# the executor boundary — they capture success/failure in an _Outcome so
+# the engine can retry per task instead of aborting the whole phase.
+# ----------------------------------------------------------------------
+@dataclass
+class _AttemptPhase:
+    """Payload wrapper carrying the real worker plus the slot table.
+
+    Batch rounds address tasks by *slot* (an index into ``slots``);
+    session dispatch passes the ``(index, attempt, speculative)`` tag
+    directly.  Everything here is fork-inherited or picklable.
+    """
+
+    inner: Any
+    worker: TaskWorker
+    slots: tuple[tuple[int, int, bool], ...]
+    plan: FaultPlan | None
+    job: str
+    phase: str
+
+
+@dataclass
+class _Outcome:
+    """What one attempt hands back (picklable; ``value`` only when ok)."""
+
+    index: int
+    attempt: int
+    speculative: bool
+    ok: bool
+    value: Any = None
+    corrupt: bool = False
+    error: str = ""
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def outcome_name(self) -> str:
+        if self.ok:
+            return "ok"
+        return "corrupt" if self.corrupt else "failed"
+
+
+def _run_attempt(phase: _AttemptPhase, slot: Any) -> _Outcome:
+    """One fault-instrumented attempt: inject, run, capture.
+
+    ``slot`` is an int (batch rounds: index into the slot table) or the
+    ``(index, attempt, speculative)`` tag itself (session dispatch).
+    """
+    index, attempt, speculative = (
+        phase.slots[slot] if isinstance(slot, int) else slot
+    )
+    t_start = time.perf_counter()
+    specs = (
+        phase.plan.matching(phase.job, phase.phase, index, attempt)
+        if phase.plan is not None
+        else ()
+    )
+    try:
+        for spec in specs:
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+        for spec in specs:
+            if spec.kind == "fail":
+                raise InjectedFault(
+                    f"injected failure: {phase.phase} task {index} attempt "
+                    f"{attempt} of job {phase.job!r}"
+                )
+        value = phase.worker(phase.inner, index)
+    except Exception as exc:  # noqa: BLE001 - captured, not propagated
+        return _Outcome(
+            index,
+            attempt,
+            speculative,
+            ok=False,
+            error=str(exc),
+            t_start=t_start,
+            t_end=time.perf_counter(),
+        )
+    if any(spec.kind == "corrupt" for spec in specs):
+        return _Outcome(
+            index,
+            attempt,
+            speculative,
+            ok=False,
+            corrupt=True,
+            error=(
+                f"injected corruption: {phase.phase} task {index} attempt "
+                f"{attempt} of job {phase.job!r} failed its result checksum"
+            ),
+            t_start=t_start,
+            t_end=time.perf_counter(),
+        )
+    return _Outcome(
+        index,
+        attempt,
+        speculative,
+        ok=True,
+        value=value,
+        t_start=t_start,
+        t_end=time.perf_counter(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Recovery dispatch
+# ----------------------------------------------------------------------
+def run_phase_with_recovery(
+    executor: TaskExecutor,
+    worker: TaskWorker,
+    num_tasks: int,
+    payload: Any,
+    *,
+    job: str,
+    phase: str,
+    policy: RetryPolicy,
+    plan: FaultPlan | None = None,
+    recorder=None,
+) -> tuple[list, PhaseReport | None]:
+    """Run a phase with retry/speculation; returns (results, report).
+
+    The fast path — no fault plan, ``max_attempts == 1``, no speculation
+    — is a direct ``executor.run_phase`` call: byte-for-byte the seed
+    dispatch, no envelopes, no telemetry (``report`` is ``None``).
+    Otherwise tasks run inside attempt envelopes: failures are captured
+    and re-dispatched (fresh attempt id, simulated backoff) until they
+    succeed or burn ``policy.max_attempts`` failures, at which point
+    :class:`~repro.errors.TaskRetryExhausted` carries the task's full
+    attempt log out of the phase.  With ``policy.speculate`` and a
+    parallel executor, a straggler monitor races backup attempts against
+    slow tasks and keeps whichever finishes first.
+    """
+    if (plan is None or plan.is_empty) and not policy.active:
+        return executor.run_phase(worker, num_tasks, payload), None
+    if num_tasks == 0:
+        return [], PhaseReport(attempts=[])
+    env = _AttemptPhase(
+        inner=payload, worker=worker, slots=(), plan=plan, job=job, phase=phase
+    )
+    if policy.speculate:
+        session = executor.open_session(_run_attempt, env)
+        if session is not None:
+            with session:
+                return _run_speculative(
+                    session, env, num_tasks, policy, recorder
+                )
+    return _run_retry_rounds(executor, env, num_tasks, policy, recorder)
+
+
+def _record_attempt(
+    report: PhaseReport, out: _Outcome, backoff_s: float, recorder, phase: str
+) -> TaskAttempt:
+    """File one outcome into the report (and the trace, if recording)."""
+    attempt = TaskAttempt(
+        attempt=out.attempt,
+        outcome=out.outcome_name,
+        speculative=out.speculative,
+        error=out.error,
+        duration_s=out.duration_s,
+        backoff_s=backoff_s,
+    )
+    report.attempts[out.index].append(attempt)
+    report.launched += 1
+    if not out.ok:
+        report.failures += 1
+    if recorder is not None and recorder.enabled:
+        recorder.add_span(
+            f"{phase}-{out.index}-a{out.attempt}",
+            cat="attempt",
+            track=f"{phase} attempts",
+            start=out.t_start,
+            end=out.t_end,
+            args={
+                "task": out.index,
+                "attempt": out.attempt,
+                "outcome": attempt.outcome,
+                "speculative": out.speculative,
+                **({"error": out.error} if out.error else {}),
+            },
+        )
+    return attempt
+
+
+def _mark_lost(report: PhaseReport, out: _Outcome, recorder, phase: str) -> None:
+    """A sibling attempt already won; this one is a discarded loser."""
+    out = _Outcome(
+        index=out.index,
+        attempt=out.attempt,
+        speculative=out.speculative,
+        ok=False,
+        error="" if out.ok else out.error,
+        t_start=out.t_start,
+        t_end=out.t_end,
+    )
+    attempt = TaskAttempt(
+        attempt=out.attempt,
+        outcome="lost" if not out.error else "failed",
+        speculative=out.speculative,
+        error=out.error,
+        duration_s=out.duration_s,
+    )
+    report.attempts[out.index].append(attempt)
+    report.launched += 1
+    if recorder is not None and recorder.enabled:
+        recorder.add_span(
+            f"{phase}-{out.index}-a{out.attempt}",
+            cat="attempt",
+            track=f"{phase} attempts",
+            start=out.t_start,
+            end=out.t_end,
+            args={
+                "task": out.index,
+                "attempt": out.attempt,
+                "outcome": attempt.outcome,
+                "speculative": out.speculative,
+            },
+        )
+
+
+def _exhausted_error(
+    job: str, phase: str, index: int, attempts: list[TaskAttempt], last_error: str
+) -> TaskRetryExhausted:
+    n = sum(1 for a in attempts if a.outcome in ("failed", "corrupt"))
+    log = "; ".join(
+        f"attempt {a.attempt}{' (speculative)' if a.speculative else ''}: "
+        f"{a.outcome}{f' - {a.error}' if a.error else ''}"
+        for a in attempts
+    )
+    return TaskRetryExhausted(
+        f"{last_error} [{phase} task {index} of job {job!r} failed "
+        f"{n} attempt(s); log: {log}]",
+        attempts=tuple(attempts),
+    )
+
+
+def _retry_backoff(
+    report: PhaseReport, policy: RetryPolicy, index: int, attempt: int, recorder, phase: str
+) -> float:
+    """Charge (and trace) the simulated backoff before retry ``attempt``."""
+    backoff = policy.backoff_before(attempt)
+    report.backoff_s += backoff
+    if recorder is not None and recorder.enabled:
+        recorder.instant(
+            "retry-backoff",
+            cat="attempt",
+            track=f"{phase} attempts",
+            args={"task": index, "attempt": attempt, "backoff_simulated_s": backoff},
+        )
+    return backoff
+
+
+def _run_retry_rounds(
+    executor: TaskExecutor,
+    env: _AttemptPhase,
+    num_tasks: int,
+    policy: RetryPolicy,
+    recorder,
+) -> tuple[list, PhaseReport]:
+    """Deterministic round-based retries (the non-speculative path).
+
+    Round 0 runs every task at attempt 0; round ``k`` re-dispatches the
+    tasks that failed round ``k-1`` in task-id order.  Results, attempt
+    logs and the raising task (the lowest exhausted id of the earliest
+    failing round) are therefore identical on every executor.
+    """
+    results: list[Any] = [None] * num_tasks
+    report = PhaseReport(attempts=[[] for __ in range(num_tasks)])
+    failed_counts = [0] * num_tasks
+    next_backoff = [0.0] * num_tasks
+    pending = list(range(num_tasks))
+    while pending:
+        slots = tuple((i, failed_counts[i], False) for i in pending)
+        round_env = _AttemptPhase(
+            inner=env.inner,
+            worker=env.worker,
+            slots=slots,
+            plan=env.plan,
+            job=env.job,
+            phase=env.phase,
+        )
+        outcomes = executor.run_phase(_run_attempt, len(slots), round_env)
+        retry: list[int] = []
+        for out in outcomes:  # slot order == ascending task id
+            _record_attempt(report, out, next_backoff[out.index], recorder, env.phase)
+            if out.ok:
+                results[out.index] = out.value
+                continue
+            failed_counts[out.index] += 1
+            if failed_counts[out.index] >= policy.max_attempts:
+                raise _exhausted_error(
+                    env.job,
+                    env.phase,
+                    out.index,
+                    report.attempts[out.index],
+                    out.error,
+                )
+            next_backoff[out.index] = _retry_backoff(
+                report, policy, out.index, failed_counts[out.index], recorder, env.phase
+            )
+            retry.append(out.index)
+        pending = retry
+    return results, report
+
+
+class _SpeculativeState:
+    """Book-keeping of one speculative phase run (parent-side only)."""
+
+    __slots__ = (
+        "results",
+        "done",
+        "launched_ids",
+        "failed_counts",
+        "running",
+        "has_backup",
+        "pending_backoff",
+        "winner_speculative",
+    )
+
+    def __init__(self, num_tasks: int) -> None:
+        self.results: list[Any] = [None] * num_tasks
+        self.done = [False] * num_tasks
+        self.launched_ids = [0] * num_tasks  # next attempt id per task
+        self.failed_counts = [0] * num_tasks
+        #: attempt id -> submit wall-stamp, per task (currently in flight)
+        self.running: list[dict[int, float]] = [{} for __ in range(num_tasks)]
+        self.has_backup = [False] * num_tasks
+        self.pending_backoff: list[float] = [0.0] * num_tasks
+        self.winner_speculative = [False] * num_tasks
+
+
+def _run_speculative(
+    session,
+    env: _AttemptPhase,
+    num_tasks: int,
+    policy: RetryPolicy,
+    recorder,
+) -> tuple[list, PhaseReport]:
+    """Event-loop dispatch with straggler backups (thread/process pools).
+
+    Tags are ``(index, attempt, speculative)``.  First successful
+    finisher per task wins; siblings are discarded as ``lost``.  Output
+    stays byte-identical to the batch path because every clean attempt
+    of a task computes the identical result — only the telemetry
+    (attempt counts, speculative wins) depends on timing.
+    """
+    report = PhaseReport(attempts=[[] for __ in range(num_tasks)])
+    state = _SpeculativeState(num_tasks)
+    completed_durations: list[float] = []
+    done_count = 0
+
+    def launch(index: int, speculative: bool) -> None:
+        attempt = state.launched_ids[index]
+        state.launched_ids[index] += 1
+        state.running[index][attempt] = time.monotonic()
+        session.submit((index, attempt, speculative))
+        if speculative:
+            report.speculative_launched += 1
+            state.has_backup[index] = True
+            if recorder is not None and recorder.enabled:
+                recorder.instant(
+                    "speculative-launch",
+                    cat="attempt",
+                    track=f"{env.phase} attempts",
+                    args={"task": index, "attempt": attempt},
+                )
+
+    def monitor() -> None:
+        """Launch backups for stragglers once the phase is mostly done."""
+        if done_count < max(1, int(num_tasks * policy.speculation_threshold)):
+            return
+        if not completed_durations:
+            return
+        ordered = sorted(completed_durations)
+        median = ordered[len(ordered) // 2]
+        threshold = max(
+            policy.speculation_factor * median, policy.speculation_min_runtime_s
+        )
+        now = time.monotonic()
+        for index in range(num_tasks):
+            if state.done[index] or state.has_backup[index]:
+                continue
+            if len(state.running[index]) != 1:
+                continue  # nothing running (about to retry) or already racing
+            started = next(iter(state.running[index].values()))
+            if now - started > threshold:
+                launch(index, speculative=True)
+
+    for index in range(num_tasks):
+        launch(index, speculative=False)
+
+    while done_count < num_tasks:
+        item = session.next_done(timeout=0.01)
+        if item is None:
+            monitor()
+            continue
+        (index, attempt, speculative), out = item
+        state.running[index].pop(attempt, None)
+        if state.done[index]:
+            _mark_lost(report, out, recorder, env.phase)
+            continue
+        if out.ok:
+            _record_attempt(
+                report, out, state.pending_backoff[index], recorder, env.phase
+            )
+            state.pending_backoff[index] = 0.0
+            state.results[index] = out.value
+            state.done[index] = True
+            state.winner_speculative[index] = out.speculative
+            if out.speculative:
+                report.speculative_wins += 1
+            done_count += 1
+            completed_durations.append(out.duration_s)
+            monitor()
+            continue
+        # A failure (raised or corrupt).
+        _record_attempt(report, out, state.pending_backoff[index], recorder, env.phase)
+        state.pending_backoff[index] = 0.0
+        state.failed_counts[index] += 1
+        if state.failed_counts[index] >= policy.max_attempts:
+            if state.running[index]:
+                # A sibling attempt is still in flight; it may yet win.
+                continue
+            raise _exhausted_error(
+                env.job, env.phase, index, report.attempts[index], out.error
+            )
+        if not state.running[index]:
+            state.pending_backoff[index] = _retry_backoff(
+                report,
+                policy,
+                index,
+                state.failed_counts[index],
+                recorder,
+                env.phase,
+            )
+            launch(index, speculative=False)
+        monitor()
+    return state.results, report

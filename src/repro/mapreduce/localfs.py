@@ -172,6 +172,15 @@ class LocalFSDFS:
         """Total size of every file under a directory."""
         return sum(self.file_size(f) for f in self.list_dir(path))
 
+    def dir_manifest(self, path: str) -> list[tuple[str, int]]:
+        """Sorted ``(file, size)`` pairs under a directory — no read charge.
+
+        See :meth:`repro.mapreduce.dfs.InMemoryDFS.dir_manifest`; here
+        the sizes come from the on-disk files, so a resume in a fresh
+        process verifies real durable state.
+        """
+        return [(f, self.file_size(f)) for f in self.list_dir(path)]
+
     def num_records(self, path: str) -> int:
         """Record (line) count of a file or directory."""
         target = self._resolve_path(path)

@@ -10,19 +10,50 @@ an ``output_codec``, a later job reading N's output directory must
 declare the same codec for that path (or none, falling back to raw
 lines) — a *different* codec would silently decode one format's lines
 through another format's parser, so it is rejected up front.
+
+Checkpoint/resume (the fault-tolerance layer's chain-level recovery):
+with a ``checkpoint_dir`` on the cluster, the workflow persists a JSONL
+manifest — one record per *completed* job carrying its name, output
+path, codec, counters, cost breakdown, task stats and an output
+fingerprint (``(part file, size)`` pairs) — rewritten through the DFS
+after every job.  A resumed workflow (``cluster.resume``, or
+:meth:`Workflow.resume`) restores any job whose manifest record still
+matches its durable output instead of re-executing it: job 1 of a
+Controlled-Replicate round survives a crash in job 2, exactly as a
+re-submitted Hadoop chain reuses intermediate HDFS directories.
+Restored results carry the original counters and simulated seconds
+(JSON floats round-trip exactly), so a resumed chain's totals match an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.data.io import RecordCodec
-from repro.errors import JobError
+from repro.errors import DFSError, JobError
 from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.cost import JobCostBreakdown, TaskStats
 from repro.mapreduce.engine import Cluster, JobResult
 from repro.mapreduce.job import MapReduceJob
 
-__all__ = ["Workflow", "WorkflowResult"]
+__all__ = ["Workflow", "WorkflowResult", "MANIFEST_FILE"]
+
+#: manifest file name under the cluster's ``checkpoint_dir``
+MANIFEST_FILE = "workflow-manifest.jsonl"
+
+
+def _stats_dict(stats: TaskStats) -> dict[str, int]:
+    """JSON form of one task's volumes (attempt telemetry is not
+    persisted — a restored job reports the work, not the chaos)."""
+    return {
+        "input_records": stats.input_records,
+        "input_bytes": stats.input_bytes,
+        "output_records": stats.output_records,
+        "output_bytes": stats.output_bytes,
+        "compute_ops": stats.compute_ops,
+    }
 
 
 @dataclass
@@ -77,6 +108,113 @@ class Workflow:
         self.result = WorkflowResult()
         #: output path -> output codec of jobs run so far (codec handoff)
         self._output_codecs: dict[str, RecordCodec | None] = {}
+        #: manifest records of jobs completed *this* run, rewritten to
+        #: the checkpoint file after each job
+        self._manifest_records: list[dict] = []
+        #: job name -> manifest record loaded from a previous run
+        self._completed: dict[str, dict] = {}
+        self._resuming = False
+        if cluster.resume and cluster.checkpoint_dir is not None:
+            self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Checkpoint manifest
+    # ------------------------------------------------------------------
+    @property
+    def _manifest_path(self) -> str:
+        return f"{self.cluster.checkpoint_dir}/{MANIFEST_FILE}"
+
+    def _load_manifest(self) -> None:
+        """Load a previous run's completion records (if any) for resume."""
+        self._resuming = True
+        dfs = self.cluster.dfs
+        if not dfs.exists(self._manifest_path):
+            return
+        for lineno, line in enumerate(dfs.read_file(self._manifest_path)):
+            try:
+                record = json.loads(line)
+                name = record["name"]
+            except (ValueError, TypeError, KeyError) as exc:
+                raise JobError(
+                    f"corrupt workflow manifest {self._manifest_path!r} "
+                    f"at line {lineno}: {exc}"
+                ) from exc
+            self._completed[name] = record
+
+    def _checkpoint(self, job: MapReduceJob, result: JobResult, record=None) -> None:
+        """Persist one completed job; the manifest is rewritten whole.
+
+        Called after every job (executed or restored), so the manifest
+        always fingerprints exactly the chain prefix completed so far.
+        """
+        if self.cluster.checkpoint_dir is None:
+            return
+        if record is None:
+            record = {
+                "name": job.name,
+                "output_path": job.output_path,
+                "codec": job.output_codec.name if job.output_codec else None,
+                "counters": result.counters.as_dict(),
+                "cost": result.cost.as_dict(),
+                "output_records": result.output_records,
+                "map_tasks": [_stats_dict(t) for t in result.map_tasks],
+                "reduce_tasks": [_stats_dict(t) for t in result.reduce_tasks],
+                "parts": self.cluster.dfs.dir_manifest(job.output_path),
+            }
+        self._manifest_records.append(record)
+        self.cluster.dfs.write_file(
+            self._manifest_path,
+            [
+                json.dumps(r, separators=(",", ":"), sort_keys=True)
+                for r in self._manifest_records
+            ],
+        )
+
+    def _try_restore(self, job: MapReduceJob) -> JobResult | None:
+        """Rebuild a job's result from its checkpoint, or ``None``.
+
+        A record only restores when it still describes this job (same
+        output path and codec) *and* the durable output matches the
+        checkpointed fingerprint file-for-file and byte-for-byte —
+        anything else re-executes the job.
+        """
+        record = self._completed.get(job.name)
+        if record is None:
+            return None
+        codec_name = job.output_codec.name if job.output_codec else None
+        if record.get("output_path") != job.output_path:
+            return None
+        if record.get("codec") != codec_name:
+            return None
+        parts = [(f, size) for f, size in record.get("parts", [])]
+        if not parts:
+            return None  # every job writes >= 1 part; no fingerprint, no trust
+        try:
+            if self.cluster.dfs.dir_manifest(job.output_path) != parts:
+                return None
+        except DFSError:
+            return None
+        counters = Counters()
+        for group, names in record["counters"].items():
+            for name, value in names.items():
+                counters.add(group, name, value)
+        cost = record["cost"]
+        return JobResult(
+            job_name=job.name,
+            output_path=job.output_path,
+            counters=counters,
+            map_tasks=[TaskStats(**t) for t in record["map_tasks"]],
+            reduce_tasks=[TaskStats(**t) for t in record["reduce_tasks"]],
+            cost=JobCostBreakdown(
+                startup_s=cost["startup_s"],
+                map_s=cost["map_s"],
+                shuffle_s=cost["shuffle_s"],
+                reduce_s=cost["reduce_s"],
+                fault_overhead_s=cost.get("fault_overhead_s", 0.0),
+            ),
+            output_records=record["output_records"],
+            resumed=True,
+        )
 
     def _check_codec_handoff(self, job: MapReduceJob) -> None:
         for path in job.input_paths:
@@ -105,6 +243,28 @@ class Workflow:
         """
         self._check_codec_handoff(job)
         rec = self.cluster.recorder
+        if self._resuming:
+            restored = self._try_restore(job)
+            if restored is not None:
+                if rec.enabled:
+                    rec.instant(
+                        f"resume:{job.name}",
+                        cat="workflow-job",
+                        track="workflow",
+                        args={
+                            "chain_index": len(self.result.job_results),
+                            "simulated_s": restored.simulated_seconds,
+                        },
+                    )
+                self._output_codecs[job.output_path] = job.output_codec
+                self.result.job_results.append(restored)
+                self._checkpoint(job, restored, record=self._completed[job.name])
+                return restored
+            # Not restorable: any partial output of the crashed attempt
+            # is stale — drop it so the re-run starts clean (the join
+            # algorithms skip their own delete-preambles under resume).
+            if self.cluster.dfs.exists(job.output_path):
+                self.cluster.dfs.delete(job.output_path)
         with rec.span(job.name, cat="workflow-job", track="workflow") as span:
             job_result = self.cluster.run_job(job)
             span.set("chain_index", len(self.result.job_results))
@@ -121,6 +281,7 @@ class Workflow:
             span.set("dfs_bytes_written", eng(C.DFS_BYTES_WRITTEN))
         self._output_codecs[job.output_path] = job.output_codec
         self.result.job_results.append(job_result)
+        self._checkpoint(job, job_result)
         return job_result
 
     def run_all(self, jobs: list[MapReduceJob]) -> WorkflowResult:
@@ -128,3 +289,17 @@ class Workflow:
         for job in jobs:
             self.run(job)
         return self.result
+
+    def resume(self, jobs: list[MapReduceJob]) -> WorkflowResult:
+        """Re-run a chain, skipping jobs checkpointed as complete.
+
+        Explicit-resume form of ``cluster.resume``: loads the manifest
+        (when not already loaded) and runs the chain — every job whose
+        record still matches its durable output is restored, everything
+        else (the failed suffix) executes normally.
+        """
+        if self.cluster.checkpoint_dir is None:
+            raise JobError("Workflow.resume() needs a cluster checkpoint_dir")
+        if not self._resuming:
+            self._load_manifest()
+        return self.run_all(jobs)

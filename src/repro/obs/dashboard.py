@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from repro.mapreduce.counters import C
 from repro.obs.skew import JobSkewReport, analyze_job
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -99,6 +100,24 @@ def _histogram(report: JobSkewReport) -> list[str]:
     return lines
 
 
+def _fault_line(result: "JobResult") -> str | None:
+    """Recovery telemetry, shown only when the job ran under recovery
+    dispatch (or was restored from a checkpoint)."""
+    if result.resumed:
+        return "  faults: resumed from checkpoint (not re-executed)"
+    eng = result.counters.engine
+    attempts = eng(C.TASK_ATTEMPTS)
+    if not attempts:
+        return None
+    line = f"  faults: {attempts} attempts, {eng(C.TASK_FAILURES)} failures"
+    spec = eng(C.SPECULATIVE_LAUNCHES)
+    if spec:
+        line += f", {spec} speculative ({eng(C.SPECULATIVE_WINS)} won)"
+    if result.cost.fault_overhead_s:
+        line += f", overhead {_fmt_s(result.cost.fault_overhead_s)} simulated"
+    return line
+
+
 def render_job_dashboard(result: "JobResult") -> str:
     """One job's dashboard block."""
     report = analyze_job(result)
@@ -130,6 +149,9 @@ def render_job_dashboard(result: "JobResult") -> str:
             ],
         )
     )
+    fault_line = _fault_line(result)
+    if fault_line:
+        lines.append(fault_line)
     lines.append(_duration_line("map tasks", report.map_durations))
     lines.append(_duration_line("reduce tasks", report.reduce_durations))
     if report.reducer_records:

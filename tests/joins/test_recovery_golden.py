@@ -1,0 +1,140 @@
+"""Golden equivalence under absorbed chaos (fault-tolerance tentpole).
+
+The acceptance contract: for any FaultPlan whose failures stay within
+``max_attempts``, every algorithm must produce part files, counters
+(modulo the new ``task_*``/``speculative_*`` telemetry) and simulated
+seconds byte-identical to the fault-free run — on all three executors.
+
+The reference per algorithm is one fault-free serial run on a seeded
+Table-2-shaped workload; the chaotic run kills one map task and one
+reduce task on their first attempt (in *every* job of the chain, since
+the specs are job-wildcarded) and must be indistinguishable from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+N_PER_RELATION = 500
+SPACE_SIDE = 5_300.0
+SEED = 11
+
+OUTPUT_DIRS = {
+    "cascade": "two-way-cascade/output",
+    "all-rep": "all-replicate/output",
+    "c-rep": "controlled-replicate/output",
+    "c-rep-l": "controlled-replicate-limit/output",
+}
+
+EXECUTORS = [("serial", 1), ("thread", 2), ("process", 2)]
+
+#: Kill one map and one reduce task on their first attempt, in every
+#: job of every chain (job=None wildcards; attempt=0 means only the
+#: first try fails, so max_attempts=2 always absorbs it).
+CHAOS = (
+    FaultPlan()
+    .fail_task("map", 0, attempt=0, job=None)
+    .fail_task("reduce", 1, attempt=0, job=None)
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_chain(
+        N_PER_RELATION, SPACE_SIDE, names=("R1", "R2", "R3"), seed=SEED
+    )
+
+
+def _strip_telemetry(counters_dict):
+    """Counters minus the recovery telemetry the faulted run is allowed
+    (required, even) to add."""
+    return {
+        group: {
+            name: value
+            for name, value in names.items()
+            if not name.startswith(("task_", "speculative_"))
+        }
+        for group, names in counters_dict.items()
+    }
+
+
+def _run(workload, algorithm_name, *, plan=None, retry=None,
+         executor="serial", workers=1):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    kwargs = {}
+    if retry is not None:
+        kwargs["retry"] = retry
+    cluster = Cluster(
+        executor=executor, num_workers=workers, fault_plan=plan, **kwargs
+    )
+    algorithm = make_algorithm(algorithm_name, query=query, d_max=workload.d_max)
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    snapshot = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.resolve(OUTPUT_DIRS[algorithm_name])
+    }
+    return snapshot, result
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    """One fault-free serial run per algorithm."""
+    return {name: _run(workload, name) for name in ALGORITHMS}
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+@pytest.mark.parametrize(("executor", "workers"), EXECUTORS)
+def test_absorbed_faults_change_nothing(
+    workload, golden, algorithm_name, executor, workers
+):
+    ref_snapshot, ref = golden[algorithm_name]
+    snapshot, result = _run(
+        workload,
+        algorithm_name,
+        plan=CHAOS,
+        retry=RetryPolicy(max_attempts=2),
+        executor=executor,
+        workers=workers,
+    )
+    # Part files: same names, byte-identical content.
+    assert snapshot == ref_snapshot
+    assert result.tuples == ref.tuples
+    # Simulated time is canonical: retries are charged to
+    # fault_overhead_s, never to the modelled makespan.
+    assert result.stats.simulated_seconds == ref.stats.simulated_seconds
+    assert _strip_telemetry(result.workflow.counters.as_dict()) == _strip_telemetry(
+        ref.workflow.counters.as_dict()
+    )
+    # ... and the telemetry proves the faults actually fired: each job
+    # retried its killed map task and (where it reduces) reduce task.
+    eng = result.workflow.counters.engine
+    assert eng("task_failures") >= 2
+    total_tasks = sum(
+        len(r.map_tasks) + len(r.reduce_tasks)
+        for r in result.workflow.job_results
+    )
+    assert eng("task_attempts") == total_tasks + eng("task_failures")
+    overhead = sum(r.cost.fault_overhead_s for r in result.workflow.job_results)
+    assert overhead > 0.0
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_golden_run_is_nonempty_and_untelemetered(golden, algorithm_name):
+    """Guard the guard: the fault-free reference must produce output and
+    must not itself carry recovery counters (fast path)."""
+    snapshot, ref = golden[algorithm_name]
+    assert ref.tuples
+    assert any(lines for lines in snapshot.values())
+    eng_counters = ref.workflow.counters.as_dict()["engine"]
+    assert not any(
+        k.startswith(("task_", "speculative_")) for k in eng_counters
+    )

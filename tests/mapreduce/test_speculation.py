@@ -1,0 +1,178 @@
+"""Speculative execution: straggler backups, first-finisher-wins.
+
+These tests use injected *delay* faults (real ``time.sleep`` in the
+worker, invisible to the simulated clock) to manufacture stragglers
+deterministically, and small ``speculation_min_runtime_s`` values so
+the monitor reacts within milliseconds of the fast tasks finishing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskRetryExhausted
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.executor import SerialExecutor, ThreadExecutor
+from repro.mapreduce.faults import (
+    FaultPlan,
+    RetryPolicy,
+    run_phase_with_recovery,
+)
+from repro.mapreduce.job import MapReduceJob
+
+#: Aggressive-but-stable speculation: back up a task once half the
+#: phase is done and it has run 50ms past the median.
+POLICY = RetryPolicy(
+    max_attempts=2,
+    speculate=True,
+    speculation_threshold=0.5,
+    speculation_factor=1.5,
+    speculation_min_runtime_s=0.05,
+)
+
+
+def _identity(payload, index):
+    return index * 10
+
+
+def _dispatch(plan, policy, num_tasks=4, workers=4):
+    return run_phase_with_recovery(
+        ThreadExecutor(num_workers=workers),
+        _identity,
+        num_tasks,
+        None,
+        job="j",
+        phase="map",
+        policy=policy,
+        plan=plan,
+    )
+
+
+class TestSpeculativeDispatch:
+    def test_backup_beats_straggler(self):
+        plan = FaultPlan().delay_task("map", 0, delay_s=0.5)
+        results, report = _dispatch(plan, POLICY)
+        assert results == [0, 10, 20, 30]
+        assert report.speculative_launched == 1
+        assert report.speculative_wins == 1
+        winner = next(a for a in report.attempts[0] if a.outcome == "ok")
+        assert winner.speculative
+        # Other tasks ran exactly once, non-speculatively.
+        for i in (1, 2, 3):
+            assert [a.outcome for a in report.attempts[i]] == ["ok"]
+            assert not report.attempts[i][0].speculative
+
+    def test_backup_rescues_failed_straggler(self):
+        """The sibling-in-flight rule: the straggler's only allowed
+        attempt fails, but by then the backup has already won — the
+        failure is a discarded loser, not an exhaustion."""
+        plan = (
+            FaultPlan()
+            .delay_task("map", 0, delay_s=0.5)
+            .fail_task("map", 0, attempt=0)
+        )
+        policy = RetryPolicy(
+            max_attempts=1,
+            speculate=True,
+            speculation_threshold=0.5,
+            speculation_min_runtime_s=0.05,
+        )
+        results, report = _dispatch(plan, policy)
+        assert results == [0, 10, 20, 30]
+        assert report.speculative_wins == 1
+
+    def test_exhaustion_waits_for_in_flight_sibling(self):
+        """When every attempt of a task fails — original and backup —
+        the exhaustion carries both attempts in its log (the failure
+        that tripped max_attempts deferred to the racing sibling)."""
+        plan = (
+            FaultPlan()
+            .delay_task("map", 0, delay_s=0.3, attempt=None)
+            .fail_task("map", 0, attempt=None)
+        )
+        with pytest.raises(TaskRetryExhausted) as err:
+            _dispatch(plan, POLICY)
+        attempts = err.value.attempts
+        assert len(attempts) == 2
+        assert all(a.outcome == "failed" for a in attempts)
+        assert any(a.speculative for a in attempts)
+
+    def test_serial_executor_falls_back_to_retry_rounds(self):
+        plan = FaultPlan().delay_task("map", 0, delay_s=0.05).fail_task("map", 1)
+        results, report = run_phase_with_recovery(
+            SerialExecutor(),
+            _identity,
+            4,
+            None,
+            job="j",
+            phase="map",
+            policy=POLICY,
+            plan=plan,
+        )
+        assert results == [0, 10, 20, 30]
+        assert report.speculative_launched == 0
+        assert report.failures == 1  # the fail spec still absorbed
+
+    def test_no_stragglers_no_backups(self):
+        results, report = _dispatch(None, POLICY)
+        assert results == [0, 10, 20, 30]
+        assert report.speculative_launched == 0
+        assert report.speculative_wins == 0
+        assert report.failures == 0
+
+
+# ----------------------------------------------------------------------
+# Engine level: a whole job under speculation is byte-identical
+# ----------------------------------------------------------------------
+def _mapper(key, record, ctx):
+    ctx.emit(int(record.split(",")[0]), record)
+
+
+def _reducer(key, values, ctx):
+    for v in sorted(values):
+        ctx.emit(v)
+
+
+def _stage_and_run(cluster: Cluster):
+    cluster.dfs.write_file("in/a.txt", [f"{i % 4},{i}" for i in range(120)])
+    return cluster.run_job(
+        MapReduceJob(
+            name="spec",
+            input_paths=["in"],
+            output_path="out",
+            mapper=_mapper,
+            reducer=_reducer,
+            num_reducers=4,
+        )
+    )
+
+
+def test_speculative_job_output_is_byte_identical():
+    clean = Cluster(split_records=20)
+    base = _stage_and_run(clean)
+
+    cluster = Cluster(
+        split_records=20,
+        executor="thread",
+        num_workers=4,
+        fault_plan=FaultPlan().delay_task("map", 0, delay_s=0.6),
+        retry=POLICY,
+    )
+    result = _stage_and_run(cluster)
+
+    assert [cluster.dfs.read_file(p) for p in cluster.dfs.resolve("out")] == [
+        clean.dfs.read_file(p) for p in clean.dfs.resolve("out")
+    ]
+    assert result.simulated_seconds == base.simulated_seconds
+    # Counters: identical modulo the recovery telemetry (the loser
+    # attempt's counter shard is discarded wholesale).
+    chaotic = {
+        k: v
+        for k, v in result.counters.as_dict()["engine"].items()
+        if not k.startswith(("task_", "speculative_"))
+    }
+    assert chaotic == base.counters.as_dict()["engine"]
+    eng = result.counters.engine
+    assert eng("speculative_launches") >= 1
+    assert eng("speculative_wins") >= 1
+    assert eng("task_failures") == 0

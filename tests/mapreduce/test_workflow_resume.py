@@ -1,0 +1,201 @@
+"""Workflow checkpoint/resume: crash mid-chain, restart, skip done work.
+
+The scenario the tentpole demands: a Controlled-Replicate round is two
+jobs (mark, then join).  A permanent fault kills job 2; a resumed run
+on the same DFS must restore job 1 from its checkpoint manifest —
+counters, cost and simulated seconds included — re-execute only job 2,
+and end byte-identical to a run that never crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.errors import JobError, TaskRetryExhausted
+from repro.grid.partitioning import GridPartitioning
+from repro.joins.controlled import ControlledReplicateJoin
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.localfs import LocalFSDFS
+from repro.mapreduce.workflow import MANIFEST_FILE, Workflow
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+SPEC = SyntheticSpec(
+    n=120, x_range=(0, 400), y_range=(0, 400), l_range=(0, 60), b_range=(0, 60),
+    seed=55,
+)
+DATASETS = generate_relations(SPEC, ["R1", "R2", "R3"])
+QUERY = Query.chain(["R1", "R2", "R3"], Overlap())
+GRID = GridPartitioning.square(SPEC.space, 16)
+
+#: Permanently kill reduce task 0 of the chain's second job.
+KILL_JOB_2 = FaultPlan().fail_task(
+    "reduce", 0, attempt=None, job="controlled-replicate-join"
+)
+
+CHECKPOINTS = "checkpoints"
+MANIFEST_PATH = f"{CHECKPOINTS}/{MANIFEST_FILE}"
+
+
+def _run(cluster: Cluster):
+    return ControlledReplicateJoin().run(QUERY, DATASETS, GRID, cluster)
+
+
+def _strip_telemetry(counters_dict):
+    return {
+        group: {
+            k: v
+            for k, v in names.items()
+            if not k.startswith(("task_", "speculative_"))
+        }
+        for group, names in counters_dict.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """The unfaulted reference run (checkpointing on, nothing to resume)."""
+    cluster = Cluster(checkpoint_dir=CHECKPOINTS)
+    result = _run(cluster)
+    return cluster, result
+
+
+class TestCheckpointing:
+    def test_manifest_written_per_job(self, clean):
+        cluster, result = clean
+        lines = cluster.dfs.read_file(MANIFEST_PATH)
+        assert len(lines) == 2
+        import json
+
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["controlled-replicate-mark", "controlled-replicate-join"]
+        assert all(not r.resumed for r in result.workflow.job_results)
+
+    def test_no_checkpoint_dir_no_manifest(self):
+        cluster = Cluster()
+        _run(cluster)
+        assert not cluster.dfs.exists(MANIFEST_PATH)
+
+    def test_checkpointing_does_not_pollute_job_counters(self, clean):
+        """Manifest I/O happens outside the job counter windows: the
+        checkpointed run's counters equal a checkpoint-free run's."""
+        __, result = clean
+        bare = _run(Cluster())
+        assert (
+            result.workflow.counters.as_dict()
+            == bare.workflow.counters.as_dict()
+        )
+        assert result.tuples == bare.tuples
+
+
+class TestCrashAndResume:
+    def test_resume_skips_finished_job_and_matches_clean_run(self, clean):
+        __, ref = clean
+        crashed = Cluster(checkpoint_dir=CHECKPOINTS, fault_plan=KILL_JOB_2)
+        with pytest.raises(TaskRetryExhausted):
+            _run(crashed)
+        # Job 1 completed and was checkpointed before the crash.
+        assert len(crashed.dfs.read_file(MANIFEST_PATH)) == 1
+
+        resumed = Cluster(
+            dfs=crashed.dfs, checkpoint_dir=CHECKPOINTS, resume=True
+        )
+        result = _run(resumed)
+        flags = [r.resumed for r in result.workflow.job_results]
+        assert flags == [True, False]
+        # The restored job did no work: zero wall clock, but its
+        # original simulated seconds and counters came back verbatim.
+        restored = result.workflow.job_results[0]
+        assert restored.wall_clock_seconds == 0.0
+        assert restored.simulated_seconds == ref.workflow.job_results[0].simulated_seconds
+        assert result.tuples == ref.tuples
+        assert (
+            result.workflow.simulated_seconds == ref.workflow.simulated_seconds
+        )
+        # Counters match the clean run modulo the recovery telemetry the
+        # crashed run's job 1 execution legitimately checkpointed.
+        assert _strip_telemetry(result.workflow.counters.as_dict()) == (
+            _strip_telemetry(ref.workflow.counters.as_dict())
+        )
+
+    def test_second_resume_restores_everything(self, clean):
+        __, ref = clean
+        crashed = Cluster(checkpoint_dir=CHECKPOINTS, fault_plan=KILL_JOB_2)
+        with pytest.raises(TaskRetryExhausted):
+            _run(crashed)
+        first = Cluster(dfs=crashed.dfs, checkpoint_dir=CHECKPOINTS, resume=True)
+        _run(first)
+        second = Cluster(dfs=crashed.dfs, checkpoint_dir=CHECKPOINTS, resume=True)
+        result = _run(second)
+        assert [r.resumed for r in result.workflow.job_results] == [True, True]
+        assert result.tuples == ref.tuples
+        assert result.workflow.simulated_seconds == ref.workflow.simulated_seconds
+
+    def test_tampered_output_fails_fingerprint_and_reruns(self, clean):
+        __, ref = clean
+        crashed = Cluster(checkpoint_dir=CHECKPOINTS, fault_plan=KILL_JOB_2)
+        with pytest.raises(TaskRetryExhausted):
+            _run(crashed)
+        # Truncate one part file of the checkpointed mark output: the
+        # manifest fingerprint no longer matches, so the job re-runs.
+        marked = crashed.dfs.list_dir("controlled-replicate/marked")
+        victim = marked[0]
+        crashed.dfs.delete(victim)
+        crashed.dfs.write_file(victim, ["tampered"])
+        resumed = Cluster(
+            dfs=crashed.dfs, checkpoint_dir=CHECKPOINTS, resume=True
+        )
+        result = _run(resumed)
+        assert [r.resumed for r in result.workflow.job_results] == [False, False]
+        assert result.tuples == ref.tuples
+
+    def test_corrupt_manifest_is_a_loud_error(self):
+        cluster = Cluster(checkpoint_dir=CHECKPOINTS)
+        _run(cluster)
+        lines = cluster.dfs.read_file(MANIFEST_PATH)
+        cluster.dfs.delete(MANIFEST_PATH)
+        cluster.dfs.write_file(MANIFEST_PATH, lines[:1] + ["{not json"])
+        resumed = Cluster(dfs=cluster.dfs, checkpoint_dir=CHECKPOINTS, resume=True)
+        with pytest.raises(JobError, match="manifest"):
+            _run(resumed)
+
+    def test_resume_with_no_manifest_runs_everything(self, clean):
+        __, ref = clean
+        cluster = Cluster(checkpoint_dir=CHECKPOINTS, resume=True)
+        result = _run(cluster)
+        assert [r.resumed for r in result.workflow.job_results] == [False, False]
+        assert result.tuples == ref.tuples
+
+
+class TestCrossProcessResume:
+    """LocalFSDFS makes checkpoints durable: a *new* DFS instance (as a
+    fresh process would build) resumes from what a crashed one left."""
+
+    def test_resume_from_disk(self, tmp_path, clean):
+        __, ref = clean
+        root = str(tmp_path / "dfsroot")
+        crashed = Cluster(
+            dfs=LocalFSDFS(root),
+            checkpoint_dir=CHECKPOINTS,
+            fault_plan=KILL_JOB_2,
+        )
+        with pytest.raises(TaskRetryExhausted):
+            _run(crashed)
+
+        # "New process": nothing shared but the directory tree.
+        resumed = Cluster(
+            dfs=LocalFSDFS(root), checkpoint_dir=CHECKPOINTS, resume=True
+        )
+        result = _run(resumed)
+        assert [r.resumed for r in result.workflow.job_results] == [True, False]
+        assert result.tuples == ref.tuples
+        assert result.workflow.simulated_seconds == ref.workflow.simulated_seconds
+
+
+class TestWorkflowResumeApi:
+    def test_resume_requires_checkpoint_dir(self):
+        workflow = Workflow(Cluster())
+        with pytest.raises(JobError, match="checkpoint_dir"):
+            workflow.resume([])

@@ -143,3 +143,94 @@ class TestQueryFlag:
         err = capsys.readouterr().err
         assert "unknown predicate 'Near'" in err
         assert "Traceback" not in err
+
+
+class TestFaultFlags:
+    def _plan(self, tmp_path, plan):
+        path = tmp_path / "plan.json"
+        plan.dump(str(path))
+        return str(path)
+
+    def test_fault_plan_absorbed_within_max_attempts(self, tmp_path, capsys):
+        from repro.mapreduce.faults import FaultPlan
+
+        plan = FaultPlan().fail_task("map", 0, attempt=0, job=None)
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "200", "--space", "1000",
+            "--max-attempts", "2", "--fault-plan", self._plan(tmp_path, plan),
+            "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "task attempts:" in out
+        assert "failures" in out
+        assert "faults:" in out  # the dashboard's recovery line
+
+    def test_fault_plan_does_not_change_simulated_time(self, tmp_path, capsys):
+        from repro.mapreduce.faults import FaultPlan
+
+        args = ["join", "--algorithm", "c-rep", "--n", "200", "--space", "1000"]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        plan = FaultPlan().fail_task("reduce", 0, attempt=0, job=None)
+        assert main(args + [
+            "--max-attempts", "3", "--fault-plan", self._plan(tmp_path, plan),
+        ]) == 0
+        chaotic = capsys.readouterr().out
+
+        def line(out, prefix):
+            return next(l for l in out.splitlines() if l.startswith(prefix))
+
+        assert line(chaotic, "simulated time:") == line(baseline, "simulated time:")
+        assert line(chaotic, "output tuples:") == line(baseline, "output tuples:")
+
+    def test_exhausted_plan_is_a_clean_error(self, tmp_path, capsys):
+        from repro.mapreduce.faults import FaultPlan
+
+        plan = FaultPlan().fail_task("map", 0, attempt=None, job=None)
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "100", "--space", "1000",
+            "--max-attempts", "2", "--fault-plan", self._plan(tmp_path, plan),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "failed 2 attempt(s)" in err
+        assert "Traceback" not in err
+
+    def test_resume_requires_dfs_root(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "100", "--space", "1000",
+            "--resume",
+        ])
+        assert code == 2
+        assert "--dfs-root" in capsys.readouterr().err
+
+    def test_speculate_flag_accepted(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "100", "--space", "1000",
+            "--speculate",
+        ])
+        assert code == 0
+
+    def test_crash_then_resume_across_processes(self, tmp_path, capsys):
+        """The full CLI resume story: a run crashes on job 2, a second
+        invocation (fresh cluster, same --dfs-root) restores job 1 from
+        the on-disk checkpoint and finishes the chain."""
+        from repro.mapreduce.faults import FaultPlan
+
+        root = str(tmp_path / "dfsroot")
+        base = [
+            "join", "--algorithm", "c-rep", "--n", "150", "--space", "1000",
+            "--dfs-root", root,
+        ]
+        plan = FaultPlan().fail_task(
+            "reduce", 0, attempt=None, job="controlled-replicate-join"
+        )
+        assert main(base + ["--fault-plan", self._plan(tmp_path, plan)]) == 2
+        err = capsys.readouterr().err
+        assert "controlled-replicate-join" in err
+
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint: 1/2 job(s)" in out
+        assert "output tuples:" in out
