@@ -84,6 +84,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_join.add_argument("--seed", type=int, default=11, help="workload RNG seed")
     p_join.add_argument("--grid-cells", type=int, default=64, help="reducer grid cells")
+    p_join.add_argument(
+        "--dataset",
+        action="append",
+        default=None,
+        metavar="NAME=FILE",
+        help=(
+            "replace one relation of the synthetic workload with a "
+            "rectangle file (rid,x,y,l,b per line; repeatable)"
+        ),
+    )
     _add_executor_args(p_join)
     _add_obs_args(p_join)
     _add_fault_args(p_join)
@@ -128,6 +138,28 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_memory_budget(text: str) -> int:
+    """Bytes with an optional k/m/g suffix: ``64k``, ``4m``, ``1g``."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    raw = text.strip().lower()
+    multiplier = 1
+    if raw and raw[-1] in units:
+        multiplier = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory budget {text!r} (expected bytes, "
+            "optionally suffixed k/m/g)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive, got {text!r}"
+        )
+    return value
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--max-attempts",
@@ -166,6 +198,39 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
         help=(
             "back the cluster with an on-disk DFS rooted here (durable "
             "outputs + checkpoints; enables cross-process --resume)"
+        ),
+    )
+    p.add_argument(
+        "--memory-budget",
+        type=_parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "per-map-task shuffle buffer bound (suffix k/m/g; Hadoop's "
+            "io.sort.mb) — tasks over budget spill sorted runs to the "
+            "DFS; output stays byte-identical"
+        ),
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hung-task watchdog: cancel and re-dispatch any attempt "
+            "exceeding this wall clock (thread/process executors; "
+            "Hadoop's mapred.task.timeout)"
+        ),
+    )
+    p.add_argument(
+        "--max-skipped-records",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "skipping mode: quarantine up to N bad records per task and "
+            "retry without them (Hadoop's mapred.skip.mode; default 0 = "
+            "fail on the first bad record)"
         ),
     )
 
@@ -257,7 +322,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         workload = synthetic_chain(
             args.n, args.space, names=tuple(names), seed=args.seed
         )
-        grid = derive_grid(workload.datasets, args.grid_cells)
+        datasets = dict(workload.datasets)
+        d_max = workload.d_max
+        if args.dataset:
+            from repro.data.loader import load_rect_file
+            from repro.data.transforms import max_diagonal
+            from repro.errors import DatasetFormatError
+
+            for spec in args.dataset:
+                name, sep, file_path = spec.partition("=")
+                if not sep or not name or not file_path:
+                    raise DatasetFormatError(
+                        f"--dataset expects NAME=FILE, got {spec!r}"
+                    )
+                if name not in datasets:
+                    raise DatasetFormatError(
+                        f"--dataset names unknown relation {name!r}; "
+                        f"query uses {sorted(datasets)}"
+                    )
+                datasets[name] = load_rect_file(file_path)
+            d_max = max_diagonal(datasets)
+        grid = derive_grid(datasets, args.grid_cells)
         recorder = _make_recorder(args)
         sink: dict = {}
         from repro.errors import JobError
@@ -275,10 +360,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             dfs = LocalFSDFS(args.dfs_root)
         metrics, __, output_tuples = run_algorithms(
             query,
-            workload.datasets,
+            datasets,
             grid,
             [args.algorithm],
-            d_max=workload.d_max,
+            d_max=d_max,
             cost_model=CostModel.scaled(workload.paper_scale),
             verify=False,
             executor=args.executor,
@@ -287,11 +372,15 @@ def _dispatch(args: argparse.Namespace) -> int:
             sink=sink,
             dfs=dfs,
             retry=RetryPolicy(
-                max_attempts=args.max_attempts, speculate=args.speculate
+                max_attempts=args.max_attempts,
+                speculate=args.speculate,
+                task_timeout_s=args.task_timeout,
+                max_skipped_records=args.max_skipped_records,
             ),
             fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
             checkpoint_dir="checkpoints" if args.dfs_root else None,
             resume=args.resume,
+            memory_budget=args.memory_budget,
         )
         m = metrics[args.algorithm]
         print(f"query: {query}")
@@ -311,6 +400,16 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"{eng('speculative_launches')} speculative, "
                 f"{eng('speculative_wins')} speculative wins)"
             )
+        if eng("task_timeouts"):
+            print(f"watchdog timeouts: {eng('task_timeouts')}")
+        if eng("spilled_records"):
+            print(
+                f"spilled records: {eng('spilled_records')} "
+                f"({eng('spill_files')} spill files, "
+                f"{eng('spill_bytes')} bytes)"
+            )
+        if eng("skipped_records"):
+            print(f"skipped records: {eng('skipped_records')} (quarantined)")
         resumed = sum(1 for r in workflow.job_results if r.resumed)
         if resumed:
             print(

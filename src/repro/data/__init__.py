@@ -21,6 +21,7 @@ from repro.data.io import (
     lines_to_rects,
     rects_to_lines,
 )
+from repro.data.loader import load_rect_file, load_rect_lines
 from repro.data.synthetic import SyntheticSpec, generate_rects, generate_relations
 from repro.data.transforms import (
     compress_space,
@@ -51,6 +52,8 @@ __all__ = [
     "decode_result",
     "rects_to_lines",
     "lines_to_rects",
+    "load_rect_file",
+    "load_rect_lines",
     "enlarge_dataset",
     "compress_space",
     "sample_dataset",

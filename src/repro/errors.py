@@ -63,12 +63,49 @@ class TaskRetryExhausted(JobError):
         return (type(self), (self.args[0], self.attempts))
 
 
+class BadRecordError(JobError):
+    """A map task died on one specific input record.
+
+    Carries enough structure (split offset, source ``path:lineno`` and a
+    ``repr`` of the record) for skipping mode to quarantine exactly the
+    offending record and retry the task without it — Hadoop's
+    ``mapred.skip.mode`` with the bad span narrowed to a single record.
+    The message keeps the classic ``map task failed in job ... on
+    path:line`` shape so non-skipping callers see the same error they
+    always did.
+    """
+
+    def __init__(
+        self, message: str, offset: int, path: str, lineno: int, record: str
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.path = path
+        self.lineno = lineno
+        self.record = record
+
+    def __reduce__(self):  # picklable across process pools
+        return (
+            type(self),
+            (self.args[0], self.offset, self.path, self.lineno, self.record),
+        )
+
+
 class JoinError(ReproError):
     """Raised when a join algorithm is asked to run an unsupported query."""
 
 
 class DataGenerationError(ReproError):
     """Raised for invalid synthetic-workload specifications."""
+
+
+class DatasetFormatError(DataGenerationError):
+    """A dataset file contains a line the record codec cannot parse.
+
+    Always names the source as ``path:line`` and quotes the offending
+    text, so a typo in a million-line input is a one-line diagnosis
+    instead of a codec traceback.
+    """
 
 
 class ExperimentError(ReproError):

@@ -252,6 +252,7 @@ def run_algorithms(
     fault_plan=None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    memory_budget: int | None = None,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
     """Run each named algorithm on a fresh cluster over the same workload.
 
@@ -267,7 +268,9 @@ def run_algorithms(
 
     The fault-tolerance knobs pass straight to the cluster: ``retry`` (a
     :class:`~repro.mapreduce.faults.RetryPolicy`), ``fault_plan``,
-    ``checkpoint_dir`` and ``resume``; ``dfs`` substitutes a shared
+    ``checkpoint_dir``, ``resume`` and ``memory_budget`` (per-map-task
+    shuffle-buffer bound in bytes — spills change telemetry only, never
+    output); ``dfs`` substitutes a shared
     backend (e.g. a :class:`~repro.mapreduce.localfs.LocalFSDFS` so a
     later process can resume from its durable outputs) for the default
     fresh in-memory DFS per algorithm.
@@ -293,6 +296,7 @@ def run_algorithms(
             fault_plan=fault_plan,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            memory_budget=memory_budget,
             **cluster_kwargs,
         )
         if recorder is not None and recorder.enabled:

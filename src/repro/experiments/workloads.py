@@ -16,11 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.california import CaliforniaSpec, generate_california
-from repro.data.synthetic import SyntheticSpec, generate_relations
+from repro.data.synthetic import SyntheticSpec, generate_rects, generate_relations
 from repro.data.transforms import compress_space, enlarge_dataset, max_diagonal
 from repro.joins.base import Datasets
 
-__all__ = ["Workload", "synthetic_chain", "california_self"]
+__all__ = [
+    "Workload",
+    "synthetic_chain",
+    "dense_corner_chain",
+    "california_self",
+]
 
 
 @dataclass
@@ -61,6 +66,64 @@ def synthetic_chain(
         datasets=datasets,
         d_max=spec.max_diagonal,
         paper_scale=paper_n / n,
+    )
+
+
+def dense_corner_chain(
+    n: int,
+    space_side: float,
+    *,
+    names: tuple[str, ...] = ("R1", "R2", "R3"),
+    dense_fraction: float = 0.5,
+    corner_fraction: float = 0.1,
+    l_max: float = 100.0,
+    b_max: float = 100.0,
+    paper_n: float = 1_000_000.0,
+    seed: int = 11,
+) -> Workload:
+    """Uniform relations plus a dense corner blob — the skew workload.
+
+    Each relation is ``n`` uniform rectangles over the whole space plus
+    ``n * dense_fraction`` rectangles confined to the top-left corner
+    square of side ``space_side * corner_fraction``.  The grid cells
+    covering that corner receive a disproportionate share of the input —
+    and under Controlled-Replicate the replicated rectangles concentrate
+    there too (the §6 4th-quadrant condition), so one reducer's input
+    dwarfs the average.  This is the deliberate-skew counterpart of
+    :func:`synthetic_chain`, used by the reducer-skew telemetry tests
+    and the memory-budget stress runs.
+    """
+    base = SyntheticSpec(
+        n=n,
+        x_range=(0.0, space_side),
+        y_range=(0.0, space_side),
+        l_range=(0.0, l_max),
+        b_range=(0.0, b_max),
+        seed=seed,
+    )
+    corner = space_side * corner_fraction
+    dense_n = max(1, int(n * dense_fraction))
+    # Start-points are top-left vertices (breadth hangs down from y), so
+    # the high-y corner keeps blob rectangles inside the space unclipped.
+    blob = SyntheticSpec(
+        n=dense_n,
+        x_range=(0.0, corner),
+        y_range=(space_side - corner, space_side),
+        l_range=(0.0, min(l_max, corner)),
+        b_range=(0.0, min(b_max, corner)),
+        seed=seed + 1000,
+    )
+    datasets: Datasets = {}
+    for i, name in enumerate(names):
+        uniform = generate_rects(base.with_seed(base.seed + i))
+        dense = generate_rects(blob.with_seed(blob.seed + i))
+        # Blob rids continue after the uniform ones so every rid in the
+        # relation stays unique.
+        datasets[name] = uniform + [(n + rid, rect) for rid, rect in dense]
+    return Workload(
+        datasets=datasets,
+        d_max=max(base.max_diagonal, blob.max_diagonal),
+        paper_scale=paper_n / (n + dense_n),
     )
 
 

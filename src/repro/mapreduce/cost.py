@@ -59,6 +59,13 @@ class JobCostBreakdown:
     the fault-free run; the overhead is reported separately (and folded
     in by :attr:`total_with_faults_s`) so chaos runs remain comparable
     with clean ones.
+
+    ``spill_overhead_s`` is the same idea for memory governance: the
+    local-disk round-trip of map-side spill files.  A run under a memory
+    budget must keep the canonical simulated seconds identical to the
+    unbounded run (the spill is a *local* implementation detail, not a
+    change in the job's DFS/shuffle volumes), so spill I/O lands in its
+    own non-canonical bucket.
     """
 
     startup_s: float
@@ -66,6 +73,7 @@ class JobCostBreakdown:
     shuffle_s: float
     reduce_s: float
     fault_overhead_s: float = 0.0
+    spill_overhead_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -73,8 +81,8 @@ class JobCostBreakdown:
 
     @property
     def total_with_faults_s(self) -> float:
-        """End-to-end seconds including the recovery overhead term."""
-        return self.total_s + self.fault_overhead_s
+        """End-to-end seconds including the non-canonical overhead terms."""
+        return self.total_s + self.fault_overhead_s + self.spill_overhead_s
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict form for metrics snapshots and dashboards."""
@@ -84,6 +92,7 @@ class JobCostBreakdown:
             "shuffle_s": self.shuffle_s,
             "reduce_s": self.reduce_s,
             "fault_overhead_s": self.fault_overhead_s,
+            "spill_overhead_s": self.spill_overhead_s,
             "total_s": self.total_s,
         }
 
@@ -115,6 +124,11 @@ class CostModel:
     compute_ops_per_s: float = 20_000_000.0
     map_slots: int = 16
     reduce_slots: int = 16
+    #: local scratch-disk bandwidth for map-side spill files — spills
+    #: never cross the network or the replicated DFS write path, so
+    #: they get the raw single-disk rate (charged once for the write
+    #: and once for the reduce-side read-back).
+    spill_bytes_per_s: float = 60e6
     #: HDFS block replication factor — every byte written to the DFS is
     #: physically written this many times (Hadoop's dfs.replication=3).
     dfs_replication: float = 3.0
@@ -189,6 +203,16 @@ class CostModel:
         total — see that field's docstring.
         """
         return wasted_attempts * self.task_startup_s + backoff_s
+
+    def spill_overhead_seconds(self, spill_bytes: int) -> float:
+        """Simulated cost of memory-budget spills: write + read-back.
+
+        Each spilled byte hits local scratch disk twice (the map side
+        writes the sorted run, the reduce-side external merge reads it
+        back).  Reported on :attr:`JobCostBreakdown.spill_overhead_s`,
+        outside the canonical total — see that field's docstring.
+        """
+        return 2.0 * spill_bytes / self.spill_bytes_per_s
 
     @staticmethod
     def makespan(task_seconds: Sequence[float], slots: int) -> float:

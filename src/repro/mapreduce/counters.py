@@ -38,8 +38,18 @@ class C:
     # tests compare counters modulo this set).
     TASK_ATTEMPTS = "task_attempts"
     TASK_FAILURES = "task_failures"
+    TASK_TIMEOUTS = "task_timeouts"
     SPECULATIVE_LAUNCHES = "speculative_launches"
     SPECULATIVE_WINS = "speculative_wins"
+
+    # Memory-governance telemetry (only present when the cluster runs
+    # under a memory budget or in skipping mode; like the recovery
+    # block above, these never change canonical counters — golden tests
+    # strip the ``spill``/``skipped_`` prefixes alongside ``task_``).
+    SPILLED_RECORDS = "spilled_records"
+    SPILL_FILES = "spill_files"
+    SPILL_BYTES = "spill_bytes"
+    SKIPPED_RECORDS = "skipped_records"
 
 
 class Counters:

@@ -125,6 +125,40 @@ class InMemoryDFS:
             )
         self._records[norm] = (codec.name, records)
 
+    def write_side_file(self, path: str, lines: Iterable[str]) -> int:
+        """Create (or replace) a task side file — durable but unaccounted.
+
+        Side files are the engine's scratch artifacts (map-side spill
+        runs, bad-record quarantines): they must survive like any other
+        file — reduce tasks and post-mortems read them back — but they
+        are *not* job I/O, so they bypass the ``bytes_written`` ledger
+        the canonical ``DFS_BYTES_WRITTEN`` counter is derived from.
+        Returns the byte size the file would account at.
+        """
+        path = _normalize(path)
+        stored = []
+        nbytes = 0
+        for line in lines:
+            if "\n" in line:
+                raise DFSError(f"record contains a newline: {line!r}")
+            stored.append(line)
+            nbytes += len(line) + 1
+        self._files[path] = stored
+        self._records.pop(path, None)
+        return nbytes
+
+    def read_side_file(self, path: str) -> list[str]:
+        """All lines of a task side file — no read accounting.
+
+        The unaccounted twin of :meth:`read_file`, used by the
+        reduce-side external merge to stream spill runs back without
+        disturbing the canonical ``DFS_BYTES_READ`` counter.
+        """
+        path = _normalize(path)
+        if path not in self._files:
+            raise DFSError(f"no such file: {path!r}")
+        return list(self._files[path])
+
     def read_file(self, path: str) -> list[str]:
         """All lines of a file; accounts the read volume."""
         path = _normalize(path)
@@ -174,6 +208,15 @@ class InMemoryDFS:
         """Whether the path is a file or a non-empty directory."""
         norm = _normalize(path)
         return norm in self._files or bool(self.list_dir(norm))
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the store holds no files at all.
+
+        Used by the cluster's resume guard: an *empty* in-memory DFS has
+        nothing a resumed workflow could possibly restore.
+        """
+        return not self._files
 
     def file_size(self, path: str) -> int:
         """Size of one file in bytes (line lengths + newlines)."""

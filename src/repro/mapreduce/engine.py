@@ -19,6 +19,17 @@ with byte accounting identical to the string path at every stage (the
 job's shuffle codec reproduces the string-era sizes, and DFS volumes are
 always the encoded lines).
 
+With a ``memory_budget`` the engine runs under *memory governance*
+(Hadoop's ``io.sort.mb``): each map task bounds its buffered shuffle
+bytes — measured by the job's shuffle codec, the same sizing the
+canonical ``MAP_OUTPUT_BYTES`` counter charges — and spills sorted runs
+to the DFS when the budget is exceeded; the reduce side then k-way
+merges runs instead of sorting one resident bucket.  Spill points are a
+pure function of the emission sequence and the merge key reproduces the
+unbounded stable sort exactly (see :mod:`repro.mapreduce.spill`), so a
+budgeted run writes byte-identical part files and differs only in the
+``spill*`` telemetry and the non-canonical spill-overhead cost term.
+
 Tasks are dispatched through a pluggable
 :class:`~repro.mapreduce.executor.TaskExecutor` (``serial``, ``thread``
 or ``process``), so the k-way parallelism the cost model *assumes* can
@@ -40,7 +51,7 @@ from itertools import groupby
 from operator import itemgetter
 from typing import Any
 
-from repro.errors import JobError, TaskRetryExhausted
+from repro.errors import BadRecordError, JobError, TaskRetryExhausted
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
@@ -51,7 +62,13 @@ from repro.mapreduce.faults import (
     RetryPolicy,
     run_phase_with_recovery,
 )
-from repro.mapreduce.job import MapContext, MapReduceJob, ReduceContext
+from repro.mapreduce.job import (
+    MapContext,
+    MapReduceJob,
+    ReduceContext,
+    SpillingMapContext,
+)
+from repro.mapreduce.spill import SpillRun, SpillStore, merge_runs, spill_dir
 from repro.obs.trace import NullRecorder
 
 __all__ = ["Cluster", "JobResult", "PhaseTimings"]
@@ -138,11 +155,13 @@ class _MapPhase:
     Split entries are ``(path, lineno, record, nbytes)``: the map input
     record (a text line, or a typed record when the job declares an
     input codec) plus its encoded size, so map-side byte accounting is
-    identical on both paths.
+    identical on both paths.  ``memory_budget`` (bytes, ``None`` =
+    unbounded) switches emission buffering to the spilling context.
     """
 
     job: MapReduceJob
     splits: list[list[tuple[str, int, Any, int]]]
+    memory_budget: int | None = None
 
 
 @dataclass
@@ -161,6 +180,12 @@ class _MapTaskResult:
     stats: TaskStats
     t_start: float = 0.0
     t_end: float = 0.0
+    #: serialized sorted runs per reducer (budgeted tasks only) — the
+    #: lines ride the result because process-pool children write to a
+    #: *copy* of the DFS; the engine persists them parent-side
+    spill_runs: list[list[list[str]]] | None = None
+    #: bucket-local sequence number of the first resident record
+    spill_base: list[int] | None = None
 
 
 @dataclass
@@ -168,11 +193,15 @@ class _ReducePhase:
     """Immutable payload shared by every reduce task of one job.
 
     ``buckets[r]`` is reducer ``r``'s merged (map-task order) but not
-    yet sorted input.
+    yet sorted input.  Under a memory budget that spilled, ``runs[r]``
+    instead holds reducer ``r``'s sorted runs (``buckets`` is empty) and
+    ``store`` snapshots the spill side files for :func:`merge_runs`.
     """
 
     job: MapReduceJob
     buckets: list[list[tuple[Any, Any]]]
+    runs: list[list[SpillRun]] | None = None
+    store: SpillStore | None = None
 
 
 @dataclass
@@ -211,28 +240,84 @@ def _grouped(ordered: list[tuple[Any, Any]]):
         yield key, [v for __, v in run]
 
 
-def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
-    """One self-contained map task: split in, buckets + counter shard out."""
+def _run_map_task(
+    phase: _MapPhase,
+    index: int,
+    skips: tuple[int, ...] = (),
+    poison: tuple[int, ...] = (),
+) -> _MapTaskResult:
+    """One self-contained map task: split in, buckets + counter shard out.
+
+    ``skips`` are split offsets quarantined by earlier attempts of this
+    task (Hadoop's skipping mode): those records are not read, mapped or
+    counted.  ``poison`` are offsets an injected ``poison-record`` fault
+    declared bad; hitting one raises :class:`BadRecordError` — as does
+    any genuine mapper failure, so the recovery layer can locate the
+    record either way.  Failures keep the seed's message shape
+    (``BadRecordError`` is a :class:`JobError`).
+    """
     t_start = time.perf_counter()
     job = phase.job
     split = phase.splits[index]
     counters = Counters()
-    ctx = MapContext(counters, job.num_reducers, job.partitioner, job.shuffle_codec)
+    budget = phase.memory_budget
+    if budget is not None and (job.reducer is not None or job.combiner is not None):
+        # Map-only jobs have no sort buffer to bound (their emissions
+        # stream straight to partitioned output), like Hadoop.
+        ctx: MapContext = SpillingMapContext(
+            counters,
+            job.num_reducers,
+            job.partitioner,
+            job.shuffle_codec,
+            budget=budget,
+            sort_key=job.sort_key,
+        )
+    else:
+        ctx = MapContext(
+            counters, job.num_reducers, job.partitioner, job.shuffle_codec
+        )
     mapper = job.mapper
     nbytes = 0
-    for path, lineno, record, record_bytes in split:
+    processed = 0
+    for offset, (path, lineno, record, record_bytes) in enumerate(split):
+        if offset in skips:
+            continue
+        if offset in poison:
+            raise BadRecordError(
+                f"map task failed in job {job.name!r} on "
+                f"{path}:{lineno}: injected poison record",
+                offset=offset,
+                path=path,
+                lineno=lineno,
+                record=repr(record),
+            )
         nbytes += record_bytes
+        processed += 1
         try:
             mapper((path, lineno), record, ctx)
         except Exception as exc:  # noqa: BLE001 - wrap task failures
-            raise JobError(
+            raise BadRecordError(
                 f"map task failed in job {job.name!r} on "
-                f"{path}:{lineno}: {exc}"
+                f"{path}:{lineno}: {exc}",
+                offset=offset,
+                path=path,
+                lineno=lineno,
+                record=repr(record),
             ) from exc
-    ctx.input_records = len(split)
+    ctx.input_records = processed
     # One add per task, not one per record — the map inner loop stays
     # free of counter bookkeeping.
-    counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, len(split))
+    counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, processed)
+    spill_runs = spill_base = None
+    if isinstance(ctx, SpillingMapContext):
+        if job.combiner is not None and ctx.spilled:
+            # The combiner contract is whole-bucket grouping: restore
+            # the unbounded bucket shape first (spill telemetry stays —
+            # the spills did happen).
+            ctx.unspill()
+        elif job.combiner is None:
+            spill_runs = ctx.spill_runs
+            spill_base = ctx.spill_base
     if job.combiner is not None:
         _apply_combiner(job, ctx, counters)
     return _MapTaskResult(
@@ -248,7 +333,15 @@ def _run_map_task(phase: _MapPhase, index: int) -> _MapTaskResult:
         ),
         t_start=t_start,
         t_end=time.perf_counter(),
+        spill_runs=spill_runs,
+        spill_base=spill_base,
     )
+
+
+# Opt in to the recovery layer's skipping mode (Hadoop's
+# ``mapred.skip.mode``): retries of a failed attempt are re-dispatched
+# with the located bad record quarantined.
+_run_map_task.supports_record_skipping = True
 
 
 def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> None:
@@ -293,8 +386,14 @@ def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
     rctx = ReduceContext(counters, r)
     reducer = job.reducer
     groups = 0
-    # Stable sort: same-key values keep map emission order.
-    for key, values in _grouped(_sorted_by_key(phase.buckets[r], job.sort_key)):
+    if phase.runs is not None:
+        # Budgeted shuffle: k-way merge the sorted runs — byte-identical
+        # to the resident stable sort (see repro.mapreduce.spill).
+        ordered = merge_runs(phase.runs[r], phase.store, job.sort_key)
+    else:
+        # Stable sort: same-key values keep map emission order.
+        ordered = _sorted_by_key(phase.buckets[r], job.sort_key)
+    for key, values in _grouped(ordered):
         groups += 1
         rctx.input_records += len(values)
         try:
@@ -428,7 +527,17 @@ class Cluster:
         ``True`` makes workflows restore completed jobs from the
         checkpoint manifest instead of re-running them, and makes the
         join algorithms keep (rather than delete) existing output
-        directories on startup.
+        directories on startup.  Requires a DFS with durable state to
+        resume *from*: constructing a resuming cluster on a fresh
+        in-memory DFS raises immediately (use a ``LocalFSDFS`` root).
+    memory_budget:
+        Per-map-task shuffle buffer bound in bytes (``None`` =
+        unbounded, the seed behaviour).  Tasks exceeding it spill sorted
+        runs to the DFS and reduce tasks switch to an external k-way
+        merge; output stays byte-identical and the canonical counters
+        and simulated seconds are unchanged — the pressure shows up only
+        in ``spilled_records``/``spill_files``/``spill_bytes`` and the
+        cost breakdown's non-canonical ``spill_overhead_s``.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -442,6 +551,25 @@ class Cluster:
     fault_plan: FaultPlan | None = None
     checkpoint_dir: str | None = None
     resume: bool = False
+    memory_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise JobError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
+        if (
+            self.resume
+            and type(self.dfs) is InMemoryDFS
+            and self.dfs.is_empty
+        ):
+            # The same mistake the CLI rejects as `--resume` without
+            # `--dfs-root`: a fresh in-memory DFS starts empty, so there
+            # is no checkpoint manifest or prior output to resume from.
+            raise JobError(
+                "resume=True needs durable DFS state (e.g. a LocalFSDFS "
+                "root): a fresh in-memory DFS has nothing to resume from"
+            )
 
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job; raises :class:`JobError` on task failure.
@@ -506,17 +634,40 @@ class Cluster:
                 t0 = time.perf_counter()
                 with rec.span("shuffle", cat="phase", track="engine") as sp:
                     merged, input_bytes = self._shuffle_merge(job, map_results)
-                    sp.set("records", sum(len(b) for b in merged))
+                    runs, store = self._stage_spills(job, map_results, rec)
+                    if runs is None:
+                        shuffle_records = sum(len(b) for b in merged)
+                    else:
+                        # Resident buckets exclude the spilled slices;
+                        # count both so the span reports the true
+                        # shuffled volume under a budget.
+                        shuffle_records = sum(
+                            run.count if run.path is not None else len(run.records)
+                            for per_r in runs
+                            for run in per_r
+                        )
+                    sp.set("records", shuffle_records)
                     sp.set("bytes", sum(input_bytes))
                 timings.shuffle_s = time.perf_counter() - t0
 
                 t0 = time.perf_counter()
                 with rec.span("reduce", cat="phase", track="engine") as sp:
+                    if runs is None:
+                        reduce_phase = _ReducePhase(job, merged)
+                    else:
+                        # Runs carry the resident remainders too, so the
+                        # merged buckets would only duplicate payload.
+                        reduce_phase = _ReducePhase(
+                            job,
+                            [[] for __ in range(job.num_reducers)],
+                            runs=runs,
+                            store=store,
+                        )
                     task_results, reduce_report = run_phase_with_recovery(
                         executor,
                         _run_reduce_task,
                         job.num_reducers,
-                        _ReducePhase(job, merged),
+                        reduce_phase,
                         job=job.name,
                         phase="reduce",
                         policy=self.retry,
@@ -550,6 +701,20 @@ class Cluster:
                 cost = self._merge_recovery(
                     counters, cost, (map_report, reduce_report), wrec, job_span
                 )
+                self._quarantine_skipped(job, map_report)
+            spill_bytes = counters.engine(C.SPILL_BYTES)
+            if spill_bytes:
+                # Spill I/O is wasted work the unbounded run never does:
+                # charge it outside total_s, like fault overhead, so the
+                # canonical simulated seconds stay budget-independent.
+                overhead = self.cost_model.spill_overhead_seconds(spill_bytes)
+                cost = replace(cost, spill_overhead_s=overhead)
+                job_span.set("spilled_records", counters.engine(C.SPILLED_RECORDS))
+                job_span.set("spill_files", counters.engine(C.SPILL_FILES))
+                job_span.set("spill_overhead_s", overhead)
+                # The runs were merged into committed part files above;
+                # drop the scratch dir like Hadoop's task cleanup.
+                self.dfs.delete(spill_dir(job.name))
             job_span.set("simulated_s", cost.total_s)
             job_span.set("map_output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
             job_span.set("reduce_input_records", counters.engine(C.REDUCE_INPUT_RECORDS))
@@ -587,6 +752,7 @@ class Cluster:
         """
         launched = failures = wasted = 0
         spec_launched = spec_wins = 0
+        timeouts = skipped = 0
         backoff_s = 0.0
         for report in reports:
             if report is None:
@@ -596,6 +762,8 @@ class Cluster:
             wasted += report.extra_attempts
             spec_launched += report.speculative_launched
             spec_wins += report.speculative_wins
+            timeouts += report.timeouts
+            skipped += report.skipped_records
             backoff_s += report.backoff_s
         failures += wrec.failures
         wasted += wrec.failures
@@ -606,11 +774,98 @@ class Cluster:
         counters.add(C.GROUP_ENGINE, C.SPECULATIVE_WINS, spec_wins)
         job_span.set("task_attempts", launched)
         job_span.set("task_failures", failures)
+        if timeouts:
+            counters.add(C.GROUP_ENGINE, C.TASK_TIMEOUTS, timeouts)
+            job_span.set("task_timeouts", timeouts)
+        if skipped:
+            counters.add(C.GROUP_ENGINE, C.SKIPPED_RECORDS, skipped)
+            job_span.set("skipped_records", skipped)
         overhead = self.cost_model.fault_overhead_seconds(wasted, backoff_s)
         if overhead:
             job_span.set("fault_overhead_s", overhead)
             cost = replace(cost, fault_overhead_s=overhead)
         return cost
+
+    def _quarantine_skipped(
+        self, job: MapReduceJob, report: PhaseReport | None
+    ) -> None:
+        """Persist skipped bad records as DFS side files (the post-mortem).
+
+        One quarantine file per map task that skipped anything, holding
+        ``path:lineno<TAB>record`` lines — Hadoop's skip "side file" in
+        ``_logs/skip``.  Quarantines survive the job (unlike spill runs)
+        so a data engineer can repair and re-ingest the records.
+        """
+        if report is None or not report.skipped_records:
+            return
+        for task, bad in enumerate(report.skipped):
+            if not bad:
+                continue
+            self.dfs.write_side_file(
+                f"_quarantine/{job.name}/map-{task:05d}",
+                [
+                    f"{path}:{lineno}\t{record}"
+                    for __, path, lineno, record in bad
+                ],
+            )
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "bad-records-quarantined",
+                    cat="attempt",
+                    track="map attempts",
+                    args={"task": task, "records": len(bad)},
+                )
+
+    def _stage_spills(
+        self, job: MapReduceJob, map_results: list[_MapTaskResult], rec: NullRecorder
+    ) -> tuple[list[list[SpillRun]] | None, SpillStore | None]:
+        """Persist map-side spill runs and build the reduce merge plan.
+
+        Spilled lines travel in the task results (process-pool children
+        write to a DFS *copy*), so the engine commits them to the real
+        DFS here, parent-side, before the reduce phase forks.  Returns
+        ``(None, None)`` when no task spilled — the reduce phase then
+        takes the resident sort path untouched.  Otherwise ``runs[r]``
+        lists reducer ``r``'s sorted runs in map-task order: each task's
+        spilled side files first (spill order), then its resident
+        remainder — exactly the run set :func:`merge_runs` needs.
+        """
+        if not any(
+            result.spill_runs is not None and any(result.spill_runs)
+            for result in map_results
+        ):
+            return None, None
+        runs: list[list[SpillRun]] = [[] for __ in range(job.num_reducers)]
+        store = SpillStore()
+        files = 0
+        for t, result in enumerate(map_results):
+            task_runs = result.spill_runs
+            for r in range(job.num_reducers):
+                if task_runs is not None:
+                    for j, lines in enumerate(task_runs[r]):
+                        path = (
+                            f"{spill_dir(job.name)}/map-{t:05d}/"
+                            f"r-{r:05d}-run-{j:03d}"
+                        )
+                        self.dfs.write_side_file(path, lines)
+                        store.files[path] = lines
+                        files += 1
+                        runs[r].append(
+                            SpillRun(task=t, path=path, count=len(lines))
+                        )
+                base = result.spill_base[r] if result.spill_base is not None else 0
+                if result.buckets[r]:
+                    runs[r].append(
+                        SpillRun(task=t, records=result.buckets[r], base=base)
+                    )
+        if rec.enabled:
+            rec.instant(
+                "spill-runs-staged",
+                cat="phase",
+                track="engine",
+                args={"files": files},
+            )
+        return runs, store
 
     @staticmethod
     def _task_wall(
@@ -708,7 +963,7 @@ class Cluster:
             executor,
             _run_map_task,
             len(splits),
-            _MapPhase(job, splits),
+            _MapPhase(job, splits, self.memory_budget),
             job=job.name,
             phase="map",
             policy=self.retry,

@@ -85,9 +85,13 @@ class PhaseSession(abc.ABC):
     The recovery layer (:mod:`repro.mapreduce.faults`) uses sessions for
     speculative execution, where the task population grows *while* the
     phase runs — a straggler gets a backup attempt submitted mid-flight
-    and the first finisher wins.  ``run_phase`` cannot express that (its
-    task list is fixed up front), so parallel back-ends expose this
-    lower-level API as well:
+    and the first finisher wins — and for the hung-task watchdog, which
+    sweeps between completions and re-dispatches any attempt past its
+    wall-clock bound (an abandoned attempt keeps occupying its pool slot
+    until it returns or the session closes; its late result is dropped
+    by the caller).  ``run_phase`` cannot express either (its task list
+    is fixed up front), so parallel back-ends expose this lower-level
+    API as well:
 
     * :meth:`submit` enqueues ``worker(payload, tag)`` where ``tag`` is
       an arbitrary (picklable) value identifying the invocation — the
@@ -95,7 +99,8 @@ class PhaseSession(abc.ABC):
       tuples;
     * :meth:`next_done` blocks until any submitted invocation finishes
       and returns ``(tag, result)``, or ``None`` on timeout so the
-      caller can run its straggler monitor between completions.
+      caller can run its straggler monitor and watchdog sweep between
+      completions.
 
     Sessions are context managers; leaving the ``with`` block releases
     the pool, abandoning invocations that are still running (their

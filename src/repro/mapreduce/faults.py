@@ -50,7 +50,23 @@ Injection semantics mirror what real clusters detect:
   shuffle/IFile checksum path;
 * a ``fail`` spec on the ``write`` phase makes a part-file commit raise
   before any byte lands on the DFS (a failed output commit), retried by
-  the engine's write stage.
+  the engine's write stage;
+* ``oom`` — the attempt dies with a memory-exhaustion diagnosis (a
+  container killed by the memory cgroup); recovery-wise identical to
+  ``fail`` but distinguishable in attempt logs and chaos assertions;
+* ``hang`` — the attempt wedges for ``delay_s`` wall seconds and then
+  dies.  Under a :attr:`RetryPolicy.task_timeout_s` watchdog the hung
+  attempt is reclaimed *before* it unwedges: abandoned, logged with
+  outcome ``"timeout"``, and re-dispatched through the normal retry
+  path (Hadoop's ``mapred.task.timeout``);
+* ``poison-record`` — map task ``index`` dies on split record
+  ``record`` (a :class:`~repro.errors.BadRecordError`).  With
+  :attr:`RetryPolicy.max_skipped_records` > 0 the retry *quarantines*
+  exactly that record and skips it (Hadoop's skipping mode,
+  ``mapred.skip.mode``): the skip is logged with outcome ``"skipped"``,
+  does not burn a failure attempt, and the engine writes the
+  quarantined records to a DFS side file and counts them under
+  ``SKIPPED_RECORDS``.
 """
 
 from __future__ import annotations
@@ -61,7 +77,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
-from repro.errors import InjectedFault, JobError, TaskRetryExhausted
+from repro.errors import BadRecordError, InjectedFault, JobError, TaskRetryExhausted
 from repro.mapreduce.executor import TaskExecutor, TaskWorker
 
 __all__ = [
@@ -74,7 +90,7 @@ __all__ = [
 ]
 
 #: injection kinds and the execution phases they may target
-KINDS = ("fail", "delay", "corrupt")
+KINDS = ("fail", "delay", "corrupt", "oom", "hang", "poison-record")
 PHASES = ("map", "reduce", "write")
 
 
@@ -95,6 +111,9 @@ class FaultSpec:
     attempt: int | None = 0
     job: str | None = None
     delay_s: float = 0.0
+    #: split-record offset a ``poison-record`` spec poisons (map phase
+    #: only): the 0-based position within the task's input split
+    record: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -103,8 +122,17 @@ class FaultSpec:
             raise JobError(f"unknown fault phase {self.phase!r}; choose from {PHASES}")
         if self.index < 0:
             raise JobError(f"fault task index must be >= 0, got {self.index}")
-        if self.kind == "delay" and self.delay_s <= 0:
-            raise JobError("delay faults need delay_s > 0")
+        if self.kind in ("delay", "hang") and self.delay_s <= 0:
+            raise JobError(f"{self.kind} faults need delay_s > 0")
+        if self.kind == "poison-record":
+            if self.phase != "map":
+                raise JobError("poison-record faults only target the map phase")
+            if self.record is None or self.record < 0:
+                raise JobError(
+                    "poison-record faults need record >= 0 (the split offset)"
+                )
+        elif self.record is not None:
+            raise JobError(f"{self.kind} faults do not take a record offset")
 
     def matches(self, job: str, phase: str, index: int, attempt: int) -> bool:
         return (
@@ -178,6 +206,48 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Fail the DFS commit of part file ``index`` (before any byte lands)."""
         return self.add(FaultSpec("fail", "write", index, attempt, job))
+
+    def oom_task(
+        self,
+        phase: str,
+        index: int,
+        attempt: int | None = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Kill one attempt with a memory-exhaustion diagnosis."""
+        return self.add(FaultSpec("oom", phase, index, attempt, job))
+
+    def hang_task(
+        self,
+        phase: str,
+        index: int,
+        hang_s: float,
+        attempt: int | None = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Wedge one attempt for ``hang_s`` wall seconds, then kill it.
+
+        The hang is finite so executors always drain; a watchdog with
+        ``task_timeout_s < hang_s`` reclaims the attempt first.
+        """
+        return self.add(FaultSpec("hang", phase, index, attempt, job, hang_s))
+
+    def poison_record(
+        self,
+        index: int,
+        record: int,
+        attempt: int | None = None,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Poison split record ``record`` of map task ``index``.
+
+        Defaults to ``attempt=None`` (every attempt): a poison record is
+        a property of the *data*, so it keeps killing retries until
+        skipping mode quarantines it.
+        """
+        return self.add(
+            FaultSpec("poison-record", "map", index, attempt, job, record=record)
+        )
 
     # -- queries --------------------------------------------------------
     @property
@@ -270,6 +340,21 @@ class RetryPolicy:
     backups).  The first finisher wins; the loser's result and counter
     shard are discarded, so speculation can change *telemetry* but never
     output.
+
+    ``task_timeout_s`` (off by default) arms the hung-task watchdog:
+    an attempt running longer than this wall-clock bound is abandoned,
+    logged with outcome ``"timeout"``, charged as a failure, and
+    re-dispatched through the retry path — Hadoop's
+    ``mapred.task.timeout``.  Like speculation it needs a streaming
+    :class:`~repro.mapreduce.executor.PhaseSession`, so it is inert on
+    the serial executor (a single-threaded runner cannot preempt its
+    own task).
+
+    ``max_skipped_records`` (0 = off) enables Hadoop-style skipping
+    mode: a map attempt that dies on one identifiable record
+    (:class:`~repro.errors.BadRecordError`) is retried with that record
+    quarantined instead of burning a failure attempt, up to this many
+    records per task.
     """
 
     max_attempts: int = 1
@@ -278,6 +363,8 @@ class RetryPolicy:
     speculation_threshold: float = 0.75
     speculation_factor: float = 1.5
     speculation_min_runtime_s: float = 0.05
+    task_timeout_s: float | None = None
+    max_skipped_records: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -286,6 +373,12 @@ class RetryPolicy:
             raise JobError("speculation_threshold must be in (0, 1]")
         if self.speculation_factor <= 1.0:
             raise JobError("speculation_factor must be > 1")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise JobError("task_timeout_s must be > 0 (or None to disable)")
+        if self.max_skipped_records < 0:
+            raise JobError(
+                f"max_skipped_records must be >= 0, got {self.max_skipped_records}"
+            )
 
     def backoff_before(self, attempt: int) -> float:
         """Simulated seconds charged before launching retry ``attempt``."""
@@ -296,7 +389,12 @@ class RetryPolicy:
     @property
     def active(self) -> bool:
         """Whether recovery dispatch is needed at all."""
-        return self.max_attempts > 1 or self.speculate
+        return (
+            self.max_attempts > 1
+            or self.speculate
+            or self.task_timeout_s is not None
+            or self.max_skipped_records > 0
+        )
 
 
 @dataclass(frozen=True)
@@ -304,10 +402,13 @@ class TaskAttempt:
     """One attempt's outcome, as recorded in the task's attempt history.
 
     ``outcome`` is ``"ok"`` (the winning attempt), ``"failed"`` (raised),
-    ``"corrupt"`` (completed but failed the simulated checksum) or
+    ``"corrupt"`` (completed but failed the simulated checksum),
     ``"lost"`` (completed fine but a sibling attempt had already won —
-    a discarded speculative loser).  ``backoff_s`` is the simulated
-    backoff charged before this attempt launched.
+    a discarded speculative loser), ``"timeout"`` (abandoned by the
+    hung-task watchdog) or ``"skipped"`` (died on one bad record that
+    skipping mode quarantined — the follow-up dispatch does not count
+    as a failure).  ``backoff_s`` is the simulated backoff charged
+    before this attempt launched.
     """
 
     attempt: int
@@ -329,11 +430,21 @@ class PhaseReport:
     speculative_wins: int = 0
     #: total simulated backoff charged across every retry
     backoff_s: float = 0.0
+    #: attempts abandoned by the hung-task watchdog
+    timeouts: int = 0
+    #: per task: quarantined ``(offset, path, lineno, record_repr)``
+    #: tuples, in skip order (empty when skipping mode never fired)
+    skipped: list[list[tuple]] = field(default_factory=list)
 
     @property
     def extra_attempts(self) -> int:
         """Attempts beyond the one-per-task minimum (retries + backups)."""
         return self.launched - len(self.attempts)
+
+    @property
+    def skipped_records(self) -> int:
+        """Total records quarantined by skipping mode in this phase."""
+        return sum(len(s) for s in self.skipped)
 
 
 # ----------------------------------------------------------------------
@@ -346,13 +457,16 @@ class _AttemptPhase:
     """Payload wrapper carrying the real worker plus the slot table.
 
     Batch rounds address tasks by *slot* (an index into ``slots``);
-    session dispatch passes the ``(index, attempt, speculative)`` tag
-    directly.  Everything here is fork-inherited or picklable.
+    session dispatch passes the ``(index, attempt, speculative, skips)``
+    tag directly.  ``skips`` is the tuple of quarantined split offsets a
+    skipping-mode retry must not touch — part of the tag because it
+    varies per dispatch, unlike the rest of the envelope.  Everything
+    here is fork-inherited or picklable.
     """
 
     inner: Any
     worker: TaskWorker
-    slots: tuple[tuple[int, int, bool], ...]
+    slots: tuple[tuple[int, int, bool, tuple[int, ...]], ...]
     plan: FaultPlan | None
     job: str
     phase: str
@@ -371,6 +485,9 @@ class _Outcome:
     error: str = ""
     t_start: float = 0.0
     t_end: float = 0.0
+    #: set when the failure was a BadRecordError — the skipping-mode
+    #: quarantine entry ``(offset, path, lineno, record_repr)``
+    bad_record: tuple | None = None
 
     @property
     def duration_s(self) -> float:
@@ -387,9 +504,10 @@ def _run_attempt(phase: _AttemptPhase, slot: Any) -> _Outcome:
     """One fault-instrumented attempt: inject, run, capture.
 
     ``slot`` is an int (batch rounds: index into the slot table) or the
-    ``(index, attempt, speculative)`` tag itself (session dispatch).
+    ``(index, attempt, speculative, skips)`` tag itself (session
+    dispatch).
     """
-    index, attempt, speculative = (
+    index, attempt, speculative, skips = (
         phase.slots[slot] if isinstance(slot, int) else slot
     )
     t_start = time.perf_counter()
@@ -402,13 +520,43 @@ def _run_attempt(phase: _AttemptPhase, slot: Any) -> _Outcome:
         for spec in specs:
             if spec.kind == "delay":
                 time.sleep(spec.delay_s)
+            elif spec.kind == "hang":
+                time.sleep(spec.delay_s)
+                raise InjectedFault(
+                    f"injected hang: {phase.phase} task {index} attempt "
+                    f"{attempt} of job {phase.job!r} wedged for "
+                    f"{spec.delay_s}s and died"
+                )
         for spec in specs:
             if spec.kind == "fail":
                 raise InjectedFault(
                     f"injected failure: {phase.phase} task {index} attempt "
                     f"{attempt} of job {phase.job!r}"
                 )
-        value = phase.worker(phase.inner, index)
+            if spec.kind == "oom":
+                raise InjectedFault(
+                    f"injected OOM: {phase.phase} task {index} attempt "
+                    f"{attempt} of job {phase.job!r} exceeded its container "
+                    "memory limit"
+                )
+        if getattr(phase.worker, "supports_record_skipping", False):
+            poison = tuple(
+                spec.record for spec in specs if spec.kind == "poison-record"
+            )
+            value = phase.worker(phase.inner, index, skips=skips, poison=poison)
+        else:
+            value = phase.worker(phase.inner, index)
+    except BadRecordError as exc:
+        return _Outcome(
+            index,
+            attempt,
+            speculative,
+            ok=False,
+            error=str(exc),
+            t_start=t_start,
+            t_end=time.perf_counter(),
+            bad_record=(exc.offset, exc.path, exc.lineno, exc.record),
+        )
     except Exception as exc:  # noqa: BLE001 - captured, not propagated
         return _Outcome(
             index,
@@ -475,27 +623,38 @@ def run_phase_with_recovery(
     if (plan is None or plan.is_empty) and not policy.active:
         return executor.run_phase(worker, num_tasks, payload), None
     if num_tasks == 0:
-        return [], PhaseReport(attempts=[])
+        return [], PhaseReport(attempts=[], skipped=[])
     env = _AttemptPhase(
         inner=payload, worker=worker, slots=(), plan=plan, job=job, phase=phase
     )
-    if policy.speculate:
+    if policy.speculate or policy.task_timeout_s is not None:
+        # Both speculation and the watchdog need streaming completions;
+        # a serial executor has no session, so they degrade to rounds.
         session = executor.open_session(_run_attempt, env)
         if session is not None:
             with session:
-                return _run_speculative(
-                    session, env, num_tasks, policy, recorder
-                )
+                return _run_session(session, env, num_tasks, policy, recorder)
     return _run_retry_rounds(executor, env, num_tasks, policy, recorder)
 
 
 def _record_attempt(
-    report: PhaseReport, out: _Outcome, backoff_s: float, recorder, phase: str
+    report: PhaseReport,
+    out: _Outcome,
+    backoff_s: float,
+    recorder,
+    phase: str,
+    outcome: str | None = None,
 ) -> TaskAttempt:
-    """File one outcome into the report (and the trace, if recording)."""
+    """File one outcome into the report (and the trace, if recording).
+
+    ``outcome`` overrides the outcome name for dispositions the outcome
+    object cannot know about (``"skipped"``: the failure was one bad
+    record that skipping mode quarantines, so it does not count as a
+    task failure).
+    """
     attempt = TaskAttempt(
         attempt=out.attempt,
-        outcome=out.outcome_name,
+        outcome=outcome or out.outcome_name,
         speculative=out.speculative,
         error=out.error,
         duration_s=out.duration_s,
@@ -503,7 +662,7 @@ def _record_attempt(
     )
     report.attempts[out.index].append(attempt)
     report.launched += 1
-    if not out.ok:
+    if not out.ok and attempt.outcome != "skipped":
         report.failures += 1
     if recorder is not None and recorder.enabled:
         recorder.add_span(
@@ -562,7 +721,7 @@ def _mark_lost(report: PhaseReport, out: _Outcome, recorder, phase: str) -> None
 def _exhausted_error(
     job: str, phase: str, index: int, attempts: list[TaskAttempt], last_error: str
 ) -> TaskRetryExhausted:
-    n = sum(1 for a in attempts if a.outcome in ("failed", "corrupt"))
+    n = sum(1 for a in attempts if a.outcome in ("failed", "corrupt", "timeout"))
     log = "; ".join(
         f"attempt {a.attempt}{' (speculative)' if a.speculative else ''}: "
         f"{a.outcome}{f' - {a.error}' if a.error else ''}"
@@ -604,18 +763,33 @@ def _run_retry_rounds(
     tasks that failed round ``k-1`` in task-id order.  Results, attempt
     logs and the raising task (the lowest exhausted id of the earliest
     failing round) are therefore identical on every executor.
+
+    Skipping mode rides the same rounds: an attempt that died on one
+    bad record re-dispatches with the record quarantined instead of
+    charging a failure, bounded per task by
+    ``policy.max_skipped_records`` (past the bound the bad record is an
+    ordinary failure again).
     """
     results: list[Any] = [None] * num_tasks
-    report = PhaseReport(attempts=[[] for __ in range(num_tasks)])
+    report = PhaseReport(
+        attempts=[[] for __ in range(num_tasks)],
+        skipped=[[] for __ in range(num_tasks)],
+    )
     failed_counts = [0] * num_tasks
+    launch_counts = [0] * num_tasks  # next attempt id (skips included)
+    skips: list[tuple[int, ...]] = [() for __ in range(num_tasks)]
     next_backoff = [0.0] * num_tasks
     pending = list(range(num_tasks))
+    supports_skip = getattr(env.worker, "supports_record_skipping", False)
     while pending:
-        slots = tuple((i, failed_counts[i], False) for i in pending)
+        slots = []
+        for i in pending:
+            slots.append((i, launch_counts[i], False, skips[i]))
+            launch_counts[i] += 1
         round_env = _AttemptPhase(
             inner=env.inner,
             worker=env.worker,
-            slots=slots,
+            slots=tuple(slots),
             plan=env.plan,
             job=env.job,
             phase=env.phase,
@@ -623,29 +797,45 @@ def _run_retry_rounds(
         outcomes = executor.run_phase(_run_attempt, len(slots), round_env)
         retry: list[int] = []
         for out in outcomes:  # slot order == ascending task id
-            _record_attempt(report, out, next_backoff[out.index], recorder, env.phase)
+            i = out.index
             if out.ok:
-                results[out.index] = out.value
+                _record_attempt(report, out, next_backoff[i], recorder, env.phase)
+                results[i] = out.value
                 continue
-            failed_counts[out.index] += 1
-            if failed_counts[out.index] >= policy.max_attempts:
-                raise _exhausted_error(
-                    env.job,
-                    env.phase,
-                    out.index,
-                    report.attempts[out.index],
-                    out.error,
+            if (
+                out.bad_record is not None
+                and supports_skip
+                and policy.max_skipped_records > 0
+                and len(report.skipped[i]) < policy.max_skipped_records
+            ):
+                # One bad record, quarantine budget left: log the
+                # attempt as "skipped" and re-dispatch without it — no
+                # failure charged, no backoff (the record is gone, the
+                # retry is expected to work).
+                _record_attempt(
+                    report, out, next_backoff[i], recorder, env.phase,
+                    outcome="skipped",
                 )
-            next_backoff[out.index] = _retry_backoff(
-                report, policy, out.index, failed_counts[out.index], recorder, env.phase
+                report.skipped[i].append(out.bad_record)
+                skips[i] = skips[i] + (out.bad_record[0],)
+                retry.append(i)
+                continue
+            _record_attempt(report, out, next_backoff[i], recorder, env.phase)
+            failed_counts[i] += 1
+            if failed_counts[i] >= policy.max_attempts:
+                raise _exhausted_error(
+                    env.job, env.phase, i, report.attempts[i], out.error
+                )
+            next_backoff[i] = _retry_backoff(
+                report, policy, i, failed_counts[i], recorder, env.phase
             )
-            retry.append(out.index)
+            retry.append(i)
         pending = retry
     return results, report
 
 
-class _SpeculativeState:
-    """Book-keeping of one speculative phase run (parent-side only)."""
+class _SessionState:
+    """Book-keeping of one streaming phase run (parent-side only)."""
 
     __slots__ = (
         "results",
@@ -653,6 +843,8 @@ class _SpeculativeState:
         "launched_ids",
         "failed_counts",
         "running",
+        "abandoned",
+        "skips",
         "has_backup",
         "pending_backoff",
         "winner_speculative",
@@ -663,38 +855,55 @@ class _SpeculativeState:
         self.done = [False] * num_tasks
         self.launched_ids = [0] * num_tasks  # next attempt id per task
         self.failed_counts = [0] * num_tasks
-        #: attempt id -> submit wall-stamp, per task (currently in flight)
-        self.running: list[dict[int, float]] = [{} for __ in range(num_tasks)]
+        #: attempt id -> (submit wall-stamp, speculative), per task
+        self.running: list[dict[int, tuple[float, bool]]] = [
+            {} for __ in range(num_tasks)
+        ]
+        #: attempt ids the watchdog declared dead — late arrivals from
+        #: these are dropped on the floor (their replacement already
+        #: owns the task)
+        self.abandoned: list[set[int]] = [set() for __ in range(num_tasks)]
+        #: quarantined split offsets per task (skipping mode)
+        self.skips: list[tuple[int, ...]] = [() for __ in range(num_tasks)]
         self.has_backup = [False] * num_tasks
         self.pending_backoff: list[float] = [0.0] * num_tasks
         self.winner_speculative = [False] * num_tasks
 
 
-def _run_speculative(
+def _run_session(
     session,
     env: _AttemptPhase,
     num_tasks: int,
     policy: RetryPolicy,
     recorder,
 ) -> tuple[list, PhaseReport]:
-    """Event-loop dispatch with straggler backups (thread/process pools).
+    """Event-loop dispatch: speculation and/or watchdog (thread/process).
 
-    Tags are ``(index, attempt, speculative)``.  First successful
-    finisher per task wins; siblings are discarded as ``lost``.  Output
-    stays byte-identical to the batch path because every clean attempt
-    of a task computes the identical result — only the telemetry
-    (attempt counts, speculative wins) depends on timing.
+    Tags are ``(index, attempt, speculative, skips)``.  First successful
+    finisher per task wins; siblings are discarded as ``lost``.  With
+    ``policy.task_timeout_s`` set, a watchdog sweep abandons any attempt
+    past the wall-clock bound (outcome ``"timeout"``, charged as a
+    failure) and re-dispatches the task through the retry path; a
+    result that straggles in from an abandoned attempt is ignored.
+    Output stays byte-identical to the batch path because every clean
+    attempt of a task computes the identical result — only the
+    telemetry (attempt counts, speculative wins, timeouts) depends on
+    timing.
     """
-    report = PhaseReport(attempts=[[] for __ in range(num_tasks)])
-    state = _SpeculativeState(num_tasks)
+    report = PhaseReport(
+        attempts=[[] for __ in range(num_tasks)],
+        skipped=[[] for __ in range(num_tasks)],
+    )
+    state = _SessionState(num_tasks)
+    supports_skip = getattr(env.worker, "supports_record_skipping", False)
     completed_durations: list[float] = []
     done_count = 0
 
     def launch(index: int, speculative: bool) -> None:
         attempt = state.launched_ids[index]
         state.launched_ids[index] += 1
-        state.running[index][attempt] = time.monotonic()
-        session.submit((index, attempt, speculative))
+        state.running[index][attempt] = (time.monotonic(), speculative)
+        session.submit((index, attempt, speculative, state.skips[index]))
         if speculative:
             report.speculative_launched += 1
             state.has_backup[index] = True
@@ -708,6 +917,8 @@ def _run_speculative(
 
     def monitor() -> None:
         """Launch backups for stragglers once the phase is mostly done."""
+        if not policy.speculate:
+            return
         if done_count < max(1, int(num_tasks * policy.speculation_threshold)):
             return
         if not completed_durations:
@@ -723,19 +934,89 @@ def _run_speculative(
                 continue
             if len(state.running[index]) != 1:
                 continue  # nothing running (about to retry) or already racing
-            started = next(iter(state.running[index].values()))
+            started, __ = next(iter(state.running[index].values()))
             if now - started > threshold:
                 launch(index, speculative=True)
+
+    def reap_timeouts() -> None:
+        """Abandon attempts past the watchdog bound and re-dispatch."""
+        if policy.task_timeout_s is None:
+            return
+        now = time.monotonic()
+        for index in range(num_tasks):
+            if state.done[index]:
+                continue
+            for attempt, (started, speculative) in list(
+                state.running[index].items()
+            ):
+                if now - started <= policy.task_timeout_s:
+                    continue
+                del state.running[index][attempt]
+                state.abandoned[index].add(attempt)
+                if speculative:
+                    state.has_backup[index] = False
+                report.attempts[index].append(
+                    TaskAttempt(
+                        attempt=attempt,
+                        outcome="timeout",
+                        speculative=speculative,
+                        error=(
+                            f"watchdog: attempt exceeded task_timeout_s="
+                            f"{policy.task_timeout_s}"
+                        ),
+                        duration_s=now - started,
+                        backoff_s=state.pending_backoff[index],
+                    )
+                )
+                report.launched += 1
+                report.failures += 1
+                report.timeouts += 1
+                state.pending_backoff[index] = 0.0
+                if recorder is not None and recorder.enabled:
+                    recorder.instant(
+                        "watchdog-timeout",
+                        cat="attempt",
+                        track=f"{env.phase} attempts",
+                        args={
+                            "task": index,
+                            "attempt": attempt,
+                            "task_timeout_s": policy.task_timeout_s,
+                        },
+                    )
+                state.failed_counts[index] += 1
+                if state.failed_counts[index] >= policy.max_attempts:
+                    if state.running[index]:
+                        continue  # a sibling may yet win
+                    raise _exhausted_error(
+                        env.job,
+                        env.phase,
+                        index,
+                        report.attempts[index],
+                        "task timed out",
+                    )
+                if not state.running[index]:
+                    state.pending_backoff[index] = _retry_backoff(
+                        report,
+                        policy,
+                        index,
+                        state.failed_counts[index],
+                        recorder,
+                        env.phase,
+                    )
+                    launch(index, speculative=False)
 
     for index in range(num_tasks):
         launch(index, speculative=False)
 
     while done_count < num_tasks:
         item = session.next_done(timeout=0.01)
+        reap_timeouts()
         if item is None:
             monitor()
             continue
-        (index, attempt, speculative), out = item
+        (index, attempt, speculative, __), out = item
+        if attempt in state.abandoned[index]:
+            continue  # the watchdog already wrote this attempt off
         state.running[index].pop(attempt, None)
         if state.done[index]:
             _mark_lost(report, out, recorder, env.phase)
@@ -753,6 +1034,28 @@ def _run_speculative(
             done_count += 1
             completed_durations.append(out.duration_s)
             monitor()
+            continue
+        if (
+            out.bad_record is not None
+            and supports_skip
+            and policy.max_skipped_records > 0
+            and out.bad_record[0] not in state.skips[index]
+            and len(report.skipped[index]) < policy.max_skipped_records
+        ):
+            # Skipping mode: quarantine the record, re-dispatch at once.
+            _record_attempt(
+                report,
+                out,
+                state.pending_backoff[index],
+                recorder,
+                env.phase,
+                outcome="skipped",
+            )
+            state.pending_backoff[index] = 0.0
+            report.skipped[index].append(out.bad_record)
+            state.skips[index] = state.skips[index] + (out.bad_record[0],)
+            if not state.running[index]:
+                launch(index, speculative=False)
             continue
         # A failure (raised or corrupt).
         _record_attempt(report, out, state.pending_backoff[index], recorder, env.phase)

@@ -39,6 +39,7 @@ from repro.mapreduce.counters import C, Counters
 __all__ = [
     "MapReduceJob",
     "MapContext",
+    "SpillingMapContext",
     "ReduceContext",
     "ShuffleCodec",
     "DEFAULT_SHUFFLE_CODEC",
@@ -156,6 +157,101 @@ class MapContext:
     def counter(self, group: str, name: str, amount: int = 1) -> None:
         """Increment a user counter."""
         self._counters.add(group, name, amount)
+
+
+class SpillingMapContext(MapContext):
+    """A :class:`MapContext` with a per-task memory budget.
+
+    ``budget`` bounds the estimated bytes of *buffered* emissions (the
+    same :class:`ShuffleCodec` sizing the canonical ``MAP_OUTPUT_BYTES``
+    counter charges, so accounting is free on the typed path).  Crossing
+    the budget spills every bucket's buffered slice as a sorted run —
+    the engine writes the runs to the DFS and the reduce side merges
+    them back with :func:`repro.mapreduce.spill.merge_runs`.
+
+    Spill points are a pure function of the emission sequence, so they
+    are identical on the serial, thread and process executors; the only
+    observable difference of a budgeted run is the ``spill*`` telemetry.
+    """
+
+    def __init__(
+        self,
+        counters: Counters,
+        num_reducers: int,
+        partitioner,
+        shuffle_codec: ShuffleCodec = DEFAULT_SHUFFLE_CODEC,
+        *,
+        budget: int,
+        sort_key,
+    ) -> None:
+        super().__init__(counters, num_reducers, partitioner, shuffle_codec)
+        if budget <= 0:
+            raise JobError(f"memory budget must be positive, got {budget}")
+        self._budget = budget
+        self._sort_key = sort_key
+        self._flushed_bytes = 0
+        #: serialized sorted runs per bucket, in spill order
+        self.spill_runs: list[list[list[str]]] = [[] for __ in range(num_reducers)]
+        #: bucket-local sequence number of the first *buffered* record
+        self.spill_base: list[int] = [0] * num_reducers
+
+    @property
+    def spilled(self) -> bool:
+        return any(self.spill_runs)
+
+    def emit(self, key: Any, value: Any) -> None:
+        super().emit(key, value)
+        if self.output_bytes - self._flushed_bytes > self._budget:
+            self._spill()
+
+    def _spill(self) -> None:
+        from repro.mapreduce.spill import encode_spill_record, sort_run
+
+        counters = self._counters
+        for r, bucket in enumerate(self.buckets):
+            if not bucket:
+                continue
+            base = self.spill_base[r]
+            lines = [
+                encode_spill_record(seq, key, value)
+                for seq, key, value in sort_run(bucket, base, self._sort_key)
+            ]
+            self.spill_runs[r].append(lines)
+            self.spill_base[r] = base + len(bucket)
+            self.buckets[r] = []
+            counters.add(C.GROUP_ENGINE, C.SPILLED_RECORDS, len(lines))
+            counters.add(C.GROUP_ENGINE, C.SPILL_FILES)
+            counters.add(
+                C.GROUP_ENGINE,
+                C.SPILL_BYTES,
+                sum(len(line) + 1 for line in lines),
+            )
+        self._flushed_bytes = self.output_bytes
+
+    def unspill(self) -> None:
+        """Rebuild full in-memory buckets in original emission order.
+
+        Used before a combiner runs: the combiner contract is whole-
+        bucket grouping, so the engine restores the unbounded bucket
+        shape (the spill telemetry stays — the spills did happen).
+        """
+        from repro.mapreduce.spill import decode_spill_record
+
+        for r, runs in enumerate(self.spill_runs):
+            if not runs:
+                continue
+            base = self.spill_base[r]
+            records = [
+                decode_spill_record(line) for run in runs for line in run
+            ]
+            records.extend(
+                (base + i, key, value)
+                for i, (key, value) in enumerate(self.buckets[r])
+            )
+            records.sort(key=lambda rec: rec[0])
+            self.buckets[r] = [(key, value) for __, key, value in records]
+            self.spill_runs[r] = []
+            self.spill_base[r] = 0
 
 
 class ReduceContext:

@@ -104,6 +104,35 @@ class LocalFSDFS:
             raise DFSError(f"no such file: {path!r}")
         self._records[self._normalized(path)] = (codec.name, list(records))
 
+    def write_side_file(self, path: str, lines: Iterable[str]) -> int:
+        """Create (or replace) a task side file — durable but unaccounted.
+
+        See :meth:`repro.mapreduce.dfs.InMemoryDFS.write_side_file`:
+        spill runs and quarantine files must persist like any other file
+        but stay off the ``bytes_written`` ledger.
+        """
+        target = self._resolve_path(path)
+        if target.is_dir():
+            raise DFSError(f"{path!r} is a directory")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        nbytes = 0
+        with target.open("w", encoding="utf-8") as fh:
+            for line in lines:
+                if "\n" in line:
+                    raise DFSError(f"record contains a newline: {line!r}")
+                fh.write(line)
+                fh.write("\n")
+                nbytes += len(line) + 1
+        self._records.pop(self._normalized(path), None)
+        return nbytes
+
+    def read_side_file(self, path: str) -> list[str]:
+        """All lines of a task side file — no read accounting."""
+        target = self._resolve_path(path)
+        if not target.is_file():
+            raise DFSError(f"no such file: {path!r}")
+        return target.read_text(encoding="utf-8").splitlines()
+
     def read_file(self, path: str) -> list[str]:
         """All lines of a file; accounts the read volume."""
         target = self._resolve_path(path)

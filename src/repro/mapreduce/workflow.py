@@ -211,6 +211,7 @@ class Workflow:
                 shuffle_s=cost["shuffle_s"],
                 reduce_s=cost["reduce_s"],
                 fault_overhead_s=cost.get("fault_overhead_s", 0.0),
+                spill_overhead_s=cost.get("spill_overhead_s", 0.0),
             ),
             output_records=record["output_records"],
             resumed=True,

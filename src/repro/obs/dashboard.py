@@ -113,9 +113,34 @@ def _fault_line(result: "JobResult") -> str | None:
     spec = eng(C.SPECULATIVE_LAUNCHES)
     if spec:
         line += f", {spec} speculative ({eng(C.SPECULATIVE_WINS)} won)"
+    timeouts = eng(C.TASK_TIMEOUTS)
+    if timeouts:
+        line += f", {timeouts} watchdog timeout(s)"
     if result.cost.fault_overhead_s:
         line += f", overhead {_fmt_s(result.cost.fault_overhead_s)} simulated"
     return line
+
+
+def _memory_line(result: "JobResult") -> str | None:
+    """Memory-governance telemetry: spills and quarantined records."""
+    eng = result.counters.engine
+    spilled = eng(C.SPILLED_RECORDS)
+    skipped = eng(C.SKIPPED_RECORDS)
+    if not spilled and not skipped:
+        return None
+    parts = []
+    if spilled:
+        parts.append(
+            f"{spilled} records spilled in {eng(C.SPILL_FILES)} run(s), "
+            f"{eng(C.SPILL_BYTES)} bytes"
+        )
+        if result.cost.spill_overhead_s:
+            parts.append(
+                f"overhead {_fmt_s(result.cost.spill_overhead_s)} simulated"
+            )
+    if skipped:
+        parts.append(f"{skipped} bad record(s) quarantined")
+    return "  memory: " + ", ".join(parts)
 
 
 def render_job_dashboard(result: "JobResult") -> str:
@@ -152,6 +177,9 @@ def render_job_dashboard(result: "JobResult") -> str:
     fault_line = _fault_line(result)
     if fault_line:
         lines.append(fault_line)
+    memory_line = _memory_line(result)
+    if memory_line:
+        lines.append(memory_line)
     lines.append(_duration_line("map tasks", report.map_durations))
     lines.append(_duration_line("reduce tasks", report.reduce_durations))
     if report.reducer_records:

@@ -1,0 +1,116 @@
+"""Dataset loader diagnostics: malformed records name their source line.
+
+External files are the one input the repo does not generate itself, so
+every parse failure must surface as a one-line ``path:line`` diagnosis
+(1-based, the editor convention) quoting the offending text — never a
+codec traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import load_rect_file, load_rect_lines
+from repro.errors import DatasetFormatError
+
+GOOD = ["0,10,20,5,5", "1,30,40,2.5,7"]
+
+
+class TestLoadRectLines:
+    def test_parses_records(self):
+        rects = load_rect_lines(GOOD)
+        assert [rid for rid, __ in rects] == [0, 1]
+        assert rects[0][1].x == 10.0
+
+    def test_skips_blank_and_comment_lines(self):
+        rects = load_rect_lines(["# header", "", GOOD[0], "   ", GOOD[1]])
+        assert len(rects) == 2
+
+    def test_malformed_line_names_source_and_line(self):
+        lines = [GOOD[0], "not,a,rect"]
+        with pytest.raises(DatasetFormatError) as err:
+            load_rect_lines(lines, source="data/R1.csv")
+        message = str(err.value)
+        assert message.startswith("data/R1.csv:2: ")
+        assert "'not,a,rect'" in message
+
+    def test_comment_lines_do_not_shift_line_numbers(self):
+        lines = ["# comment", GOOD[0], "bogus"]
+        with pytest.raises(DatasetFormatError, match=r"<memory>:3: "):
+            load_rect_lines(lines)
+
+
+class TestLoadRectFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rects.csv"
+        path.write_text("\n".join(GOOD) + "\n", encoding="utf-8")
+        rects = load_rect_file(str(path))
+        assert len(rects) == 2
+
+    def test_malformed_file_names_path(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"{GOOD[0]}\n0,1,2\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError, match=rf"{path}:2: "):
+            load_rect_file(str(path))
+
+    def test_missing_file_is_a_loud_error(self, tmp_path):
+        with pytest.raises(DatasetFormatError, match="cannot read dataset file"):
+            load_rect_file(str(tmp_path / "absent.csv"))
+
+    def test_empty_file_is_a_loud_error(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# only comments\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError, match="holds no records"):
+            load_rect_file(str(path))
+
+
+class TestCliDatasetErrors:
+    """`--dataset NAME=FILE` failures come out as one-line errors."""
+
+    def test_malformed_dataset_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "R1.csv"
+        path.write_text("0,10,20,5,5\ngarbage line\n", encoding="utf-8")
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "50", "--space", "1000",
+            "--dataset", f"R1={path}",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert f"{path}:2: " in err
+        assert "garbage line" in err
+
+    def test_unknown_relation_name(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "R9.csv"
+        path.write_text("0,10,20,5,5\n", encoding="utf-8")
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "50", "--space", "1000",
+            "--dataset", f"R9={path}",
+        ])
+        assert code == 2
+        assert "unknown relation" in capsys.readouterr().err
+
+    def test_dataset_override_runs(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.synthetic import SyntheticSpec, generate_rects
+
+        spec = SyntheticSpec(
+            n=60, x_range=(0, 1000), y_range=(0, 1000),
+            l_range=(0, 80), b_range=(0, 80), seed=3,
+        )
+        path = tmp_path / "R1.csv"
+        path.write_text(
+            "\n".join(f"{rid},{r.x},{r.y},{r.l},{r.b}" for rid, r in generate_rects(spec))
+            + "\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "50", "--space", "1000",
+            "--dataset", f"R1={path}",
+        ])
+        assert code == 0
+        assert "output tuples:" in capsys.readouterr().out

@@ -105,12 +105,23 @@ class TestFaultPlan:
         assert plan.matching("other", "write", 0, 0) == []
 
     def test_json_round_trip(self, tmp_path):
-        plan = FaultPlan(seed=7).fail_task("map", 1).corrupt_result("reduce", 0)
+        plan = (
+            FaultPlan(seed=7)
+            .fail_task("map", 1)
+            .corrupt_result("reduce", 0)
+            .oom_task("map", 2, attempt=0, job="j")
+            .hang_task("reduce", 3, hang_s=1.25)
+            .poison_record(0, 17, job="j")
+        )
         path = str(tmp_path / "plan.json")
         plan.dump(path)
         loaded = FaultPlan.load(path)
         assert loaded.seed == 7
         assert loaded.specs == plan.specs
+        kinds = [spec.kind for spec in loaded.specs]
+        assert kinds == ["fail", "corrupt", "oom", "hang", "poison-record"]
+        poison = loaded.specs[-1]
+        assert (poison.record, poison.attempt) == (17, None)
 
     def test_load_rejects_garbage(self, tmp_path):
         path = tmp_path / "bad.json"

@@ -1,0 +1,112 @@
+"""Hadoop-style skipping mode: quarantine the bad record, finish the job.
+
+A ``poison-record`` fault kills every attempt that reads one split
+offset — without skipping the task exhausts its retries; with
+``max_skipped_records > 0`` the retry loop quarantines the offending
+record to a DFS side file and the job completes with exactly that
+record missing from the canonical input counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskRetryExhausted
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+LINES = [f"key{i} value{i}" for i in range(24)]
+
+
+def _job() -> MapReduceJob:
+    def mapper(key, line, ctx):
+        word, value = line.split()
+        ctx.emit(word, value)
+
+    def reducer(word, values, ctx):
+        ctx.emit(f"{word}\t{','.join(values)}")
+
+    return MapReduceJob(
+        name="skipjob",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=2,
+        partitioner=hash_partitioner,
+    )
+
+
+def _run(plan, retry):
+    cluster = Cluster(dfs=InMemoryDFS(), fault_plan=plan, retry=retry)
+    cluster.dfs.write_file("in", LINES)
+    result = cluster.run_job(_job())
+    return cluster, result
+
+
+class TestSkippingMode:
+    def test_poison_record_is_quarantined_and_job_completes(self):
+        plan = FaultPlan().poison_record(0, 7)
+        cluster, result = _run(
+            plan, RetryPolicy(max_attempts=4, max_skipped_records=2)
+        )
+        eng = result.counters.engine
+        assert eng(C.SKIPPED_RECORDS) == 1
+        # Exactly the poisoned record is missing from the input count.
+        assert eng(C.MAP_INPUT_RECORDS) == len(LINES) - 1
+        output = "\n".join(
+            line
+            for path in sorted(cluster.dfs.list_dir("out"))
+            for line in cluster.dfs.read_file(path)
+        )
+        assert "key7" not in output
+        assert "key8" in output
+
+    def test_quarantine_side_file_names_source_and_text(self):
+        plan = FaultPlan().poison_record(0, 7)
+        cluster, __ = _run(
+            plan, RetryPolicy(max_attempts=4, max_skipped_records=2)
+        )
+        lines = cluster.dfs.read_side_file("_quarantine/skipjob/map-00000")
+        assert len(lines) == 1
+        source, __tab, text = lines[0].partition("\t")
+        # Engine linenos are 0-based (the mapper-key convention), so
+        # split offset 7 of a single-file input is "in:7".
+        assert source == "in:7"
+        assert "key7 value7" in text
+
+    def test_quarantine_survives_job_success(self):
+        """The quarantine file is the post-mortem artifact: unlike the
+        spill directory it is *not* deleted when the job commits."""
+        plan = FaultPlan().poison_record(0, 7)
+        cluster, __ = _run(
+            plan, RetryPolicy(max_attempts=4, max_skipped_records=2)
+        )
+        assert cluster.dfs.read_side_file("_quarantine/skipjob/map-00000")
+        assert not cluster.dfs.list_dir("_spill/skipjob")
+
+    def test_skip_bound_exhausts_retries(self):
+        """Two poison records but max_skipped_records=1: the second bad
+        record cannot be quarantined, so the task dies for good."""
+        plan = FaultPlan().poison_record(0, 3).poison_record(0, 7)
+        with pytest.raises(TaskRetryExhausted):
+            _run(plan, RetryPolicy(max_attempts=6, max_skipped_records=1))
+
+    def test_skipping_off_means_retry_exhaustion(self):
+        plan = FaultPlan().poison_record(0, 7)
+        with pytest.raises(TaskRetryExhausted):
+            _run(plan, RetryPolicy(max_attempts=3))
+
+    def test_skips_do_not_charge_failures(self):
+        """A skip retry is not a failure: absorbed-chaos telemetry stays
+        interpretable (failures count real deaths only)."""
+        plan = FaultPlan().poison_record(0, 7)
+        __, result = _run(
+            plan, RetryPolicy(max_attempts=4, max_skipped_records=2)
+        )
+        eng = result.counters.engine
+        assert eng(C.TASK_FAILURES) == 0
+        assert eng(C.SKIPPED_RECORDS) == 1

@@ -1,0 +1,170 @@
+"""Spill primitives: run format, external merge, budgeted map context.
+
+The memory-governance invariant under test: merging sorted runs on
+``(sort_key(key), map_task_id, seq)`` reproduces the unbounded path's
+stable sort exactly, for any placement of the spill points.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import JobError
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.engine import _sorted_by_key
+from repro.mapreduce.job import SpillingMapContext
+from repro.mapreduce.spill import (
+    SpillRun,
+    SpillStore,
+    decode_spill_record,
+    encode_spill_record,
+    merge_runs,
+    sort_run,
+    spill_dir,
+)
+
+
+def _identity_sort_key(key):
+    return key
+
+
+class TestSpillRecordCodec:
+    def test_round_trip_arbitrary_objects(self):
+        record = (7, ("cell", 3), {"payload": [1.5, None, "x"]})
+        line = encode_spill_record(*record)
+        assert "\n" not in line
+        assert decode_spill_record(line) == record
+
+    def test_spill_dir_is_job_scoped(self):
+        assert spill_dir("my-job") == "_spill/my-job"
+
+
+class TestSortRun:
+    def test_orders_by_sort_key_then_sequence(self):
+        # Emission order: keys 3, 1, 3, 2 with bucket-local seqs 10..13.
+        records = [(3, "a"), (1, "b"), (3, "c"), (2, "d")]
+        out = sort_run(records, base=10, sort_key=_identity_sort_key)
+        assert out == [(11, 1, "b"), (13, 2, "d"), (10, 3, "a"), (12, 3, "c")]
+
+    def test_equal_keys_keep_emission_order(self):
+        records = [(0, "first"), (0, "second"), (0, "third")]
+        out = sort_run(records, base=0, sort_key=_identity_sort_key)
+        assert [v for __, __, v in out] == ["first", "second", "third"]
+
+
+class TestMergeRuns:
+    """merge_runs == _sorted_by_key of the concatenated buckets, always."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("spill_every", [1, 3, 7])
+    def test_reproduces_stable_sort(self, seed, spill_every):
+        rng = random.Random(seed)
+        store = SpillStore()
+        runs = []
+        combined = []  # records in (task, emission) order, the unbounded bucket
+        for task in range(3):
+            emitted = [
+                (rng.randrange(5), f"t{task}v{i}") for i in range(rng.randrange(2, 15))
+            ]
+            combined.extend(emitted)
+            # Cut this task's emissions into spilled runs of spill_every
+            # records plus a resident remainder (possibly empty).
+            base = 0
+            for lo in range(0, len(emitted) - spill_every, spill_every):
+                chunk = emitted[lo : lo + spill_every]
+                path = f"run-{task}-{lo}"
+                store.files[path] = [
+                    encode_spill_record(seq, key, value)
+                    for seq, key, value in sort_run(chunk, base, _identity_sort_key)
+                ]
+                runs.append(SpillRun(task=task, path=path, count=len(chunk)))
+                base += len(chunk)
+            remainder = emitted[base:]
+            if remainder:
+                runs.append(SpillRun(task=task, records=remainder, base=base))
+        merged = merge_runs(runs, store, _identity_sort_key)
+        assert merged == _sorted_by_key(combined, _identity_sort_key)
+
+    def test_resident_only_runs_merge(self):
+        runs = [
+            SpillRun(task=0, records=[(2, "a"), (1, "b")], base=0),
+            SpillRun(task=1, records=[(1, "c"), (2, "d")], base=0),
+        ]
+        merged = merge_runs(runs, SpillStore(), _identity_sort_key)
+        assert merged == [(1, "b"), (1, "c"), (2, "a"), (2, "d")]
+
+
+def _make_ctx(budget, num_reducers=2):
+    counters = Counters()
+    ctx = SpillingMapContext(
+        counters,
+        num_reducers,
+        partitioner=lambda key, n: key % n,
+        budget=budget,
+        sort_key=_identity_sort_key,
+    )
+    return ctx, counters
+
+
+class TestSpillingMapContext:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(JobError, match="budget must be positive"):
+            _make_ctx(0)
+
+    def test_spills_when_budget_crossed(self):
+        ctx, counters = _make_ctx(budget=64)
+        for i in range(100):
+            ctx.emit(i % 2, f"value-{i}")
+        assert ctx.spilled
+        eng = counters.engine
+        assert eng(C.SPILLED_RECORDS) > 0
+        assert eng(C.SPILL_FILES) > 0
+        assert eng(C.SPILL_BYTES) > 0
+        # Canonical counters are untouched by spilling.
+        assert eng(C.MAP_OUTPUT_RECORDS) == 100
+        spilled = sum(len(run) for runs in ctx.spill_runs for run in runs)
+        resident = sum(len(bucket) for bucket in ctx.buckets)
+        assert spilled == eng(C.SPILLED_RECORDS)
+        assert spilled + resident == 100
+
+    def test_bucket_bytes_survive_spills(self):
+        """Reduce-side input-byte accounting reads bucket_bytes; spilling
+        must not reset it or REDUCE_INPUT_BYTES would drift."""
+        ctx, __ = _make_ctx(budget=64)
+        unbounded, __ = _make_ctx(budget=10**9)
+        for i in range(100):
+            ctx.emit(i % 2, f"value-{i}")
+            unbounded.emit(i % 2, f"value-{i}")
+        assert ctx.bucket_bytes == unbounded.bucket_bytes
+        assert ctx.output_bytes == unbounded.output_bytes
+
+    def test_spill_points_are_deterministic(self):
+        runs = []
+        for __ in range(2):
+            ctx, __counters = _make_ctx(budget=64)
+            for i in range(100):
+                ctx.emit(i % 2, f"value-{i}")
+            runs.append((ctx.spill_runs, ctx.spill_base, ctx.buckets))
+        assert runs[0] == runs[1]
+
+    def test_unspill_restores_emission_order(self):
+        ctx, counters = _make_ctx(budget=64)
+        unbounded, __ = _make_ctx(budget=10**9)
+        for i in range(100):
+            ctx.emit(i % 2, f"value-{i}")
+            unbounded.emit(i % 2, f"value-{i}")
+        assert ctx.spilled
+        ctx.unspill()
+        assert ctx.buckets == unbounded.buckets
+        assert not ctx.spilled
+        # The spills happened: telemetry stays.
+        assert counters.engine(C.SPILLED_RECORDS) > 0
+
+    def test_under_budget_never_spills(self):
+        ctx, counters = _make_ctx(budget=10**9)
+        for i in range(100):
+            ctx.emit(i % 2, f"value-{i}")
+        assert not ctx.spilled
+        assert counters.engine(C.SPILLED_RECORDS) == 0

@@ -1,0 +1,114 @@
+"""Hung-task watchdog: wall-clock timeout, reclaim, re-dispatch.
+
+An injected ``hang`` fault wedges one attempt for seconds; the watchdog
+(``RetryPolicy.task_timeout_s``) abandons it long before the hang
+drains and relaunches through the ordinary retry path — the job
+finishes fast, byte-identical, with the abandonment visible only as
+``task_timeouts`` telemetry.
+
+The watchdog needs a streaming session, hence parallel executors with
+an explicit worker count (on a 1-CPU box the default would be a single
+worker, where sessions — and so the watchdog — are unavailable).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.executor import ThreadExecutor
+from repro.mapreduce.faults import (
+    FaultPlan,
+    RetryPolicy,
+    run_phase_with_recovery,
+)
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+#: Hang long, time out fast: a reclaimed run finishes in well under the
+#: hang, a degraded (watchdog-less) run cannot.
+HANG_S = 2.0
+TIMEOUT_S = 0.25
+
+WATCHDOG = RetryPolicy(max_attempts=2, task_timeout_s=TIMEOUT_S)
+
+
+def _job() -> MapReduceJob:
+    def mapper(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, "1")
+
+    def reducer(word, counts, ctx):
+        ctx.emit(f"{word}\t{len(counts)}")
+
+    return MapReduceJob(
+        name="wd",
+        input_paths=["in"],
+        output_path="out",
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=2,
+        partitioner=hash_partitioner,
+    )
+
+
+def _run(executor, *, plan=None, retry=None):
+    cluster = Cluster(
+        dfs=InMemoryDFS(),
+        executor=executor,
+        num_workers=4,
+        fault_plan=plan,
+        retry=retry or RetryPolicy(),
+    )
+    cluster.dfs.write_file("in", [f"w{i % 7} w{i % 3}" for i in range(40)])
+    result = cluster.run_job(_job())
+    output = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.list_dir("out")
+    }
+    return result, output
+
+
+class TestWatchdogRecovery:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_hung_task_is_reclaimed(self, executor):
+        ref, ref_output = _run(executor)
+        plan = FaultPlan().hang_task("map", 0, hang_s=HANG_S)
+        start = time.perf_counter()
+        result, output = _run(executor, plan=plan, retry=WATCHDOG)
+        wall = time.perf_counter() - start
+        # Reclaimed well before the hang drains.
+        assert wall < HANG_S
+        eng = result.counters.engine
+        assert eng(C.TASK_TIMEOUTS) == 1
+        assert eng(C.TASK_FAILURES) >= 1
+        # Byte-identical output and canonical time despite the reclaim.
+        assert output == ref_output
+        assert result.cost.total_s == ref.cost.total_s
+
+    def test_attempt_log_records_timeout_then_ok(self):
+        def worker(payload, index):
+            if index == 0:
+                pass  # the injected hang wedges attempt 0 for us
+            return index * 10
+
+        plan = FaultPlan().hang_task("map", 0, hang_s=HANG_S)
+        results, report = run_phase_with_recovery(
+            ThreadExecutor(num_workers=4),
+            worker,
+            4,
+            None,
+            job="j",
+            phase="map",
+            policy=WATCHDOG,
+            plan=plan,
+        )
+        assert results == [0, 10, 20, 30]
+        assert report.timeouts == 1
+        outcomes = [a.outcome for a in report.attempts[0]]
+        assert outcomes == ["timeout", "ok"]
+        timed_out = report.attempts[0][0]
+        assert "task_timeout_s" in timed_out.error

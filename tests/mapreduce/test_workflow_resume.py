@@ -15,6 +15,7 @@ from repro.data.synthetic import SyntheticSpec, generate_relations
 from repro.errors import JobError, TaskRetryExhausted
 from repro.grid.partitioning import GridPartitioning
 from repro.joins.controlled import ControlledReplicateJoin
+from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.engine import Cluster
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.localfs import LocalFSDFS
@@ -163,10 +164,20 @@ class TestCrashAndResume:
 
     def test_resume_with_no_manifest_runs_everything(self, clean):
         __, ref = clean
-        cluster = Cluster(checkpoint_dir=CHECKPOINTS, resume=True)
+        # A DFS with prior state but no manifest (e.g. the previous run
+        # never had checkpointing on): resume degrades to a full run.
+        dfs = InMemoryDFS()
+        dfs.write_file("leftovers/from-an-earlier-run", ["not a manifest"])
+        cluster = Cluster(dfs=dfs, checkpoint_dir=CHECKPOINTS, resume=True)
         result = _run(cluster)
         assert [r.resumed for r in result.workflow.job_results] == [False, False]
         assert result.tuples == ref.tuples
+
+    def test_resume_on_fresh_in_memory_dfs_is_a_loud_error(self):
+        """Same mistake as CLI `--resume` without `--dfs-root`: a fresh
+        in-memory DFS starts empty, so there is nothing to resume."""
+        with pytest.raises(JobError, match="durable DFS state"):
+            Cluster(resume=True)
 
 
 class TestCrossProcessResume:

@@ -234,3 +234,45 @@ class TestFaultFlags:
         out = capsys.readouterr().out
         assert "resumed from checkpoint: 1/2 job(s)" in out
         assert "output tuples:" in out
+
+class TestMemoryFlags:
+    BASE = ["join", "--algorithm", "c-rep", "--n", "200", "--space", "1000"]
+
+    def test_memory_budget_reports_spills_only(self, capsys):
+        assert main(self.BASE) == 0
+        baseline = capsys.readouterr().out
+        assert "spilled records:" not in baseline
+
+        assert main(self.BASE + ["--memory-budget", "2k", "--verbose"]) == 0
+        budgeted = capsys.readouterr().out
+        assert "spilled records:" in budgeted
+        assert "memory:" in budgeted  # the dashboard's memory line
+
+        def line(out, prefix):
+            return next(l for l in out.splitlines() if l.startswith(prefix))
+
+        # Canonical results unchanged by the budget.
+        assert line(budgeted, "simulated time:") == line(baseline, "simulated time:")
+        assert line(budgeted, "output tuples:") == line(baseline, "output tuples:")
+
+    def test_memory_budget_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--memory-budget", "lots"])
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--memory-budget", "0"])
+
+    def test_skipping_flags_quarantine_poison_record(self, tmp_path, capsys):
+        from repro.mapreduce.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan().poison_record(0, 3, job=None).dump(str(path))
+        code = main(self.BASE + [
+            "--fault-plan", str(path), "--max-attempts", "4",
+            "--max-skipped-records", "2",
+        ])
+        assert code == 0
+        assert "skipped records:" in capsys.readouterr().out
+
+    def test_task_timeout_flag_accepted(self, capsys):
+        code = main(self.BASE + ["--task-timeout", "30"])
+        assert code == 0
