@@ -250,6 +250,18 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="worker count for thread/process executors (default: all CPUs)",
     )
+    from repro.kernels import KERNELS
+
+    p.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help=(
+            "compute kernel: 'numpy' vectorized batches, 'python' scalar, "
+            "'auto' = numpy when available (output is identical for all; "
+            "REPRO_KERNEL overrides)"
+        ),
+    )
 
 
 def _make_recorder(args: argparse.Namespace):
@@ -286,6 +298,7 @@ def _run_tables(names: list[str], args: argparse.Namespace) -> str:
             verify=not args.no_verify,
             executor=args.executor,
             num_workers=args.workers,
+            kernel=args.kernel,
             recorder=recorder,
             verbose=args.verbose,
         )
@@ -368,6 +381,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             verify=False,
             executor=args.executor,
             num_workers=args.workers,
+            kernel=args.kernel,
             recorder=recorder,
             sink=sink,
             dfs=dfs,
@@ -385,6 +399,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         m = metrics[args.algorithm]
         print(f"query: {query}")
         print(f"output tuples: {output_tuples}")
+        print(f"kernel: {m.kernel}")
         print(f"simulated time: {m.simulated_seconds:.1f}s")
         print(f"shuffled records: {m.shuffled_records}")
         print(f"rectangles marked: {m.rectangles_marked}")
@@ -464,6 +479,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             executor=args.executor,
             num_workers=args.workers,
+            kernel=args.kernel,
         )
         target = args.output or "EXPERIMENTS.md"
         with open(target, "w", encoding="utf-8") as fh:

@@ -59,6 +59,8 @@ class AlgoMetrics:
     rectangles_after_replication: int
     output_tuples: int
     wall_seconds: float
+    #: resolved compute kernel the run executed with ("numpy"/"python")
+    kernel: str = "python"
     #: max/mean reduce input records of the heaviest reduce job in the
     #: chain (1.0 = perfectly even; 0.0 when nothing reduced)
     reduce_skew: float = 0.0
@@ -178,6 +180,7 @@ def execute_sweep(
     verify: bool = True,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder: NullRecorder | None = None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -185,10 +188,11 @@ def execute_sweep(
 
     Each row runs on its own grid (derived from its data, as the
     paper re-partitions per data-set) and a cost model scaled to the
-    workload's paper-equivalent size.  ``executor``/``num_workers``
-    pick the cluster's task back-end (results are identical for all).
-    ``recorder`` traces every row into one timeline and ``verbose``
-    prints the per-row skew dashboards as the sweep runs.
+    workload's paper-equivalent size.  ``executor``/``num_workers``/
+    ``kernel`` pick the cluster's task back-end and compute kernel
+    (results are identical for all).  ``recorder`` traces every row into
+    one timeline and ``verbose`` prints the per-row skew dashboards as
+    the sweep runs.
     """
     result = ExperimentResult(
         table=table,
@@ -210,6 +214,7 @@ def execute_sweep(
             verify=verify,
             executor=executor,
             num_workers=num_workers,
+            kernel=kernel,
             recorder=recorder,
             verbose=verbose,
         )
@@ -244,6 +249,7 @@ def run_algorithms(
     verify: bool = True,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder: NullRecorder | None = None,
     verbose: bool = False,
     sink: dict[str, JoinResult] | None = None,
@@ -259,7 +265,10 @@ def run_algorithms(
     Returns ``(metrics by algorithm, outputs agree, output tuple count)``.
     ``d_max`` defaults to the observed maximum diagonal (what a C-Rep-L
     deployment would precompute while loading the data).
-    ``executor``/``num_workers`` select the cluster's task back-end.
+    ``executor``/``num_workers`` select the cluster's task back-end and
+    ``kernel`` its compute kernel (``"auto"``/``"numpy"``/``"python"``);
+    the kernel each run actually resolved to is recorded on its
+    :class:`AlgoMetrics`.
     ``recorder`` (a live :class:`~repro.obs.trace.TraceRecorder`) traces
     every algorithm's jobs into one timeline; ``verbose`` prints the
     per-job skew dashboard after each algorithm; ``sink`` receives each
@@ -292,6 +301,7 @@ def run_algorithms(
             cost_model=cost_model or CostModel(),
             executor=executor,
             num_workers=num_workers,
+            kernel=kernel,
             recorder=recorder if recorder is not None else NullRecorder(),
             fault_plan=fault_plan,
             checkpoint_dir=checkpoint_dir,
@@ -314,6 +324,7 @@ def run_algorithms(
             rectangles_after_replication=result.stats.rectangles_after_replication,
             output_tuples=len(result.tuples),
             wall_seconds=wall,
+            kernel=cluster.resolved_kernel,
             reduce_skew=workflow_skew(job_results),
             phase_wall_seconds=_phase_wall_totals(job_results),
         )

@@ -59,6 +59,7 @@ def run(
     seed: int = 11,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -86,6 +87,7 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
         recorder=recorder,
         verbose=verbose,
     )

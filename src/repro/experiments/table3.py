@@ -53,6 +53,7 @@ def run(
     seed: int = 23,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -89,6 +90,7 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
         recorder=recorder,
         verbose=verbose,
     )

@@ -51,6 +51,7 @@ def run(
     seed: int = 7,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -77,6 +78,7 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
         recorder=recorder,
         verbose=verbose,
     )

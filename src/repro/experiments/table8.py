@@ -46,6 +46,7 @@ def run(
     seed: int = 53,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -74,6 +75,7 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
         recorder=recorder,
         verbose=verbose,
     )

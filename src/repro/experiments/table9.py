@@ -46,6 +46,7 @@ def run(
     seed: int = 7,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
 ) -> ExperimentResult:
@@ -75,6 +76,7 @@ def run(
         verify=verify,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
         recorder=recorder,
         verbose=verbose,
     )

@@ -37,7 +37,6 @@ and must not be mixed up:
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import PartitioningError
@@ -45,6 +44,45 @@ from repro.geometry.rectangle import Rect
 from repro.grid.cell import Cell
 
 __all__ = ["GridPartitioning"]
+
+
+def _last_le(edges: list[float], v: float, guess: int, last: int) -> int:
+    """Largest index in ``[0, last]`` with ``edges[i] <= v``, clamped.
+
+    Equivalent to ``min(max(bisect_right(edges, v) - 1, 0), last)`` but
+    started from an O(1) arithmetic ``guess``.  The repair loops walk a
+    monotone predicate to its true boundary, so the result is exact for
+    *any* starting guess — the guess only bounds how many float
+    comparisons the walk needs (at most one or two on uniform grids).
+    """
+    i = guess
+    if i < 0:
+        i = 0
+    elif i > last:
+        i = last
+    while i < last and edges[i + 1] <= v:
+        i += 1
+    while i and edges[i] > v:
+        i -= 1
+    return i
+
+
+def _last_lt(edges: list[float], v: float, guess: int, last: int) -> int:
+    """Largest index in ``[0, last]`` with ``edges[i] < v``, clamped.
+
+    Strict twin of :func:`_last_le` — the
+    ``min(max(bisect_left(edges, v) - 1, 0), last)`` expression.
+    """
+    i = guess
+    if i < 0:
+        i = 0
+    elif i > last:
+        i = last
+    while i < last and edges[i + 1] < v:
+        i += 1
+    while i and edges[i] >= v:
+        i -= 1
+    return i
 
 
 def _check_edges(name: str, edges: Sequence[float]) -> list[float]:
@@ -174,6 +212,12 @@ class GridPartitioning:
         self.space = Rect.from_corners(
             x_edges[0], y_edges[0], x_edges[-1], y_edges[-1]
         )
+        # Inverse mean cell widths, hoisted once per grid: every per-rect
+        # row/col lookup turns one coordinate into an arithmetic index
+        # guess (exact on uniform grids, repaired by _last_le/_last_lt on
+        # rectilinear ones) instead of a bisect over the edge lists.
+        self._inv_w = self.cols / (x_edges[-1] - x_edges[0])
+        self._inv_h = self.rows / (y_edges[-1] - y_edges[0])
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -236,7 +280,10 @@ class GridPartitioning:
         A point exactly on a vertical boundary belongs to the cell on
         its *right*.
         """
-        return min(max(bisect_right(self._x_edges, px) - 1, 0), self.cols - 1)
+        edges = self._x_edges
+        return _last_le(
+            edges, px, int((px - edges[0]) * self._inv_w), self.cols - 1
+        )
 
     def row_of_y(self, py: float) -> int:
         """Unique owning row of a y coordinate (half-open, clamped).
@@ -244,10 +291,15 @@ class GridPartitioning:
         A point exactly on a horizontal cell boundary belongs to the
         cell *below* it (mirror of the column rule's tie-break).
         """
-        # Smallest ascending-edge index with edge >= py; rows count from
-        # the top, so convert from the bottom-up index.
-        p = bisect_left(self._y_edges, py)
-        return min(max(self.rows - p, 0), self.rows - 1)
+        # Largest ascending-edge index with edge < py; rows count from
+        # the top, so convert from the bottom-up index.  Clamping the
+        # index to [0, rows] before the conversion gives the same result
+        # as clamping the converted row (both saturate to row 0 / the
+        # bottom row), so _last_lt's built-in clamp is safe here.
+        edges = self._y_edges
+        rows = self.rows
+        p = _last_lt(edges, py, int((py - edges[0]) * self._inv_h), rows)
+        return min(max(rows - p - 1, 0), rows - 1)
 
     def cell_of_point(self, px: float, py: float) -> Cell:
         """The unique cell owning ``(px, py)``."""
@@ -280,17 +332,25 @@ class GridPartitioning:
         ``rect.x_min``; ``hi`` the largest whose left edge does not pass
         ``rect.x_max``.  Touching counts (closed cells).
         """
-        lo = min(max(bisect_left(self._x_edges, rect.x_min) - 1, 0), self.cols - 1)
-        hi = min(max(bisect_right(self._x_edges, rect.x_max) - 1, 0), self.cols - 1)
+        edges = self._x_edges
+        x0 = edges[0]
+        inv_w = self._inv_w
+        last = self.cols - 1
+        lo = _last_lt(edges, rect.x_min, int((rect.x_min - x0) * inv_w), last)
+        hi = _last_le(edges, rect.x_max, int((rect.x_max - x0) * inv_w), last)
         return (lo, max(lo, hi))
 
     def row_range(self, rect: Rect) -> tuple[int, int]:
         """Inclusive row range of cells whose closed extent meets ``rect``."""
         # Work in bottom-up edge indices first, then convert.
-        a_hi = min(max(bisect_right(self._y_edges, rect.y_max) - 1, 0), self.rows - 1)
-        a_lo = min(max(bisect_left(self._y_edges, rect.y_min) - 1, 0), self.rows - 1)
-        lo = self.rows - 1 - a_hi
-        hi = self.rows - 1 - a_lo
+        edges = self._y_edges
+        y0 = edges[0]
+        inv_h = self._inv_h
+        last = self.rows - 1
+        a_hi = _last_le(edges, rect.y_max, int((rect.y_max - y0) * inv_h), last)
+        a_lo = _last_lt(edges, rect.y_min, int((rect.y_min - y0) * inv_h), last)
+        lo = last - a_hi
+        hi = last - a_lo
         return (lo, max(lo, hi))
 
     def cells_overlapping(self, rect: Rect) -> list[Cell]:

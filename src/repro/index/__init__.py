@@ -7,13 +7,22 @@ from repro.index.rtree import RTree
 __all__ = ["Entry", "SpatialIndex", "NestedLoopIndex", "GridIndex", "RTree"]
 
 
-def make_index(kind: str, entries, **kwargs):
+def make_index(
+    kind: str, entries=None, kernel: str = "python", pairs=None, **kwargs
+):
     """Index factory used by the join algorithms and ablation benches.
 
-    ``kind`` is one of ``"grid"``, ``"rtree"`` or ``"scan"``.
+    ``kind`` is one of ``"grid"``, ``"rtree"`` or ``"scan"``.  ``kernel``
+    selects the build/probe implementation where one exists (only the
+    grid index has a columnar fast path; the others ignore it).  The
+    rectangles come in as ``entries`` or as raw ``(rid, rect)`` pairs —
+    the grid index consumes pairs directly and materializes Entry
+    objects only if a caller asks for them.
     """
     if kind == "grid":
-        return GridIndex(entries, **kwargs)
+        return GridIndex(entries, kernel=kernel, pairs=pairs, **kwargs)
+    if entries is None:
+        entries = [Entry(rect=r, payload=rid) for rid, r in pairs]
     if kind == "rtree":
         return RTree(entries, **kwargs)
     if kind == "scan":

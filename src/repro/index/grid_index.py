@@ -5,15 +5,25 @@ buckets overlapping the (enlarged) query rectangle, and the uniform and
 mildly-clustered workloads of the paper keep buckets balanced.  Entries
 spanning several buckets are registered in each; probes deduplicate by
 entry identity.
+
+With ``kernel="numpy"`` the bucket assignment is computed columnarly
+(one stable argsort instead of a per-entry insertion loop) and the
+index additionally exposes :meth:`search_batch` plus columnar bound
+arrays (:attr:`batch`) for vectorized callers.  Bucket contents, probe
+order and probe counts are identical to the scalar build — the numpy
+path only changes how fast the same structure is produced.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 from repro.geometry.rectangle import Rect
 from repro.index.base import Entry
+from repro.kernels import numpy_or_none
+from repro.kernels.batch import RectBatch
 
 __all__ = ["GridIndex"]
 
@@ -31,29 +41,57 @@ class GridIndex:
         under a uniform spread.
     """
 
-    def __init__(self, entries: Iterable[Entry], target_per_bucket: int = 8) -> None:
-        self._entries = list(entries)
+    def __init__(
+        self,
+        entries: Iterable[Entry] | None = None,
+        target_per_bucket: int = 8,
+        kernel: str = "python",
+        pairs: list[tuple[Any, Rect]] | None = None,
+    ) -> None:
+        # The index can be fed ``(rid, rect)`` pairs instead of Entry
+        # objects; the Entry list is then materialized lazily, only if a
+        # caller actually asks for entries (the columnar probe paths
+        # never do).
+        if pairs is not None:
+            self._ent: list[Entry] | None = None
+            self._pairs: list[tuple[Any, Rect]] | None = (
+                pairs if isinstance(pairs, list) else list(pairs)
+            )
+            n = len(self._pairs)
+        else:
+            self._ent = list(entries)
+            self._pairs = None
+            n = len(self._ent)
+        self._n = n
         #: bucket entries examined across all searches (compute-cost measure)
         self.probes = 0
-        n = len(self._entries)
+        #: columnar bound arrays (numpy kernel only; None on the scalar path)
+        self.batch: RectBatch | None = None
+        #: int64 payload array (numpy kernel with integer payloads only)
+        self.rid_array = None
+        self._np = None
         if n == 0:
             self._nx = self._ny = 1
             self._buckets: dict[tuple[int, int], list[int]] = {}
-            self._bounds: list[tuple[float, float, float, float]] = []
+            self._bounds_list: list[tuple[float, float, float, float]] | None = []
+            return
+        np = numpy_or_none() if kernel == "numpy" else None
+        if np is not None:
+            self._build_numpy(np, n, target_per_bucket)
             return
         # Bounds are kept as exact corner floats: round-tripping them
         # through a Rect can shrink the box by an ulp and wrongly fail
         # the early-exit test for boundary-touching queries.  Each
         # entry's extent is extracted once here — probes compare plain
         # floats instead of calling four Rect properties per test.
-        self._bounds = [
+        self._bounds_list = [
             (e.rect.x, e.rect.x + e.rect.l, e.rect.y - e.rect.b, e.rect.y)
             for e in self._entries
         ]
-        self._x_lo = min(b[0] for b in self._bounds)
-        self._x_hi = max(b[1] for b in self._bounds)
-        self._y_lo = min(b[2] for b in self._bounds)
-        self._y_hi = max(b[3] for b in self._bounds)
+        self._x_lo = min(b[0] for b in self._bounds_list)
+        self._x_hi = max(b[1] for b in self._bounds_list)
+        self._y_lo = min(b[2] for b in self._bounds_list)
+        self._y_hi = max(b[3] for b in self._bounds_list)
         side = max(1, math.isqrt(max(1, n // max(1, target_per_bucket))))
         self._nx = side
         self._ny = side
@@ -61,7 +99,7 @@ class GridIndex:
         self._bh = max((self._y_hi - self._y_lo) / self._ny, 1e-12)
         self._buckets = {}
         setdefault = self._buckets.setdefault
-        for idx, (ex_min, ex_max, ey_min, ey_max) in enumerate(self._bounds):
+        for idx, (ex_min, ex_max, ey_min, ey_max) in enumerate(self._bounds_list):
             ix_lo = self._clamp_x(ex_min)
             ix_hi = self._clamp_x(ex_max)
             iy_lo = self._clamp_y(ey_min)
@@ -69,6 +107,125 @@ class GridIndex:
             for ix in range(ix_lo, ix_hi + 1):
                 for iy in range(iy_lo, iy_hi + 1):
                     setdefault((ix, iy), []).append(idx)
+
+    @property
+    def _entries(self) -> list[Entry]:
+        ent = self._ent
+        if ent is None:
+            ent = self._ent = [
+                Entry(rect=r, payload=rid) for rid, r in self._pairs
+            ]
+        return ent
+
+    @property
+    def _bounds(self) -> list[tuple[float, float, float, float]]:
+        bounds = self._bounds_list
+        if bounds is None:
+            batch = self.batch
+            bounds = self._bounds_list = list(
+                zip(
+                    batch.x_min.tolist(),
+                    batch.x_max.tolist(),
+                    batch.y_min.tolist(),
+                    batch.y_max.tolist(),
+                )
+            )
+        return bounds
+
+    @property
+    def _rid_rects(self) -> list[tuple[Any, Rect]]:
+        pairs = self._pairs
+        if pairs is None:
+            pairs = self._pairs = [(e.payload, e.rect) for e in self._ent]
+        return pairs
+
+    def _build_numpy(self, np, n: int, target_per_bucket: int) -> None:
+        """Columnar build: same buckets, same order, no per-entry loop.
+
+        A bucket's list is its member entry indices in ascending order —
+        exactly what the scalar insertion loop produces, because each
+        entry appears at most once per bucket.  The stable argsort over
+        the expanded (bucket-key, entry) pairs preserves that order.
+        """
+        self._np = np
+        pairs = self._pairs
+        if pairs is not None:
+            batch = RectBatch.from_pairs(np, pairs)
+        else:
+            batch = RectBatch.from_pairs(
+                np, ((e.payload, e.rect) for e in self._ent)
+            )
+        self.batch = batch
+        bx_min, bx_max = batch.x_min, batch.x_max
+        by_min, by_max = batch.y_min, batch.y_max
+        self._bounds_list = None  # materialized on first scalar search
+        try:
+            self.rid_array = np.array(batch.ids, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            self.rid_array = None
+        self._x_lo = float(bx_min.min())
+        self._x_hi = float(bx_max.max())
+        self._y_lo = float(by_min.min())
+        self._y_hi = float(by_max.max())
+        side = max(1, math.isqrt(max(1, n // max(1, target_per_bucket))))
+        self._nx = side
+        self._ny = side
+        self._bw = max((self._x_hi - self._x_lo) / self._nx, 1e-12)
+        self._bh = max((self._y_hi - self._y_lo) / self._ny, 1e-12)
+        # int() and astype(int64) both truncate toward zero; the offsets
+        # are non-negative so the clamp reproduces _clamp_x/_clamp_y.
+        last = side - 1
+        ix_lo = np.clip(((bx_min - self._x_lo) / self._bw).astype(np.int64), 0, last)
+        ix_hi = np.clip(((bx_max - self._x_lo) / self._bw).astype(np.int64), 0, last)
+        iy_lo = np.clip(((by_min - self._y_lo) / self._bh).astype(np.int64), 0, last)
+        iy_hi = np.clip(((by_max - self._y_lo) / self._bh).astype(np.int64), 0, last)
+        ny_span = iy_hi - iy_lo + 1
+        cnt = (ix_hi - ix_lo + 1) * ny_span
+        total = int(cnt.sum())
+        buckets: dict[tuple[int, int], list[int]] = {}
+        ny = self._ny
+        if total == n:
+            # No entry spans buckets: group directly.
+            keys = ix_lo * ny + iy_lo
+            eidx = np.arange(n, dtype=np.int64)
+        else:
+            eidx = np.repeat(np.arange(n, dtype=np.int64), cnt)
+            starts = np.cumsum(cnt) - cnt
+            offs = np.arange(total, dtype=np.int64) - np.repeat(starts, cnt)
+            nys = np.repeat(ny_span, cnt)
+            keys = (np.repeat(ix_lo, cnt) + offs // nys) * ny + (
+                np.repeat(iy_lo, cnt) + offs % nys
+            )
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        sidx = eidx[order]
+        sidx_list = sidx.tolist()
+        cut = np.flatnonzero(skeys[1:] != skeys[:-1]) + 1
+        bucket_starts = [0, *cut.tolist()]
+        bucket_keys = skeys[np.concatenate(([0], cut))].tolist() if total else []
+        bucket_starts.append(total)
+        # ``_bucket_arrays`` mirrors ``_buckets`` as zero-copy views of
+        # the sorted index array, so :meth:`search_batch` never rebuilds
+        # an array from a Python list.
+        bucket_arrays: dict[tuple[int, int], Any] = {}
+        for pos, key in enumerate(bucket_keys):
+            s, e = bucket_starts[pos], bucket_starts[pos + 1]
+            bkey = (key // ny, key % ny)
+            buckets[bkey] = sidx_list[s:e]
+            bucket_arrays[bkey] = sidx[s:e]
+        self._buckets = buckets
+        self._bucket_arrays = bucket_arrays
+        self._empty = np.empty(0, dtype=np.int64)
+        # CSR twin of ``_buckets``: ``_csr_entries[_csr_offsets[b] :
+        # _csr_offsets[b + 1]]`` is bucket ``b``'s member list (b = ix *
+        # ny + iy).  ``skeys`` is sorted, so a dense offsets table is
+        # one searchsorted; :meth:`probe_frontier` gathers whole
+        # frontiers of single-bucket probes from it without touching the
+        # per-bucket dict.
+        self._csr_offsets = np.searchsorted(
+            skeys, np.arange(side * side + 1, dtype=np.int64), side="left"
+        )
+        self._csr_entries = sidx
 
     # ------------------------------------------------------------------
     def _clamp_x(self, x: float) -> int:
@@ -82,7 +239,7 @@ class GridIndex:
     # ------------------------------------------------------------------
     def search(self, rect: Rect, d: float = 0.0) -> Iterator[Entry]:
         """Entries within Chebyshev distance ``d`` of ``rect`` (exact)."""
-        if not self._entries:
+        if not self._n:
             return
         # Same arithmetic as ``rect.enlarge(d)`` (corner moves first,
         # then sides), so boundary-touching queries behave bit-exactly
@@ -142,8 +299,261 @@ class GridIndex:
                     ):
                         yield entries[idx]
 
+    def search_batch(self, rect: Rect, d: float = 0.0):
+        """Eager, order-preserving equivalent of exhausting :meth:`search`.
+
+        Returns ``(matched, scanned)``: ``matched`` is an int64 array of
+        entry indices in the exact order :meth:`search` would yield the
+        entries, ``scanned`` the number of bucket slots examined.
+        ``probes`` is charged for every scanned slot up front — the same
+        total a fully-consumed scalar search accumulates.  Only
+        available on an index built with ``kernel="numpy"``.
+        """
+        if not self._n:
+            return (), 0
+        if d > 0:
+            qx_min = rect.x - d
+            qx_max = qx_min + (rect.l + 2 * d)
+            qy_max = rect.y + d
+            qy_min = qy_max - (rect.b + 2 * d)
+        else:
+            qx_min = rect.x
+            qx_max = qx_min + rect.l
+            qy_max = rect.y
+            qy_min = qy_max - rect.b
+        if (
+            qx_max < self._x_lo
+            or qx_min > self._x_hi
+            or qy_max < self._y_lo
+            or qy_min > self._y_hi
+        ):
+            return self._empty, 0
+        return self._search_bounds(qx_min, qx_max, qy_min, qy_max)
+
+    def _search_bounds(self, qx_min, qx_max, qy_min, qy_max):
+        """:meth:`search_batch` body for precomputed, in-range bounds."""
+        np = self._np
+        empty = self._empty
+        ix_lo = self._clamp_x(qx_min)
+        ix_hi = self._clamp_x(qx_max)
+        iy_lo = self._clamp_y(qy_min)
+        iy_hi = self._clamp_y(qy_max)
+        arrays = self._bucket_arrays
+        if ix_lo == ix_hi and iy_lo == iy_hi:
+            cand = arrays.get((ix_lo, iy_lo))
+            if cand is None:
+                return empty, 0
+            scanned = len(cand)
+            self.probes += scanned
+        else:
+            parts = [
+                b
+                for ix in range(ix_lo, ix_hi + 1)
+                for iy in range(iy_lo, iy_hi + 1)
+                if (b := arrays.get((ix, iy))) is not None
+            ]
+            if not parts:
+                return empty, 0
+            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            scanned = len(cand)
+            self.probes += scanned
+            if len(parts) > 1:
+                # First-occurrence dedup, preserving scan order
+                # (duplicates are scanned — and charged — but yield
+                # nothing).
+                __, first = np.unique(cand, return_index=True)
+                cand = cand[np.sort(first)]
+        batch = self.batch
+        mask = (
+            (qx_min <= batch.x_max[cand])
+            & (batch.x_min[cand] <= qx_max)
+            & (qy_min <= batch.y_max[cand])
+            & (batch.y_min[cand] <= qy_max)
+        )
+        return cand[mask], scanned
+
+    def probe_batch(self, rect: Rect, d: float = 0.0):
+        """Eager probe with scan positions, for *exact* lazy accounting.
+
+        Returns ``(entries, positions, scanned)``: the entries
+        :meth:`search` would yield, in yield order; for each, the number
+        of bucket slots the generator had scanned when it yielded it,
+        minus one (its 0-based flat scan position, duplicates included);
+        and the slots a fully-exhausted scan examines.  ``probes`` is
+        **not** charged — the caller charges ``positions[j] + 1`` when it
+        abandons the scan after candidate ``j``, or ``scanned`` when it
+        exhausts it, reproducing the scalar generator's incremental
+        accounting to the slot.  Only on a ``kernel="numpy"`` index.
+        """
+        if not self._n:
+            return [], [], 0
+        np = self._np
+        if d > 0:
+            qx_min = rect.x - d
+            qx_max = qx_min + (rect.l + 2 * d)
+            qy_max = rect.y + d
+            qy_min = qy_max - (rect.b + 2 * d)
+        else:
+            qx_min = rect.x
+            qx_max = qx_min + rect.l
+            qy_max = rect.y
+            qy_min = qy_max - rect.b
+        if (
+            qx_max < self._x_lo
+            or qx_min > self._x_hi
+            or qy_max < self._y_lo
+            or qy_min > self._y_hi
+        ):
+            return [], [], 0
+        ix_lo = self._clamp_x(qx_min)
+        ix_hi = self._clamp_x(qx_max)
+        iy_lo = self._clamp_y(qy_min)
+        iy_hi = self._clamp_y(qy_max)
+        arrays = self._bucket_arrays
+        if ix_lo == ix_hi and iy_lo == iy_hi:
+            cand = arrays.get((ix_lo, iy_lo))
+            if cand is None:
+                return [], [], 0
+            scanned = len(cand)
+            pos = np.arange(scanned, dtype=np.int64)
+        else:
+            parts = [
+                b
+                for ix in range(ix_lo, ix_hi + 1)
+                for iy in range(iy_lo, iy_hi + 1)
+                if (b := arrays.get((ix, iy))) is not None
+            ]
+            if not parts:
+                return [], [], 0
+            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            scanned = len(cand)
+            if len(parts) > 1:
+                # A duplicate is yielded at its first occurrence; its
+                # scan position is that first flat slot.
+                __, first = np.unique(cand, return_index=True)
+                pos = np.sort(first)
+                cand = cand[pos]
+            else:
+                pos = np.arange(scanned, dtype=np.int64)
+        batch = self.batch
+        mask = (
+            (qx_min <= batch.x_max[cand])
+            & (batch.x_min[cand] <= qx_max)
+            & (qy_min <= batch.y_max[cand])
+            & (batch.y_min[cand] <= qy_max)
+        )
+        pairs = self._rid_rects
+        return (
+            [pairs[i] for i in cand[mask].tolist()],
+            pos[mask].tolist(),
+            scanned,
+        )
+
+    def probe_frontier(self, batch_q: RectBatch, pos, d: float = 0.0):
+        """Bulk probe: one query per row ``pos[i]`` of ``batch_q``.
+
+        Returns ``(parents, entries)`` — aligned int64 arrays holding,
+        for every candidate that passes the bucket-extent test, the
+        querying row's position *within ``pos``* and the entry index.
+        Pairs are ordered by query, then by scan order within a query:
+        exactly the concatenation of the per-query :meth:`search_batch`
+        results, computed as one two-level CSR gather (queries expand to
+        their bucket ranges x-major, buckets to their slot slices) plus
+        one global first-occurrence dedup.  ``probes`` is charged per
+        scanned slot — duplicates included — as the individual searches
+        would charge.  Only on a ``kernel="numpy"`` index.
+        """
+        np = self._np
+        x = batch_q.x[pos]
+        length = batch_q.length[pos]
+        y = batch_q.y[pos]
+        breadth = batch_q.breadth[pos]
+        if d > 0:
+            qx_min = x - d
+            qx_max = qx_min + (length + 2 * d)
+            qy_max = y + d
+            qy_min = qy_max - (breadth + 2 * d)
+        else:
+            qx_min = x
+            qx_max = qx_min + length
+            qy_max = y
+            qy_min = qy_max - breadth
+        m = len(x)
+        inb = ~(
+            (qx_max < self._x_lo)
+            | (qx_min > self._x_hi)
+            | (qy_max < self._y_lo)
+            | (qy_min > self._y_hi)
+        )
+        last_x = self._nx - 1
+        last_y = self._ny - 1
+        ix_lo = np.clip(((qx_min - self._x_lo) / self._bw).astype(np.int64), 0, last_x)
+        ix_hi = np.clip(((qx_max - self._x_lo) / self._bw).astype(np.int64), 0, last_x)
+        iy_lo = np.clip(((qy_min - self._y_lo) / self._bh).astype(np.int64), 0, last_y)
+        iy_hi = np.clip(((qy_max - self._y_lo) / self._bh).astype(np.int64), 0, last_y)
+        ny = self._ny
+        offsets = self._csr_offsets
+        wy = iy_hi - iy_lo + 1
+        nb = np.where(inb, (ix_hi - ix_lo + 1) * wy, 0)
+        spanning = bool((nb > 1).any())
+        if not spanning:
+            # Every query hits at most one bucket: one expansion level.
+            bsel = ix_lo * ny + iy_lo
+            start = offsets[bsel]
+            cnt = np.where(nb > 0, offsets[bsel + 1] - start, 0)
+            total = int(cnt.sum())
+            self.probes += total
+            if not total:
+                return self._empty, self._empty
+            parent = np.repeat(np.arange(m, dtype=np.int64), cnt)
+            base = np.cumsum(cnt) - cnt
+            flat = np.arange(total, dtype=np.int64) - base[parent] + start[parent]
+            e = self._csr_entries[flat]
+        else:
+            # Level 1: queries -> buckets, x-major within each query
+            # (the scalar scan order).
+            nbuckets = int(nb.sum())
+            qidx = np.repeat(np.arange(m, dtype=np.int64), nb)
+            qbase = np.cumsum(nb) - nb
+            o = np.arange(nbuckets, dtype=np.int64) - qbase[qidx]
+            wyq = wy[qidx]
+            bsel = (ix_lo[qidx] + o // wyq) * ny + (iy_lo[qidx] + o % wyq)
+            start = offsets[bsel]
+            cnt = offsets[bsel + 1] - start
+            # Level 2: buckets -> slots.
+            total = int(cnt.sum())
+            self.probes += total
+            if not total:
+                return self._empty, self._empty
+            bidx = np.repeat(np.arange(nbuckets, dtype=np.int64), cnt)
+            bbase = np.cumsum(cnt) - cnt
+            flat = np.arange(total, dtype=np.int64) - bbase[bidx] + start[bidx]
+            e = self._csr_entries[flat]
+            parent = qidx[bidx]
+            # Global first-occurrence dedup per (query, entry): the flat
+            # array is query-major in scan order, so the first global
+            # occurrence of a key is the first within its query, and
+            # sorting the kept positions restores the exact scan order.
+            # Single-bucket queries have no duplicates; including them
+            # changes nothing.
+            keep = np.sort(np.unique(parent * self._n + e, return_index=True)[1])
+            parent = parent[keep]
+            e = e[keep]
+        batch = self.batch
+        keep = (
+            (qx_min[parent] <= batch.x_max[e])
+            & (batch.x_min[e] <= qx_max[parent])
+            & (qy_min[parent] <= batch.y_max[e])
+            & (batch.y_min[e] <= qy_max[parent])
+        )
+        return parent[keep], e[keep]
+
+    def entry_at(self, i: int) -> Entry:
+        """The entry behind an index returned by :meth:`search_batch`."""
+        return self._entries[i]
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._n
 
     @property
     def probe_cost_hint(self) -> float:

@@ -41,6 +41,7 @@ from repro.joins.base import (
 )
 from repro.joins.dedup import two_way_range_owner
 from repro.joins.sweep import sweep_pairs
+from repro.kernels.sweep import sweep_pairs_batch
 from repro.mapreduce.engine import Cluster
 from repro.mapreduce.job import (
     MapContext,
@@ -159,6 +160,7 @@ class CascadeJoin(MultiWayJoinAlgorithm):
         self._check_inputs(query, datasets)
         paths = stage_datasets(cluster, datasets)
         first_slot, steps = _build_plan(query, self.order)
+        kernel = cluster.resolved_kernel
 
         workflow = Workflow(cluster)
         left_path = paths[query.dataset_of(first_slot)]
@@ -188,7 +190,7 @@ class CascadeJoin(MultiWayJoinAlgorithm):
                     grid, step, left_path, right_path, left_is_tuples, first_slot
                 ),
                 reducer=_make_step_reducer(
-                    grid, query, step, self.index_kind
+                    grid, query, step, self.index_kind, kernel
                 ),
                 num_reducers=grid.num_cells,
                 input_codec=input_codec,
@@ -256,7 +258,11 @@ def _make_step_mapper(
 # Reduce side: 2-way join with the Section 5 duplicate avoidance
 # ----------------------------------------------------------------------
 def _make_step_reducer(
-    grid: GridPartitioning, query: Query, step: _Step, index_kind: str
+    grid: GridPartitioning,
+    query: Query,
+    step: _Step,
+    index_kind: str,
+    kernel: str = "python",
 ):
     d = step.anchor.predicate.distance
     slot_order = query.slots
@@ -268,6 +274,9 @@ def _make_step_reducer(
         side (default) or one plane sweep over both sides
         (``index_kind="sweep"`` — the kernel ablation's winner on dense
         reducers).  Both return the same Chebyshev-``d`` superset.
+        Under ``kernel="numpy"`` the sweep runs its columnar batch
+        variant and the grid index builds its buckets columnarly; the
+        pair sequence is identical either way.
         """
         decoded = [record.bindings for record in tuple_records]
         if index_kind == "sweep":
@@ -277,11 +286,15 @@ def _make_step_reducer(
             ]
             right = [(e.payload, e.rect) for e in base_entries]
             by_rid = {e.payload: e.rect for e in base_entries}
-            for t, rid in sweep_pairs(left, right, d):
+            if kernel == "numpy":
+                pairs = sweep_pairs_batch(left, right, d)
+            else:
+                pairs = sweep_pairs(left, right, d)
+            for t, rid in pairs:
                 bindings = decoded[t]
                 yield bindings, rid, by_rid[rid], bindings[step.anchor_slot][1]
             return
-        index = make_index(index_kind, base_entries)
+        index = make_index(index_kind, base_entries, kernel=kernel)
         for bindings in decoded:
             anchor_rect = bindings[step.anchor_slot][1]
             for entry in index.search(anchor_rect, d):

@@ -25,6 +25,8 @@ oracle on adversarial random workloads.
 
 from __future__ import annotations
 
+import math
+
 from repro.data.io import RECT_CODEC, TAGGED_CODEC, TaggedRect
 from repro.grid.partitioning import GridPartitioning
 from repro.grid.transforms import replicate_f2, split
@@ -42,6 +44,9 @@ from repro.joins.base import (
 from repro.joins.limits import ReplicationLimits
 from repro.joins.local import LocalJoiner
 from repro.joins.marking import MarkingEngine
+from repro.kernels import numpy_or_none
+from repro.kernels import transforms as _kt
+from repro.kernels.batch import RectBatch
 from repro.joins.reducers import (
     RECT_SHUFFLE_CODEC,
     make_local_join_reducer,
@@ -95,10 +100,14 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
                 if cluster.dfs.exists(path):
                     cluster.dfs.delete(path)
 
+        kernel = cluster.resolved_kernel
+        batched = kernel == "numpy"
         if self.marking_factory is not None:
+            # Custom marking strategies predate the kernel parameter;
+            # they run whatever kernel they were built with.
             marking = self.marking_factory(query, grid)
         else:
-            marking = MarkingEngine(query, grid, self.index_kind)
+            marking = MarkingEngine(query, grid, self.index_kind, kernel=kernel)
         round1 = MapReduceJob(
             name=f"{self.name}-mark",
             input_paths=[paths[k] for k in query.dataset_keys],
@@ -109,18 +118,22 @@ class ControlledReplicateJoin(MultiWayJoinAlgorithm):
             input_codec=RECT_CODEC,
             output_codec=TAGGED_CODEC,
             shuffle_codec=RECT_SHUFFLE_CODEC,
+            batch_mapper=_make_mark_batch_mapper(grid) if batched else None,
         )
 
-        joiner = LocalJoiner(query, self.index_kind)
+        joiner = LocalJoiner(query, self.index_kind, kernel=kernel)
         round2 = MapReduceJob(
             name=f"{self.name}-join",
             input_paths=[marked_path],
             output_path=output_path,
             mapper=_make_route_mapper(grid, self.limits),
-            reducer=make_local_join_reducer(query, grid, joiner),
+            reducer=make_local_join_reducer(query, grid, joiner, kernel=kernel),
             num_reducers=grid.num_cells,
             input_codec=TAGGED_CODEC,
             shuffle_codec=RECT_SHUFFLE_CODEC,
+            batch_mapper=(
+                _make_route_batch_mapper(grid, self.limits) if batched else None
+            ),
         )
 
         workflow = Workflow(cluster)
@@ -149,6 +162,57 @@ def _make_mark_mapper(grid: GridPartitioning):
     return mapper
 
 
+def _make_mark_batch_mapper(grid: GridPartitioning):
+    """Columnar twin of :func:`_make_mark_mapper`.
+
+    One vectorized col/row-range computation covers the whole split;
+    the append loop then walks records in split order with each
+    record's cells row-major — the exact pairs, per-bucket order and
+    byte totals of the scalar mapper.  Keys are cell ids and the job
+    runs one reducer per cell, so the identity partitioner routes pair
+    ``(c, v)`` to bucket ``c`` — appended directly.
+    """
+    np = numpy_or_none()
+
+    def batch_mapper(split_entries, ctx: MapContext) -> None:
+        if not split_entries:
+            return
+        batch = RectBatch.from_pairs(
+            np, (rec for __, __, rec, __ in split_entries)
+        )
+        c_lo, c_hi = _kt.col_ranges(np, grid, batch)
+        r_lo, r_hi = _kt.row_ranges(np, grid, batch)
+        c_lo = c_lo.tolist()
+        c_hi = c_hi.tolist()
+        r_lo = r_lo.tolist()
+        r_hi = r_hi.tolist()
+        cols = grid.cols
+        buckets = ctx.buckets
+        bucket_bytes = ctx.bucket_bytes
+        ds_cache: dict[str, str] = {}
+        total = 0
+        tbytes = 0
+        for k, (path, __lineno, (rid, rect), __nb) in enumerate(split_entries):
+            dataset = ds_cache.get(path)
+            if dataset is None:
+                dataset = ds_cache[path] = dataset_from_path(path)
+            value = rect_value(dataset, rid, rect)
+            nb = ctx.pair_nbytes(0, value)
+            lo = c_lo[k]
+            width = c_hi[k] - lo + 1
+            for row in range(r_lo[k], r_hi[k] + 1):
+                base = row * cols + lo
+                for cid in range(base, base + width):
+                    buckets[cid].append((cid, value))
+                    bucket_bytes[cid] += nb
+            count = width * (r_hi[k] - r_lo[k] + 1)
+            total += count
+            tbytes += count * nb
+        ctx.account_emissions(total, tbytes)
+
+    return batch_mapper
+
+
 def _make_mark_reducer(grid: GridPartitioning, marking: MarkingEngine):
     """Run C1-C4; emit each rectangle starting here, flagged."""
 
@@ -159,16 +223,24 @@ def _make_mark_reducer(grid: GridPartitioning, marking: MarkingEngine):
             received.setdefault(dataset, []).append((rid, rect))
         decision = marking.select_marked(cell, received)
         ctx.add_compute(decision.ops)
-        for dataset, rects in received.items():
-            for rid, rect in rects:
-                if grid.cell_id_of(rect) != cell_id:
-                    continue  # another cell owns this rectangle's output
-                marked = (dataset, rid) in decision.marked
-                if marked:
-                    ctx.counter(JOIN_COUNTERS, CNT_MARKED)
-                ctx.emit(
-                    TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
-                )
+        # ``starts_here`` is exactly the received rectangles this cell
+        # owns, in received order — the ownership filter already ran
+        # inside select_marked.  Custom strategies may omit it.
+        starts = decision.starts_here
+        if starts is None:
+            starts = (
+                (dataset, rid, rect)
+                for dataset, rects in received.items()
+                for rid, rect in rects
+                if grid.cell_id_of(rect) == cell_id
+            )
+        for dataset, rid, rect in starts:
+            marked = (dataset, rid) in decision.marked
+            if marked:
+                ctx.counter(JOIN_COUNTERS, CNT_MARKED)
+            ctx.emit(
+                TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
+            )
 
     return reducer
 
@@ -197,3 +269,69 @@ def _make_route_mapper(grid: GridPartitioning, limits: ReplicationLimits):
             ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION)
 
     return mapper
+
+
+def _make_route_batch_mapper(grid: GridPartitioning, limits: ReplicationLimits):
+    """Columnar twin of :func:`_make_route_mapper`.
+
+    Target cells are computed per group — unmarked rectangles in one
+    ownership batch, marked ones batched per replication bound (bounds
+    differ per dataset under C-Rep-L) — then scattered back so the
+    append loop runs in record order, reproducing the scalar mapper's
+    per-bucket emission order exactly.
+    """
+    np = numpy_or_none()
+    metric = limits.metric
+
+    def batch_mapper(split_entries, ctx: MapContext) -> None:
+        if not split_entries:
+            return
+        records = [rec for __, __, rec, __ in split_entries]
+        n = len(records)
+        targets: list = [None] * n
+        unmarked = [k for k, t in enumerate(records) if not t.marked]
+        if unmarked:
+            ub = RectBatch.from_rects(np, (records[k].rect for k in unmarked))
+            for k, cid in zip(
+                unmarked, _kt.cell_ids_of_starts(np, grid, ub).tolist()
+            ):
+                targets[k] = cid
+        by_bound: dict[float, list[int]] = {}
+        for k, tagged in enumerate(records):
+            if tagged.marked:
+                by_bound.setdefault(limits.bound_for(tagged.dataset), []).append(k)
+        for bound, idxs in by_bound.items():
+            mb = RectBatch.from_rects(np, (records[k].rect for k in idxs))
+            if math.isinf(bound):
+                cids, counts = _kt.quadrant_cell_lists(np, grid, mb)
+            else:
+                cids, counts = _kt.quadrant_cell_lists(
+                    np, grid, mb, d=bound, metric=metric
+                )
+            pos = 0
+            for k, cnt in zip(idxs, counts):
+                targets[k] = cids[pos : pos + cnt]
+                pos += cnt
+        buckets = ctx.buckets
+        bucket_bytes = ctx.bucket_bytes
+        total = 0
+        tbytes = 0
+        for k, tagged in enumerate(records):
+            value = rect_value(tagged.dataset, tagged.rid, tagged.rect)
+            nb = ctx.pair_nbytes(0, value)
+            tgt = targets[k]
+            if tagged.marked:
+                for cid in tgt:
+                    buckets[cid].append((cid, value))
+                    bucket_bytes[cid] += nb
+                total += len(tgt)
+                tbytes += len(tgt) * nb
+            else:
+                buckets[tgt].append((tgt, value))
+                bucket_bytes[tgt] += nb
+                total += 1
+                tbytes += nb
+        ctx.account_emissions(total, tbytes)
+        ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION, total)
+
+    return batch_mapper

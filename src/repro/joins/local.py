@@ -25,7 +25,10 @@ from typing import Any
 
 from repro.errors import JoinError
 from repro.geometry.rectangle import Rect
-from repro.index import Entry, make_index
+from repro.index import make_index
+from repro.kernels import numpy_or_none
+from repro.kernels.batch import RectBatch
+from repro.kernels.predicates import pair_mask, supports_triples, triple_mask
 from repro.query.graph import JoinGraph
 from repro.query.query import Query, Triple
 
@@ -53,9 +56,12 @@ class _SlotPlan:
 class LocalJoiner:
     """Backtracking multi-way join evaluator bound to one query."""
 
-    def __init__(self, query: Query, index_kind: str = "grid") -> None:
+    def __init__(
+        self, query: Query, index_kind: str = "grid", kernel: str = "python"
+    ) -> None:
         self.query = query
         self.index_kind = index_kind
+        self.kernel = kernel
         graph = JoinGraph(query)
         order = graph.connected_order()
         plans: list[_SlotPlan] = []
@@ -89,6 +95,27 @@ class LocalJoiner:
             bound.append(slot)
         self.plans = tuple(plans)
         self.order = order
+        # Columnar fast path: per-depth flag — an anchored depth whose
+        # anchor and check predicates all have vectorized masks can
+        # filter the whole candidate set in one pass.  Depths that fail
+        # the test (or non-grid indexes, or non-integer rids when a
+        # distinctness filter is needed) fall back to the scalar loop.
+        self._np = numpy_or_none() if kernel == "numpy" else None
+        if self._np is not None:
+            self._vec_plans = tuple(
+                p.anchor is not None
+                and supports_triples([p.anchor, *(t for t, __ in p.checks)])
+                for p in plans
+            )
+        else:
+            self._vec_plans = tuple(False for __ in plans)
+        # Frontier (level-synchronous) evaluation: when every anchored
+        # depth is vectorizable, the whole search runs breadth-first over
+        # arrays of partial assignments — one bulk index probe and one
+        # mask pass per depth instead of one probe per parent binding.
+        self._frontier_ok = self._np is not None and len(plans) >= 2 and all(
+            self._vec_plans[1:]
+        )
 
     # ------------------------------------------------------------------
     def enumerate(
@@ -112,13 +139,13 @@ class LocalJoiner:
         # below is unchanged either way.
         indexes: dict[str, Any] = {}
         index_kind = self.index_kind
+        kernel = self.kernel
 
         def index_for(slot: str):
             idx = indexes.get(slot)
             if idx is None:
                 idx = make_index(
-                    index_kind,
-                    [Entry(rect=r, payload=rid) for rid, r in rects_by_slot[slot]],
+                    index_kind, kernel=kernel, pairs=rects_by_slot[slot]
                 )
                 indexes[slot] = idx
             return idx
@@ -128,6 +155,82 @@ class LocalJoiner:
         assignment: Assignment = {}
         plans = self.plans
         nplans = len(plans)
+        np = self._np
+        vec_plans = self._vec_plans
+
+        # The same rectangle is re-probed under every parent binding it
+        # survives with (a slot's anchor rect repeats across the
+        # backtracking tree), so probe results — and, when no per-parent
+        # filter applies, the full survivor list — are memoized per
+        # (slot, anchor rect).  The accounting stays per-probe: a cache
+        # hit still charges the scanned bucket slots and the per-
+        # candidate anchor checks, exactly as the scalar re-probe would.
+        probe_cache: dict[tuple[str, int], tuple] = {}
+
+        def bind_vector(depth: int, plan: _SlotPlan, idx) -> None:
+            """One vectorized probe: filter the whole candidate set with
+            array masks, then recurse scalar over the survivors.
+
+            Check accounting matches the scalar loop exactly: one check
+            per probe candidate for the anchor predicate, then — per
+            bound-edge check, in plan order — one check for every
+            candidate still alive when that check runs (the scalar loop
+            breaks on the first failed edge).
+            """
+            nonlocal checks
+            slot = plan.slot
+            anchor_rect = assignment[plan.anchor_slot][1]
+            key = (slot, id(anchor_rect))
+            hit = probe_cache.get(key)
+            if hit is None:
+                matched, scanned = idx.search_batch(
+                    anchor_rect, plan.anchor.predicate.distance
+                )
+                n_cand = len(matched)
+                alive = survivors = None
+                if n_cand:
+                    alive = triple_mask(
+                        np, plan.anchor, slot, idx.batch, matched, anchor_rect
+                    )
+                    if not plan.same_dataset and not plan.checks:
+                        entry_at = idx.entry_at
+                        survivors = [
+                            (e.payload, e.rect)
+                            for e in map(entry_at, matched[alive].tolist())
+                        ]
+                else:
+                    survivors = []
+                hit = (n_cand, scanned, matched, alive, survivors)
+                probe_cache[key] = hit
+            else:
+                idx.probes += hit[1]
+            n_cand, __, matched, alive, survivors = hit
+            checks += n_cand
+            next_depth = depth + 1
+            if survivors is not None:
+                for rid_rect in survivors:
+                    assignment[slot] = rid_rect
+                    bind(next_depth)
+                    del assignment[slot]
+                return
+            batch = idx.batch
+            for s in plan.same_dataset:
+                alive = alive & (idx.rid_array[matched] != assignment[s][0])
+            for triple, other_slot in plan.checks:
+                n_alive = int(np.count_nonzero(alive))
+                checks += n_alive
+                if not n_alive:
+                    return
+                # Non-inplace: ``alive`` may be the cached anchor mask.
+                alive = alive & triple_mask(
+                    np, triple, slot, batch, matched, assignment[other_slot][1]
+                )
+            entry_at = idx.entry_at
+            for eidx in matched[alive].tolist():
+                e = entry_at(eidx)
+                assignment[slot] = (e.payload, e.rect)
+                bind(next_depth)
+                del assignment[slot]
 
         def bind(depth: int) -> None:
             nonlocal checks
@@ -137,6 +240,13 @@ class LocalJoiner:
             plan = plans[depth]
             slot = plan.slot
             anchor = plan.anchor
+            if vec_plans[depth]:
+                idx = index_for(slot)
+                if getattr(idx, "batch", None) is not None and (
+                    not plan.same_dataset or idx.rid_array is not None
+                ):
+                    bind_vector(depth, plan, idx)
+                    return
             if anchor is None:
                 anchor_rect = None
                 anchor_holds = None
@@ -177,7 +287,127 @@ class LocalJoiner:
                 bind(next_depth)
                 del assignment[slot]
 
-        bind(0)
+        # ------------------------------------------------------------------
+        # Frontier evaluation: breadth-first over the same search tree.
+        # The frontier at depth k is a set of parallel position arrays —
+        # one per bound slot — holding every partial assignment that
+        # survived depths 0..k-1, in depth-first visit order.  Expanding
+        # all parents of a depth at once turns the per-parent probes into
+        # one bulk CSR gather and the per-candidate predicate loop into a
+        # few array masks.
+        #
+        # Equivalence to the scalar search: parents are expanded in
+        # frontier order with each parent's candidates in scan order, so
+        # by induction the next frontier — and ultimately the result
+        # list — is in depth-first order.  ``checks`` totals are sums of
+        # per-candidate contributions that do not depend on visit order
+        # (one per bucket-passed candidate, plus one per still-alive
+        # candidate per bound-edge check), and ``probes`` is the same
+        # scanned-slot total the per-parent searches charge.
+        rid_arrays: dict[str, Any] = {}
+
+        def rid_array_for(slot: str):
+            arr = rid_arrays.get(slot, rid_arrays)
+            if arr is rid_arrays:
+                idx = indexes.get(slot)
+                if idx is not None:
+                    arr = idx.rid_array
+                else:
+                    try:
+                        arr = np.array(
+                            [rid for rid, __ in rects_by_slot[slot]],
+                            dtype=np.int64,
+                        )
+                    except (TypeError, ValueError, OverflowError):
+                        arr = None
+                rid_arrays[slot] = arr
+            return arr
+
+        def run_rows(depth: int, frontier: dict[str, Any]) -> None:
+            """Resume the scalar search at ``depth`` for every frontier
+            row, in order (used when an index can't serve the fast path —
+            non-grid kind, or non-integer rids under distinctness)."""
+            bound_slots = [p.slot for p in plans[:depth]]
+            cols = [
+                (s, rects_by_slot[s], frontier[s].tolist()) for s in bound_slots
+            ]
+            for i in range(len(cols[0][2])):
+                for s, bag, poss in cols:
+                    assignment[s] = bag[poss[i]]
+                bind(depth)
+            for s in bound_slots:
+                assignment.pop(s, None)
+
+        def run_frontier() -> None:
+            nonlocal checks
+            slot0 = plans[0].slot
+            bag0 = rects_by_slot[slot0]
+            m0 = len(bag0)
+            checks += m0
+            frontier: dict[str, Any] = {slot0: np.arange(m0, dtype=np.int64)}
+            batches: dict[str, RectBatch] = {
+                slot0: RectBatch.from_pairs(np, bag0)
+            }
+            for depth in range(1, nplans):
+                plan = plans[depth]
+                slot = plan.slot
+                if not len(frontier[slot0]):
+                    return
+                idx = index_for(slot)
+                ok = (
+                    getattr(idx, "batch", None) is not None
+                    and hasattr(idx, "probe_frontier")
+                )
+                if ok and plan.same_dataset:
+                    ok = idx.rid_array is not None and all(
+                        rid_array_for(s) is not None for s in plan.same_dataset
+                    )
+                if not ok:
+                    run_rows(depth, frontier)
+                    return
+                abatch = batches[plan.anchor_slot]
+                apos = frontier[plan.anchor_slot]
+                p_flat, e_flat = idx.probe_frontier(
+                    abatch, apos, plan.anchor.predicate.distance
+                )
+                checks += len(e_flat)
+                alive = pair_mask(
+                    np, plan.anchor, slot, idx.batch, e_flat, abatch, apos[p_flat]
+                )
+                for s in plan.same_dataset:
+                    alive = alive & (
+                        idx.rid_array[e_flat]
+                        != rid_array_for(s)[frontier[s][p_flat]]
+                    )
+                for triple, other_slot in plan.checks:
+                    n_alive = int(np.count_nonzero(alive))
+                    checks += n_alive
+                    if not n_alive:
+                        break
+                    alive = alive & pair_mask(
+                        np,
+                        triple,
+                        slot,
+                        idx.batch,
+                        e_flat,
+                        batches[other_slot],
+                        frontier[other_slot][p_flat],
+                    )
+                keep = p_flat[alive]
+                frontier = {s: arr[keep] for s, arr in frontier.items()}
+                frontier[slot] = e_flat[alive]
+                batches[slot] = idx.batch
+            cols = [
+                (p.slot, rects_by_slot[p.slot], frontier[p.slot].tolist())
+                for p in plans
+            ]
+            for i in range(len(cols[0][2])):
+                results.append({s: bag[poss[i]] for s, bag, poss in cols})
+
+        if self._frontier_ok:
+            run_frontier()
+        else:
+            bind(0)
         # Index probe work is part of the reducer's compute cost: the
         # nested-loop baseline examines every entry per probe while the
         # spatial indexes touch only bucket/node candidates.

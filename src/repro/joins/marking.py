@@ -37,7 +37,10 @@ from dataclasses import dataclass
 from repro.geometry.rectangle import Rect
 from repro.grid.cell import Cell
 from repro.grid.partitioning import GridPartitioning
-from repro.index import Entry, make_index
+from repro.index import make_index
+from repro.kernels import numpy_or_none
+from repro.kernels import transforms as _kt
+from repro.kernels.batch import RectBatch
 from repro.query.graph import JoinGraph
 from repro.query.query import Query, Triple
 
@@ -63,17 +66,28 @@ class MarkingDecision:
     marked: set[tuple[str, int]]
     #: candidate checks performed (compute-cost measure)
     ops: int
+    #: the rectangles starting in the cell, in received order — exactly
+    #: the ones the round-1 reducer must emit (tagged marked or not).
+    #: ``None`` from a custom marking strategy; the reducer then
+    #: recomputes ownership itself.
+    starts_here: list[tuple[str, int, Rect]] | None = None
 
 
 class MarkingEngine:
     """Implements the C1-C3 existence test for one query on one grid."""
 
     def __init__(
-        self, query: Query, grid: GridPartitioning, index_kind: str = "grid"
+        self,
+        query: Query,
+        grid: GridPartitioning,
+        index_kind: str = "grid",
+        kernel: str = "python",
     ) -> None:
         self.query = query
         self.grid = grid
         self.index_kind = index_kind
+        self.kernel = kernel
+        self._np = numpy_or_none() if kernel == "numpy" else None
         self.graph = JoinGraph(query)
         self._subsets = {
             slot: self.graph.connected_subsets_containing(slot)
@@ -171,25 +185,47 @@ class MarkingEngine:
         received:
             Rectangles split onto this cell, grouped by dataset.
         """
-        # Per-rectangle C2 measure: distance to the nearest foreign cell.
-        gap: dict[tuple[str, int], float] = {}
-        starts_here: list[tuple[str, int, Rect]] = []
-        for dataset, rects in received.items():
-            for rid, rect in rects:
-                gap[(dataset, rid)] = self.grid.min_gap_to_other_cell(rect, cell)
-                if self.grid.cell_of(rect).cell_id == cell.cell_id:
-                    starts_here.append((dataset, rid, rect))
-
         indexes = {
-            dataset: make_index(
-                self.index_kind,
-                [Entry(rect=r, payload=rid) for rid, r in rects],
-            )
+            dataset: make_index(self.index_kind, kernel=self.kernel, pairs=rects)
             for dataset, rects in received.items()
         }
 
+        # Per-rectangle C2 measure: distance to the nearest foreign cell,
+        # plus the start-point owner id (reused for witness members
+        # below).  The numpy kernel computes both columnarly per bag,
+        # reusing the index's column arrays (same rects, same order).
+        np = self._np
+        gap: dict[tuple[str, int], float] = {}
+        owner: dict[tuple[str, int], int] = {}
+        starts_here: list[tuple[str, int, Rect]] = []
+        for dataset, rects in received.items():
+            if np is not None and rects:
+                batch = getattr(indexes[dataset], "batch", None)
+                if batch is None:
+                    batch = RectBatch.from_pairs(np, rects)
+                gaps = _kt.min_gaps_to_other_cell(np, self.grid, batch, cell).tolist()
+                cids = _kt.cell_ids_of_starts(np, self.grid, batch).tolist()
+                for (rid, rect), g, cid in zip(rects, gaps, cids):
+                    gap[(dataset, rid)] = g
+                    owner[(dataset, rid)] = cid
+                    if cid == cell.cell_id:
+                        starts_here.append((dataset, rid, rect))
+            else:
+                for rid, rect in rects:
+                    gap[(dataset, rid)] = self.grid.min_gap_to_other_cell(rect, cell)
+                    cid = self.grid.cell_of(rect).cell_id
+                    owner[(dataset, rid)] = cid
+                    if cid == cell.cell_id:
+                        starts_here.append((dataset, rid, rect))
+
         marked: set[tuple[str, int]] = set()
         ops = 0
+        # Probe results are memoized across the witness searches of one
+        # cell: the same (dataset, anchor rect, d) probe recurs across
+        # candidates and subsets.  The memo carries scan positions, so
+        # the searches still charge probes exactly as their lazy scalar
+        # generators would (see ``probe_batch``).
+        probe_cache: dict | None = {} if np is not None else None
         for dataset, rid, rect in starts_here:
             if (dataset, rid) in marked:
                 continue  # already part of an earlier witness
@@ -204,7 +240,13 @@ class MarkingEngine:
                     if gap[(dataset, rid)] > reqs[slot]:
                         continue  # the candidate itself fails C2 here
                     witness, probe_ops = self._find_embedding(
-                        subset, slot, (rid, rect), received, indexes, gap
+                        subset,
+                        slot,
+                        (rid, rect),
+                        received,
+                        indexes,
+                        gap,
+                        probe_cache,
                     )
                     ops += probe_ops
                     if witness is not None:
@@ -215,12 +257,12 @@ class MarkingEngine:
                 continue
             # Every member of a qualifying set is itself marked by the
             # paper's rule; record the ones this cell is responsible for.
-            for w_slot, (w_rid, w_rect) in witness.items():
+            for w_slot, (w_rid, __w_rect) in witness.items():
                 w_dataset = self.query.dataset_of(w_slot)
-                if self.grid.cell_of(w_rect).cell_id == cell.cell_id:
+                if owner[(w_dataset, w_rid)] == cell.cell_id:
                     marked.add((w_dataset, w_rid))
         ops += sum(idx.probes for idx in indexes.values())
-        return MarkingDecision(marked=marked, ops=ops)
+        return MarkingDecision(marked=marked, ops=ops, starts_here=starts_here)
 
     # ------------------------------------------------------------------
     def _find_embedding(
@@ -231,11 +273,18 @@ class MarkingEngine:
         received: dict[str, list[tuple[int, Rect]]],
         indexes,
         gap: dict[tuple[str, int], float],
+        probe_cache: dict | None = None,
     ) -> tuple[dict[str, tuple[int, Rect]] | None, int]:
         """First consistent C2-respecting embedding of ``subset``.
 
         ``fixed`` is pinned at slot ``start``; other slots draw from the
         received bags.  Returns ``(assignment | None, candidate_checks)``.
+
+        With ``probe_cache`` (numpy kernel), probes run eagerly through
+        :meth:`GridIndex.probe_batch` and are memoized; probe accounting
+        stays *lazy-exact*: a search abandoned after candidate ``j``
+        (witness found) charges only the slots scanned up to ``j``, as
+        the scalar generator would.
         """
         reqs = self._requirements(subset)
         plan = self._plan(subset, start)
@@ -251,7 +300,44 @@ class MarkingEngine:
             assert step.anchor is not None  # depth 0 is the fixed start
             anchor_rect = assignment[step.anchor_slot][1]
             d = step.anchor.predicate.distance
-            for entry in indexes[dataset].search(anchor_rect, d):
+            idx = indexes[dataset]
+            if probe_cache is not None and getattr(idx, "batch", None) is not None:
+                # Memoized eager probe.  Same candidate body as the
+                # scalar loop below; only the probe accounting differs —
+                # it is settled when the scan is abandoned or exhausted.
+                key = (dataset, id(anchor_rect), d)
+                hit = probe_cache.get(key)
+                if hit is None:
+                    hit = probe_cache[key] = idx.probe_batch(anchor_rect, d)
+                cands, pos_list, scanned = hit
+                for j, (rid, rect) in enumerate(cands):
+                    ops += 1
+                    if not step.anchor.holds_with(step.slot, rect, anchor_rect):
+                        continue
+                    if gap[(dataset, rid)] > reqs[step.slot]:
+                        continue  # fails C2 at this slot
+                    if any(assignment[s][0] == rid for s in step.same_dataset):
+                        continue
+                    ok = True
+                    for triple, other in step.checks:
+                        ops += 1
+                        if not triple.holds_with(
+                            step.slot, rect, assignment[other][1]
+                        ):
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    assignment[step.slot] = (rid, rect)
+                    if bind(depth + 1):
+                        # The scalar generator is abandoned here, having
+                        # scanned through this candidate's bucket slot.
+                        idx.probes += pos_list[j] + 1
+                        return True
+                    del assignment[step.slot]
+                idx.probes += scanned
+                return False
+            for entry in idx.search(anchor_rect, d):
                 rid, rect = entry.payload, entry.rect
                 ops += 1
                 if not step.anchor.holds_with(step.slot, rect, anchor_rect):

@@ -21,6 +21,8 @@ from repro.grid.partitioning import GridPartitioning
 from repro.joins.base import CNT_OUTPUT_TUPLES, JOIN_COUNTERS
 from repro.joins.dedup import tuple_owner
 from repro.joins.local import LocalJoiner
+from repro.kernels import numpy_or_none
+from repro.kernels import transforms as _kt
 from repro.mapreduce.job import ReduceContext, ShuffleCodec
 from repro.query.query import Query
 
@@ -47,10 +49,11 @@ RECT_SHUFFLE_CODEC = ShuffleCodec(
 
 
 def make_local_join_reducer(
-    query: Query, grid: GridPartitioning, joiner: LocalJoiner
+    query: Query, grid: GridPartitioning, joiner: LocalJoiner, kernel: str = "python"
 ):
     """Reducer: local multi-way join + owner-cell duplicate avoidance."""
     slot_order = query.slots
+    np = numpy_or_none() if kernel == "numpy" else None
 
     def reducer(cell_id: int, values, ctx: ReduceContext) -> None:
         by_dataset: dict[str, list[tuple[int, Rect]]] = {}
@@ -62,8 +65,32 @@ def make_local_join_reducer(
         }
         assignments, ops = joiner.enumerate(rects_by_slot)
         ctx.add_compute(ops)
-        for assignment in assignments:
-            owner = tuple_owner((r for __, r in assignment.values()), grid)
+        owners = None
+        if np is not None and len(assignments) >= 4:
+            # tuple_owner for every assignment at once: owner of the
+            # bottom-right-most start point (max x, min y).
+            m = len(slot_order)
+            count = len(assignments) * m
+            xs = np.fromiter(
+                (r.x for a in assignments for __, r in a.values()),
+                dtype=np.float64,
+                count=count,
+            ).reshape(-1, m)
+            ys = np.fromiter(
+                (r.y for a in assignments for __, r in a.values()),
+                dtype=np.float64,
+                count=count,
+            ).reshape(-1, m)
+            owners = (
+                _kt.rows_of_y(np, grid, ys.min(axis=1)) * grid.cols
+                + _kt.cols_of_x(np, grid, xs.max(axis=1))
+            ).tolist()
+        for k, assignment in enumerate(assignments):
+            owner = (
+                owners[k]
+                if owners is not None
+                else tuple_owner((r for __, r in assignment.values()), grid)
+            )
             if owner != cell_id:
                 continue
             ctx.counter(JOIN_COUNTERS, CNT_OUTPUT_TUPLES)

@@ -17,6 +17,7 @@ it does no per-probe structure work at all, which is why it wins the
 from __future__ import annotations
 
 from collections.abc import Iterator
+from operator import itemgetter
 from typing import Any
 
 from repro.errors import JoinError
@@ -43,13 +44,14 @@ def sweep_pairs(
     # loop compares plain floats, never touching Rect again.  Entries are
     # ``(id, x_min, x_max, y_min, y_max)``; the sort is stable, so ties
     # keep input order and the yield order matches the Rect-based sweep.
+    by_x_min = itemgetter(1)
     ls = sorted(
         ((i, r.x_min, r.x_max, r.y_min, r.y_max) for i, r in left),
-        key=lambda e: e[1],
+        key=by_x_min,
     )
     rs = sorted(
         ((i, r.x_min, r.x_max, r.y_min, r.y_max) for i, r in right),
-        key=lambda e: e[1],
+        key=by_x_min,
     )
     nl, nr = len(ls), len(rs)
 

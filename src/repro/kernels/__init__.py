@@ -1,0 +1,67 @@
+"""Columnar (numpy) kernels for the hot join paths.
+
+Every algorithm in this package exists twice: a scalar, object-at-a-time
+reference implementation (the ``python`` kernel — the code the rest of
+the repository is written against) and a columnar ``numpy`` twin that
+performs the same float comparisons over parallel arrays.  The two are
+**byte-identical** by construction: the vectorized code evaluates the
+exact floating-point expressions of the scalar code (never an
+algebraically rearranged form — see DESIGN.md §6), preserves candidate
+and emission *order*, and charges the same canonical counters
+(``probes``, ``checks``, ``compute_ops``), so part files, counters and
+simulated seconds do not depend on the kernel.
+
+Kernel selection
+----------------
+``Cluster(kernel=...)`` / ``--kernel`` accept ``"auto"`` (default),
+``"numpy"`` or ``"python"``; the ``REPRO_KERNEL`` environment variable
+overrides either.  Resolution is deliberately forgiving: the numpy path
+is an optimisation, never a requirement, so ``"auto"`` and even an
+explicit ``"numpy"`` fall back to ``"python"`` when numpy cannot be
+imported.  Only an unknown kernel name is an error.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import JobError
+
+__all__ = ["KERNELS", "numpy_or_none", "resolve_kernel"]
+
+#: Accepted values for ``Cluster.kernel`` / ``--kernel`` / ``REPRO_KERNEL``.
+KERNELS = ("auto", "numpy", "python")
+
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it cannot be imported."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via fallback tests
+            numpy = None
+        _NUMPY = numpy
+        _NUMPY_CHECKED = True
+    return _NUMPY
+
+
+def resolve_kernel(requested: str = "auto") -> str:
+    """Resolve a kernel request to the concrete kernel to run.
+
+    Returns ``"numpy"`` or ``"python"``.  ``REPRO_KERNEL`` (when set and
+    non-empty) takes precedence over ``requested``.
+    """
+    env = os.environ.get("REPRO_KERNEL")
+    if env:
+        requested = env
+    if requested not in KERNELS:
+        raise JobError(
+            f"unknown kernel {requested!r}; expected one of {', '.join(KERNELS)}"
+        )
+    if requested == "python":
+        return "python"
+    return "numpy" if numpy_or_none() is not None else "python"

@@ -1,0 +1,146 @@
+"""Batched grid geometry: split ranges, ownership, gaps and ``f2`` sets.
+
+Columnar twins of the per-rectangle methods on
+:class:`repro.grid.partitioning.GridPartitioning`.  The grid's boundary
+lists are mirrored once into float64 arrays (cached on the grid
+instance); ``searchsorted`` with the matching ``side`` reproduces
+``bisect_left``/``bisect_right`` exactly, and every distance expression
+is the scalar formula evaluated elementwise, so the results are
+identical to the scalar methods value-for-value.
+
+The scalar ``fourth_quadrant_within`` stops its row/col loops at the
+first cell past the bound; within the quadrant both gaps grow
+monotonically with row/col, so the early exit equals a plain filter —
+which is what the broadcast mask computes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "cell_ids_of_starts",
+    "col_ranges",
+    "cols_of_x",
+    "grid_edges",
+    "min_gaps_to_other_cell",
+    "quadrant_cell_lists",
+    "row_ranges",
+    "rows_of_y",
+]
+
+
+def grid_edges(np, grid):
+    """Float64 mirrors of the grid's boundary lists, cached on the grid.
+
+    Returns ``(x_edges, y_edges, row_edges, col_edges)`` where
+    ``row_edges[j]`` / ``col_edges[i]`` are the scalar ``_row_edge(j)``
+    / ``_col_edge(i)`` values used by the ``f2`` distance tests.
+    """
+    cached = getattr(grid, "_kernel_edges", None)
+    if cached is None:
+        cached = (
+            np.array(grid._x_edges, dtype=np.float64),
+            np.array(grid._y_edges, dtype=np.float64),
+            np.array([grid._row_edge(j) for j in range(grid.rows)], dtype=np.float64),
+            np.array([grid._col_edge(i) for i in range(grid.cols)], dtype=np.float64),
+        )
+        grid._kernel_edges = cached
+    return cached
+
+
+def cols_of_x(np, grid, px):
+    """``col_of_x`` for an array of x coordinates."""
+    x_edges = grid_edges(np, grid)[0]
+    c = np.searchsorted(x_edges, px, side="right") - 1
+    return np.clip(c, 0, grid.cols - 1)
+
+
+def rows_of_y(np, grid, py):
+    """``row_of_y`` for an array of y coordinates."""
+    y_edges = grid_edges(np, grid)[1]
+    p = np.searchsorted(y_edges, py, side="left")
+    return np.clip(grid.rows - p, 0, grid.rows - 1)
+
+
+def cell_ids_of_starts(np, grid, batch):
+    """``cell_id_of`` (start-point ownership) for a whole batch."""
+    return rows_of_y(np, grid, batch.y) * grid.cols + cols_of_x(np, grid, batch.x)
+
+
+def col_ranges(np, grid, batch):
+    """``col_range`` for a whole batch: two int arrays ``(lo, hi)``."""
+    x_edges = grid_edges(np, grid)[0]
+    last = grid.cols - 1
+    lo = np.clip(np.searchsorted(x_edges, batch.x_min, side="left") - 1, 0, last)
+    hi = np.clip(np.searchsorted(x_edges, batch.x_max, side="right") - 1, 0, last)
+    return lo, np.maximum(lo, hi)
+
+
+def row_ranges(np, grid, batch):
+    """``row_range`` for a whole batch: two int arrays ``(lo, hi)``."""
+    y_edges = grid_edges(np, grid)[1]
+    rows = grid.rows
+    a_hi = np.clip(np.searchsorted(y_edges, batch.y_max, side="right") - 1, 0, rows - 1)
+    a_lo = np.clip(np.searchsorted(y_edges, batch.y_min, side="left") - 1, 0, rows - 1)
+    lo = rows - 1 - a_hi
+    hi = rows - 1 - a_lo
+    return lo, np.maximum(lo, hi)
+
+
+def min_gaps_to_other_cell(np, grid, batch, cell):
+    """``min_gap_to_other_cell(rect, cell)`` for a whole batch."""
+    n = batch.n
+    if grid.num_cells == 1:
+        return np.full(n, np.inf)
+    c_lo, c_hi = col_ranges(np, grid, batch)
+    r_lo, r_hi = row_ranges(np, grid, batch)
+    inside = (c_lo == c_hi) & (c_hi == cell.col) & (r_lo == r_hi) & (r_hi == cell.row)
+    gap = None
+    if cell.col > 0:
+        gap = batch.x_min - cell.x_min
+    if cell.col < grid.cols - 1:
+        g = cell.x_max - batch.x_max
+        gap = g if gap is None else np.minimum(gap, g)
+    if cell.row > 0:
+        g = cell.y_max - batch.y_max
+        gap = g if gap is None else np.minimum(gap, g)
+    if cell.row < grid.rows - 1:
+        g = batch.y_min - cell.y_min
+        gap = g if gap is None else np.minimum(gap, g)
+    if gap is None:  # pragma: no cover - only a 1x1 grid has no sides
+        gap = np.full(n, np.inf)
+    return np.where(inside, gap, 0.0)
+
+
+def quadrant_cell_lists(np, grid, batch, d=None, metric="euclidean"):
+    """Per-record ``f1``/``f2`` target cells, flattened.
+
+    Computes ``fourth_quadrant(cell_of(rect))`` (when ``d`` is None,
+    the ``f1`` set) or ``fourth_quadrant_within(rect, d, metric=...)``
+    for every record of ``batch``.  Returns ``(cell_ids, counts)``
+    Python lists: ``counts[k]`` cells per record ``k``, concatenated in
+    record order with each record's cells in the scalar row-major order.
+    """
+    rows = grid.rows
+    cols = grid.cols
+    row_a = rows_of_y(np, grid, batch.y)
+    col_a = cols_of_x(np, grid, batch.x)
+    rmask = np.arange(rows) >= row_a[:, None]
+    cmask = np.arange(cols) >= col_a[:, None]
+    if d is None:
+        mask = rmask[:, :, None] & cmask[:, None, :]
+    else:
+        row_edges, col_edges = grid_edges(np, grid)[2:]
+        dy = np.maximum(0.0, batch.y_min[:, None] - row_edges)
+        dx = np.maximum(0.0, col_edges - batch.x_max[:, None])
+        rok = rmask & (dy <= d)
+        if metric == "chebyshev":
+            mask = rok[:, :, None] & (cmask & (dx <= d))[:, None, :]
+        else:
+            mask = (
+                rok[:, :, None]
+                & cmask[:, None, :]
+                & (dx[:, None, :] * dx[:, None, :] + dy[:, :, None] * dy[:, :, None] <= d * d)
+            )
+    rec, row, col = np.nonzero(mask)
+    counts = np.bincount(rec, minlength=batch.n)
+    return (row * cols + col).tolist(), counts.tolist()

@@ -52,6 +52,7 @@ from operator import itemgetter
 from typing import Any
 
 from repro.errors import BadRecordError, JobError, TaskRetryExhausted
+from repro.kernels import resolve_kernel
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
@@ -157,11 +158,15 @@ class _MapPhase:
     input codec) plus its encoded size, so map-side byte accounting is
     identical on both paths.  ``memory_budget`` (bytes, ``None`` =
     unbounded) switches emission buffering to the spilling context.
+    ``use_batch`` routes the whole split through ``job.batch_mapper``
+    (columnar fast path); the engine sets it only when the job declares
+    one and no per-record machinery (faults, retries, budget) is live.
     """
 
     job: MapReduceJob
     splits: list[list[tuple[str, int, Any, int]]]
     memory_budget: int | None = None
+    use_batch: bool = False
 
 
 @dataclass
@@ -275,6 +280,39 @@ def _run_map_task(
     else:
         ctx = MapContext(
             counters, job.num_reducers, job.partitioner, job.shuffle_codec
+        )
+    batch_mapper = job.batch_mapper
+    if (
+        phase.use_batch
+        and batch_mapper is not None
+        and job.combiner is None
+        and not skips
+        and not poison
+        and not isinstance(ctx, SpillingMapContext)
+    ):
+        nbytes = sum(entry[3] for entry in split)
+        processed = len(split)
+        try:
+            batch_mapper(split, ctx)
+        except Exception as exc:  # noqa: BLE001 - wrap task failures
+            raise JobError(
+                f"map task failed in job {job.name!r}: {exc}"
+            ) from exc
+        ctx.input_records = processed
+        counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, processed)
+        return _MapTaskResult(
+            buckets=ctx.buckets,
+            bucket_bytes=ctx.bucket_bytes,
+            counters=counters,
+            stats=TaskStats(
+                input_records=processed,
+                input_bytes=nbytes,
+                output_records=ctx.output_records,
+                output_bytes=ctx.output_bytes,
+                compute_ops=ctx.compute_ops,
+            ),
+            t_start=t_start,
+            t_end=time.perf_counter(),
         )
     mapper = job.mapper
     nbytes = 0
@@ -538,6 +576,14 @@ class Cluster:
         and simulated seconds are unchanged — the pressure shows up only
         in ``spilled_records``/``spill_files``/``spill_bytes`` and the
         cost breakdown's non-canonical ``spill_overhead_s``.
+    kernel:
+        Compute kernel for the join algorithms and batch map paths:
+        ``"auto"`` (default) picks ``"numpy"`` when numpy imports and
+        falls back to ``"python"`` otherwise; either name forces that
+        implementation.  The ``REPRO_KERNEL`` environment variable
+        overrides the constructor value.  Both kernels produce
+        byte-identical part files, canonical counters and simulated
+        seconds — the kernel only changes wall-clock speed.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -552,6 +598,16 @@ class Cluster:
     checkpoint_dir: str | None = None
     resume: bool = False
     memory_budget: int | None = None
+    kernel: str = "auto"
+
+    @property
+    def resolved_kernel(self) -> str:
+        """The concrete kernel this cluster runs: ``"numpy"`` or ``"python"``.
+
+        Resolved per call so a ``REPRO_KERNEL`` override set after
+        construction still applies.
+        """
+        return resolve_kernel(self.kernel)
 
     def __post_init__(self) -> None:
         if self.memory_budget is not None and self.memory_budget <= 0:
@@ -959,11 +1015,24 @@ class Cluster:
         counters: Counters,
         executor,
     ) -> tuple[list[_MapTaskResult], list[TaskStats], PhaseReport | None]:
+        # The batch path bypasses the per-record loop, so it is only
+        # safe when nothing needs per-record hooks: no fault injection
+        # or retry recovery (record skipping / poison offsets), and no
+        # memory budget (the spilling context buffers per emission).
+        recovery_active = (
+            self.fault_plan is not None and not self.fault_plan.is_empty
+        ) or self.retry.active
+        use_batch = (
+            job.batch_mapper is not None
+            and self.memory_budget is None
+            and not recovery_active
+            and self.resolved_kernel == "numpy"
+        )
         results, report = run_phase_with_recovery(
             executor,
             _run_map_task,
             len(splits),
-            _MapPhase(job, splits, self.memory_budget),
+            _MapPhase(job, splits, self.memory_budget, use_batch),
             job=job.name,
             phase="map",
             policy=self.retry,

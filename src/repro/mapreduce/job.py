@@ -149,6 +149,28 @@ class MapContext:
         self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS)
         self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, nbytes)
 
+    def pair_nbytes(self, key: Any, value: Any) -> int:
+        """Estimated shuffle bytes of one ``(key, value)`` pair.
+
+        Exposed for batch mappers, which append to :attr:`buckets` /
+        :attr:`bucket_bytes` directly and settle the emission counters
+        in one :meth:`account_emissions` call.
+        """
+        return self._key_size(key) + self._value_size(value)
+
+    def account_emissions(self, records: int, nbytes: int) -> None:
+        """Bulk-settle the counters for emissions a batch mapper has
+        already appended to the buckets.
+
+        Equivalent to ``records`` individual :meth:`emit` calls totalling
+        ``nbytes`` (counters are additive, so one bulk add produces the
+        same final values).
+        """
+        self.output_records += records
+        self.output_bytes += nbytes
+        self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_RECORDS, records)
+        self._counters.add(C.GROUP_ENGINE, C.MAP_OUTPUT_BYTES, nbytes)
+
     def add_compute(self, ops: int) -> None:
         """Report CPU work (e.g. candidate-pair checks) to the cost model."""
         self.compute_ops += ops
@@ -326,6 +348,16 @@ class MapReduceJob:
         the next job in the chain.
     shuffle_codec:
         Byte sizing of intermediate pairs; see :class:`ShuffleCodec`.
+    batch_mapper:
+        Optional columnar twin of ``mapper``: called once per map split
+        as ``batch_mapper(split, ctx)`` with the full list of
+        ``(path, lineno, record, nbytes)`` entries.  Must produce the
+        exact emissions (same pairs, same per-bucket order) and counter
+        totals as running ``mapper`` over the split record by record.
+        The engine only uses it when the resolved kernel is ``numpy``
+        and no per-record machinery (fault injection, retry recovery,
+        memory budget) is active; the scalar ``mapper`` remains the
+        reference implementation and must always be provided.
     """
 
     name: str
@@ -340,6 +372,7 @@ class MapReduceJob:
     input_codec: RecordCodec | Mapping[str, RecordCodec] | None = None
     output_codec: RecordCodec | None = None
     shuffle_codec: ShuffleCodec = DEFAULT_SHUFFLE_CODEC
+    batch_mapper: Callable | None = None
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:

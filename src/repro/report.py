@@ -63,6 +63,10 @@ def paper_comparison(module, result: ExperimentResult) -> str:
     lines.append("")
     lines.append(f"*Query:* `{result.query}` — *workload:* {result.parameters}")
     lines.append("")
+    kernels = sorted({m.kernel for row in result.rows for m in row.metrics.values()})
+    if kernels:
+        lines.append("*Compute kernel:* " + ", ".join(f"`{k}`" for k in kernels))
+        lines.append("")
 
     # ---- absolute side-by-side table ---------------------------------
     header = ["row"]
@@ -164,6 +168,7 @@ def render_experiments_markdown(
     preamble: str | None = None,
     executor: str = "serial",
     num_workers: int | None = None,
+    kernel: str = "auto",
 ) -> str:
     """Regenerate the full EXPERIMENTS.md body by running every table."""
     from repro.experiments import TABLES
@@ -178,7 +183,11 @@ def render_experiments_markdown(
     for name in sorted(TABLES):
         module = TABLES[name]
         result = module.run(
-            scale=scale, verify=verify, executor=executor, num_workers=num_workers
+            scale=scale,
+            verify=verify,
+            executor=executor,
+            num_workers=num_workers,
+            kernel=kernel,
         )
         sections.append(paper_comparison(module, result))
     return "\n".join(sections)
