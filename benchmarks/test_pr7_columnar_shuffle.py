@@ -1,0 +1,171 @@
+"""PR 7 perf trajectory: columnar shuffle vs the row-at-a-time plane.
+
+One end-to-end benchmark landing in ``BENCH_pr7.json`` (the CI
+``bench-pr7`` job runs this file with ``--benchmark-json``): a
+Table-2-sized Controlled-Replicate join with the columnar shuffle
+(``Cluster(columnar_shuffle=True)``, the default) against the row
+baseline (``columnar_shuffle=False``), both on the numpy kernel, plus
+the recorded PR-6 reference for the cross-PR trajectory.
+
+Two kinds of checks:
+
+* **Structural, gated** — byte-identical output and counters between
+  the legs, and the *shuffle share* of the phase breakdown: the
+  fraction of measured job wall clock spent in shuffle merge must not
+  regress more than 10% relative vs the row baseline measured in the
+  same process.  Shares are ratios of two same-process measurements,
+  so they gate reliably where absolute wall clocks cannot.
+* **Recorded, not gated** — absolute wall clocks, the speedup vs the
+  row baseline, and the speedup vs the ``numpy_kernel_seconds``
+  recorded in ``BENCH_pr6.json`` (shared CI runners are too noisy to
+  gate cross-run wall-clock ratios; the committed JSON documents the
+  measured trajectory instead).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import make_algorithm
+from repro.mapreduce.engine import Cluster
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+#: Table 2, row 1 shape — same workload BENCH_pr6 recorded.
+TABLE2_N = 4_000
+TABLE2_SIDE = 6_300.0
+
+#: relative regression headroom for the shuffle share gate
+SHUFFLE_SHARE_SLACK = 1.10
+
+PHASE_KEYS = ("split_s", "map_s", "shuffle_s", "reduce_s", "write_s")
+
+
+def _run_crep(workload, *, columnar: bool):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    cluster = Cluster(kernel="numpy", columnar_shuffle=columnar)
+    algorithm = make_algorithm("c-rep")
+    # Collector paused over the timed region (the ``timeit`` convention):
+    # one run allocates millions of short-lived tuples and generational
+    # collections otherwise add 15-25% of pure pause noise to the wall
+    # clock.  Both legs get identical treatment.
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = algorithm.run(query, workload.datasets, grid, cluster)
+        wall = time.perf_counter() - started
+    finally:
+        if was_enabled:
+            gc.enable()
+    output = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.resolve("controlled-replicate/output")
+    }
+    return wall, output, result
+
+
+def _phase_breakdown(result) -> dict[str, float]:
+    """Workflow-wide wall-clock decomposition summed over jobs."""
+    totals = dict.fromkeys(PHASE_KEYS, 0.0)
+    for job_result in result.workflow.job_results:
+        phases = job_result.phases.as_dict()
+        for key in PHASE_KEYS:
+            totals[key] += phases[key]
+    totals["total_s"] = sum(totals[key] for key in PHASE_KEYS)
+    return totals
+
+
+def _shares(breakdown: dict[str, float]) -> dict[str, float]:
+    total = breakdown["total_s"]
+    return {key: breakdown[key] / total for key in PHASE_KEYS}
+
+
+def _pr6_recorded_numpy_seconds() -> float | None:
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
+    if not path.exists():
+        return None
+    for bench in json.loads(path.read_text()).get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        if "numpy_kernel_seconds" in info:
+            return float(info["numpy_kernel_seconds"])
+    return None
+
+
+def test_columnar_shuffle_e2e_controlled_replicate(benchmark):
+    workload = synthetic_chain(
+        TABLE2_N, TABLE2_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+
+    # Min-of-N per leg (one simulated join is well under a second and
+    # shared runners jitter more than the ratios under measurement);
+    # breakdowns are taken from each leg's fastest run so shares and
+    # wall clocks describe the same execution.
+    row_runs = [_run_crep(workload, columnar=False) for __ in range(3)]
+    row_wall, row_output, row_result = min(row_runs, key=lambda t: t[0])
+
+    columnar_runs = [
+        benchmark.pedantic(
+            lambda: _run_crep(workload, columnar=True), rounds=1, iterations=1
+        )
+    ]
+    columnar_runs += [_run_crep(workload, columnar=True) for __ in range(4)]
+    columnar_wall, columnar_output, columnar_result = min(
+        columnar_runs, key=lambda t: t[0]
+    )
+
+    # The columnar shuffle is invisible to everything canonical.
+    assert columnar_output == row_output
+    row_stats = row_result.stats
+    columnar_stats = columnar_result.stats
+    assert columnar_stats.simulated_seconds == row_stats.simulated_seconds
+    assert columnar_stats.shuffled_records == row_stats.shuffled_records
+    assert columnar_stats.output_tuples == row_stats.output_tuples
+
+    columnar_breakdown = _phase_breakdown(columnar_result)
+    row_breakdown = _phase_breakdown(row_result)
+    columnar_shares = _shares(columnar_breakdown)
+    row_shares = _shares(row_breakdown)
+
+    # The gate: the shuffle plane's share of the job wall clock must
+    # not regress >10% relative vs the row baseline.
+    assert (
+        columnar_shares["shuffle_s"]
+        <= row_shares["shuffle_s"] * SHUFFLE_SHARE_SLACK
+    )
+
+    pr6_numpy = _pr6_recorded_numpy_seconds()
+
+    benchmark.extra_info["workload"] = f"table2-row1 nI={TABLE2_N}"
+    benchmark.extra_info["kernel"] = "numpy"
+    benchmark.extra_info["columnar_shuffle_seconds"] = round(columnar_wall, 3)
+    benchmark.extra_info["row_shuffle_seconds"] = round(row_wall, 3)
+    benchmark.extra_info["speedup_vs_row_shuffle"] = round(
+        row_wall / columnar_wall, 3
+    )
+    if pr6_numpy is not None:
+        benchmark.extra_info["pr6_recorded_numpy_seconds"] = pr6_numpy
+        benchmark.extra_info["speedup_vs_pr6_numpy"] = round(
+            pr6_numpy / columnar_wall, 3
+        )
+    benchmark.extra_info["columnar_phase_seconds"] = {
+        k: round(v, 4) for k, v in columnar_breakdown.items()
+    }
+    benchmark.extra_info["row_phase_seconds"] = {
+        k: round(v, 4) for k, v in row_breakdown.items()
+    }
+    benchmark.extra_info["columnar_phase_share"] = {
+        k: round(v, 4) for k, v in columnar_shares.items()
+    }
+    benchmark.extra_info["row_phase_share"] = {
+        k: round(v, 4) for k, v in row_shares.items()
+    }
+    benchmark.extra_info["simulated_seconds"] = columnar_stats.simulated_seconds
+    benchmark.extra_info["shuffled_records"] = columnar_stats.shuffled_records
+    benchmark.extra_info["output_tuples"] = columnar_stats.output_tuples

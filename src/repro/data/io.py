@@ -31,6 +31,7 @@ them symbolically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import DFSError
 from repro.geometry.rectangle import Rect
@@ -60,9 +61,25 @@ __all__ = [
 ]
 
 
+def _rect_csv(rect: Rect) -> str:
+    """``repr(x),repr(y),repr(l),repr(b)`` — memoized on the rectangle.
+
+    Every line format embeds this exact spelling, so a rectangle that
+    crosses several job boundaries (input -> tagged -> shuffle) is
+    formatted once and concatenated thereafter.  The cache is only ever
+    written with the ``repr`` form — never the decoded input text, whose
+    float spelling may differ — so encoded bytes are unchanged.
+    """
+    s = rect._csv
+    if s is None:
+        s = f"{rect.x!r},{rect.y!r},{rect.l!r},{rect.b!r}"
+        object.__setattr__(rect, "_csv", s)
+    return s
+
+
 def encode_rect(rid: int, rect: Rect) -> str:
     """``rid,x,y,l,b`` — the base relation record."""
-    return f"{rid},{rect.x!r},{rect.y!r},{rect.l!r},{rect.b!r}"
+    return f"{rid},{_rect_csv(rect)}"
 
 
 def decode_rect(line: str) -> tuple[int, Rect]:
@@ -76,12 +93,27 @@ def decode_rect(line: str) -> tuple[int, Rect]:
 
 def rects_to_lines(rects) -> list[str]:
     """Encode an iterable of ``(rid, Rect)`` pairs."""
-    return [encode_rect(rid, rect) for rid, rect in rects]
+    return [f"{rid},{_rect_csv(rect)}" for rid, rect in rects]
 
 
 def lines_to_rects(lines) -> list[tuple[int, Rect]]:
-    """Decode a sequence of rectangle records."""
-    return [decode_rect(line) for line in lines]
+    """Decode a sequence of rectangle records.
+
+    Single-pass scalar fast path: one ``split`` per line, constructors
+    applied inline — byte-equivalent to ``[decode_rect(l) for l in
+    lines]`` (the fuzz test in ``tests/data`` drives both against each
+    other), but without the per-line function-call and f-string
+    overhead.
+    """
+    out: list[tuple[int, Rect]] = []
+    append = out.append
+    for line in lines:
+        try:
+            rid_s, x, y, l, b = line.split(",")
+            append((int(rid_s), Rect(float(x), float(y), float(l), float(b))))
+        except (ValueError, TypeError) as exc:
+            raise DFSError(f"malformed rectangle record {line!r}") from exc
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -96,27 +128,44 @@ class TaggedRect:
     rect: Rect
     marked: bool
 
+    # Compact pickling (see Rect): a plain tuple, no per-instance
+    # slots-dict — tagged rectangles are the round-2 task-result bulk.
+    def __getstate__(self):
+        return (self.dataset, self.rid, self.rect, self.marked)
+
+    def __setstate__(self, state) -> None:
+        sa = object.__setattr__
+        dataset, rid, rect, marked = state
+        sa(self, "dataset", dataset)
+        sa(self, "rid", rid)
+        sa(self, "rect", rect)
+        sa(self, "marked", marked)
+
 
 def encode_tagged(tagged: TaggedRect) -> str:
     """``dataset|rid|marked|x,y,l,b``."""
     if "|" in tagged.dataset or "," in tagged.dataset:
         raise DFSError(f"dataset name {tagged.dataset!r} contains a delimiter")
-    r = tagged.rect
     return (
         f"{tagged.dataset}|{tagged.rid}|{int(tagged.marked)}|"
-        f"{r.x!r},{r.y!r},{r.l!r},{r.b!r}"
+        f"{_rect_csv(tagged.rect)}"
     )
 
 
 def decode_tagged(line: str) -> TaggedRect:
-    """Inverse of :func:`encode_tagged`."""
+    """Inverse of :func:`encode_tagged`.
+
+    ``maxsplit=3`` folds a stray ``|`` into the coordinate field, where
+    the float parse rejects it — the same lines fail as with the
+    unbounded split, with the same error.
+    """
     try:
-        dataset, rid_s, marked_s, coords = line.split("|")
-        x, y, l, b = (float(v) for v in coords.split(","))
+        dataset, rid_s, marked_s, coords = line.split("|", 3)
+        x, y, l, b = coords.split(",")
         return TaggedRect(
             dataset=dataset,
             rid=int(rid_s),
-            rect=Rect(x, y, l, b),
+            rect=Rect(float(x), float(y), float(l), float(b)),
             marked=bool(int(marked_s)),
         )
     except (ValueError, TypeError) as exc:
@@ -133,16 +182,21 @@ def encode_tuple(bindings: dict[str, tuple[int, Rect]]) -> str:
         if any(ch in slot for ch in "=;:|,"):
             raise DFSError(f"slot name {slot!r} contains a delimiter")
         rid, r = bindings[slot]
-        parts.append(f"{slot}={rid}:{r.x!r}:{r.y!r}:{r.l!r}:{r.b!r}")
+        parts.append(f"{slot}={rid}:{_rect_csv(r).replace(',', ':')}")
     return ";".join(parts)
 
 
 def decode_tuple(line: str) -> dict[str, tuple[int, Rect]]:
-    """Inverse of :func:`encode_tuple`."""
+    """Inverse of :func:`encode_tuple`.
+
+    ``maxsplit=1`` folds a stray ``=`` into the payload, where the colon
+    split or float parse rejects it — the same lines fail as with the
+    unbounded split, with the same error.
+    """
     try:
         bindings: dict[str, tuple[int, Rect]] = {}
         for part in line.split(";"):
-            slot, payload = part.split("=")
+            slot, payload = part.split("=", 1)
             rid_s, x, y, l, b = payload.split(":")
             bindings[slot] = (
                 int(rid_s),
@@ -229,6 +283,19 @@ class RecordCodec:
     def decode(self, line: str):
         raise NotImplementedError
 
+    def encode_lines(self, records) -> list[str]:
+        """Bulk ``encode`` — one pass over a whole part file.
+
+        Subclasses override with a single-listcomp fast path; the bytes
+        must equal ``[self.encode(r) for r in records]`` exactly (the
+        part-file writers charge and store these lines verbatim).
+        """
+        return [self.encode(r) for r in records]
+
+    def decode_lines(self, lines) -> list[Any]:
+        """Bulk ``decode`` — the split loader decodes a file in one call."""
+        return [self.decode(line) for line in lines]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -245,6 +312,12 @@ class RectCodec(RecordCodec):
     def decode(self, line: str):
         return decode_rect(line)
 
+    def encode_lines(self, records) -> list[str]:
+        return [f"{rid},{_rect_csv(rect)}" for rid, rect in records]
+
+    def decode_lines(self, lines) -> list[Any]:
+        return lines_to_rects(lines)
+
 
 class TaggedCodec(RecordCodec):
     """Marked rectangles: :class:`TaggedRect` <-> ``dataset|rid|marked|...``."""
@@ -256,6 +329,16 @@ class TaggedCodec(RecordCodec):
 
     def decode(self, line: str):
         return decode_tagged(line)
+
+    def encode_lines(self, records) -> list[str]:
+        out: list[str] = []
+        append = out.append
+        for t in records:
+            dataset = t.dataset
+            if "|" in dataset or "," in dataset:
+                raise DFSError(f"dataset name {dataset!r} contains a delimiter")
+            append(f"{dataset}|{t.rid}|{int(t.marked)}|{_rect_csv(t.rect)}")
+        return out
 
 
 class TupleCodec(RecordCodec):
@@ -272,6 +355,9 @@ class TupleCodec(RecordCodec):
 
     def decode(self, line: str):
         return TupleRecord.from_line(line)
+
+    def encode_lines(self, records) -> list[str]:
+        return [r.line for r in records]
 
 
 RECT_CODEC = RectCodec()

@@ -27,7 +27,7 @@ algorithms and are exercised heavily by the test-suite:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import GeometryError
 
@@ -56,12 +56,34 @@ class Rect:
     y: float
     l: float
     b: float
+    #: memoized ``repr(x),repr(y),repr(l),repr(b)`` — the canonical CSV
+    #: coordinate form every line codec embeds.  Late-bound by the first
+    #: encode (never seeded from decoded input text, whose spelling may
+    #: differ from ``repr``), then reused: a rectangle crossing several
+    #: job boundaries is formatted exactly once.
+    _csv: str | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not all(math.isfinite(v) for v in (self.x, self.y, self.l, self.b)):
             raise GeometryError(f"rectangle coordinates must be finite, got {self!r}")
         if self.l < 0 or self.b < 0:
             raise GeometryError(f"rectangle sides must be non-negative, got {self!r}")
+
+    # Compact pickling: a bare 4-float tuple instead of the slots-dict
+    # state the dataclass machinery generates.  Rectangles dominate
+    # cross-process task results, so dropping the per-instance field
+    # dict (and the derivable ``_csv`` cache) measurably slims IPC.
+    def __getstate__(self):
+        return (self.x, self.y, self.l, self.b)
+
+    def __setstate__(self, state) -> None:
+        sa = object.__setattr__
+        x, y, l, b = state
+        sa(self, "x", x)
+        sa(self, "y", y)
+        sa(self, "l", l)
+        sa(self, "b", b)
+        sa(self, "_csv", None)
 
     # ------------------------------------------------------------------
     # Extent accessors

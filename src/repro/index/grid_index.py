@@ -27,6 +27,9 @@ from repro.kernels.batch import RectBatch
 
 __all__ = ["GridIndex"]
 
+#: sentinel for numpy-side lazy attributes not yet materialized
+_UNSET = object()
+
 
 class GridIndex:
     """Bucketed index with ``O(1)`` expected probe cost on uniform data.
@@ -67,8 +70,7 @@ class GridIndex:
         self.probes = 0
         #: columnar bound arrays (numpy kernel only; None on the scalar path)
         self.batch: RectBatch | None = None
-        #: int64 payload array (numpy kernel with integer payloads only)
-        self.rid_array = None
+        self._rid_array: Any = None
         self._np = None
         if n == 0:
             self._nx = self._ny = 1
@@ -159,10 +161,7 @@ class GridIndex:
         bx_min, bx_max = batch.x_min, batch.x_max
         by_min, by_max = batch.y_min, batch.y_max
         self._bounds_list = None  # materialized on first scalar search
-        try:
-            self.rid_array = np.array(batch.ids, dtype=np.int64)
-        except (TypeError, ValueError, OverflowError):
-            self.rid_array = None
+        self._rid_array = _UNSET  # materialized on first rid_array use
         self._x_lo = float(bx_min.min())
         self._x_hi = float(bx_max.max())
         self._y_lo = float(by_min.min())
@@ -175,10 +174,10 @@ class GridIndex:
         # int() and astype(int64) both truncate toward zero; the offsets
         # are non-negative so the clamp reproduces _clamp_x/_clamp_y.
         last = side - 1
-        ix_lo = np.clip(((bx_min - self._x_lo) / self._bw).astype(np.int64), 0, last)
-        ix_hi = np.clip(((bx_max - self._x_lo) / self._bw).astype(np.int64), 0, last)
-        iy_lo = np.clip(((by_min - self._y_lo) / self._bh).astype(np.int64), 0, last)
-        iy_hi = np.clip(((by_max - self._y_lo) / self._bh).astype(np.int64), 0, last)
+        ix_lo = np.minimum(np.maximum(((bx_min - self._x_lo) / self._bw).astype(np.int64), 0), last)
+        ix_hi = np.minimum(np.maximum(((bx_max - self._x_lo) / self._bw).astype(np.int64), 0), last)
+        iy_lo = np.minimum(np.maximum(((by_min - self._y_lo) / self._bh).astype(np.int64), 0), last)
+        iy_hi = np.minimum(np.maximum(((by_max - self._y_lo) / self._bh).astype(np.int64), 0), last)
         ny_span = iy_hi - iy_lo + 1
         cnt = (ix_hi - ix_lo + 1) * ny_span
         total = int(cnt.sum())
@@ -218,14 +217,38 @@ class GridIndex:
         self._empty = np.empty(0, dtype=np.int64)
         # CSR twin of ``_buckets``: ``_csr_entries[_csr_offsets[b] :
         # _csr_offsets[b + 1]]`` is bucket ``b``'s member list (b = ix *
-        # ny + iy).  ``skeys`` is sorted, so a dense offsets table is
-        # one searchsorted; :meth:`probe_frontier` gathers whole
-        # frontiers of single-bucket probes from it without touching the
-        # per-bucket dict.
-        self._csr_offsets = np.searchsorted(
-            skeys, np.arange(side * side + 1, dtype=np.int64), side="left"
-        )
+        # ny + iy).  ``skeys`` is sorted, so a dense offsets table is one
+        # searchsorted — done lazily on the first :meth:`probe_frontier`,
+        # since per-cell marking indexes only ever take the per-query
+        # probe paths.
+        self._csr_keys = skeys
+        self._csr_offsets_cache = None
         self._csr_entries = sidx
+
+    @property
+    def rid_array(self):
+        """int64 payload array (numpy kernel with integer payloads), lazy."""
+        arr = self._rid_array
+        if arr is _UNSET:
+            np = self._np
+            try:
+                arr = np.array(self.batch.ids, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                arr = None
+            self._rid_array = arr
+        return arr
+
+    @property
+    def _csr_offsets(self):
+        offs = self._csr_offsets_cache
+        if offs is None:
+            np = self._np
+            offs = self._csr_offsets_cache = np.searchsorted(
+                self._csr_keys,
+                np.arange(self._nx * self._ny + 1, dtype=np.int64),
+                side="left",
+            )
+        return offs
 
     # ------------------------------------------------------------------
     def _clamp_x(self, x: float) -> int:
@@ -409,12 +432,60 @@ class GridIndex:
         ix_hi = self._clamp_x(qx_max)
         iy_lo = self._clamp_y(qy_min)
         iy_hi = self._clamp_y(qy_max)
+        buckets = self._buckets
+        plists = [
+            b
+            for ix in range(ix_lo, ix_hi + 1)
+            for iy in range(iy_lo, iy_hi + 1)
+            if (b := buckets.get((ix, iy))) is not None
+        ]
+        if not plists:
+            return [], [], 0
+        scanned = 0
+        for b in plists:
+            scanned += len(b)
+        if scanned <= 48:
+            # Tiny candidate set (the common case at target bucket
+            # size): the plain float-compare loop beats array-op
+            # dispatch overhead.  Same yields, positions and scan count
+            # as the vectorized body below.
+            bounds = self._bounds
+            pairs = self._rid_rects
+            out: list = []
+            positions: list[int] = []
+            if len(plists) == 1:
+                for p, idx in enumerate(plists[0]):
+                    ex_min, ex_max, ey_min, ey_max = bounds[idx]
+                    if (
+                        qx_min <= ex_max
+                        and ex_min <= qx_max
+                        and qy_min <= ey_max
+                        and ey_min <= qy_max
+                    ):
+                        out.append(pairs[idx])
+                        positions.append(p)
+            else:
+                seen: set[int] = set()
+                p = -1
+                for b in plists:
+                    for idx in b:
+                        p += 1
+                        if idx in seen:
+                            continue
+                        seen.add(idx)
+                        ex_min, ex_max, ey_min, ey_max = bounds[idx]
+                        if (
+                            qx_min <= ex_max
+                            and ex_min <= qx_max
+                            and qy_min <= ey_max
+                            and ey_min <= qy_max
+                        ):
+                            out.append(pairs[idx])
+                            positions.append(p)
+            return out, positions, scanned
         arrays = self._bucket_arrays
         if ix_lo == ix_hi and iy_lo == iy_hi:
-            cand = arrays.get((ix_lo, iy_lo))
-            if cand is None:
-                return [], [], 0
-            scanned = len(cand)
+            cand = arrays[(ix_lo, iy_lo)]
             pos = np.arange(scanned, dtype=np.int64)
         else:
             parts = [
@@ -423,10 +494,7 @@ class GridIndex:
                 for iy in range(iy_lo, iy_hi + 1)
                 if (b := arrays.get((ix, iy))) is not None
             ]
-            if not parts:
-                return [], [], 0
             cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            scanned = len(cand)
             if len(parts) > 1:
                 # A duplicate is yielded at its first occurrence; its
                 # scan position is that first flat slot.
@@ -487,10 +555,10 @@ class GridIndex:
         )
         last_x = self._nx - 1
         last_y = self._ny - 1
-        ix_lo = np.clip(((qx_min - self._x_lo) / self._bw).astype(np.int64), 0, last_x)
-        ix_hi = np.clip(((qx_max - self._x_lo) / self._bw).astype(np.int64), 0, last_x)
-        iy_lo = np.clip(((qy_min - self._y_lo) / self._bh).astype(np.int64), 0, last_y)
-        iy_hi = np.clip(((qy_max - self._y_lo) / self._bh).astype(np.int64), 0, last_y)
+        ix_lo = np.minimum(np.maximum(((qx_min - self._x_lo) / self._bw).astype(np.int64), 0), last_x)
+        ix_hi = np.minimum(np.maximum(((qx_max - self._x_lo) / self._bw).astype(np.int64), 0), last_x)
+        iy_lo = np.minimum(np.maximum(((qy_min - self._y_lo) / self._bh).astype(np.int64), 0), last_y)
+        iy_hi = np.minimum(np.maximum(((qy_max - self._y_lo) / self._bh).astype(np.int64), 0), last_y)
         ny = self._ny
         offsets = self._csr_offsets
         wy = iy_hi - iy_lo + 1

@@ -109,41 +109,34 @@ def _make_mapper(grid: GridPartitioning):
 def _make_batch_mapper(grid: GridPartitioning):
     """Columnar twin of :func:`_make_mapper`.
 
-    One vectorized 4th-quadrant mask covers the whole split; the append
-    loop walks records in split order with each record's cells
-    row-major — the exact pairs, per-bucket order, byte totals and join
+    One vectorized 4th-quadrant mask covers the whole split — on the
+    cached columnar ``batch`` when the engine staged one — and the
+    flattened per-record cell lists go out in a single ``emit_batch``
+    call: the exact pairs, per-bucket order, byte totals and join
     counters of the scalar mapper.
     """
     np = numpy_or_none()
 
-    def batch_mapper(split_entries, ctx: MapContext) -> None:
+    def batch_mapper(split_entries, ctx: MapContext, batch=None) -> None:
         if not split_entries:
             return
-        batch = RectBatch.from_pairs(
-            np, (rec for __, __, rec, __ in split_entries)
-        )
+        if batch is None:
+            batch = RectBatch.from_pairs(
+                np, (rec for __, __, rec, __ in split_entries)
+            )
         cids, counts = _kt.quadrant_cell_lists(np, grid, batch)
-        buckets = ctx.buckets
-        bucket_bytes = ctx.bucket_bytes
         ds_cache: dict[str, str] = {}
-        pos = 0
-        total = 0
-        tbytes = 0
-        for k, (path, __lineno, (rid, rect), __nb) in enumerate(split_entries):
+        values = []
+        sizes = []
+        for path, __lineno, (rid, rect), __nb in split_entries:
             dataset = ds_cache.get(path)
             if dataset is None:
                 dataset = ds_cache[path] = dataset_from_path(path)
             value = rect_value(dataset, rid, rect)
-            nb = ctx.pair_nbytes(0, value)
-            cnt = counts[k]
-            for cid in cids[pos : pos + cnt]:
-                buckets[cid].append((cid, value))
-                bucket_bytes[cid] += nb
-            pos += cnt
-            total += cnt
-            tbytes += cnt * nb
+            values.append(value)
+            sizes.append(ctx.pair_nbytes(0, value))
         ctx.counter(JOIN_COUNTERS, CNT_MARKED, len(split_entries))
-        ctx.account_emissions(total, tbytes)
-        ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION, total)
+        ctx.emit_batch(cids, counts, values, sizes)
+        ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION, len(cids))
 
     return batch_mapper

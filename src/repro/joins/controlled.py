@@ -165,50 +165,39 @@ def _make_mark_mapper(grid: GridPartitioning):
 def _make_mark_batch_mapper(grid: GridPartitioning):
     """Columnar twin of :func:`_make_mark_mapper`.
 
-    One vectorized col/row-range computation covers the whole split;
-    the append loop then walks records in split order with each
-    record's cells row-major — the exact pairs, per-bucket order and
-    byte totals of the scalar mapper.  Keys are cell ids and the job
-    runs one reducer per cell, so the identity partitioner routes pair
-    ``(c, v)`` to bucket ``c`` — appended directly.
+    One vectorized col/row-range computation covers the whole split —
+    on the cached columnar ``batch`` when the engine staged one — and
+    the flattened per-record cell lists go out in a single
+    ``emit_batch`` call: record ``k``'s cells row-major, the exact
+    pairs, per-bucket order and byte totals of the scalar mapper.
     """
     np = numpy_or_none()
 
-    def batch_mapper(split_entries, ctx: MapContext) -> None:
+    def batch_mapper(split_entries, ctx: MapContext, batch=None) -> None:
         if not split_entries:
             return
-        batch = RectBatch.from_pairs(
-            np, (rec for __, __, rec, __ in split_entries)
-        )
-        c_lo, c_hi = _kt.col_ranges(np, grid, batch)
-        r_lo, r_hi = _kt.row_ranges(np, grid, batch)
-        c_lo = c_lo.tolist()
-        c_hi = c_hi.tolist()
-        r_lo = r_lo.tolist()
-        r_hi = r_hi.tolist()
-        cols = grid.cols
-        buckets = ctx.buckets
-        bucket_bytes = ctx.bucket_bytes
+        if batch is None:
+            batch = RectBatch.from_pairs(
+                np, (rec for __, __, rec, __ in split_entries)
+            )
+        keys, counts = _kt.overlap_cell_lists(np, grid, batch)
         ds_cache: dict[str, str] = {}
-        total = 0
-        tbytes = 0
-        for k, (path, __lineno, (rid, rect), __nb) in enumerate(split_entries):
+        # The mark job always ships RECT_SHUFFLE_CODEC, whose pair size
+        # depends only on the dataset name — one sizing per dataset.
+        size_cache: dict[str, int] = {}
+        values = []
+        sizes = []
+        for path, __lineno, (rid, rect), __nb in split_entries:
             dataset = ds_cache.get(path)
             if dataset is None:
                 dataset = ds_cache[path] = dataset_from_path(path)
             value = rect_value(dataset, rid, rect)
-            nb = ctx.pair_nbytes(0, value)
-            lo = c_lo[k]
-            width = c_hi[k] - lo + 1
-            for row in range(r_lo[k], r_hi[k] + 1):
-                base = row * cols + lo
-                for cid in range(base, base + width):
-                    buckets[cid].append((cid, value))
-                    bucket_bytes[cid] += nb
-            count = width * (r_hi[k] - r_lo[k] + 1)
-            total += count
-            tbytes += count * nb
-        ctx.account_emissions(total, tbytes)
+            values.append(value)
+            size = size_cache.get(dataset)
+            if size is None:
+                size = size_cache[dataset] = ctx.pair_nbytes(0, value)
+            sizes.append(size)
+        ctx.emit_batch(keys, counts, values, sizes)
 
     return batch_mapper
 
@@ -234,13 +223,20 @@ def _make_mark_reducer(grid: GridPartitioning, marking: MarkingEngine):
                 for rid, rect in rects
                 if grid.cell_id_of(rect) == cell_id
             )
-        for dataset, rid, rect in starts:
-            marked = (dataset, rid) in decision.marked
-            if marked:
-                ctx.counter(JOIN_COUNTERS, CNT_MARKED)
-            ctx.emit(
-                TaggedRect(dataset=dataset, rid=rid, rect=rect, marked=marked)
+        marked_set = decision.marked
+        tagged = [
+            TaggedRect(
+                dataset=dataset,
+                rid=rid,
+                rect=rect,
+                marked=(dataset, rid) in marked_set,
             )
+            for dataset, rid, rect in starts
+        ]
+        n_marked = sum(1 for t in tagged if t.marked)
+        if n_marked:
+            ctx.counter(JOIN_COUNTERS, CNT_MARKED, n_marked)
+        ctx.emit_all(tagged)
 
     return reducer
 
@@ -276,14 +272,14 @@ def _make_route_batch_mapper(grid: GridPartitioning, limits: ReplicationLimits):
 
     Target cells are computed per group — unmarked rectangles in one
     ownership batch, marked ones batched per replication bound (bounds
-    differ per dataset under C-Rep-L) — then scattered back so the
-    append loop runs in record order, reproducing the scalar mapper's
-    per-bucket emission order exactly.
+    differ per dataset under C-Rep-L) — then scattered back into record
+    order and flushed in a single ``emit_batch`` call, reproducing the
+    scalar mapper's per-bucket emission order exactly.
     """
     np = numpy_or_none()
     metric = limits.metric
 
-    def batch_mapper(split_entries, ctx: MapContext) -> None:
+    def batch_mapper(split_entries, ctx: MapContext, batch=None) -> None:
         if not split_entries:
             return
         records = [rec for __, __, rec, __ in split_entries]
@@ -312,26 +308,27 @@ def _make_route_batch_mapper(grid: GridPartitioning, limits: ReplicationLimits):
             for k, cnt in zip(idxs, counts):
                 targets[k] = cids[pos : pos + cnt]
                 pos += cnt
-        buckets = ctx.buckets
-        bucket_bytes = ctx.bucket_bytes
-        total = 0
-        tbytes = 0
+        flat_keys: list[int] = []
+        key_counts: list[int] = []
+        values = []
+        sizes = []
+        # Route also ships RECT_SHUFFLE_CODEC — size once per dataset.
+        size_cache: dict[str, int] = {}
         for k, tagged in enumerate(records):
             value = rect_value(tagged.dataset, tagged.rid, tagged.rect)
-            nb = ctx.pair_nbytes(0, value)
             tgt = targets[k]
             if tagged.marked:
-                for cid in tgt:
-                    buckets[cid].append((cid, value))
-                    bucket_bytes[cid] += nb
-                total += len(tgt)
-                tbytes += len(tgt) * nb
+                flat_keys.extend(tgt)
+                key_counts.append(len(tgt))
             else:
-                buckets[tgt].append((tgt, value))
-                bucket_bytes[tgt] += nb
-                total += 1
-                tbytes += nb
-        ctx.account_emissions(total, tbytes)
-        ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION, total)
+                flat_keys.append(tgt)
+                key_counts.append(1)
+            values.append(value)
+            size = size_cache.get(tagged.dataset)
+            if size is None:
+                size = size_cache[tagged.dataset] = ctx.pair_nbytes(0, value)
+            sizes.append(size)
+        ctx.emit_batch(flat_keys, key_counts, values, sizes)
+        ctx.counter(JOIN_COUNTERS, CNT_AFTER_REPLICATION, len(flat_keys))
 
     return batch_mapper

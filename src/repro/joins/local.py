@@ -32,10 +32,31 @@ from repro.kernels.predicates import pair_mask, supports_triples, triple_mask
 from repro.query.graph import JoinGraph
 from repro.query.query import Query, Triple
 
-__all__ = ["LocalJoiner", "Assignment"]
+__all__ = ["LocalJoiner", "Assignment", "FrontierResult"]
 
 #: One output assignment: slot -> (rid, rect).
 Assignment = dict[str, tuple[int, Rect]]
+
+
+class FrontierResult:
+    """Columnar form of a completed frontier enumeration.
+
+    Row ``i`` of the result set is the assignment
+    ``{slot: bags[slot][positions[slot][i]] for slot in slots}``; the
+    parallel ``batches`` carry each slot's coordinate columns so a
+    caller can compute per-row aggregates (e.g. the dedup owner cell)
+    without materializing assignment dicts.  Rows are in the exact
+    depth-first order :meth:`LocalJoiner.enumerate` would produce.
+    """
+
+    __slots__ = ("slots", "bags", "positions", "batches", "count")
+
+    def __init__(self, slots, bags, positions, batches) -> None:
+        self.slots = slots
+        self.bags = bags
+        self.positions = positions
+        self.batches = batches
+        self.count = len(positions[slots[0]]) if slots else 0
 
 
 @dataclass(frozen=True)
@@ -126,11 +147,34 @@ class LocalJoiner:
         Returns ``(assignments, candidate_checks)``; the second value is
         the compute-cost measure reported to the engine.
         """
+        __, results, checks = self._enumerate_impl(rects_by_slot, False)
+        return results, checks
+
+    def enumerate_columnar(
+        self, rects_by_slot: dict[str, list[tuple[int, Rect]]]
+    ) -> tuple[FrontierResult | None, list[Assignment], int]:
+        """Like :meth:`enumerate`, but keep the result columnar when the
+        frontier path completed.
+
+        Returns ``(columnar, assignments, candidate_checks)``.  When
+        ``columnar`` is not None it holds every result row and
+        ``assignments`` is empty; otherwise (scalar search, or a
+        mid-frontier fallback) the rows are in ``assignments`` as usual.
+        Either way ``candidate_checks`` is identical to
+        :meth:`enumerate`'s.
+        """
+        return self._enumerate_impl(rects_by_slot, True)
+
+    def _enumerate_impl(
+        self,
+        rects_by_slot: dict[str, list[tuple[int, Rect]]],
+        want_columnar: bool,
+    ) -> tuple[FrontierResult | None, list[Assignment], int]:
         missing = [p.slot for p in self.plans if p.slot not in rects_by_slot]
         if missing:
             raise JoinError(f"missing slot bags: {missing}")
         if any(not rects_by_slot[p.slot] for p in self.plans):
-            return [], 0
+            return None, [], 0
 
         # Indexes are built lazily, on a slot's first probe: when the
         # search never reaches a depth (every candidate of an earlier
@@ -338,7 +382,10 @@ class LocalJoiner:
             for s in bound_slots:
                 assignment.pop(s, None)
 
-        def run_frontier() -> None:
+        def run_frontier():
+            """Returns ``(frontier, batches)`` on completion (``{}``s for
+            an emptied frontier), or None after a mid-depth fallback to
+            :func:`run_rows` (rows land in ``results``)."""
             nonlocal checks
             slot0 = plans[0].slot
             bag0 = rects_by_slot[slot0]
@@ -352,7 +399,7 @@ class LocalJoiner:
                 plan = plans[depth]
                 slot = plan.slot
                 if not len(frontier[slot0]):
-                    return
+                    return {}, {}
                 idx = index_for(slot)
                 ok = (
                     getattr(idx, "batch", None) is not None
@@ -364,7 +411,7 @@ class LocalJoiner:
                     )
                 if not ok:
                     run_rows(depth, frontier)
-                    return
+                    return None
                 abatch = batches[plan.anchor_slot]
                 apos = frontier[plan.anchor_slot]
                 p_flat, e_flat = idx.probe_frontier(
@@ -397,19 +444,34 @@ class LocalJoiner:
                 frontier = {s: arr[keep] for s, arr in frontier.items()}
                 frontier[slot] = e_flat[alive]
                 batches[slot] = idx.batch
-            cols = [
-                (p.slot, rects_by_slot[p.slot], frontier[p.slot].tolist())
-                for p in plans
-            ]
-            for i in range(len(cols[0][2])):
-                results.append({s: bag[poss[i]] for s, bag, poss in cols})
+            return frontier, batches
 
+        columnar: FrontierResult | None = None
         if self._frontier_ok:
-            run_frontier()
+            done = run_frontier()
+            if done is not None:
+                frontier, batches = done
+                if want_columnar:
+                    slots = tuple(p.slot for p in plans) if frontier else ()
+                    columnar = FrontierResult(
+                        slots,
+                        {s: rects_by_slot[s] for s in slots},
+                        frontier,
+                        batches,
+                    )
+                elif frontier:
+                    cols = [
+                        (p.slot, rects_by_slot[p.slot], frontier[p.slot].tolist())
+                        for p in plans
+                    ]
+                    for i in range(len(cols[0][2])):
+                        results.append(
+                            {s: bag[poss[i]] for s, bag, poss in cols}
+                        )
         else:
             bind(0)
         # Index probe work is part of the reducer's compute cost: the
         # nested-loop baseline examines every entry per probe while the
         # spatial indexes touch only bucket/node candidates.
         checks += sum(idx.probes for idx in indexes.values())
-        return results, checks
+        return columnar, results, checks

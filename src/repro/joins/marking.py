@@ -42,6 +42,7 @@ from repro.kernels import numpy_or_none
 from repro.kernels import transforms as _kt
 from repro.kernels.batch import RectBatch
 from repro.query.graph import JoinGraph
+from repro.query.predicates import Overlap
 from repro.query.query import Query, Triple
 
 __all__ = ["MarkingEngine", "MarkingDecision"]
@@ -56,6 +57,9 @@ class _Step:
     anchor_slot: str | None
     checks: tuple[tuple[Triple, str], ...]
     same_dataset: tuple[str, ...]
+    #: the slot's dataset, resolved once at plan build (the embedding
+    #: search visits steps far more often than plans are built)
+    dataset: str = ""
 
 
 @dataclass
@@ -163,6 +167,7 @@ class MarkingEngine:
                     anchor_slot=anchor_slot,
                     checks=tuple(checks),
                     same_dataset=same_dataset,
+                    dataset=self.query.dataset_of(slot),
                 )
             )
             bound.append(slot)
@@ -195,10 +200,15 @@ class MarkingEngine:
         # below).  The numpy kernel computes both columnarly per bag,
         # reusing the index's column arrays (same rects, same order).
         np = self._np
-        gap: dict[tuple[str, int], float] = {}
-        owner: dict[tuple[str, int], int] = {}
+        # Nested per-dataset maps: the embedding search looks gaps up per
+        # probe candidate, so ``gap[dataset][rid]`` avoids building a
+        # ``(dataset, rid)`` tuple on every lookup in that hot loop.
+        gap: dict[str, dict[int, float]] = {}
+        owner: dict[str, dict[int, int]] = {}
         starts_here: list[tuple[str, int, Rect]] = []
         for dataset, rects in received.items():
+            gap_d = gap[dataset] = {}
+            own_d = owner[dataset] = {}
             if np is not None and rects:
                 batch = getattr(indexes[dataset], "batch", None)
                 if batch is None:
@@ -206,15 +216,15 @@ class MarkingEngine:
                 gaps = _kt.min_gaps_to_other_cell(np, self.grid, batch, cell).tolist()
                 cids = _kt.cell_ids_of_starts(np, self.grid, batch).tolist()
                 for (rid, rect), g, cid in zip(rects, gaps, cids):
-                    gap[(dataset, rid)] = g
-                    owner[(dataset, rid)] = cid
+                    gap_d[rid] = g
+                    own_d[rid] = cid
                     if cid == cell.cell_id:
                         starts_here.append((dataset, rid, rect))
             else:
                 for rid, rect in rects:
-                    gap[(dataset, rid)] = self.grid.min_gap_to_other_cell(rect, cell)
+                    gap_d[rid] = self.grid.min_gap_to_other_cell(rect, cell)
                     cid = self.grid.cell_of(rect).cell_id
-                    owner[(dataset, rid)] = cid
+                    own_d[rid] = cid
                     if cid == cell.cell_id:
                         starts_here.append((dataset, rid, rect))
 
@@ -226,18 +236,29 @@ class MarkingEngine:
         # the searches still charge probes exactly as their lazy scalar
         # generators would (see ``probe_batch``).
         probe_cache: dict | None = {} if np is not None else None
+        # The subsets a slot can witness with are fixed per cell (they
+        # depend only on which datasets sent candidates here), as are
+        # their C2 requirement tables — hoisted out of the per-rectangle
+        # loop.  Order and ops accounting are unchanged: the filter and
+        # the requirement lookup never charged ops.
+        dataset_of = self.query.dataset_of
+        usable: dict[str, list] = {}
         for dataset, rid, rect in starts_here:
             if (dataset, rid) in marked:
                 continue  # already part of an earlier witness
             witness = None
+            rect_gap = gap[dataset][rid]
             for slot in self.query.slots_of_dataset(dataset):
-                for subset in self._subsets[slot]:
-                    if any(
-                        self.query.dataset_of(s) not in received for s in subset
-                    ):
-                        continue  # some slot has no candidates at this cell
-                    reqs = self._requirements(subset)
-                    if gap[(dataset, rid)] > reqs[slot]:
+                cands = usable.get(slot)
+                if cands is None:
+                    cands = usable[slot] = [
+                        (subset, self._requirements(subset), self._plan(subset, slot))
+                        for subset in self._subsets[slot]
+                        # skip subsets where some slot has no candidates
+                        if all(dataset_of(s) in received for s in subset)
+                    ]
+                for subset, reqs, plan in cands:
+                    if rect_gap > reqs[slot]:
                         continue  # the candidate itself fails C2 here
                     witness, probe_ops = self._find_embedding(
                         subset,
@@ -247,6 +268,8 @@ class MarkingEngine:
                         indexes,
                         gap,
                         probe_cache,
+                        reqs,
+                        plan,
                     )
                     ops += probe_ops
                     if witness is not None:
@@ -259,7 +282,7 @@ class MarkingEngine:
             # paper's rule; record the ones this cell is responsible for.
             for w_slot, (w_rid, __w_rect) in witness.items():
                 w_dataset = self.query.dataset_of(w_slot)
-                if owner[(w_dataset, w_rid)] == cell.cell_id:
+                if owner[w_dataset][w_rid] == cell.cell_id:
                     marked.add((w_dataset, w_rid))
         ops += sum(idx.probes for idx in indexes.values())
         return MarkingDecision(marked=marked, ops=ops, starts_here=starts_here)
@@ -272,8 +295,10 @@ class MarkingEngine:
         fixed: tuple[int, Rect],
         received: dict[str, list[tuple[int, Rect]]],
         indexes,
-        gap: dict[tuple[str, int], float],
+        gap: dict[str, dict[int, float]],
         probe_cache: dict | None = None,
+        reqs: dict[str, float] | None = None,
+        plan: tuple | None = None,
     ) -> tuple[dict[str, tuple[int, Rect]] | None, int]:
         """First consistent C2-respecting embedding of ``subset``.
 
@@ -286,8 +311,10 @@ class MarkingEngine:
         (witness found) charges only the slots scanned up to ``j``, as
         the scalar generator would.
         """
-        reqs = self._requirements(subset)
-        plan = self._plan(subset, start)
+        if reqs is None:
+            reqs = self._requirements(subset)
+        if plan is None:
+            plan = self._plan(subset, start)
         assignment: dict[str, tuple[int, Rect]] = {start: fixed}
         ops = 0
 
@@ -296,11 +323,23 @@ class MarkingEngine:
             if depth == len(plan):
                 return True
             step = plan[depth]
-            dataset = self.query.dataset_of(step.slot)
+            dataset = step.dataset
             assert step.anchor is not None  # depth 0 is the fixed start
             anchor_rect = assignment[step.anchor_slot][1]
             d = step.anchor.predicate.distance
             idx = indexes[dataset]
+            slot = step.slot
+            req = reqs[slot]
+            gap_d = gap[dataset]
+            same_dataset = step.same_dataset
+            step_checks = step.checks
+            anchor_holds = step.anchor.holds_with
+            # A strict-``Overlap`` anchor is already settled by the
+            # probe: the index yields exactly the entries whose closed
+            # extents intersect the (unenlarged) anchor box, which IS
+            # the predicate.  The candidate check (and its op charge)
+            # still runs; only the redundant re-test is skipped.
+            anchor_settled = type(step.anchor.predicate) is Overlap
             if probe_cache is not None and getattr(idx, "batch", None) is not None:
                 # Memoized eager probe.  Same candidate body as the
                 # scalar loop below; only the probe accounting differs —
@@ -312,52 +351,58 @@ class MarkingEngine:
                 cands, pos_list, scanned = hit
                 for j, (rid, rect) in enumerate(cands):
                     ops += 1
-                    if not step.anchor.holds_with(step.slot, rect, anchor_rect):
+                    if not (
+                        anchor_settled
+                        or anchor_holds(slot, rect, anchor_rect)
+                    ):
                         continue
-                    if gap[(dataset, rid)] > reqs[step.slot]:
+                    if gap_d[rid] > req:
                         continue  # fails C2 at this slot
-                    if any(assignment[s][0] == rid for s in step.same_dataset):
+                    if any(assignment[s][0] == rid for s in same_dataset):
                         continue
                     ok = True
-                    for triple, other in step.checks:
+                    for triple, other in step_checks:
                         ops += 1
                         if not triple.holds_with(
-                            step.slot, rect, assignment[other][1]
+                            slot, rect, assignment[other][1]
                         ):
                             ok = False
                             break
                     if not ok:
                         continue
-                    assignment[step.slot] = (rid, rect)
+                    assignment[slot] = (rid, rect)
                     if bind(depth + 1):
                         # The scalar generator is abandoned here, having
                         # scanned through this candidate's bucket slot.
                         idx.probes += pos_list[j] + 1
                         return True
-                    del assignment[step.slot]
+                    del assignment[slot]
                 idx.probes += scanned
                 return False
             for entry in idx.search(anchor_rect, d):
                 rid, rect = entry.payload, entry.rect
                 ops += 1
-                if not step.anchor.holds_with(step.slot, rect, anchor_rect):
+                if not (
+                    anchor_settled
+                    or anchor_holds(slot, rect, anchor_rect)
+                ):
                     continue
-                if gap[(dataset, rid)] > reqs[step.slot]:
+                if gap_d[rid] > req:
                     continue  # fails C2 at this slot
-                if any(assignment[s][0] == rid for s in step.same_dataset):
+                if any(assignment[s][0] == rid for s in same_dataset):
                     continue
                 ok = True
-                for triple, other in step.checks:
+                for triple, other in step_checks:
                     ops += 1
-                    if not triple.holds_with(step.slot, rect, assignment[other][1]):
+                    if not triple.holds_with(slot, rect, assignment[other][1]):
                         ok = False
                         break
                 if not ok:
                     continue
-                assignment[step.slot] = (rid, rect)
+                assignment[slot] = (rid, rect)
                 if bind(depth + 1):
                     return True
-                del assignment[step.slot]
+                del assignment[slot]
             return False
 
         if bind(1):

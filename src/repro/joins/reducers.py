@@ -63,27 +63,49 @@ def make_local_join_reducer(
             slot: by_dataset.get(query.dataset_of(slot), [])
             for slot in slot_order
         }
-        assignments, ops = joiner.enumerate(rects_by_slot)
+        if np is not None:
+            fr, assignments, ops = joiner.enumerate_columnar(rects_by_slot)
+        else:
+            fr = None
+            assignments, ops = joiner.enumerate(rects_by_slot)
         ctx.add_compute(ops)
+        if fr is not None:
+            if not fr.count:
+                return
+            # Owner of every row at once straight from the frontier's
+            # coordinate columns: tuple_owner is the cell of the
+            # bottom-right-most start point (max x, min y).
+            pos = fr.positions
+            xs = np.maximum.reduce([fr.batches[s].x[pos[s]] for s in fr.slots])
+            ys = np.minimum.reduce([fr.batches[s].y[pos[s]] for s in fr.slots])
+            owners = (
+                _kt.rows_of_y(np, grid, ys) * grid.cols
+                + _kt.cols_of_x(np, grid, xs)
+            ).tolist()
+            rid_cols = [
+                [fr.bags[s][p][0] for p in pos[s].tolist()] for s in slot_order
+            ]
+            lines = [
+                "\t".join(str(col[i]) for col in rid_cols)
+                for i, owner in enumerate(owners)
+                if owner == cell_id
+            ]
+            if lines:
+                ctx.counter(JOIN_COUNTERS, CNT_OUTPUT_TUPLES, len(lines))
+                ctx.emit_all(lines)
+            return
         owners = None
         if np is not None and len(assignments) >= 4:
             # tuple_owner for every assignment at once: owner of the
             # bottom-right-most start point (max x, min y).
             m = len(slot_order)
-            count = len(assignments) * m
-            xs = np.fromiter(
-                (r.x for a in assignments for __, r in a.values()),
-                dtype=np.float64,
-                count=count,
-            ).reshape(-1, m)
-            ys = np.fromiter(
-                (r.y for a in assignments for __, r in a.values()),
-                dtype=np.float64,
-                count=count,
-            ).reshape(-1, m)
+            flat = [
+                c for a in assignments for __, r in a.values() for c in (r.x, r.y)
+            ]
+            coords = np.array(flat, dtype=np.float64).reshape(-1, m, 2)
             owners = (
-                _kt.rows_of_y(np, grid, ys.min(axis=1)) * grid.cols
-                + _kt.cols_of_x(np, grid, xs.max(axis=1))
+                _kt.rows_of_y(np, grid, coords[:, :, 1].min(axis=1)) * grid.cols
+                + _kt.cols_of_x(np, grid, coords[:, :, 0].max(axis=1))
             ).tolist()
         for k, assignment in enumerate(assignments):
             owner = (

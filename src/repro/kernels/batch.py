@@ -58,5 +58,24 @@ class RectBatch:
         arr = np.array(flat, dtype=np.float64).reshape(-1, 4)
         return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
 
+    def slice(self, lo: int, hi: int) -> "RectBatch":
+        """A zero-copy row slice ``[lo, hi)`` (arrays become views).
+
+        Used by the engine to hand map splits their cut of a cached
+        whole-file batch without recomputing any column.
+        """
+        s = object.__new__(RectBatch)
+        s.ids = self.ids[lo:hi] if self.ids is not None else None
+        s.x = self.x[lo:hi]
+        s.length = self.length[lo:hi]
+        s.y = self.y[lo:hi]
+        s.breadth = self.breadth[lo:hi]
+        s.x_min = self.x_min[lo:hi]
+        s.x_max = self.x_max[lo:hi]
+        s.y_min = self.y_min[lo:hi]
+        s.y_max = self.y_max[lo:hi]
+        s.n = len(s.x)
+        return s
+
     def __len__(self) -> int:
         return self.n

@@ -22,6 +22,7 @@ __all__ = [
     "cols_of_x",
     "grid_edges",
     "min_gaps_to_other_cell",
+    "overlap_cell_lists",
     "quadrant_cell_lists",
     "row_ranges",
     "rows_of_y",
@@ -51,14 +52,16 @@ def cols_of_x(np, grid, px):
     """``col_of_x`` for an array of x coordinates."""
     x_edges = grid_edges(np, grid)[0]
     c = np.searchsorted(x_edges, px, side="right") - 1
-    return np.clip(c, 0, grid.cols - 1)
+    # minimum(maximum(...)) is np.clip by definition, minus clip's
+    # per-call dtype-limit construction — these run once per cell batch.
+    return np.minimum(np.maximum(c, 0), grid.cols - 1)
 
 
 def rows_of_y(np, grid, py):
     """``row_of_y`` for an array of y coordinates."""
     y_edges = grid_edges(np, grid)[1]
     p = np.searchsorted(y_edges, py, side="left")
-    return np.clip(grid.rows - p, 0, grid.rows - 1)
+    return np.minimum(np.maximum(grid.rows - p, 0), grid.rows - 1)
 
 
 def cell_ids_of_starts(np, grid, batch):
@@ -70,8 +73,8 @@ def col_ranges(np, grid, batch):
     """``col_range`` for a whole batch: two int arrays ``(lo, hi)``."""
     x_edges = grid_edges(np, grid)[0]
     last = grid.cols - 1
-    lo = np.clip(np.searchsorted(x_edges, batch.x_min, side="left") - 1, 0, last)
-    hi = np.clip(np.searchsorted(x_edges, batch.x_max, side="right") - 1, 0, last)
+    lo = np.minimum(np.maximum(np.searchsorted(x_edges, batch.x_min, side="left") - 1, 0), last)
+    hi = np.minimum(np.maximum(np.searchsorted(x_edges, batch.x_max, side="right") - 1, 0), last)
     return lo, np.maximum(lo, hi)
 
 
@@ -79,8 +82,8 @@ def row_ranges(np, grid, batch):
     """``row_range`` for a whole batch: two int arrays ``(lo, hi)``."""
     y_edges = grid_edges(np, grid)[1]
     rows = grid.rows
-    a_hi = np.clip(np.searchsorted(y_edges, batch.y_max, side="right") - 1, 0, rows - 1)
-    a_lo = np.clip(np.searchsorted(y_edges, batch.y_min, side="left") - 1, 0, rows - 1)
+    a_hi = np.minimum(np.maximum(np.searchsorted(y_edges, batch.y_max, side="right") - 1, 0), rows - 1)
+    a_lo = np.minimum(np.maximum(np.searchsorted(y_edges, batch.y_min, side="left") - 1, 0), rows - 1)
     lo = rows - 1 - a_hi
     hi = rows - 1 - a_lo
     return lo, np.maximum(lo, hi)
@@ -109,6 +112,29 @@ def min_gaps_to_other_cell(np, grid, batch, cell):
     if gap is None:  # pragma: no cover - only a 1x1 grid has no sides
         gap = np.full(n, np.inf)
     return np.where(inside, gap, 0.0)
+
+
+def overlap_cell_lists(np, grid, batch):
+    """Per-record overlapped cells (the ``split`` targets), flattened.
+
+    Columnar twin of ``split(rect, grid)``'s cell enumeration: for every
+    record of ``batch``, the cells of ``row_range × col_range`` in the
+    scalar row-major order.  Returns ``(cell_ids, counts)`` int64
+    arrays — ``counts[k]`` cells per record ``k``, concatenated in
+    record order, ready for ``MapContext.emit_batch``.
+    """
+    rows = grid.rows
+    cols = grid.cols
+    c_lo, c_hi = col_ranges(np, grid, batch)
+    r_lo, r_hi = row_ranges(np, grid, batch)
+    ar = np.arange(rows)
+    ac = np.arange(cols)
+    rmask = (ar >= r_lo[:, None]) & (ar <= r_hi[:, None])
+    cmask = (ac >= c_lo[:, None]) & (ac <= c_hi[:, None])
+    mask = rmask[:, :, None] & cmask[:, None, :]
+    rec, row, col = np.nonzero(mask)
+    counts = np.bincount(rec, minlength=batch.n)
+    return row * cols + col, counts
 
 
 def quadrant_cell_lists(np, grid, batch, d=None, metric="euclidean"):

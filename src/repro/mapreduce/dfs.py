@@ -49,6 +49,10 @@ class InMemoryDFS:
         #: path -> (codec name, records); the codec name guards against
         #: reading one format's objects through another format's codec
         self._records: dict[str, tuple[str, list[Any]]] = {}
+        #: per-file-version derived artifacts (split-entry rows, columnar
+        #: rect batches): path -> tag -> value, dropped whenever the path
+        #: is rewritten or deleted — exactly like ``_records``
+        self._derived: dict[str, dict[str, Any]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -71,6 +75,7 @@ class InMemoryDFS:
             nbytes += len(line) + 1
         self._files[path] = stored
         self._records.pop(path, None)
+        self._derived.pop(path, None)
         self.bytes_written += nbytes
         return nbytes
 
@@ -83,7 +88,7 @@ class InMemoryDFS:
         job reading with the same codec skips the parse entirely.
         """
         records = list(records)
-        nbytes = self.write_file(path, [codec.encode(r) for r in records])
+        nbytes = self.write_file(path, codec.encode_lines(records))
         self._records[_normalize(path)] = (codec.name, records)
         return nbytes
 
@@ -125,6 +130,35 @@ class InMemoryDFS:
             )
         self._records[norm] = (codec.name, records)
 
+    def derived_get(self, path: str, tag: str) -> Any | None:
+        """A derived artifact of the *current* version of ``path``.
+
+        Derived artifacts (split-entry rows, columnar rect batches) are
+        pure functions of a file's content; rewriting or deleting the
+        file drops them, so a hit is always consistent.  Like
+        :meth:`typed_records` this never accounts a read — callers pair
+        it with :meth:`charge_read` so byte accounting is unchanged.
+        """
+        cached = self._derived.get(_normalize(path))
+        return None if cached is None else cached.get(tag)
+
+    def derived_put(self, path: str, tag: str, value: Any) -> None:
+        """Attach a derived artifact to the current version of ``path``."""
+        norm = _normalize(path)
+        if norm not in self._files:
+            raise DFSError(f"no such file: {path!r}")
+        self._derived.setdefault(norm, {})[tag] = value
+
+    def charge_read(self, path: str) -> None:
+        """Account one full read of ``path`` without materialising lines.
+
+        The byte-accounting half of :meth:`read_file`, for callers that
+        already hold the file's records (typed or derived caches): the
+        canonical ``DFS_BYTES_READ`` volume stays exactly what a line
+        read would have charged.
+        """
+        self.bytes_read += self.file_size(path)
+
     def write_side_file(self, path: str, lines: Iterable[str]) -> int:
         """Create (or replace) a task side file — durable but unaccounted.
 
@@ -145,6 +179,7 @@ class InMemoryDFS:
             nbytes += len(line) + 1
         self._files[path] = stored
         self._records.pop(path, None)
+        self._derived.pop(path, None)
         return nbytes
 
     def read_side_file(self, path: str) -> list[str]:
@@ -252,6 +287,7 @@ class InMemoryDFS:
         for f in doomed:
             del self._files[f]
             self._records.pop(f, None)
+            self._derived.pop(f, None)
         return len(doomed)
 
     def __contains__(self, path: str) -> bool:

@@ -47,12 +47,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from itertools import groupby
+from itertools import groupby, repeat
 from operator import itemgetter
 from typing import Any
 
+from repro.data.io import RECT_CODEC
 from repro.errors import BadRecordError, JobError, TaskRetryExhausted
-from repro.kernels import resolve_kernel
+from repro.kernels import numpy_or_none, resolve_kernel
+from repro.kernels.batch import RectBatch
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
@@ -64,10 +66,12 @@ from repro.mapreduce.faults import (
     run_phase_with_recovery,
 )
 from repro.mapreduce.job import (
+    BucketSegment,
     MapContext,
     MapReduceJob,
     ReduceContext,
     SpillingMapContext,
+    default_sort_key,
 )
 from repro.mapreduce.spill import SpillRun, SpillStore, merge_runs, spill_dir
 from repro.obs.trace import NullRecorder
@@ -160,13 +164,21 @@ class _MapPhase:
     unbounded) switches emission buffering to the spilling context.
     ``use_batch`` routes the whole split through ``job.batch_mapper``
     (columnar fast path); the engine sets it only when the job declares
-    one and no per-record machinery (faults, retries, budget) is live.
+    one and no per-record machinery (faults, retries) is live.  Under a
+    memory budget the batch mapper still runs, but its emissions are
+    replayed record by record so spill points are unchanged.
+    ``columnar`` selects :class:`BucketSegment` storage inside
+    ``emit_batch`` (the cluster's ``columnar_shuffle`` switch);
+    ``split_batches`` optionally carries one pre-decoded
+    :class:`~repro.kernels.batch.RectBatch` slice per split.
     """
 
     job: MapReduceJob
     splits: list[list[tuple[str, int, Any, int]]]
     memory_budget: int | None = None
     use_batch: bool = False
+    columnar: bool = True
+    split_batches: list[RectBatch | None] | None = None
 
 
 @dataclass
@@ -191,6 +203,10 @@ class _MapTaskResult:
     spill_runs: list[list[list[str]]] | None = None
     #: bucket-local sequence number of the first resident record
     spill_base: list[int] | None = None
+    #: columnar buckets (per-reducer :class:`BucketSegment` runs) from
+    #: tasks that emitted through ``emit_batch`` — ``buckets`` is then
+    #: all-empty and the shuffle merges segments instead of pairs
+    segments: list[list[BucketSegment]] | None = None
 
 
 @dataclass
@@ -201,12 +217,17 @@ class _ReducePhase:
     yet sorted input.  Under a memory budget that spilled, ``runs[r]``
     instead holds reducer ``r``'s sorted runs (``buckets`` is empty) and
     ``store`` snapshots the spill side files for :func:`merge_runs`.
+    When every map task emitted columnar, ``seg_buckets[r]`` holds
+    reducer ``r``'s :class:`BucketSegment` runs in map-task order
+    (``buckets`` is empty) and the reduce task groups keys with a numpy
+    stable argsort instead of the Python sort.
     """
 
     job: MapReduceJob
     buckets: list[list[tuple[Any, Any]]]
     runs: list[list[SpillRun]] | None = None
     store: SpillStore | None = None
+    seg_buckets: list[list[BucketSegment]] | None = None
 
 
 @dataclass
@@ -245,6 +266,50 @@ def _grouped(ordered: list[tuple[Any, Any]]):
         yield key, [v for __, v in run]
 
 
+def _segment_groups(segs: list[BucketSegment], sort_key):
+    """Yield ``(key, [values])`` groups of one reducer's segment runs.
+
+    Segments arrive concatenated map-task-major with emission order
+    inside each task, so a *stable* argsort by key reproduces the scalar
+    path's ``(sort_key(key), map_task, seq)`` order exactly — but only
+    when the sort key provably is the key itself (the job default); any
+    custom ordering falls back to the reference Python sort over the
+    row form.  The join jobs' one-distinct-key-per-reducer layout takes
+    the no-sort fast path: a single group handed the concatenated
+    values as-is.
+    """
+    np = numpy_or_none()
+    if np is None or sort_key is not default_sort_key:
+        pairs = [p for seg in segs for p in seg.pairs()]
+        yield from _grouped(_sorted_by_key(pairs, sort_key))
+        return
+    if not segs:
+        return
+    if len(segs) == 1:
+        keys = segs[0].keys
+        values = segs[0].values
+    else:
+        keys = np.concatenate([seg.keys for seg in segs])
+        values = []
+        for seg in segs:
+            values.extend(seg.values)
+    n = len(values)
+    if n == 0:
+        return
+    if int(keys[0]) == int(keys[-1]) and int(keys.min()) == int(keys.max()):
+        # One distinct key: the concatenation already is the group.
+        yield int(keys[0]), values
+        return
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    bounds = np.flatnonzero(sk[1:] != sk[:-1]) + 1
+    starts = np.concatenate(([0], bounds)).tolist()
+    ends = np.append(bounds, n).tolist()
+    ol = order.tolist()
+    for lo, hi in zip(starts, ends):
+        yield int(sk[lo]), [values[i] for i in ol[lo:hi]]
+
+
 def _run_map_task(
     phase: _MapPhase,
     index: int,
@@ -279,7 +344,11 @@ def _run_map_task(
         )
     else:
         ctx = MapContext(
-            counters, job.num_reducers, job.partitioner, job.shuffle_codec
+            counters,
+            job.num_reducers,
+            job.partitioner,
+            job.shuffle_codec,
+            columnar=phase.columnar,
         )
     batch_mapper = job.batch_mapper
     if (
@@ -288,18 +357,31 @@ def _run_map_task(
         and job.combiner is None
         and not skips
         and not poison
-        and not isinstance(ctx, SpillingMapContext)
     ):
         nbytes = sum(entry[3] for entry in split)
         processed = len(split)
+        batch = (
+            phase.split_batches[index]
+            if phase.split_batches is not None
+            else None
+        )
         try:
-            batch_mapper(split, ctx)
+            batch_mapper(split, ctx, batch)
         except Exception as exc:  # noqa: BLE001 - wrap task failures
             raise JobError(
                 f"map task failed in job {job.name!r}: {exc}"
             ) from exc
+        if ctx.segments is not None and any(ctx.buckets):
+            raise JobError(
+                f"batch mapper of job {job.name!r} mixed emit() and "
+                f"emit_batch() in one task"
+            )
         ctx.input_records = processed
         counters.add(C.GROUP_ENGINE, C.MAP_INPUT_RECORDS, processed)
+        spill_runs = spill_base = None
+        if isinstance(ctx, SpillingMapContext):
+            spill_runs = ctx.spill_runs
+            spill_base = ctx.spill_base
         return _MapTaskResult(
             buckets=ctx.buckets,
             bucket_bytes=ctx.bucket_bytes,
@@ -313,6 +395,9 @@ def _run_map_task(
             ),
             t_start=t_start,
             t_end=time.perf_counter(),
+            spill_runs=spill_runs,
+            spill_base=spill_base,
+            segments=ctx.segments,
         )
     mapper = job.mapper
     nbytes = 0
@@ -427,11 +512,16 @@ def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
     if phase.runs is not None:
         # Budgeted shuffle: k-way merge the sorted runs — byte-identical
         # to the resident stable sort (see repro.mapreduce.spill).
-        ordered = merge_runs(phase.runs[r], phase.store, job.sort_key)
+        groups_iter = _grouped(merge_runs(phase.runs[r], phase.store, job.sort_key))
+    elif phase.seg_buckets is not None:
+        # Columnar shuffle: group contiguous key slices of the
+        # concatenated segments (numpy stable argsort, or the scalar
+        # sort when the job customises its ordering).
+        groups_iter = _segment_groups(phase.seg_buckets[r], job.sort_key)
     else:
         # Stable sort: same-key values keep map emission order.
-        ordered = _sorted_by_key(phase.buckets[r], job.sort_key)
-    for key, values in _grouped(ordered):
+        groups_iter = _grouped(_sorted_by_key(phase.buckets[r], job.sort_key))
+    for key, values in groups_iter:
         groups += 1
         rctx.input_records += len(values)
         try:
@@ -584,6 +674,16 @@ class Cluster:
         overrides the constructor value.  Both kernels produce
         byte-identical part files, canonical counters and simulated
         seconds — the kernel only changes wall-clock speed.
+    columnar_shuffle:
+        ``True`` (default): jobs with batch mappers move record *batches*
+        end to end — split inputs arrive as cached columnar
+        :class:`~repro.kernels.batch.RectBatch` slices, emissions are
+        routed vectorized into per-bucket :class:`BucketSegment` runs,
+        and reduce tasks group keys with a numpy stable argsort.
+        ``False`` keeps the batch mappers but stores row ``(key, value)``
+        pairs and sorts scalar — the PR 6 behaviour, kept as an honest
+        benchmark baseline.  Both settings produce byte-identical part
+        files, canonical counters and simulated seconds.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -599,6 +699,7 @@ class Cluster:
     resume: bool = False
     memory_budget: int | None = None
     kernel: str = "auto"
+    columnar_shuffle: bool = True
 
     @property
     def resolved_kernel(self) -> str:
@@ -689,9 +790,15 @@ class Cluster:
             else:
                 t0 = time.perf_counter()
                 with rec.span("shuffle", cat="phase", track="engine") as sp:
-                    merged, input_bytes = self._shuffle_merge(job, map_results)
+                    merged, seg_buckets, input_bytes = self._shuffle_merge(
+                        job, map_results
+                    )
                     runs, store = self._stage_spills(job, map_results, rec)
-                    if runs is None:
+                    if runs is None and seg_buckets is not None:
+                        shuffle_records = sum(
+                            len(seg) for per_r in seg_buckets for seg in per_r
+                        )
+                    elif runs is None:
                         shuffle_records = sum(len(b) for b in merged)
                     else:
                         # Resident buckets exclude the spilled slices;
@@ -709,7 +816,9 @@ class Cluster:
                 t0 = time.perf_counter()
                 with rec.span("reduce", cat="phase", track="engine") as sp:
                     if runs is None:
-                        reduce_phase = _ReducePhase(job, merged)
+                        reduce_phase = _ReducePhase(
+                            job, merged, seg_buckets=seg_buckets
+                        )
                     else:
                         # Runs carry the resident remainders too, so the
                         # merged buckets would only duplicate payload.
@@ -951,28 +1060,49 @@ class Cluster:
         """Split input files into map tasks of ``split_records`` records.
 
         Entries are ``(path, lineno, record, nbytes)``.  Reads are always
-        charged at the encoded line size via :meth:`InMemoryDFS.read_file`;
-        with an input codec the record is the decoded object — taken from
-        the DFS typed store when the upstream job wrote through a codec,
+        charged at the encoded line size — via :meth:`InMemoryDFS.read_file`,
+        or via :meth:`InMemoryDFS.charge_read` when the file's entry rows
+        are already cached as a derived artifact (typed columnar path
+        only: repeated inputs, e.g. the Cascade's base relations, then
+        skip line materialisation and tuple rebuilding entirely).  With
+        an input codec the record is the decoded object — taken from the
+        DFS typed store when the upstream job wrote through a codec,
         decoded once and cached otherwise, or re-parsed per read when
         ``typed_io`` is off (the seed codec path).
         """
         splits: list[list[tuple[str, int, Any, int]]] = []
-        current: list[tuple[str, int, Any, int]] = []
+        cache_entries = self.typed_io and self.columnar_shuffle
+        chunk = self.split_records
         for path in job.input_paths:
             codec = job.input_codec_for(path)
+            tag = f"entries:{codec.name if codec is not None else 'lines'}"
             for f in self.dfs.resolve(path):
-                lines = self.dfs.read_file(f)
-                records = self._file_records(job, f, lines, codec)
-                for lineno, line in enumerate(lines):
-                    current.append((f, lineno, records[lineno], len(line) + 1))
-                    if len(current) >= self.split_records:
-                        splits.append(current)
-                        current = []
+                entries = self.dfs.derived_get(f, tag) if cache_entries else None
+                if entries is None:
+                    lines = self.dfs.read_file(f)
+                    records = self._file_records(job, f, lines, codec)
+                    entries = list(
+                        zip(
+                            repeat(f),
+                            range(len(lines)),
+                            records,
+                            [len(line) + 1 for line in lines],
+                        )
+                    )
+                    if cache_entries:
+                        self.dfs.derived_put(f, tag, entries)
+                else:
+                    self.dfs.charge_read(f)
                 # A split never spans files, like HDFS blocks.
-                if current:
-                    splits.append(current)
-                    current = []
+                n = len(entries)
+                if not n:
+                    continue
+                if n <= chunk:
+                    splits.append(entries)
+                else:
+                    splits.extend(
+                        entries[lo : lo + chunk] for lo in range(0, n, chunk)
+                    )
         return splits
 
     def _file_records(
@@ -995,8 +1125,15 @@ class Cluster:
 
         Record decoding belongs to the map task (Hadoop's RecordReader
         runs inside it), so a malformed record fails with the same
-        located error a mapper-side parse failure used to raise.
+        located error a mapper-side parse failure used to raise.  The
+        happy path is one bulk ``decode_lines`` call; only when it
+        raises does the scalar loop re-run to locate the first bad line
+        (decoding is deterministic, so it fails on the same record).
         """
+        try:
+            return codec.decode_lines(lines)
+        except Exception:  # noqa: BLE001 - re-run scalar to locate the line
+            pass
         records = []
         for lineno, line in enumerate(lines):
             try:
@@ -1017,22 +1154,32 @@ class Cluster:
     ) -> tuple[list[_MapTaskResult], list[TaskStats], PhaseReport | None]:
         # The batch path bypasses the per-record loop, so it is only
         # safe when nothing needs per-record hooks: no fault injection
-        # or retry recovery (record skipping / poison offsets), and no
-        # memory budget (the spilling context buffers per emission).
+        # or retry recovery (record skipping / poison offsets).  A
+        # memory budget is fine — the spilling context replays batch
+        # emissions record by record, keeping spill points identical.
         recovery_active = (
             self.fault_plan is not None and not self.fault_plan.is_empty
         ) or self.retry.active
         use_batch = (
             job.batch_mapper is not None
-            and self.memory_budget is None
             and not recovery_active
             and self.resolved_kernel == "numpy"
+        )
+        split_batches = (
+            self._stage_split_batches(job, splits) if use_batch else None
         )
         results, report = run_phase_with_recovery(
             executor,
             _run_map_task,
             len(splits),
-            _MapPhase(job, splits, self.memory_budget, use_batch),
+            _MapPhase(
+                job,
+                splits,
+                self.memory_budget,
+                use_batch,
+                columnar=self.columnar_shuffle,
+                split_batches=split_batches,
+            ),
             job=job.name,
             phase="map",
             policy=self.retry,
@@ -1049,27 +1196,100 @@ class Cluster:
             ]
         return results, stats, report
 
+    def _stage_split_batches(
+        self, job: MapReduceJob, splits: list[list[tuple[str, int, Any, int]]]
+    ) -> list[RectBatch | None] | None:
+        """Pre-decode rectangle splits into columnar batch slices.
+
+        For every split whose file reads through the rectangle codec,
+        build (or fetch) the whole file's :class:`RectBatch` — cached as
+        a derived artifact, so each file version is columnarised exactly
+        once — and hand the split its zero-copy row slice.  Splits of
+        other formats get ``None`` and their batch mappers fall back to
+        building columns from the entry records.  Purely an execution
+        cache: byte accounting happened at split time and the batch
+        holds the same floats the records do.
+        """
+        if not (self.typed_io and self.columnar_shuffle):
+            return None
+        np = numpy_or_none()
+        if np is None:
+            return None
+        rect_files: set[str] = set()
+        for path in job.input_paths:
+            codec = job.input_codec_for(path)
+            if codec is not None and codec.name == "rect":
+                rect_files.update(self.dfs.resolve(path))
+        if not rect_files:
+            return None
+        batches: list[RectBatch | None] = []
+        staged = False
+        for split in splits:
+            f = split[0][0] if split else None
+            if f is None or f not in rect_files:
+                batches.append(None)
+                continue
+            whole = self.dfs.derived_get(f, "rect-batch")
+            if whole is None:
+                records = self.dfs.typed_records(f, RECT_CODEC)
+                if records is None:
+                    batches.append(None)
+                    continue
+                whole = RectBatch.from_pairs(np, records)
+                self.dfs.derived_put(f, "rect-batch", whole)
+            lo = split[0][1]  # linenos are file row indices
+            batches.append(whole.slice(lo, lo + len(split)))
+            staged = True
+        return batches if staged else None
+
     # ------------------------------------------------------------------
     # Shuffle, reduce and write stages
     # ------------------------------------------------------------------
     @staticmethod
     def _shuffle_merge(
         job: MapReduceJob, map_results: list[_MapTaskResult]
-    ) -> tuple[list[list[tuple]], list[int]]:
+    ) -> tuple[list[list[tuple]], list[list[BucketSegment]] | None, list[int]]:
         """Merge each reducer's buckets from every map task.
 
         Merged in task-id order; the reduce task sorts its own bucket.
-        Returns the merged buckets and the per-reducer input bytes.
+        Returns ``(merged, seg_buckets, input_bytes)``: when every
+        emitting task produced columnar segments, ``seg_buckets[r]``
+        carries reducer ``r``'s :class:`BucketSegment` runs (task-major,
+        emission order inside a task — the same total order the row
+        concatenation would have) and ``merged`` stays empty; any task
+        on the row path degrades the whole merge to row form, converting
+        segments back to pairs so order is preserved regardless.
         """
-        merged: list[list[tuple]] = [[] for __ in range(job.num_reducers)]
-        input_bytes = [0] * job.num_reducers
+        num_reducers = job.num_reducers
+        input_bytes = [0] * num_reducers
         for result in map_results:
-            for r, bucket in enumerate(result.buckets):
-                if bucket:
-                    merged[r].extend(bucket)
             for r, nbytes in enumerate(result.bucket_bytes):
                 input_bytes[r] += nbytes
-        return merged, input_bytes
+        any_segments = any(result.segments is not None for result in map_results)
+        merged: list[list[tuple]] = [[] for __ in range(num_reducers)]
+        if any_segments and not any(
+            any(bucket for bucket in result.buckets) for result in map_results
+        ):
+            seg_buckets: list[list[BucketSegment]] = [
+                [] for __ in range(num_reducers)
+            ]
+            for result in map_results:
+                if result.segments is None:
+                    continue
+                for r, segs in enumerate(result.segments):
+                    if segs:
+                        seg_buckets[r].extend(segs)
+            return merged, seg_buckets, input_bytes
+        for result in map_results:
+            if result.segments is not None:
+                for r, segs in enumerate(result.segments):
+                    for seg in segs:
+                        merged[r].extend(seg.pairs())
+            else:
+                for r, bucket in enumerate(result.buckets):
+                    if bucket:
+                        merged[r].extend(bucket)
+        return merged, None, input_bytes
 
     def _write_reduce_output(
         self,
@@ -1130,7 +1350,11 @@ class Cluster:
             input_bytes = 0
             for result in map_results:
                 input_bytes += result.bucket_bytes[r]
-                for __, value in result.buckets[r]:
+                if result.segments is not None:
+                    values = [v for seg in result.segments[r] for v in seg.values]
+                else:
+                    values = [v for __, v in result.buckets[r]]
+                for value in values:
                     if job.output_codec is None and not isinstance(value, str):
                         raise JobError(
                             f"map-only job {job.name!r} emitted a non-string "

@@ -34,6 +34,7 @@ from typing import Any
 
 from repro.data.io import RecordCodec
 from repro.errors import JobError
+from repro.kernels import numpy_or_none
 from repro.mapreduce.counters import C, Counters
 
 __all__ = [
@@ -42,8 +43,10 @@ __all__ = [
     "SpillingMapContext",
     "ReduceContext",
     "ShuffleCodec",
+    "BucketSegment",
     "DEFAULT_SHUFFLE_CODEC",
     "estimate_size",
+    "default_sort_key",
     "identity_partitioner",
     "hash_partitioner",
 ]
@@ -95,6 +98,17 @@ class ShuffleCodec:
 DEFAULT_SHUFFLE_CODEC = ShuffleCodec(estimate_size, estimate_size)
 
 
+def default_sort_key(key: Any) -> Any:
+    """Identity ordering of intermediate keys — the job default.
+
+    A named function (not a lambda) so the engine can *recognise* the
+    default by identity: the columnar reduce path replaces the Python
+    stable sort with a numpy stable argsort only when it can prove the
+    sort key is the key itself.
+    """
+    return key
+
+
 def identity_partitioner(key: Any, num_reducers: int) -> int:
     """Route integer keys directly: reducer ``key % num_reducers``.
 
@@ -109,6 +123,44 @@ def hash_partitioner(key: Any, num_reducers: int) -> int:
     return hash(key) % num_reducers
 
 
+class BucketSegment:
+    """One map task's emissions to one reducer bucket, stored columnar.
+
+    The columnar twin of a ``list[(key, value)]`` bucket slice: ``keys``
+    is an int64 array and ``values`` the parallel list of emitted
+    values, both in emission order.  Segments are what
+    :meth:`MapContext.emit_batch` produces and what the engine's numpy
+    shuffle merge consumes — per-reducer segments concatenated in map
+    task order, then stably argsorted by key, reproduce the scalar
+    path's ``(sort_key(key), map_task, seq)`` order exactly.
+
+    ``keys`` ships across process boundaries as raw bytes
+    (``__getstate__`` packs ``tobytes()``), which is both smaller and
+    pickle-protocol-5 friendly compared to per-pair key objects.
+    """
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys, values: list) -> None:
+        self.keys = keys
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def pairs(self) -> list[tuple[Any, Any]]:
+        """The row form: ``(key, value)`` pairs in emission order."""
+        return list(zip(self.keys.tolist(), self.values))
+
+    def __getstate__(self):
+        return (self.keys.tobytes(), self.values)
+
+    def __setstate__(self, state) -> None:
+        np = numpy_or_none()
+        raw, self.values = state
+        self.keys = np.frombuffer(raw, dtype=np.int64)
+
+
 class MapContext:
     """Per-map-task emission context."""
 
@@ -118,6 +170,7 @@ class MapContext:
         num_reducers: int,
         partitioner,
         shuffle_codec: ShuffleCodec = DEFAULT_SHUFFLE_CODEC,
+        columnar: bool = True,
     ) -> None:
         self._counters = counters
         self._num_reducers = num_reducers
@@ -125,10 +178,15 @@ class MapContext:
         # Bound once: emit() is the hottest call in a map task.
         self._key_size = shuffle_codec.key_size
         self._value_size = shuffle_codec.value_size
+        self._columnar = columnar
         self.buckets: list[list[tuple[Any, Any]]] = [[] for __ in range(num_reducers)]
         #: estimated bytes per bucket — the reduce task that merges
         #: bucket ``r`` of every map task charges these as input bytes
         self.bucket_bytes: list[int] = [0] * num_reducers
+        #: columnar buckets (one list of :class:`BucketSegment` per
+        #: reducer), created by the first :meth:`emit_batch` call; a
+        #: batch mapper must emit through exactly one of the two APIs
+        self.segments: list[list[BucketSegment]] | None = None
         self.input_records = 0
         self.output_records = 0
         self.output_bytes = 0
@@ -180,6 +238,116 @@ class MapContext:
         """Increment a user counter."""
         self._counters.add(group, name, amount)
 
+    def emit_batch(self, keys, counts, values, sizes) -> None:
+        """Bulk-emit: group ``g`` sends ``values[g]`` to every key of its
+        slice of ``keys``.
+
+        Parameters
+        ----------
+        keys:
+            Flattened integer target keys, group-major: group ``g``'s
+            targets occupy the next ``counts[g]`` entries.  An int64
+            numpy array on the columnar path (a list also works on the
+            fallback paths).
+        counts:
+            Per-group target count, parallel to ``values``.
+        values:
+            One emitted value per group.
+        sizes:
+            Per-group charged bytes of one ``(key, value)`` pair — what
+            :meth:`pair_nbytes` returns for that group.  Requires the
+            job's key sizer to be constant per key (true for every
+            integer-cell-keyed join job).
+
+        Semantically equivalent to the nested scalar loop
+        ``for g: for key in targets(g): emit(key, values[g])`` — same
+        pairs, same per-bucket order, same counter totals.  On the
+        columnar path the emissions are routed with one vectorized
+        partition + stable argsort and stored as per-bucket
+        :class:`BucketSegment` runs instead of ``(key, value)`` pairs.
+        """
+        np = numpy_or_none()
+        num_reducers = self._num_reducers
+        if np is None or not self._columnar:
+            # Row fallback (``columnar_shuffle=False`` baseline): the
+            # same direct bucket appends a hand-written batch mapper
+            # would do, settled with one bulk accounting call.
+            buckets = self.buckets
+            bucket_bytes = self.bucket_bytes
+            partitioner = self._partitioner
+            identity = partitioner is identity_partitioner
+            if np is not None and not isinstance(keys, list):
+                keys = keys.tolist()
+            total = 0
+            tbytes = 0
+            pos = 0
+            for g, value in enumerate(values):
+                cnt = counts[g]
+                nb = sizes[g]
+                for key in keys[pos : pos + cnt]:
+                    r = key % num_reducers if identity else partitioner(
+                        key, num_reducers
+                    )
+                    if not 0 <= r < num_reducers:
+                        raise JobError(
+                            f"partitioner routed key {key!r} to invalid "
+                            f"reducer {r}"
+                        )
+                    buckets[r].append((key, value))
+                    bucket_bytes[r] += nb
+                pos += cnt
+                total += cnt
+                tbytes += cnt * nb
+            self.account_emissions(total, tbytes)
+            return
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if self._partitioner is identity_partitioner:
+            routed = keys % num_reducers  # non-negative, like Python's %
+        else:
+            routed = np.fromiter(
+                (self._partitioner(int(k), num_reducers) for k in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+            bad = (routed < 0) | (routed >= num_reducers)
+            if bad.any():
+                k = int(keys[int(np.flatnonzero(bad)[0])])
+                raise JobError(
+                    f"partitioner routed key {k!r} to invalid reducer "
+                    f"{self._partitioner(k, num_reducers)}"
+                )
+        # Group index and per-pair size of every flattened emission.
+        group_of = np.repeat(np.arange(len(values), dtype=np.int64), counts)
+        pair_sizes = np.repeat(np.asarray(sizes, dtype=np.int64), counts)
+        # Stable sort by reducer: within one bucket the emissions stay
+        # in flattened (group, target) order — the scalar emission order.
+        order = np.argsort(routed, kind="stable")
+        sorted_keys = keys[order]
+        sorted_buckets = routed[order]
+        sorted_groups = group_of[order]
+        sorted_sizes = pair_sizes[order]
+        if self.segments is None:
+            self.segments = [[] for __ in range(num_reducers)]
+        segments = self.segments
+        bucket_bytes = self.bucket_bytes
+        n = len(sorted_buckets)
+        if n:
+            bounds = np.flatnonzero(sorted_buckets[1:] != sorted_buckets[:-1]) + 1
+            starts = np.concatenate(([0], bounds))
+            seg_bytes = np.add.reduceat(sorted_sizes, starts)
+            ends = np.append(bounds, n)
+            for i, (lo, hi) in enumerate(zip(starts.tolist(), ends.tolist())):
+                r = int(sorted_buckets[lo])
+                members = sorted_groups[lo:hi].tolist()
+                segments[r].append(
+                    BucketSegment(
+                        sorted_keys[lo:hi], [values[g] for g in members]
+                    )
+                )
+                bucket_bytes[r] += int(seg_bytes[i])
+        self.account_emissions(n, int(pair_sizes.sum()))
+
 
 class SpillingMapContext(MapContext):
     """A :class:`MapContext` with a per-task memory budget.
@@ -225,6 +393,25 @@ class SpillingMapContext(MapContext):
         super().emit(key, value)
         if self.output_bytes - self._flushed_bytes > self._budget:
             self._spill()
+
+    def emit_batch(self, keys, counts, values, sizes) -> None:
+        """Batch emission under a budget: replay the scalar sequence.
+
+        Spill points are a pure function of the emission sequence, so a
+        budgeted task must observe every emission individually — the
+        batch collapses to the equivalent :meth:`emit` loop (identical
+        spill files, ``SPILL*`` counters and byte accounting), while the
+        *mapper* still gets to compute its routing columnarly.
+        """
+        if not isinstance(keys, list):
+            keys = keys.tolist()
+        emit = self.emit
+        pos = 0
+        for g, value in enumerate(values):
+            cnt = counts[g]
+            for key in keys[pos : pos + cnt]:
+                emit(key, value)
+            pos += cnt
 
     def _spill(self) -> None:
         from repro.mapreduce.spill import encode_spill_record, sort_run
@@ -298,6 +485,19 @@ class ReduceContext:
         self.output_lines.append(record)
         self._counters.add(C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS)
 
+    def emit_all(self, records) -> None:
+        """Bulk :meth:`emit`: append ``records`` in order, count once.
+
+        Counters are additive, so one bulk add equals the per-record
+        increments; output order is the extend order.
+        """
+        lines = self.output_lines
+        before = len(lines)
+        lines.extend(records)
+        self._counters.add(
+            C.GROUP_ENGINE, C.REDUCE_OUTPUT_RECORDS, len(lines) - before
+        )
+
     def add_compute(self, ops: int) -> None:
         """Report CPU work (e.g. join comparisons) to the cost model."""
         self.compute_ops += ops
@@ -350,13 +550,19 @@ class MapReduceJob:
         Byte sizing of intermediate pairs; see :class:`ShuffleCodec`.
     batch_mapper:
         Optional columnar twin of ``mapper``: called once per map split
-        as ``batch_mapper(split, ctx)`` with the full list of
-        ``(path, lineno, record, nbytes)`` entries.  Must produce the
-        exact emissions (same pairs, same per-bucket order) and counter
-        totals as running ``mapper`` over the split record by record.
+        as ``batch_mapper(split, ctx, batch)`` with the full list of
+        ``(path, lineno, record, nbytes)`` entries and, when the split
+        reads a rectangle-codec file, the split's cached
+        :class:`~repro.kernels.batch.RectBatch` (``None`` otherwise).
+        Must produce the exact emissions (same pairs, same per-bucket
+        order) and counter totals as running ``mapper`` over the split
+        record by record — emitting through
+        :meth:`MapContext.emit_batch` guarantees this by construction.
         The engine only uses it when the resolved kernel is ``numpy``
-        and no per-record machinery (fault injection, retry recovery,
-        memory budget) is active; the scalar ``mapper`` remains the
+        and neither fault injection nor retry recovery is active (their
+        skipping/poison hooks are per-record); under a ``memory_budget``
+        it runs with batch emissions replayed record by record so spill
+        points are unchanged.  The scalar ``mapper`` remains the
         reference implementation and must always be provided.
     """
 
@@ -367,7 +573,7 @@ class MapReduceJob:
     reducer: Reducer | None
     num_reducers: int
     partitioner: Callable[[Any, int], int] = identity_partitioner
-    sort_key: Callable[[Any], Any] = field(default=lambda k: k)
+    sort_key: Callable[[Any], Any] = field(default=default_sort_key)
     combiner: Callable[[Any, list], list] | None = None
     input_codec: RecordCodec | Mapping[str, RecordCodec] | None = None
     output_codec: RecordCodec | None = None

@@ -44,6 +44,9 @@ class LocalFSDFS:
         #: in-memory typed shadow of codec-written/decoded files:
         #: path -> (codec name, records)
         self._records: dict[str, tuple[str, list[Any]]] = {}
+        #: process-local derived artifacts per file version (split-entry
+        #: rows, columnar rect batches); dropped with ``_records``
+        self._derived: dict[str, dict[str, Any]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -81,13 +84,14 @@ class LocalFSDFS:
                 fh.write("\n")
                 nbytes += len(line) + 1
         self._records.pop(self._normalized(path), None)
+        self._derived.pop(self._normalized(path), None)
         self.bytes_written += nbytes
         return nbytes
 
     def write_records(self, path: str, records: Sequence[Any], codec) -> int:
         """Create (or replace) a file from typed records — encode once."""
         records = list(records)
-        nbytes = self.write_file(path, [codec.encode(r) for r in records])
+        nbytes = self.write_file(path, codec.encode_lines(records))
         self._records[self._normalized(path)] = (codec.name, records)
         return nbytes
 
@@ -103,6 +107,29 @@ class LocalFSDFS:
         if not self._resolve_path(path).is_file():
             raise DFSError(f"no such file: {path!r}")
         self._records[self._normalized(path)] = (codec.name, list(records))
+
+    def derived_get(self, path: str, tag: str) -> Any | None:
+        """A derived artifact of the current version of ``path``.
+
+        See :meth:`repro.mapreduce.dfs.InMemoryDFS.derived_get`; like
+        the typed-record cache this shadow is process-local, so a fresh
+        process simply rebuilds.
+        """
+        cached = self._derived.get(self._normalized(path))
+        return None if cached is None else cached.get(tag)
+
+    def derived_put(self, path: str, tag: str, value: Any) -> None:
+        """Attach a derived artifact to the current version of ``path``."""
+        if not self._resolve_path(path).is_file():
+            raise DFSError(f"no such file: {path!r}")
+        self._derived.setdefault(self._normalized(path), {})[tag] = value
+
+    def charge_read(self, path: str) -> None:
+        """Account one full read of ``path`` without touching the disk.
+
+        See :meth:`repro.mapreduce.dfs.InMemoryDFS.charge_read`.
+        """
+        self.bytes_read += self.file_size(path)
 
     def write_side_file(self, path: str, lines: Iterable[str]) -> int:
         """Create (or replace) a task side file — durable but unaccounted.
@@ -124,6 +151,7 @@ class LocalFSDFS:
                 fh.write("\n")
                 nbytes += len(line) + 1
         self._records.pop(self._normalized(path), None)
+        self._derived.pop(self._normalized(path), None)
         return nbytes
 
     def read_side_file(self, path: str) -> list[str]:
@@ -226,10 +254,12 @@ class LocalFSDFS:
         if target.is_file():
             target.unlink()
             self._records.pop(self._normalized(path), None)
+            self._derived.pop(self._normalized(path), None)
             return 1
         doomed = self.list_dir(path)
         for f in doomed:
             self._records.pop(f, None)
+            self._derived.pop(f, None)
         if target.is_dir():
             shutil.rmtree(target)
         return len(doomed)

@@ -113,6 +113,14 @@ class Query:
             "_dataset_by_slot",
             {s: self.datasets.get(s, s) for s in seen},
         )
+        by_dataset: dict[str, list[str]] = {}
+        for s in seen:
+            by_dataset.setdefault(self._dataset_by_slot[s], []).append(s)
+        object.__setattr__(
+            self,
+            "_slots_by_dataset",
+            {d: tuple(ss) for d, ss in by_dataset.items()},
+        )
         self._validate()
 
     # ------------------------------------------------------------------
@@ -211,7 +219,7 @@ class Query:
 
     def slots_of_dataset(self, dataset: str) -> tuple[str, ...]:
         """All slots reading the given dataset (more than one for self-joins)."""
-        return tuple(s for s in self.slots if self.dataset_of(s) == dataset)
+        return self._slots_by_dataset.get(dataset, ())
 
     def triples_touching(self, slot: str) -> tuple[Triple, ...]:
         """All conditions with ``slot`` as an endpoint."""

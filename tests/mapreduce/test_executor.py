@@ -255,3 +255,108 @@ class TestPhaseSessions:
             session.submit(1)
             assert session.next_done(timeout=0.05) is None
         assert time.monotonic() - started < 10.0
+
+
+# Module-level twins of Rect/TaggedRect *without* the compact
+# ``__getstate__`` forms: the baseline the packing regression test
+# compares against (module level so worker pickling can import them).
+import dataclasses as _dataclasses
+
+
+@_dataclasses.dataclass(frozen=True, slots=True)
+class _PlainRect:
+    x: float
+    y: float
+    l: float
+    b: float
+
+
+@_dataclasses.dataclass(frozen=True, slots=True)
+class _PlainTagged:
+    dataset: str
+    rid: int
+    rect: _PlainRect
+    marked: bool
+
+
+class TestTaskResultPacking:
+    """Protocol-5 IPC packing: smaller payloads, identical results."""
+
+    @staticmethod
+    def _segments(rect_cls, tagged_cls):
+        """A result shaped like a real map task's: segments of tagged rects."""
+        np = pytest.importorskip("numpy")
+        from repro.mapreduce.job import BucketSegment
+
+        segments = []
+        for seg in range(4):
+            keys = np.arange(seg * 100, seg * 100 + 100, dtype=np.int64)
+            values = [
+                tagged_cls(
+                    dataset=f"R{seg % 3 + 1}",
+                    rid=seg * 100 + i,
+                    rect=rect_cls(float(i), float(i + 1), 0.5, 0.25),
+                    marked=bool(i % 2),
+                )
+                for i in range(100)
+            ]
+            segments.append(BucketSegment(keys, values))
+        return {"segments": segments, "counters": {"MAP_OUTPUT_RECORDS": 400}}
+
+    def test_roundtrip_preserves_result(self):
+        from repro.data.io import TaggedRect
+        from repro.geometry.rectangle import Rect
+        from repro.mapreduce.executor import pack_task_result, unpack_task_result
+
+        result = self._segments(Rect, TaggedRect)
+        restored = unpack_task_result(pack_task_result(result))
+        assert restored["counters"] == result["counters"]
+        for orig, back in zip(result["segments"], restored["segments"]):
+            assert back.keys.tolist() == orig.keys.tolist()
+            assert back.values == orig.values
+
+    def test_compact_state_shrinks_task_payload(self):
+        """The compact ``__getstate__`` forms must keep the task payload
+        no bigger than the pre-PR wire format.  Two guards: (1) the
+        memoised ``_csv`` codec cache never ships — packing a result whose
+        rectangles have all been encoded yields byte-for-byte the same
+        payload size as packing fresh ones; (2) the 4-tuple state still
+        undercuts the default dataclass state (``_PlainRect``/
+        ``_PlainTagged`` reconstruct it for the same logical payload)."""
+        from repro.data.io import TaggedRect, encode_tagged
+        from repro.geometry.rectangle import Rect
+        from repro.mapreduce.executor import pack_task_result
+
+        def total(packed):
+            data, buffers = packed
+            return len(data) + sum(len(b) for b in buffers)
+
+        result = self._segments(Rect, TaggedRect)
+        fresh = total(pack_task_result(result))
+        for segment in result["segments"]:
+            for tagged in segment.values:
+                encode_tagged(tagged)  # populates tagged.rect._csv
+        cached = total(pack_task_result(result))
+        assert cached == fresh
+        plain = total(pack_task_result(self._segments(_PlainRect, _PlainTagged)))
+        assert fresh < plain
+
+    def test_packed_no_larger_than_pool_default(self):
+        """data + out-of-band buffers never exceed what the pool's
+        default ForkingPickler protocol would have shipped in one blob."""
+        from multiprocessing.reduction import ForkingPickler
+
+        from repro.data.io import TaggedRect
+        from repro.geometry.rectangle import Rect
+        from repro.mapreduce.executor import pack_task_result
+
+        result = self._segments(Rect, TaggedRect)
+        data, buffers = pack_task_result(result)
+        packed_bytes = len(data) + sum(len(b) for b in buffers)
+        default_bytes = len(bytes(ForkingPickler.dumps(result)))
+        assert packed_bytes <= default_bytes
+
+    def test_process_executor_ships_packed_results(self):
+        ex = ProcessExecutor(num_workers=2)
+        results = ex.run_phase(square_worker, 4, {"base": 3})
+        assert results == [3, 4, 7, 12]
