@@ -1,19 +1,24 @@
-"""PR 3 observability overhead: the NullRecorder must be free.
+"""Observability overhead: disabled instrumentation must be free.
 
 The engine is instrumented unconditionally — every job opens a handful
-of spans, stamps per-task ``perf_counter`` pairs and sets span args.
-With the default :class:`~repro.obs.trace.NullRecorder` all of that
-reduces to no-op calls on shared singletons; the acceptance criterion is
-that this costs **< 2%** of a Table-2-sized Controlled-Replicate run.
+of spans, stamps per-task ``perf_counter`` pairs, sets span args, and
+(since the deep-observability PR) guards ledger journal sites and
+per-task profiler hooks.  With the defaults — the
+:class:`~repro.obs.trace.NullRecorder`, the
+:class:`~repro.obs.ledger.NullLedger` and no profiler — all of that
+reduces to no-op calls or falsy checks; the acceptance criterion is
+that each plane costs **< 2%** of a Table-2-sized Controlled-Replicate
+run.
 
-Two measurements land in ``BENCH_obs.json``:
+The measurements land in ``BENCH_obs.json``:
 
-* **Null instrumentation microbenchmark** — the per-call cost of one
-  full null span cycle (``span()`` + ``__enter__`` + two ``set`` +
-  ``__exit__``), multiplied by a generous estimate of the engine's
-  call count per run and divided by the measured run wall.  That bound
-  is asserted against the 2% criterion: the microbenchmark is stable
-  where an A/B of two multi-second runs on a shared CI runner is not.
+* **Null instrumentation microbenchmarks** — the per-call cost of one
+  disabled touch (a full null span cycle; a ``NullLedger`` enabled
+  check plus no-op ``event``; a falsy profile-flag check), multiplied
+  by a generous estimate of the engine's call count per run and
+  divided by the measured run wall.  Those bounds are asserted against
+  the 2% criterion: microbenchmarks are stable where an A/B of two
+  multi-second runs on a shared CI runner is not.
 * **Traced vs untraced A/B** — the same join with a live
   :class:`~repro.obs.trace.TraceRecorder`, recorded (not gated) so the
   cost of *actual* tracing stays visible over time.
@@ -27,6 +32,7 @@ from repro.experiments.common import derive_grid
 from repro.experiments.workloads import synthetic_chain
 from repro.joins.registry import make_algorithm
 from repro.mapreduce.engine import Cluster
+from repro.obs.ledger import NullLedger
 from repro.obs.trace import NullRecorder, TraceRecorder
 from repro.query.predicates import Overlap
 from repro.query.query import Query
@@ -91,6 +97,105 @@ def test_null_recorder_overhead_under_two_percent(benchmark):
     benchmark.extra_info["workload"] = f"table2-row1 nI={TABLE2_N}"
     benchmark.extra_info["null_cycle_ns"] = round(per_cycle_s * 1e9, 1)
     benchmark.extra_info["jobs"] = num_jobs
+    benchmark.extra_info["tasks"] = num_tasks
+    benchmark.extra_info["estimated_overhead_fraction"] = round(fraction, 6)
+
+    assert fraction < MAX_OVERHEAD_FRACTION
+
+
+def _null_ledger_cycle_seconds() -> float:
+    """Best-of-3 cost of one disabled-ledger touch.
+
+    Priced as the *worst* site: an ``enabled`` check followed by a
+    no-op ``event`` call with keyword payload.  Most engine sites are
+    just the check (they skip the call when disabled), so this is an
+    overestimate per touch.
+    """
+    led = NullLedger()
+    best = float("inf")
+    for __ in range(3):
+        started = time.perf_counter()
+        for __ in range(NULL_CYCLES):
+            if led.enabled:
+                pass
+            led.event("task_attempt", phase="map", task=0, attempt=0,
+                      outcome="ok", charged=False, duration_s=0.0)
+        best = min(best, time.perf_counter() - started)
+    return best / NULL_CYCLES
+
+
+def _disabled_profile_cycle_seconds() -> float:
+    """Best-of-3 cost of one disabled-profiler touch (falsy flag check)."""
+
+    class _Phase:
+        profile = False
+
+    phase = _Phase()
+    profiler = None
+    best = float("inf")
+    for __ in range(3):
+        started = time.perf_counter()
+        for __ in range(NULL_CYCLES):
+            if phase.profile:
+                pass
+            if profiler is not None:
+                pass
+        best = min(best, time.perf_counter() - started)
+    return best / NULL_CYCLES
+
+
+def test_disabled_ledger_overhead_under_two_percent(benchmark):
+    workload = synthetic_chain(
+        TABLE2_N, TABLE2_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+    per_cycle_s = _null_ledger_cycle_seconds()
+
+    wall, result = benchmark.pedantic(
+        lambda: _run_crep(workload), rounds=1, iterations=1
+    )
+    num_jobs = len(result.workflow.job_results)
+    num_tasks = sum(
+        len(r.map_tasks) + len(r.reduce_tasks)
+        for r in result.workflow.job_results
+    )
+    # Journal sites: manifest + job brackets + checkpoint guards per
+    # job, one attempt record and one spill guard per task — each
+    # priced as a full event call even though the disabled path is a
+    # single attribute check at most sites.
+    est_overhead_s = (num_jobs * 10 + num_tasks * 2) * per_cycle_s
+    fraction = est_overhead_s / wall
+
+    benchmark.extra_info["workload"] = f"table2-row1 nI={TABLE2_N}"
+    benchmark.extra_info["null_ledger_cycle_ns"] = round(per_cycle_s * 1e9, 1)
+    benchmark.extra_info["jobs"] = num_jobs
+    benchmark.extra_info["tasks"] = num_tasks
+    benchmark.extra_info["estimated_overhead_fraction"] = round(fraction, 6)
+
+    assert fraction < MAX_OVERHEAD_FRACTION
+
+
+def test_disabled_profiler_overhead_under_two_percent(benchmark):
+    workload = synthetic_chain(
+        TABLE2_N, TABLE2_SIDE, names=("R1", "R2", "R3"), seed=11
+    )
+    per_cycle_s = _disabled_profile_cycle_seconds()
+
+    wall, result = benchmark.pedantic(
+        lambda: _run_crep(workload), rounds=1, iterations=1
+    )
+    num_tasks = sum(
+        len(r.map_tasks) + len(r.reduce_tasks)
+        for r in result.workflow.job_results
+    )
+    # One phase.profile check per task body plus the cluster-level
+    # `profiler is not None` checks — price every task at four touches.
+    est_overhead_s = num_tasks * 4 * per_cycle_s
+    fraction = est_overhead_s / wall
+
+    benchmark.extra_info["workload"] = f"table2-row1 nI={TABLE2_N}"
+    benchmark.extra_info["disabled_profile_cycle_ns"] = round(
+        per_cycle_s * 1e9, 1
+    )
     benchmark.extra_info["tasks"] = num_tasks
     benchmark.extra_info["estimated_overhead_fraction"] = round(fraction, 6)
 

@@ -97,6 +97,30 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_executor_args(p_join)
     _add_obs_args(p_join)
     _add_fault_args(p_join)
+
+    p_hist = sub.add_parser(
+        "bench-history",
+        help="trend table over recorded BENCH_*.json files + regression gate",
+    )
+    p_hist.add_argument(
+        "files",
+        nargs="*",
+        default=None,
+        metavar="BENCH.json",
+        help=(
+            "pytest-benchmark JSON files, any order (default: "
+            "BENCH_*.json in the current directory)"
+        ),
+    )
+    p_hist.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help=(
+            "mean-time regression gate between the two newest files "
+            "(default 0.10 = 10%%)"
+        ),
+    )
     return parser
 
 
@@ -135,6 +159,34 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
         "--verbose",
         action="store_true",
         help="print the per-job skew/phase dashboard after each run",
+    )
+    p.add_argument(
+        "--ledger",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "journal typed run events (manifest, job brackets, task "
+            "attempts, spills, speculation, checkpoints) to this JSONL file"
+        ),
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile every map/reduce task body and print merged "
+            "per-phase hotspot tables after the run"
+        ),
+    )
+    p.add_argument(
+        "--flamegraph",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "write collapsed-stack profile lines (flamegraph.pl / "
+            "speedscope input; implies --profile)"
+        ),
     )
 
 
@@ -273,6 +325,59 @@ def _make_recorder(args: argparse.Namespace):
     return None
 
 
+def _make_ledger(args: argparse.Namespace):
+    """A live run ledger when ``--ledger`` asked for one, else ``None``."""
+    if getattr(args, "ledger", None):
+        from repro.obs import JsonlSink, RunLedger
+
+        return RunLedger(JsonlSink(args.ledger))
+    return None
+
+
+def _make_profiler(args: argparse.Namespace):
+    """A task profiler when ``--profile``/``--flamegraph`` asked for one."""
+    if getattr(args, "profile", False) or getattr(args, "flamegraph", None):
+        from repro.obs import TaskProfiler
+
+        return TaskProfiler()
+    return None
+
+
+def _cli_manifest(args: argparse.Namespace, ledger) -> None:
+    """Stamp the run manifest with the CLI-level configuration."""
+    if ledger is None:
+        return
+    ledger.manifest(
+        command=args.command,
+        executor=args.executor,
+        num_workers=args.workers,
+        kernel=args.kernel,
+        **{
+            key: getattr(args, key)
+            for key in ("algorithm", "n", "space", "seed", "scale")
+            if hasattr(args, key)
+        },
+    )
+
+
+def _finish_deep_obs(args: argparse.Namespace, ledger, profiler) -> None:
+    """Close the ledger and print/write the profile artifacts."""
+    if ledger is not None:
+        ledger.close()
+        print(f"wrote ledger {args.ledger}")
+    if profiler is not None:
+        from repro.obs import render_profile_dashboard, write_flamegraph
+
+        if getattr(args, "flamegraph", None):
+            write_flamegraph(args.flamegraph, profiler)
+            print(
+                f"wrote flamegraph {args.flamegraph} "
+                "(collapsed stacks; feed to flamegraph.pl or speedscope)"
+            )
+        if getattr(args, "profile", False):
+            print(render_profile_dashboard(profiler))
+
+
 def _finish_obs(args: argparse.Namespace, recorder, results=None) -> None:
     """Write the trace/metrics files the obs flags requested."""
     if recorder is not None:
@@ -290,6 +395,9 @@ def _finish_obs(args: argparse.Namespace, recorder, results=None) -> None:
 def _run_tables(names: list[str], args: argparse.Namespace) -> str:
     sections = []
     recorder = _make_recorder(args)
+    ledger = _make_ledger(args)
+    profiler = _make_profiler(args)
+    _cli_manifest(args, ledger)
     results = {}
     for name in names:
         started = time.perf_counter()
@@ -301,6 +409,8 @@ def _run_tables(names: list[str], args: argparse.Namespace) -> str:
             kernel=args.kernel,
             recorder=recorder,
             verbose=args.verbose,
+            ledger=ledger,
+            profiler=profiler,
         )
         elapsed = time.perf_counter() - started
         results[name] = result
@@ -308,6 +418,7 @@ def _run_tables(names: list[str], args: argparse.Namespace) -> str:
         sections.append(f"  [generated in {elapsed:.1f}s wall]")
         sections.append("")
     _finish_obs(args, recorder, results)
+    _finish_deep_obs(args, ledger, profiler)
     return "\n".join(sections)
 
 
@@ -321,6 +432,20 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "bench-history":
+        import glob
+
+        from repro.obs.bench_history import load_series, render_history
+
+        paths = args.files or sorted(glob.glob("BENCH_*.json"))
+        if not paths:
+            print("bench-history: no BENCH_*.json files found", file=sys.stderr)
+            return 2
+        series = load_series(paths)
+        table, regressions = render_history(series, threshold=args.threshold)
+        print(table)
+        return 1 if regressions else 0
 
     if args.command == "join":
         if args.query:
@@ -357,6 +482,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             d_max = max_diagonal(datasets)
         grid = derive_grid(datasets, args.grid_cells)
         recorder = _make_recorder(args)
+        ledger = _make_ledger(args)
+        profiler = _make_profiler(args)
+        _cli_manifest(args, ledger)
         sink: dict = {}
         from repro.errors import JobError
         from repro.mapreduce.faults import FaultPlan, RetryPolicy
@@ -395,6 +523,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             checkpoint_dir="checkpoints" if args.dfs_root else None,
             resume=args.resume,
             memory_budget=args.memory_budget,
+            ledger=ledger,
+            profiler=profiler,
         )
         m = metrics[args.algorithm]
         print(f"query: {query}")
@@ -457,6 +587,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 ),
             )
             print(f"wrote metrics {args.metrics}")
+        _finish_deep_obs(args, ledger, profiler)
         return 0
 
     if args.command == "explain":

@@ -183,6 +183,8 @@ def execute_sweep(
     kernel: str = "auto",
     recorder: NullRecorder | None = None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Run one table: a sequence of (label, query, workload, algorithms).
 
@@ -191,8 +193,10 @@ def execute_sweep(
     workload's paper-equivalent size.  ``executor``/``num_workers``/
     ``kernel`` pick the cluster's task back-end and compute kernel
     (results are identical for all).  ``recorder`` traces every row into
-    one timeline and ``verbose`` prints the per-row skew dashboards as
-    the sweep runs.
+    one timeline, ``ledger``/``profiler`` journal and profile every
+    row's clusters (see :mod:`repro.obs.ledger` /
+    :mod:`repro.obs.profile`), and ``verbose`` prints the per-row skew
+    dashboards as the sweep runs.
     """
     result = ExperimentResult(
         table=table,
@@ -217,6 +221,8 @@ def execute_sweep(
             kernel=kernel,
             recorder=recorder,
             verbose=verbose,
+            ledger=ledger,
+            profiler=profiler,
         )
         result.rows.append(
             ExperimentRow(
@@ -259,6 +265,8 @@ def run_algorithms(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     memory_budget: int | None = None,
+    ledger=None,
+    profiler=None,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
     """Run each named algorithm on a fresh cluster over the same workload.
 
@@ -270,10 +278,14 @@ def run_algorithms(
     the kernel each run actually resolved to is recorded on its
     :class:`AlgoMetrics`.
     ``recorder`` (a live :class:`~repro.obs.trace.TraceRecorder`) traces
-    every algorithm's jobs into one timeline; ``verbose`` prints the
-    per-job skew dashboard after each algorithm; ``sink`` receives each
-    algorithm's full :class:`~repro.joins.base.JoinResult` keyed by name
-    (for metrics export).
+    every algorithm's jobs into one timeline; ``ledger`` (a live
+    :class:`~repro.obs.ledger.RunLedger`) journals every algorithm's
+    clusters into one event stream and ``profiler`` (a
+    :class:`~repro.obs.profile.TaskProfiler`) merges their per-task
+    cProfile stats; ``verbose`` prints the per-job skew dashboard after
+    each algorithm; ``sink`` receives each algorithm's full
+    :class:`~repro.joins.base.JoinResult` keyed by name (for metrics
+    export).
 
     The fault-tolerance knobs pass straight to the cluster: ``retry`` (a
     :class:`~repro.mapreduce.faults.RetryPolicy`), ``fault_plan``,
@@ -297,6 +309,10 @@ def run_algorithms(
         cluster_kwargs = {} if dfs is None else {"dfs": dfs}
         if retry is not None:
             cluster_kwargs["retry"] = retry
+        if ledger is not None:
+            cluster_kwargs["ledger"] = ledger
+        if profiler is not None:
+            cluster_kwargs["profiler"] = profiler
         cluster = Cluster(
             cost_model=cost_model or CostModel(),
             executor=executor,

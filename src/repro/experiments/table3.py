@@ -56,6 +56,8 @@ def run(
     kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Regenerate Table 3 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Overlap())
@@ -93,4 +95,6 @@ def run(
         kernel=kernel,
         recorder=recorder,
         verbose=verbose,
+        ledger=ledger,
+        profiler=profiler,
     )

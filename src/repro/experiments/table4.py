@@ -54,6 +54,8 @@ def run(
     kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Regenerate Table 4 at the given workload scale."""
     query = Query.self_chain("roads", 3, Overlap())
@@ -81,4 +83,6 @@ def run(
         kernel=kernel,
         recorder=recorder,
         verbose=verbose,
+        ledger=ledger,
+        profiler=profiler,
     )

@@ -52,6 +52,8 @@ def run(
     kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Regenerate Table 5 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], Range(D))
@@ -81,4 +83,6 @@ def run(
         kernel=kernel,
         recorder=recorder,
         verbose=verbose,
+        ledger=ledger,
+        profiler=profiler,
     )

@@ -49,6 +49,8 @@ def run(
     kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Regenerate Table 8 at the given workload scale."""
     query = Query.chain(["R1", "R2", "R3"], [Overlap(), Range(D)])
@@ -78,4 +80,6 @@ def run(
         kernel=kernel,
         recorder=recorder,
         verbose=verbose,
+        ledger=ledger,
+        profiler=profiler,
     )

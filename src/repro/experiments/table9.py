@@ -49,6 +49,8 @@ def run(
     kernel: str = "auto",
     recorder=None,
     verbose: bool = False,
+    ledger=None,
+    profiler=None,
 ) -> ExperimentResult:
     """Regenerate Table 9 at the given workload scale."""
     entries = []
@@ -79,4 +81,6 @@ def run(
         kernel=kernel,
         recorder=recorder,
         verbose=verbose,
+        ledger=ledger,
+        profiler=profiler,
     )

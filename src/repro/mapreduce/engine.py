@@ -74,6 +74,8 @@ from repro.mapreduce.job import (
     default_sort_key,
 )
 from repro.mapreduce.spill import SpillRun, SpillStore, merge_runs, spill_dir
+from repro.obs.ledger import NullLedger
+from repro.obs.profile import TaskProfiler, run_profiled
 from repro.obs.trace import NullRecorder
 
 __all__ = ["Cluster", "JobResult", "PhaseTimings"]
@@ -171,6 +173,8 @@ class _MapPhase:
     ``emit_batch`` (the cluster's ``columnar_shuffle`` switch);
     ``split_batches`` optionally carries one pre-decoded
     :class:`~repro.kernels.batch.RectBatch` slice per split.
+    ``profile`` wraps the task body in cProfile (the cluster's
+    profiler); the stats dict rides back in the result.
     """
 
     job: MapReduceJob
@@ -179,6 +183,7 @@ class _MapPhase:
     use_batch: bool = False
     columnar: bool = True
     split_batches: list[RectBatch | None] | None = None
+    profile: bool = False
 
 
 @dataclass
@@ -207,6 +212,9 @@ class _MapTaskResult:
     #: tasks that emitted through ``emit_batch`` — ``buckets`` is then
     #: all-empty and the shuffle merges segments instead of pairs
     segments: list[list[BucketSegment]] | None = None
+    #: raw cProfile stats of the task body (profiled runs only);
+    #: a plain dict, so it pickles across the process executor
+    profile: dict | None = None
 
 
 @dataclass
@@ -228,6 +236,7 @@ class _ReducePhase:
     runs: list[list[SpillRun]] | None = None
     store: SpillStore | None = None
     seg_buckets: list[list[BucketSegment]] | None = None
+    profile: bool = False
 
 
 @dataclass
@@ -245,6 +254,8 @@ class _ReduceTaskResult:
     counters: Counters
     t_start: float = 0.0
     t_end: float = 0.0
+    #: raw cProfile stats of the task body (profiled runs only)
+    profile: dict | None = None
 
 
 def _sorted_by_key(
@@ -311,6 +322,25 @@ def _segment_groups(segs: list[BucketSegment], sort_key):
 
 
 def _run_map_task(
+    phase: _MapPhase,
+    index: int,
+    skips: tuple[int, ...] = (),
+    poison: tuple[int, ...] = (),
+) -> _MapTaskResult:
+    """Dispatch one map task, optionally under the per-task profiler.
+
+    The cProfile wrapper lives here — outside the body — so the
+    unprofiled path is a single attribute check and the profiled stats
+    cover exactly the task body on every executor back-end.
+    """
+    if not phase.profile:
+        return _map_task_body(phase, index, skips, poison)
+    result, stats = run_profiled(_map_task_body, phase, index, skips, poison)
+    result.profile = stats
+    return result
+
+
+def _map_task_body(
     phase: _MapPhase,
     index: int,
     skips: tuple[int, ...] = (),
@@ -502,6 +532,15 @@ def _apply_combiner(job: MapReduceJob, ctx: MapContext, counters: Counters) -> N
 
 
 def _run_reduce_task(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
+    """Dispatch one reduce task, optionally under the per-task profiler."""
+    if not phase.profile:
+        return _reduce_task_body(phase, r)
+    result, stats = run_profiled(_reduce_task_body, phase, r)
+    result.profile = stats
+    return result
+
+
+def _reduce_task_body(phase: _ReducePhase, r: int) -> _ReduceTaskResult:
     """One self-contained reduce task: merged bucket in, lines out."""
     t_start = time.perf_counter()
     job = phase.job
@@ -555,7 +594,9 @@ class _WriteRecovery:
     the part burned ``max_attempts`` failures.
     """
 
-    __slots__ = ("_job", "_plan", "_policy", "_rec", "failures", "backoff_s")
+    __slots__ = (
+        "_job", "_plan", "_policy", "_rec", "_led", "failures", "backoff_s"
+    )
 
     def __init__(
         self,
@@ -563,11 +604,13 @@ class _WriteRecovery:
         plan: FaultPlan | None,
         policy: RetryPolicy,
         recorder: NullRecorder,
+        ledger: NullLedger | None = None,
     ) -> None:
         self._job = job_name
         self._plan = plan
         self._policy = policy
         self._rec = recorder
+        self._led = ledger if ledger is not None else NullLedger()
         self.failures = 0
         self.backoff_s = 0.0
 
@@ -580,6 +623,16 @@ class _WriteRecovery:
             for spec in self._plan.matching(self._job, "write", r, attempt)
         ):
             self.failures += 1
+            if self._led.enabled:
+                self._led.event(
+                    "task_attempt",
+                    phase="write",
+                    task=r,
+                    attempt=attempt,
+                    outcome="failed",
+                    charged=True,
+                    error=f"injected DFS write failure: {part_path}",
+                )
             attempt += 1
             if attempt >= self._policy.max_attempts:
                 raise TaskRetryExhausted(
@@ -588,6 +641,14 @@ class _WriteRecovery:
                 )
             backoff = self._policy.backoff_before(attempt)
             self.backoff_s += backoff
+            if self._led.enabled:
+                self._led.event(
+                    "task_retry",
+                    phase="write",
+                    task=r,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                )
             if self._rec.enabled:
                 self._rec.instant(
                     "retry-backoff",
@@ -636,6 +697,19 @@ class Cluster:
         :class:`~repro.obs.trace.TraceRecorder` collects job/phase/task
         spans for Perfetto export.  Recording never changes counters,
         part files or simulated seconds.
+    ledger:
+        Run-event journal (:mod:`repro.obs.ledger`).  The default
+        :class:`~repro.obs.ledger.NullLedger` reduces every journal
+        point to one attribute check; a
+        :class:`~repro.obs.ledger.RunLedger` appends typed events —
+        run manifest, job start/commit, task attempts, spills,
+        speculation — to its sink.  Like the recorder, the ledger only
+        observes.
+    profiler:
+        Optional :class:`~repro.obs.profile.TaskProfiler`.  When set,
+        every map/reduce task body runs under cProfile and the stats
+        ride back in the task results (picklable, so all three
+        executors ship them) to be merged per phase × kernel.
     retry:
         The :class:`~repro.mapreduce.faults.RetryPolicy` governing task
         re-dispatch and speculation.  The default (``max_attempts=1``,
@@ -693,6 +767,8 @@ class Cluster:
     num_workers: int | None = None
     typed_io: bool = True
     recorder: NullRecorder = field(default_factory=NullRecorder)
+    ledger: NullLedger = field(default_factory=NullLedger)
+    profiler: TaskProfiler | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: FaultPlan | None = None
     checkpoint_dir: str | None = None
@@ -742,6 +818,25 @@ class Cluster:
         """
         started = time.perf_counter()
         rec = self.recorder
+        led = self.ledger
+        if led.enabled:
+            led.manifest(
+                kernel=self.resolved_kernel,
+                executor=self.executor,
+                num_workers=self.num_workers,
+                typed_io=self.typed_io,
+                columnar_shuffle=self.columnar_shuffle,
+                memory_budget=self.memory_budget,
+                split_records=self.split_records,
+            )
+            led.event(
+                "job_start",
+                job=job.name,
+                inputs=list(job.input_paths),
+                output=job.output_path,
+                num_reducers=job.num_reducers,
+                map_only=job.reducer is None,
+            )
         executor = make_executor(self.executor, self.num_workers)
         counters = Counters()
         timings = PhaseTimings()
@@ -749,7 +844,7 @@ class Cluster:
             self.fault_plan is not None and not self.fault_plan.is_empty
         ) or self.retry.active
         wrec = (
-            _WriteRecovery(job.name, self.fault_plan, self.retry, rec)
+            _WriteRecovery(job.name, self.fault_plan, self.retry, rec, led)
             if recovery_active
             else None
         )
@@ -776,6 +871,7 @@ class Cluster:
                 C.GROUP_ENGINE, C.DFS_BYTES_READ, self.dfs.bytes_read - read_before
             )
             map_task_wall = self._task_wall(map_results, started, rec, "map")
+            self._counter_timeline(rec, "map", map_results)
 
             written_before = self.dfs.bytes_written
             reduce_task_wall: list[tuple[float, float]] = []
@@ -817,7 +913,10 @@ class Cluster:
                 with rec.span("reduce", cat="phase", track="engine") as sp:
                     if runs is None:
                         reduce_phase = _ReducePhase(
-                            job, merged, seg_buckets=seg_buckets
+                            job,
+                            merged,
+                            seg_buckets=seg_buckets,
+                            profile=self.profiler is not None,
                         )
                     else:
                         # Runs carry the resident remainders too, so the
@@ -827,6 +926,7 @@ class Cluster:
                             [[] for __ in range(job.num_reducers)],
                             runs=runs,
                             store=store,
+                            profile=self.profiler is not None,
                         )
                     task_results, reduce_report = run_phase_with_recovery(
                         executor,
@@ -838,10 +938,17 @@ class Cluster:
                         policy=self.retry,
                         plan=self.fault_plan,
                         recorder=rec,
+                        ledger=led,
                     )
                     sp.set("tasks", job.num_reducers)
                 timings.reduce_s = time.perf_counter() - t0
                 reduce_task_wall = self._task_wall(task_results, started, rec, "reduce")
+                self._counter_timeline(rec, "reduce", task_results)
+                if self.profiler is not None:
+                    kern = self.resolved_kernel
+                    for tr in task_results:
+                        if tr.profile is not None:
+                            self.profiler.add("reduce", kern, tr.profile)
 
                 t0 = time.perf_counter()
                 with rec.span("write", cat="phase", track="engine") as sp:
@@ -885,6 +992,14 @@ class Cluster:
             job_span.set("reduce_input_records", counters.engine(C.REDUCE_INPUT_RECORDS))
             job_span.set("dfs_bytes_read", counters.engine(C.DFS_BYTES_READ))
             job_span.set("dfs_bytes_written", counters.engine(C.DFS_BYTES_WRITTEN))
+            if led.enabled:
+                led.event(
+                    "job_commit",
+                    job=job.name,
+                    simulated_s=cost.total_s,
+                    output_records=output_records,
+                    counters=counters.as_dict(),
+                )
         return JobResult(
             job_name=job.name,
             output_path=job.output_path,
@@ -1031,6 +1146,42 @@ class Cluster:
                 args={"files": files},
             )
         return runs, store
+
+    def _counter_timeline(
+        self, rec: NullRecorder, phase: str, results: list
+    ) -> None:
+        """Emit the phase's counter timelines from worker task stamps.
+
+        Deterministic given the stamps: in-flight/occupancy gauges come
+        from the sorted ``(t, ±1)`` task-boundary sweep, and the map
+        side adds cumulative shuffle-byte (plus spill/buffer, under a
+        memory budget) totals in task-end order.  Pure observation —
+        nothing here feeds back into the computation.
+        """
+        if not rec.enabled or not results:
+            return
+        bounds: list[tuple[float, int]] = []
+        for r in results:
+            bounds.append((r.t_start, 1))
+            bounds.append((r.t_end, -1))
+        bounds.sort()
+        in_flight = 0
+        for t, delta in bounds:
+            in_flight += delta
+            rec.counter_sample(f"in-flight {phase} tasks", t, in_flight)
+            rec.counter_sample("worker occupancy", t, in_flight)
+        if phase != "map":
+            return
+        budgeted = self.memory_budget is not None
+        for r in sorted(results, key=lambda res: res.t_end):
+            out_bytes = r.stats.output_bytes
+            rec.counter_add("shuffle bytes (cumulative)", r.t_end, out_bytes)
+            if budgeted:
+                spilled = r.counters.engine(C.SPILL_BYTES)
+                rec.counter_add("spill bytes (cumulative)", r.t_end, spilled)
+                rec.counter_add(
+                    "shuffle buffer bytes", r.t_end, out_bytes - spilled
+                )
 
     @staticmethod
     def _task_wall(
@@ -1179,15 +1330,34 @@ class Cluster:
                 use_batch,
                 columnar=self.columnar_shuffle,
                 split_batches=split_batches,
+                profile=self.profiler is not None,
             ),
             job=job.name,
             phase="map",
             policy=self.retry,
             plan=self.fault_plan,
             recorder=self.recorder,
+            ledger=self.ledger,
         )
-        for result in results:  # merge shards in task-id order
+        led = self.ledger
+        kern = self.resolved_kernel if self.profiler is not None else ""
+        for t, result in enumerate(results):  # merge shards in task-id order
             counters.merge(result.counters)
+            if led.enabled:
+                # Spill telemetry lives in the task's counter shard (a
+                # combiner job un-spills its buckets but keeps the
+                # counters — the spills did happen).
+                spilled = result.counters.engine(C.SPILLED_RECORDS)
+                if spilled:
+                    led.event(
+                        "spill",
+                        task=t,
+                        records=spilled,
+                        files=result.counters.engine(C.SPILL_FILES),
+                        bytes=result.counters.engine(C.SPILL_BYTES),
+                    )
+            if self.profiler is not None and result.profile is not None:
+                self.profiler.add("map", kern, result.profile)
         stats = [result.stats for result in results]
         if report is not None:  # attach per-task attempt histories
             stats = [

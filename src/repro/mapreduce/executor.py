@@ -41,6 +41,13 @@ workers' stamps are directly comparable with the parent's because
 ``perf_counter`` is the system-wide CLOCK_MONOTONIC on Linux.  Back-ends
 that fall back (``process`` without ``fork`` support degrades to
 threads) therefore keep honest timelines with no executor cooperation.
+
+Result contract: everything a task hands back must be **picklable** —
+the process back-end ships results through a pipe.  That includes the
+observability payloads riding in result objects: worker-side time
+stamps, counter shards, and (under ``--profile``) the raw cProfile
+stats dict ``{(file, line, func): (cc, nc, tt, ct, callers)}``, which
+is plain tuples/dicts/strings by construction.
 """
 
 from __future__ import annotations

@@ -606,6 +606,7 @@ def run_phase_with_recovery(
     policy: RetryPolicy,
     plan: FaultPlan | None = None,
     recorder=None,
+    ledger=None,
 ) -> tuple[list, PhaseReport | None]:
     """Run a phase with retry/speculation; returns (results, report).
 
@@ -619,7 +620,17 @@ def run_phase_with_recovery(
     attempt log out of the phase.  With ``policy.speculate`` and a
     parallel executor, a straggler monitor races backup attempts against
     slow tasks and keeps whichever finishes first.
+
+    ``ledger`` (a :class:`repro.obs.ledger.NullLedger`-compatible
+    object, or ``None``) receives one ``task_attempt`` event per
+    recorded attempt — carrying an explicit ``charged`` flag, since an
+    attempt can log outcome ``"failed"`` without being charged as a
+    task failure (a speculative loser that raised after its sibling
+    won) — plus ``task_retry``, ``task_skip`` and
+    ``speculation_launch`` events from the paths that emit them.
     """
+    if ledger is not None and not ledger.enabled:
+        ledger = None
     if (plan is None or plan.is_empty) and not policy.active:
         return executor.run_phase(worker, num_tasks, payload), None
     if num_tasks == 0:
@@ -633,8 +644,10 @@ def run_phase_with_recovery(
         session = executor.open_session(_run_attempt, env)
         if session is not None:
             with session:
-                return _run_session(session, env, num_tasks, policy, recorder)
-    return _run_retry_rounds(executor, env, num_tasks, policy, recorder)
+                return _run_session(
+                    session, env, num_tasks, policy, recorder, ledger
+                )
+    return _run_retry_rounds(executor, env, num_tasks, policy, recorder, ledger)
 
 
 def _record_attempt(
@@ -644,8 +657,9 @@ def _record_attempt(
     recorder,
     phase: str,
     outcome: str | None = None,
+    ledger=None,
 ) -> TaskAttempt:
-    """File one outcome into the report (and the trace, if recording).
+    """File one outcome into the report (and the trace/ledger, if on).
 
     ``outcome`` overrides the outcome name for dispositions the outcome
     object cannot know about (``"skipped"``: the failure was one bad
@@ -662,8 +676,21 @@ def _record_attempt(
     )
     report.attempts[out.index].append(attempt)
     report.launched += 1
-    if not out.ok and attempt.outcome != "skipped":
+    charged = not out.ok and attempt.outcome != "skipped"
+    if charged:
         report.failures += 1
+    if ledger is not None:
+        ledger.event(
+            "task_attempt",
+            phase=phase,
+            task=out.index,
+            attempt=out.attempt,
+            outcome=attempt.outcome,
+            speculative=out.speculative,
+            charged=charged,
+            duration_s=round(out.duration_s, 6),
+            **({"error": out.error} if out.error else {}),
+        )
     if recorder is not None and recorder.enabled:
         recorder.add_span(
             f"{phase}-{out.index}-a{out.attempt}",
@@ -682,7 +709,9 @@ def _record_attempt(
     return attempt
 
 
-def _mark_lost(report: PhaseReport, out: _Outcome, recorder, phase: str) -> None:
+def _mark_lost(
+    report: PhaseReport, out: _Outcome, recorder, phase: str, ledger=None
+) -> None:
     """A sibling attempt already won; this one is a discarded loser."""
     out = _Outcome(
         index=out.index,
@@ -702,6 +731,19 @@ def _mark_lost(report: PhaseReport, out: _Outcome, recorder, phase: str) -> None
     )
     report.attempts[out.index].append(attempt)
     report.launched += 1
+    if ledger is not None:
+        # A loser never charges a failure, even when it logs "failed".
+        ledger.event(
+            "task_attempt",
+            phase=phase,
+            task=out.index,
+            attempt=out.attempt,
+            outcome=attempt.outcome,
+            speculative=out.speculative,
+            charged=False,
+            duration_s=round(out.duration_s, 6),
+            **({"error": out.error} if out.error else {}),
+        )
     if recorder is not None and recorder.enabled:
         recorder.add_span(
             f"{phase}-{out.index}-a{out.attempt}",
@@ -735,11 +777,25 @@ def _exhausted_error(
 
 
 def _retry_backoff(
-    report: PhaseReport, policy: RetryPolicy, index: int, attempt: int, recorder, phase: str
+    report: PhaseReport,
+    policy: RetryPolicy,
+    index: int,
+    attempt: int,
+    recorder,
+    phase: str,
+    ledger=None,
 ) -> float:
     """Charge (and trace) the simulated backoff before retry ``attempt``."""
     backoff = policy.backoff_before(attempt)
     report.backoff_s += backoff
+    if ledger is not None:
+        ledger.event(
+            "task_retry",
+            phase=phase,
+            task=index,
+            attempt=attempt,
+            backoff_s=backoff,
+        )
     if recorder is not None and recorder.enabled:
         recorder.instant(
             "retry-backoff",
@@ -756,6 +812,7 @@ def _run_retry_rounds(
     num_tasks: int,
     policy: RetryPolicy,
     recorder,
+    ledger=None,
 ) -> tuple[list, PhaseReport]:
     """Deterministic round-based retries (the non-speculative path).
 
@@ -799,7 +856,10 @@ def _run_retry_rounds(
         for out in outcomes:  # slot order == ascending task id
             i = out.index
             if out.ok:
-                _record_attempt(report, out, next_backoff[i], recorder, env.phase)
+                _record_attempt(
+                    report, out, next_backoff[i], recorder, env.phase,
+                    ledger=ledger,
+                )
                 results[i] = out.value
                 continue
             if (
@@ -814,20 +874,32 @@ def _run_retry_rounds(
                 # retry is expected to work).
                 _record_attempt(
                     report, out, next_backoff[i], recorder, env.phase,
-                    outcome="skipped",
+                    outcome="skipped", ledger=ledger,
                 )
                 report.skipped[i].append(out.bad_record)
                 skips[i] = skips[i] + (out.bad_record[0],)
+                if ledger is not None:
+                    offset, path, lineno, __ = out.bad_record
+                    ledger.event(
+                        "task_skip",
+                        phase=env.phase,
+                        task=i,
+                        offset=offset,
+                        path=path,
+                        lineno=lineno,
+                    )
                 retry.append(i)
                 continue
-            _record_attempt(report, out, next_backoff[i], recorder, env.phase)
+            _record_attempt(
+                report, out, next_backoff[i], recorder, env.phase, ledger=ledger
+            )
             failed_counts[i] += 1
             if failed_counts[i] >= policy.max_attempts:
                 raise _exhausted_error(
                     env.job, env.phase, i, report.attempts[i], out.error
                 )
             next_backoff[i] = _retry_backoff(
-                report, policy, i, failed_counts[i], recorder, env.phase
+                report, policy, i, failed_counts[i], recorder, env.phase, ledger
             )
             retry.append(i)
         pending = retry
@@ -876,6 +948,7 @@ def _run_session(
     num_tasks: int,
     policy: RetryPolicy,
     recorder,
+    ledger=None,
 ) -> tuple[list, PhaseReport]:
     """Event-loop dispatch: speculation and/or watchdog (thread/process).
 
@@ -907,6 +980,13 @@ def _run_session(
         if speculative:
             report.speculative_launched += 1
             state.has_backup[index] = True
+            if ledger is not None:
+                ledger.event(
+                    "speculation_launch",
+                    phase=env.phase,
+                    task=index,
+                    attempt=attempt,
+                )
             if recorder is not None and recorder.enabled:
                 recorder.instant(
                     "speculative-launch",
@@ -972,6 +1052,21 @@ def _run_session(
                 report.failures += 1
                 report.timeouts += 1
                 state.pending_backoff[index] = 0.0
+                if ledger is not None:
+                    ledger.event(
+                        "task_attempt",
+                        phase=env.phase,
+                        task=index,
+                        attempt=attempt,
+                        outcome="timeout",
+                        speculative=speculative,
+                        charged=True,
+                        duration_s=round(now - started, 6),
+                        error=(
+                            f"watchdog: attempt exceeded task_timeout_s="
+                            f"{policy.task_timeout_s}"
+                        ),
+                    )
                 if recorder is not None and recorder.enabled:
                     recorder.instant(
                         "watchdog-timeout",
@@ -1002,6 +1097,7 @@ def _run_session(
                         state.failed_counts[index],
                         recorder,
                         env.phase,
+                        ledger,
                     )
                     launch(index, speculative=False)
 
@@ -1019,11 +1115,12 @@ def _run_session(
             continue  # the watchdog already wrote this attempt off
         state.running[index].pop(attempt, None)
         if state.done[index]:
-            _mark_lost(report, out, recorder, env.phase)
+            _mark_lost(report, out, recorder, env.phase, ledger)
             continue
         if out.ok:
             _record_attempt(
-                report, out, state.pending_backoff[index], recorder, env.phase
+                report, out, state.pending_backoff[index], recorder, env.phase,
+                ledger=ledger,
             )
             state.pending_backoff[index] = 0.0
             state.results[index] = out.value
@@ -1050,15 +1147,29 @@ def _run_session(
                 recorder,
                 env.phase,
                 outcome="skipped",
+                ledger=ledger,
             )
             state.pending_backoff[index] = 0.0
             report.skipped[index].append(out.bad_record)
             state.skips[index] = state.skips[index] + (out.bad_record[0],)
+            if ledger is not None:
+                offset, path, lineno, __ = out.bad_record
+                ledger.event(
+                    "task_skip",
+                    phase=env.phase,
+                    task=index,
+                    offset=offset,
+                    path=path,
+                    lineno=lineno,
+                )
             if not state.running[index]:
                 launch(index, speculative=False)
             continue
         # A failure (raised or corrupt).
-        _record_attempt(report, out, state.pending_backoff[index], recorder, env.phase)
+        _record_attempt(
+            report, out, state.pending_backoff[index], recorder, env.phase,
+            ledger=ledger,
+        )
         state.pending_backoff[index] = 0.0
         state.failed_counts[index] += 1
         if state.failed_counts[index] >= policy.max_attempts:
@@ -1076,6 +1187,7 @@ def _run_session(
                 state.failed_counts[index],
                 recorder,
                 env.phase,
+                ledger,
             )
             launch(index, speculative=False)
         monitor()

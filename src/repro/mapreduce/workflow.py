@@ -169,6 +169,17 @@ class Workflow:
                 for r in self._manifest_records
             ],
         )
+        led = self.cluster.ledger
+        if led.enabled:
+            # Checkpoint events carry an explicit job name: they fire
+            # outside the job_start/job_commit bracket, so the ledger
+            # reader cannot infer the job from position.
+            led.event(
+                "checkpoint_write",
+                job=record["name"],
+                path=self._manifest_path,
+                jobs_completed=len(self._manifest_records),
+            )
 
     def _try_restore(self, job: MapReduceJob) -> JobResult | None:
         """Rebuild a job's result from its checkpoint, or ``None``.
@@ -247,6 +258,13 @@ class Workflow:
         if self._resuming:
             restored = self._try_restore(job)
             if restored is not None:
+                led = self.cluster.ledger
+                if led.enabled:
+                    led.event(
+                        "checkpoint_restore",
+                        job=job.name,
+                        simulated_s=restored.simulated_seconds,
+                    )
                 if rec.enabled:
                     rec.instant(
                         f"resume:{job.name}",

@@ -1,0 +1,234 @@
+"""Critical-path analysis: where a second of speedup actually helps.
+
+The skew module says *which reducer* is hot; this one says *whether it
+matters*.  A workflow is a serial chain of jobs, each job a serial
+chain of phases (split → map → shuffle → reduce → write), and the
+parallel phases (map, reduce) are as long as their latest-finishing
+task.  The critical path is therefore the chain of phase makespans,
+and inside each parallel phase exactly one task — the latest finisher
+— carries it.
+
+:func:`job_critical_path` walks one job's measured
+:class:`~repro.mapreduce.engine.PhaseTimings` and worker-stamped task
+intervals into :class:`PhaseSegment` rows; :func:`analyze_critical_path`
+chains jobs into a :class:`WorkflowCriticalPath` whose
+:meth:`~WorkflowCriticalPath.attribution_line` answers the operator
+question directly: *if you could make one thing 1 second (or its whole
+duration, if shorter) faster, where would the run actually shrink?*
+For serial phases the answer is the phase duration itself; for
+parallel phases it is bounded by the gap to the second-latest finisher
+— speeding the critical task past its neighbour just crowns a new
+straggler, the exact effect Section 6.4's hot-cell argument rests on.
+
+Per-phase *slack* (sum of each task's idle margin against the phase
+makespan) quantifies how much parallel capacity the phase wasted —
+zero slack means perfectly balanced tasks.
+
+Pure analysis of result fields; nothing imports the engine at runtime,
+so the obs package stays import-cycle free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.mapreduce.engine import JobResult
+
+__all__ = [
+    "PhaseSegment",
+    "JobCriticalPath",
+    "WorkflowCriticalPath",
+    "job_critical_path",
+    "analyze_critical_path",
+]
+
+#: the hypothetical speedup the attribution line applies (seconds)
+SPEEDUP_S = 1.0
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human duration: µs/ms/s picked by magnitude (dashboard style)."""
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One phase's contribution to the critical path.
+
+    ``duration_s`` is the phase's extent on the path (the makespan for
+    parallel phases).  ``critical_task`` is the latest-finishing task
+    of a parallel phase (``None`` for serial segments).  ``slack_s``
+    sums every task's idle margin against the makespan.
+    ``savings_s`` is how much the *path* would shrink if this segment's
+    critical work ran :data:`SPEEDUP_S` faster — capped by the phase
+    duration and, for parallel phases, by the gap to the second-latest
+    finisher.
+    """
+
+    phase: str
+    duration_s: float
+    critical_task: int | None = None
+    critical_task_duration_s: float = 0.0
+    slack_s: float = 0.0
+    savings_s: float = 0.0
+
+    @property
+    def parallel(self) -> bool:
+        return self.critical_task is not None
+
+    def describe(self) -> str:
+        label = f"{self.phase} {_fmt_s(self.duration_s)}"
+        if self.critical_task is not None:
+            label += f" (task {self.critical_task})"
+        return label
+
+
+@dataclass(frozen=True)
+class JobCriticalPath:
+    """The phase chain of one job, critical tasks attributed."""
+
+    job_name: str
+    segments: tuple[PhaseSegment, ...]
+
+    @property
+    def total_s(self) -> float:
+        return sum(seg.duration_s for seg in self.segments)
+
+    @property
+    def slack_s(self) -> float:
+        return sum(seg.slack_s for seg in self.segments)
+
+    @property
+    def best(self) -> PhaseSegment | None:
+        """The segment where a 1s speedup saves the most (ties: first)."""
+        best: PhaseSegment | None = None
+        for seg in self.segments:
+            if best is None or seg.savings_s > best.savings_s:
+                best = seg
+        return best
+
+    def describe(self) -> str:
+        if not self.segments:
+            return "(no measured phases)"
+        return " -> ".join(seg.describe() for seg in self.segments)
+
+
+@dataclass(frozen=True)
+class WorkflowCriticalPath:
+    """A chain of jobs' critical paths, chained serially."""
+
+    jobs: tuple[JobCriticalPath, ...]
+
+    @property
+    def total_s(self) -> float:
+        return sum(job.total_s for job in self.jobs)
+
+    @property
+    def best(self) -> tuple[str, PhaseSegment] | None:
+        """``(job name, segment)`` with the largest 1s-speedup payoff."""
+        best: tuple[str, PhaseSegment] | None = None
+        for job in self.jobs:
+            seg = job.best
+            if seg is None:
+                continue
+            if best is None or seg.savings_s > best[1].savings_s:
+                best = (job.job_name, seg)
+        return best
+
+    def attribution_line(self) -> str:
+        """The "1s-speedup-where-it-matters" answer, one line."""
+        target = self.best
+        if target is None:
+            return "critical path: (no measured phases)"
+        name, seg = target
+        where = f"the {seg.phase} phase"
+        if seg.critical_task is not None:
+            where = f"{seg.phase} task {seg.critical_task}"
+        return (
+            f"1s-speedup-where-it-matters: {where} of job {name!r} — "
+            f"saves {_fmt_s(seg.savings_s)} of the "
+            f"{_fmt_s(self.total_s)} critical path"
+        )
+
+
+def _parallel_segment(
+    phase: str, wall_s: float, intervals: Sequence[tuple[float, float]]
+) -> PhaseSegment:
+    """A map/reduce segment from its worker-stamped task intervals."""
+    if not intervals:
+        # No tasks ran (empty input): the phase cost is pure scheduling
+        # overhead, treated like a serial segment.
+        return PhaseSegment(
+            phase=phase, duration_s=wall_s, savings_s=min(SPEEDUP_S, wall_s)
+        )
+    makespan = max(end for __, end in intervals) - min(
+        start for start, __ in intervals
+    )
+    critical = max(range(len(intervals)), key=lambda i: intervals[i][1])
+    crit_start, crit_end = intervals[critical]
+    crit_duration = crit_end - crit_start
+    slack = sum(makespan - (end - start) for start, end in intervals)
+    # Speeding the critical task helps until the second-latest finisher
+    # becomes the new straggler.
+    others = [end for i, (__, end) in enumerate(intervals) if i != critical]
+    floor = max(others) if others else crit_end - crit_duration
+    sped = crit_end - min(SPEEDUP_S, crit_duration)
+    savings = max(0.0, crit_end - max(floor, sped))
+    return PhaseSegment(
+        phase=phase,
+        duration_s=makespan,
+        critical_task=critical,
+        critical_task_duration_s=crit_duration,
+        slack_s=slack,
+        savings_s=savings,
+    )
+
+
+def _serial_segment(phase: str, wall_s: float) -> PhaseSegment:
+    """A split/shuffle/write segment: the whole duration is critical."""
+    return PhaseSegment(
+        phase=phase, duration_s=wall_s, savings_s=min(SPEEDUP_S, wall_s)
+    )
+
+
+def job_critical_path(result: "JobResult") -> JobCriticalPath:
+    """Walk one job's measured phases into its critical path."""
+    phases = result.phases
+    ran_reduce = bool(result.reduce_task_wall) or phases.reduce_s > 0
+    segments = [
+        _serial_segment("split", phases.split_s),
+        _parallel_segment("map", phases.map_s, result.map_task_wall),
+    ]
+    if ran_reduce:
+        segments.append(_serial_segment("shuffle", phases.shuffle_s))
+        segments.append(
+            _parallel_segment("reduce", phases.reduce_s, result.reduce_task_wall)
+        )
+    segments.append(_serial_segment("write", phases.write_s))
+    return JobCriticalPath(job_name=result.job_name, segments=tuple(segments))
+
+
+def analyze_critical_path(
+    job_results: Sequence["JobResult"],
+) -> WorkflowCriticalPath:
+    """Chain jobs (run serially by the workflow) into one critical path.
+
+    Jobs restored from a checkpoint never executed, so they contribute
+    no path (their wall numbers describe the restore, not the work).
+    """
+    return WorkflowCriticalPath(
+        jobs=tuple(
+            job_critical_path(result)
+            for result in job_results
+            if not result.resumed
+        )
+    )

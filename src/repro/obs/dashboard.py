@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from repro.mapreduce.counters import C
+from repro.obs.critical_path import analyze_critical_path, job_critical_path
 from repro.obs.skew import JobSkewReport, analyze_job
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -189,6 +190,11 @@ def render_job_dashboard(result: "JobResult") -> str:
             f"map {_fmt_s(report.modelled_map_makespan_s)} / "
             f"reduce {_fmt_s(report.modelled_reduce_makespan_s)}"
         )
+    if not result.resumed:
+        path = job_critical_path(result)
+        lines.append(f"  critical path: {path.describe()}")
+        if path.slack_s > 0:
+            lines.append(f"  phase slack: {_fmt_s(path.slack_s)} idle across tasks")
     lines.extend(_histogram(report))
     return "\n".join(lines)
 
@@ -205,4 +211,6 @@ def render_workflow_dashboard(
     ]
     for result in job_results:
         lines.append(render_job_dashboard(result))
+    if job_results:
+        lines.append(analyze_critical_path(job_results).attribution_line())
     return "\n".join(lines)

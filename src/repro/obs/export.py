@@ -12,7 +12,12 @@ directly in `Perfetto <https://ui.perfetto.dev>`_ and
   one ``tid`` must nest.  Lanes are assigned greedily in start-time
   order, so the layout is deterministic;
 * span ``args`` pass through verbatim and show in the viewer's detail
-  panel.
+  panel;
+* one ``"C"`` counter track per recorder counter timeline (in-flight
+  tasks, worker occupancy, cumulative byte totals).  Counter ``tid``\\s
+  are allocated strictly *after* every span track's lane block, so a
+  counter track can never collide with a greedy span lane — an
+  invariant ``validate_chrome_trace`` checks.
 
 ``validate_chrome_trace`` is the schema check the test-suite (and any
 consumer) can run against an emitted trace: required keys, monotonic
@@ -155,6 +160,32 @@ def to_chrome_trace(recorder: TraceRecorder, process_name: str = "repro cluster"
                     "args": inst.args,
                 }
             )
+    # Counter tracks last: their tids start where the span lanes ended,
+    # so the two tid ranges are disjoint by construction.
+    for name, samples in getattr(recorder, "counters", {}).items():
+        tid = next_tid
+        next_tid += 1
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": f"counter: {name}"},
+            }
+        )
+        for t, value in sorted(samples):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": _us(t),
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"value": value},
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -173,21 +204,34 @@ def validate_chrome_trace(trace: dict) -> list[str]:
     the required keys, durations are non-negative, per-thread start
     timestamps are monotonic, and complete events on one thread nest
     properly (contain each other or are disjoint — the invariant the
-    viewers' flame layout depends on).
+    viewers' flame layout depends on).  Counter (``"C"``) events must
+    carry a numeric ``args`` mapping, keep monotonic timestamps per
+    track, and live on ``tid``\\s no span event uses (the exporter's
+    no-collision layout guarantee).
     """
     problems: list[str] = []
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
     by_tid: dict[Any, list[tuple[float, float, str]]] = {}
+    counter_ts: dict[Any, list[float]] = {}
     for i, ev in enumerate(events):
         ph = ev.get("ph")
-        if ph not in {"X", "M", "i"}:
+        if ph not in {"X", "M", "i", "C"}:
             problems.append(f"event {i}: unsupported ph {ph!r}")
             continue
         for key in ("name", "pid", "tid") + (("ts",) if ph != "M" else ()):
             if key not in ev:
                 problems.append(f"event {i}: missing {key!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event {i}: counter event missing 'args' values")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(f"event {i}: counter values must be numeric")
+            if "ts" in ev:
+                counter_ts.setdefault(ev["tid"], []).append(ev["ts"])
+            continue
         if ph != "X":
             continue
         if "dur" not in ev:
@@ -198,6 +242,14 @@ def validate_chrome_trace(trace: dict) -> list[str]:
         by_tid.setdefault(ev["tid"], []).append(
             (ev["ts"], ev["ts"] + ev["dur"], ev.get("name", "?"))
         )
+    collisions = sorted(set(counter_ts) & set(by_tid))
+    for tid in collisions:
+        problems.append(
+            f"tid {tid}: counter track collides with a span lane"
+        )
+    for tid, stamps in counter_ts.items():
+        if stamps != sorted(stamps):
+            problems.append(f"tid {tid}: counter timestamps not monotonic")
     for tid, spans in by_tid.items():
         starts = [s[0] for s in spans]
         if starts != sorted(starts):

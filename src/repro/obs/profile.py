@@ -1,0 +1,204 @@
+"""Opt-in per-task profiling: cProfile around map/reduce task bodies.
+
+With a :class:`TaskProfiler` attached to the cluster, every map and
+reduce task body runs under its own :class:`cProfile.Profile`.  The raw
+stats dict — ``{(file, line, func): (cc, nc, tt, ct, callers)}``, the
+format :meth:`cProfile.Profile.create_stats` produces — rides back to
+the parent inside the task result (it is picklable, so the process
+executor ships it like any other result field) and the engine merges
+it into the profiler keyed by ``(phase, kernel)``.
+
+Two consumable views come out:
+
+* :meth:`TaskProfiler.hotspots` — the top-N functions by self time per
+  phase × kernel, rendered by :func:`render_profile_dashboard`;
+* :meth:`TaskProfiler.collapsed_stacks` — ``frame;frame count`` lines
+  in the collapsed-stack format flamegraph tools consume
+  (``flamegraph.pl``, speedscope, inferno).  cProfile records *caller
+  edges*, not full stacks, so the collapse is a caller-weighted
+  two-level approximation: each function's self time is attributed to
+  ``phase;caller;function`` frames proportionally to how much
+  cumulative time each caller edge carried.  Exact for the leaf level
+  (self times are measured), approximate above it.
+
+Profiling observes real wall time only: counters, part files and
+simulated seconds are byte-identical with it on or off (the golden
+deep-observability test asserts this).
+"""
+
+from __future__ import annotations
+
+import cProfile
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "TaskProfiler",
+    "Hotspot",
+    "run_profiled",
+    "merge_profile",
+    "write_flamegraph",
+    "render_profile_dashboard",
+]
+
+#: a raw cProfile stats dict: func tuple -> (cc, nc, tt, ct, callers)
+ProfileStats = dict
+
+
+def run_profiled(fn: Callable, *args: Any) -> tuple[Any, ProfileStats]:
+    """Run ``fn(*args)`` under cProfile; return ``(value, stats dict)``.
+
+    ``Profile.enable`` applies to the calling thread only, so parallel
+    thread-executor tasks each profile their own body without seeing
+    each other's frames.
+    """
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        value = fn(*args)
+    finally:
+        prof.disable()
+    prof.create_stats()
+    return value, prof.stats
+
+
+def merge_profile(into: ProfileStats, stats: ProfileStats) -> None:
+    """Accumulate one task's stats dict into a merged one, in place.
+
+    Same arithmetic as :meth:`pstats.Stats.add`: tuple fields and
+    caller-edge tuples sum element-wise.
+    """
+    for func, (cc, nc, tt, ct, callers) in stats.items():
+        if func not in into:
+            into[func] = (cc, nc, tt, ct, dict(callers))
+            continue
+        mcc, mnc, mtt, mct, mcallers = into[func]
+        merged_callers = dict(mcallers)
+        for caller, counts in callers.items():
+            if caller in merged_callers:
+                merged_callers[caller] = tuple(
+                    a + b for a, b in zip(merged_callers[caller], counts)
+                )
+            else:
+                merged_callers[caller] = counts
+        into[func] = (mcc + cc, mnc + nc, mtt + tt, mct + ct, merged_callers)
+
+
+def _label(func: tuple) -> str:
+    """A compact ``file:line:name`` frame label (builtins keep their name)."""
+    filename, line, name = func
+    if filename == "~" or not filename:
+        return name
+    short = filename.replace("\\", "/").rsplit("/", 1)[-1]
+    return f"{short}:{line}:{name}"
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One row of the top-N table: a function and its merged times."""
+
+    func: str
+    calls: int
+    self_s: float
+    cum_s: float
+
+
+class TaskProfiler:
+    """Merges per-task cProfile stats, keyed by ``(phase, kernel)``.
+
+    The engine calls :meth:`add` once per profiled task result; merging
+    happens parent-side in task-id order, so the merged totals are
+    deterministic for a deterministic workload (the times themselves
+    are wall measurements and vary run to run).
+    """
+
+    def __init__(self) -> None:
+        self.stats: dict[tuple[str, str], ProfileStats] = {}
+        self.tasks: dict[tuple[str, str], int] = {}
+
+    def add(self, phase: str, kernel: str, stats: ProfileStats) -> None:
+        key = (phase, kernel)
+        merge_profile(self.stats.setdefault(key, {}), stats)
+        self.tasks[key] = self.tasks.get(key, 0) + 1
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Profiled ``(phase, kernel)`` groups, sorted."""
+        return sorted(self.stats)
+
+    def hotspots(self, phase: str, kernel: str, n: int = 10) -> list[Hotspot]:
+        """Top-``n`` functions of one group by merged self time."""
+        merged = self.stats.get((phase, kernel), {})
+        rows = sorted(
+            merged.items(), key=lambda kv: (-kv[1][2], _label(kv[0]))
+        )
+        return [
+            Hotspot(func=_label(f), calls=nc, self_s=tt, cum_s=ct)
+            for f, (cc, nc, tt, ct, __) in rows[:n]
+        ]
+
+    def collapsed_stacks(self) -> list[str]:
+        """Collapsed-stack lines (``frames... count``), count in µs.
+
+        Rooted at ``phase [kernel]`` so one file carries every group as
+        separate flame towers.  Self time of each function is split
+        across its caller edges by cumulative-time share (see module
+        docstring); rounding remainders stay with the function itself
+        so the µs totals are exact.
+        """
+        lines: list[str] = []
+        for (phase, kernel), merged in sorted(self.stats.items()):
+            root = f"{phase} [{kernel}]"
+            for func, (cc, nc, tt, ct, callers) in sorted(
+                merged.items(), key=lambda kv: _label(kv[0])
+            ):
+                self_us = int(round(tt * 1e6))
+                if self_us <= 0:
+                    continue
+                if not callers:
+                    lines.append(f"{root};{_label(func)} {self_us}")
+                    continue
+                total_ct = sum(edge[3] for edge in callers.values())
+                remaining = self_us
+                edges = sorted(callers.items(), key=lambda kv: _label(kv[0]))
+                for caller, edge in edges:
+                    share = (
+                        int(self_us * (edge[3] / total_ct))
+                        if total_ct > 0
+                        else self_us // len(edges)
+                    )
+                    share = min(share, remaining)
+                    if share > 0:
+                        lines.append(
+                            f"{root};{_label(caller)};{_label(func)} {share}"
+                        )
+                        remaining -= share
+                if remaining > 0:
+                    lines.append(f"{root};{_label(func)} {remaining}")
+        return lines
+
+
+def write_flamegraph(path: str, profiler: TaskProfiler) -> None:
+    """Write the profiler's collapsed stacks to a flamegraph input file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in profiler.collapsed_stacks():
+            fh.write(line + "\n")
+
+
+def render_profile_dashboard(profiler: TaskProfiler, top_n: int = 10) -> str:
+    """The top-N hotspot table per phase × kernel, as plain text."""
+    lines = ["== task profile (cProfile, merged across tasks) =="]
+    if not profiler.stats:
+        lines.append("  (no profiled tasks)")
+        return "\n".join(lines)
+    for phase, kernel in profiler.keys():
+        count = profiler.tasks[(phase, kernel)]
+        lines.append(
+            f"-- {phase} tasks [{kernel} kernel] "
+            f"({count} task{'s' if count != 1 else ''} profiled) --"
+        )
+        lines.append(f"  {'self':>10}  {'cumulative':>10}  {'calls':>8}  function")
+        for h in profiler.hotspots(phase, kernel, top_n):
+            lines.append(
+                f"  {h.self_s:>9.4f}s  {h.cum_s:>9.4f}s  {h.calls:>8}  {h.func}"
+            )
+    return "\n".join(lines)

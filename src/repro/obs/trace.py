@@ -27,6 +27,13 @@ on one track must either nest (job contains phase) or be disjoint
 (consecutive jobs); genuinely concurrent spans — parallel tasks — are
 laid out into non-overlapping lanes by the exporter, not here.
 
+Besides spans and instants the recorder collects *counter timelines*:
+named series of ``(t, value)`` samples — in-flight tasks per phase,
+worker occupancy, cumulative shuffle/spill bytes — recorded at task
+boundaries via :meth:`~TraceRecorder.counter_sample` (absolute gauge)
+and :meth:`~TraceRecorder.counter_add` (running total).  The exporter
+renders each series as a Chrome trace-event ``"C"`` counter track.
+
 This module deliberately imports nothing from the engine, so every
 layer of the stack can depend on it without cycles.
 """
@@ -125,6 +132,18 @@ class NullRecorder:
         """Record a zero-duration marker (no-op here)."""
         return None
 
+    def counter_sample(self, name: str, t: float, value: float) -> None:
+        """Record one absolute gauge sample (no-op here).
+
+        ``t`` is a raw :func:`time.perf_counter` stamp (the recorder
+        converts to its epoch), matching :meth:`add_span`.
+        """
+        return None
+
+    def counter_add(self, name: str, t: float, delta: float) -> None:
+        """Add ``delta`` to a running total and sample it (no-op here)."""
+        return None
+
 
 class _SpanContext:
     """Times one ``with`` block and files the span on exit."""
@@ -160,6 +179,9 @@ class TraceRecorder(NullRecorder):
         self.epoch = time.perf_counter()
         self.spans: list[Span] = []
         self.instants: list[Span] = []
+        #: counter timelines: name -> [(seconds since epoch, value), ...]
+        self.counters: dict[str, list[tuple[float, float]]] = {}
+        self._counter_totals: dict[str, float] = {}
 
     def now(self) -> float:
         """Seconds since the recorder's epoch."""
@@ -206,6 +228,14 @@ class TraceRecorder(NullRecorder):
                 args=dict(args) if args else {},
             )
         )
+
+    def counter_sample(self, name: str, t: float, value: float) -> None:
+        self.counters.setdefault(name, []).append((t - self.epoch, value))
+
+    def counter_add(self, name: str, t: float, delta: float) -> None:
+        total = self._counter_totals.get(name, 0.0) + delta
+        self._counter_totals[name] = total
+        self.counters.setdefault(name, []).append((t - self.epoch, total))
 
     def tracks(self) -> list[str]:
         """Track names in order of first appearance (spans then instants)."""

@@ -1,0 +1,164 @@
+"""Tests for the benchmark trend table and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.obs.bench_history import (
+    find_regressions,
+    load_bench_file,
+    load_series,
+    render_history,
+)
+
+
+def _bench_json(path, datetime, means):
+    data = {
+        "datetime": datetime,
+        "benchmarks": [
+            {
+                "fullname": name,
+                "name": name.split("::")[-1],
+                "stats": {"mean": mean},
+            }
+            for name, mean in means.items()
+        ],
+    }
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestLoadBenchFile:
+    def test_parses_means_by_fullname(self, tmp_path):
+        p = _bench_json(
+            tmp_path / "BENCH_a.json",
+            "2026-08-01T00:00:00+00:00",
+            {"tests/bench.py::test_x": 0.5},
+        )
+        f = load_bench_file(p)
+        assert f.means == {"tests/bench.py::test_x": 0.5}
+        assert f.label == "BENCH_a.json"
+        assert f.datetime.startswith("2026-08-01")
+
+    def test_rejects_non_benchmark_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"no": "benchmarks"}')
+        with pytest.raises(ExperimentError, match="missing 'benchmarks'"):
+            load_bench_file(str(p))
+
+    def test_rejects_unreadable_file(self, tmp_path):
+        p = tmp_path / "garbage.json"
+        p.write_text("{not json")
+        with pytest.raises(ExperimentError, match="cannot read"):
+            load_bench_file(str(p))
+
+
+class TestLoadSeries:
+    def test_orders_by_datetime_not_argument_order(self, tmp_path):
+        newer = _bench_json(
+            tmp_path / "BENCH_new.json", "2026-08-07T00:00:00+00:00", {"t": 1.0}
+        )
+        older = _bench_json(
+            tmp_path / "BENCH_old.json", "2026-08-01T00:00:00+00:00", {"t": 2.0}
+        )
+        series = load_series([newer, older])
+        assert [f.label for f in series] == ["BENCH_old.json", "BENCH_new.json"]
+
+
+class TestFindRegressions:
+    def test_gate_bites_past_threshold(self, tmp_path):
+        older = load_bench_file(_bench_json(
+            tmp_path / "a.json", "1", {"t::fast": 1.0, "t::slow": 1.0}
+        ))
+        newer = load_bench_file(_bench_json(
+            tmp_path / "b.json", "2", {"t::fast": 1.05, "t::slow": 1.25}
+        ))
+        regs = find_regressions(older, newer, threshold=0.10)
+        assert [r.name for r in regs] == ["t::slow"]
+        assert regs[0].ratio == pytest.approx(1.25)
+
+    def test_below_threshold_is_not_a_regression(self, tmp_path):
+        older = load_bench_file(_bench_json(tmp_path / "a.json", "1", {"t": 1.0}))
+        newer = load_bench_file(_bench_json(tmp_path / "b.json", "2", {"t": 1.09}))
+        assert find_regressions(older, newer, threshold=0.10) == []
+
+    def test_disjoint_suites_compare_clean(self, tmp_path):
+        older = load_bench_file(_bench_json(tmp_path / "a.json", "1", {"x": 1.0}))
+        newer = load_bench_file(_bench_json(tmp_path / "b.json", "2", {"y": 9.0}))
+        assert find_regressions(older, newer) == []
+
+
+class TestRenderHistory:
+    def test_table_and_regression_section(self, tmp_path):
+        series = load_series([
+            _bench_json(tmp_path / "a.json", "1", {"t.py::test_q": 1.0}),
+            _bench_json(tmp_path / "b.json", "2", {"t.py::test_q": 2.0}),
+        ])
+        table, regs = render_history(series)
+        assert len(regs) == 1
+        assert "test_q" in table
+        assert "+100.0% !!" in table
+        assert "REGRESSIONS" in table and "2.00x" in table
+
+    def test_clean_series_reports_none(self, tmp_path):
+        series = load_series([
+            _bench_json(tmp_path / "a.json", "1", {"t::q": 1.0}),
+            _bench_json(tmp_path / "b.json", "2", {"t::q": 1.01}),
+        ])
+        table, regs = render_history(series)
+        assert regs == []
+        assert "no regressions > 10%" in table
+
+    def test_single_file_needs_no_pair(self, tmp_path):
+        series = load_series([_bench_json(tmp_path / "a.json", "1", {"t": 1.0})])
+        table, regs = render_history(series)
+        assert regs == []
+        assert "need at least two recordings" in table
+
+    def test_empty_series(self):
+        table, regs = render_history([])
+        assert table == "(no benchmark files)" and regs == []
+
+
+class TestCli:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        a = _bench_json(tmp_path / "BENCH_a.json", "1", {"t": 1.0})
+        b = _bench_json(tmp_path / "BENCH_b.json", "2", {"t": 1.0})
+        assert main(["bench-history", a, b]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        a = _bench_json(tmp_path / "BENCH_a.json", "1", {"t": 1.0})
+        b = _bench_json(tmp_path / "BENCH_b.json", "2", {"t": 1.5})
+        assert main(["bench-history", a, b]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_exit_two_without_files(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench-history"]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_defaults_to_bench_glob(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _bench_json(tmp_path / "BENCH_a.json", "1", {"t": 1.0})
+        _bench_json(tmp_path / "BENCH_b.json", "2", {"t": 2.0})
+        assert main(["bench-history"]) == 1
+
+    def test_threshold_flag(self, tmp_path):
+        a = _bench_json(tmp_path / "BENCH_a.json", "1", {"t": 1.0})
+        b = _bench_json(tmp_path / "BENCH_b.json", "2", {"t": 1.5})
+        assert main(["bench-history", "--threshold", "0.6", a, b]) == 0
+
+    def test_bad_file_is_a_cli_error(self, tmp_path, capsys):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{}")
+        assert main(["bench-history", str(p)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,151 @@
+"""Tests for the critical-path analyzer and its speedup attribution."""
+
+import pytest
+
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.job import MapReduceJob
+from repro.obs.critical_path import (
+    WorkflowCriticalPath,
+    _parallel_segment,
+    _serial_segment,
+    analyze_critical_path,
+    job_critical_path,
+)
+
+
+class TestSerialSegment:
+    def test_whole_duration_is_critical(self):
+        seg = _serial_segment("shuffle", 3.0)
+        assert not seg.parallel
+        assert seg.duration_s == 3.0
+        assert seg.savings_s == 1.0  # capped at the 1s hypothetical
+
+    def test_short_phase_caps_at_duration(self):
+        seg = _serial_segment("split", 0.25)
+        assert seg.savings_s == 0.25
+
+    def test_describe(self):
+        assert _serial_segment("write", 2.0).describe() == "write 2.00s"
+
+
+class TestParallelSegment:
+    def test_critical_task_is_latest_finisher(self):
+        seg = _parallel_segment("map", 0.0, [(0.0, 2.0), (0.5, 5.0), (1.0, 3.0)])
+        assert seg.parallel
+        assert seg.critical_task == 1
+        assert seg.duration_s == 5.0  # makespan from first start to last end
+        assert seg.critical_task_duration_s == 4.5
+        # slack: (5-2) + (5-4.5) + (5-2) = 6.5
+        assert seg.slack_s == pytest.approx(6.5)
+        assert "(task 1)" in seg.describe()
+
+    def test_savings_capped_by_second_latest_finisher(self):
+        # Critical ends at 5.0; runner-up at 4.6.  A full 1s speedup
+        # would land at 4.0, but the runner-up becomes the straggler.
+        seg = _parallel_segment("map", 0.0, [(0.0, 4.6), (0.0, 5.0)])
+        assert seg.savings_s == pytest.approx(0.4)
+
+    def test_savings_full_second_when_gap_is_wide(self):
+        seg = _parallel_segment("reduce", 0.0, [(0.0, 1.0), (0.0, 10.0)])
+        assert seg.savings_s == pytest.approx(1.0)
+
+    def test_single_task_savings_capped_by_duration(self):
+        seg = _parallel_segment("map", 0.0, [(1.0, 1.4)])
+        assert seg.critical_task == 0
+        assert seg.savings_s == pytest.approx(0.4)
+        assert seg.slack_s == 0.0
+
+    def test_empty_intervals_degrade_to_serial(self):
+        seg = _parallel_segment("map", 0.7, [])
+        assert not seg.parallel
+        assert seg.duration_s == 0.7
+        assert seg.savings_s == pytest.approx(0.7)
+
+
+def _run_job(mapper=None, reducer="default", inputs=None, name="job"):
+    def default_mapper(key, line, ctx):
+        ctx.emit(0, line)
+
+    def default_reducer(key, values, ctx):
+        ctx.emit(f"{key}\t{len(values)}")
+
+    cluster = Cluster(dfs=InMemoryDFS())
+    cluster.dfs.write_file("in", inputs if inputs is not None else ["a", "b", "c"])
+    return cluster.run_job(
+        MapReduceJob(
+            name=name,
+            input_paths=["in"],
+            output_path=f"{name}/out",
+            mapper=mapper or default_mapper,
+            reducer=default_reducer if reducer == "default" else reducer,
+            num_reducers=2,
+        )
+    )
+
+
+class TestJobCriticalPath:
+    def test_phases_in_order(self):
+        path = job_critical_path(_run_job())
+        assert [seg.phase for seg in path.segments] == [
+            "split", "map", "shuffle", "reduce", "write",
+        ]
+        assert path.total_s > 0
+        assert path.best is not None
+        assert "->" in path.describe()
+
+    def test_map_only_job_has_no_reduce_segments(self):
+        path = job_critical_path(_run_job(reducer=None, name="mo"))
+        assert [seg.phase for seg in path.segments] == ["split", "map", "write"]
+
+    def test_single_task_job(self):
+        result = _run_job(inputs=["only one line"], name="tiny")
+        path = job_critical_path(result)
+        map_seg = next(s for s in path.segments if s.phase == "map")
+        assert map_seg.critical_task == 0
+        assert map_seg.slack_s == 0.0
+
+
+class TestWorkflowCriticalPath:
+    def test_attribution_line_names_best_target(self):
+        wf = analyze_critical_path([_run_job(name="a"), _run_job(name="b")])
+        assert len(wf.jobs) == 2
+        line = wf.attribution_line()
+        assert line.startswith("1s-speedup-where-it-matters: ")
+        assert "of job " in line and "critical path" in line
+
+    def test_empty_chain(self):
+        wf = analyze_critical_path([])
+        assert wf.total_s == 0.0
+        assert wf.best is None
+        assert wf.attribution_line() == "critical path: (no measured phases)"
+
+    def test_resumed_jobs_are_excluded(self):
+        result = _run_job(name="done")
+        resumed = type(result)(
+            **{**result.__dict__, "resumed": True}
+        )
+        wf = analyze_critical_path([resumed])
+        assert wf.jobs == ()
+
+    def test_best_picks_largest_savings(self):
+        from repro.obs.critical_path import JobCriticalPath, PhaseSegment
+
+        wf = WorkflowCriticalPath(
+            jobs=(
+                JobCriticalPath("a", (PhaseSegment("map", 2.0, savings_s=0.2),)),
+                JobCriticalPath(
+                    "b",
+                    (PhaseSegment("reduce", 3.0, critical_task=4, savings_s=0.9),),
+                ),
+            )
+        )
+        name, seg = wf.best
+        assert name == "b" and seg.critical_task == 4
+        assert "reduce task 4 of job 'b'" in wf.attribution_line()
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

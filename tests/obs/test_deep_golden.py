@@ -1,0 +1,195 @@
+"""Golden test: the deep observability plane observes, never changes.
+
+PR-level acceptance for the ledger/profiler/counter-timeline stack:
+with a live :class:`~repro.obs.trace.TraceRecorder`, a
+:class:`~repro.obs.ledger.RunLedger` and a
+:class:`~repro.obs.profile.TaskProfiler` all attached at once, every
+algorithm's part files, counters and simulated seconds are
+byte-identical to a bare run — on the serial, thread and process
+executors alike.  The same runs feed the consistency checks: the
+emitted trace (spans + counter tracks) passes the extended validator,
+and replaying the ledger reconstructs the engine's attempt/failure/
+spill/speculation telemetry exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import derive_grid
+from repro.experiments.workloads import synthetic_chain
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.mapreduce.counters import C
+from repro.mapreduce.engine import Cluster
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+from repro.obs import (
+    LedgerRun,
+    MemorySink,
+    RunLedger,
+    TaskProfiler,
+    TraceRecorder,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.query.predicates import Overlap
+from repro.query.query import Query
+
+N_PER_RELATION = 400
+SPACE_SIDE = 4_800.0
+SEED = 11
+EXECUTORS = ("serial", "thread", "process")
+
+OUTPUT_DIRS = {
+    "cascade": "two-way-cascade/output",
+    "all-rep": "all-replicate/output",
+    "c-rep": "controlled-replicate/output",
+    "c-rep-l": "controlled-replicate-limit/output",
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_chain(
+        N_PER_RELATION, SPACE_SIDE, names=("R1", "R2", "R3"), seed=SEED
+    )
+
+
+def _run(workload, algorithm_name, executor="serial", deep=False):
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    obs = {}
+    kwargs = {"executor": executor, "num_workers": 2}
+    if deep:
+        obs = {
+            "recorder": TraceRecorder(),
+            "ledger": RunLedger(MemorySink()),
+            "profiler": TaskProfiler(),
+        }
+        kwargs.update(obs)
+    cluster = Cluster(**kwargs)
+    algorithm = make_algorithm(algorithm_name, query=query, d_max=workload.d_max)
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    snapshot = {
+        path: tuple(cluster.dfs.read_file(path))
+        for path in cluster.dfs.resolve(OUTPUT_DIRS[algorithm_name])
+    }
+    return snapshot, result, obs
+
+
+@pytest.fixture(scope="module")
+def bare_runs(workload):
+    """One bare (unobserved, serial) reference run per algorithm."""
+    return {name: _run(workload, name) for name in ALGORITHMS}
+
+
+@pytest.fixture(scope="module")
+def deep_runs(workload):
+    """Fully-observed runs: every algorithm on every executor."""
+    return {
+        (name, executor): _run(workload, name, executor=executor, deep=True)
+        for name in ALGORITHMS
+        for executor in EXECUTORS
+    }
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_deep_observed_run_is_byte_identical(
+    bare_runs, deep_runs, algorithm_name, executor
+):
+    bare_snapshot, bare, __ = bare_runs[algorithm_name]
+    deep_snapshot, deep, __obs = deep_runs[(algorithm_name, executor)]
+    assert deep_snapshot == bare_snapshot
+    assert deep.tuples == bare.tuples
+    assert len(deep.workflow.job_results) == len(bare.workflow.job_results)
+    for d, b in zip(deep.workflow.job_results, bare.workflow.job_results):
+        assert d.job_name == b.job_name
+        assert d.counters.as_dict() == b.counters.as_dict()
+        assert d.simulated_seconds == b.simulated_seconds
+        assert d.output_records == b.output_records
+    assert deep.stats.simulated_seconds == bare.stats.simulated_seconds
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_trace_with_counter_tracks_validates(deep_runs, algorithm_name, executor):
+    *__, obs = deep_runs[(algorithm_name, executor)]
+    recorder = obs["recorder"]
+    assert recorder.counters  # the engine sampled counter timelines
+    trace = to_chrome_trace(recorder, process_name=algorithm_name)
+    assert validate_chrome_trace(trace) == []
+    counter_names = {
+        e["name"] for e in trace["traceEvents"] if e["ph"] == "C"
+    }
+    assert "worker occupancy" in counter_names
+    assert any(name.startswith("in-flight map tasks") for name in counter_names)
+    json.dumps(trace)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_ledger_brackets_every_job(deep_runs, algorithm_name, executor):
+    __, result, obs = deep_runs[(algorithm_name, executor)]
+    run = LedgerRun.from_events(obs["ledger"].sink.events)
+    assert run.manifest is not None
+    assert run.manifest["executor"] == executor
+    ledgered = {j.name for j in run.jobs}
+    assert ledgered == {r.job_name for r in result.workflow.job_results}
+    for job in run.jobs:
+        assert job.started and job.committed
+        engine_result = result.workflow.job(job.name)
+        assert job.simulated_seconds == engine_result.simulated_seconds
+        assert job.counters == engine_result.counters.as_dict()
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_profiler_covered_both_phases(deep_runs, algorithm_name, executor):
+    *__, obs = deep_runs[(algorithm_name, executor)]
+    profiler = obs["profiler"]
+    phases = {phase for phase, __ in profiler.keys()}
+    assert "map" in phases and "reduce" in phases
+    assert profiler.collapsed_stacks()  # flamegraph input is non-empty
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_ledger_replay_reconciles_recovery_telemetry(workload, executor):
+    """Faults + budget + retries: replay counts == engine counters."""
+    query = Query.chain(["R1", "R2", "R3"], Overlap())
+    grid = derive_grid(workload.datasets)
+    plan = (
+        FaultPlan()
+        .fail_task("map", 0, job="controlled-replicate-mark")
+        .corrupt_result("reduce", 1, job="controlled-replicate-join")
+    )
+    sink = MemorySink()
+    cluster = Cluster(
+        executor=executor,
+        num_workers=2,
+        ledger=RunLedger(sink),
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=3),
+        memory_budget=64 * 1024,
+    )
+    algorithm = make_algorithm("c-rep", query=query, d_max=workload.d_max)
+    result = algorithm.run(query, workload.datasets, grid, cluster)
+    run = LedgerRun.from_events(sink.events)
+    eng = result.workflow.counters.engine
+    assert run.total_attempts == eng(C.TASK_ATTEMPTS)
+    assert run.total_failures == eng(C.TASK_FAILURES) == 2
+    assert sum(j.spilled_records for j in run.jobs) == eng(C.SPILLED_RECORDS)
+    assert sum(j.spill_bytes for j in run.jobs) == eng(C.SPILL_BYTES)
+    assert sum(j.speculative_launches for j in run.jobs) == eng(
+        C.SPECULATIVE_LAUNCHES
+    )
+    assert sum(j.skipped_records for j in run.jobs) == eng(C.SKIPPED_RECORDS)
+
+
+def test_golden_output_is_nonempty(bare_runs):
+    """Guard the guard: empty output would make identity checks vacuous."""
+    for name in ALGORITHMS:
+        snapshot, result, __ = bare_runs[name]
+        assert result.tuples
+        assert any(lines for lines in snapshot.values())

@@ -175,6 +175,108 @@ class TestValidateChromeTrace:
         assert validate_chrome_trace(trace) == []
 
 
+def _counter_event(tid=9, ts=0, args="default", name="gauge"):
+    ev = {"name": name, "cat": "counter", "ph": "C", "ts": ts, "pid": 1, "tid": tid}
+    ev["args"] = {"value": 1} if args == "default" else args
+    return ev
+
+
+class TestValidateCounterEvents:
+    def test_accepts_well_formed_counter_track(self):
+        trace = {
+            "traceEvents": [
+                _counter_event(ts=0),
+                _counter_event(ts=5),
+                _counter_event(ts=5),  # repeated stamp is still monotonic
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+    def test_flags_missing_and_empty_args(self):
+        for bad in (None, {}):
+            ev = _counter_event(args=bad)
+            if bad is None:
+                del ev["args"]
+            problems = validate_chrome_trace({"traceEvents": [ev]})
+            assert any("counter event missing 'args'" in p for p in problems)
+
+    def test_flags_non_numeric_values(self):
+        trace = {"traceEvents": [_counter_event(args={"value": "three"})]}
+        assert any(
+            "counter values must be numeric" in p
+            for p in validate_chrome_trace(trace)
+        )
+
+    def test_flags_non_monotonic_counter_timestamps(self):
+        trace = {"traceEvents": [_counter_event(ts=5), _counter_event(ts=2)]}
+        assert any(
+            "counter timestamps not monotonic" in p
+            for p in validate_chrome_trace(trace)
+        )
+
+    def test_flags_counter_tid_colliding_with_span_lane(self):
+        trace = {
+            "traceEvents": [
+                {"name": "s", "ph": "X", "pid": 1, "tid": 4, "ts": 0, "dur": 5},
+                _counter_event(tid=4),
+            ]
+        }
+        assert any(
+            "counter track collides with a span lane" in p
+            for p in validate_chrome_trace(trace)
+        )
+
+
+class TestMixedSpanAndCounterLayout:
+    def _mixed_recorder(self):
+        # Two parallel spans (forces two lanes on one track), a second
+        # track, and two counter timelines — one gauge, one running sum.
+        rec = _recorder(
+            spans=[
+                _span("t0", "map tasks", 0, 5),
+                _span("t1", "map tasks", 1, 6),
+                _span("job", "engine", 0, 8, cat="job"),
+            ]
+        )
+        rec.counter_sample("in-flight map tasks", rec.epoch + 0.5, 2)
+        rec.counter_sample("in-flight map tasks", rec.epoch + 6.0, 0)
+        rec.counter_add("shuffle bytes (cumulative)", rec.epoch + 5.0, 100)
+        rec.counter_add("shuffle bytes (cumulative)", rec.epoch + 6.0, 50)
+        return rec
+
+    def test_counter_tids_are_disjoint_from_span_lanes(self):
+        trace = to_chrome_trace(self._mixed_recorder(), process_name="mixed")
+        events = trace["traceEvents"]
+        span_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        counter_tids = {e["tid"] for e in events if e["ph"] == "C"}
+        assert span_tids and counter_tids
+        assert span_tids.isdisjoint(counter_tids)
+        # Counter lanes start strictly after every span lane.
+        assert min(counter_tids) > max(span_tids)
+
+    def test_mixed_trace_validates_and_serialises(self):
+        trace = to_chrome_trace(self._mixed_recorder())
+        assert validate_chrome_trace(trace) == []
+        json.dumps(trace)
+
+    def test_counter_tracks_are_named_and_summed(self):
+        trace = to_chrome_trace(self._mixed_recorder())
+        events = trace["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "counter: in-flight map tasks" in names
+        assert "counter: shuffle bytes (cumulative)" in names
+        totals = [
+            e["args"]["value"]
+            for e in events
+            if e["ph"] == "C" and e["name"] == "shuffle bytes (cumulative)"
+        ]
+        assert totals == [100, 150]  # counter_add accumulates
+
+
 # ----------------------------------------------------------------------
 # Against a real engine run
 # ----------------------------------------------------------------------

@@ -187,3 +187,66 @@ class TestDashboard:
         assert text.splitlines()[0].startswith("== c-rep: 2 job(s), wall ")
         assert "-- job job-a " in text
         assert "-- job job-b " in text
+
+
+def _empty_input_job():
+    cluster = Cluster(dfs=InMemoryDFS())
+    cluster.dfs.write_file("in", [])
+    return cluster.run_job(
+        MapReduceJob(
+            name="empty",
+            input_paths=["in"],
+            output_path="empty/out",
+            mapper=lambda key, line, ctx: ctx.emit(0, line),
+            reducer=lambda key, values, ctx: ctx.emit(f"{key}\t{len(values)}"),
+            num_reducers=2,
+        )
+    )
+
+
+class TestDegenerateJobs:
+    """Zero-reducer, empty-input and single-task jobs must never crash
+    the analyzer or the dashboards (no division by zero, no empty-max)."""
+
+    def test_empty_input_analyze(self):
+        report = analyze_job(_empty_input_job())
+        assert report.total_reduce_records == 0
+        assert report.skew == 0.0
+        assert report.hottest_reducer is None or report.skew == 0.0
+
+    def test_empty_input_dashboards(self):
+        result = _empty_input_job()
+        text = render_job_dashboard(result)
+        assert "-- job empty " in text
+        wf = render_workflow_dashboard([result], title="empty-wf")
+        assert wf.splitlines()[0].startswith("== empty-wf: 1 job(s)")
+
+    def test_single_task_analyze_and_dashboard(self):
+        result = _skewed_job([7], name="single")
+        report = analyze_job(result)
+        assert report.reducer_records == [7]
+        assert report.hottest_reducer == 0
+        assert report.skew == pytest.approx(1.0)
+        text = render_job_dashboard(result)
+        assert "reduce input: 7 records over 1 reducers" in text
+
+    def test_map_only_workflow_dashboard(self):
+        text = render_workflow_dashboard([_map_only_job()], title="mo")
+        assert "(map-only job: no reduce phase)" in text
+
+    def test_mixed_degenerate_workflow(self):
+        chain = [_map_only_job(), _empty_input_job(), _skewed_job([7], name="s")]
+        text = render_workflow_dashboard(chain, title="mixed")
+        assert text.splitlines()[0].startswith("== mixed: 3 job(s)")
+        for marker in ("-- job map-only ", "-- job empty ", "-- job s "):
+            assert marker in text
+
+    def test_degenerate_jobs_have_critical_paths(self):
+        from repro.obs.critical_path import analyze_critical_path, job_critical_path
+
+        for result in (_empty_input_job(), _map_only_job()):
+            path = job_critical_path(result)
+            assert path.total_s >= 0
+            assert path.describe()
+        wf = analyze_critical_path([_empty_input_job(), _skewed_job([7], name="t")])
+        assert wf.attribution_line()
