@@ -212,6 +212,61 @@ def _parse_memory_budget(text: str) -> int:
     return value
 
 
+def _build_fault_plan(args: argparse.Namespace, plan_cls):
+    """The join command's FaultPlan: ``--fault-plan`` + ``--workers-fail``."""
+    plan = plan_cls.load(args.fault_plan) if args.fault_plan else None
+    if args.workers_fail:
+        if plan is None:
+            plan = plan_cls()
+        for kwargs in args.workers_fail:
+            plan.fail_worker(**kwargs)
+    return plan
+
+
+def _parse_worker_fail(text: str) -> dict:
+    """Parse one ``--workers-fail`` spec into ``fail_worker`` kwargs.
+
+    Accepted shapes: ``NAME@PHASE:TASK[:ATTEMPT][,silent]`` (fires on
+    that attempt's completion report) and ``NAME@t=SECONDS[,silent]``
+    (fires at the first phase boundary where the simulated clock has
+    passed SECONDS).
+    """
+    raw = text
+    silent = False
+    if text.endswith(",silent"):
+        silent = True
+        text = text[: -len(",silent")]
+    name, sep, where = text.partition("@")
+    usage = (
+        "--workers-fail expects NAME@PHASE:TASK[:ATTEMPT][,silent] or "
+        f"NAME@t=SECONDS[,silent], got {raw!r}"
+    )
+    if not sep or not name or not where:
+        raise argparse.ArgumentTypeError(usage)
+    if where.startswith("t="):
+        try:
+            at_s = float(where[2:])
+        except ValueError:
+            raise argparse.ArgumentTypeError(usage) from None
+        return {"worker": name, "silent": silent, "at_s": at_s}
+    phase, sep, rest = where.partition(":")
+    if not sep or not phase or not rest:
+        raise argparse.ArgumentTypeError(usage)
+    parts = rest.split(":")
+    try:
+        index = int(parts[0])
+        attempt = int(parts[1]) if len(parts) > 1 else 0
+    except ValueError:
+        raise argparse.ArgumentTypeError(usage) from None
+    return {
+        "worker": name,
+        "phase": phase,
+        "index": index,
+        "attempt": attempt,
+        "silent": silent,
+    }
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--max-attempts",
@@ -283,6 +338,41 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
             "skipping mode: quarantine up to N bad records per task and "
             "retry without them (Hadoop's mapred.skip.mode; default 0 = "
             "fail on the first bad record)"
+        ),
+    )
+    p.add_argument(
+        "--workers-fail",
+        type=_parse_worker_fail,
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "kill a named virtual worker: NAME@PHASE:TASK[:ATTEMPT]"
+            "[,silent] fires when that attempt completes, NAME@t=SECONDS "
+            "at the first phase boundary past the simulated clock; "
+            "in-flight attempts are lost and the worker's committed map "
+            "outputs re-execute (repeatable)"
+        ),
+    )
+    p.add_argument(
+        "--blacklist-after",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "blacklist a worker after K charged task failures — no new "
+            "assignments, capacity removed (Hadoop's "
+            "mapred.max.tracker.failures; default 0 = never)"
+        ),
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help=(
+            "simulated heartbeat period: the detection latency charged "
+            "when a worker dies silently (default 1.0)"
         ),
     )
 
@@ -518,8 +608,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                 speculate=args.speculate,
                 task_timeout_s=args.task_timeout,
                 max_skipped_records=args.max_skipped_records,
+                blacklist_after=args.blacklist_after,
+                heartbeat_interval_s=args.heartbeat_interval,
             ),
-            fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
+            fault_plan=_build_fault_plan(args, FaultPlan),
             checkpoint_dir="checkpoints" if args.dfs_root else None,
             resume=args.resume,
             memory_budget=args.memory_budget,
@@ -547,6 +639,21 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         if eng("task_timeouts"):
             print(f"watchdog timeouts: {eng('task_timeouts')}")
+        if eng("worker_failures") or eng("workers_blacklisted") or eng(
+            "workers_joined"
+        ):
+            print(
+                f"workers: {eng('worker_failures')} lost, "
+                f"{eng('workers_blacklisted')} blacklisted, "
+                f"{eng('workers_joined')} joined "
+                f"({eng('map_output_lost')} map outputs invalidated, "
+                f"{eng('tasks_reexecuted')} tasks re-executed)"
+            )
+        if eng("watchdog_degraded"):
+            print(
+                "EFFECTIVE_WATCHDOG=off: --task-timeout degraded to retry "
+                "rounds (no streaming session on this executor)"
+            )
         if eng("spilled_records"):
             print(
                 f"spilled records: {eng('spilled_records')} "

@@ -37,6 +37,27 @@ class JobError(MapReduceError):
     """Raised when a map-reduce job specification is invalid or a task fails."""
 
 
+class FaultPlanError(JobError):
+    """A declarative fault plan failed schema validation.
+
+    Always a one-line message naming the source (file path when the plan
+    was loaded from disk), the offending spec index and the offending
+    key, so a typo'd ``kind`` or field in a ``--fault-plan`` file is a
+    single-line diagnosis instead of a spec that silently never fires.
+    Derives from :class:`JobError` so existing callers catching plan
+    errors keep working.
+    """
+
+
+class NoActiveWorkersError(JobError):
+    """Every worker in the pool is dead or blacklisted.
+
+    The elastic-pool contract degrades gracefully while at least one
+    worker survives; once the active set is empty the job fails cleanly
+    with this error instead of looping forever on unassignable tasks.
+    """
+
+
 class InjectedFault(MapReduceError):
     """A failure injected by a :class:`repro.mapreduce.faults.FaultPlan`.
 

@@ -288,8 +288,12 @@ def run_algorithms(
     export).
 
     The fault-tolerance knobs pass straight to the cluster: ``retry`` (a
-    :class:`~repro.mapreduce.faults.RetryPolicy`), ``fault_plan``,
-    ``checkpoint_dir``, ``resume`` and ``memory_budget`` (per-map-task
+    :class:`~repro.mapreduce.faults.RetryPolicy`, whose
+    ``blacklist_after``/``heartbeat_interval_s`` fields also engage the
+    named-worker failure domains), ``fault_plan`` (including
+    ``fail-worker``/``join-worker`` specs — worker loss mid-join is
+    absorbed with byte-identical part files), ``checkpoint_dir``,
+    ``resume`` and ``memory_budget`` (per-map-task
     shuffle-buffer bound in bytes — spills change telemetry only, never
     output); ``dfs`` substitutes a shared
     backend (e.g. a :class:`~repro.mapreduce.localfs.LocalFSDFS` so a

@@ -66,6 +66,13 @@ class JobCostBreakdown:
     unbounded run (the spill is a *local* implementation detail, not a
     change in the job's DFS/shuffle volumes), so spill I/O lands in its
     own non-canonical bucket.
+
+    ``recovery_overhead_s`` charges worker failure domains: map tasks
+    re-executed because their worker died after committing output,
+    in-flight attempts lost with their worker, and the heartbeat
+    latency of detecting a silent death.  Like the other two buckets it
+    never touches the canonical total — an absorbed worker loss leaves
+    the fault-free simulated seconds byte-identical.
     """
 
     startup_s: float
@@ -74,6 +81,7 @@ class JobCostBreakdown:
     reduce_s: float
     fault_overhead_s: float = 0.0
     spill_overhead_s: float = 0.0
+    recovery_overhead_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -82,7 +90,12 @@ class JobCostBreakdown:
     @property
     def total_with_faults_s(self) -> float:
         """End-to-end seconds including the non-canonical overhead terms."""
-        return self.total_s + self.fault_overhead_s + self.spill_overhead_s
+        return (
+            self.total_s
+            + self.fault_overhead_s
+            + self.spill_overhead_s
+            + self.recovery_overhead_s
+        )
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict form for metrics snapshots and dashboards."""
@@ -93,6 +106,7 @@ class JobCostBreakdown:
             "reduce_s": self.reduce_s,
             "fault_overhead_s": self.fault_overhead_s,
             "spill_overhead_s": self.spill_overhead_s,
+            "recovery_overhead_s": self.recovery_overhead_s,
             "total_s": self.total_s,
         }
 
@@ -203,6 +217,24 @@ class CostModel:
         total — see that field's docstring.
         """
         return wasted_attempts * self.task_startup_s + backoff_s
+
+    def recovery_overhead_seconds(
+        self,
+        reexecution_s: float,
+        detection_s: float,
+        lost_attempts: int,
+    ) -> float:
+        """Simulated cost of worker loss: re-run maps, detection, waste.
+
+        ``reexecution_s`` is the summed :meth:`map_task_seconds` of map
+        tasks whose committed output died with its worker and had to be
+        recomputed; ``detection_s`` is the heartbeat latency already
+        simulated for silently-dead workers; each in-flight attempt
+        that vanished with its worker burned at least a task startup.
+        Reported on :attr:`JobCostBreakdown.recovery_overhead_s`,
+        outside the canonical total — see that field's docstring.
+        """
+        return reexecution_s + detection_s + lost_attempts * self.task_startup_s
 
     def spill_overhead_seconds(self, spill_bytes: int) -> float:
         """Simulated cost of memory-budget spills: write + read-back.

@@ -51,6 +51,19 @@ class C:
     SPILL_BYTES = "spill_bytes"
     SKIPPED_RECORDS = "skipped_records"
 
+    # Worker failure-domain telemetry (only present when a job ran with
+    # an engaged worker pool — a ``fail-worker``/``join-worker`` fault
+    # spec or ``blacklist_after > 0``; inert clusters emit none of
+    # these, and chaos golden tests strip the ``worker``/
+    # ``map_output_lost``/``tasks_reexecuted``/``watchdog_`` prefixes
+    # alongside the recovery block above).
+    WORKER_FAILURES = "worker_failures"
+    WORKERS_BLACKLISTED = "workers_blacklisted"
+    WORKERS_JOINED = "workers_joined"
+    MAP_OUTPUT_LOST = "map_output_lost"
+    TASKS_REEXECUTED = "tasks_reexecuted"
+    WATCHDOG_DEGRADED = "watchdog_degraded"
+
 
 class Counters:
     """A two-level ``group -> name -> int`` counter map.

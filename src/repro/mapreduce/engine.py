@@ -58,11 +58,12 @@ from repro.kernels.batch import RectBatch
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
-from repro.mapreduce.executor import make_executor
+from repro.mapreduce.executor import default_workers, make_executor
 from repro.mapreduce.faults import (
     FaultPlan,
     PhaseReport,
     RetryPolicy,
+    WorkerManager,
     run_phase_with_recovery,
 )
 from repro.mapreduce.job import (
@@ -74,6 +75,7 @@ from repro.mapreduce.job import (
     default_sort_key,
 )
 from repro.mapreduce.spill import SpillRun, SpillStore, merge_runs, spill_dir
+from repro.mapreduce.workers import WorkerPool
 from repro.obs.ledger import NullLedger
 from repro.obs.profile import TaskProfiler, run_profiled
 from repro.obs.trace import NullRecorder
@@ -758,6 +760,18 @@ class Cluster:
         pairs and sorts scalar — the PR 6 behaviour, kept as an honest
         benchmark baseline.  Both settings produce byte-identical part
         files, canonical counters and simulated seconds.
+    worker_pool:
+        Optional :class:`~repro.mapreduce.workers.WorkerPool` of named
+        virtual workers (the cluster's failure domains).  ``None``
+        (default) lazily builds a pool sized to the executor's worker
+        count the first time a job *engages* it — which happens only
+        under recovery dispatch when the fault plan carries
+        ``fail-worker``/``join-worker`` specs, or
+        ``retry.blacklist_after > 0``, or an explicit pool was passed.
+        Disengaged jobs never touch the pool: zero new counters, zero
+        new ledger events, behaviour bit-for-bit the pre-worker
+        dispatch.  The pool persists across the jobs of a workflow, so
+        deaths and blacklists carry over like real node state.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -776,6 +790,11 @@ class Cluster:
     memory_budget: int | None = None
     kernel: str = "auto"
     columnar_shuffle: bool = True
+    worker_pool: WorkerPool | None = None
+    #: cumulative canonical simulated seconds of every job this cluster
+    #: has committed — the simulated clock ``at_s`` worker faults
+    #: trigger against (never wall time, so replays are deterministic)
+    simulated_elapsed_s: float = field(default=0.0, init=False, repr=False)
 
     @property
     def resolved_kernel(self) -> str:
@@ -848,6 +867,7 @@ class Cluster:
             if recovery_active
             else None
         )
+        workers = self._worker_manager(job, recovery_active, rec, led)
         reduce_report: PhaseReport | None = None
 
         with rec.span(f"job:{job.name}", cat="job", track="engine") as job_span:
@@ -862,7 +882,7 @@ class Cluster:
             t0 = time.perf_counter()
             with rec.span("map", cat="phase", track="engine") as sp:
                 map_results, map_tasks, map_report = self._run_map_phase(
-                    job, splits, counters, executor
+                    job, splits, counters, executor, workers
                 )
                 sp.set("tasks", len(map_tasks))
                 sp.set("output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
@@ -928,6 +948,13 @@ class Cluster:
                             store=store,
                             profile=self.profiler is not None,
                         )
+                    if workers is not None:
+                        workers.begin_phase(
+                            "reduce",
+                            reexec=lambda tasks: self._reexecute_maps(
+                                job, splits, tasks, executor
+                            ),
+                        )
                     task_results, reduce_report = run_phase_with_recovery(
                         executor,
                         _run_reduce_task,
@@ -939,9 +966,15 @@ class Cluster:
                         plan=self.fault_plan,
                         recorder=rec,
                         ledger=led,
+                        workers=workers,
                     )
                     sp.set("tasks", job.num_reducers)
                 timings.reduce_s = time.perf_counter() - t0
+                if workers is not None:
+                    # Upstream re-execution deferred past the session:
+                    # map outputs invalidated *during* the reduce phase
+                    # are recomputed now that the dispatch has drained.
+                    workers.run_deferred_reexecution()
                 reduce_task_wall = self._task_wall(task_results, started, rec, "reduce")
                 self._counter_timeline(rec, "reduce", task_results)
                 if self.profiler is not None:
@@ -974,6 +1007,10 @@ class Cluster:
                     counters, cost, (map_report, reduce_report), wrec, job_span
                 )
                 self._quarantine_skipped(job, map_report)
+            if workers is not None:
+                cost = self._merge_worker_recovery(
+                    counters, cost, workers, map_tasks, job_span
+                )
             spill_bytes = counters.engine(C.SPILL_BYTES)
             if spill_bytes:
                 # Spill I/O is wasted work the unbounded run never does:
@@ -987,6 +1024,10 @@ class Cluster:
                 # The runs were merged into committed part files above;
                 # drop the scratch dir like Hadoop's task cleanup.
                 self.dfs.delete(spill_dir(job.name))
+            # Advance the simulated clock ``at_s`` worker faults fire
+            # against — canonical seconds only, so chaos runs keep the
+            # clean run's schedule.
+            self.simulated_elapsed_s += cost.total_s
             job_span.set("simulated_s", cost.total_s)
             job_span.set("map_output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
             job_span.set("reduce_input_records", counters.engine(C.REDUCE_INPUT_RECORDS))
@@ -1013,6 +1054,116 @@ class Cluster:
             map_task_wall=map_task_wall,
             reduce_task_wall=reduce_task_wall,
         )
+
+    def _worker_manager(
+        self, job: MapReduceJob, recovery_active: bool, rec, led
+    ) -> WorkerManager | None:
+        """Build the job's worker-domain coordinator when the pool engages.
+
+        Engagement needs recovery dispatch *and* a reason to name
+        workers: ``fail-worker``/``join-worker`` specs in the plan,
+        ``retry.blacklist_after > 0``, or an explicitly supplied pool.
+        Everything else returns ``None`` and the dispatch stays
+        bit-for-bit the pre-worker behaviour — no new counters, no new
+        ledger events.  The pool itself is cluster-scoped (lazily built
+        at the executor's worker count) so node state persists across a
+        workflow's jobs.
+        """
+        if not recovery_active:
+            return None
+        engaged = (
+            self.worker_pool is not None
+            or self.retry.blacklist_after > 0
+            or (self.fault_plan is not None and self.fault_plan.has_worker_faults)
+        )
+        if not engaged:
+            return None
+        if self.worker_pool is None:
+            self.worker_pool = WorkerPool(self.num_workers or default_workers())
+        return WorkerManager(
+            self.worker_pool,
+            self.fault_plan,
+            job.name,
+            self.retry,
+            rec,
+            led,
+            elapsed_s=self.simulated_elapsed_s,
+        )
+
+    def _reexecute_maps(
+        self,
+        job: MapReduceJob,
+        splits: list[list[tuple[str, int, Any, int]]],
+        tasks: list[int],
+        executor,
+    ) -> None:
+        """Recompute map tasks whose committed output died with a worker.
+
+        The recomputed results are *discarded*: map tasks are pure
+        functions of ``(payload, index)``, so they are byte-identical
+        to the lost originals the surviving reduce attempts already
+        consumed.  Only the non-canonical recovery-overhead charge and
+        the worker telemetry observe that the work happened — exactly
+        Hadoop re-running maps of a lost TaskTracker while the job's
+        output stays the same.
+        """
+        sub = _MapPhase(
+            job,
+            [splits[t] for t in tasks],
+            self.memory_budget,
+            False,
+            columnar=self.columnar_shuffle,
+        )
+        executor.run_phase(_run_map_task, len(tasks), sub)
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "maps-reexecuted",
+                cat="worker",
+                track="workers",
+                args={"tasks": list(tasks)},
+            )
+
+    def _merge_worker_recovery(
+        self,
+        counters: Counters,
+        cost: JobCostBreakdown,
+        workers: WorkerManager,
+        map_tasks: list[TaskStats],
+        job_span,
+    ) -> JobCostBreakdown:
+        """Fold the worker-domain report into counters and the cost term.
+
+        Each counter appears only when its event actually happened, so
+        an engaged-but-quiet job stays counter-identical to a pool-less
+        run.  The wasted work — recomputed map tasks, heartbeat
+        detection latency, attempts that died in flight — lands in the
+        non-canonical ``recovery_overhead_s`` bucket, outside
+        ``total_s`` per the determinism contract.
+        """
+        rep = workers.report
+        for name, value in (
+            (C.WORKER_FAILURES, rep.worker_failures),
+            (C.WORKERS_BLACKLISTED, rep.workers_blacklisted),
+            (C.WORKERS_JOINED, rep.workers_joined),
+            (C.MAP_OUTPUT_LOST, rep.map_output_lost),
+            (C.TASKS_REEXECUTED, rep.tasks_reexecuted),
+        ):
+            if value:
+                counters.add(C.GROUP_ENGINE, name, value)
+                job_span.set(name, value)
+        reexec_s = sum(
+            self.cost_model.map_task_seconds(map_tasks[t])
+            for t in rep.reexec_map_tasks
+        )
+        overhead = self.cost_model.recovery_overhead_seconds(
+            reexec_s, rep.detection_s, rep.lost_attempts
+        )
+        if overhead:
+            job_span.set("recovery_overhead_s", overhead)
+            cost = replace(cost, recovery_overhead_s=overhead)
+        if rep.engaged:
+            job_span.set("workers_active", len(workers.pool.active()))
+        return cost
 
     def _merge_recovery(
         self,
@@ -1060,6 +1211,16 @@ class Cluster:
         if skipped:
             counters.add(C.GROUP_ENGINE, C.SKIPPED_RECORDS, skipped)
             job_span.set("skipped_records", skipped)
+        degraded = sum(
+            1
+            for report in reports
+            if report is not None and report.watchdog_degraded
+        )
+        if degraded:
+            # EFFECTIVE_WATCHDOG=off: the timeout was requested but the
+            # executor had no streaming session to enforce it with.
+            counters.add(C.GROUP_ENGINE, C.WATCHDOG_DEGRADED, degraded)
+            job_span.set("watchdog_degraded", degraded)
         overhead = self.cost_model.fault_overhead_seconds(wasted, backoff_s)
         if overhead:
             job_span.set("fault_overhead_s", overhead)
@@ -1302,6 +1463,7 @@ class Cluster:
         splits: list[list[tuple[str, int, Any, int]]],
         counters: Counters,
         executor,
+        workers: WorkerManager | None = None,
     ) -> tuple[list[_MapTaskResult], list[TaskStats], PhaseReport | None]:
         # The batch path bypasses the per-record loop, so it is only
         # safe when nothing needs per-record hooks: no fault injection
@@ -1319,6 +1481,8 @@ class Cluster:
         split_batches = (
             self._stage_split_batches(job, splits) if use_batch else None
         )
+        if workers is not None:
+            workers.begin_phase("map")
         results, report = run_phase_with_recovery(
             executor,
             _run_map_task,
@@ -1338,6 +1502,7 @@ class Cluster:
             plan=self.fault_plan,
             recorder=self.recorder,
             ledger=self.ledger,
+            workers=workers,
         )
         led = self.ledger
         kern = self.resolved_kernel if self.profiler is not None else ""

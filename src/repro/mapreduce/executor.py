@@ -48,6 +48,16 @@ observability payloads riding in result objects: worker-side time
 stamps, counter shards, and (under ``--profile``) the raw cProfile
 stats dict ``{(file, line, func): (cc, nc, tt, ct, callers)}``, which
 is plain tuples/dicts/strings by construction.
+
+Worker identity: executors know nothing about the *named* virtual
+workers of :mod:`repro.mapreduce.workers` — pool slots here are
+anonymous interchangeable capacity.  The recovery dispatcher assigns
+each attempt a worker name parent-side and threads it through the
+opaque session tag (the 5-tuple ``(index, attempt, speculative, skips,
+worker_name)``), so failure domains are identical on every back-end
+without the back-ends cooperating: killing virtual worker ``w2`` loses
+the same attempts and the same committed map outputs whether the tasks
+physically ran on one thread or sixteen forks.
 """
 
 from __future__ import annotations

@@ -66,7 +66,16 @@ Injection semantics mirror what real clusters detect:
   ``mapred.skip.mode``): the skip is logged with outcome ``"skipped"``,
   does not burn a failure attempt, and the engine writes the
   quarantined records to a DFS side file and counts them under
-  ``SKIPPED_RECORDS``.
+  ``SKIPPED_RECORDS``;
+* ``fail-worker`` — a *scheduler-level* fault: a named virtual worker
+  (see :mod:`repro.mapreduce.workers`) dies, losing its in-flight
+  attempts (outcome ``"worker_lost"``, never charged) **and** its
+  committed map outputs, which Hadoop-style upstream re-execution
+  recomputes; a ``silent`` death has no failure report and is caught
+  by the heartbeat sweep instead;
+* ``join-worker`` — a fresh worker joins the pool mid-job (elastic
+  scale-up).  Both worker kinds are one-shot and coordinated by
+  :class:`WorkerManager`; the attempt body ignores them.
 """
 
 from __future__ import annotations
@@ -74,11 +83,18 @@ from __future__ import annotations
 import json
 import random
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any
 
-from repro.errors import BadRecordError, InjectedFault, JobError, TaskRetryExhausted
+from repro.errors import (
+    BadRecordError,
+    FaultPlanError,
+    InjectedFault,
+    JobError,
+    TaskRetryExhausted,
+)
 from repro.mapreduce.executor import TaskExecutor, TaskWorker
+from repro.mapreduce.workers import WorkerPool
 
 __all__ = [
     "FaultSpec",
@@ -86,11 +102,18 @@ __all__ = [
     "RetryPolicy",
     "TaskAttempt",
     "PhaseReport",
+    "WorkerManager",
+    "WorkerReport",
     "run_phase_with_recovery",
 ]
 
+#: scheduler-level kinds targeting a *worker* rather than an attempt —
+#: ``fail-worker`` kills a named (or the triggering attempt's) worker,
+#: losing its in-flight attempts and committed map outputs;
+#: ``join-worker`` adds a fresh worker to the pool mid-job.
+WORKER_KINDS = ("fail-worker", "join-worker")
 #: injection kinds and the execution phases they may target
-KINDS = ("fail", "delay", "corrupt", "oom", "hang", "poison-record")
+KINDS = ("fail", "delay", "corrupt", "oom", "hang", "poison-record") + WORKER_KINDS
 PHASES = ("map", "reduce", "write")
 
 
@@ -114,6 +137,17 @@ class FaultSpec:
     #: split-record offset a ``poison-record`` spec poisons (map phase
     #: only): the 0-based position within the task's input split
     record: int | None = None
+    #: worker-kind specs only: the named victim of a ``fail-worker``
+    #: (``None``: whichever worker ran the triggering attempt) or the
+    #: name a ``join-worker`` registers (``None``: auto ``w{N}``)
+    worker: str | None = None
+    #: ``fail-worker`` only: die without a failure report — detection
+    #: falls to the heartbeat sweep, which charges its latency
+    silent: bool = False
+    #: worker-kind specs only: fire at the first phase boundary after
+    #: the cluster's cumulative simulated clock passes this many
+    #: seconds, instead of on a triggering attempt
+    at_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -133,14 +167,46 @@ class FaultSpec:
                 )
         elif self.record is not None:
             raise JobError(f"{self.kind} faults do not take a record offset")
+        if self.kind in WORKER_KINDS:
+            if self.phase == "write":
+                raise JobError(
+                    f"{self.kind} faults target the map or reduce phase, not write"
+                )
+            if self.delay_s:
+                raise JobError(f"{self.kind} faults do not take delay_s")
+            if self.at_s is not None:
+                if self.at_s < 0:
+                    raise JobError(f"at_s must be >= 0, got {self.at_s}")
+                if self.kind == "fail-worker" and self.worker is None:
+                    raise JobError(
+                        "an at-time fail-worker needs an explicit worker "
+                        "name (there is no triggering attempt to derive "
+                        "the victim from)"
+                    )
+            if self.silent and self.kind != "fail-worker":
+                raise JobError("only fail-worker faults can be silent")
+        else:
+            if self.worker is not None:
+                raise JobError(f"{self.kind} faults do not take a worker name")
+            if self.silent:
+                raise JobError(f"{self.kind} faults cannot be silent")
+            if self.at_s is not None:
+                raise JobError(f"{self.kind} faults do not take an at_s trigger")
 
     def matches(self, job: str, phase: str, index: int, attempt: int) -> bool:
+        if self.at_s is not None:
+            return False  # at-time specs fire at phase boundaries instead
         return (
             self.phase == phase
             and self.index == index
             and (self.attempt is None or self.attempt == attempt)
             and (self.job is None or self.job == job)
         )
+
+
+#: the JSON field whitelist for fault-plan specs, derived from the
+#: dataclass so schema validation can never drift from the schema
+_SPEC_FIELDS = tuple(f.name for f in fields(FaultSpec))
 
 
 @dataclass
@@ -249,10 +315,69 @@ class FaultPlan:
             FaultSpec("poison-record", "map", index, attempt, job, record=record)
         )
 
+    def fail_worker(
+        self,
+        worker: str | None = None,
+        phase: str = "map",
+        index: int = 0,
+        attempt: int | None = 0,
+        job: str | None = None,
+        *,
+        silent: bool = False,
+        at_s: float | None = None,
+    ) -> "FaultPlan":
+        """Kill a worker: in-flight attempts die, map outputs invalidate.
+
+        Triggered when attempt ``(phase, index, attempt)`` reports in
+        (``worker=None``: that attempt's own worker is the victim), or
+        at the first phase boundary past ``at_s`` cumulative simulated
+        seconds.  ``silent`` suppresses the failure report so the death
+        is only caught by the heartbeat sweep.  One-shot: a spec fires
+        at most once per cluster lifetime.
+        """
+        return self.add(
+            FaultSpec(
+                "fail-worker", phase, index, attempt, job,
+                worker=worker, silent=silent, at_s=at_s,
+            )
+        )
+
+    def join_worker(
+        self,
+        worker: str | None = None,
+        phase: str = "map",
+        index: int = 0,
+        attempt: int | None = 0,
+        job: str | None = None,
+        *,
+        at_s: float | None = None,
+    ) -> "FaultPlan":
+        """Add a fresh worker to the pool mid-job (``None``: auto-named).
+
+        Same triggers as :meth:`fail_worker`; the new worker enters the
+        assignment rotation immediately — an elastic scale-up riding
+        the normal retry/speculation machinery.
+        """
+        return self.add(
+            FaultSpec(
+                "join-worker", phase, index, attempt, job,
+                worker=worker, at_s=at_s,
+            )
+        )
+
     # -- queries --------------------------------------------------------
     @property
     def is_empty(self) -> bool:
         return not self.specs
+
+    @property
+    def has_worker_faults(self) -> bool:
+        """Whether any spec targets a worker (engages the worker pool)."""
+        return any(s.kind in WORKER_KINDS for s in self.specs)
+
+    def worker_specs(self) -> list[FaultSpec]:
+        """The worker-kind specs, in declaration order."""
+        return [s for s in self.specs if s.kind in WORKER_KINDS]
 
     def matching(
         self, job: str, phase: str, index: int, attempt: int
@@ -298,11 +423,50 @@ class FaultPlan:
         return {"seed": self.seed, "specs": [asdict(s) for s in self.specs]}
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
-        try:
-            specs = [FaultSpec(**spec) for spec in data.get("specs", [])]
-        except TypeError as exc:
-            raise JobError(f"malformed fault plan: {exc}") from exc
+    def from_dict(
+        cls, data: dict[str, Any], source: str | None = None
+    ) -> "FaultPlan":
+        """Validate and build a plan from its JSON form.
+
+        Every schema violation — an unknown top-level key, spec field,
+        ``kind`` or ``phase`` — raises a one-line
+        :class:`~repro.errors.FaultPlanError` naming the source (the
+        file path, when loaded from disk), the spec index and the
+        offending key, instead of silently carrying a spec that never
+        fires.
+        """
+        where = f"{source}: " if source else "fault plan: "
+        if not isinstance(data, dict):
+            raise FaultPlanError(
+                f"{where}expected a JSON object, got {type(data).__name__}"
+            )
+        for key in data:
+            if key not in ("seed", "specs"):
+                raise FaultPlanError(
+                    f"{where}unknown top-level key {key!r} (known: seed, specs)"
+                )
+        raw_specs = data.get("specs", [])
+        if not isinstance(raw_specs, list):
+            raise FaultPlanError(
+                f"{where}'specs' must be a list, got {type(raw_specs).__name__}"
+            )
+        specs = []
+        for i, raw in enumerate(raw_specs):
+            if not isinstance(raw, dict):
+                raise FaultPlanError(
+                    f"{where}spec #{i}: expected an object, "
+                    f"got {type(raw).__name__}"
+                )
+            unknown = [k for k in raw if k not in _SPEC_FIELDS]
+            if unknown:
+                raise FaultPlanError(
+                    f"{where}spec #{i}: unknown field {unknown[0]!r} "
+                    f"(known: {', '.join(_SPEC_FIELDS)})"
+                )
+            try:
+                specs.append(FaultSpec(**raw))
+            except (JobError, TypeError) as exc:
+                raise FaultPlanError(f"{where}spec #{i}: {exc}") from exc
         return cls(specs=specs, seed=data.get("seed"))
 
     def dump(self, path: str) -> None:
@@ -313,9 +477,10 @@ class FaultPlan:
     def load(cls, path: str) -> "FaultPlan":
         try:
             with open(path, encoding="utf-8") as fh:
-                return cls.from_dict(json.load(fh))
+                data = json.load(fh)
         except (OSError, ValueError) as exc:
             raise JobError(f"cannot load fault plan {path!r}: {exc}") from exc
+        return cls.from_dict(data, source=path)
 
 
 @dataclass(frozen=True)
@@ -355,6 +520,18 @@ class RetryPolicy:
     (:class:`~repro.errors.BadRecordError`) is retried with that record
     quarantined instead of burning a failure attempt, up to this many
     records per task.
+
+    ``blacklist_after`` (0 = off) arms per-worker failure accounting:
+    every charged task failure strikes the worker that ran the attempt,
+    and a worker reaching this many strikes is blacklisted — no new
+    assignments, its capacity removed from the pool — Hadoop's
+    ``mapred.max.tracker.failures`` TaskTracker blacklist.  Setting it
+    engages the worker pool even without a fault plan.
+
+    ``heartbeat_interval_s`` is the *simulated* latency of detecting a
+    silently-dead worker (one missed heartbeat), charged to the job's
+    recovery-overhead term when a ``fail-worker`` spec is ``silent``;
+    workers that die with a failure report are detected for free.
     """
 
     max_attempts: int = 1
@@ -365,6 +542,8 @@ class RetryPolicy:
     speculation_min_runtime_s: float = 0.05
     task_timeout_s: float | None = None
     max_skipped_records: int = 0
+    blacklist_after: int = 0
+    heartbeat_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -378,6 +557,14 @@ class RetryPolicy:
         if self.max_skipped_records < 0:
             raise JobError(
                 f"max_skipped_records must be >= 0, got {self.max_skipped_records}"
+            )
+        if self.blacklist_after < 0:
+            raise JobError(
+                f"blacklist_after must be >= 0, got {self.blacklist_after}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise JobError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
             )
 
     def backoff_before(self, attempt: int) -> float:
@@ -394,6 +581,7 @@ class RetryPolicy:
             or self.speculate
             or self.task_timeout_s is not None
             or self.max_skipped_records > 0
+            or self.blacklist_after > 0
         )
 
 
@@ -405,10 +593,13 @@ class TaskAttempt:
     ``"corrupt"`` (completed but failed the simulated checksum),
     ``"lost"`` (completed fine but a sibling attempt had already won —
     a discarded speculative loser), ``"timeout"`` (abandoned by the
-    hung-task watchdog) or ``"skipped"`` (died on one bad record that
-    skipping mode quarantined — the follow-up dispatch does not count
-    as a failure).  ``backoff_s`` is the simulated backoff charged
-    before this attempt launched.
+    hung-task watchdog), ``"worker_lost"`` (the attempt's worker died
+    under it — never charged: the attempt did nothing wrong, so Hadoop
+    reschedules it without burning one of the task's allowed failures)
+    or ``"skipped"`` (died on one bad record that skipping mode
+    quarantined — the follow-up dispatch does not count as a failure).
+    ``backoff_s`` is the simulated backoff charged before this attempt
+    launched.
     """
 
     attempt: int
@@ -435,6 +626,10 @@ class PhaseReport:
     #: per task: quarantined ``(offset, path, lineno, record_repr)``
     #: tuples, in skip order (empty when skipping mode never fired)
     skipped: list[list[tuple]] = field(default_factory=list)
+    #: set when ``task_timeout_s`` was requested but the executor has
+    #: no streaming session, so the watchdog degraded to retry rounds
+    #: (``EFFECTIVE_WATCHDOG=off`` — hung attempts cannot be preempted)
+    watchdog_degraded: bool = False
 
     @property
     def extra_attempts(self) -> int:
@@ -448,6 +643,343 @@ class PhaseReport:
 
 
 # ----------------------------------------------------------------------
+# Worker failure domains: the per-job coordinator the dispatchers call
+# into when the pool is engaged.
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerReport:
+    """Worker-domain telemetry of one job, merged into counters/cost."""
+
+    worker_failures: int = 0
+    workers_blacklisted: int = 0
+    workers_joined: int = 0
+    map_output_lost: int = 0
+    tasks_reexecuted: int = 0
+    #: in-flight attempts that vanished with their worker (never
+    #: charged as task failures — includes speculative losers)
+    lost_attempts: int = 0
+    #: simulated heartbeat latency of detecting silent deaths
+    detection_s: float = 0.0
+    #: map task ids whose committed output was recomputed (duplicates
+    #: possible if a task's output is lost more than once)
+    reexec_map_tasks: list[int] = field(default_factory=list)
+
+    @property
+    def engaged(self) -> bool:
+        """Whether anything worker-related actually happened."""
+        return bool(
+            self.worker_failures
+            or self.workers_blacklisted
+            or self.workers_joined
+            or self.map_output_lost
+            or self.lost_attempts
+        )
+
+
+class WorkerManager:
+    """Per-job coordinator of the worker failure domain.
+
+    The engine creates one per job when the pool is engaged (the fault
+    plan has worker specs, or ``policy.blacklist_after > 0``).  It owns
+    the job-scoped state — which worker committed which map output,
+    which deaths are queued for the liveness sweep, the telemetry
+    report — while the :class:`~repro.mapreduce.workers.WorkerPool`
+    itself lives for the whole cluster, so deaths and blacklists
+    persist across the jobs of a chained workflow.
+
+    Death protocol (mirrors a lost TaskTracker):
+
+    1. a ``fail-worker`` spec fires — on a triggering attempt's
+       completion report, or at a phase boundary for ``at_s`` specs —
+       and the victim is *queued* (``queue_death``);
+    2. the dispatcher's liveness sweep enacts it (``enact_pending``):
+       the worker is marked dead, its in-flight attempts are recorded
+       as ``worker_lost`` (uncharged) and re-dispatched, and every
+       committed map output it owned is invalidated;
+    3. invalidated map tasks re-execute — in-phase during the map
+       phase, or (during the reduce phase) via the engine's deferred
+       re-execution callback once the surviving reduce attempts drain,
+       with the recomputed results discarded (map tasks are pure
+       functions of ``(payload, index)``, so byte-identity holds).
+
+    Detection is ``"report"`` for ordinary deaths (the failure report
+    doubles as the death notice) and ``"heartbeat"`` for silent ones,
+    which charge :attr:`RetryPolicy.heartbeat_interval_s` of simulated
+    detection latency to the recovery-overhead term.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        plan: FaultPlan | None,
+        job: str,
+        policy: RetryPolicy,
+        recorder=None,
+        ledger=None,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        self.pool = pool
+        self.job = job
+        self.policy = policy
+        self.recorder = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
+        self.ledger = ledger if ledger is not None and ledger.enabled else None
+        #: cumulative simulated seconds at job start (at_s triggers)
+        self.elapsed_s = elapsed_s
+        self.report = WorkerReport()
+        self.phase = ""
+        #: committed map output ownership: task id -> worker name
+        self.map_owners: dict[int, str] = {}
+        self._specs = plan.worker_specs() if plan is not None else []
+        self._pending_deaths: list[tuple[str, FaultSpec | None]] = []
+        self._dying: set[str] = set()
+        self._reexec = None
+        self._deferred_reexec: list[int] = []
+
+    # -- phase lifecycle -----------------------------------------------
+    def begin_phase(self, phase: str, reexec=None) -> None:
+        """Enter a phase; ``reexec`` re-runs map tasks (reduce phase).
+
+        Fires any pending at-time specs: the phase boundary is where
+        the scheduler consults the simulated clock.
+        """
+        self.phase = phase
+        self._reexec = reexec
+        for spec in self._specs:
+            if spec.at_s is None or spec in self.pool.fired:
+                continue
+            if spec.job is not None and spec.job != self.job:
+                continue
+            if self.elapsed_s < spec.at_s:
+                continue
+            self.pool.fired.add(spec)
+            if spec.kind == "join-worker":
+                self.enact_join(spec)
+            else:
+                self.queue_death(spec.worker, spec)
+        # No attempts are in flight at a boundary, so enacting here
+        # only kills workers and invalidates prior-phase map outputs.
+        self.enact_pending()
+
+    def assign(self, index: int, attempt: int) -> str:
+        return self.pool.assign(index, attempt)
+
+    def task_completed(self, index: int, worker: str | None) -> None:
+        """Record the winning attempt's worker as the output's owner."""
+        if self.phase == "map" and worker is not None:
+            self.map_owners[index] = worker
+
+    # -- triggers ------------------------------------------------------
+    def worker_events_for(self, index: int, attempt: int) -> list[FaultSpec]:
+        """Worker specs this attempt triggers (consumed: one-shot)."""
+        hits = []
+        for spec in self._specs:
+            if spec.at_s is not None or spec in self.pool.fired:
+                continue
+            if spec.matches(self.job, self.phase, index, attempt):
+                self.pool.fired.add(spec)
+                hits.append(spec)
+        return hits
+
+    def queue_death(self, victim: str | None, spec: FaultSpec | None) -> None:
+        """Schedule a worker death for the next liveness sweep."""
+        if victim is None:
+            return
+        self._pending_deaths.append((victim, spec))
+        self._dying.add(victim)
+
+    @property
+    def has_pending_deaths(self) -> bool:
+        return bool(self._pending_deaths)
+
+    def is_lost_worker(self, name: str | None) -> bool:
+        """Whether results from ``name`` must be discarded (dead/dying)."""
+        if name is None:
+            return False
+        return name in self._dying or not self.pool.state(name).alive
+
+    def enact_join(self, spec: FaultSpec) -> None:
+        joined = self.pool.join(spec.worker)
+        if joined is None:
+            return  # the name already exists — a node cannot join twice
+        self.report.workers_joined += 1
+        if self.ledger is not None:
+            self.ledger.event("worker_joined", worker=joined, phase=self.phase)
+        if self.recorder is not None:
+            self.recorder.instant(
+                "worker-joined",
+                cat="worker",
+                track="workers",
+                args={"worker": joined, "active": len(self.pool.active())},
+            )
+
+    # -- enactment -----------------------------------------------------
+    def enact_pending(self) -> tuple[list[str], list[int]]:
+        """Kill queued workers; returns (victims, in-phase re-runs).
+
+        The second element lists map task ids whose committed output
+        the *current map phase* must re-dispatch; reduce-phase
+        invalidations are deferred to the engine callback instead
+        (re-entering the executor mid-session is not safe).
+        """
+        victims: list[str] = []
+        invalidated: list[int] = []
+        while self._pending_deaths:
+            victim, spec = self._pending_deaths.pop(0)
+            self._dying.discard(victim)
+            if not self.pool.kill(victim):
+                continue  # already dead: nothing new to lose
+            silent = spec is not None and spec.silent
+            detected = "heartbeat" if silent else "report"
+            self.report.worker_failures += 1
+            if silent:
+                self.report.detection_s += self.policy.heartbeat_interval_s
+            if self.ledger is not None:
+                self.ledger.event(
+                    "worker_lost",
+                    worker=victim,
+                    phase=self.phase,
+                    detected=detected,
+                )
+            if self.recorder is not None:
+                self.recorder.instant(
+                    "worker-lost",
+                    cat="worker",
+                    track="workers",
+                    args={
+                        "worker": victim,
+                        "detected": detected,
+                        "active": len(self.pool.active()),
+                    },
+                )
+            victims.append(victim)
+            invalidated.extend(self._invalidate(victim))
+        return victims, invalidated
+
+    def _invalidate(self, victim: str) -> list[int]:
+        """Lose every committed map output the victim owned."""
+        lost = sorted(t for t, w in self.map_owners.items() if w == victim)
+        if not lost:
+            return []
+        for t in lost:
+            del self.map_owners[t]
+        self.report.map_output_lost += len(lost)
+        self.report.tasks_reexecuted += len(lost)
+        self.report.reexec_map_tasks.extend(lost)
+        if self.ledger is not None:
+            self.ledger.event(
+                "output_invalidated",
+                worker=victim,
+                phase=self.phase,
+                tasks=lost,
+                reexecuted=len(lost),
+            )
+        if self.recorder is not None:
+            self.recorder.instant(
+                "output-invalidated",
+                cat="worker",
+                track="workers",
+                args={"worker": victim, "tasks": lost},
+            )
+        if self.phase == "map":
+            return lost
+        self._deferred_reexec.extend(lost)
+        return []
+
+    def run_deferred_reexecution(self) -> None:
+        """Re-run map tasks invalidated during the reduce phase.
+
+        Called by the engine after the reduce dispatch drains; the
+        recomputed results are discarded (the tasks are pure, so they
+        are identical to the lost originals) — only the simulated
+        recovery-overhead charge and the telemetry remain.
+        """
+        if not self._deferred_reexec or self._reexec is None:
+            return
+        tasks = sorted(set(self._deferred_reexec))
+        self._deferred_reexec.clear()
+        self._reexec(tasks)
+
+    # -- failure accounting --------------------------------------------
+    def strike(self, worker: str | None) -> None:
+        """Charge one task failure against ``worker`` (may blacklist)."""
+        if worker is None or self.policy.blacklist_after <= 0:
+            return
+        state = self.pool.state(worker)
+        if not state.alive or state.blacklisted:
+            return
+        strikes = self.pool.strike(worker)
+        if strikes < self.policy.blacklist_after:
+            return
+        self.pool.blacklist(worker)
+        self.report.workers_blacklisted += 1
+        if self.ledger is not None:
+            self.ledger.event(
+                "worker_blacklisted",
+                worker=worker,
+                strikes=strikes,
+                phase=self.phase,
+            )
+        if self.recorder is not None:
+            self.recorder.instant(
+                "worker-blacklisted",
+                cat="worker",
+                track="workers",
+                args={
+                    "worker": worker,
+                    "strikes": strikes,
+                    "active": len(self.pool.active()),
+                },
+            )
+
+
+def _mark_worker_lost(
+    report: PhaseReport,
+    workers: "WorkerManager",
+    index: int,
+    attempt: int,
+    speculative: bool,
+    duration_s: float,
+    worker_name: str,
+    recorder,
+    phase: str,
+    ledger=None,
+) -> None:
+    """An attempt vanished with its worker: log it, charge nothing."""
+    report.attempts[index].append(
+        TaskAttempt(
+            attempt=attempt,
+            outcome="worker_lost",
+            speculative=speculative,
+            error=f"worker {worker_name} died with the attempt in flight",
+            duration_s=duration_s,
+        )
+    )
+    report.launched += 1
+    workers.report.lost_attempts += 1
+    if ledger is not None:
+        ledger.event(
+            "task_attempt",
+            phase=phase,
+            task=index,
+            attempt=attempt,
+            outcome="worker_lost",
+            speculative=speculative,
+            charged=False,
+            duration_s=round(duration_s, 6),
+            worker=worker_name,
+        )
+    if recorder is not None and recorder.enabled:
+        recorder.instant(
+            "worker-lost-attempt",
+            cat="attempt",
+            track=f"{phase} attempts",
+            args={"task": index, "attempt": attempt, "worker": worker_name},
+        )
+
+
+# ----------------------------------------------------------------------
 # The attempt envelope: recovery-dispatched workers never raise across
 # the executor boundary — they capture success/failure in an _Outcome so
 # the engine can retry per task instead of aborting the whole phase.
@@ -457,16 +989,19 @@ class _AttemptPhase:
     """Payload wrapper carrying the real worker plus the slot table.
 
     Batch rounds address tasks by *slot* (an index into ``slots``);
-    session dispatch passes the ``(index, attempt, speculative, skips)``
-    tag directly.  ``skips`` is the tuple of quarantined split offsets a
-    skipping-mode retry must not touch — part of the tag because it
-    varies per dispatch, unlike the rest of the envelope.  Everything
-    here is fork-inherited or picklable.
+    session dispatch passes the ``(index, attempt, speculative, skips,
+    worker_name)`` tag directly.  ``skips`` is the tuple of quarantined
+    split offsets a skipping-mode retry must not touch; ``worker_name``
+    is the virtual worker the scheduler assigned the attempt to
+    (``None`` when the pool is disengaged) — it rides the tag through
+    every executor so worker-loss bookkeeping is identical on all of
+    them, but the attempt body itself never consults it (workers are
+    virtual).  Everything here is fork-inherited or picklable.
     """
 
     inner: Any
     worker: TaskWorker
-    slots: tuple[tuple[int, int, bool, tuple[int, ...]], ...]
+    slots: tuple[tuple[int, int, bool, tuple[int, ...], str | None], ...]
     plan: FaultPlan | None
     job: str
     phase: str
@@ -504,10 +1039,11 @@ def _run_attempt(phase: _AttemptPhase, slot: Any) -> _Outcome:
     """One fault-instrumented attempt: inject, run, capture.
 
     ``slot`` is an int (batch rounds: index into the slot table) or the
-    ``(index, attempt, speculative, skips)`` tag itself (session
-    dispatch).
+    ``(index, attempt, speculative, skips, worker_name)`` tag itself
+    (session dispatch).  Worker-kind specs are scheduler-level faults:
+    they match attempts (as triggers) but inject nothing here.
     """
-    index, attempt, speculative, skips = (
+    index, attempt, speculative, skips, __ = (
         phase.slots[slot] if isinstance(slot, int) else slot
     )
     t_start = time.perf_counter()
@@ -607,6 +1143,7 @@ def run_phase_with_recovery(
     plan: FaultPlan | None = None,
     recorder=None,
     ledger=None,
+    workers: WorkerManager | None = None,
 ) -> tuple[list, PhaseReport | None]:
     """Run a phase with retry/speculation; returns (results, report).
 
@@ -628,6 +1165,12 @@ def run_phase_with_recovery(
     task failure (a speculative loser that raised after its sibling
     won) — plus ``task_retry``, ``task_skip`` and
     ``speculation_launch`` events from the paths that emit them.
+
+    ``workers`` (a :class:`WorkerManager`, engine-built when the pool
+    is engaged) threads the named-worker assignment through every
+    attempt tag and lets the dispatch loops enact worker deaths,
+    output invalidation and blacklisting; ``None`` leaves behaviour
+    bit-for-bit unchanged.
     """
     if ledger is not None and not ledger.enabled:
         ledger = None
@@ -638,6 +1181,7 @@ def run_phase_with_recovery(
     env = _AttemptPhase(
         inner=payload, worker=worker, slots=(), plan=plan, job=job, phase=phase
     )
+    degraded = False
     if policy.speculate or policy.task_timeout_s is not None:
         # Both speculation and the watchdog need streaming completions;
         # a serial executor has no session, so they degrade to rounds.
@@ -645,9 +1189,47 @@ def run_phase_with_recovery(
         if session is not None:
             with session:
                 return _run_session(
-                    session, env, num_tasks, policy, recorder, ledger
+                    session, env, num_tasks, policy, recorder, ledger, workers
                 )
-    return _run_retry_rounds(executor, env, num_tasks, policy, recorder, ledger)
+        if policy.task_timeout_s is not None:
+            # Satellite fix: a silently-toothless watchdog (1-CPU boxes,
+            # serial executor) now announces itself instead of letting
+            # hung tasks run to completion unremarked.
+            _warn_watchdog_degraded(job, phase, policy, recorder, ledger)
+            degraded = True
+    results, report = _run_retry_rounds(
+        executor, env, num_tasks, policy, recorder, ledger, workers
+    )
+    if degraded:
+        report.watchdog_degraded = True
+    return results, report
+
+
+def _warn_watchdog_degraded(
+    job: str, phase: str, policy: RetryPolicy, recorder, ledger
+) -> None:
+    """Announce EFFECTIVE_WATCHDOG=off in the ledger and the trace."""
+    detail = (
+        f"EFFECTIVE_WATCHDOG=off: task_timeout_s={policy.task_timeout_s} "
+        "degrades to retry rounds because the executor has no streaming "
+        "session (serial, or a single worker) — hung attempts cannot be "
+        "preempted"
+    )
+    if ledger is not None:
+        ledger.event(
+            "warning",
+            kind="watchdog_degraded",
+            job=job,
+            phase=phase,
+            detail=detail,
+        )
+    if recorder is not None and recorder.enabled:
+        recorder.instant(
+            "watchdog-degraded",
+            cat="attempt",
+            track=f"{phase} attempts",
+            args={"job": job, "detail": detail},
+        )
 
 
 def _record_attempt(
@@ -813,6 +1395,7 @@ def _run_retry_rounds(
     policy: RetryPolicy,
     recorder,
     ledger=None,
+    workers: WorkerManager | None = None,
 ) -> tuple[list, PhaseReport]:
     """Deterministic round-based retries (the non-speculative path).
 
@@ -826,6 +1409,15 @@ def _run_retry_rounds(
     charging a failure, bounded per task by
     ``policy.max_skipped_records`` (past the bound the bad record is an
     ordinary failure again).
+
+    With an engaged ``workers`` manager, every slot carries its
+    assigned worker name, and the between-rounds step doubles as the
+    liveness sweep: worker faults triggered by this round's attempts
+    are enacted before any of the round's results are accepted, so an
+    attempt that was in flight on a dying worker loses its result
+    (outcome ``"worker_lost"``, uncharged) and invalidated committed
+    map outputs rejoin the pending set — the round boundary is the
+    simulated heartbeat.
     """
     results: list[Any] = [None] * num_tasks
     report = PhaseReport(
@@ -841,7 +1433,12 @@ def _run_retry_rounds(
     while pending:
         slots = []
         for i in pending:
-            slots.append((i, launch_counts[i], False, skips[i]))
+            assigned = (
+                workers.assign(i, launch_counts[i])
+                if workers is not None
+                else None
+            )
+            slots.append((i, launch_counts[i], False, skips[i], assigned))
             launch_counts[i] += 1
         round_env = _AttemptPhase(
             inner=env.inner,
@@ -852,15 +1449,40 @@ def _run_retry_rounds(
             phase=env.phase,
         )
         outcomes = executor.run_phase(_run_attempt, len(slots), round_env)
+        lost_workers: set[str] = set()
+        invalidated: list[int] = []
+        if workers is not None:
+            # Scheduler-side pass first: worker faults trigger as the
+            # round's attempts report in (slot order), then the sweep
+            # enacts every queued death before results are accepted.
+            for out, slot in zip(outcomes, slots):
+                for spec in workers.worker_events_for(out.index, out.attempt):
+                    if spec.kind == "join-worker":
+                        workers.enact_join(spec)
+                    else:
+                        workers.queue_death(spec.worker or slot[4], spec)
+            victims, invalidated = workers.enact_pending()
+            lost_workers = set(victims)
         retry: list[int] = []
-        for out in outcomes:  # slot order == ascending task id
+        for out, slot in zip(outcomes, slots):  # slot order == task-id order
             i = out.index
+            if slot[4] is not None and slot[4] in lost_workers:
+                # The attempt was in flight on the dying worker: its
+                # result died with the node — not charged, re-run.
+                _mark_worker_lost(
+                    report, workers, i, out.attempt, out.speculative,
+                    out.duration_s, slot[4], recorder, env.phase, ledger,
+                )
+                retry.append(i)
+                continue
             if out.ok:
                 _record_attempt(
                     report, out, next_backoff[i], recorder, env.phase,
                     ledger=ledger,
                 )
                 results[i] = out.value
+                if workers is not None:
+                    workers.task_completed(i, slot[4])
                 continue
             if (
                 out.bad_record is not None
@@ -894,6 +1516,8 @@ def _run_retry_rounds(
                 report, out, next_backoff[i], recorder, env.phase, ledger=ledger
             )
             failed_counts[i] += 1
+            if workers is not None:
+                workers.strike(slot[4])
             if failed_counts[i] >= policy.max_attempts:
                 raise _exhausted_error(
                     env.job, env.phase, i, report.attempts[i], out.error
@@ -902,7 +1526,12 @@ def _run_retry_rounds(
                 report, policy, i, failed_counts[i], recorder, env.phase, ledger
             )
             retry.append(i)
-        pending = retry
+        for t in invalidated:
+            # Committed output from an earlier round died with its
+            # worker: the task runs again (fresh attempt id, uncharged).
+            results[t] = None
+            retry.append(t)
+        pending = sorted(set(retry))
     return results, report
 
 
@@ -949,19 +1578,28 @@ def _run_session(
     policy: RetryPolicy,
     recorder,
     ledger=None,
+    workers: WorkerManager | None = None,
 ) -> tuple[list, PhaseReport]:
     """Event-loop dispatch: speculation and/or watchdog (thread/process).
 
-    Tags are ``(index, attempt, speculative, skips)``.  First successful
-    finisher per task wins; siblings are discarded as ``lost``.  With
-    ``policy.task_timeout_s`` set, a watchdog sweep abandons any attempt
-    past the wall-clock bound (outcome ``"timeout"``, charged as a
-    failure) and re-dispatches the task through the retry path; a
-    result that straggles in from an abandoned attempt is ignored.
-    Output stays byte-identical to the batch path because every clean
-    attempt of a task computes the identical result — only the
-    telemetry (attempt counts, speculative wins, timeouts) depends on
-    timing.
+    Tags are ``(index, attempt, speculative, skips, worker_name)``.
+    First successful finisher per task wins; siblings are discarded as
+    ``lost``.  With ``policy.task_timeout_s`` set, a watchdog sweep
+    abandons any attempt past the wall-clock bound (outcome
+    ``"timeout"``, charged as a failure) and re-dispatches the task
+    through the retry path; a result that straggles in from an
+    abandoned attempt is ignored.  Output stays byte-identical to the
+    batch path because every clean attempt of a task computes the
+    identical result — only the telemetry (attempt counts, speculative
+    wins, timeouts) depends on timing.
+
+    With an engaged ``workers`` manager the loop also runs a liveness
+    sweep each iteration (the simulated heartbeat, distinct from the
+    per-task watchdog): queued worker deaths are enacted, in-flight
+    attempts on the victim are written off as ``worker_lost``
+    (uncharged — including speculative losers), committed map outputs
+    it owned rejoin the pending set, and a completion report arriving
+    from a dead or dying worker is withheld rather than accepted.
     """
     report = PhaseReport(
         attempts=[[] for __ in range(num_tasks)],
@@ -971,12 +1609,20 @@ def _run_session(
     supports_skip = getattr(env.worker, "supports_record_skipping", False)
     completed_durations: list[float] = []
     done_count = 0
+    #: worker assigned to each launched attempt: (index, attempt) -> name
+    tag_workers: dict[tuple[int, int], str | None] = {}
 
     def launch(index: int, speculative: bool) -> None:
         attempt = state.launched_ids[index]
         state.launched_ids[index] += 1
+        assigned = (
+            workers.assign(index, attempt) if workers is not None else None
+        )
+        tag_workers[(index, attempt)] = assigned
         state.running[index][attempt] = (time.monotonic(), speculative)
-        session.submit((index, attempt, speculative, state.skips[index]))
+        session.submit(
+            (index, attempt, speculative, state.skips[index], assigned)
+        )
         if speculative:
             report.speculative_launched += 1
             state.has_backup[index] = True
@@ -1079,6 +1725,8 @@ def _run_session(
                         },
                     )
                 state.failed_counts[index] += 1
+                if workers is not None:
+                    workers.strike(tag_workers.get((index, attempt)))
                 if state.failed_counts[index] >= policy.max_attempts:
                     if state.running[index]:
                         continue  # a sibling may yet win
@@ -1101,18 +1749,83 @@ def _run_session(
                     )
                     launch(index, speculative=False)
 
+    def worker_sweep() -> None:
+        """The liveness sweep: enact queued deaths, re-dispatch lost work.
+
+        This is the simulated heartbeat scan — it runs every loop
+        iteration, independent of task completions, which is how a
+        *silent* death (no failure report) still gets detected.
+        """
+        nonlocal done_count
+        if workers is None or not workers.has_pending_deaths:
+            return
+        victims, invalidated = workers.enact_pending()
+        vic = set(victims)
+        now = time.monotonic()
+        for index in range(num_tasks):
+            if state.done[index]:
+                continue
+            for attempt, (started, speculative) in list(
+                state.running[index].items()
+            ):
+                if tag_workers.get((index, attempt)) not in vic:
+                    continue
+                del state.running[index][attempt]
+                state.abandoned[index].add(attempt)
+                if speculative:
+                    state.has_backup[index] = False
+                _mark_worker_lost(
+                    report, workers, index, attempt, speculative,
+                    now - started, tag_workers[(index, attempt)],
+                    recorder, env.phase, ledger,
+                )
+        for t in invalidated:
+            # Committed map output died with its worker: the task is
+            # no longer done and must run again (fresh attempt id).
+            if state.done[t]:
+                state.done[t] = False
+                state.results[t] = None
+                done_count -= 1
+        for index in range(num_tasks):
+            if not state.done[index] and not state.running[index]:
+                launch(index, speculative=False)
+
     for index in range(num_tasks):
         launch(index, speculative=False)
 
-    while done_count < num_tasks:
+    while done_count < num_tasks or (
+        workers is not None and workers.has_pending_deaths
+    ):
+        worker_sweep()
+        if done_count >= num_tasks:
+            continue  # the sweep drained the queue or undid some tasks
         item = session.next_done(timeout=0.01)
         reap_timeouts()
         if item is None:
             monitor()
             continue
-        (index, attempt, speculative, __), out = item
+        (index, attempt, speculative, __, wname), out = item
         if attempt in state.abandoned[index]:
             continue  # the watchdog already wrote this attempt off
+        if workers is not None:
+            for spec in workers.worker_events_for(index, attempt):
+                if spec.kind == "join-worker":
+                    workers.enact_join(spec)
+                else:
+                    workers.queue_death(spec.worker or wname, spec)
+            if workers.is_lost_worker(wname):
+                # The worker died before delivering this result: the
+                # report is withheld — the next sweep enacts the death
+                # and re-dispatches the task (nothing charged).
+                state.running[index].pop(attempt, None)
+                state.abandoned[index].add(attempt)
+                if speculative:
+                    state.has_backup[index] = False
+                _mark_worker_lost(
+                    report, workers, index, attempt, speculative,
+                    out.duration_s, wname, recorder, env.phase, ledger,
+                )
+                continue
         state.running[index].pop(attempt, None)
         if state.done[index]:
             _mark_lost(report, out, recorder, env.phase, ledger)
@@ -1126,6 +1839,8 @@ def _run_session(
             state.results[index] = out.value
             state.done[index] = True
             state.winner_speculative[index] = out.speculative
+            if workers is not None:
+                workers.task_completed(index, wname)
             if out.speculative:
                 report.speculative_wins += 1
             done_count += 1
@@ -1172,6 +1887,8 @@ def _run_session(
         )
         state.pending_backoff[index] = 0.0
         state.failed_counts[index] += 1
+        if workers is not None:
+            workers.strike(wname)
         if state.failed_counts[index] >= policy.max_attempts:
             if state.running[index]:
                 # A sibling attempt is still in flight; it may yet win.

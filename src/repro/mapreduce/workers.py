@@ -1,0 +1,164 @@
+"""Named virtual workers: the cluster's failure domains.
+
+Real Hadoop loses work at *node* granularity: a TaskTracker death takes
+down every in-flight attempt on the node **and** every committed map
+output stored on its local disks, forcing upstream re-execution before
+reducers can fetch.  The executors in :mod:`repro.mapreduce.executor`
+model only anonymous pool slots, so this module supplies the missing
+identity layer: a :class:`WorkerPool` of named workers (``w0..wN``)
+with a deterministic task→worker assignment that the recovery
+dispatcher threads through every attempt it launches.
+
+Workers are *virtual* — no thread or process is pinned to a name.  The
+pool is pure bookkeeping: which names are alive, which are blacklisted,
+how many strikes each has accumulated.  That keeps every executor
+(serial, thread, process) on the identical assignment schedule, which
+is what makes worker loss absorbable without perturbing canonical
+outputs: the same attempts run on the same virtual workers everywhere,
+so the same failure plan kills the same work everywhere.
+
+The pool outlives a single job (the engine keeps one per cluster), so
+blacklists and deaths persist across the jobs of a chained workflow —
+like a real cluster, a node that died in job 1 is still dead in job 2
+unless a replacement joined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import JobError, NoActiveWorkersError
+
+__all__ = ["WorkerPool", "WorkerState"]
+
+
+@dataclass(slots=True)
+class WorkerState:
+    """Liveness and failure accounting of one named worker."""
+
+    name: str
+    alive: bool = True
+    blacklisted: bool = False
+    strikes: int = 0
+
+
+@dataclass(slots=True)
+class WorkerPool:
+    """Registry of named virtual workers with deterministic assignment.
+
+    ``assign`` is a pure function of ``(task index, attempt number)``
+    over the name-ordered active set, so the schedule is reproducible
+    on any executor and at any completion order.  Mutations (``kill``,
+    ``blacklist``, ``join``) are driven exclusively by declarative
+    fault specs and charged task failures, both of which are themselves
+    deterministic — the pool never consults wall clock or randomness.
+    """
+
+    size: int = 0
+    workers: dict[str, WorkerState] = field(default_factory=dict)
+    #: monotonically increasing id for join() names — a joined worker
+    #: never reuses a dead worker's name.
+    next_id: int = 0
+    #: one-shot fault specs already consumed (opaque to the pool; the
+    #: manager records fired ``FaultSpec`` objects here so a wildcard
+    #: ``join-worker`` does not re-fire in every job of a workflow).
+    fired: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise JobError(f"worker pool needs at least 1 worker, got {self.size}")
+        if not self.workers:
+            self.workers = {f"w{i}": WorkerState(f"w{i}") for i in range(self.size)}
+            self.next_id = self.size
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[str]:
+        """Names able to take new assignments, in creation order."""
+        return [
+            w.name
+            for w in self.workers.values()
+            if w.alive and not w.blacklisted
+        ]
+
+    def dead(self) -> list[str]:
+        return [w.name for w in self.workers.values() if not w.alive]
+
+    def blacklisted(self) -> list[str]:
+        return [
+            w.name for w in self.workers.values() if w.alive and w.blacklisted
+        ]
+
+    def state(self, name: str) -> WorkerState:
+        try:
+            return self.workers[name]
+        except KeyError:
+            raise JobError(f"unknown worker {name!r}") from None
+
+    def require_active(self) -> None:
+        """Raise :class:`NoActiveWorkersError` when nothing can run."""
+        if not self.active():
+            raise NoActiveWorkersError(
+                "job failed: every worker is dead or blacklisted "
+                f"(dead: {self.dead()}, blacklisted: {self.blacklisted()})"
+            )
+
+    def assign(self, index: int, attempt: int) -> str:
+        """The worker that runs attempt ``attempt`` of task ``index``.
+
+        Round-robin over the active set keyed by ``index + attempt``:
+        consecutive tasks spread across workers, and a retry of the
+        same task moves to the *next* worker — Hadoop's scheduler
+        avoiding the node that just failed the task.
+        """
+        names = self.active()
+        if not names:
+            self.require_active()
+        return names[(index + attempt) % len(names)]
+
+    # ------------------------------------------------------------------
+    def kill(self, name: str) -> bool:
+        """Mark ``name`` dead; True when it was alive until now."""
+        state = self.state(name)
+        if not state.alive:
+            return False
+        state.alive = False
+        return True
+
+    def strike(self, name: str) -> int:
+        """Record one charged failure against ``name``; new strike count."""
+        state = self.state(name)
+        state.strikes += 1
+        return state.strikes
+
+    def blacklist(self, name: str) -> bool:
+        """Remove ``name`` from rotation; True when newly blacklisted."""
+        state = self.state(name)
+        if state.blacklisted:
+            return False
+        state.blacklisted = True
+        return True
+
+    def join(self, name: str | None = None) -> str | None:
+        """Add a fresh worker (``w{next_id}`` unless ``name`` given).
+
+        Returns the new worker's name, or ``None`` when ``name`` is
+        already registered (joining an existing worker is a no-op — a
+        node cannot join twice, and a dead name stays dead).
+        """
+        if name is None:
+            name = f"w{self.next_id}"
+        if name in self.workers:
+            return None
+        self.workers[name] = WorkerState(name)
+        self.next_id += 1
+        return name
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view for ledger manifests and dashboards."""
+        return {
+            "total": len(self.workers),
+            "active": self.active(),
+            "dead": self.dead(),
+            "blacklisted": self.blacklisted(),
+        }

@@ -223,6 +223,7 @@ class Workflow:
                 reduce_s=cost["reduce_s"],
                 fault_overhead_s=cost.get("fault_overhead_s", 0.0),
                 spill_overhead_s=cost.get("spill_overhead_s", 0.0),
+                recovery_overhead_s=cost.get("recovery_overhead_s", 0.0),
             ),
             output_records=record["output_records"],
             resumed=True,

@@ -11,7 +11,11 @@ with ``--verbose``), one block per job:
   from the stamps measured inside the workers;
 * the per-reducer input-record histogram with the hottest cell called
   out, and the skew factor (max / mean) the makespan approximation
-  turns into straggler time.
+  turns into straggler time;
+* a ``workers:`` line when the worker pool engaged — lost/blacklisted/
+  joined workers, invalidated map outputs and re-executed tasks, the
+  simulated recovery overhead, and the ``EFFECTIVE_WATCHDOG=off``
+  notice when a task timeout silently degraded to retry rounds.
 
 Everything is deterministic given the same run (record counts and
 simulated seconds are; wall-clock numbers naturally vary).
@@ -122,6 +126,40 @@ def _fault_line(result: "JobResult") -> str | None:
     return line
 
 
+def _workers_line(result: "JobResult") -> str | None:
+    """Worker failure-domain telemetry, shown only when a pool engaged."""
+    eng = result.counters.engine
+    failures = eng(C.WORKER_FAILURES)
+    blacklisted = eng(C.WORKERS_BLACKLISTED)
+    joined = eng(C.WORKERS_JOINED)
+    degraded = eng(C.WATCHDOG_DEGRADED)
+    if not (failures or blacklisted or joined or degraded):
+        return None
+    parts = []
+    if failures:
+        parts.append(f"{failures} worker(s) lost")
+        lost = eng(C.MAP_OUTPUT_LOST)
+        if lost:
+            parts.append(
+                f"{lost} committed map output(s) invalidated, "
+                f"{eng(C.TASKS_REEXECUTED)} task(s) re-executed"
+            )
+    if blacklisted:
+        parts.append(f"{blacklisted} blacklisted")
+    if joined:
+        parts.append(f"{joined} joined")
+    if result.cost.recovery_overhead_s:
+        parts.append(
+            f"overhead {_fmt_s(result.cost.recovery_overhead_s)} simulated"
+        )
+    if degraded:
+        parts.append(
+            "EFFECTIVE_WATCHDOG=off (no streaming session: task timeout "
+            "degraded to retry rounds)"
+        )
+    return "  workers: " + ", ".join(parts)
+
+
 def _memory_line(result: "JobResult") -> str | None:
     """Memory-governance telemetry: spills and quarantined records."""
     eng = result.counters.engine
@@ -178,6 +216,9 @@ def render_job_dashboard(result: "JobResult") -> str:
     fault_line = _fault_line(result)
     if fault_line:
         lines.append(fault_line)
+    workers_line = _workers_line(result)
+    if workers_line:
+        lines.append(workers_line)
     memory_line = _memory_line(result)
     if memory_line:
         lines.append(memory_line)

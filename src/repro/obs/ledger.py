@@ -15,7 +15,12 @@ after the process is gone.  One run emits
   quarantines, and ``speculation_launch`` markers;
 * ``spill`` events per map task that exceeded its memory budget;
 * ``checkpoint_write`` / ``checkpoint_restore`` events from the
-  workflow's manifest path.
+  workflow's manifest path;
+* worker failure-domain events when the cluster's pool is engaged —
+  ``worker_lost`` (with its ``detected`` mode), ``output_invalidated``
+  (the committed map outputs that died with the worker, and how many
+  re-executed), ``worker_blacklisted``, ``worker_joined`` — plus
+  ``warning`` events such as the degraded-watchdog notice.
 
 Two implementations share one API, mirroring the recorder pair:
 
@@ -72,6 +77,11 @@ EVENT_TYPES = (
     "spill",
     "checkpoint_write",
     "checkpoint_restore",
+    "worker_lost",
+    "worker_blacklisted",
+    "worker_joined",
+    "output_invalidated",
+    "warning",
 )
 
 
@@ -207,6 +217,15 @@ class JobRecord:
     spill_files: int = 0
     spill_bytes: int = 0
     checkpoint_writes: int = 0
+    worker_failures: int = 0
+    workers_blacklisted: int = 0
+    workers_joined: int = 0
+    map_outputs_lost: int = 0
+    tasks_reexecuted: int = 0
+    #: in-flight attempts recorded as ``worker_lost`` — never charged
+    #: as task failures (includes speculative losers on dead workers)
+    lost_attempts: int = 0
+    warnings: list[dict[str, Any]] = field(default_factory=list)
     simulated_seconds: float | None = None
     counters: dict[str, Any] = field(default_factory=dict)
 
@@ -229,6 +248,8 @@ class JobRecord:
                 self.timeouts += 1
             if event.get("outcome") == "ok" and event.get("speculative"):
                 self.speculative_wins += 1
+            if event.get("outcome") == "worker_lost":
+                self.lost_attempts += 1
         elif etype == "task_skip":
             self.skipped_records += 1
         elif etype == "speculation_launch":
@@ -241,6 +262,17 @@ class JobRecord:
             self.checkpoint_writes += 1
         elif etype == "checkpoint_restore":
             self.restored = True
+        elif etype == "worker_lost":
+            self.worker_failures += 1
+        elif etype == "worker_blacklisted":
+            self.workers_blacklisted += 1
+        elif etype == "worker_joined":
+            self.workers_joined += 1
+        elif etype == "output_invalidated":
+            self.map_outputs_lost += len(event.get("tasks", ()))
+            self.tasks_reexecuted += event.get("reexecuted", 0)
+        elif etype == "warning":
+            self.warnings.append(event)
 
 
 @dataclass

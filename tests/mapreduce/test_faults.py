@@ -128,7 +128,7 @@ class TestFaultPlan:
         path.write_text("{not json", encoding="utf-8")
         with pytest.raises(JobError, match="cannot load fault plan"):
             FaultPlan.load(str(path))
-        with pytest.raises(JobError, match="malformed fault plan"):
+        with pytest.raises(JobError, match="unknown field 'bogus_field'"):
             FaultPlan.from_dict({"specs": [{"bogus_field": 1}]})
 
     def test_random_plans_are_seed_deterministic(self):

@@ -27,6 +27,8 @@ from repro.mapreduce.faults import (
     run_phase_with_recovery,
 )
 from repro.mapreduce.job import MapReduceJob, hash_partitioner
+from repro.obs.dashboard import render_job_dashboard
+from repro.obs.ledger import MemorySink, RunLedger
 
 #: Hang long, time out fast: a reclaimed run finishes in well under the
 #: hang, a degraded (watchdog-less) run cannot.
@@ -112,3 +114,41 @@ class TestWatchdogRecovery:
         assert outcomes == ["timeout", "ok"]
         timed_out = report.attempts[0][0]
         assert "task_timeout_s" in timed_out.error
+
+
+class TestWatchdogDegradation:
+    """A task timeout on a session-less executor (serial, or one
+    worker) cannot preempt anything — the degradation must be loud,
+    not silent: counter, ledger warning, and a dashboard notice."""
+
+    def _run_degraded(self):
+        sink = MemorySink()
+        cluster = Cluster(
+            dfs=InMemoryDFS(),
+            executor="serial",
+            num_workers=4,
+            retry=WATCHDOG,
+            ledger=RunLedger(sink),
+        )
+        cluster.dfs.write_file("in", [f"w{i % 7} w{i % 3}" for i in range(40)])
+        result = cluster.run_job(_job())
+        return result, sink
+
+    def test_degraded_watchdog_sets_counter_and_warns(self):
+        result, sink = self._run_degraded()
+        # One degradation per dispatched phase (map and reduce).
+        assert result.counters.engine(C.WATCHDOG_DEGRADED) == 2
+        warnings = [e for e in sink.events if e["type"] == "warning"]
+        assert warnings
+        assert all(w["kind"] == "watchdog_degraded" for w in warnings)
+        assert "EFFECTIVE_WATCHDOG=off" in warnings[0]["detail"]
+        assert {w["phase"] for w in warnings} == {"map", "reduce"}
+
+    def test_degradation_notice_reaches_dashboard(self):
+        result, _ = self._run_degraded()
+        dashboard = render_job_dashboard(result)
+        assert "EFFECTIVE_WATCHDOG=off" in dashboard
+
+    def test_streaming_session_does_not_degrade(self):
+        result, _ = _run("thread", retry=WATCHDOG)
+        assert result.counters.engine(C.WATCHDOG_DEGRADED) == 0

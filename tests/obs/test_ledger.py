@@ -282,6 +282,102 @@ class TestLedgerRun:
         assert LedgerRun.from_events([]).job("nope") is None
 
 
+class TestWorkerReconciliation:
+    """The ledger is the journal of record for worker failure domains:
+    replaying it through LedgerRun must reproduce the engine's worker
+    counters exactly — no event lost, none double-counted."""
+
+    def _chaos_run(self, *, plan, retry):
+        sink = MemorySink()
+        cluster = _cluster(
+            RunLedger(sink),
+            executor="serial",
+            num_workers=4,
+            split_records=10,
+            fault_plan=plan,
+            retry=retry,
+        )
+        result = cluster.run_job(_word_count_job())
+        return result, LedgerRun.from_events(sink.events)
+
+    def test_worker_tallies_reconcile_with_engine_counters(self):
+        plan = (
+            FaultPlan()
+            .fail_worker("w1", phase="map", index=1, attempt=0)
+            .fail_worker("w2", phase="reduce", index=0, attempt=0, silent=True)
+        )
+        result, run = self._chaos_run(plan=plan, retry=RetryPolicy(max_attempts=3))
+        record = run.job("wc")
+        eng = result.counters.engine
+        assert record.worker_failures == eng(C.WORKER_FAILURES) == 2
+        assert record.map_outputs_lost == eng(C.MAP_OUTPUT_LOST) > 0
+        assert record.tasks_reexecuted == eng(C.TASKS_REEXECUTED) > 0
+        assert record.workers_blacklisted == eng(C.WORKERS_BLACKLISTED) == 0
+        assert record.lost_attempts > 0
+
+    def test_blacklist_tally_reconciles(self):
+        plan = (
+            FaultPlan()
+            .fail_task("map", 0, attempt=0)
+            .fail_task("map", 0, attempt=1)
+        )
+        result, run = self._chaos_run(
+            plan=plan,
+            retry=RetryPolicy(max_attempts=3, blacklist_after=1),
+        )
+        record = run.job("wc")
+        eng = result.counters.engine
+        assert record.workers_blacklisted == eng(C.WORKERS_BLACKLISTED) > 0
+        assert record.failures == eng(C.TASK_FAILURES)
+
+    def test_lost_attempts_are_never_charged_as_failures(self):
+        """In-flight attempts abandoned by a worker death reconcile to
+        ``lost_attempts``, not ``failures`` — the engine does not charge
+        them against max_attempts, and neither may the replay."""
+        plan = FaultPlan().fail_worker("w1", phase="map", index=1, attempt=0)
+        result, run = self._chaos_run(plan=plan, retry=RetryPolicy(max_attempts=3))
+        record = run.job("wc")
+        lost_events = [
+            e
+            for e in record.events
+            if e.get("type") == "task_attempt"
+            and e.get("outcome") == "worker_lost"
+        ]
+        assert lost_events
+        assert record.lost_attempts == len(lost_events)
+        assert not any(e.get("charged") for e in lost_events)
+        assert record.failures == result.counters.engine(C.TASK_FAILURES) == 0
+
+    def test_speculative_loser_on_dead_worker_not_double_charged(self):
+        """A speculative attempt abandoned because its worker died is a
+        ``worker_lost`` outcome: one lost attempt, zero failures, zero
+        speculative wins.  (Synthetic events: the session path that
+        produces this combination is timing-dependent by design.)"""
+        events = [
+            {"type": "job_start", "job": "j"},
+            {
+                "type": "task_attempt",
+                "job": "j",
+                "phase": "map",
+                "index": 3,
+                "attempt": 1,
+                "speculative": True,
+                "outcome": "worker_lost",
+                "charged": False,
+                "worker": "w2",
+            },
+            {"type": "worker_lost", "job": "j", "worker": "w2"},
+            {"type": "job_commit", "job": "j"},
+        ]
+        record = LedgerRun.from_events(events).job("j")
+        assert record.lost_attempts == 1
+        assert record.worker_failures == 1
+        assert record.failures == 0
+        assert record.speculative_wins == 0
+        # The launch itself still counts as an attempt (it ran).
+        assert record.attempts == 1
+
+
 class TestLedgerIsObserver:
     def test_ledgered_run_is_byte_identical(self):
         bare = _cluster(NullLedger())

@@ -212,6 +212,42 @@ class TestFaultFlags:
         ])
         assert code == 0
 
+    def test_workers_fail_flag_absorbed(self, capsys):
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "200", "--space", "1000",
+            "--workers", "4", "--max-attempts", "3",
+            "--workers-fail", "w1@reduce:0,silent", "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers: 1 lost" in out
+
+    def test_workers_fail_merges_with_plan_file(self, tmp_path, capsys):
+        from repro.mapreduce.faults import FaultPlan
+
+        plan = FaultPlan().fail_task("map", 0, attempt=0, job=None)
+        code = main([
+            "join", "--algorithm", "c-rep", "--n", "200", "--space", "1000",
+            "--workers", "4", "--max-attempts", "3",
+            "--fault-plan", self._plan(tmp_path, plan),
+            "--workers-fail", "w1@map:0:1", "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "task attempts:" in out
+        assert "workers:" in out
+
+    def test_workers_fail_bad_syntax_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "join", "--algorithm", "c-rep", "--n", "100",
+                "--workers-fail", "w1-reduce-0",
+            ])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "NAME@PHASE:TASK" in stderr
+        assert "Traceback" not in stderr
+
     def test_crash_then_resume_across_processes(self, tmp_path, capsys):
         """The full CLI resume story: a run crashes on job 2, a second
         invocation (fresh cluster, same --dfs-root) restores job 1 from
