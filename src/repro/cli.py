@@ -10,6 +10,10 @@ Examples::
 
     # run one algorithm on a synthetic chain workload
     python -m repro join --algorithm c-rep-l --n 5000 --space 10000
+
+    # run durably (replicated checksummed blocks), then audit the store
+    python -m repro join --dfs-root ./store --replication 2
+    python -m repro fsck --dfs-root ./store
 """
 
 from __future__ import annotations
@@ -97,6 +101,34 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_executor_args(p_join)
     _add_obs_args(p_join)
     _add_fault_args(p_join)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="audit (and optionally repair) a replicated on-disk DFS root",
+    )
+    p_fsck.add_argument(
+        "--dfs-root",
+        type=str,
+        default=".",
+        metavar="DIR",
+        help=(
+            "the LocalFS DFS root to audit (default: current directory); "
+            "reads the _blocks/placement.json the storage plane persisted"
+        ),
+    )
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "drop corrupt/missing replicas and re-replicate each "
+            "damaged-but-recoverable block from a healthy copy"
+        ),
+    )
+    p_fsck.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list every healthy file with its block count",
+    )
 
     p_hist = sub.add_parser(
         "bench-history",
@@ -366,6 +398,19 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
         ),
     )
     p.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "engage the durable-storage plane: chunk every DFS file into "
+            "checksummed blocks placed on N distinct workers, verify on "
+            "read with transparent failover, re-replicate after worker "
+            "loss, and schedule map tasks data-locally (HDFS's "
+            "dfs.replication; default: off)"
+        ),
+    )
+    p.add_argument(
         "--heartbeat-interval",
         type=float,
         default=1.0,
@@ -444,7 +489,7 @@ def _cli_manifest(args: argparse.Namespace, ledger) -> None:
         kernel=args.kernel,
         **{
             key: getattr(args, key)
-            for key in ("algorithm", "n", "space", "seed", "scale")
+            for key in ("algorithm", "n", "space", "seed", "scale", "replication")
             if hasattr(args, key)
         },
     )
@@ -615,6 +660,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             checkpoint_dir="checkpoints" if args.dfs_root else None,
             resume=args.resume,
             memory_budget=args.memory_budget,
+            replication=args.replication,
             ledger=ledger,
             profiler=profiler,
         )
@@ -648,6 +694,30 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"{eng('workers_joined')} joined "
                 f"({eng('map_output_lost')} map outputs invalidated, "
                 f"{eng('tasks_reexecuted')} tasks re-executed)"
+            )
+        if eng("locality_hits") or eng("locality_misses"):
+            total = eng("locality_hits") + eng("locality_misses")
+            print(
+                f"map locality: {eng('locality_hits')}/{total} task(s) "
+                "data-local"
+            )
+        if (
+            eng("block_corruptions")
+            or eng("replicas_lost")
+            or eng("blocks_rereplicated")
+            or eng("blocks_under_replicated")
+        ):
+            print(
+                f"storage: {eng('block_corruptions')} corrupt replica(s) "
+                f"failed over, {eng('replicas_lost')} replica(s) lost, "
+                f"{eng('blocks_rereplicated')} block cop(y/ies) "
+                "re-replicated"
+                + (
+                    f", {eng('blocks_under_replicated')} block(s) "
+                    "UNDER-REPLICATED"
+                    if eng("blocks_under_replicated")
+                    else ""
+                )
             )
         if eng("watchdog_degraded"):
             print(
@@ -696,6 +766,23 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"wrote metrics {args.metrics}")
         _finish_deep_obs(args, ledger, profiler)
         return 0
+
+    if args.command == "fsck":
+        from repro.mapreduce.blocks import BlockPlane
+        from repro.mapreduce.localfs import LocalFSDFS
+
+        plane = BlockPlane(LocalFSDFS(args.dfs_root), None, None, 1)
+        report = plane.fsck(repair=args.repair)
+        if args.verbose:
+            for path in sorted(plane.placement.files):
+                blocks = plane.placement.files[path]
+                print(
+                    f"{path}: {len(blocks)} block(s) x "
+                    f"{plane.replication} replica(s)"
+                )
+        for line in report.lines():
+            print(line)
+        return report.exit_code
 
     if args.command == "explain":
         from repro.joins.explain import explain

@@ -265,6 +265,7 @@ def run_algorithms(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     memory_budget: int | None = None,
+    replication: int | None = None,
     ledger=None,
     profiler=None,
 ) -> tuple[dict[str, AlgoMetrics], bool, int]:
@@ -295,7 +296,10 @@ def run_algorithms(
     absorbed with byte-identical part files), ``checkpoint_dir``,
     ``resume`` and ``memory_budget`` (per-map-task
     shuffle-buffer bound in bytes — spills change telemetry only, never
-    output); ``dfs`` substitutes a shared
+    output); ``replication`` engages the durable-storage plane
+    (block-level checksums, replica placement, locality-aware map
+    scheduling — again telemetry-only for canonical results); ``dfs``
+    substitutes a shared
     backend (e.g. a :class:`~repro.mapreduce.localfs.LocalFSDFS` so a
     later process can resume from its durable outputs) for the default
     fresh in-memory DFS per algorithm.
@@ -327,6 +331,7 @@ def run_algorithms(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             memory_budget=memory_budget,
+            replication=replication,
             **cluster_kwargs,
         )
         if recorder is not None and recorder.enabled:

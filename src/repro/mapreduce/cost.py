@@ -73,6 +73,13 @@ class JobCostBreakdown:
     latency of detecting a silent death.  Like the other two buckets it
     never touches the canonical total — an absorbed worker loss leaves
     the fault-free simulated seconds byte-identical.
+
+    ``network_overhead_s`` charges the durable-storage plane's wire
+    traffic: remote reads by non-local map tasks (``LOCALITY_MISSES``)
+    and block copies moved by re-replication after a worker death.
+    Locality and durability are thereby *measurable* without breaking
+    the determinism contract — a replicated run's canonical seconds
+    stay byte-identical to the unreplicated run's.
     """
 
     startup_s: float
@@ -82,6 +89,7 @@ class JobCostBreakdown:
     fault_overhead_s: float = 0.0
     spill_overhead_s: float = 0.0
     recovery_overhead_s: float = 0.0
+    network_overhead_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -95,6 +103,7 @@ class JobCostBreakdown:
             + self.fault_overhead_s
             + self.spill_overhead_s
             + self.recovery_overhead_s
+            + self.network_overhead_s
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -107,6 +116,7 @@ class JobCostBreakdown:
             "fault_overhead_s": self.fault_overhead_s,
             "spill_overhead_s": self.spill_overhead_s,
             "recovery_overhead_s": self.recovery_overhead_s,
+            "network_overhead_s": self.network_overhead_s,
             "total_s": self.total_s,
         }
 
@@ -146,6 +156,10 @@ class CostModel:
     #: HDFS block replication factor — every byte written to the DFS is
     #: physically written this many times (Hadoop's dfs.replication=3).
     dfs_replication: float = 3.0
+    #: point-to-point network bandwidth for storage-plane traffic
+    #: (remote map reads, re-replication copies) — 1GbE of the paper's
+    #: era, ~100 MB/s on the wire.
+    network_bytes_per_s: float = 100e6
 
     @classmethod
     def scaled(cls, record_scale: float, **overrides) -> "CostModel":
@@ -235,6 +249,17 @@ class CostModel:
         outside the canonical total — see that field's docstring.
         """
         return reexecution_s + detection_s + lost_attempts * self.task_startup_s
+
+    def network_transfer_seconds(self, nbytes: int) -> float:
+        """Simulated wire time of storage-plane traffic.
+
+        Charged for the bytes a non-local map task pulls across the
+        network (its split's blocks live on other workers) and for the
+        block copies re-replication moves to heal a worker death.
+        Reported on :attr:`JobCostBreakdown.network_overhead_s`,
+        outside the canonical total — see that field's docstring.
+        """
+        return nbytes / self.network_bytes_per_s
 
     def spill_overhead_seconds(self, spill_bytes: int) -> float:
         """Simulated cost of memory-budget spills: write + read-back.

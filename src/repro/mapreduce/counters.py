@@ -64,6 +64,19 @@ class C:
     TASKS_REEXECUTED = "tasks_reexecuted"
     WATCHDOG_DEGRADED = "watchdog_degraded"
 
+    # Durable-storage telemetry (only present when the block plane is
+    # engaged via ``Cluster(replication=N)``; unreplicated clusters emit
+    # none of these, and chaos golden tests strip the ``block``/
+    # ``blocks_``/``replicas_``/``locality_`` prefixes alongside the
+    # blocks above — corruption, loss, healing and locality move
+    # telemetry only, never canonical counters).
+    BLOCK_CORRUPTIONS = "block_corruptions"
+    REPLICAS_LOST = "replicas_lost"
+    BLOCKS_REREPLICATED = "blocks_rereplicated"
+    BLOCKS_UNDER_REPLICATED = "blocks_under_replicated"
+    LOCALITY_HITS = "locality_hits"
+    LOCALITY_MISSES = "locality_misses"
+
 
 class Counters:
     """A two-level ``group -> name -> int`` counter map.

@@ -55,6 +55,11 @@ class InMemoryDFS:
         self._derived: dict[str, dict[str, Any]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+        #: the durable-storage plane (:class:`repro.mapreduce.blocks
+        #: .BlockPlane`) when ``Cluster(replication=N)`` engaged it;
+        #: ``None`` means every hook below is a single identity check —
+        #: the unreplicated store behaves byte-for-byte as before
+        self.block_plane = None
 
     # ------------------------------------------------------------------
     # Write / read
@@ -77,6 +82,8 @@ class InMemoryDFS:
         self._records.pop(path, None)
         self._derived.pop(path, None)
         self.bytes_written += nbytes
+        if self.block_plane is not None:
+            self.block_plane.on_write(path, stored)
         return nbytes
 
     def write_records(self, path: str, records: Sequence[Any], codec) -> int:
@@ -157,6 +164,11 @@ class InMemoryDFS:
         canonical ``DFS_BYTES_READ`` volume stays exactly what a line
         read would have charged.
         """
+        if self.block_plane is not None:
+            # Cache hits still verify checksums end to end, so corrupt
+            # replicas are detected at identical points whether or not
+            # the lines materialise.
+            self.block_plane.verify(path)
         self.bytes_read += self.file_size(path)
 
     def write_side_file(self, path: str, lines: Iterable[str]) -> int:
@@ -195,10 +207,21 @@ class InMemoryDFS:
         return list(self._files[path])
 
     def read_file(self, path: str) -> list[str]:
-        """All lines of a file; accounts the read volume."""
+        """All lines of a file; accounts the read volume.
+
+        With the storage plane engaged, tracked files are reassembled
+        from checksummed block replicas (failing over past corrupt or
+        lost copies); the charged volume is identical either way, since
+        verified replicas hold exactly the primary bytes.
+        """
         path = _normalize(path)
         if path not in self._files:
             raise DFSError(f"no such file: {path!r}")
+        if self.block_plane is not None:
+            served = self.block_plane.read(path)
+            if served is not None:
+                self.bytes_read += sum(len(line) + 1 for line in served)
+                return served
         lines = self._files[path]
         self.bytes_read += self.file_size(path)
         return list(lines)
@@ -288,6 +311,9 @@ class InMemoryDFS:
             del self._files[f]
             self._records.pop(f, None)
             self._derived.pop(f, None)
+        if self.block_plane is not None:
+            for f in doomed:
+                self.block_plane.on_delete(f)
         return len(doomed)
 
     def __contains__(self, path: str) -> bool:

@@ -55,6 +55,7 @@ from repro.data.io import RECT_CODEC
 from repro.errors import BadRecordError, JobError, TaskRetryExhausted
 from repro.kernels import numpy_or_none, resolve_kernel
 from repro.kernels.batch import RectBatch
+from repro.mapreduce.blocks import BlockPlane
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.cost import CostModel, JobCostBreakdown, TaskStats
 from repro.mapreduce.dfs import InMemoryDFS
@@ -772,6 +773,21 @@ class Cluster:
         new ledger events, behaviour bit-for-bit the pre-worker
         dispatch.  The pool persists across the jobs of a workflow, so
         deaths and blacklists carry over like real node state.
+    replication:
+        Block replication factor of the durable-storage plane
+        (:mod:`repro.mapreduce.blocks`).  ``None`` (default) leaves the
+        DFS exactly as before — no blocks, no checksums, byte-for-byte
+        the unreplicated dispatch.  Setting ``N >= 1`` chunks every DFS
+        file into ``split_records``-record blocks placed on ``N``
+        distinct workers of the pool, verifies a CRC32C checksum on
+        every read (corrupt replicas fail over and count
+        ``BLOCK_CORRUPTIONS``), re-replicates after worker deaths
+        before the next job's barrier, and makes map scheduling
+        locality-aware (``LOCALITY_HITS``/``LOCALITY_MISSES``), with
+        remote-read and healing traffic charged to the cost
+        breakdown's non-canonical ``network_overhead_s``.  Canonical
+        part files, counters and simulated seconds stay byte-identical
+        to the unreplicated run.
     """
 
     dfs: InMemoryDFS = field(default_factory=InMemoryDFS)
@@ -791,10 +807,13 @@ class Cluster:
     kernel: str = "auto"
     columnar_shuffle: bool = True
     worker_pool: WorkerPool | None = None
+    replication: int | None = None
     #: cumulative canonical simulated seconds of every job this cluster
     #: has committed — the simulated clock ``at_s`` worker faults
     #: trigger against (never wall time, so replays are deterministic)
     simulated_elapsed_s: float = field(default=0.0, init=False, repr=False)
+    #: the lazily attached durable-storage plane (``replication`` set)
+    _block_plane: BlockPlane | None = field(default=None, init=False, repr=False)
 
     @property
     def resolved_kernel(self) -> str:
@@ -809,6 +828,10 @@ class Cluster:
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise JobError(
                 f"memory_budget must be positive, got {self.memory_budget}"
+            )
+        if self.replication is not None and self.replication < 1:
+            raise JobError(
+                f"replication must be >= 1, got {self.replication}"
             )
         if (
             self.resume
@@ -859,9 +882,21 @@ class Cluster:
         executor = make_executor(self.executor, self.num_workers)
         counters = Counters()
         timings = PhaseTimings()
+        plane = self._ensure_block_plane()
+        if (
+            plane is None
+            and self.fault_plan is not None
+            and self.fault_plan.has_storage_faults
+        ):
+            raise JobError(
+                "corrupt-block/lose-replica faults need the storage plane: "
+                "set Cluster(replication=N)"
+            )
         recovery_active = (
-            self.fault_plan is not None and not self.fault_plan.is_empty
-        ) or self.retry.active
+            (self.fault_plan is not None and not self.fault_plan.is_empty)
+            or self.retry.active
+            or plane is not None
+        )
         wrec = (
             _WriteRecovery(job.name, self.fault_plan, self.retry, rec, led)
             if recovery_active
@@ -871,6 +906,11 @@ class Cluster:
         reduce_report: PhaseReport | None = None
 
         with rec.span(f"job:{job.name}", cat="job", track="engine") as job_span:
+            if plane is not None:
+                # The disk rots before the job reads: storage faults are
+                # enacted at the job-start barrier so detection happens
+                # deterministically during this job's verified reads.
+                plane.enact_faults(self.fault_plan, job.name)
             read_before = self.dfs.bytes_read
             t0 = time.perf_counter()
             with rec.span("split", cat="phase", track="engine") as sp:
@@ -878,11 +918,14 @@ class Cluster:
                 sp.set("splits", len(splits))
                 sp.set("records", sum(len(s) for s in splits))
             timings.split_s = time.perf_counter() - t0
+            localities = (
+                plane.split_localities(splits) if plane is not None else None
+            )
 
             t0 = time.perf_counter()
             with rec.span("map", cat="phase", track="engine") as sp:
                 map_results, map_tasks, map_report = self._run_map_phase(
-                    job, splits, counters, executor, workers
+                    job, splits, counters, executor, workers, localities
                 )
                 sp.set("tasks", len(map_tasks))
                 sp.set("output_records", counters.engine(C.MAP_OUTPUT_RECORDS))
@@ -1011,6 +1054,14 @@ class Cluster:
                 cost = self._merge_worker_recovery(
                     counters, cost, workers, map_tasks, job_span
                 )
+            if plane is not None:
+                # Self-healing runs at the job barrier: dead workers'
+                # replicas are swept and the target factor restored
+                # before the next job can read, like HDFS's namenode
+                # re-replication queue draining between jobs.
+                cost = self._merge_storage(
+                    counters, cost, plane, workers, job_span
+                )
             spill_bytes = counters.engine(C.SPILL_BYTES)
             if spill_bytes:
                 # Spill I/O is wasted work the unbounded run never does:
@@ -1073,6 +1124,7 @@ class Cluster:
             return None
         engaged = (
             self.worker_pool is not None
+            or self.replication is not None
             or self.retry.blacklist_after > 0
             or (self.fault_plan is not None and self.fault_plan.has_worker_faults)
         )
@@ -1089,6 +1141,80 @@ class Cluster:
             led,
             elapsed_s=self.simulated_elapsed_s,
         )
+
+    def _ensure_block_plane(self) -> BlockPlane | None:
+        """Attach the durable-storage plane once ``replication`` is set.
+
+        Built lazily on the first job (like the worker pool, which it
+        forces into existence — blocks need named workers to live on)
+        and hooked onto the DFS so every write/read/delete from then on
+        flows through chunking, checksums and failover.  The lazy pool
+        is sized at least ``replication`` wide, so a clean run can meet
+        its factor even on a one-CPU host; an explicitly supplied pool
+        smaller than that stays under-replicated, loudly.  ``None``
+        when ``replication`` is unset: the DFS never sees a hook and
+        behaviour stays byte-for-byte the unreplicated dispatch.
+        """
+        if self.replication is None:
+            return None
+        if self._block_plane is None:
+            if self.worker_pool is None:
+                self.worker_pool = WorkerPool(
+                    max(
+                        self.replication,
+                        self.num_workers or default_workers(),
+                    )
+                )
+            self._block_plane = BlockPlane(
+                self.dfs,
+                self.worker_pool,
+                self.replication,
+                self.split_records,
+                self.ledger,
+            )
+            self.dfs.block_plane = self._block_plane
+        return self._block_plane
+
+    def _merge_storage(
+        self,
+        counters: Counters,
+        cost: JobCostBreakdown,
+        plane: BlockPlane,
+        workers: WorkerManager | None,
+        job_span,
+    ) -> JobCostBreakdown:
+        """Heal the store, then fold its telemetry into counters/cost.
+
+        Runs re-replication first (so the restored copies are counted
+        in this job's report), then merges the storage and locality
+        counters — each appearing only when its event actually happened
+        — and charges the wire traffic (remote map reads plus healing
+        copies) to the non-canonical ``network_overhead_s`` bucket.
+        """
+        plane.rereplicate()
+        rep = plane.drain_report()
+        wrep = workers.report if workers is not None else None
+        pairs = [
+            (C.BLOCK_CORRUPTIONS, rep.block_corruptions),
+            (C.REPLICAS_LOST, rep.replicas_lost),
+            (C.BLOCKS_REREPLICATED, rep.blocks_rereplicated),
+            (C.BLOCKS_UNDER_REPLICATED, rep.under_replicated),
+        ]
+        if wrep is not None:
+            pairs.append((C.LOCALITY_HITS, wrep.locality_hits))
+            pairs.append((C.LOCALITY_MISSES, wrep.locality_misses))
+        for name, value in pairs:
+            if value:
+                counters.add(C.GROUP_ENGINE, name, value)
+                job_span.set(name, value)
+        net_bytes = rep.rereplicated_bytes + (
+            wrep.remote_read_bytes if wrep is not None else 0
+        )
+        if net_bytes:
+            overhead = self.cost_model.network_transfer_seconds(net_bytes)
+            cost = replace(cost, network_overhead_s=overhead)
+            job_span.set("network_overhead_s", overhead)
+        return cost
 
     def _reexecute_maps(
         self,
@@ -1464,6 +1590,7 @@ class Cluster:
         counters: Counters,
         executor,
         workers: WorkerManager | None = None,
+        localities: dict[int, tuple[tuple[str, ...], int]] | None = None,
     ) -> tuple[list[_MapTaskResult], list[TaskStats], PhaseReport | None]:
         # The batch path bypasses the per-record loop, so it is only
         # safe when nothing needs per-record hooks: no fault injection
@@ -1482,7 +1609,7 @@ class Cluster:
             self._stage_split_batches(job, splits) if use_batch else None
         )
         if workers is not None:
-            workers.begin_phase("map")
+            workers.begin_phase("map", localities=localities)
         results, report = run_phase_with_recovery(
             executor,
             _run_map_task,

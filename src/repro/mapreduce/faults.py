@@ -112,8 +112,18 @@ __all__ = [
 #: losing its in-flight attempts and committed map outputs;
 #: ``join-worker`` adds a fresh worker to the pool mid-job.
 WORKER_KINDS = ("fail-worker", "join-worker")
+#: storage-plane kinds targeting a *block replica* rather than an
+#: attempt — ``corrupt-block`` flips a replica's on-disk bytes (caught
+#: by the checksum at the next read, which fails over), ``lose-replica``
+#: deletes one outright.  Enacted at job start by the block plane; they
+#: require ``Cluster(replication=N)``.
+STORAGE_KINDS = ("corrupt-block", "lose-replica")
 #: injection kinds and the execution phases they may target
-KINDS = ("fail", "delay", "corrupt", "oom", "hang", "poison-record") + WORKER_KINDS
+KINDS = (
+    ("fail", "delay", "corrupt", "oom", "hang", "poison-record")
+    + WORKER_KINDS
+    + STORAGE_KINDS
+)
 PHASES = ("map", "reduce", "write")
 
 
@@ -148,6 +158,13 @@ class FaultSpec:
     #: the cluster's cumulative simulated clock passes this many
     #: seconds, instead of on a triggering attempt
     at_s: float | None = None
+    #: storage-kind specs only: the DFS path whose replica is damaged
+    path: str | None = None
+    #: storage-kind specs only: block index within the file
+    block: int = 0
+    #: storage-kind specs only: replica index within the block's
+    #: failover-ordered holder list
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -192,10 +209,36 @@ class FaultSpec:
                 raise JobError(f"{self.kind} faults cannot be silent")
             if self.at_s is not None:
                 raise JobError(f"{self.kind} faults do not take an at_s trigger")
+        if self.kind in STORAGE_KINDS:
+            if not self.path:
+                raise JobError(
+                    f"{self.kind} faults need the DFS path of the file to damage"
+                )
+            if self.phase == "write":
+                raise JobError(
+                    f"{self.kind} faults target the map or reduce phase, not write"
+                )
+            if self.delay_s:
+                raise JobError(f"{self.kind} faults do not take delay_s")
+            if self.block < 0:
+                raise JobError(f"fault block index must be >= 0, got {self.block}")
+            if self.replica < 0:
+                raise JobError(
+                    f"fault replica index must be >= 0, got {self.replica}"
+                )
+        else:
+            if self.path is not None:
+                raise JobError(f"{self.kind} faults do not take a path")
+            if self.block:
+                raise JobError(f"{self.kind} faults do not take a block index")
+            if self.replica:
+                raise JobError(f"{self.kind} faults do not take a replica index")
 
     def matches(self, job: str, phase: str, index: int, attempt: int) -> bool:
         if self.at_s is not None:
             return False  # at-time specs fire at phase boundaries instead
+        if self.kind in STORAGE_KINDS:
+            return False  # storage specs are enacted at job start instead
         return (
             self.phase == phase
             and self.index == index
@@ -365,6 +408,50 @@ class FaultPlan:
             )
         )
 
+    def corrupt_block(
+        self,
+        path: str,
+        block: int = 0,
+        replica: int = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Flip replica ``replica`` of block ``block`` of ``path``.
+
+        Enacted at job start by the storage plane (the disk rots before
+        the job reads); the damage is *detected* at the first
+        checksum-verified read, which drops the replica and fails over
+        (``BLOCK_CORRUPTIONS``).  Requires ``Cluster(replication=N)``.
+        One-shot; a spec whose path does not exist yet stays pending
+        for a later job.
+        """
+        return self.add(
+            FaultSpec(
+                "corrupt-block", "map", 0, job=job,
+                path=path, block=block, replica=replica,
+            )
+        )
+
+    def lose_replica(
+        self,
+        path: str,
+        block: int = 0,
+        replica: int = 0,
+        job: str | None = None,
+    ) -> "FaultPlan":
+        """Delete replica ``replica`` of block ``block`` of ``path``.
+
+        A vanished disk rather than flipped bits: the loss is counted
+        immediately (``REPLICAS_LOST``) and the end-of-job
+        re-replication pass restores the target factor.  Same triggers
+        and requirements as :meth:`corrupt_block`.
+        """
+        return self.add(
+            FaultSpec(
+                "lose-replica", "map", 0, job=job,
+                path=path, block=block, replica=replica,
+            )
+        )
+
     # -- queries --------------------------------------------------------
     @property
     def is_empty(self) -> bool:
@@ -378,6 +465,15 @@ class FaultPlan:
     def worker_specs(self) -> list[FaultSpec]:
         """The worker-kind specs, in declaration order."""
         return [s for s in self.specs if s.kind in WORKER_KINDS]
+
+    @property
+    def has_storage_faults(self) -> bool:
+        """Whether any spec targets a block replica (needs the plane)."""
+        return any(s.kind in STORAGE_KINDS for s in self.specs)
+
+    def storage_specs(self) -> list[FaultSpec]:
+        """The storage-kind specs, in declaration order."""
+        return [s for s in self.specs if s.kind in STORAGE_KINDS]
 
     def matching(
         self, job: str, phase: str, index: int, attempt: int
@@ -663,6 +759,14 @@ class WorkerReport:
     #: map task ids whose committed output was recomputed (duplicates
     #: possible if a task's output is lost more than once)
     reexec_map_tasks: list[int] = field(default_factory=list)
+    #: locality telemetry (block plane engaged): map tasks whose first
+    #: attempt landed on a worker holding their split's blocks...
+    locality_hits: int = 0
+    #: ...and tasks that fell back rack-blind, pulling their split
+    #: across the simulated network
+    locality_misses: int = 0
+    #: bytes those misses moved — charged to the network-overhead term
+    remote_read_bytes: int = 0
 
     @property
     def engaged(self) -> bool:
@@ -736,16 +840,29 @@ class WorkerManager:
         self._dying: set[str] = set()
         self._reexec = None
         self._deferred_reexec: list[int] = []
+        #: split locality from the block plane: task -> (preferred
+        #: workers in failover order, split bytes); empty unless the
+        #: engine threads it in for a map phase
+        self._localities: dict[int, tuple[tuple[str, ...], int]] = {}
+        #: tasks whose locality was already scored (hit/miss counts
+        #: once per task, on the first attempt's assignment)
+        self._locality_scored: set[int] = set()
 
     # -- phase lifecycle -----------------------------------------------
-    def begin_phase(self, phase: str, reexec=None) -> None:
+    def begin_phase(self, phase: str, reexec=None, localities=None) -> None:
         """Enter a phase; ``reexec`` re-runs map tasks (reduce phase).
+
+        ``localities`` (map phase, block plane engaged) maps task index
+        to ``(preferred workers, split bytes)`` — the scheduler's
+        data-local placement hints.
 
         Fires any pending at-time specs: the phase boundary is where
         the scheduler consults the simulated clock.
         """
         self.phase = phase
         self._reexec = reexec
+        self._localities = dict(localities) if localities else {}
+        self._locality_scored = set()
         for spec in self._specs:
             if spec.at_s is None or spec in self.pool.fired:
                 continue
@@ -763,7 +880,37 @@ class WorkerManager:
         self.enact_pending()
 
     def assign(self, index: int, attempt: int) -> str:
-        return self.pool.assign(index, attempt)
+        """The worker for this attempt — data-local when possible.
+
+        With locality hints present, the first attempt of a map task
+        prefers a live holder of its split's blocks; the hit or miss is
+        scored exactly once per task (on that first assignment) so the
+        ``LOCALITY_HITS``/``LOCALITY_MISSES`` counters reconcile 1:1
+        with the ledger's ``locality`` events, and a miss charges the
+        split's bytes as a remote read.
+        """
+        hint = self._localities.get(index)
+        if hint is None:
+            return self.pool.assign(index, attempt)
+        preferred, nbytes = hint
+        worker = self.pool.assign_preferring(index, attempt, preferred)
+        if index not in self._locality_scored:
+            self._locality_scored.add(index)
+            hit = worker in preferred
+            if hit:
+                self.report.locality_hits += 1
+            else:
+                self.report.locality_misses += 1
+                self.report.remote_read_bytes += nbytes
+            if self.ledger is not None:
+                self.ledger.event(
+                    "locality",
+                    task=index,
+                    worker=worker,
+                    hit=hit,
+                    bytes=0 if hit else nbytes,
+                )
+        return worker
 
     def task_completed(self, index: int, worker: str | None) -> None:
         """Record the winning attempt's worker as the output's owner."""
@@ -1174,7 +1321,7 @@ def run_phase_with_recovery(
     """
     if ledger is not None and not ledger.enabled:
         ledger = None
-    if (plan is None or plan.is_empty) and not policy.active:
+    if (plan is None or plan.is_empty) and not policy.active and workers is None:
         return executor.run_phase(worker, num_tasks, payload), None
     if num_tasks == 0:
         return [], PhaseReport(attempts=[], skipped=[])

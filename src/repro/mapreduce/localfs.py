@@ -16,6 +16,7 @@ root.
 
 from __future__ import annotations
 
+import os
 import re
 import shutil
 from collections.abc import Iterable, Iterator, Sequence
@@ -49,6 +50,9 @@ class LocalFSDFS:
         self._derived: dict[str, dict[str, Any]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+        #: the durable-storage plane when ``Cluster(replication=N)``
+        #: engaged it; ``None`` leaves every path byte-for-byte as before
+        self.block_plane = None
 
     # ------------------------------------------------------------------
     def _resolve_path(self, path: str) -> Path:
@@ -66,26 +70,50 @@ class LocalFSDFS:
     def _normalized(path: str) -> str:
         return path.strip("/")
 
+    def _write_atomic(
+        self, path: str, target: Path, lines: Iterable[str]
+    ) -> tuple[list[str], int]:
+        """Write lines crash-safely: temp file + ``os.replace``.
+
+        A killed process can never leave a truncated file under the
+        final name — the rename is atomic on the same filesystem — so a
+        resumed workflow never fingerprint-matches half a part file.
+        """
+        if target.is_dir():
+            raise DFSError(f"{path!r} is a directory")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.parent / f".{target.name}.tmp"
+        stored: list[str] = []
+        nbytes = 0
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                for line in lines:
+                    if "\n" in line:
+                        raise DFSError(
+                            f"record contains a newline: {line!r}"
+                        )
+                    fh.write(line)
+                    fh.write("\n")
+                    stored.append(line)
+                    nbytes += len(line) + 1
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, target)
+        return stored, nbytes
+
     # ------------------------------------------------------------------
     # Write / read
     # ------------------------------------------------------------------
     def write_file(self, path: str, lines: Iterable[str]) -> int:
         """Create (or replace) a file; returns the number of bytes written."""
         target = self._resolve_path(path)
-        if target.is_dir():
-            raise DFSError(f"{path!r} is a directory")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        nbytes = 0
-        with target.open("w", encoding="utf-8") as fh:
-            for line in lines:
-                if "\n" in line:
-                    raise DFSError(f"record contains a newline: {line!r}")
-                fh.write(line)
-                fh.write("\n")
-                nbytes += len(line) + 1
+        stored, nbytes = self._write_atomic(path, target, lines)
         self._records.pop(self._normalized(path), None)
         self._derived.pop(self._normalized(path), None)
         self.bytes_written += nbytes
+        if self.block_plane is not None:
+            self.block_plane.on_write(self._normalized(path), stored)
         return nbytes
 
     def write_records(self, path: str, records: Sequence[Any], codec) -> int:
@@ -129,6 +157,8 @@ class LocalFSDFS:
 
         See :meth:`repro.mapreduce.dfs.InMemoryDFS.charge_read`.
         """
+        if self.block_plane is not None:
+            self.block_plane.verify(self._normalized(path))
         self.bytes_read += self.file_size(path)
 
     def write_side_file(self, path: str, lines: Iterable[str]) -> int:
@@ -139,17 +169,7 @@ class LocalFSDFS:
         but stay off the ``bytes_written`` ledger.
         """
         target = self._resolve_path(path)
-        if target.is_dir():
-            raise DFSError(f"{path!r} is a directory")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        nbytes = 0
-        with target.open("w", encoding="utf-8") as fh:
-            for line in lines:
-                if "\n" in line:
-                    raise DFSError(f"record contains a newline: {line!r}")
-                fh.write(line)
-                fh.write("\n")
-                nbytes += len(line) + 1
+        _, nbytes = self._write_atomic(path, target, lines)
         self._records.pop(self._normalized(path), None)
         self._derived.pop(self._normalized(path), None)
         return nbytes
@@ -162,10 +182,21 @@ class LocalFSDFS:
         return target.read_text(encoding="utf-8").splitlines()
 
     def read_file(self, path: str) -> list[str]:
-        """All lines of a file; accounts the read volume."""
+        """All lines of a file; accounts the read volume.
+
+        With the storage plane engaged, tracked files are served from
+        checksummed block replicas with transparent failover; verified
+        replicas hold exactly the primary bytes, so the charged volume
+        is identical either way.
+        """
         target = self._resolve_path(path)
         if not target.is_file():
             raise DFSError(f"no such file: {path!r}")
+        if self.block_plane is not None:
+            served = self.block_plane.read(self._normalized(path))
+            if served is not None:
+                self.bytes_read += sum(len(line) + 1 for line in served)
+                return served
         text = target.read_text(encoding="utf-8")
         self.bytes_read += len(text)
         return text.splitlines()
@@ -255,6 +286,8 @@ class LocalFSDFS:
             target.unlink()
             self._records.pop(self._normalized(path), None)
             self._derived.pop(self._normalized(path), None)
+            if self.block_plane is not None:
+                self.block_plane.on_delete(self._normalized(path))
             return 1
         doomed = self.list_dir(path)
         for f in doomed:
@@ -262,6 +295,9 @@ class LocalFSDFS:
             self._derived.pop(f, None)
         if target.is_dir():
             shutil.rmtree(target)
+        if self.block_plane is not None:
+            for f in doomed:
+                self.block_plane.on_delete(f)
         return len(doomed)
 
     def __contains__(self, path: str) -> bool:

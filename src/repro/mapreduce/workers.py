@@ -115,6 +115,25 @@ class WorkerPool:
             self.require_active()
         return names[(index + attempt) % len(names)]
 
+    def assign_preferring(
+        self, index: int, attempt: int, preferred: tuple[str, ...]
+    ) -> str:
+        """Locality-aware assignment: prefer workers holding the data.
+
+        On the *first* attempt, a live non-blacklisted worker from
+        ``preferred`` (the split's block holders, in failover order)
+        wins, indexed round-robin so co-located splits still spread.
+        Retries and an empty live preference fall back to the blind
+        :meth:`assign` schedule — the caller counts that fallback as a
+        ``LOCALITY_MISSES`` remote read.
+        """
+        if attempt == 0 and preferred:
+            active = set(self.active())
+            live = [w for w in preferred if w in active]
+            if live:
+                return live[index % len(live)]
+        return self.assign(index, attempt)
+
     # ------------------------------------------------------------------
     def kill(self, name: str) -> bool:
         """Mark ``name`` dead; True when it was alive until now."""

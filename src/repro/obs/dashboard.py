@@ -15,7 +15,11 @@ with ``--verbose``), one block per job:
 * a ``workers:`` line when the worker pool engaged — lost/blacklisted/
   joined workers, invalidated map outputs and re-executed tasks, the
   simulated recovery overhead, and the ``EFFECTIVE_WATCHDOG=off``
-  notice when a task timeout silently degraded to retry rounds.
+  notice when a task timeout silently degraded to retry rounds;
+* a ``storage:`` line when the block plane engaged — map-task data
+  locality, corrupt replicas failed over, replicas lost, healing
+  copies, the simulated network overhead, and a loud
+  ``UNDER-REPLICATED`` notice when the pool was too small to heal.
 
 Everything is deterministic given the same run (record counts and
 simulated seconds are; wall-clock numbers naturally vary).
@@ -160,6 +164,35 @@ def _workers_line(result: "JobResult") -> str | None:
     return "  workers: " + ", ".join(parts)
 
 
+def _storage_line(result: "JobResult") -> str | None:
+    """Durable-storage telemetry, shown only when the block plane ran."""
+    eng = result.counters.engine
+    hits = eng(C.LOCALITY_HITS)
+    misses = eng(C.LOCALITY_MISSES)
+    corruptions = eng(C.BLOCK_CORRUPTIONS)
+    lost = eng(C.REPLICAS_LOST)
+    healed = eng(C.BLOCKS_REREPLICATED)
+    under = eng(C.BLOCKS_UNDER_REPLICATED)
+    if not (hits or misses or corruptions or lost or healed or under):
+        return None
+    parts = [f"locality {hits}/{hits + misses} map task(s) data-local"]
+    if corruptions:
+        parts.append(f"{corruptions} corrupt replica(s) failed over")
+    if lost:
+        parts.append(f"{lost} replica(s) lost")
+    if healed:
+        parts.append(f"{healed} block cop(y/ies) re-replicated")
+    if result.cost.network_overhead_s:
+        parts.append(
+            f"network {_fmt_s(result.cost.network_overhead_s)} simulated"
+        )
+    if under:
+        parts.append(
+            f"{under} block(s) UNDER-REPLICATED (pool too small to heal)"
+        )
+    return "  storage: " + ", ".join(parts)
+
+
 def _memory_line(result: "JobResult") -> str | None:
     """Memory-governance telemetry: spills and quarantined records."""
     eng = result.counters.engine
@@ -219,6 +252,9 @@ def render_job_dashboard(result: "JobResult") -> str:
     workers_line = _workers_line(result)
     if workers_line:
         lines.append(workers_line)
+    storage_line = _storage_line(result)
+    if storage_line:
+        lines.append(storage_line)
     memory_line = _memory_line(result)
     if memory_line:
         lines.append(memory_line)

@@ -20,7 +20,14 @@ after the process is gone.  One run emits
   ``worker_lost`` (with its ``detected`` mode), ``output_invalidated``
   (the committed map outputs that died with the worker, and how many
   re-executed), ``worker_blacklisted``, ``worker_joined`` — plus
-  ``warning`` events such as the degraded-watchdog notice.
+  ``warning`` events such as the degraded-watchdog notice;
+* durable-storage events when the block plane is engaged
+  (``Cluster(replication=N)``) — ``block_corruption`` (a checksum
+  failure detected at read, failed over), ``replica_lost`` (with its
+  ``reason``: a fault, a missing replica file, or ``worker_lost``),
+  ``block_rereplicated`` (one healing copy, with its bytes) and
+  ``locality`` (one per map task: did its first attempt land on a
+  worker holding its split's blocks?).
 
 Two implementations share one API, mirroring the recorder pair:
 
@@ -81,6 +88,10 @@ EVENT_TYPES = (
     "worker_blacklisted",
     "worker_joined",
     "output_invalidated",
+    "block_corruption",
+    "replica_lost",
+    "block_rereplicated",
+    "locality",
     "warning",
 )
 
@@ -222,6 +233,14 @@ class JobRecord:
     workers_joined: int = 0
     map_outputs_lost: int = 0
     tasks_reexecuted: int = 0
+    #: storage-plane tallies (block plane engaged): checksum failures
+    #: detected at read, replicas lost (faults, dead workers), healing
+    #: copies, and map-task locality outcomes
+    block_corruptions: int = 0
+    replicas_lost: int = 0
+    blocks_rereplicated: int = 0
+    locality_hits: int = 0
+    locality_misses: int = 0
     #: in-flight attempts recorded as ``worker_lost`` — never charged
     #: as task failures (includes speculative losers on dead workers)
     lost_attempts: int = 0
@@ -271,6 +290,17 @@ class JobRecord:
         elif etype == "output_invalidated":
             self.map_outputs_lost += len(event.get("tasks", ()))
             self.tasks_reexecuted += event.get("reexecuted", 0)
+        elif etype == "block_corruption":
+            self.block_corruptions += 1
+        elif etype == "replica_lost":
+            self.replicas_lost += 1
+        elif etype == "block_rereplicated":
+            self.blocks_rereplicated += 1
+        elif etype == "locality":
+            if event.get("hit"):
+                self.locality_hits += 1
+            else:
+                self.locality_misses += 1
         elif etype == "warning":
             self.warnings.append(event)
 

@@ -1,0 +1,405 @@
+"""Unit tests for the durable storage plane.
+
+The end-to-end contract (algorithms × executors byte-identical under
+storage chaos at replication=2) lives in
+``tests/joins/test_storage_chaos_golden.py``; this module covers the
+pieces: CRC32C, chunking, deterministic placement, read failover,
+corruption/loss accounting, re-replication, fsck + repair, lazy
+ingestion, placement persistence and the disengaged byte-identity
+guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DFSError
+from repro.mapreduce.blocks import (
+    BlockPlane,
+    block_payload,
+    chunk_blocks,
+    crc32c,
+)
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.localfs import LocalFSDFS
+from repro.mapreduce.placement import (
+    PLACEMENT_PATH,
+    BlockMeta,
+    PlacementMap,
+)
+from repro.mapreduce.workers import WorkerPool
+
+
+def _plane(dfs=None, pool=None, replication=2, block_records=4, ledger=None):
+    return BlockPlane(
+        dfs if dfs is not None else InMemoryDFS(),
+        pool if pool is not None else WorkerPool(4),
+        replication,
+        block_records,
+        ledger,
+    )
+
+
+# ----------------------------------------------------------------------
+# CRC32C and chunking
+# ----------------------------------------------------------------------
+class TestCrc32c:
+    def test_standard_vector(self):
+        # The canonical Castagnoli check value (RFC 3720 appendix B.4).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_and_zeroes(self):
+        assert crc32c(b"") == 0
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+
+    def test_chaining_equals_whole(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert crc32c(data[10:], crc32c(data[:10])) == crc32c(data)
+
+    def test_differs_from_ieee_crc32(self):
+        import zlib
+
+        assert crc32c(b"123456789") != zlib.crc32(b"123456789")
+
+
+class TestChunking:
+    def test_exact_and_ragged(self):
+        lines = [f"l{i}" for i in range(10)]
+        blocks = chunk_blocks(lines, 4)
+        assert [(s, len(c)) for s, c in blocks] == [(0, 4), (4, 4), (8, 2)]
+        assert [line for __, chunk in blocks for line in chunk] == lines
+
+    def test_empty_file_has_no_blocks(self):
+        assert chunk_blocks([], 4) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(DFSError, match="block_records"):
+            chunk_blocks(["a"], 0)
+
+    def test_payload_is_newline_terminated_utf8(self):
+        assert block_payload(["a", "β"]) == "a\nβ\n".encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Placement map
+# ----------------------------------------------------------------------
+class TestPlacementMap:
+    def test_json_round_trip(self):
+        pmap = PlacementMap(3)
+        pmap.set_file(
+            "d/f",
+            [
+                BlockMeta(0, 0, 4, 40, 123, ["w0", "w2"]),
+                BlockMeta(1, 4, 2, 20, 456, ["w1", "w3"]),
+            ],
+        )
+        text = pmap.to_json()
+        assert "\n" not in text
+        back = PlacementMap.from_json(text)
+        assert back.replication == 3
+        assert back.workers == ["w0", "w2", "w1", "w3"]
+        assert [b.as_dict() for b in back.blocks("d/f")] == [
+            b.as_dict() for b in pmap.blocks("d/f")
+        ]
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(DFSError, match="corrupt placement map"):
+            PlacementMap.from_json("{nope")
+        with pytest.raises(DFSError, match="replication"):
+            PlacementMap.from_json("{}")
+
+    def test_holders_prefers_full_coverage(self):
+        pmap = PlacementMap(2)
+        pmap.set_file(
+            "f",
+            [
+                BlockMeta(0, 0, 4, 40, 1, ["w0", "w1"]),
+                BlockMeta(1, 4, 4, 40, 2, ["w1", "w2"]),
+            ],
+        )
+        # Only w1 holds both blocks of lines 0..7.
+        assert pmap.holders("f", 0, 7) == ("w1",)
+        # A single block's range keeps its replica (failover) order.
+        assert pmap.holders("f", 0, 3) == ("w0", "w1")
+        # No single worker covers everything -> union, replica order.
+        pmap.set_file(
+            "g",
+            [
+                BlockMeta(0, 0, 4, 40, 1, ["w0"]),
+                BlockMeta(1, 4, 4, 40, 2, ["w2"]),
+            ],
+        )
+        assert pmap.holders("g", 0, 7) == ("w0", "w2")
+        assert pmap.holders("g", 99, 100) == ()
+
+
+# ----------------------------------------------------------------------
+# The plane: write/read path
+# ----------------------------------------------------------------------
+class TestBlockPlaneBasics:
+    def test_write_places_replication_copies(self):
+        plane = _plane()
+        plane.dfs.block_plane = plane
+        plane.dfs.write_file("in/f", [f"r{i}" for i in range(10)])
+        blocks = plane.placement.blocks("in/f")
+        assert [b.start for b in blocks] == [0, 4, 8]
+        for b in blocks:
+            assert len(b.replicas) == 2
+            assert len(set(b.replicas)) == 2
+        assert plane.dfs.read_file("in/f") == [f"r{i}" for i in range(10)]
+
+    def test_placement_is_deterministic(self):
+        a, b = _plane(), _plane()
+        for plane in (a, b):
+            plane.on_write("in/f", [f"r{i}" for i in range(10)])
+        assert a.placement.to_json() == b.placement.to_json()
+
+    def test_read_untracked_returns_none(self):
+        assert _plane().read("nope/missing") is None
+
+    def test_lazy_ingest_of_prestaged_files(self):
+        dfs = InMemoryDFS()
+        dfs.write_file("in/old", ["a", "b"])  # written before the plane
+        plane = _plane(dfs=dfs)
+        dfs.block_plane = plane
+        assert not plane.placement.tracks("in/old")
+        assert dfs.read_file("in/old") == ["a", "b"]
+        assert plane.placement.tracks("in/old")
+
+    def test_internal_paths_never_recurse(self):
+        plane = _plane()
+        plane.dfs.block_plane = plane
+        plane.on_write("in/f", ["x"])
+        assert not any(
+            p.startswith("_blocks") for p in plane.placement.files
+        )
+
+    def test_rewrite_replaces_blocks(self):
+        plane = _plane()
+        plane.on_write("f", [f"r{i}" for i in range(8)])
+        plane.on_write("f", ["just-one"])
+        assert len(plane.placement.blocks("f")) == 1
+        assert plane.read("f") == ["just-one"]
+
+    def test_delete_drops_placement(self):
+        plane = _plane()
+        plane.on_write("f", ["x", "y"])
+        plane.on_delete("f")
+        assert not plane.placement.tracks("f")
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(DFSError, match="replication factor"):
+            _plane(replication=0)
+
+
+# ----------------------------------------------------------------------
+# Failover, corruption, loss
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_corrupt_replica_fails_over_and_is_dropped(self):
+        plane = _plane()
+        plane.on_write("f", [f"r{i}" for i in range(4)])
+        block = plane.placement.blocks("f")[0]
+        first = block.replicas[0]
+        plane.dfs.write_side_file(
+            plane._replica_path(first, "f", 0), ["flipped-bits"]
+        )
+        assert plane.read("f") == [f"r{i}" for i in range(4)]
+        assert plane.report.block_corruptions == 1
+        assert first not in block.replicas
+
+    def test_all_replicas_corrupt_raises_loudly(self):
+        plane = _plane()
+        plane.on_write("f", ["a"])
+        for worker in list(plane.placement.blocks("f")[0].replicas):
+            plane.dfs.write_side_file(
+                plane._replica_path(worker, "f", 0), ["zap"]
+            )
+        with pytest.raises(DFSError, match="block lost"):
+            plane.read("f")
+
+    def test_lose_replica_fault_counts_immediately(self):
+        plane = _plane()
+        plane.on_write("f", ["a", "b"])
+        assert plane._lose_replica("f", 0, 1)
+        assert plane.report.replicas_lost == 1
+        assert len(plane.placement.blocks("f")[0].replicas) == 1
+        assert plane.read("f") == ["a", "b"]
+
+    def test_dead_worker_replicas_swept(self):
+        pool = WorkerPool(3)
+        plane = _plane(pool=pool)
+        plane.on_write("f", [f"r{i}" for i in range(8)])
+        victim = plane.placement.blocks("f")[0].replicas[0]
+        pool.kill(victim)
+        plane.sweep_dead_workers()
+        assert plane.report.replicas_lost > 0
+        for block in plane.placement.blocks("f"):
+            assert victim not in block.replicas
+
+
+# ----------------------------------------------------------------------
+# Self-healing
+# ----------------------------------------------------------------------
+class TestRereplication:
+    def test_worker_death_heals_to_target_factor(self):
+        pool = WorkerPool(3)
+        plane = _plane(pool=pool)
+        plane.on_write("f", [f"r{i}" for i in range(8)])
+        victim = plane.placement.blocks("f")[0].replicas[0]
+        pool.kill(victim)
+        plane.rereplicate()
+        report = plane.drain_report()
+        assert report.blocks_rereplicated == report.replicas_lost > 0
+        assert report.rereplicated_bytes > 0
+        assert report.under_replicated == 0
+        for block in plane.placement.blocks("f"):
+            assert len(block.replicas) == 2
+            assert victim not in block.replicas
+        assert plane.read("f") == [f"r{i}" for i in range(8)]
+
+    def test_pool_too_small_surfaces_under_replication(self):
+        pool = WorkerPool(2)
+        plane = _plane(pool=pool)
+        plane.on_write("f", ["a"])
+        pool.kill(pool.active()[0])
+        plane.rereplicate()
+        report = plane.drain_report()
+        assert report.under_replicated == 1
+        assert plane.fsck().exit_code == 1
+
+    def test_drain_report_resets(self):
+        plane = _plane()
+        plane.on_write("f", ["a"])
+        plane._lose_replica("f", 0, 0)
+        assert plane.drain_report().replicas_lost == 1
+        assert plane.drain_report().replicas_lost == 0
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_healthy_store_exits_zero(self):
+        plane = _plane()
+        plane.on_write("f", [f"r{i}" for i in range(8)])
+        report = plane.fsck()
+        assert (report.exit_code, report.problems) == (0, [])
+        assert report.healthy == report.blocks == 2
+
+    def test_corrupt_replica_exits_one_and_names_it(self):
+        plane = _plane()
+        plane.on_write("f", ["a"])
+        worker = plane.placement.blocks("f")[0].replicas[0]
+        plane.dfs.write_side_file(
+            plane._replica_path(worker, "f", 0), ["zap"]
+        )
+        report = plane.fsck()
+        assert report.exit_code == 1
+        assert any(
+            line.startswith("corrupt: f block 0") for line in report.problems
+        )
+
+    def test_unrecoverable_block_exits_two(self):
+        plane = _plane()
+        plane.on_write("f", ["a"])
+        for worker in list(plane.placement.blocks("f")[0].replicas):
+            plane.dfs.delete(plane._replica_path(worker, "f", 0))
+        report = plane.fsck()
+        assert report.exit_code == 2
+        assert any(line.startswith("lost: f block 0") for line in report.problems)
+
+    def test_repair_restores_health(self):
+        plane = _plane()
+        plane.on_write("f", [f"r{i}" for i in range(8)])
+        worker = plane.placement.blocks("f")[0].replicas[0]
+        plane.dfs.write_side_file(
+            plane._replica_path(worker, "f", 0), ["zap"]
+        )
+        repaired = plane.fsck(repair=True)
+        assert repaired.exit_code == 0
+        assert repaired.repaired == 1
+        assert plane.fsck().exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# Persistence / offline audit
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_placement_survives_process_restart(self, tmp_path):
+        root = str(tmp_path / "store")
+        dfs = LocalFSDFS(root)
+        plane = _plane(dfs=dfs)
+        dfs.block_plane = plane
+        dfs.write_file("in/f", [f"r{i}" for i in range(10)])
+        persisted = dfs.read_side_file(PLACEMENT_PATH)
+        assert len(persisted) == 1
+
+        # A fresh process: new DFS handle, no pool, no factor.
+        offline = BlockPlane(LocalFSDFS(root), None, None, 4)
+        assert offline.replication == 2
+        assert offline.placement.to_json() == plane.placement.to_json()
+        assert offline.fsck().exit_code == 0
+        assert offline.read("in/f") == [f"r{i}" for i in range(10)]
+
+    def test_offline_repair_uses_persisted_worker_set(self, tmp_path):
+        root = str(tmp_path / "store")
+        dfs = LocalFSDFS(root)
+        plane = _plane(dfs=dfs)
+        dfs.block_plane = plane
+        dfs.write_file("in/f", [f"r{i}" for i in range(10)])
+        victim = plane.placement.blocks("in/f")[0]
+        (
+            tmp_path
+            / "store"
+            / "_blocks"
+            / victim.replicas[0]
+            / "in#f"
+            / "b-00000"
+        ).write_text("garbage\n", encoding="utf-8")
+
+        offline = BlockPlane(LocalFSDFS(root), None, None, 4)
+        assert offline.fsck().exit_code == 1
+        assert BlockPlane(LocalFSDFS(root), None, None, 4).fsck(
+            repair=True
+        ).exit_code == 0
+        assert BlockPlane(LocalFSDFS(root), None, None, 4).fsck().exit_code == 0
+
+    def test_empty_root_is_healthy(self, tmp_path):
+        plane = BlockPlane(LocalFSDFS(str(tmp_path / "empty")), None, None, 4)
+        report = plane.fsck()
+        assert (report.exit_code, report.blocks) == (0, 0)
+
+    def test_explicit_factor_overrides_persisted(self, tmp_path):
+        root = str(tmp_path / "store")
+        dfs = LocalFSDFS(root)
+        plane = _plane(dfs=dfs)
+        dfs.block_plane = plane
+        dfs.write_file("in/f", ["a"])
+        reattached = BlockPlane(LocalFSDFS(root), WorkerPool(4), 3, 4)
+        assert reattached.replication == 3
+        reattached.rereplicate()
+        assert len(reattached.placement.blocks("in/f")[0].replicas) == 3
+
+
+# ----------------------------------------------------------------------
+# Locality hints
+# ----------------------------------------------------------------------
+class TestSplitLocalities:
+    def test_holders_and_bytes_per_split(self):
+        plane = _plane()
+        lines = [f"record-{i}" for i in range(8)]
+        plane.on_write("in/f", lines)
+        splits = [
+            [("in/f", i, lines[i], len(lines[i]) + 1) for i in range(0, 4)],
+            [("in/f", i, lines[i], len(lines[i]) + 1) for i in range(4, 8)],
+        ]
+        localities = plane.split_localities(splits)
+        assert set(localities) == {0, 1}
+        holders, nbytes = localities[0]
+        assert holders == tuple(plane.placement.blocks("in/f")[0].replicas)
+        assert nbytes == sum(len(line) + 1 for line in lines[:4])
+
+    def test_untracked_files_are_omitted(self):
+        plane = _plane()
+        assert plane.split_localities([[("ghost", 0, "x", 2)]]) == {}

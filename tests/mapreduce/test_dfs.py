@@ -51,6 +51,64 @@ class TestWriteRead:
         assert dfs.read_file("f") == ["a"]
 
 
+class TestAtomicWrites:
+    """LocalFS writes are temp-file + ``os.replace``: a crash mid-write
+    can never leave a truncated file under the final name, so a resumed
+    workflow never fingerprint-matches half a part file."""
+
+    def test_failed_write_leaves_old_content(self, tmp_path):
+        store = LocalFSDFS(tmp_path / "dfs")
+        store.write_file("out/part", ["complete", "old", "file"])
+
+        def exploding_lines():
+            yield "partial"
+            raise RuntimeError("writer crashed mid-stream")
+
+        with pytest.raises(RuntimeError):
+            store.write_file("out/part", exploding_lines())
+        # The old content survives untouched and no temp file remains.
+        assert store.read_file("out/part") == ["complete", "old", "file"]
+        assert not list((tmp_path / "dfs" / "out").glob(".*.tmp"))
+
+    def test_no_partial_file_on_first_write(self, tmp_path):
+        store = LocalFSDFS(tmp_path / "dfs")
+
+        def exploding_lines():
+            yield "partial"
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            store.write_file("out/part", exploding_lines())
+        with pytest.raises(DFSError):
+            store.read_file("out/part")
+        assert not list((tmp_path / "dfs" / "out").glob("*"))
+
+    def test_resume_over_stale_truncated_temp(self, tmp_path):
+        # A kill -9 mid-write leaves the deterministic temp name behind,
+        # truncated.  The resumed write must overwrite it and land the
+        # complete file atomically.
+        store = LocalFSDFS(tmp_path / "dfs")
+        out = tmp_path / "dfs" / "out"
+        out.mkdir(parents=True)
+        (out / ".part.tmp").write_text("trunc", encoding="utf-8")
+
+        store.write_file("out/part", ["all", "records", "present"])
+        assert store.read_file("out/part") == ["all", "records", "present"]
+        assert not (out / ".part.tmp").exists()
+
+    def test_side_files_are_atomic_too(self, tmp_path):
+        store = LocalFSDFS(tmp_path / "dfs")
+        store.write_side_file("meta/state", ["v1"])
+
+        def exploding_lines():
+            yield "v2-partial"
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            store.write_side_file("meta/state", exploding_lines())
+        assert store.read_side_file("meta/state") == ["v1"]
+
+
 class TestAccounting:
     def test_bytes_written_accumulates(self, dfs):
         dfs.write_file("a", ["xx"])

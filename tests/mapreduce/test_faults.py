@@ -131,6 +131,78 @@ class TestFaultPlan:
         with pytest.raises(JobError, match="unknown field 'bogus_field'"):
             FaultPlan.from_dict({"specs": [{"bogus_field": 1}]})
 
+    def test_storage_kinds_round_trip(self, tmp_path):
+        plan = (
+            FaultPlan()
+            .corrupt_block("in/R1", block=2, replica=1, job="j")
+            .lose_replica("out/part-00000", block=0, replica=0)
+        )
+        path = str(tmp_path / "storage.json")
+        plan.dump(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.specs == plan.specs
+        corrupt, lose = loaded.specs
+        assert (corrupt.kind, corrupt.path, corrupt.block, corrupt.replica) == (
+            "corrupt-block", "in/R1", 2, 1
+        )
+        assert (lose.kind, lose.path, lose.block, lose.replica) == (
+            "lose-replica", "out/part-00000", 0, 0
+        )
+        assert loaded.has_storage_faults
+        assert [s.kind for s in loaded.storage_specs()] == [
+            "corrupt-block", "lose-replica"
+        ]
+
+    def test_storage_specs_never_match_attempts(self):
+        plan = FaultPlan().corrupt_block("in/R1", job="j")
+        for phase in ("map", "reduce", "write"):
+            assert plan.matching("j", phase, 0, 0) == []
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(kind="corrupt-block", phase="map", index=0), "path"),
+            (
+                dict(kind="lose-replica", phase="write", index=0, path="f"),
+                "phase",
+            ),
+            (
+                dict(
+                    kind="corrupt-block", phase="map", index=0,
+                    path="f", block=-1,
+                ),
+                "block",
+            ),
+            (
+                dict(
+                    kind="lose-replica", phase="map", index=0,
+                    path="f", replica=-2,
+                ),
+                "replica",
+            ),
+            (dict(kind="fail", phase="map", index=0, path="f"), "path"),
+        ],
+    )
+    def test_invalid_storage_specs_rejected(self, kwargs, message):
+        with pytest.raises(JobError, match=message):
+            FaultSpec(**kwargs)
+
+    def test_storage_spec_json_rejects_unknown_fields(self):
+        with pytest.raises(JobError, match="unknown field"):
+            FaultPlan.from_dict(
+                {
+                    "specs": [
+                        {
+                            "kind": "corrupt-block",
+                            "phase": "map",
+                            "index": 0,
+                            "path": "f",
+                            "datanode": "w0",
+                        }
+                    ]
+                }
+            )
+
     def test_random_plans_are_seed_deterministic(self):
         a = FaultPlan.random(3, num_map_tasks=5, num_reduce_tasks=4, faults=3)
         b = FaultPlan.random(3, num_map_tasks=5, num_reduce_tasks=4, faults=3)

@@ -312,3 +312,86 @@ class TestMemoryFlags:
     def test_task_timeout_flag_accepted(self, capsys):
         code = main(self.BASE + ["--task-timeout", "30"])
         assert code == 0
+
+
+class TestStorageFlags:
+    BASE = ["join", "--algorithm", "c-rep", "--n", "200", "--space", "1000"]
+
+    def test_replication_reports_locality_and_matches_baseline(self, capsys):
+        assert main(self.BASE) == 0
+        baseline = capsys.readouterr().out
+        assert "map locality:" not in baseline
+
+        assert main(self.BASE + ["--replication", "2", "--workers", "4"]) == 0
+        replicated = capsys.readouterr().out
+        assert "map locality:" in replicated
+
+        def line(out, prefix):
+            return next(l for l in out.splitlines() if l.startswith(prefix))
+
+        # Canonical results unchanged by the storage plane.
+        assert line(replicated, "simulated time:") == line(
+            baseline, "simulated time:"
+        )
+        assert line(replicated, "output tuples:") == line(
+            baseline, "output tuples:"
+        )
+
+    def test_replication_survives_worker_kill(self, capsys):
+        code = main(self.BASE + [
+            "--replication", "2", "--workers", "4", "--max-attempts", "3",
+            "--workers-fail", "w1@map:1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replica(s) lost" in out
+        assert "re-replicated" in out
+
+    def test_fsck_healthy_store(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        assert main(self.BASE + [
+            "--dfs-root", root, "--replication", "2", "--workers", "4",
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["fsck", "--dfs-root", root]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+
+    def test_fsck_detect_repair_cycle(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(self.BASE + [
+            "--dfs-root", str(root), "--replication", "2", "--workers", "4",
+        ]) == 0
+        capsys.readouterr()
+        replica = sorted((root / "_blocks").rglob("b-*"))[0]
+        replica.write_text("#garbage\n", encoding="utf-8")
+
+        assert main(["fsck", "--dfs-root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt:" in out
+
+        assert main(["fsck", "--dfs-root", str(root), "--repair"]) == 0
+        assert "repaired" in capsys.readouterr().out
+        assert main(["fsck", "--dfs-root", str(root)]) == 0
+
+    def test_fsck_empty_root_is_healthy(self, tmp_path, capsys):
+        assert main(["fsck", "--dfs-root", str(tmp_path / "nothing")]) == 0
+
+    def test_fsck_reports_data_loss(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(self.BASE + [
+            "--dfs-root", str(root), "--replication", "2", "--workers", "4",
+        ]) == 0
+        capsys.readouterr()
+        # Destroy every replica of one block: unrecoverable.
+        victims = sorted((root / "_blocks").rglob("b-00000"))
+        target = victims[0].parent.name
+        for v in victims:
+            if v.parent.name == target:
+                v.write_text("#garbage\n", encoding="utf-8")
+
+        assert main(["fsck", "--dfs-root", str(root)]) == 2
+        out = capsys.readouterr().out
+        assert "data loss" in out
+        assert "CORRUPT" in out
